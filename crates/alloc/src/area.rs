@@ -1,0 +1,92 @@
+//! Extended area model: functional units, registers and multiplexers.
+//!
+//! Answers the question the paper leaves open: does multiplexer and
+//! register overhead eat the area saved by global sharing?
+
+use tcms_core::{compute_report, SharingSpec};
+use tcms_fds::Schedule;
+use tcms_ir::System;
+
+use crate::binding::Binding;
+use crate::mux::estimate_muxes;
+use crate::regalloc::allocate_registers;
+
+/// Relative area of one register (word-wide), in adder units.
+pub const REGISTER_AREA: f64 = 0.4;
+
+/// Full area accounting of a bound schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullAreaReport {
+    /// Functional-unit area (the paper's metric).
+    pub fu_area: u64,
+    /// Number of registers over all processes.
+    pub registers: u32,
+    /// Register area (`registers * REGISTER_AREA`).
+    pub register_area: f64,
+    /// 2:1-equivalent multiplexer count.
+    pub mux2_count: u32,
+    /// Multiplexer area.
+    pub mux_area: f64,
+}
+
+impl FullAreaReport {
+    /// Total area: functional units + registers + multiplexers.
+    pub fn total(&self) -> f64 {
+        self.fu_area as f64 + self.register_area + self.mux_area
+    }
+}
+
+/// Computes the extended area report for a bound schedule.
+pub fn full_area_report(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    binding: &Binding,
+) -> FullAreaReport {
+    let fu_area = compute_report(system, spec, schedule).total_area();
+    let registers = allocate_registers(system, schedule);
+    let muxes = estimate_muxes(system, spec, schedule, binding, &registers);
+    FullAreaReport {
+        fu_area,
+        registers: registers.total_registers(),
+        register_area: f64::from(registers.total_registers()) * REGISTER_AREA,
+        mux2_count: muxes.mux2_count,
+        mux_area: muxes.mux_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_system;
+    use tcms_core::ModuloScheduler;
+    use tcms_ir::generators::paper_system;
+
+    fn report(spec: &SharingSpec) -> FullAreaReport {
+        let (sys, _) = paper_system().unwrap();
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let binding = bind_system(&sys, spec, &out.schedule).unwrap();
+        full_area_report(&sys, spec, &out.schedule, &binding)
+    }
+
+    #[test]
+    fn totals_compose() {
+        let (sys, _) = paper_system().unwrap();
+        let r = report(&SharingSpec::all_global(&sys, 5));
+        assert!(
+            (r.total() - (r.fu_area as f64 + r.register_area + r.mux_area)).abs() < 1e-12
+        );
+        assert!(r.registers > 0);
+    }
+
+    #[test]
+    fn global_total_beats_local_total() {
+        // The extended answer to the paper's open question on its own
+        // example: sharing wins even with interconnect priced in.
+        let (sys, _) = paper_system().unwrap();
+        let g = report(&SharingSpec::all_global(&sys, 5));
+        let l = report(&SharingSpec::all_local(&sys));
+        assert!(g.fu_area < l.fu_area);
+        assert!(g.total() < l.total(), "global {g:?} vs local {l:?}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Functional-unit binding.
+//!
+//! Every operation is assigned a concrete instance of its resource type.
+//! Two operations conflict — must use different instances — when they can
+//! be active on the unit at the same absolute time:
+//!
+//! * same block: their occupancy intervals overlap,
+//! * different blocks of one process: never (condition C2),
+//! * blocks of different processes sharing the type globally: their
+//!   occupied period slots intersect — with grid-aligned but otherwise
+//!   arbitrary start offsets, intersecting slot sets *can* collide, so
+//!   they must be assumed to.
+//!
+//! Local pools are per process: instances of different processes are
+//! distinct units, so binding runs per process there. Greedy
+//! smallest-free-index colouring in (process, block, start) order achieves
+//! the pool bound whenever occupancies do not straddle period slots
+//! (always true for unit-delay and pipelined units, i.e. the whole paper
+//! library); for straddling multi-cycle units the binding may need extra
+//! instances, which is reported honestly via [`Binding::instances_used`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use tcms_core::SharingSpec;
+use tcms_fds::Schedule;
+use tcms_ir::{OpId, ProcessId, ResourceTypeId, System};
+
+/// Binding failure (currently only incomplete schedules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingError {
+    /// An operation had no start time.
+    Unscheduled {
+        /// The unscheduled operation's name.
+        op: String,
+    },
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::Unscheduled { op } => {
+                write!(f, "operation `{op}` is unscheduled")
+            }
+        }
+    }
+}
+
+impl Error for BindingError {}
+
+/// A complete operation-to-instance assignment.
+///
+/// Instances are numbered per *pool*: globally shared types number their
+/// shared pool `0..n`, local types number each process's pool separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    instance: Vec<u32>,
+    used: Vec<HashMap<Option<ProcessId>, u32>>,
+}
+
+impl Binding {
+    /// The instance executing `op` (within its pool).
+    pub fn instance(&self, op: OpId) -> u32 {
+        self.instance[op.index()]
+    }
+
+    /// Instances used by the shared pool of `rtype` (0 for local types).
+    pub fn instances_used(&self, rtype: ResourceTypeId) -> u32 {
+        self.used[rtype.index()].get(&None).copied().unwrap_or(0)
+    }
+
+    /// Instances used by the local pool of `(process, rtype)`.
+    pub fn local_instances_used(&self, process: ProcessId, rtype: ResourceTypeId) -> u32 {
+        self.used[rtype.index()]
+            .get(&Some(process))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total instances over all pools of `rtype`.
+    pub fn total_instances(&self, rtype: ResourceTypeId) -> u32 {
+        self.used[rtype.index()].values().sum()
+    }
+}
+
+/// Occupied period slots of an op (for global conflict tests).
+fn slot_set(start: u32, occ: u32, period: u32) -> Vec<u32> {
+    let mut slots: Vec<u32> = (start..start + occ).map(|t| t % period).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    slots
+}
+
+/// Binds every operation of the system to an instance.
+///
+/// # Errors
+///
+/// Returns [`BindingError::Unscheduled`] if the schedule is incomplete.
+pub fn bind_system(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+) -> Result<Binding, BindingError> {
+    let mut instance = vec![0u32; system.num_ops()];
+    let mut used: Vec<HashMap<Option<ProcessId>, u32>> =
+        vec![HashMap::new(); system.library().len()];
+
+    for k in system.library().ids() {
+        // Partition the users into the shared pool and local pools.
+        let group: Vec<ProcessId> = spec.group(k).map(<[_]>::to_vec).unwrap_or_default();
+        let users = system.users_of_type(k);
+        // --- shared pool ---
+        if group.len() >= 2 {
+            let period = spec.period(k).expect("global types have periods");
+            // Collect all ops of the group with (process, block, start).
+            let mut ops: Vec<(ProcessId, usize, u32, OpId)> = Vec::new();
+            for &p in &group {
+                for &b in system.process(p).blocks() {
+                    for o in system.ops_of_type(b, k) {
+                        let start =
+                            schedule.start(o).ok_or_else(|| BindingError::Unscheduled {
+                                op: system.op(o).name().to_owned(),
+                            })?;
+                        ops.push((p, b.index(), start, o));
+                    }
+                }
+            }
+            ops.sort_unstable_by_key(|&(p, b, s, o)| (p, b, s, o));
+            // Greedy colouring.
+            let mut colors: Vec<(OpId, u32)> = Vec::new();
+            let mut max_color = 0u32;
+            for &(p, b, s, o) in &ops {
+                let occ = system.occupancy(o);
+                let my_slots = slot_set(s, occ, period);
+                let mut taken: Vec<u32> = Vec::new();
+                for &(q, qc) in &colors {
+                    let (qp, qb, qs) = {
+                        let qop = system.op(q);
+                        (
+                            system.block(qop.block()).process(),
+                            qop.block().index(),
+                            schedule.start(q).expect("colored ops are scheduled"),
+                        )
+                    };
+                    let conflict = if qp == p {
+                        // Same process: only same-block time overlap counts.
+                        qb == b && intervals_overlap(s, occ, qs, system.occupancy(q))
+                    } else {
+                        // Different processes: period-slot intersection.
+                        let q_slots = slot_set(qs, system.occupancy(q), period);
+                        my_slots.iter().any(|sl| q_slots.contains(sl))
+                    };
+                    if conflict {
+                        taken.push(qc);
+                    }
+                }
+                let mut c = 0u32;
+                while taken.contains(&c) {
+                    c += 1;
+                }
+                instance[o.index()] = c;
+                colors.push((o, c));
+                max_color = max_color.max(c + 1);
+            }
+            if !ops.is_empty() {
+                used[k.index()].insert(None, max_color);
+            }
+        }
+        // --- local pools ---
+        for p in users {
+            if group.contains(&p) {
+                continue;
+            }
+            // Instances are reused across blocks of the process (blocks
+            // never overlap), so colour each block independently with the
+            // left-edge scheme and share the index space.
+            let mut pool_size = 0u32;
+            for &b in system.process(p).blocks() {
+                let mut ops = system.ops_of_type(b, k);
+                ops.sort_unstable_by_key(|&o| (schedule.start(o), o));
+                // free[i] = time the instance i becomes free.
+                let mut free: Vec<u32> = Vec::new();
+                for o in ops {
+                    let start = schedule.start(o).ok_or_else(|| BindingError::Unscheduled {
+                        op: system.op(o).name().to_owned(),
+                    })?;
+                    let end = start + system.occupancy(o);
+                    let slot = free.iter().position(|&f| f <= start);
+                    match slot {
+                        Some(i) => {
+                            free[i] = end;
+                            instance[o.index()] = i as u32;
+                        }
+                        None => {
+                            instance[o.index()] = free.len() as u32;
+                            free.push(end);
+                        }
+                    }
+                }
+                pool_size = pool_size.max(free.len() as u32);
+            }
+            if pool_size > 0 {
+                used[k.index()].insert(Some(p), pool_size);
+            }
+        }
+    }
+    Ok(Binding { instance, used })
+}
+
+fn intervals_overlap(s1: u32, d1: u32, s2: u32, d2: u32) -> bool {
+    s1 < s2 + d2 && s2 < s1 + d1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_core::{compute_report, ModuloScheduler, SharingSpec};
+    use tcms_ir::generators::paper_system;
+
+    fn global_setup() -> (
+        tcms_ir::System,
+        tcms_ir::generators::PaperTypes,
+        SharingSpec,
+        Schedule,
+    ) {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let schedule = out.schedule.clone();
+        (sys, t, spec, schedule)
+    }
+
+    #[test]
+    fn binding_respects_conflicts() {
+        let (sys, _, spec, schedule) = global_setup();
+        let binding = bind_system(&sys, &spec, &schedule).unwrap();
+        // Same block, overlapping occupancy, same type -> distinct units.
+        for (bid, block) in sys.blocks() {
+            let _ = bid;
+            for (i, &a) in block.ops().iter().enumerate() {
+                for &b in &block.ops()[i + 1..] {
+                    if sys.op(a).resource_type() != sys.op(b).resource_type() {
+                        continue;
+                    }
+                    let (sa, sb) = (schedule.expect_start(a), schedule.expect_start(b));
+                    if intervals_overlap(sa, sys.occupancy(a), sb, sys.occupancy(b)) {
+                        assert_ne!(
+                            binding.instance(a),
+                            binding.instance(b),
+                            "{} and {} overlap on one unit",
+                            sys.op(a).name(),
+                            sys.op(b).name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_process_slot_conflicts_separated() {
+        let (sys, t, spec, schedule) = global_setup();
+        let binding = bind_system(&sys, &spec, &schedule).unwrap();
+        let period = 5;
+        let mut all: Vec<(ProcessId, OpId)> = Vec::new();
+        for (pid, proc) in sys.processes() {
+            for &b in proc.blocks() {
+                for o in sys.ops_of_type(b, t.mul) {
+                    all.push((pid, o));
+                }
+            }
+        }
+        for (i, &(pa, a)) in all.iter().enumerate() {
+            for &(pb, b) in &all[i + 1..] {
+                if pa == pb {
+                    continue;
+                }
+                let sa = slot_set(schedule.expect_start(a), sys.occupancy(a), period);
+                let sb = slot_set(schedule.expect_start(b), sys.occupancy(b), period);
+                if sa.iter().any(|s| sb.contains(s)) {
+                    assert_ne!(binding.instance(a), binding.instance(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_binding_matches_pool_counts() {
+        // For unit/pipelined occupancies the greedy colouring must achieve
+        // exactly the authorization pool of the report.
+        let (sys, _, spec, schedule) = global_setup();
+        let binding = bind_system(&sys, &spec, &schedule).unwrap();
+        let report = compute_report(&sys, &spec, &schedule);
+        for k in spec.global_types(&sys) {
+            assert_eq!(
+                binding.instances_used(k),
+                report.instances(k),
+                "type {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_binding_matches_local_counts() {
+        let (sys, _, _, _) = global_setup();
+        let spec = SharingSpec::all_local(&sys);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
+        let report = compute_report(&sys, &spec, &out.schedule);
+        for k in sys.library().ids() {
+            assert_eq!(binding.total_instances(k), report.instances(k));
+            assert_eq!(binding.instances_used(k), 0, "no shared pool");
+        }
+    }
+
+    #[test]
+    fn unscheduled_op_rejected() {
+        let (sys, _, spec, _) = global_setup();
+        let empty = Schedule::new(sys.num_ops());
+        assert!(matches!(
+            bind_system(&sys, &spec, &empty),
+            Err(BindingError::Unscheduled { .. })
+        ));
+    }
+
+    #[test]
+    fn slot_set_wraps() {
+        assert_eq!(slot_set(4, 3, 5), vec![0, 1, 4]);
+        assert_eq!(slot_set(0, 1, 5), vec![0]);
+        assert_eq!(slot_set(7, 2, 5), vec![2, 3]);
+    }
+
+    #[test]
+    fn interval_overlap_cases() {
+        assert!(intervals_overlap(0, 2, 1, 2));
+        assert!(!intervals_overlap(0, 2, 2, 2));
+        assert!(intervals_overlap(3, 1, 3, 1));
+        assert!(!intervals_overlap(0, 1, 1, 1));
+    }
+}

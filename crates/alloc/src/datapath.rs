@@ -1,0 +1,222 @@
+//! Structural datapath generation.
+//!
+//! Builds a netlist of functional units, registers and multiplexers from a
+//! bound, register-allocated schedule, and renders it as text. The netlist
+//! is deliberately simple — its purpose is to make the binding inspectable
+//! and to anchor the interconnect estimate in an actual structure.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tcms_core::SharingSpec;
+use tcms_fds::Schedule;
+use tcms_ir::{ProcessId, System};
+
+use crate::binding::Binding;
+use crate::mux::{estimate_muxes, FuInstance, MuxEstimate};
+use crate::regalloc::RegisterAllocation;
+
+/// One structural component of the datapath.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// A functional-unit instance.
+    FunctionalUnit {
+        /// The instance identity (type, owning pool, index).
+        instance: FuInstance,
+    },
+    /// One register of a process's register file.
+    Register {
+        /// Owning process.
+        process: ProcessId,
+        /// Register index within the file.
+        index: u32,
+    },
+    /// An n-to-1 multiplexer in front of a functional-unit port or a
+    /// register input.
+    Multiplexer {
+        /// Human-readable location (e.g. `"mul[0].port1"`).
+        at: String,
+        /// Number of selectable inputs.
+        inputs: usize,
+    },
+}
+
+/// A generated datapath netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datapath {
+    /// All components, deterministically ordered.
+    pub components: Vec<Component>,
+    /// The interconnect estimate the multiplexers were derived from.
+    pub muxes: MuxEstimate,
+}
+
+impl Datapath {
+    /// Number of functional-unit instances.
+    pub fn num_fus(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| matches!(c, Component::FunctionalUnit { .. }))
+            .count()
+    }
+
+    /// Number of registers.
+    pub fn num_registers(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| matches!(c, Component::Register { .. }))
+            .count()
+    }
+
+    /// Number of multiplexers (n-to-1 with n >= 2).
+    pub fn num_muxes(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| matches!(c, Component::Multiplexer { .. }))
+            .count()
+    }
+
+    /// Renders the netlist as indented text.
+    pub fn render(&self, system: &System) -> String {
+        let mut out = String::from("datapath {\n");
+        for c in &self.components {
+            match c {
+                Component::FunctionalUnit { instance } => {
+                    let pool = match instance.process {
+                        None => "shared".to_owned(),
+                        Some(p) => system.process(p).name().to_owned(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  fu {}[{}] pool={}",
+                        system.library().get(instance.rtype).name(),
+                        instance.index,
+                        pool
+                    );
+                }
+                Component::Register { process, index } => {
+                    let _ = writeln!(
+                        out,
+                        "  reg {}.r{}",
+                        system.process(*process).name(),
+                        index
+                    );
+                }
+                Component::Multiplexer { at, inputs } => {
+                    let _ = writeln!(out, "  mux {at} inputs={inputs}");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builds the datapath for a bound, register-allocated schedule.
+pub fn build_datapath(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    binding: &Binding,
+    registers: &RegisterAllocation,
+) -> Datapath {
+    let muxes = estimate_muxes(system, spec, schedule, binding, registers);
+    let mut components = Vec::new();
+    // Functional units: derive the set from the mux estimate's keys plus
+    // instances without inputs.
+    let mut fus: BTreeMap<FuInstance, ()> = BTreeMap::new();
+    for inst in muxes.fu_port_sources.keys() {
+        fus.insert(*inst, ());
+    }
+    for inst in fus.keys() {
+        components.push(Component::FunctionalUnit { instance: *inst });
+    }
+    for p in system.process_ids() {
+        for r in 0..registers.process_registers(p) {
+            components.push(Component::Register {
+                process: p,
+                index: r,
+            });
+        }
+    }
+    let mut mux_components = Vec::new();
+    for (inst, sizes) in &muxes.fu_port_sources {
+        for (port, &n) in sizes.iter().enumerate() {
+            if n >= 2 {
+                mux_components.push(Component::Multiplexer {
+                    at: format!(
+                        "{}[{}].port{}",
+                        system.library().get(inst.rtype).name(),
+                        inst.index,
+                        port
+                    ),
+                    inputs: n,
+                });
+            }
+        }
+    }
+    for ((p, r), &n) in &muxes.register_sources {
+        if n >= 2 {
+            mux_components.push(Component::Multiplexer {
+                at: format!("{}.r{}", system.process(*p).name(), r),
+                inputs: n,
+            });
+        }
+    }
+    mux_components.sort();
+    components.extend(mux_components);
+    Datapath { components, muxes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_system;
+    use crate::regalloc::allocate_registers;
+    use tcms_core::{ModuloScheduler, SharingSpec};
+    use tcms_ir::generators::paper_system;
+
+    fn datapath() -> (tcms_ir::System, Datapath) {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
+        let regs = allocate_registers(&sys, &out.schedule);
+        let dp = build_datapath(&sys, &spec, &out.schedule, &binding, &regs);
+        (sys, dp)
+    }
+
+    #[test]
+    fn datapath_has_all_component_kinds() {
+        let (_, dp) = datapath();
+        assert!(dp.num_fus() > 0);
+        assert!(dp.num_registers() > 0);
+        assert!(dp.num_muxes() > 0, "shared units need multiplexers");
+    }
+
+    #[test]
+    fn fu_count_matches_binding_totals() {
+        let (sys, dp) = datapath();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
+        let expected: u32 = sys.library().ids().map(|k| binding.total_instances(k)).sum();
+        assert_eq!(dp.num_fus() as u32, expected);
+    }
+
+    #[test]
+    fn render_is_parseable_text() {
+        let (sys, dp) = datapath();
+        let text = dp.render(&sys);
+        assert!(text.starts_with("datapath {"));
+        assert!(text.contains("fu mul[0] pool=shared"));
+        assert!(text.contains("reg P1.r0"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn deterministic_component_order() {
+        let (_, a) = datapath();
+        let (_, b) = datapath();
+        assert_eq!(a.components, b.components);
+    }
+}

@@ -1,0 +1,207 @@
+//! Controller generation: one control word per block and control step.
+//!
+//! Each control word lists the operations issued in that step with their
+//! bound instance and destination register — enough to drive the datapath
+//! of [`crate::datapath`] and to cross-check the schedule.
+
+use std::fmt::Write as _;
+
+use tcms_core::SharingSpec;
+use tcms_fds::Schedule;
+use tcms_ir::{BlockId, OpId, System};
+
+use crate::binding::Binding;
+use crate::regalloc::RegisterAllocation;
+
+/// One issued operation inside a [`ControlWord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// The issued operation.
+    pub op: OpId,
+    /// Instance index within the op's pool.
+    pub instance: u32,
+    /// Destination register (in the owning process's file).
+    pub dest_register: u32,
+}
+
+/// All operations issued at one control step of a block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ControlWord {
+    /// Issues of this step, ordered by operation id.
+    pub issues: Vec<Issue>,
+}
+
+/// The controller of one block: a linear sequence of control words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Controller {
+    /// The controlled block.
+    pub block: BlockId,
+    /// One word per control step, `0..makespan`.
+    pub words: Vec<ControlWord>,
+}
+
+impl Controller {
+    /// Number of control steps (the block's makespan).
+    pub fn steps(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Renders the controller as text.
+    pub fn render(&self, system: &System) -> String {
+        let mut out = format!(
+            "controller {} ({} steps) {{\n",
+            system.block(self.block).name(),
+            self.steps()
+        );
+        for (t, w) in self.words.iter().enumerate() {
+            if w.issues.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "  step {t}:");
+            for issue in &w.issues {
+                let op = system.op(issue.op);
+                let _ = write!(
+                    out,
+                    " {}@{}[{}]->r{}",
+                    op.name(),
+                    system.library().get(op.resource_type()).name(),
+                    issue.instance,
+                    issue.dest_register
+                );
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builds the controller of `block` from a bound schedule.
+///
+/// # Panics
+///
+/// Panics if an operation of the block is unscheduled.
+pub fn build_controller(
+    system: &System,
+    block: BlockId,
+    schedule: &Schedule,
+    binding: &Binding,
+    registers: &RegisterAllocation,
+) -> Controller {
+    let makespan = schedule.block_makespan(system, block) as usize;
+    let mut words = vec![ControlWord::default(); makespan];
+    let mut ops: Vec<OpId> = system.block(block).ops().to_vec();
+    ops.sort_unstable();
+    for o in ops {
+        let t = schedule.expect_start(o) as usize;
+        words[t].issues.push(Issue {
+            op: o,
+            instance: binding.instance(o),
+            dest_register: registers.register(o),
+        });
+    }
+    Controller { block, words }
+}
+
+/// Convenience: builds controllers for every block of the system.
+pub fn build_controllers(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    binding: &Binding,
+    registers: &RegisterAllocation,
+) -> Vec<Controller> {
+    let _ = spec;
+    system
+        .block_ids()
+        .map(|b| build_controller(system, b, schedule, binding, registers))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_system;
+    use crate::regalloc::allocate_registers;
+    use tcms_core::{ModuloScheduler, SharingSpec};
+    use tcms_ir::generators::paper_system;
+
+    fn setup() -> (
+        tcms_ir::System,
+        SharingSpec,
+        tcms_fds::Schedule,
+        Binding,
+        RegisterAllocation,
+    ) {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let schedule = out.schedule.clone();
+        let binding = bind_system(&sys, &spec, &schedule).unwrap();
+        let regs = allocate_registers(&sys, &schedule);
+        (sys, spec, schedule, binding, regs)
+    }
+
+    #[test]
+    fn every_op_is_issued_exactly_once() {
+        let (sys, spec, schedule, binding, regs) = setup();
+        let controllers = build_controllers(&sys, &spec, &schedule, &binding, &regs);
+        let mut seen = vec![false; sys.num_ops()];
+        for c in &controllers {
+            for w in &c.words {
+                for issue in &w.issues {
+                    assert!(!seen[issue.op.index()], "double issue");
+                    seen[issue.op.index()] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn issues_happen_at_schedule_times() {
+        let (sys, _, schedule, binding, regs) = setup();
+        let block = sys.block_ids().next().unwrap();
+        let c = build_controller(&sys, block, &schedule, &binding, &regs);
+        for (t, w) in c.words.iter().enumerate() {
+            for issue in &w.issues {
+                assert_eq!(schedule.expect_start(issue.op), t as u32);
+            }
+        }
+        assert_eq!(c.steps() as u32, schedule.block_makespan(&sys, block));
+    }
+
+    #[test]
+    fn no_same_instance_double_issue_within_occupancy() {
+        // Two issues on the same instance of the same type within one block
+        // must respect the unit's occupancy.
+        let (sys, spec, schedule, binding, regs) = setup();
+        for c in build_controllers(&sys, &spec, &schedule, &binding, &regs) {
+            for (t, w) in c.words.iter().enumerate() {
+                for (i, a) in w.issues.iter().enumerate() {
+                    for b in &w.issues[i + 1..] {
+                        let (ka, kb) = (
+                            sys.op(a.op).resource_type(),
+                            sys.op(b.op).resource_type(),
+                        );
+                        if ka == kb {
+                            assert!(
+                                a.instance != b.instance,
+                                "step {t}: two ops on one instance"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_issues() {
+        let (sys, _, schedule, binding, regs) = setup();
+        let block = sys.block_ids().next().unwrap();
+        let text = build_controller(&sys, block, &schedule, &binding, &regs).render(&sys);
+        assert!(text.contains("controller body"));
+        assert!(text.contains("step 0:"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Value lifetimes of operation results.
+//!
+//! A value is born when its producer finishes (`start + delay`) and dies
+//! when its last consumer starts. Values without consumers are block
+//! outputs and stay live until the block's makespan.
+
+use tcms_fds::Schedule;
+use tcms_ir::{BlockId, OpId, System};
+
+/// Live range of one operation's result, in block-local time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// Producing operation.
+    pub op: OpId,
+    /// First step the value exists (producer finish time).
+    pub birth: u32,
+    /// Last step the value is needed (exclusive end of the live range).
+    pub death: u32,
+}
+
+impl Lifetime {
+    /// `true` if this value's live range overlaps `other`'s.
+    pub fn overlaps(&self, other: &Lifetime) -> bool {
+        self.birth < other.death && other.birth < self.death
+    }
+
+    /// Length of the live range in steps.
+    pub fn len(&self) -> u32 {
+        self.death - self.birth
+    }
+
+    /// `true` for zero-length ranges (value consumed the moment it is
+    /// produced).
+    pub fn is_empty(&self) -> bool {
+        self.death == self.birth
+    }
+}
+
+/// Computes the lifetimes of all values produced inside `block`.
+///
+/// # Panics
+///
+/// Panics if an operation of the block is unscheduled.
+pub fn value_lifetimes(system: &System, block: BlockId, schedule: &Schedule) -> Vec<Lifetime> {
+    let makespan = schedule.block_makespan(system, block);
+    system
+        .block(block)
+        .ops()
+        .iter()
+        .map(|&o| {
+            let birth = schedule.expect_start(o) + system.delay(o);
+            let death = system
+                .succs(o)
+                .iter()
+                .map(|&s| schedule.expect_start(s))
+                .max()
+                .map_or(makespan, |last_use| last_use.max(birth));
+            Lifetime { op: o, birth, death }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder};
+
+    fn chain() -> (System, BlockId, Vec<OpId>) {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("p");
+        let blk = b.add_block(p, "b", 6).unwrap();
+        let x = b.add_op(blk, "x", add).unwrap();
+        let y = b.add_op(blk, "y", add).unwrap();
+        let z = b.add_op(blk, "z", add).unwrap();
+        b.add_dep(x, y).unwrap();
+        b.add_dep(x, z).unwrap();
+        (b.build().unwrap(), blk, vec![x, y, z])
+    }
+
+    #[test]
+    fn lifetimes_span_to_last_use() {
+        let (sys, blk, ops) = chain();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        s.set(ops[1], 1);
+        s.set(ops[2], 4);
+        let lts = value_lifetimes(&sys, blk, &s);
+        let lt = |o: OpId| *lts.iter().find(|l| l.op == o).unwrap();
+        // x is born at 1, last used by z at 4.
+        assert_eq!(lt(ops[0]), Lifetime { op: ops[0], birth: 1, death: 4 });
+        // y and z are outputs: live until the makespan (5).
+        assert_eq!(lt(ops[1]).death, 5);
+        assert_eq!(lt(ops[2]).death, 5);
+        assert_eq!(lt(ops[0]).len(), 3);
+    }
+
+    #[test]
+    fn overlap_relation() {
+        let a = Lifetime { op: OpId::from_index(0), birth: 1, death: 4 };
+        let b = Lifetime { op: OpId::from_index(1), birth: 3, death: 6 };
+        let c = Lifetime { op: OpId::from_index(2), birth: 4, death: 5 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn consumer_at_birth_time_gives_empty_range() {
+        let (sys, blk, ops) = chain();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        s.set(ops[1], 1); // consumes x exactly when it is born
+        s.set(ops[2], 1);
+        let lts = value_lifetimes(&sys, blk, &s);
+        let x = lts.iter().find(|l| l.op == ops[0]).unwrap();
+        assert!(x.is_empty());
+        assert!(!x.overlaps(x));
+    }
+}

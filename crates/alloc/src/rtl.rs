@@ -1,0 +1,531 @@
+//! Structural VHDL emission.
+//!
+//! Renders a bound, register-allocated schedule as one synthesizable-style
+//! VHDL entity:
+//!
+//! * one signal per allocated register (`pX_rY`),
+//! * one behavioral functional unit per bound instance (pipelined units
+//!   get `delay-1` pipeline registers),
+//! * combinational operand selection implementing the multiplexers of the
+//!   estimate in [`crate::mux`] (one condition per issuing operation),
+//! * one FSM per process that **waits for its grid slot** — a free-running
+//!   slot counter over the lcm of all global periods gates the block
+//!   start, which is exactly the paper's static access control: once every
+//!   process starts on its grid, the shared units can never collide, so no
+//!   arbiter is emitted.
+//!
+//! Limitations (documented, checked): one block per process; multi-cycle
+//! *non-pipelined* units are emitted as combinational with a comment.
+//! Operator inference is by type name (`mul` → `*`, `sub` → `-`,
+//! otherwise `+`). The IR does not record operand *order* — predecessor
+//! lists are insertion-ordered and primary inputs are not edges — so for
+//! non-commutative operations with a mix of register and primary-input
+//! operands the emitted port assignment (`a op b` with registers first)
+//! may not match the source expression's operand order. Timing, sharing
+//! and the authorization structure are exact; the dataflow is a faithful
+//! skeleton to be refined by an operand-aware IR extension.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use tcms_core::SharingSpec;
+use tcms_fds::Schedule;
+use tcms_ir::{OpId, ProcessId, System};
+
+use crate::binding::Binding;
+use crate::mux::FuInstance;
+use crate::regalloc::RegisterAllocation;
+
+/// Options of the VHDL emitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlOptions {
+    /// Data-path width in bits.
+    pub width: u32,
+    /// Entity name.
+    pub entity: String,
+}
+
+impl Default for RtlOptions {
+    fn default() -> Self {
+        RtlOptions {
+            width: 16,
+            entity: "tcms_top".to_owned(),
+        }
+    }
+}
+
+/// Emission failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// The emitter supports one block per process.
+    MultiBlockProcess {
+        /// Offending process name.
+        process: String,
+    },
+    /// An operation was unscheduled.
+    Unscheduled {
+        /// Offending operation name.
+        op: String,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::MultiBlockProcess { process } => {
+                write!(f, "process `{process}` has more than one block")
+            }
+            RtlError::Unscheduled { op } => write!(f, "operation `{op}` is unscheduled"),
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn instance_signal(system: &System, inst: &FuInstance) -> String {
+    let pool = match inst.process {
+        None => "shared".to_owned(),
+        Some(p) => sanitize(system.process(p).name()),
+    };
+    format!(
+        "{}_{}_{}",
+        sanitize(system.library().get(inst.rtype).name()),
+        pool,
+        inst.index
+    )
+}
+
+fn op_instance(
+    system: &System,
+    spec: &SharingSpec,
+    binding: &Binding,
+    op: OpId,
+) -> FuInstance {
+    let o = system.op(op);
+    let p = system.block(o.block()).process();
+    FuInstance {
+        rtype: o.resource_type(),
+        process: if spec.is_global_for(o.resource_type(), p) {
+            None
+        } else {
+            Some(p)
+        },
+        index: binding.instance(op),
+    }
+}
+
+fn operator_for(system: &System, inst: &FuInstance) -> &'static str {
+    let name = system.library().get(inst.rtype).name();
+    if name.contains("mul") {
+        "*"
+    } else if name.contains("sub") {
+        "-"
+    } else {
+        "+"
+    }
+}
+
+fn operand_expr(
+    system: &System,
+    registers: &RegisterAllocation,
+    process: ProcessId,
+    op: OpId,
+    port: usize,
+) -> String {
+    let preds = system.preds(op);
+    match preds.get(port) {
+        Some(&pred) => format!(
+            "{}_r{}",
+            sanitize(system.process(process).name()),
+            registers.register(pred)
+        ),
+        None => format!("{}_data_in", sanitize(system.process(process).name())),
+    }
+}
+
+/// Emits the whole system as one VHDL entity.
+///
+/// # Errors
+///
+/// Returns [`RtlError::MultiBlockProcess`] for processes with more than
+/// one block and [`RtlError::Unscheduled`] for incomplete schedules.
+pub fn emit_vhdl(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    binding: &Binding,
+    registers: &RegisterAllocation,
+    opts: &RtlOptions,
+) -> Result<String, RtlError> {
+    for (_, proc) in system.processes() {
+        if proc.blocks().len() != 1 {
+            return Err(RtlError::MultiBlockProcess {
+                process: proc.name().to_owned(),
+            });
+        }
+    }
+    for (o, op) in system.ops() {
+        if schedule.start(o).is_none() {
+            return Err(RtlError::Unscheduled {
+                op: op.name().to_owned(),
+            });
+        }
+    }
+
+    // Collect FU instances and the ops bound to each.
+    let mut instances: Vec<(FuInstance, Vec<OpId>)> = Vec::new();
+    for (o, _) in system.ops() {
+        let inst = op_instance(system, spec, binding, o);
+        match instances.iter_mut().find(|(i, _)| *i == inst) {
+            Some((_, ops)) => ops.push(o),
+            None => instances.push((inst, vec![o])),
+        }
+    }
+    instances.sort_by_key(|(a, _)| *a);
+
+    // Global slot counter modulus: lcm of every process grid spacing.
+    let slot_modulus = system
+        .process_ids()
+        .map(|p| spec.grid_spacing(system, p))
+        .fold(1u32, tcms_core::modulo::lcm);
+
+    let w = opts.width;
+    let mut v = String::new();
+    let _ = writeln!(v, "-- generated by tcms-alloc::rtl — do not edit");
+    let _ = writeln!(v, "library ieee;");
+    let _ = writeln!(v, "use ieee.std_logic_1164.all;");
+    let _ = writeln!(v, "use ieee.numeric_std.all;");
+    let _ = writeln!(v);
+    let _ = writeln!(v, "entity {} is", opts.entity);
+    let _ = writeln!(v, "  port (");
+    let _ = writeln!(v, "    clk : in std_logic;");
+    let _ = writeln!(v, "    rst : in std_logic;");
+    for (i, (_, proc)) in system.processes().enumerate() {
+        let p = sanitize(proc.name());
+        let last = i + 1 == system.num_processes();
+        let _ = writeln!(v, "    {p}_start : in std_logic;");
+        let _ = writeln!(v, "    {p}_data_in : in unsigned({} downto 0);", w - 1);
+        let _ = writeln!(
+            v,
+            "    {p}_busy : out std_logic{}",
+            if last { ");" } else { ";" }
+        );
+    }
+    let _ = writeln!(v, "end entity {};", opts.entity);
+    let _ = writeln!(v);
+    let _ = writeln!(v, "architecture rtl of {} is", opts.entity);
+
+    // Register signals.
+    for (pid, proc) in system.processes() {
+        let p = sanitize(proc.name());
+        for r in 0..registers.process_registers(pid) {
+            let _ = writeln!(
+                v,
+                "  signal {p}_r{r} : unsigned({} downto 0) := (others => '0');",
+                w - 1
+            );
+        }
+    }
+    // FU signals.
+    for (inst, _) in &instances {
+        let s = instance_signal(system, inst);
+        let _ = writeln!(v, "  signal {s}_a, {s}_b : unsigned({} downto 0);", w - 1);
+        let _ = writeln!(v, "  signal {s}_q : unsigned({} downto 0);", w - 1);
+        let rt = system.library().get(inst.rtype);
+        if rt.is_pipelined() && rt.delay() > 1 {
+            for stage in 1..rt.delay() {
+                let _ = writeln!(
+                    v,
+                    "  signal {s}_p{stage} : unsigned({} downto 0);",
+                    w - 1
+                );
+            }
+        }
+    }
+    // Control signals.
+    let _ = writeln!(
+        v,
+        "  signal slot_cnt : integer range 0 to {} := 0;",
+        slot_modulus.saturating_sub(1)
+    );
+    for (pid, proc) in system.processes() {
+        let p = sanitize(proc.name());
+        let block = proc.blocks()[0];
+        let makespan = schedule.block_makespan(system, block).max(1);
+        let _ = writeln!(v, "  signal {p}_active, {p}_pending : std_logic := '0';");
+        let _ = writeln!(v, "  signal {p}_step : integer range 0 to {};", makespan - 1);
+        let _ = pid;
+    }
+    let _ = writeln!(v, "begin");
+
+    // Functional units.
+    for (inst, _) in &instances {
+        let s = instance_signal(system, inst);
+        let rt = system.library().get(inst.rtype);
+        let op = operator_for(system, inst);
+        let expr = format!("resize({s}_a {op} {s}_b, {w})");
+        if rt.is_pipelined() && rt.delay() > 1 {
+            let _ = writeln!(v, "  -- {}: pipelined, delay {}", rt.name(), rt.delay());
+            let _ = writeln!(v, "  {s}_pipe : process(clk)");
+            let _ = writeln!(v, "  begin");
+            let _ = writeln!(v, "    if rising_edge(clk) then");
+            let _ = writeln!(v, "      {s}_p1 <= {expr};");
+            for stage in 2..rt.delay() {
+                let _ = writeln!(v, "      {s}_p{stage} <= {s}_p{};", stage - 1);
+            }
+            let _ = writeln!(v, "    end if;");
+            let _ = writeln!(v, "  end process;");
+            let _ = writeln!(v, "  {s}_q <= {s}_p{};", rt.delay() - 1);
+        } else {
+            if rt.delay() > 1 {
+                let _ = writeln!(
+                    v,
+                    "  -- {}: multi-cycle non-pipelined, modelled combinational",
+                    rt.name()
+                );
+            }
+            let _ = writeln!(v, "  {s}_q <= {expr};");
+        }
+    }
+    let _ = writeln!(v);
+
+    // Operand multiplexers: one conditional assignment per instance port.
+    for (inst, ops) in &instances {
+        let s = instance_signal(system, inst);
+        for (port, suffix) in [(0usize, "a"), (1usize, "b")] {
+            let mut arms = Vec::new();
+            for &o in ops {
+                let process = system.block(system.op(o).block()).process();
+                let p = sanitize(system.process(process).name());
+                let start = schedule.start(o).expect("checked above");
+                let src = operand_expr(system, registers, process, o, port);
+                arms.push(format!(
+                    "{src} when ({p}_active = '1' and {p}_step = {start}) else"
+                ));
+            }
+            let _ = writeln!(v, "  {s}_{suffix} <=");
+            for arm in arms {
+                let _ = writeln!(v, "    {arm}");
+            }
+            let _ = writeln!(v, "    (others => '0');");
+        }
+    }
+    let _ = writeln!(v);
+
+    // Slot counter: the static time base of the access authorization.
+    let _ = writeln!(v, "  -- free-running period-slot counter (lcm of all grids)");
+    let _ = writeln!(v, "  slots : process(clk)");
+    let _ = writeln!(v, "  begin");
+    let _ = writeln!(v, "    if rising_edge(clk) then");
+    let _ = writeln!(v, "      if rst = '1' then");
+    let _ = writeln!(v, "        slot_cnt <= 0;");
+    let _ = writeln!(v, "      elsif slot_cnt = {} then", slot_modulus - 1);
+    let _ = writeln!(v, "        slot_cnt <= 0;");
+    let _ = writeln!(v, "      else");
+    let _ = writeln!(v, "        slot_cnt <= slot_cnt + 1;");
+    let _ = writeln!(v, "      end if;");
+    let _ = writeln!(v, "    end if;");
+    let _ = writeln!(v, "  end process;");
+    let _ = writeln!(v);
+
+    // Per-process controllers.
+    for (pid, proc) in system.processes() {
+        let p = sanitize(proc.name());
+        let block = proc.blocks()[0];
+        let makespan = schedule.block_makespan(system, block).max(1);
+        let spacing = spec.grid_spacing(system, pid);
+        // Register loads grouped by the step the result is captured.
+        let mut loads: Vec<(u32, String)> = Vec::new();
+        for &o in system.block(block).ops() {
+            let start = schedule.start(o).expect("checked above");
+            let capture = start + system.delay(o) - 1;
+            let inst = op_instance(system, spec, binding, o);
+            loads.push((
+                capture,
+                format!(
+                    "{p}_r{} <= {}_q;",
+                    registers.register(o),
+                    instance_signal(system, &inst)
+                ),
+            ));
+        }
+        loads.sort();
+        let _ = writeln!(v, "  -- controller of {} (grid spacing {spacing})", proc.name());
+        let _ = writeln!(v, "  ctrl_{p} : process(clk)");
+        let _ = writeln!(v, "  begin");
+        let _ = writeln!(v, "    if rising_edge(clk) then");
+        let _ = writeln!(v, "      if rst = '1' then");
+        let _ = writeln!(v, "        {p}_active <= '0';");
+        let _ = writeln!(v, "        {p}_pending <= '0';");
+        let _ = writeln!(v, "        {p}_step <= 0;");
+        let _ = writeln!(v, "      else");
+        let _ = writeln!(v, "        if {p}_start = '1' then");
+        let _ = writeln!(v, "          {p}_pending <= '1';");
+        let _ = writeln!(v, "        end if;");
+        let _ = writeln!(
+            v,
+            "        if {p}_active = '0' and ({p}_pending = '1' or {p}_start = '1')"
+        );
+        let _ = writeln!(v, "            and (slot_cnt mod {spacing}) = {} then", spacing - 1);
+        let _ = writeln!(v, "          -- start on the next grid point");
+        let _ = writeln!(v, "          {p}_active <= '1';");
+        let _ = writeln!(v, "          {p}_pending <= '0';");
+        let _ = writeln!(v, "          {p}_step <= 0;");
+        let _ = writeln!(v, "        elsif {p}_active = '1' then");
+        let _ = writeln!(v, "          case {p}_step is");
+        let mut i = 0usize;
+        while i < loads.len() {
+            let step = loads[i].0;
+            let _ = writeln!(v, "            when {step} =>");
+            while i < loads.len() && loads[i].0 == step {
+                let _ = writeln!(v, "              {}", loads[i].1);
+                i += 1;
+            }
+        }
+        let _ = writeln!(v, "            when others => null;");
+        let _ = writeln!(v, "          end case;");
+        let _ = writeln!(v, "          if {p}_step = {} then", makespan - 1);
+        let _ = writeln!(v, "            {p}_active <= '0';");
+        let _ = writeln!(v, "          else");
+        let _ = writeln!(v, "            {p}_step <= {p}_step + 1;");
+        let _ = writeln!(v, "          end if;");
+        let _ = writeln!(v, "        end if;");
+        let _ = writeln!(v, "      end if;");
+        let _ = writeln!(v, "    end if;");
+        let _ = writeln!(v, "  end process;");
+        let _ = writeln!(v, "  {p}_busy <= {p}_active or {p}_pending;");
+        let _ = writeln!(v);
+    }
+    let _ = writeln!(v, "end architecture rtl;");
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_system;
+    use crate::regalloc::allocate_registers;
+    use tcms_core::ModuloScheduler;
+    use tcms_ir::generators::paper_system;
+
+    fn emit() -> (tcms_ir::System, String) {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
+        let regs = allocate_registers(&sys, &out.schedule);
+        let vhdl = emit_vhdl(
+            &sys,
+            &spec,
+            &out.schedule,
+            &binding,
+            &regs,
+            &RtlOptions::default(),
+        )
+        .unwrap();
+        (sys, vhdl)
+    }
+
+    #[test]
+    fn entity_and_architecture_present() {
+        let (_, vhdl) = emit();
+        assert!(vhdl.contains("entity tcms_top is"));
+        assert!(vhdl.contains("architecture rtl of tcms_top is"));
+        assert!(vhdl.trim_end().ends_with("end architecture rtl;"));
+    }
+
+    #[test]
+    fn one_controller_per_process_and_ports() {
+        let (sys, vhdl) = emit();
+        for (_, proc) in sys.processes() {
+            let p = proc.name();
+            assert!(vhdl.contains(&format!("ctrl_{p} : process(clk)")), "{p}");
+            assert!(vhdl.contains(&format!("{p}_start : in std_logic;")));
+            assert!(vhdl.contains(&format!("{p}_busy : out std_logic")));
+        }
+    }
+
+    #[test]
+    fn shared_units_exist_with_pipelines() {
+        let (_, vhdl) = emit();
+        // The shared multipliers are pipelined (delay 2 -> one stage reg).
+        assert!(vhdl.contains("mul_shared_0_pipe : process(clk)"));
+        assert!(vhdl.contains("mul_shared_0_q <= mul_shared_0_p1;"));
+        // Adders are combinational.
+        assert!(vhdl.contains("add_shared_0_q <= resize(add_shared_0_a + add_shared_0_b, 16);"));
+    }
+
+    #[test]
+    fn grid_alignment_gate_emitted() {
+        let (_, vhdl) = emit();
+        // Every process has grid spacing 5 on the paper system.
+        assert!(vhdl.contains("(slot_cnt mod 5) = 4"));
+        assert!(vhdl.contains("signal slot_cnt : integer range 0 to 4"));
+    }
+
+    #[test]
+    fn structure_is_balanced() {
+        let (_, vhdl) = emit();
+        let opens = vhdl.matches(" : process(clk)").count();
+        let closes = vhdl.matches("end process;").count();
+        assert_eq!(opens, closes);
+        let cases = vhdl.matches("case ").count();
+        let end_cases = vhdl.matches("end case;").count();
+        assert_eq!(cases, end_cases);
+    }
+
+    #[test]
+    fn every_register_is_declared_and_loaded() {
+        let (sys, vhdl) = emit();
+        let regs = {
+            let spec = SharingSpec::all_global(&sys, 5);
+            let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+            allocate_registers(&sys, &out.schedule)
+        };
+        for (pid, proc) in sys.processes() {
+            for r in 0..regs.process_registers(pid) {
+                let sig = format!("{}_r{r}", proc.name());
+                assert!(vhdl.contains(&format!("signal {sig} :")), "{sig} declared");
+                assert!(vhdl.contains(&format!("{sig} <= ")), "{sig} loaded");
+            }
+        }
+    }
+
+    #[test]
+    fn multiblock_process_rejected() {
+        use tcms_ir::generators::paper_library;
+        use tcms_ir::SystemBuilder;
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("P");
+        let b1 = b.add_block(p, "b1", 4).unwrap();
+        b.add_op(b1, "x", types.add).unwrap();
+        let b2 = b.add_block(p, "b2", 4).unwrap();
+        b.add_op(b2, "y", types.add).unwrap();
+        let p2 = b.add_process("Q");
+        let b3 = b.add_block(p2, "b", 4).unwrap();
+        b.add_op(b3, "z", types.add).unwrap();
+        let sys = b.build().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
+        let regs = allocate_registers(&sys, &out.schedule);
+        let err = emit_vhdl(
+            &sys,
+            &spec,
+            &out.schedule,
+            &binding,
+            &regs,
+            &RtlOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtlError::MultiBlockProcess { .. }));
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion bench comparing the original force-directed scheduling
+//! against the improved (gradual-reduction) variant on the elliptical
+//! wave filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcms_fds::fds::schedule_block_fds;
+use tcms_fds::{schedule_block_ifds, FdsConfig};
+use tcms_ir::generators::{add_ewf_process, paper_library};
+use tcms_ir::SystemBuilder;
+
+fn ewf(time: u32) -> (tcms_ir::System, tcms_ir::BlockId) {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    let (_, blk) = add_ewf_process(&mut b, "P", time, types).expect("builds");
+    (b.build().expect("valid"), blk)
+}
+
+fn bench_fds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fds_vs_ifds");
+    group.sample_size(10);
+    for time in [17u32, 20, 25] {
+        let (sys, blk) = ewf(time);
+        group.bench_with_input(BenchmarkId::new("original_fds", time), &time, |b, _| {
+            b.iter(|| black_box(schedule_block_fds(&sys, blk, &FdsConfig::default()).iterations))
+        });
+        group.bench_with_input(BenchmarkId::new("ifds", time), &time, |b, _| {
+            b.iter(|| black_box(schedule_block_ifds(&sys, blk, &FdsConfig::default()).iterations))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fds);
+criterion_main!(benches);

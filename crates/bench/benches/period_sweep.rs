@@ -1,0 +1,26 @@
+//! Criterion bench over the access period (§3.2 trade-off): scheduling
+//! cost as the period grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcms_core::{ModuloScheduler, SharingSpec};
+use tcms_ir::generators::paper_system;
+
+fn bench_periods(c: &mut Criterion) {
+    let (system, _) = paper_system().expect("paper system builds");
+    let mut group = c.benchmark_group("period_sweep");
+    group.sample_size(10);
+    for period in [2u32, 5, 10, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            b.iter(|| {
+                let spec = SharingSpec::all_global(&system, p);
+                let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+                black_box(out.report().total_area())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_periods);
+criterion_main!(benches);

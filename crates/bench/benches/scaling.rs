@@ -1,0 +1,34 @@
+//! Criterion bench: coupled scheduling cost vs. process count on seeded
+//! random systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcms_core::{ModuloScheduler, SharingSpec};
+use tcms_ir::generators::{random_system, RandomSystemConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for processes in [2usize, 4, 8] {
+        let cfg = RandomSystemConfig {
+            processes,
+            ..RandomSystemConfig::default()
+        };
+        let (system, _) = random_system(&cfg, 42).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(processes),
+            &processes,
+            |b, _| {
+                b.iter(|| {
+                    let spec = SharingSpec::all_global(&system, 4);
+                    let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+                    black_box(out.iterations)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Table-1 runs: wall-clock scheduling time of the
+//! coupled modulo-global run vs. the traditional per-block local run
+//! (the paper reports 171 iterations in seconds-range runtimes on a
+//! Pentium 133; shapes, not absolute numbers, are the target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcms_core::{ModuloScheduler, SharingSpec};
+use tcms_ir::generators::paper_system;
+
+fn bench_table1(c: &mut Criterion) {
+    let (system, _) = paper_system().expect("paper system builds");
+    let mut group = c.benchmark_group("table1_scheduling");
+    group.sample_size(10);
+    group.bench_function("global_modulo", |b| {
+        b.iter(|| {
+            let spec = SharingSpec::all_global(&system, 5);
+            let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+            black_box(out.report().total_area())
+        })
+    });
+    group.bench_function("pure_local", |b| {
+        b.iter(|| {
+            let spec = SharingSpec::all_local(&system);
+            let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+            black_box(out.report().total_area())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

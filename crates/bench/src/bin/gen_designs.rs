@@ -1,0 +1,9 @@
+//! Regenerates the checked-in `designs/` inputs from the generators.
+
+fn main() {
+    let (sys, _) = tcms_ir::generators::paper_system().expect("paper system builds");
+    std::fs::create_dir_all("designs").expect("create designs dir");
+    std::fs::write("designs/paper_table1.dfg", tcms_ir::display::to_dfg(&sys))
+        .expect("write design");
+    println!("wrote designs/paper_table1.dfg");
+}

@@ -1,0 +1,41 @@
+//! Runs every reproduction binary in sequence — the one-shot harness that
+//! regenerates all tables, figures and ablations of EXPERIMENTS.md.
+
+use std::process::Command;
+
+const TARGETS: &[&str] = &[
+    "repro_table1",
+    "repro_figure1",
+    "repro_figure2",
+    "repro_period_sweep",
+    "repro_scope_ablation",
+    "repro_budget_sensitivity",
+    "repro_merging_baseline",
+    "repro_alu_ablation",
+    "repro_mixed_periods",
+    "repro_optimality_gap",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = 0;
+    for target in TARGETS {
+        println!("==================== {target} ====================");
+        let status = Command::new(exe_dir.join(target))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
+        if !status.success() {
+            eprintln!("{target} FAILED ({status})");
+            failures += 1;
+        }
+        println!();
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("all {} reproduction targets completed", TARGETS.len());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 1 of the paper: the periodic access-authorization
+//! mapping of one process onto a globally shared resource type.
+
+fn main() {
+    let fig = tcms_bench::run_figure1();
+    print!("{}", fig.rendered);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2 of the paper: per-placement forces of the
+//! unmodified and the first-part-modified IFDS algorithm on the
+//! two-operation block, showing the periodic-alignment preference.
+
+fn main() {
+    let fig = tcms_bench::run_figure2();
+    print!("{}", fig.rendered);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 of the paper: scheduling results of the
+//! multi-process example (3 elliptical wave filters + 2 diffeq solvers),
+//! modulo-global vs. traditional pure-local assignment.
+
+fn main() {
+    let results = tcms_bench::run_table1();
+    print!("{}", tcms_bench::render_table1(&results));
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Benchmark harness reproducing every table and figure of the paper.
+//!
+//! * [`experiments`] — reusable runners for Table 1, Figure 1 and Figure 2
+//!   plus the render functions the `repro_*` binaries print,
+//! * [`table`] — fixed-width text tables.
+//!
+//! Binaries (run with `cargo run -p tcms-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `repro_table1` | Table 1: global vs. pure-local resource counts/area |
+//! | `repro_figure1` | Figure 1: periodic access-authorization mapping |
+//! | `repro_figure2` | Figure 2: unmodified vs. modified force ratings |
+//! | `repro_period_sweep` | §3.2 period trade-off curve |
+//! | `repro_scope_ablation` | per-type local/global ablation of step (S1) |
+//!
+//! Criterion benches (`cargo bench -p tcms-bench`) measure the scheduling
+//! runtimes the paper reports alongside Table 1, the FDS-vs-IFDS baseline
+//! gap and scaling with system size.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    paper_spec, render_table1, run_figure1, run_figure2, run_table1, Figure1Data, Figure2Data,
+    Table1Results, Table1Run,
+};
+pub use table::{float_profile, profile, TextTable};

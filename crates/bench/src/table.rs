@@ -1,0 +1,106 @@
+//! Minimal fixed-width text tables for experiment output.
+
+/// A left-aligned text table built row by row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row of cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a separator row (rendered as dashes spanning each column).
+    pub fn sep(&mut self) -> &mut Self {
+        self.rows.push(vec!["--".to_owned()]);
+        self
+    }
+
+    /// Renders with two spaces between columns.
+    pub fn render(&self) -> String {
+        let cols = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in &self.rows {
+            if row.len() == 1 && row[0] == "--" {
+                continue;
+            }
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let mut out = String::new();
+        for row in &self.rows {
+            if row.len() == 1 && row[0] == "--" {
+                out.push_str(&"-".repeat(total));
+            } else {
+                let mut line = String::new();
+                for (i, c) in row.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str("  ");
+                    }
+                    line.push_str(&format!("{c:<width$}", width = widths[i]));
+                }
+                out.push_str(line.trim_end());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a slot profile like `1 0 2 0 1`.
+pub fn profile(counts: &[u32]) -> String {
+    counts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Formats a float profile with one decimal, like `0.3 1.0 0.0`.
+pub fn float_profile(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:.2}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new();
+        t.row(["type", "count"]);
+        t.sep();
+        t.row(["mul", "3"]);
+        t.row(["add", "12"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "type  count");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "mul   3");
+        assert_eq!(lines[3], "add   12");
+    }
+
+    #[test]
+    fn profiles_format() {
+        assert_eq!(profile(&[1, 0, 2]), "1 0 2");
+        assert_eq!(float_profile(&[0.5, 1.0]), "0.50 1.00");
+    }
+}

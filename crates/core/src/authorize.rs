@@ -1,0 +1,176 @@
+//! Periodic access-authorization tables (paper §3.2, Figure 1).
+//!
+//! After scheduling, every global resource type gets a table granting each
+//! process of its sharing group a number of instances per period slot τ.
+//! A grant for slot τ is valid at *every* absolute time step `t` with
+//! `t mod ρ = τ` (equation 1) — the access control is fully static and
+//! needs no runtime executive.
+
+use tcms_fds::Schedule;
+use tcms_ir::{ProcessId, ResourceTypeId, System};
+
+use crate::assign::SharingSpec;
+use crate::modulo::modulo_max_counts;
+
+/// Static periodic authorization for one global resource type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthorizationTable {
+    rtype: ResourceTypeId,
+    period: u32,
+    grants: Vec<(ProcessId, Vec<u32>)>,
+    pool: u32,
+}
+
+impl AuthorizationTable {
+    /// Derives the table of `rtype` from a finished schedule.
+    ///
+    /// Returns `None` if `rtype` is not globally shared in `spec`.
+    pub fn from_schedule(
+        system: &System,
+        spec: &SharingSpec,
+        schedule: &Schedule,
+        rtype: ResourceTypeId,
+    ) -> Option<Self> {
+        let group = spec.group(rtype)?;
+        let period = spec.period(rtype).expect("global types have periods");
+        let mut grants = Vec::with_capacity(group.len());
+        for &p in group {
+            // Blocks of one process never overlap: their needs combine by
+            // the slot-wise maximum (equation 9, integer form).
+            let mut profile = vec![0u32; period as usize];
+            for &b in system.process(p).blocks() {
+                let usage = schedule.usage(system, b, rtype);
+                let folded = modulo_max_counts(&usage, period);
+                for (slot, v) in folded.into_iter().enumerate() {
+                    profile[slot] = profile[slot].max(v);
+                }
+            }
+            grants.push((p, profile));
+        }
+        let pool = (0..period as usize)
+            .map(|slot| grants.iter().map(|(_, g)| g[slot]).sum::<u32>())
+            .max()
+            .unwrap_or(0);
+        Some(AuthorizationTable {
+            rtype,
+            period,
+            grants,
+            pool,
+        })
+    }
+
+    /// The authorized resource type.
+    pub fn resource_type(&self) -> ResourceTypeId {
+        self.rtype
+    }
+
+    /// The access period ρ.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// The shared instance count: `max_τ Σ_p grant_p(τ)`.
+    pub fn pool(&self) -> u32 {
+        self.pool
+    }
+
+    /// Instances granted to `process` in period slot `slot`.
+    ///
+    /// Returns 0 for processes outside the group.
+    pub fn granted(&self, process: ProcessId, slot: u32) -> u32 {
+        self.grants
+            .iter()
+            .find(|(p, _)| *p == process)
+            .map_or(0, |(_, g)| g[(slot % self.period) as usize])
+    }
+
+    /// Instances `process` may use at absolute time `t` (equation 1).
+    pub fn granted_at(&self, process: ProcessId, t: u64) -> u32 {
+        self.granted(process, (t % u64::from(self.period)) as u32)
+    }
+
+    /// Per-process grant profiles in group order.
+    pub fn grants(&self) -> &[(ProcessId, Vec<u32>)] {
+        &self.grants
+    }
+
+    /// Total grants per slot (never exceeds [`AuthorizationTable::pool`]).
+    pub fn slot_totals(&self) -> Vec<u32> {
+        (0..self.period as usize)
+            .map(|slot| self.grants.iter().map(|(_, g)| g[slot]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ModuloScheduler;
+    use crate::SharingSpec;
+    use tcms_ir::generators::paper_system;
+
+    #[test]
+    fn table_matches_schedule_usage() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let table =
+            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).unwrap();
+        assert_eq!(table.period(), 5);
+        assert_eq!(table.grants().len(), 5);
+        // Every process's actual usage fits its grant at every time step.
+        for (pid, _) in sys.processes() {
+            for &b in sys.process(pid).blocks() {
+                let usage = out.schedule.usage(&sys, b, t.mul);
+                for (time, &u) in usage.iter().enumerate() {
+                    assert!(u <= table.granted(pid, (time % 5) as u32));
+                }
+            }
+        }
+        // Pool covers the slot totals.
+        assert_eq!(
+            table.pool(),
+            table.slot_totals().into_iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn local_type_has_no_table() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        assert!(
+            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).is_none()
+        );
+    }
+
+    #[test]
+    fn granted_at_is_periodic() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let table =
+            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.add).unwrap();
+        let p0 = sys.process_ids().next().unwrap();
+        for t0 in 0..5u64 {
+            assert_eq!(
+                table.granted_at(p0, t0),
+                table.granted_at(p0, t0 + 5 * 1234)
+            );
+        }
+    }
+
+    #[test]
+    fn outside_process_gets_zero() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        // Subtracter group contains only the diffeq processes.
+        let table =
+            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.sub).unwrap();
+        let p1 = sys.process_by_name("P1").unwrap();
+        for slot in 0..5 {
+            assert_eq!(table.granted(p1, slot), 0);
+        }
+    }
+}

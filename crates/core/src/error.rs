@@ -1,0 +1,115 @@
+//! Errors of the modulo-scheduling layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating a sharing specification or running the
+/// resource-constrained variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A global group needs at least two processes (otherwise the type is
+    /// local by definition).
+    GroupTooSmall {
+        /// Resource type name.
+        rtype: String,
+    },
+    /// A process was listed in a global group but never uses the type.
+    ProcessDoesNotUseType {
+        /// Resource type name.
+        rtype: String,
+        /// Offending process name.
+        process: String,
+    },
+    /// A process appears twice in one global group.
+    DuplicateProcessInGroup {
+        /// Resource type name.
+        rtype: String,
+        /// Duplicated process name.
+        process: String,
+    },
+    /// A global type without a period.
+    MissingPeriod {
+        /// Resource type name.
+        rtype: String,
+    },
+    /// Periods must be at least 1.
+    ZeroPeriod {
+        /// Resource type name.
+        rtype: String,
+    },
+    /// The resource-constrained scheduler could not fit a block within its
+    /// time range under the given instance counts.
+    ResourceInfeasible {
+        /// Block that failed to fit.
+        block: String,
+        /// The block's time range.
+        time_range: u32,
+    },
+    /// An instance-count vector passed to the resource-constrained
+    /// scheduler has a zero entry for a used type.
+    ZeroInstances {
+        /// Resource type name.
+        rtype: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::GroupTooSmall { rtype } => {
+                write!(f, "global group for `{rtype}` needs at least two processes")
+            }
+            CoreError::ProcessDoesNotUseType { rtype, process } => {
+                write!(f, "process `{process}` does not use resource type `{rtype}`")
+            }
+            CoreError::DuplicateProcessInGroup { rtype, process } => {
+                write!(f, "process `{process}` listed twice in the group of `{rtype}`")
+            }
+            CoreError::MissingPeriod { rtype } => {
+                write!(f, "global type `{rtype}` has no period")
+            }
+            CoreError::ZeroPeriod { rtype } => {
+                write!(f, "period of `{rtype}` must be at least 1")
+            }
+            CoreError::ResourceInfeasible { block, time_range } => write!(
+                f,
+                "block `{block}` does not fit its time range {time_range} under the instance limits"
+            ),
+            CoreError::ZeroInstances { rtype } => {
+                write!(f, "instance count for used type `{rtype}` is zero")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        let errors = [
+            CoreError::GroupTooSmall { rtype: "mul".into() },
+            CoreError::ProcessDoesNotUseType {
+                rtype: "mul".into(),
+                process: "P1".into(),
+            },
+            CoreError::DuplicateProcessInGroup {
+                rtype: "mul".into(),
+                process: "P1".into(),
+            },
+            CoreError::MissingPeriod { rtype: "mul".into() },
+            CoreError::ZeroPeriod { rtype: "mul".into() },
+            CoreError::ResourceInfeasible {
+                block: "body".into(),
+                time_range: 15,
+            },
+            CoreError::ZeroInstances { rtype: "mul".into() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

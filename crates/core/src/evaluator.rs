@@ -1,0 +1,200 @@
+//! The modified force model (paper §5, equation 10).
+//!
+//! The modification is two-part:
+//!
+//! 1. **Periodic alignment** (§5.1): for globally shared types the spring
+//!    displacement is measured on the modulo-max-transformed profile, so
+//!    changes hidden under the slot maximum are free and operations align
+//!    to already-authorized slots.
+//! 2. **Global balancing** (§5.2): the springs themselves are the
+//!    group-summed profile `G_k`, so the force balances the requirement
+//!    across all processes of the sharing group.
+//!
+//! Local types keep the classical per-block force, and precedence-implied
+//! frame changes are priced exactly like in the unmodified algorithm.
+
+use tcms_fds::{FdsConfig, ForceEvaluator};
+use tcms_ir::{BlockId, FrameTable, OpId, ResourceTypeId, System, TimeFrame};
+
+use crate::assign::SharingSpec;
+use crate::field::ModuloField;
+
+/// Force evaluator implementing the two-part modification of the IFDS
+/// algorithm. Plugs into [`tcms_fds::IfdsEngine`].
+#[derive(Debug, Clone)]
+pub struct ModuloEvaluator<'a> {
+    system: &'a System,
+    config: FdsConfig,
+    field: ModuloField<'a>,
+}
+
+impl<'a> ModuloEvaluator<'a> {
+    /// Builds the evaluator; `frames` must be the engine's initial table.
+    pub fn new(
+        system: &'a System,
+        spec: SharingSpec,
+        config: FdsConfig,
+        frames: &FrameTable,
+    ) -> Self {
+        ModuloEvaluator {
+            system,
+            config,
+            field: ModuloField::new(system, spec, frames),
+        }
+    }
+
+    /// Read access to the maintained field (used by reports and tests).
+    pub fn field(&self) -> &ModuloField<'a> {
+        &self.field
+    }
+
+    /// Probability deltas of `changed`, grouped per `(block, type)`.
+    fn deltas(
+        &self,
+        frames: &FrameTable,
+        changed: &[(OpId, TimeFrame)],
+    ) -> (Vec<(BlockId, ResourceTypeId)>, Vec<Vec<f64>>) {
+        let mut keys: Vec<(BlockId, ResourceTypeId)> = Vec::new();
+        let mut bufs: Vec<Vec<f64>> = Vec::new();
+        for &(o, nf) in changed {
+            let op = self.system.op(o);
+            let key = (op.block(), op.resource_type());
+            let i = keys.iter().position(|&k| k == key).unwrap_or_else(|| {
+                keys.push(key);
+                bufs.push(vec![0.0; self.system.block(key.0).time_range() as usize]);
+                keys.len() - 1
+            });
+            let occ = self.system.occupancy(o);
+            tcms_fds::prob::accumulate(&mut bufs[i], nf, occ, 1.0);
+            tcms_fds::prob::accumulate(&mut bufs[i], frames.get(o), occ, -1.0);
+        }
+        (keys, bufs)
+    }
+}
+
+impl ForceEvaluator for ModuloEvaluator<'_> {
+    fn force(&self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) -> f64 {
+        let (keys, bufs) = self.deltas(frames, changed);
+        let spec = self.field.spec();
+        let mut total = 0.0;
+        for (i, &(b, k)) in keys.iter().enumerate() {
+            let w = self
+                .config
+                .spring_weights
+                .weight(self.system.library(), k);
+            let process = self.system.block(b).process();
+            if spec.is_global_for(k, process) {
+                // Modified force: displacement of the balanced global
+                // profile (equations 7-10).
+                let g = self.field.group_profile(k);
+                let x = self.field.tentative_group_delta(b, k, &bufs[i]);
+                for (slot, &xv) in x.iter().enumerate() {
+                    if xv != 0.0 {
+                        total += w * (g[slot] + self.config.lookahead * xv) * xv;
+                    }
+                }
+            } else {
+                // Classical force on the per-block distribution.
+                let d = self.field.distributions().get(b, k);
+                for (t, &xv) in bufs[i].iter().enumerate() {
+                    if xv != 0.0 {
+                        total += w * (d[t] + self.config.lookahead * xv) * xv;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) {
+        let (keys, bufs) = self.deltas(frames, changed);
+        for (i, &(b, k)) in keys.iter().enumerate() {
+            self.field.apply_delta(b, k, &bufs[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_fds::IfdsEngine;
+    use tcms_ir::generators::{paper_library, paper_system};
+    use tcms_ir::SystemBuilder;
+
+    #[test]
+    fn modified_force_prefers_periodic_alignment() {
+        // The Figure-2 situation: with y fixed at time 1 and period 2, the
+        // modified force must prefer placing x at time 3 (same slot as y,
+        // hidden under the max) over time 0 or 2 in a fresh slot.
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let p1 = b.add_process("P1");
+        let blk1 = b.add_block(p1, "body", 4).unwrap();
+        let x = b.add_op(blk1, "x", types.add).unwrap();
+        let y = b.add_op(blk1, "y", types.add).unwrap();
+        let p2 = b.add_process("P2");
+        let blk2 = b.add_block(p2, "body", 4).unwrap();
+        let z = b.add_op(blk2, "z", types.add).unwrap();
+        let sys2 = b.build().unwrap();
+        let mut spec = SharingSpec::all_local(&sys2);
+        spec.set_global(types.add, vec![p1, p2], 2);
+        spec.validate(&sys2).unwrap();
+
+        let mut frames = FrameTable::initial(&sys2);
+        frames.set(y, TimeFrame::new(1, 1));
+        frames.set(z, TimeFrame::new(0, 0));
+        let eval = ModuloEvaluator::new(&sys2, spec, FdsConfig::default(), &frames);
+
+        let f_slot1 = eval.force(&frames, &[(x, TimeFrame::new(3, 3))]);
+        let f_slot0 = eval.force(&frames, &[(x, TimeFrame::new(0, 0))]);
+        let f_slot0b = eval.force(&frames, &[(x, TimeFrame::new(2, 2))]);
+        assert!(
+            f_slot1 < f_slot0 && f_slot1 < f_slot0b,
+            "aligned placement {f_slot1} must beat {f_slot0}/{f_slot0b}"
+        );
+    }
+
+    #[test]
+    fn commit_keeps_field_consistent_with_rebuild() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let mut eval =
+            ModuloEvaluator::new(&sys, spec.clone(), FdsConfig::default(), &frames);
+        // Fix the first op of the first block to its ASAP time and commit.
+        let block = sys.block_ids().next().unwrap();
+        let op = sys.block(block).ops()[0];
+        let nf = TimeFrame::new(frames.get(op).asap, frames.get(op).asap);
+        let mut new_frames = frames.clone();
+        new_frames.set(op, nf);
+        eval.commit(&frames, &[(op, nf)]);
+        let rebuilt = ModuloField::new(&sys, spec, &new_frames);
+        for slot in 0..5 {
+            assert!(
+                (eval.field().group_profile(t.mul)[slot]
+                    - rebuilt.group_profile(t.mul)[slot])
+                    .abs()
+                    < 1e-9
+            );
+            assert!(
+                (eval.field().group_profile(t.add)[slot]
+                    - rebuilt.group_profile(t.add)[slot])
+                    .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn engine_with_modulo_evaluator_produces_valid_schedule() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let scope: Vec<_> = sys.block_ids().collect();
+        let engine = IfdsEngine::new(&sys, scope);
+        let mut eval =
+            ModuloEvaluator::new(&sys, spec, FdsConfig::default(), engine.frames());
+        let out = engine.run(&mut eval);
+        out.schedule.verify(&sys).unwrap();
+        assert!(out.iterations > 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Exact minimal-area modulo scheduling by branch and bound.
+//!
+//! A reference implementation for *small* systems: depth-first search over
+//! all feasible start-time assignments, pruning with the (monotone)
+//! partial-area lower bound. Because adding an operation can only raise
+//! usage profiles, the area of a partial assignment — plus one instance
+//! for every still-unseen used type — is an admissible bound.
+//!
+//! Used by the tests and the ablation benches to quantify how far the
+//! coupled force-directed heuristic is from the optimum; it is
+//! exponential and guarded by a node limit.
+
+use tcms_fds::Schedule;
+use tcms_ir::{FrameTable, OpId, System};
+
+use crate::assign::SharingSpec;
+use crate::error::CoreError;
+use crate::modulo::modulo_max_counts;
+
+/// Result of an exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactOutcome {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its total area.
+    pub area: u64,
+    /// Search nodes expanded.
+    pub nodes: u64,
+    /// `false` if the node limit cut the search (the result is then only
+    /// an upper bound, not a proven optimum).
+    pub complete: bool,
+}
+
+struct Search<'a> {
+    system: &'a System,
+    spec: &'a SharingSpec,
+    frames: FrameTable,
+    order: Vec<OpId>,
+    starts: Vec<Option<u32>>,
+    best: Option<(u64, Vec<Option<u32>>)>,
+    nodes: u64,
+    node_limit: u64,
+}
+
+impl Search<'_> {
+    /// Area of the partial assignment plus one instance for every used
+    /// type that has no scheduled operation yet.
+    fn lower_bound(&self) -> u64 {
+        let mut area = 0u64;
+        for (k, rt) in self.system.library().iter() {
+            let group = self.spec.group(k).unwrap_or(&[]);
+            let mut instances = 0u64;
+            // Global pool from the partial profiles.
+            if !group.is_empty() {
+                let period = self.spec.period(k).expect("global types have periods");
+                let mut slot_totals = vec![0u32; period as usize];
+                for &p in group {
+                    let mut profile = vec![0u32; period as usize];
+                    for &b in self.system.process(p).blocks() {
+                        let usage = self.partial_usage(b, k);
+                        for (slot, v) in
+                            modulo_max_counts(&usage, period).into_iter().enumerate()
+                        {
+                            profile[slot] = profile[slot].max(v);
+                        }
+                    }
+                    for (slot, v) in profile.into_iter().enumerate() {
+                        slot_totals[slot] += v;
+                    }
+                }
+                let mut pool = u64::from(slot_totals.into_iter().max().unwrap_or(0));
+                // Any group process with unscheduled ops of this type will
+                // need at least one instance overall.
+                if pool == 0 && self.type_has_remaining_ops(k) {
+                    pool = 1;
+                }
+                instances += pool;
+            }
+            // Local pools.
+            for p in self.system.users_of_type(k) {
+                if group.contains(&p) {
+                    continue;
+                }
+                let mut peak = 0u32;
+                let mut has_ops = false;
+                for &b in self.system.process(p).blocks() {
+                    has_ops |= !self.system.ops_of_type(b, k).is_empty();
+                    peak = peak.max(
+                        self.partial_usage(b, k).into_iter().max().unwrap_or(0),
+                    );
+                }
+                instances += u64::from(peak.max(u32::from(has_ops)));
+            }
+            area += instances * rt.area();
+        }
+        area
+    }
+
+    fn type_has_remaining_ops(&self, k: tcms_ir::ResourceTypeId) -> bool {
+        self.system
+            .ops()
+            .any(|(o, op)| op.resource_type() == k && self.starts[o.index()].is_none())
+    }
+
+    fn partial_usage(&self, block: tcms_ir::BlockId, k: tcms_ir::ResourceTypeId) -> Vec<u32> {
+        let mut usage = vec![0u32; self.system.block(block).time_range() as usize];
+        for o in self.system.ops_of_type(block, k) {
+            if let Some(s) = self.starts[o.index()] {
+                for t in s..s + self.system.occupancy(o) {
+                    usage[t as usize] += 1;
+                }
+            }
+        }
+        usage
+    }
+
+    fn dfs(&mut self, depth: usize) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            return;
+        }
+        let bound = self.lower_bound();
+        if let Some((best_area, _)) = &self.best {
+            if bound >= *best_area {
+                return;
+            }
+        }
+        if depth == self.order.len() {
+            self.best = Some((bound, self.starts.clone()));
+            return;
+        }
+        let o = self.order[depth];
+        let ready = self
+            .system
+            .preds(o)
+            .iter()
+            .map(|&p| self.starts[p.index()].expect("preds scheduled first") + self.system.delay(p))
+            .max()
+            .unwrap_or(0);
+        let frame = self.frames.get(o);
+        for t in ready.max(frame.asap)..=frame.alap {
+            self.starts[o.index()] = Some(t);
+            self.dfs(depth + 1);
+            self.starts[o.index()] = None;
+            if self.nodes > self.node_limit {
+                return;
+            }
+        }
+    }
+}
+
+/// Finds the area-minimal schedule of the whole system under `spec`.
+///
+/// `node_limit` bounds the search; when it is hit, the best schedule found
+/// so far is returned with `complete == false` (or `None` if nothing was
+/// completed yet).
+///
+/// # Errors
+///
+/// Propagates validation errors of `spec`.
+pub fn exact_schedule(
+    system: &System,
+    spec: &SharingSpec,
+    node_limit: u64,
+) -> Result<Option<ExactOutcome>, CoreError> {
+    spec.validate(system)?;
+    let frames = FrameTable::initial(system);
+    // Ops in ALAP-sorted topological order per block, blocks sequential.
+    let mut order = Vec::with_capacity(system.num_ops());
+    for b in system.block_ids() {
+        let mut ops = system.topo_order(b).to_vec();
+        ops.sort_by_key(|&o| (frames.get(o).alap, o));
+        order.extend(ops);
+    }
+    let mut search = Search {
+        system,
+        spec,
+        frames,
+        order,
+        starts: vec![None; system.num_ops()],
+        best: None,
+        nodes: 0,
+        node_limit,
+    };
+    search.dfs(0);
+    let complete = search.nodes <= search.node_limit;
+    Ok(search.best.map(|(area, starts)| {
+        let mut schedule = Schedule::new(system.num_ops());
+        for (i, s) in starts.iter().enumerate() {
+            schedule.set(OpId::from_index(i), s.expect("complete assignment"));
+        }
+        ExactOutcome {
+            schedule,
+            area,
+            nodes: search.nodes,
+            complete,
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::compute_report;
+    use crate::scheduler::ModuloScheduler;
+    use tcms_ir::generators::{paper_library, random_system, RandomSystemConfig};
+    use tcms_ir::SystemBuilder;
+
+    fn tiny_two_process() -> (System, SharingSpec) {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let p0 = b.add_process("A");
+        let b0 = b.add_block(p0, "body", 6).unwrap();
+        let m0 = b.add_op(b0, "m0", types.mul).unwrap();
+        let a0 = b.add_op_with_preds(b0, "a0", types.add, &[m0]).unwrap();
+        let _ = b.add_op_with_preds(b0, "a1", types.add, &[a0]).unwrap();
+        let p1 = b.add_process("B");
+        let b1 = b.add_block(p1, "body", 6).unwrap();
+        let m1 = b.add_op(b1, "m1", types.mul).unwrap();
+        let _ = b.add_op_with_preds(b1, "a2", types.add, &[m1]).unwrap();
+        let sys = b.build().unwrap();
+        let spec = SharingSpec::all_global(&sys, 2);
+        (sys, spec)
+    }
+
+    #[test]
+    fn exact_finds_single_shared_units() {
+        let (sys, spec) = tiny_two_process();
+        let exact = exact_schedule(&sys, &spec, 1_000_000).unwrap().unwrap();
+        assert!(exact.complete);
+        exact.schedule.verify(&sys).unwrap();
+        let report = compute_report(&sys, &spec, &exact.schedule);
+        let mul = sys.library().by_name("mul").unwrap();
+        let add = sys.library().by_name("add").unwrap();
+        // One multiplier and one adder suffice with period-2 interleaving.
+        assert_eq!(report.instances(mul), 1);
+        assert_eq!(report.instances(add), 1);
+        assert_eq!(exact.area, report.total_area());
+    }
+
+    #[test]
+    fn heuristic_never_beats_exact() {
+        for seed in 0..6 {
+            let cfg = RandomSystemConfig {
+                processes: 2,
+                blocks_per_process: 1,
+                layers: 2,
+                ops_per_layer: (1, 2),
+                edge_prob: 0.5,
+                slack: 2.0,
+                type_weights: [2, 1, 1],
+            };
+            let (sys, _) = random_system(&cfg, seed).unwrap();
+            let spec = SharingSpec::all_global(&sys, 2);
+            if !crate::period::spacing_feasible(&sys, &spec) {
+                continue;
+            }
+            let exact = exact_schedule(&sys, &spec, 2_000_000).unwrap().unwrap();
+            if !exact.complete {
+                continue;
+            }
+            let heuristic = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+            let h_area = heuristic.report().total_area();
+            assert!(
+                h_area >= exact.area,
+                "seed {seed}: heuristic {h_area} below proven optimum {}",
+                exact.area
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_is_near_optimal_on_tiny_systems() {
+        let mut total_h = 0u64;
+        let mut total_e = 0u64;
+        for seed in 0..6 {
+            let cfg = RandomSystemConfig {
+                processes: 2,
+                blocks_per_process: 1,
+                layers: 2,
+                ops_per_layer: (1, 2),
+                edge_prob: 0.5,
+                slack: 2.0,
+                type_weights: [2, 1, 1],
+            };
+            let (sys, _) = random_system(&cfg, seed).unwrap();
+            let spec = SharingSpec::all_global(&sys, 2);
+            if !crate::period::spacing_feasible(&sys, &spec) {
+                continue;
+            }
+            let exact = exact_schedule(&sys, &spec, 2_000_000).unwrap().unwrap();
+            if !exact.complete {
+                continue;
+            }
+            let heuristic = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+            total_h += heuristic.report().total_area();
+            total_e += exact.area;
+        }
+        assert!(total_e > 0);
+        let gap = total_h as f64 / total_e as f64;
+        assert!(gap <= 1.5, "aggregate optimality gap {gap} too large");
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let (sys, spec) = tiny_two_process();
+        let limited = exact_schedule(&sys, &spec, 3).unwrap();
+        // With 3 nodes nothing completes: either None or an incomplete
+        // marker.
+        if let Some(out) = limited {
+            assert!(!out.complete);
+        }
+    }
+
+    #[test]
+    fn exact_respects_local_scope() {
+        let (sys, _) = tiny_two_process();
+        let spec = SharingSpec::all_local(&sys);
+        let exact = exact_schedule(&sys, &spec, 1_000_000).unwrap().unwrap();
+        let report = compute_report(&sys, &spec, &exact.schedule);
+        let mul = sys.library().by_name("mul").unwrap();
+        // Local: one multiplier per process, no way around it.
+        assert_eq!(report.instances(mul), 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! Design-space exploration: period selection and automatic scope
+//! assignment.
+//!
+//! The paper enumerates period permutations exhaustively and assigns
+//! scopes (S1) manually, naming both automation directions as current
+//! work. This module provides:
+//!
+//! * [`sweep_uniform_periods`] — the §3.2 trade-off curve: larger periods
+//!   allow more sharing but stretch the invocation grid,
+//! * [`best_period_assignment`] — exhaustive enumeration with the
+//!   equation-3 filter, scheduling every candidate (the paper's flow),
+//! * [`pruned_best_period_assignment`] — a lower-bound-pruned search
+//!   (the "without complete enumeration" future-work item),
+//! * [`auto_assign`] — a greedy automatic scope selection.
+
+use tcms_fds::FdsConfig;
+use tcms_ir::{ResourceTypeId, System};
+
+use crate::assign::SharingSpec;
+use crate::error::CoreError;
+use crate::period::{candidate_periods, enumerate_periods};
+use crate::report::ScheduleReport;
+use crate::scheduler::ModuloScheduler;
+
+/// One point of a period sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The uniform period applied to every global type.
+    pub period: u32,
+    /// Grid spacing implied for each process (uniform periods collapse the
+    /// lcm to the period itself).
+    pub spacing: u32,
+    /// Resource/area accounting of the resulting schedule.
+    pub report: ScheduleReport,
+    /// Iterations of the coupled scheduler run.
+    pub iterations: u64,
+}
+
+/// Schedules the system once per uniform period in `periods`, with every
+/// shareable type global over all its users.
+///
+/// Infeasible periods (equation-3 filter) are skipped.
+///
+/// # Errors
+///
+/// Propagates scheduler construction errors (none for well-formed
+/// systems).
+pub fn sweep_uniform_periods(
+    system: &System,
+    periods: impl IntoIterator<Item = u32>,
+    config: &FdsConfig,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::new();
+    for period in periods {
+        let spec = SharingSpec::all_global(system, period);
+        if !crate::period::spacing_feasible(system, &spec) {
+            continue;
+        }
+        let outcome = ModuloScheduler::new(system, spec)?
+            .with_config(config.clone())
+            .run();
+        out.push(SweepPoint {
+            period,
+            spacing: period,
+            report: outcome.report(),
+            iterations: outcome.iterations,
+        });
+    }
+    Ok(out)
+}
+
+/// Exhaustively schedules every feasible period assignment and returns the
+/// area-minimal one with its report.
+///
+/// `limit` caps the number of evaluated assignments (`None` = all; the
+/// paper notes most combinations are filtered by equation 3 before
+/// scheduling).
+///
+/// # Errors
+///
+/// Propagates validation errors of `base` and returns
+/// [`CoreError::MissingPeriod`]-free specs only; `None` results become an
+/// empty `Ok` sweep, so the caller sees `None` only when nothing was
+/// feasible.
+pub fn best_period_assignment(
+    system: &System,
+    base: &SharingSpec,
+    config: &FdsConfig,
+    limit: Option<usize>,
+) -> Result<Option<(SharingSpec, ScheduleReport)>, CoreError> {
+    base.validate(system)?;
+    let globals = base.global_types(system);
+    let cands: Vec<Vec<u32>> = globals
+        .iter()
+        .map(|&k| candidate_periods(system, base, k))
+        .collect();
+    let specs = enumerate_periods(system, base, &globals, &cands, limit);
+    let mut best: Option<(SharingSpec, ScheduleReport)> = None;
+    for spec in specs {
+        let outcome = ModuloScheduler::new(system, spec.clone())?
+            .with_config(config.clone())
+            .run();
+        let report = outcome.report();
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| report.total_area() < b.total_area())
+        {
+            best = Some((spec, report));
+        }
+    }
+    Ok(best)
+}
+
+/// Admissible lower bound on the shared pool of `rtype` under `spec`:
+/// every slot of a block's folded profile covers at most `ceil(T_b / ρ)`
+/// time steps, so a block with `n` busy cycles needs at least
+/// `n / ceil(T_b/ρ)` grant-slots in total, and the pool peak is at least
+/// the summed slot mass divided by ρ.
+pub fn pool_lower_bound(system: &System, spec: &SharingSpec, rtype: ResourceTypeId) -> u32 {
+    let Some(group) = spec.group(rtype) else {
+        return 0;
+    };
+    let period = f64::from(spec.period(rtype).expect("global types have periods"));
+    let mut slot_mass = 0.0f64;
+    for &p in group {
+        let mut process_mass = 0.0f64;
+        for &b in system.process(p).blocks() {
+            let busy: u32 = system
+                .ops_of_type(b, rtype)
+                .iter()
+                .map(|&o| system.occupancy(o))
+                .sum();
+            let t_b = f64::from(system.block(b).time_range());
+            let reuse = (t_b / period).ceil();
+            process_mass = process_mass.max(f64::from(busy) / reuse);
+        }
+        slot_mass += process_mass;
+    }
+    (slot_mass / period).ceil() as u32
+}
+
+/// Area lower bound for a period assignment: local pools as scheduled
+/// plus [`pool_lower_bound`] per global type. Used to prune the search.
+fn area_lower_bound(system: &System, spec: &SharingSpec) -> u64 {
+    let mut area = 0u64;
+    for (k, rt) in system.library().iter() {
+        let group = spec.group(k).unwrap_or(&[]);
+        let local_users = system
+            .users_of_type(k)
+            .into_iter()
+            .filter(|p| !group.contains(p))
+            .count() as u64;
+        let global = u64::from(pool_lower_bound(system, spec, k));
+        area += (local_users + global) * rt.area();
+    }
+    area
+}
+
+/// Lower-bound-pruned period search (the paper's "find the optimal periods
+/// ... without a complete enumeration" future-work item).
+///
+/// Candidates are ordered by decreasing area lower bound quality and a
+/// combination is only scheduled when its bound beats the incumbent.
+/// Returns the same optimum as [`best_period_assignment`] whenever the
+/// bound is admissible (it is), while scheduling far fewer combinations.
+///
+/// # Errors
+///
+/// Propagates validation errors of `base`.
+pub fn pruned_best_period_assignment(
+    system: &System,
+    base: &SharingSpec,
+    config: &FdsConfig,
+) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, CoreError> {
+    base.validate(system)?;
+    let globals = base.global_types(system);
+    let cands: Vec<Vec<u32>> = globals
+        .iter()
+        .map(|&k| candidate_periods(system, base, k))
+        .collect();
+    let mut specs = enumerate_periods(system, base, &globals, &cands, None);
+    // Most promising (lowest bound) first, so the incumbent tightens early.
+    specs.sort_by_key(|s| area_lower_bound(system, s));
+    let mut best: Option<(SharingSpec, ScheduleReport)> = None;
+    let mut evaluated = 0usize;
+    for spec in specs {
+        if let Some((_, incumbent)) = &best {
+            if area_lower_bound(system, &spec) >= incumbent.total_area() {
+                continue;
+            }
+        }
+        let outcome = ModuloScheduler::new(system, spec.clone())?
+            .with_config(config.clone())
+            .run();
+        evaluated += 1;
+        let report = outcome.report();
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| report.total_area() < b.total_area())
+        {
+            best = Some((spec, report));
+        }
+    }
+    Ok(best.map(|(s, r)| (s, r, evaluated)))
+}
+
+/// Greedy automatic scope selection (the paper's other future-work item):
+/// starting from the all-local spec, types are tried globally over all
+/// their users in decreasing area order and kept global when the scheduled
+/// total area improves.
+///
+/// # Errors
+///
+/// Propagates scheduler errors (none for well-formed systems).
+pub fn auto_assign(
+    system: &System,
+    period: u32,
+    config: &FdsConfig,
+) -> Result<(SharingSpec, ScheduleReport), CoreError> {
+    let mut spec = SharingSpec::all_local(system);
+    let mut report = ModuloScheduler::new(system, spec.clone())?
+        .with_config(config.clone())
+        .run()
+        .report();
+    let mut types: Vec<ResourceTypeId> = system.library().ids().collect();
+    types.sort_by_key(|&k| std::cmp::Reverse(system.library().get(k).area()));
+    for k in types {
+        let users = system.users_of_type(k);
+        if users.len() < 2 {
+            continue;
+        }
+        let mut trial = spec.clone();
+        trial.set_global(k, users, period);
+        if !crate::period::spacing_feasible(system, &trial) {
+            continue;
+        }
+        let trial_report = ModuloScheduler::new(system, trial.clone())?
+            .with_config(config.clone())
+            .run()
+            .report();
+        if trial_report.total_area() < report.total_area() {
+            spec = trial;
+            report = trial_report;
+        }
+    }
+    Ok((spec, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::{paper_system, random_system, RandomSystemConfig};
+
+    #[test]
+    fn sweep_skips_infeasible_periods() {
+        let (sys, _) = paper_system().unwrap();
+        let points = sweep_uniform_periods(&sys, [1, 5, 15, 16, 40], &FdsConfig::default())
+            .unwrap();
+        let periods: Vec<u32> = points.iter().map(|p| p.period).collect();
+        // 16 and 40 exceed the diffeq spacing budget of 15.
+        assert_eq!(periods, vec![1, 5, 15]);
+    }
+
+    #[test]
+    fn larger_period_never_hurts_pool_bound() {
+        let (sys, t) = paper_system().unwrap();
+        let lb = |period| {
+            let spec = SharingSpec::all_global(&sys, period);
+            pool_lower_bound(&sys, &spec, t.mul)
+        };
+        // Period 1 forces the pool to cover the peak; longer periods can
+        // only relax the bound.
+        assert!(lb(1) >= lb(5));
+        assert!(lb(5) >= 1);
+    }
+
+    #[test]
+    fn pool_lower_bound_is_admissible_on_paper_system() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let report = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .report();
+        for k in spec.global_types(&sys) {
+            assert!(
+                pool_lower_bound(&sys, &spec, k) <= report.instances(k),
+                "bound must not exceed the achieved count for {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_on_small_system() {
+        let cfg = RandomSystemConfig {
+            processes: 2,
+            blocks_per_process: 1,
+            layers: 3,
+            ops_per_layer: (1, 2),
+            edge_prob: 0.5,
+            slack: 2.0,
+            type_weights: [2, 1, 1],
+        };
+        let (sys, _) = random_system(&cfg, 11).unwrap();
+        let base = SharingSpec::all_global(&sys, 2);
+        if base.global_types(&sys).is_empty() {
+            return; // seed produced no shareable type; nothing to compare
+        }
+        let fds = FdsConfig::default();
+        let full = best_period_assignment(&sys, &base, &fds, None)
+            .unwrap()
+            .unwrap();
+        let pruned = pruned_best_period_assignment(&sys, &base, &fds)
+            .unwrap()
+            .unwrap();
+        assert_eq!(full.1.total_area(), pruned.1.total_area());
+    }
+
+    #[test]
+    fn auto_assign_beats_or_matches_local() {
+        let (sys, _) = paper_system().unwrap();
+        let fds = FdsConfig::default();
+        let local_area = ModuloScheduler::new(&sys, SharingSpec::all_local(&sys))
+            .unwrap()
+            .run()
+            .report()
+            .total_area();
+        let (spec, report) = auto_assign(&sys, 5, &fds).unwrap();
+        assert!(report.total_area() <= local_area);
+        // On the paper system sharing the multiplier is always a win.
+        let t_mul = sys.library().by_name("mul").unwrap();
+        assert!(spec.is_global(t_mul));
+    }
+}

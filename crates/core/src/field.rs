@@ -1,0 +1,294 @@
+//! The layered spring field of the modified force model.
+//!
+//! For every global resource type `k` with period ρ the field maintains
+//! three layers, recomputed incrementally as time frames shrink:
+//!
+//! 1. per block: the classical distribution `D_{b,k}(t)` (equation 4) and
+//!    its modulo-maximum `D̂_{b,k}(τ)` (equation 7),
+//! 2. per process: `M_{p,k}(τ) = max_b D̂_{b,k}(τ)` — blocks of one process
+//!    never overlap (condition C2), so they behave like alternation
+//!    branches (equation 9),
+//! 3. per group: `G_k(τ) = Σ_{p∈group} M_{p,k}(τ)` — the balanced global
+//!    requirement whose peak is the shared instance count.
+
+use tcms_fds::dist::DistributionSet;
+use tcms_ir::{BlockId, FrameTable, ProcessId, ResourceTypeId, System};
+
+use crate::assign::SharingSpec;
+use crate::modulo::{modulo_max, slot_max};
+
+/// Incrementally maintained distributions for the modified force model.
+#[derive(Debug, Clone)]
+pub struct ModuloField<'a> {
+    system: &'a System,
+    spec: SharingSpec,
+    dist: DistributionSet,
+    /// `dhat[block][type]`: modulo-max profile; empty when the pair is not
+    /// globally shared.
+    dhat: Vec<Vec<Vec<f64>>>,
+    /// `mproc[process][type]`: per-process balanced profile; empty when not
+    /// applicable.
+    mproc: Vec<Vec<Vec<f64>>>,
+    /// `gdist[type]`: group-summed profile; empty for local types.
+    gdist: Vec<Vec<f64>>,
+}
+
+impl<'a> ModuloField<'a> {
+    /// Builds the field from the initial time frames.
+    pub fn new(system: &'a System, spec: SharingSpec, frames: &FrameTable) -> Self {
+        let num_types = system.library().len();
+        let dist = DistributionSet::build(system, frames);
+        let mut field = ModuloField {
+            system,
+            spec,
+            dist,
+            dhat: vec![vec![Vec::new(); num_types]; system.num_blocks()],
+            mproc: vec![vec![Vec::new(); num_types]; system.num_processes()],
+            gdist: vec![Vec::new(); num_types],
+        };
+        for k in system.library().ids() {
+            if !field.spec.is_global(k) {
+                continue;
+            }
+            let group: Vec<ProcessId> = field.spec.group(k).expect("global").to_vec();
+            for &p in &group {
+                for &b in system.process(p).blocks() {
+                    field.dhat[b.index()][k.index()] = field.fold_block(b, k);
+                }
+                field.mproc[p.index()][k.index()] = field.fold_process(p, k);
+            }
+            field.gdist[k.index()] = field.fold_group(k);
+        }
+        field
+    }
+
+    /// The sharing specification driving this field.
+    pub fn spec(&self) -> &SharingSpec {
+        &self.spec
+    }
+
+    /// The classical per-block distributions.
+    pub fn distributions(&self) -> &DistributionSet {
+        &self.dist
+    }
+
+    /// Modulo-max profile of a globally shared `(block, type)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not globally shared.
+    pub fn block_profile(&self, block: BlockId, rtype: ResourceTypeId) -> &[f64] {
+        let v = &self.dhat[block.index()][rtype.index()];
+        assert!(!v.is_empty(), "pair is not globally shared");
+        v
+    }
+
+    /// Balanced per-process profile `M_{p,k}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is not in the group of `rtype`.
+    pub fn process_profile(&self, process: ProcessId, rtype: ResourceTypeId) -> &[f64] {
+        let v = &self.mproc[process.index()][rtype.index()];
+        assert!(!v.is_empty(), "process is not in the sharing group");
+        v
+    }
+
+    /// Group profile `G_k` of a global type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtype` is local.
+    pub fn group_profile(&self, rtype: ResourceTypeId) -> &[f64] {
+        let v = &self.gdist[rtype.index()];
+        assert!(!v.is_empty(), "type is not globally shared");
+        v
+    }
+
+    /// Expected shared instance count: the peak of `G_k`.
+    pub fn group_peak(&self, rtype: ResourceTypeId) -> f64 {
+        self.group_profile(rtype)
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    fn fold_block(&self, block: BlockId, rtype: ResourceTypeId) -> Vec<f64> {
+        let period = self.spec.period(rtype).expect("global types have periods");
+        modulo_max(self.dist.get(block, rtype), period)
+    }
+
+    fn fold_process(&self, process: ProcessId, rtype: ResourceTypeId) -> Vec<f64> {
+        let period = self.spec.period(rtype).expect("global types have periods") as usize;
+        let mut acc = vec![0.0; period];
+        for &b in self.system.process(process).blocks() {
+            acc = slot_max(&acc, &self.dhat[b.index()][rtype.index()]);
+        }
+        acc
+    }
+
+    fn fold_group(&self, rtype: ResourceTypeId) -> Vec<f64> {
+        let period = self.spec.period(rtype).expect("global types have periods") as usize;
+        let mut acc = vec![0.0; period];
+        for &p in self.spec.group(rtype).expect("global") {
+            for (slot, v) in self.mproc[p.index()][rtype.index()].iter().enumerate() {
+                acc[slot] += v;
+            }
+        }
+        debug_assert_eq!(acc.len(), period);
+        acc
+    }
+
+    /// Effect of adding `delta` (indexed by block-local time) to the
+    /// distribution of a globally shared `(block, type)`: the change of the
+    /// group profile `ΔG_k(τ)`, without mutating the field.
+    pub fn tentative_group_delta(
+        &self,
+        block: BlockId,
+        rtype: ResourceTypeId,
+        delta: &[f64],
+    ) -> Vec<f64> {
+        let period = self.spec.period(rtype).expect("global types have periods");
+        let process = self.system.block(block).process();
+        let mut dnew = self.dist.get(block, rtype).to_vec();
+        for (t, &x) in delta.iter().enumerate() {
+            dnew[t] += x;
+        }
+        let dhat_new = modulo_max(&dnew, period);
+        // Rebuild the process max with the tentative block profile.
+        let mut mnew = dhat_new;
+        for &b in self.system.process(process).blocks() {
+            if b != block {
+                mnew = slot_max(&mnew, &self.dhat[b.index()][rtype.index()]);
+            }
+        }
+        let mold = &self.mproc[process.index()][rtype.index()];
+        mnew.iter().zip(mold).map(|(&n, &o)| n - o).collect()
+    }
+
+    /// Commits `delta` to the distribution of `(block, type)` and refreshes
+    /// the dependent layers (for any type; global layers only when shared).
+    pub fn apply_delta(&mut self, block: BlockId, rtype: ResourceTypeId, delta: &[f64]) {
+        {
+            let d = self.dist.get_mut(block, rtype);
+            for (t, &x) in delta.iter().enumerate() {
+                d[t] += x;
+            }
+        }
+        let process = self.system.block(block).process();
+        if !self.spec.is_global_for(rtype, process) {
+            return;
+        }
+        self.dhat[block.index()][rtype.index()] = self.fold_block(block, rtype);
+        self.mproc[process.index()][rtype.index()] = self.fold_process(process, rtype);
+        self.gdist[rtype.index()] = self.fold_group(rtype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::paper_system;
+    use tcms_ir::FrameTable;
+
+    #[test]
+    fn group_profile_sums_process_profiles() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let field = ModuloField::new(&sys, spec.clone(), &frames);
+        let g = field.group_profile(t.mul).to_vec();
+        let mut manual = vec![0.0; 5];
+        for &p in spec.group(t.mul).unwrap() {
+            for (slot, v) in field.process_profile(p, t.mul).iter().enumerate() {
+                manual[slot] += v;
+            }
+        }
+        for (a, b) in g.iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(field.group_peak(t.mul) > 0.0);
+    }
+
+    #[test]
+    fn tentative_delta_matches_apply() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let mut field = ModuloField::new(&sys, spec, &frames);
+        let block = sys.block_ids().next().unwrap();
+        let len = sys.block(block).time_range() as usize;
+        let mut delta = vec![0.0; len];
+        delta[0] = 0.4;
+        delta[7] = -0.2;
+
+        let predicted = field.tentative_group_delta(block, t.add, &delta);
+        let before = field.group_profile(t.add).to_vec();
+        field.apply_delta(block, t.add, &delta);
+        let after = field.group_profile(t.add).to_vec();
+        for slot in 0..5 {
+            assert!(
+                (after[slot] - before[slot] - predicted[slot]).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_type_delta_only_touches_distribution() {
+        let (sys, t) = paper_system().unwrap();
+        let mut spec = SharingSpec::all_local(&sys);
+        spec.set_global(t.mul, sys.users_of_type(t.mul), 5);
+        let frames = FrameTable::initial(&sys);
+        let mut field = ModuloField::new(&sys, spec, &frames);
+        let block = sys.block_ids().next().unwrap();
+        let len = sys.block(block).time_range() as usize;
+        let delta = vec![0.1; len];
+        let before = field.distributions().get(block, t.add)[0];
+        field.apply_delta(block, t.add, &delta);
+        let after = field.distributions().get(block, t.add)[0];
+        assert!((after - before - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not globally shared")]
+    fn group_profile_of_local_type_panics() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        let frames = FrameTable::initial(&sys);
+        let field = ModuloField::new(&sys, spec, &frames);
+        let _ = field.group_profile(t.add);
+    }
+
+    #[test]
+    fn modulo_hiding_effect() {
+        // A delta placed under the slot maximum must not change the group
+        // profile (the "hiding" of Figure 2).
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let field = ModuloField::new(&sys, spec, &frames);
+        let block = sys.block_ids().next().unwrap();
+        let d = field.distributions().get(block, t.add);
+        // Find two times mapping to the same slot with different values.
+        let mut pick = None;
+        'outer: for t1 in 0..d.len() {
+            for t2 in (t1 + 5..d.len()).step_by(5) {
+                if d[t1] < d[t2] - 0.05 {
+                    pick = Some((t1, t2));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((t_low, t_high)) = pick {
+            let headroom = d[t_high] - d[t_low];
+            let mut delta = vec![0.0; d.len()];
+            delta[t_low] = headroom / 2.0; // stays below the slot max
+            let g_delta = field.tentative_group_delta(block, t.add, &delta);
+            assert!(
+                g_delta.iter().all(|&x| x.abs() < 1e-12),
+                "hidden increase must not move the profile: {g_delta:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Real-time analysis: reaction latency and initiation-interval bounds.
+//!
+//! The §3.2 drawback of larger periods is quantifiable: block starts only
+//! happen on the grid, so a spontaneous trigger waits up to
+//! `spacing − 1` steps before its first block may launch, and a looping
+//! block cannot restart faster than the next grid point after its
+//! makespan. These bounds are what a hard-real-time designer checks
+//! against the deadline budget when choosing periods.
+
+use tcms_fds::Schedule;
+use tcms_ir::{ProcessId, System};
+
+use crate::assign::SharingSpec;
+
+/// Worst-case timing bounds of one process under a modulo schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBound {
+    /// Worst wait from a trigger (arriving at an idle process) to the
+    /// first block start: `spacing − 1` of the first block.
+    pub worst_start_wait: u32,
+    /// Sum of the block makespans (the pure computation time).
+    pub total_makespan: u32,
+    /// Worst trigger-to-completion reaction time of one activation:
+    /// per block, a grid wait of up to `spacing − 1` plus its makespan.
+    pub worst_reaction: u32,
+    /// Minimum initiation interval of back-to-back activations: the
+    /// smallest grid multiple covering the worst reaction, i.e. how often
+    /// a loop of this process can re-run.
+    pub min_initiation_interval: u32,
+}
+
+/// Computes the worst-case bounds of `process`.
+///
+/// # Panics
+///
+/// Panics if the schedule is incomplete for the process's blocks.
+pub fn latency_bounds(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    process: ProcessId,
+) -> LatencyBound {
+    let blocks = system.process(process).blocks();
+    let mut total_makespan = 0u32;
+    let mut worst_reaction = 0u32;
+    let mut worst_start_wait = 0u32;
+    for (i, &b) in blocks.iter().enumerate() {
+        let spacing = spec.block_grid_spacing(system, b);
+        let makespan = schedule.block_makespan(system, b);
+        if i == 0 {
+            worst_start_wait = spacing - 1;
+        }
+        worst_reaction += (spacing - 1) + makespan;
+        total_makespan += makespan;
+    }
+    // Re-activation: the next first-block start can only happen on the
+    // first block's grid after the previous activation completed.
+    let first_spacing = blocks
+        .first()
+        .map_or(1, |&b| spec.block_grid_spacing(system, b));
+    let min_initiation_interval = worst_reaction.div_ceil(first_spacing.max(1)) * first_spacing;
+    LatencyBound {
+        worst_start_wait,
+        total_makespan,
+        worst_reaction,
+        min_initiation_interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ModuloScheduler;
+    use crate::SharingSpec;
+    use tcms_ir::generators::paper_system;
+
+    fn bounds(period: u32) -> Vec<LatencyBound> {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, period);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        sys.process_ids()
+            .map(|p| latency_bounds(&sys, &spec, &out.schedule, p))
+            .collect()
+    }
+
+    #[test]
+    fn local_schedules_have_zero_wait() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        for p in sys.process_ids() {
+            let b = latency_bounds(&sys, &spec, &out.schedule, p);
+            assert_eq!(b.worst_start_wait, 0);
+            assert_eq!(b.worst_reaction, b.total_makespan);
+        }
+    }
+
+    #[test]
+    fn period_five_bounds() {
+        let all = bounds(5);
+        for b in &all {
+            assert_eq!(b.worst_start_wait, 4);
+            assert_eq!(b.worst_reaction, b.total_makespan + 4);
+            // The initiation interval is a multiple of the grid covering
+            // the reaction.
+            assert_eq!(b.min_initiation_interval % 5, 0);
+            assert!(b.min_initiation_interval >= b.worst_reaction);
+            assert!(b.min_initiation_interval < b.worst_reaction + 5);
+        }
+    }
+
+    #[test]
+    fn larger_periods_increase_waits() {
+        let b5 = bounds(5);
+        let b15 = bounds(15);
+        for (a, b) in b5.iter().zip(&b15) {
+            assert!(b.worst_start_wait > a.worst_start_wait);
+        }
+    }
+
+    #[test]
+    fn simulated_waits_respect_the_bound() {
+        // Empirical validation against the discrete-event model: a single
+        // isolated trigger can never wait longer than the bound.
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        for p in sys.process_ids() {
+            let bound = latency_bounds(&sys, &spec, &out.schedule, p);
+            let block = sys.process(p).blocks()[0];
+            let spacing = u64::from(spec.block_grid_spacing(&sys, block));
+            for trig in 0..30u64 {
+                let start = trig.div_ceil(spacing) * spacing;
+                assert!(start - trig <= u64::from(bound.worst_start_wait));
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The modulo-maximum transformation (paper equation 7).
+//!
+//! Absolute time steps map onto period slots via `τ = t mod ρ`
+//! (equation 1). The modulo-maximum of a distribution folds the block's
+//! time axis onto one period, keeping the *maximum* per slot:
+//!
+//! `D̂(τ) = max { D(t) : t ≡ τ (mod ρ) }`
+//!
+//! A process that is granted `c` units in slot τ may use them at every
+//! absolute step mapping to τ, so the maximum — not the sum — is the
+//! grant the block needs.
+
+/// Folds `dist` (indexed by time step) into `period` slots, keeping the
+/// slot maximum.
+///
+/// Slots with no mapped time step (possible when `dist.len() < period`)
+/// are 0.
+///
+/// # Panics
+///
+/// Panics if `period == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tcms_core::modulo::modulo_max;
+///
+/// let d = [1.0, 0.0, 2.0, 0.5, 0.0, 3.0];
+/// assert_eq!(modulo_max(&d, 2), vec![2.0, 3.0]);
+/// assert_eq!(modulo_max(&d, 3), vec![1.0, 0.0, 3.0]);
+/// ```
+pub fn modulo_max(dist: &[f64], period: u32) -> Vec<f64> {
+    assert!(period > 0, "period must be at least 1");
+    let mut out = vec![0.0; period as usize];
+    for (t, &v) in dist.iter().enumerate() {
+        let slot = t % period as usize;
+        if v > out[slot] {
+            out[slot] = v;
+        }
+    }
+    out
+}
+
+/// Integer variant of [`modulo_max`] for occupancy counts.
+pub fn modulo_max_counts(counts: &[u32], period: u32) -> Vec<u32> {
+    assert!(period > 0, "period must be at least 1");
+    let mut out = vec![0u32; period as usize];
+    for (t, &v) in counts.iter().enumerate() {
+        let slot = t % period as usize;
+        if v > out[slot] {
+            out[slot] = v;
+        }
+    }
+    out
+}
+
+/// Element-wise maximum of two slot profiles of equal length, used for the
+/// per-process balancing over non-overlapping blocks (equation 9).
+///
+/// # Panics
+///
+/// Panics if the profiles have different lengths.
+pub fn slot_max(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "profiles must cover the same period");
+    a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect()
+}
+
+/// Least common multiple (used for grid spacings, equation 3).
+///
+/// `lcm(0, x)` is defined as `x` for convenience.
+pub fn lcm(a: u32, b: u32) -> u32 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    a / gcd(a, b) * b
+}
+
+/// Greatest common divisor.
+pub fn gcd(a: u32, b: u32) -> u32 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_keeps_maxima() {
+        let d = [0.2, 0.9, 0.1, 0.4, 0.8];
+        let m = modulo_max(&d, 2);
+        // slot 0: t=0,2,4 -> max(.2,.1,.8)=.8 ; slot 1: t=1,3 -> .9
+        assert_eq!(m, vec![0.8, 0.9]);
+    }
+
+    #[test]
+    fn period_longer_than_dist_pads_zero() {
+        let d = [1.0, 2.0];
+        assert_eq!(modulo_max(&d, 4), vec![1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn period_one_is_global_peak() {
+        let d = [0.1, 0.7, 0.3];
+        assert_eq!(modulo_max(&d, 1), vec![0.7]);
+    }
+
+    #[test]
+    fn counts_variant() {
+        assert_eq!(modulo_max_counts(&[1, 0, 3, 2], 2), vec![3, 2]);
+    }
+
+    #[test]
+    fn empty_dist() {
+        assert_eq!(modulo_max(&[], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be at least 1")]
+    fn zero_period_panics() {
+        let _ = modulo_max(&[1.0], 0);
+    }
+
+    #[test]
+    fn slot_max_elementwise() {
+        assert_eq!(
+            slot_max(&[1.0, 0.0, 2.0], &[0.5, 3.0, 1.0]),
+            vec![1.0, 3.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(5, 5), 5);
+        assert_eq!(lcm(0, 9), 9);
+        assert_eq!(lcm(9, 0), 9);
+    }
+
+    #[test]
+    fn fold_is_idempotent_on_period_aligned_data() {
+        // Folding a profile already shorter than the period is identity
+        // (padded with zeros).
+        let d = [0.4, 0.6];
+        let once = modulo_max(&d, 5);
+        let twice = modulo_max(&once, 5);
+        assert_eq!(once, twice);
+    }
+}

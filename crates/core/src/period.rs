@@ -1,0 +1,242 @@
+//! Step (S2): periodicities of global resource types.
+//!
+//! Possible periods are determined by the timing constraints of each
+//! process and the assignments of step (S1). The paper derives a grid
+//! spacing per process (equation 3) — the lcm of the periods of its global
+//! types — and notes that period combinations whose spacing exceeds the
+//! process's timing budget are filtered out before scheduling.
+//!
+//! This module provides candidate generation, the feasibility filter and
+//! the full enumeration ("permutation") of period assignments used by the
+//! paper's implementation, whose complexity is bounded by the product of
+//! the candidate-set sizes.
+
+use tcms_ir::{ProcessId, ResourceTypeId, System};
+
+use crate::assign::SharingSpec;
+use crate::modulo::lcm;
+
+/// Spacing budget of a process: the largest grid spacing its blocks can
+/// tolerate. The default policy is the smallest block time range — a
+/// coarser grid than a block's own length would leave the block at most
+/// one feasible alignment per spacing window and delay spontaneous
+/// activations by more than one block length (§3.2's "invocation interval"
+/// drawback).
+pub fn spacing_budget(system: &System, process: ProcessId) -> u32 {
+    system
+        .process(process)
+        .blocks()
+        .iter()
+        .map(|&b| system.block(b).time_range())
+        .min()
+        .unwrap_or(1)
+}
+
+/// Candidate periods for a global type: every period from 1 to the
+/// smallest spacing budget over its sharing group.
+///
+/// Returns an empty vector for local types.
+pub fn candidate_periods(
+    system: &System,
+    spec: &SharingSpec,
+    rtype: ResourceTypeId,
+) -> Vec<u32> {
+    let Some(group) = spec.group(rtype) else {
+        return Vec::new();
+    };
+    let max = group
+        .iter()
+        .map(|&p| spacing_budget(system, p))
+        .min()
+        .unwrap_or(1);
+    (1..=max).collect()
+}
+
+/// Equation-3 filter: `true` if, for every process, the lcm of the periods
+/// of its assigned global types stays within its spacing budget.
+pub fn spacing_feasible(system: &System, spec: &SharingSpec) -> bool {
+    system.process_ids().all(|p| {
+        let spacing = spec.grid_spacing(system, p);
+        spacing <= spacing_budget(system, p)
+    })
+}
+
+/// Enumerates all feasible period assignments over the global types of
+/// `spec` (the paper's permutation), applying the equation-3 filter.
+///
+/// `candidates[i]` must hold the candidate set of `global_types[i]` as
+/// returned by [`SharingSpec::global_types`]. The enumeration is capped at
+/// `limit` *emitted* assignments to bound runaway products; `None` means
+/// unlimited.
+///
+/// # Example
+///
+/// ```
+/// use tcms_core::period::{enumerate_periods, candidate_periods};
+/// use tcms_core::SharingSpec;
+/// use tcms_ir::generators::paper_system;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (sys, _) = paper_system()?;
+/// let spec = SharingSpec::all_global(&sys, 5);
+/// let globals = spec.global_types(&sys);
+/// let cands: Vec<Vec<u32>> = globals
+///     .iter()
+///     .map(|&k| candidate_periods(&sys, &spec, k))
+///     .collect();
+/// let assignments = enumerate_periods(&sys, &spec, &globals, &cands, Some(1000));
+/// assert!(!assignments.is_empty());
+/// // Every emitted assignment passes the equation-3 filter.
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_periods(
+    system: &System,
+    spec: &SharingSpec,
+    global_types: &[ResourceTypeId],
+    candidates: &[Vec<u32>],
+    limit: Option<usize>,
+) -> Vec<SharingSpec> {
+    assert_eq!(
+        global_types.len(),
+        candidates.len(),
+        "one candidate set per global type"
+    );
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; global_types.len()];
+    if global_types.is_empty() {
+        if spacing_feasible(system, spec) {
+            out.push(spec.clone());
+        }
+        return out;
+    }
+    'outer: loop {
+        // Materialise the current combination.
+        let mut s = spec.clone();
+        for (i, &k) in global_types.iter().enumerate() {
+            s.set_period(k, candidates[i][choice[i]]);
+        }
+        if spacing_feasible(system, &s) {
+            out.push(s);
+            if limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+        }
+        // Odometer increment.
+        for i in 0..choice.len() {
+            choice[i] += 1;
+            if choice[i] < candidates[i].len() {
+                continue 'outer;
+            }
+            choice[i] = 0;
+        }
+        break;
+    }
+    out
+}
+
+/// `true` if the period set is *harmonic*: sorted ascending, every period
+/// divides the next. Harmonic sets minimise the grid spacing (the lcm
+/// collapses to the largest period), which the paper singles out as the
+/// combinations that "comply with the defined grid spacings".
+pub fn is_harmonic(mut periods: Vec<u32>) -> bool {
+    periods.sort_unstable();
+    periods.windows(2).all(|w| w[1] % w[0] == 0)
+}
+
+/// Grid spacing implied by a period set (lcm of all periods).
+pub fn combined_spacing(periods: &[u32]) -> u32 {
+    periods.iter().copied().fold(1, lcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::paper_system;
+
+    #[test]
+    fn budget_is_min_block_range() {
+        let (sys, _) = paper_system().unwrap();
+        let p1 = sys.process_by_name("P1").unwrap();
+        let p4 = sys.process_by_name("P4").unwrap();
+        assert_eq!(spacing_budget(&sys, p1), 30);
+        assert_eq!(spacing_budget(&sys, p4), 15);
+    }
+
+    #[test]
+    fn candidates_bounded_by_group_budget() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        // Adder group includes the diffeq processes (budget 15).
+        let c = candidate_periods(&sys, &spec, t.add);
+        assert_eq!(c, (1..=15).collect::<Vec<_>>());
+        // Local types have no candidates.
+        let local = SharingSpec::all_local(&sys);
+        assert!(candidate_periods(&sys, &local, t.add).is_empty());
+    }
+
+    #[test]
+    fn paper_period_is_feasible() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        assert!(spacing_feasible(&sys, &spec));
+    }
+
+    #[test]
+    fn oversized_spacing_filtered() {
+        let (sys, t) = paper_system().unwrap();
+        let mut spec = SharingSpec::all_global(&sys, 5);
+        // lcm(7, 5, 5) = 35 > 15 budget of the diffeq processes.
+        spec.set_period(t.add, 7);
+        assert!(!spacing_feasible(&sys, &spec));
+    }
+
+    #[test]
+    fn enumeration_respects_filter_and_limit() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let globals = spec.global_types(&sys);
+        let cands: Vec<Vec<u32>> = globals.iter().map(|_| vec![3, 5, 8]).collect();
+        let all = enumerate_periods(&sys, &spec, &globals, &cands, None);
+        // All emitted combinations are feasible.
+        for s in &all {
+            assert!(spacing_feasible(&sys, s));
+        }
+        // lcm(8,3)=24 and lcm(8,5)=40 exceed 15, so 8 only combines with 8
+        // ... but even lcm(8,8,8)=8 <= 15 works; infeasible are the mixed
+        // ones. 3^3=27 total, feasible: uniform {3,5,8} plus {3,3,5}-style
+        // mixes with lcm<=15: (3,5) lcm 15 ok, (3,8) 24 no, (5,8) 40 no.
+        assert!(all.len() < 27);
+        assert!(all.iter().any(|s| {
+            globals.iter().all(|&k| s.period(k) == Some(8))
+        }));
+        let limited = enumerate_periods(&sys, &spec, &globals, &cands, Some(2));
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn no_global_types_yields_base_spec() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        let out = enumerate_periods(&sys, &spec, &[], &[], None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], spec);
+    }
+
+    #[test]
+    fn harmonic_detection() {
+        assert!(is_harmonic(vec![2, 4, 8]));
+        assert!(is_harmonic(vec![5, 5, 5]));
+        assert!(is_harmonic(vec![3]));
+        assert!(is_harmonic(vec![]));
+        assert!(!is_harmonic(vec![2, 3]));
+        assert!(is_harmonic(vec![8, 2, 4]), "order must not matter");
+    }
+
+    #[test]
+    fn combined_spacing_is_lcm() {
+        assert_eq!(combined_spacing(&[2, 3, 4]), 12);
+        assert_eq!(combined_spacing(&[]), 1);
+        assert_eq!(combined_spacing(&[5, 5]), 5);
+    }
+}

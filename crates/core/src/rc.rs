@@ -1,0 +1,328 @@
+//! Resource-constrained modulo scheduling with global resource sharing.
+//!
+//! The dual of the time-constrained flow, following the direction of the
+//! companion paper (Jäschke/Laur, ISSS 1998, the paper's reference 8): instance
+//! counts are *given* and the scheduler packs every block as early as
+//! possible while keeping the periodic authorization invariant — the
+//! slot-wise sum of the per-process profile maxima never exceeds the pool.
+//!
+//! Blocks are scheduled one after the other with a least-slack-first list
+//! scheduler; global capacity is tracked incrementally on the period
+//! slots.
+
+use tcms_fds::Schedule;
+use tcms_ir::{FrameTable, OpId, ResourceTypeId, System};
+
+use crate::assign::SharingSpec;
+use crate::error::CoreError;
+use crate::modulo::modulo_max_counts;
+
+/// Result of a resource-constrained modulo run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RcOutcome {
+    /// Start times for every operation.
+    pub schedule: Schedule,
+    /// Completion time per block (indexed by block id).
+    pub makespans: Vec<u32>,
+}
+
+/// Schedules the whole system under fixed instance counts.
+///
+/// `limits[k]` is the pool size of a global type, or the *per-process*
+/// instance count of a local type.
+///
+/// # Errors
+///
+/// * [`CoreError::ZeroInstances`] if a used type has a zero limit,
+/// * [`CoreError::ResourceInfeasible`] if a block cannot meet its time
+///   range under the limits,
+/// * validation errors of `spec`.
+pub fn rc_modulo_schedule(
+    system: &System,
+    spec: &SharingSpec,
+    limits: &[u32],
+) -> Result<RcOutcome, CoreError> {
+    spec.validate(system)?;
+    for (k, rt) in system.library().iter() {
+        if !system.users_of_type(k).is_empty() && limits.get(k.index()).copied().unwrap_or(0) == 0
+        {
+            return Err(CoreError::ZeroInstances {
+                rtype: rt.name().to_owned(),
+            });
+        }
+    }
+    let frames = FrameTable::initial(system);
+    let mut schedule = Schedule::new(system.num_ops());
+    let mut makespans = vec![0u32; system.num_blocks()];
+    // Global capacity state: per global type, the per-process folded
+    // profiles committed so far.
+    let num_types = system.library().len();
+    let mut committed: Vec<Vec<Vec<u32>>> = vec![Vec::new(); num_types];
+    for k in system.library().ids() {
+        if let Some(period) = spec.period(k) {
+            committed[k.index()] = vec![vec![0u32; period as usize]; system.num_processes()];
+        }
+    }
+    // Tightest blocks first: they have the least placement freedom.
+    let mut block_order: Vec<_> = system.block_ids().collect();
+    block_order.sort_by_key(|&b| {
+        (
+            system.block(b).time_range() - system.critical_path(b),
+            b,
+        )
+    });
+    for bid in block_order {
+        // Greedy placement can fail in two complementary ways: the
+        // claim-minimizing policy may burn a chain's slack hunting for
+        // already-granted slots, while the earliest-first policy may claim
+        // more capacity than necessary. Try claim-first, roll back and
+        // retry earliest-first on failure.
+        let snapshot = committed.clone();
+        let placements = match try_block(
+            system,
+            spec,
+            limits,
+            &frames,
+            &mut committed,
+            bid,
+            Policy::ClaimFirst,
+        ) {
+            Some(p) => p,
+            None => {
+                committed = snapshot;
+                try_block(
+                    system,
+                    spec,
+                    limits,
+                    &frames,
+                    &mut committed,
+                    bid,
+                    Policy::EarliestFirst,
+                )
+                .ok_or_else(|| CoreError::ResourceInfeasible {
+                    block: system.block(bid).name().to_owned(),
+                    time_range: system.block(bid).time_range(),
+                })?
+            }
+        };
+        for (o, t) in placements {
+            schedule.set(o, t);
+            makespans[bid.index()] = makespans[bid.index()].max(t + system.delay(o));
+        }
+    }
+    // Final sanity: recompute profiles from the schedule and compare pools.
+    for k in system.library().ids() {
+        let Some(group) = spec.group(k) else { continue };
+        let period = spec.period(k).expect("global types have periods");
+        for slot in 0..period as usize {
+            let total: u32 = group
+                .iter()
+                .map(|&p| {
+                    system
+                        .process(p)
+                        .blocks()
+                        .iter()
+                        .map(|&b| {
+                            modulo_max_counts(&schedule.usage(system, b, k), period)[slot]
+                        })
+                        .max()
+                        .unwrap_or(0)
+                })
+                .sum();
+            debug_assert!(total <= limits[k.index()], "capacity invariant");
+        }
+    }
+    Ok(RcOutcome {
+        schedule,
+        makespans,
+    })
+}
+
+/// Placement preference of the greedy block scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// Minimise new grant capacity, ties to the earliest start.
+    ClaimFirst,
+    /// Earliest feasible start, ties to the smallest claim.
+    EarliestFirst,
+}
+
+/// Attempts to place all operations of `bid` under the committed grant
+/// profiles, updating `committed` on the fly. Returns `None` (with
+/// `committed` left partially updated — the caller rolls back) when an
+/// operation has no feasible start.
+fn try_block(
+    system: &System,
+    spec: &SharingSpec,
+    limits: &[u32],
+    frames: &FrameTable,
+    committed: &mut [Vec<Vec<u32>>],
+    bid: tcms_ir::BlockId,
+    policy: Policy,
+) -> Option<Vec<(OpId, u32)>> {
+    let block = system.block(bid);
+    let process = block.process();
+    let num_types = system.library().len();
+    let slot_total = |committed: &[Vec<Vec<u32>>], k: ResourceTypeId, slot: usize| -> u32 {
+        committed[k.index()].iter().map(|p| p[slot]).sum()
+    };
+    // Topological order, least-slack-first: a predecessor's ALAP is always
+    // strictly smaller than its successor's, so preds are placed first.
+    let mut order = system.topo_order(bid).to_vec();
+    order.sort_by_key(|&o| (frames.get(o).alap, o));
+    let mut local_busy: Vec<Vec<u32>> = vec![vec![0; block.time_range() as usize]; num_types];
+    let mut placed: Vec<Option<u32>> = vec![None; system.num_ops()];
+    let mut out = Vec::with_capacity(order.len());
+    for &o in &order {
+        let ready_at = system
+            .preds(o)
+            .iter()
+            .map(|&p| placed[p.index()].expect("preds placed first") + system.delay(p))
+            .max()
+            .unwrap_or(0);
+        // Bounding by the op's ALAP keeps every successor feasible: preds
+        // placed at or before their ALAP leave ready_at within this op's
+        // ALAP by construction.
+        let latest = frames.get(o).alap;
+        let k = system.op(o).resource_type();
+        let occ = system.occupancy(o);
+        let limit = limits[k.index()];
+        let global = spec.is_global_for(k, process);
+        let mut best: Option<(u32, u32)> = None; // (claim, t)
+        for t in ready_at..=latest {
+            let (fits, claim) = if global {
+                let period = spec.period(k).expect("global types have periods");
+                let mut claim = 0u32;
+                let mut ok = true;
+                for tt in t..t + occ {
+                    let slot = (tt % period) as usize;
+                    let new_local = local_busy[k.index()][tt as usize] + 1;
+                    // The committed profile of this process already
+                    // contains this block's earlier placements via the
+                    // running fold below.
+                    let mine = committed[k.index()][process.index()][slot];
+                    let folded_new = mine.max(new_local);
+                    let others = slot_total(committed, k, slot) - mine;
+                    if others + folded_new > limit {
+                        ok = false;
+                        break;
+                    }
+                    claim += folded_new - mine;
+                }
+                (ok, claim)
+            } else {
+                let ok = (t..t + occ).all(|tt| local_busy[k.index()][tt as usize] < limit);
+                (ok, 0)
+            };
+            if fits {
+                match policy {
+                    Policy::ClaimFirst => {
+                        if best.is_none_or(|(c, _)| claim < c) {
+                            best = Some((claim, t));
+                            if claim == 0 {
+                                break; // cannot beat a free slot
+                            }
+                        }
+                    }
+                    Policy::EarliestFirst => {
+                        best = Some((claim, t));
+                        break;
+                    }
+                }
+            }
+        }
+        let (_, t) = best?;
+        for tt in t..t + occ {
+            local_busy[k.index()][tt as usize] += 1;
+        }
+        if global {
+            let period = spec.period(k).expect("global types have periods");
+            for tt in t..t + occ {
+                let slot = (tt % period) as usize;
+                let mine = &mut committed[k.index()][process.index()][slot];
+                *mine = (*mine).max(local_busy[k.index()][tt as usize]);
+            }
+        }
+        placed[o.index()] = Some(t);
+        out.push((o, t));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::compute_report;
+    use crate::verify::{check_execution, random_activations};
+    use tcms_ir::generators::paper_system;
+
+    #[test]
+    fn rc_succeeds_near_time_constrained_counts() {
+        // The time-constrained optimum is a feasibility witness, but the
+        // greedy packer is weaker than the coupled force-directed search:
+        // one unit of headroom per type must always suffice on the paper
+        // system.
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let tc = crate::ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let report = tc.report();
+        let limits: Vec<u32> = sys
+            .library()
+            .ids()
+            .map(|k| report.instances(k).max(1) + 1)
+            .collect();
+        let rc = rc_modulo_schedule(&sys, &spec, &limits).unwrap();
+        rc.schedule.verify(&sys).unwrap();
+    }
+
+    #[test]
+    fn rc_schedule_passes_runtime_verification() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let limits = vec![5, 2, 3];
+        let rc = rc_modulo_schedule(&sys, &spec, &limits).unwrap();
+        rc.schedule.verify(&sys).unwrap();
+        let report = compute_report(&sys, &spec, &rc.schedule);
+        // The report's pools are bounded by the limits we imposed.
+        for (i, k) in sys.library().ids().enumerate() {
+            assert!(report.instances(k) <= limits[i]);
+        }
+        for seed in 0..5 {
+            let acts = random_activations(&sys, &spec, &rc.schedule, 2, seed);
+            check_execution(&sys, &spec, &rc.schedule, &report, &acts).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_limit_rejected() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        assert!(matches!(
+            rc_modulo_schedule(&sys, &spec, &[0, 1, 1]),
+            Err(CoreError::ZeroInstances { .. })
+        ));
+    }
+
+    #[test]
+    fn too_tight_limits_are_infeasible() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        // One shared adder for three EWFs + two diffeqs in tight windows
+        // cannot work: 26 adds in 30 steps per EWF alone exceeds it.
+        let err = rc_modulo_schedule(&sys, &spec, &[1, 1, 1]);
+        assert!(matches!(err, Err(CoreError::ResourceInfeasible { .. })));
+    }
+
+    #[test]
+    fn local_limits_apply_per_process() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        // Generous local limits: every process gets its own adders.
+        let rc = rc_modulo_schedule(&sys, &spec, &[3, 1, 2]).unwrap();
+        rc.schedule.verify(&sys).unwrap();
+        for (bid, _) in sys.blocks() {
+            let add = sys.library().by_name("add").unwrap();
+            assert!(rc.schedule.peak_usage(&sys, bid, add) <= 3);
+        }
+    }
+}

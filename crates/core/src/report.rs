@@ -1,0 +1,187 @@
+//! Resource counts, authorization tables and area of a finished schedule.
+//!
+//! Local types are counted the traditional way — a dedicated pool per
+//! process (at least one instance per used type and process). Global types
+//! are counted once per sharing group via their authorization table.
+
+use std::fmt;
+
+use tcms_fds::Schedule;
+use tcms_ir::{ProcessId, ResourceTypeId, System};
+
+use crate::assign::SharingSpec;
+use crate::authorize::AuthorizationTable;
+
+/// Per-type breakdown of a [`ScheduleReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeReport {
+    /// The reported resource type.
+    pub rtype: ResourceTypeId,
+    /// Local pools: `(process, instance count)` for every process that uses
+    /// the type outside a sharing group.
+    pub local_counts: Vec<(ProcessId, u32)>,
+    /// Shared pool and grants if the type is global.
+    pub authorization: Option<AuthorizationTable>,
+}
+
+impl TypeReport {
+    /// Total instances of this type (local pools plus shared pool).
+    pub fn instances(&self) -> u32 {
+        let local: u32 = self.local_counts.iter().map(|&(_, c)| c).sum();
+        local + self.authorization.as_ref().map_or(0, |a| a.pool())
+    }
+}
+
+/// Complete resource/area accounting for one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleReport {
+    types: Vec<TypeReport>,
+    total_area: u64,
+}
+
+impl ScheduleReport {
+    /// Per-type reports in library order.
+    pub fn types(&self) -> &[TypeReport] {
+        &self.types
+    }
+
+    /// The report of one type.
+    pub fn of_type(&self, rtype: ResourceTypeId) -> &TypeReport {
+        &self.types[rtype.index()]
+    }
+
+    /// Total instances of `rtype`.
+    pub fn instances(&self, rtype: ResourceTypeId) -> u32 {
+        self.types[rtype.index()].instances()
+    }
+
+    /// Summed area cost over all instances (the paper's comparison
+    /// metric; multiplexers and wiring are accounted separately by
+    /// `tcms-alloc`).
+    pub fn total_area(&self) -> u64 {
+        self.total_area
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for tr in &self.types {
+            writeln!(f, "type {}: {} instances", tr.rtype, tr.instances())?;
+        }
+        write!(f, "total area {}", self.total_area)
+    }
+}
+
+/// Computes the full report for `schedule` under `spec`.
+///
+/// # Panics
+///
+/// Panics if the schedule is incomplete; run [`Schedule::verify`] first.
+pub fn compute_report(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+) -> ScheduleReport {
+    let mut types = Vec::with_capacity(system.library().len());
+    let mut total_area = 0u64;
+    for (k, rt) in system.library().iter() {
+        let group = spec.group(k).unwrap_or(&[]);
+        let mut local_counts = Vec::new();
+        for p in system.users_of_type(k) {
+            if group.contains(&p) {
+                continue;
+            }
+            // Blocks of one process never overlap: the process pool is the
+            // maximum over its blocks' peaks.
+            let count = system
+                .process(p)
+                .blocks()
+                .iter()
+                .map(|&b| schedule.peak_usage(system, b, k))
+                .max()
+                .unwrap_or(0);
+            local_counts.push((p, count));
+        }
+        let authorization = AuthorizationTable::from_schedule(system, spec, schedule, k);
+        let tr = TypeReport {
+            rtype: k,
+            local_counts,
+            authorization,
+        };
+        total_area += u64::from(tr.instances()) * rt.area();
+        types.push(tr);
+    }
+    ScheduleReport { types, total_area }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scheduler::ModuloScheduler;
+    use crate::SharingSpec;
+    use tcms_ir::generators::paper_system;
+
+    #[test]
+    fn local_report_has_one_pool_per_user() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_local(&sys);
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let report = out.report();
+        // Traditional scheduling: at least one instance per type and
+        // process — five multipliers, two subtracters at minimum.
+        assert_eq!(report.of_type(t.mul).local_counts.len(), 5);
+        assert!(report.instances(t.mul) >= 5);
+        assert_eq!(report.of_type(t.sub).local_counts.len(), 2);
+        assert!(report.instances(t.sub) >= 2);
+        assert!(report.of_type(t.mul).authorization.is_none());
+        let area: u64 = sys
+            .library()
+            .iter()
+            .map(|(k, rt)| u64::from(report.instances(k)) * rt.area())
+            .sum();
+        assert_eq!(report.total_area(), area);
+    }
+
+    #[test]
+    fn global_report_uses_shared_pool() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let report = out.report();
+        assert!(report.of_type(t.mul).local_counts.is_empty());
+        let auth = report.of_type(t.mul).authorization.as_ref().unwrap();
+        assert_eq!(report.instances(t.mul), auth.pool());
+        // The headline claim: sharing needs fewer multipliers than the
+        // one-per-process minimum of traditional scheduling.
+        assert!(report.instances(t.mul) < 5);
+    }
+
+    #[test]
+    fn mixed_scope_counts_both_pools() {
+        let (sys, t) = paper_system().unwrap();
+        let mut spec = SharingSpec::all_local(&sys);
+        let p1 = sys.process_by_name("P1").unwrap();
+        let p2 = sys.process_by_name("P2").unwrap();
+        spec.set_global(t.mul, vec![p1, p2], 5);
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let report = out.report();
+        let tr = report.of_type(t.mul);
+        // P3, P4, P5 keep local multipliers; P1+P2 share a pool.
+        assert_eq!(tr.local_counts.len(), 3);
+        assert!(tr.authorization.as_ref().unwrap().pool() >= 1);
+        assert_eq!(
+            tr.instances(),
+            tr.local_counts.iter().map(|&(_, c)| c).sum::<u32>()
+                + tr.authorization.as_ref().unwrap().pool()
+        );
+    }
+
+    #[test]
+    fn display_mentions_area() {
+        let (sys, _) = paper_system().unwrap();
+        let out = ModuloScheduler::new(&sys, SharingSpec::all_local(&sys))
+            .unwrap()
+            .run();
+        let text = out.report().to_string();
+        assert!(text.contains("total area"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Trivial baseline schedulers: ASAP and ALAP.
+
+use tcms_ir::{FrameTable, System};
+
+use crate::schedule::Schedule;
+
+/// Schedules every operation as soon as possible.
+pub fn asap_schedule(system: &System) -> Schedule {
+    let frames = FrameTable::initial(system);
+    let mut s = Schedule::new(system.num_ops());
+    for o in system.op_ids() {
+        s.set(o, frames.get(o).asap);
+    }
+    s
+}
+
+/// Schedules every operation as late as possible.
+pub fn alap_schedule(system: &System) -> Schedule {
+    let frames = FrameTable::initial(system);
+    let mut s = Schedule::new(system.num_ops());
+    for o in system.op_ids() {
+        s.set(o, frames.get(o).alap);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::{add_ewf_process, paper_library};
+    use tcms_ir::SystemBuilder;
+
+    fn ewf() -> (System, tcms_ir::BlockId, tcms_ir::generators::PaperTypes) {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_ewf_process(&mut b, "P", 25, types).unwrap();
+        (b.build().unwrap(), blk, types)
+    }
+
+    #[test]
+    fn asap_is_valid() {
+        let (sys, _, _) = ewf();
+        asap_schedule(&sys).verify(&sys).unwrap();
+    }
+
+    #[test]
+    fn alap_is_valid() {
+        let (sys, _, _) = ewf();
+        alap_schedule(&sys).verify(&sys).unwrap();
+    }
+
+    #[test]
+    fn asap_starts_earlier_than_alap() {
+        let (sys, blk, _) = ewf();
+        let asap = asap_schedule(&sys);
+        let alap = alap_schedule(&sys);
+        for &o in sys.block(blk).ops() {
+            assert!(asap.expect_start(o) <= alap.expect_start(o));
+        }
+        assert!(asap.block_makespan(&sys, blk) <= alap.block_makespan(&sys, blk));
+    }
+
+    #[test]
+    fn asap_peak_is_an_upper_resource_bound() {
+        // The spread-out FDS schedule should never need more units than the
+        // greedy ASAP packing of the same block (sanity for later tests).
+        let (sys, blk, types) = ewf();
+        let asap = asap_schedule(&sys);
+        assert!(asap.peak_usage(&sys, blk, types.mul) >= 1);
+        assert!(asap.peak_usage(&sys, blk, types.add) >= 1);
+    }
+}

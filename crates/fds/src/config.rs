@@ -1,0 +1,79 @@
+//! Tuning parameters shared by all force-directed schedulers.
+
+use tcms_ir::{ResourceLibrary, ResourceTypeId};
+
+/// How resource types are weighted in the total force ("global spring
+/// constants" in the improved FDS of Verhaegh et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpringWeights {
+    /// All types weigh the same.
+    Uniform,
+    /// Types weigh their area cost, so saving an instance of an expensive
+    /// unit dominates. This is the default.
+    #[default]
+    Area,
+}
+
+impl SpringWeights {
+    /// Weight of resource type `rtype` under this policy.
+    pub fn weight(self, library: &ResourceLibrary, rtype: ResourceTypeId) -> f64 {
+        match self {
+            SpringWeights::Uniform => 1.0,
+            SpringWeights::Area => library.get(rtype).area() as f64,
+        }
+    }
+}
+
+/// Configuration of the force model.
+///
+/// # Example
+///
+/// ```
+/// use tcms_fds::{FdsConfig, SpringWeights};
+///
+/// let cfg = FdsConfig {
+///     lookahead: 0.0,
+///     spring_weights: SpringWeights::Uniform,
+/// };
+/// assert_ne!(cfg, FdsConfig::default());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdsConfig {
+    /// Look-ahead factor η: a displacement `x` is priced against
+    /// `D(t) + η·x(t)` instead of `D(t)`. Paulin and Knight suggest `1/3`;
+    /// the paper's exact value is lost to OCR, so it is configurable and
+    /// swept in an ablation bench.
+    pub lookahead: f64,
+    /// Per-type force weights.
+    pub spring_weights: SpringWeights,
+}
+
+impl Default for FdsConfig {
+    fn default() -> Self {
+        FdsConfig {
+            lookahead: 1.0 / 3.0,
+            spring_weights: SpringWeights::Area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::paper_library;
+
+    #[test]
+    fn default_config() {
+        let cfg = FdsConfig::default();
+        assert!((cfg.lookahead - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cfg.spring_weights, SpringWeights::Area);
+    }
+
+    #[test]
+    fn weights() {
+        let (lib, t) = paper_library();
+        assert_eq!(SpringWeights::Uniform.weight(&lib, t.mul), 1.0);
+        assert_eq!(SpringWeights::Area.weight(&lib, t.mul), 4.0);
+        assert_eq!(SpringWeights::Area.weight(&lib, t.add), 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Distribution graphs: expected resource usage over time.
+//!
+//! For every `(block, resource type)` pair the distribution `D(t)` sums the
+//! occupancy probabilities of all matching operations (the paper's
+//! equation 4). The force model treats the values of `D` as springs.
+
+use tcms_ir::{BlockId, FrameTable, ResourceTypeId, System};
+
+use crate::prob;
+
+/// Distribution graphs for every `(block, type)` pair of a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionSet {
+    /// `dist[block][type][t]`, `t` in block-local time.
+    dist: Vec<Vec<Vec<f64>>>,
+}
+
+impl DistributionSet {
+    /// Builds all distributions from the current time frames.
+    pub fn build(system: &System, frames: &FrameTable) -> Self {
+        let num_types = system.library().len();
+        let mut dist: Vec<Vec<Vec<f64>>> = system
+            .blocks()
+            .map(|(_, b)| vec![vec![0.0; b.time_range() as usize]; num_types])
+            .collect();
+        for (o, op) in system.ops() {
+            let d = &mut dist[op.block().index()][op.resource_type().index()];
+            prob::accumulate(d, frames.get(o), system.occupancy(o), 1.0);
+        }
+        DistributionSet { dist }
+    }
+
+    /// The distribution of `rtype` in `block`.
+    pub fn get(&self, block: BlockId, rtype: ResourceTypeId) -> &[f64] {
+        &self.dist[block.index()][rtype.index()]
+    }
+
+    /// Mutable access for incremental updates.
+    pub fn get_mut(&mut self, block: BlockId, rtype: ResourceTypeId) -> &mut [f64] {
+        &mut self.dist[block.index()][rtype.index()]
+    }
+
+    /// Peak of the distribution of `rtype` in `block` — the expected
+    /// resource requirement FDS smooths.
+    pub fn peak(&self, block: BlockId, rtype: ResourceTypeId) -> f64 {
+        self.get(block, rtype).iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder, TimeFrame};
+
+    fn sample() -> (System, BlockId) {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("p");
+        let blk = b.add_block(p, "b", 4).unwrap();
+        b.add_op(blk, "x", add).unwrap();
+        b.add_op(blk, "y", add).unwrap();
+        (b.build().unwrap(), blk)
+    }
+
+    #[test]
+    fn two_free_adders_spread_uniformly() {
+        let (sys, blk) = sample();
+        let frames = FrameTable::initial(&sys);
+        let ds = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        let d = ds.get(blk, add);
+        assert_eq!(d.len(), 4);
+        for &v in d {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+        assert!((ds.peak(blk, add) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_ops_concentrate() {
+        let (sys, blk) = sample();
+        let mut frames = FrameTable::initial(&sys);
+        for o in sys.op_ids() {
+            frames.set(o, TimeFrame::new(2, 2));
+        }
+        let ds = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        assert_eq!(ds.get(blk, add), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(ds.peak(blk, add), 2.0);
+    }
+
+    #[test]
+    fn distribution_mass_equals_total_occupancy() {
+        let (sys, blk) = sample();
+        let frames = FrameTable::initial(&sys);
+        let ds = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        let mass: f64 = ds.get(blk, add).iter().sum();
+        assert!((mass - 2.0).abs() < 1e-12);
+    }
+}

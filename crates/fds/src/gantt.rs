@@ -1,0 +1,186 @@
+//! ASCII Gantt rendering of block schedules.
+//!
+//! One row per operation, one column per control step; `#` marks resource
+//! occupancy, `-` the remaining latency of pipelined units. A totals row
+//! per resource type shows the instantaneous usage the instance counts
+//! come from.
+
+use std::fmt::Write as _;
+
+use tcms_ir::{BlockId, System};
+
+use crate::schedule::Schedule;
+
+/// Renders the schedule of `block` as an ASCII Gantt chart.
+///
+/// # Panics
+///
+/// Panics if an operation of the block is unscheduled.
+///
+/// # Example
+///
+/// ```
+/// use tcms_ir::generators::{add_diffeq_process, paper_library};
+/// use tcms_ir::SystemBuilder;
+/// use tcms_fds::{gantt, schedule_block_ifds, FdsConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (lib, types) = paper_library();
+/// let mut b = SystemBuilder::new(lib);
+/// let (_, blk) = add_diffeq_process(&mut b, "P", 10, types)?;
+/// let sys = b.build()?;
+/// let out = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+/// let chart = gantt::render_block(&sys, blk, &out.schedule);
+/// assert!(chart.contains("m1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_block(system: &System, block: BlockId, schedule: &Schedule) -> String {
+    let blk = system.block(block);
+    let width = blk.time_range() as usize;
+    let name_w = blk
+        .ops()
+        .iter()
+        .map(|&o| system.op(o).name().len())
+        .max()
+        .unwrap_or(2)
+        .max(4);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} :: {} (T = {})",
+        system.process(blk.process()).name(),
+        blk.name(),
+        blk.time_range()
+    );
+    // Header with step digits.
+    let _ = write!(out, "{:>name_w$} |", "step");
+    for t in 0..width {
+        let _ = write!(out, "{}", t % 10);
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}-+{}", "-".repeat(name_w), "-".repeat(width));
+
+    let mut ops: Vec<_> = blk.ops().to_vec();
+    ops.sort_by_key(|&o| (schedule.expect_start(o), o));
+    for o in ops {
+        let start = schedule.expect_start(o) as usize;
+        let occ = system.occupancy(o) as usize;
+        let delay = system.delay(o) as usize;
+        let _ = write!(out, "{:>name_w$} |", system.op(o).name());
+        for t in 0..width {
+            let ch = if t >= start && t < start + occ {
+                '#'
+            } else if t >= start + occ && t < start + delay {
+                '-'
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    // Usage totals per type.
+    let _ = writeln!(out, "{}-+{}", "-".repeat(name_w), "-".repeat(width));
+    for (k, rt) in system.library().iter() {
+        let usage = schedule.usage(system, block, k);
+        if usage.iter().all(|&u| u == 0) {
+            continue;
+        }
+        let _ = write!(out, "{:>name_w$} |", rt.name());
+        for &u in &usage {
+            if u == 0 {
+                out.push('.');
+            } else if u < 10 {
+                let _ = write!(out, "{u}");
+            } else {
+                out.push('+');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders every block of the system, separated by blank lines.
+pub fn render_system(system: &System, schedule: &Schedule) -> String {
+    system
+        .block_ids()
+        .map(|b| render_block(system, b, schedule))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule_block_ifds, schedule_system_local, FdsConfig};
+    use tcms_ir::generators::{add_diffeq_process, paper_library};
+    use tcms_ir::SystemBuilder;
+
+    fn diffeq() -> (System, BlockId, Schedule) {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_diffeq_process(&mut b, "P", 10, types).unwrap();
+        let sys = b.build().unwrap();
+        let out = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+        (sys, blk, out.schedule)
+    }
+
+    #[test]
+    fn chart_rows_match_ops_plus_usage() {
+        let (sys, blk, schedule) = diffeq();
+        let chart = render_block(&sys, blk, &schedule);
+        let rows = chart.lines().count();
+        // title + header + 2 separators + 11 ops + used-type rows (3).
+        assert_eq!(rows, 2 + 2 + 11 + 3);
+        assert!(chart.contains("P :: body (T = 10)"));
+    }
+
+    #[test]
+    fn multiplier_rows_show_latency_tail() {
+        let (sys, blk, schedule) = diffeq();
+        let chart = render_block(&sys, blk, &schedule);
+        // Pipelined 2-cycle multiplier: one '#' followed by one '-'.
+        let m1_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("m1 "))
+            .unwrap();
+        assert!(m1_row.contains("#-"));
+    }
+
+    #[test]
+    fn usage_row_matches_profile() {
+        let (sys, blk, schedule) = diffeq();
+        let mul = sys.library().by_name("mul").unwrap();
+        let usage = schedule.usage(&sys, blk, mul);
+        let chart = render_block(&sys, blk, &schedule);
+        let row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("mul "))
+            .unwrap();
+        let cells: String = row.split('|').nth(1).unwrap().to_owned();
+        for (t, &u) in usage.iter().enumerate() {
+            let c = cells.as_bytes()[t] as char;
+            if u == 0 {
+                assert_eq!(c, '.');
+            } else {
+                assert_eq!(c, char::from_digit(u, 10).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn system_render_covers_all_blocks() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_diffeq_process(&mut b, "A", 10, types).unwrap();
+        add_diffeq_process(&mut b, "B", 12, types).unwrap();
+        let sys = b.build().unwrap();
+        let out = schedule_system_local(&sys, &FdsConfig::default());
+        let text = render_system(&sys, &out.schedule);
+        assert!(text.contains("A :: body"));
+        assert!(text.contains("B :: body"));
+    }
+}

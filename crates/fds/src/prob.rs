@@ -1,0 +1,105 @@
+//! Occupancy probabilities of operations with time frames.
+//!
+//! With a uniform start-time distribution over the frame `[asap, alap]`, an
+//! operation occupying its resource for `occ` cycles is busy at time `t`
+//! with probability `overlap / width`, where `overlap` counts the start
+//! times `s ∈ [asap, alap]` with `s ≤ t < s + occ`.
+
+use tcms_ir::TimeFrame;
+
+/// Probability that an operation with frame `frame` and occupancy `occ`
+/// cycles keeps its resource busy at time step `t`.
+///
+/// # Panics
+///
+/// Panics if `occ == 0`.
+pub fn occupancy_prob(frame: TimeFrame, occ: u32, t: u32) -> f64 {
+    debug_assert!(occ > 0, "occupancy must be positive");
+    let lo = frame.asap.max(t.saturating_sub(occ - 1));
+    let hi = frame.alap.min(t);
+    if lo > hi {
+        0.0
+    } else {
+        f64::from(hi - lo + 1) / f64::from(frame.width())
+    }
+}
+
+/// Adds the occupancy probabilities of one operation to `dist`, scaled by
+/// `sign` (`+1.0` to add, `-1.0` to remove).
+///
+/// `dist` is indexed by time step; probabilities past the end of `dist`
+/// are ignored (they cannot occur for feasible frames).
+pub fn accumulate(dist: &mut [f64], frame: TimeFrame, occ: u32, sign: f64) {
+    let last = (frame.alap + occ - 1).min(dist.len().saturating_sub(1) as u32);
+    for t in frame.asap..=last {
+        dist[t as usize] += sign * occupancy_prob(frame, occ, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_occupancy_uniform() {
+        let f = TimeFrame::new(2, 5);
+        for t in 2..=5 {
+            assert!((occupancy_prob(f, 1, t) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(occupancy_prob(f, 1, 1), 0.0);
+        assert_eq!(occupancy_prob(f, 1, 6), 0.0);
+    }
+
+    #[test]
+    fn fixed_op_is_certain() {
+        let f = TimeFrame::new(3, 3);
+        assert_eq!(occupancy_prob(f, 2, 3), 1.0);
+        assert_eq!(occupancy_prob(f, 2, 4), 1.0);
+        assert_eq!(occupancy_prob(f, 2, 5), 0.0);
+        assert_eq!(occupancy_prob(f, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn multicycle_triangle() {
+        // Frame [0,1], occupancy 2: busy at 0 with p=1/2, at 1 with p=1,
+        // at 2 with p=1/2.
+        let f = TimeFrame::new(0, 1);
+        assert!((occupancy_prob(f, 2, 0) - 0.5).abs() < 1e-12);
+        assert!((occupancy_prob(f, 2, 1) - 1.0).abs() < 1e-12);
+        assert!((occupancy_prob(f, 2, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_occupancy() {
+        // Total expected busy time equals the occupancy, independent of the
+        // frame width.
+        for width in 1..6u32 {
+            for occ in 1..4u32 {
+                let f = TimeFrame::new(3, 3 + width - 1);
+                let total: f64 = (0..20).map(|t| occupancy_prob(f, occ, t)).sum();
+                assert!(
+                    (total - f64::from(occ)).abs() < 1e-9,
+                    "width {width} occ {occ}: {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_add_then_remove_is_identity() {
+        let mut dist = vec![0.0; 10];
+        let f = TimeFrame::new(1, 4);
+        accumulate(&mut dist, f, 2, 1.0);
+        assert!(dist[1] > 0.0 && dist[5] > 0.0);
+        accumulate(&mut dist, f, 2, -1.0);
+        assert!(dist.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn accumulate_clamps_to_dist_len() {
+        let mut dist = vec![0.0; 3];
+        accumulate(&mut dist, TimeFrame::new(1, 2), 4, 1.0);
+        // Would extend to t=5; must not panic and fills what fits.
+        assert!(dist[1] > 0.0 && dist[2] > 0.0);
+    }
+}

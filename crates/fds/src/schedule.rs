@@ -1,0 +1,291 @@
+//! Schedules: fixed start times with structural verification and usage
+//! profiles.
+
+use std::error::Error;
+use std::fmt;
+
+use tcms_ir::{BlockId, OpId, ResourceTypeId, System};
+
+/// Violations detected by [`Schedule::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An operation was never assigned a start time.
+    Unscheduled {
+        /// The operation left without a start time.
+        op: String,
+    },
+    /// A data dependency is violated: the successor starts before the
+    /// predecessor's result is ready.
+    Precedence {
+        /// Producing operation.
+        from: String,
+        /// Consuming operation scheduled too early.
+        to: String,
+    },
+    /// An operation finishes after its block's time range.
+    Deadline {
+        /// The late operation.
+        op: String,
+        /// Completion time of the operation.
+        finish: u32,
+        /// The block's time range.
+        time_range: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unscheduled { op } => write!(f, "operation `{op}` is unscheduled"),
+            ScheduleError::Precedence { from, to } => {
+                write!(f, "`{to}` starts before `{from}` finishes")
+            }
+            ScheduleError::Deadline {
+                op,
+                finish,
+                time_range,
+            } => write!(
+                f,
+                "operation `{op}` finishes at {finish}, past the time range {time_range}"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Start times for the operations of a system.
+///
+/// Partially filled schedules are allowed while a scheduler is running;
+/// [`Schedule::verify`] demands completeness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    starts: Vec<Option<u32>>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule for `num_ops` operations.
+    pub fn new(num_ops: usize) -> Self {
+        Schedule {
+            starts: vec![None; num_ops],
+        }
+    }
+
+    /// Sets the start time of `op`.
+    pub fn set(&mut self, op: OpId, start: u32) {
+        self.starts[op.index()] = Some(start);
+    }
+
+    /// Start time of `op`, if assigned.
+    pub fn start(&self, op: OpId) -> Option<u32> {
+        self.starts[op.index()]
+    }
+
+    /// Start time of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is unscheduled.
+    pub fn expect_start(&self, op: OpId) -> u32 {
+        self.starts[op.index()]
+            .unwrap_or_else(|| panic!("operation {op} is unscheduled"))
+    }
+
+    /// Number of operations with an assigned start time.
+    pub fn assigned(&self) -> usize {
+        self.starts.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Checks completeness, precedence and deadlines against `system`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`ScheduleError`].
+    pub fn verify(&self, system: &System) -> Result<(), ScheduleError> {
+        for (o, op) in system.ops() {
+            let Some(start) = self.start(o) else {
+                return Err(ScheduleError::Unscheduled {
+                    op: op.name().to_owned(),
+                });
+            };
+            let finish = start + system.delay(o);
+            let time_range = system.block(op.block()).time_range();
+            if finish > time_range {
+                return Err(ScheduleError::Deadline {
+                    op: op.name().to_owned(),
+                    finish,
+                    time_range,
+                });
+            }
+            for &s in system.succs(o) {
+                let succ_start = self.start(s).ok_or_else(|| ScheduleError::Unscheduled {
+                    op: system.op(s).name().to_owned(),
+                })?;
+                if succ_start < finish {
+                    return Err(ScheduleError::Precedence {
+                        from: op.name().to_owned(),
+                        to: system.op(s).name().to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Occupancy counts of resource type `rtype` in `block`, indexed by
+    /// block-local time step `0..time_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation of the block is unscheduled.
+    pub fn usage(&self, system: &System, block: BlockId, rtype: ResourceTypeId) -> Vec<u32> {
+        let mut usage = vec![0u32; system.block(block).time_range() as usize];
+        for &o in system.block(block).ops() {
+            if system.op(o).resource_type() != rtype {
+                continue;
+            }
+            let start = self.expect_start(o);
+            for t in start..start + system.occupancy(o) {
+                usage[t as usize] += 1;
+            }
+        }
+        usage
+    }
+
+    /// Peak concurrent usage of `rtype` in `block` — the instance count a
+    /// dedicated (local) allocation needs for this block.
+    pub fn peak_usage(&self, system: &System, block: BlockId, rtype: ResourceTypeId) -> u32 {
+        self.usage(system, block, rtype).into_iter().max().unwrap_or(0)
+    }
+
+    /// Completion time of `block`: the latest finish over its operations.
+    pub fn block_makespan(&self, system: &System, block: BlockId) -> u32 {
+        system
+            .block(block)
+            .ops()
+            .iter()
+            .map(|&o| self.expect_start(o) + system.delay(o))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder};
+
+    fn sample() -> (System, BlockId, Vec<OpId>) {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mul = lib.add(ResourceType::new("mul", 2).pipelined()).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("p");
+        let blk = b.add_block(p, "b", 6).unwrap();
+        let a = b.add_op(blk, "a", add).unwrap();
+        let m = b.add_op(blk, "m", mul).unwrap();
+        let c = b.add_op(blk, "c", add).unwrap();
+        b.add_dep(a, m).unwrap();
+        b.add_dep(m, c).unwrap();
+        (b.build().unwrap(), blk, vec![a, m, c])
+    }
+
+    #[test]
+    fn verify_accepts_valid_schedule() {
+        let (sys, _, ops) = sample();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        s.set(ops[1], 1);
+        s.set(ops[2], 3);
+        assert!(s.verify(&sys).is_ok());
+        assert_eq!(s.assigned(), 3);
+    }
+
+    #[test]
+    fn verify_rejects_unscheduled() {
+        let (sys, _, ops) = sample();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        assert!(matches!(
+            s.verify(&sys),
+            Err(ScheduleError::Unscheduled { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_precedence_violation() {
+        let (sys, _, ops) = sample();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        s.set(ops[1], 0); // starts with its producer
+        s.set(ops[2], 3);
+        assert!(matches!(
+            s.verify(&sys),
+            Err(ScheduleError::Precedence { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_deadline_violation() {
+        let (sys, _, ops) = sample();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        s.set(ops[1], 1);
+        s.set(ops[2], 6); // finishes at 7 > 6
+        assert!(matches!(
+            s.verify(&sys),
+            Err(ScheduleError::Deadline { .. })
+        ));
+    }
+
+    #[test]
+    fn usage_counts_occupancy() {
+        let (sys, blk, ops) = sample();
+        let add = sys.library().by_name("add").unwrap();
+        let mul = sys.library().by_name("mul").unwrap();
+        let mut s = Schedule::new(sys.num_ops());
+        s.set(ops[0], 0);
+        s.set(ops[1], 1);
+        s.set(ops[2], 3);
+        assert_eq!(s.usage(&sys, blk, add), vec![1, 0, 0, 1, 0, 0]);
+        // Pipelined multiplier occupies only its issue cycle.
+        assert_eq!(s.usage(&sys, blk, mul), vec![0, 1, 0, 0, 0, 0]);
+        assert_eq!(s.peak_usage(&sys, blk, add), 1);
+        assert_eq!(s.block_makespan(&sys, blk), 4);
+    }
+
+    #[test]
+    fn multicycle_usage_spans_delay() {
+        let mut lib = ResourceLibrary::new();
+        let div = lib.add(ResourceType::new("div", 3)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("p");
+        let blk = b.add_block(p, "b", 5).unwrap();
+        let d = b.add_op(blk, "d", div).unwrap();
+        let sys = b.build().unwrap();
+        let mut s = Schedule::new(1);
+        s.set(d, 1);
+        assert_eq!(s.usage(&sys, blk, div), vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unscheduled")]
+    fn expect_start_panics() {
+        let (sys, _, ops) = sample();
+        let s = Schedule::new(sys.num_ops());
+        let _ = s.expect_start(ops[0]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::Deadline {
+            op: "x".into(),
+            finish: 9,
+            time_range: 6,
+        };
+        assert_eq!(
+            e.to_string(),
+            "operation `x` finishes at 9, past the time range 6"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Textual serialization of schedules (`.sched` format).
+//!
+//! One line per operation: `process block op start`. The format is
+//! order-independent and keyed by names, so a saved schedule can be
+//! re-checked against a re-parsed design.
+
+use tcms_ir::{IrError, System};
+
+use crate::schedule::Schedule;
+
+/// Renders `schedule` in the `.sched` text format.
+///
+/// # Panics
+///
+/// Panics if the schedule is incomplete.
+pub fn to_sched(system: &System, schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for (_, process) in system.processes() {
+        for &bid in process.blocks() {
+            let block = system.block(bid);
+            for &o in block.ops() {
+                out.push_str(&format!(
+                    "{} {} {} {}\n",
+                    process.name(),
+                    block.name(),
+                    system.op(o).name(),
+                    schedule.expect_start(o)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a `.sched` text back into a [`Schedule`] for `system`.
+///
+/// Blank lines and `#` comments are ignored. Every operation of the system
+/// must be covered exactly once.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] for malformed lines, unknown names,
+/// duplicates and missing operations.
+pub fn from_sched(system: &System, text: &str) -> Result<Schedule, IrError> {
+    let mut schedule = Schedule::new(system.num_ops());
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(pname), Some(bname), Some(oname), Some(start)) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(IrError::Parse {
+                line: lineno,
+                message: "expected `process block op start`".into(),
+            });
+        };
+        let start: u32 = start.parse().map_err(|_| IrError::Parse {
+            line: lineno,
+            message: format!("invalid start time `{start}`"),
+        })?;
+        let p = system.process_by_name(pname).ok_or_else(|| IrError::Unknown {
+            kind: "process",
+            name: pname.to_owned(),
+        })?;
+        let b = system.block_by_name(p, bname).ok_or_else(|| IrError::Unknown {
+            kind: "block",
+            name: bname.to_owned(),
+        })?;
+        let o = system.op_by_name(b, oname).ok_or_else(|| IrError::Unknown {
+            kind: "op",
+            name: oname.to_owned(),
+        })?;
+        if schedule.start(o).is_some() {
+            return Err(IrError::Parse {
+                line: lineno,
+                message: format!("`{oname}` scheduled twice"),
+            });
+        }
+        schedule.set(o, start);
+    }
+    for (o, op) in system.ops() {
+        if schedule.start(o).is_none() {
+            return Err(IrError::Parse {
+                // Point at the end of the input: the line where the missing
+                // entry would have appeared.
+                line: text.lines().count() + 1,
+                message: format!("operation `{}` missing from schedule", op.name()),
+            });
+        }
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule_system_local, FdsConfig};
+    use tcms_ir::generators::paper_system;
+
+    fn scheduled() -> (System, Schedule) {
+        let (sys, _) = paper_system().unwrap();
+        let out = schedule_system_local(&sys, &FdsConfig::default());
+        (sys, out.schedule)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (sys, schedule) = scheduled();
+        let text = to_sched(&sys, &schedule);
+        let back = from_sched(&sys, &text).unwrap();
+        assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (sys, schedule) = scheduled();
+        let text = format!("# saved schedule\n\n{}\n# end", to_sched(&sys, &schedule));
+        assert_eq!(from_sched(&sys, &text).unwrap(), schedule);
+    }
+
+    #[test]
+    fn missing_op_rejected() {
+        let (sys, schedule) = scheduled();
+        let text = to_sched(&sys, &schedule);
+        let truncated: String = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let err = from_sched(&sys, &truncated).unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (sys, schedule) = scheduled();
+        let text = to_sched(&sys, &schedule);
+        let first = text.lines().next().unwrap();
+        let doubled = format!("{first}\n{text}");
+        let err = from_sched(&sys, &doubled).unwrap_err();
+        assert!(matches!(err, IrError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let (sys, _) = scheduled();
+        assert!(matches!(
+            from_sched(&sys, "NoSuch body a1 0"),
+            Err(IrError::Unknown { kind: "process", .. })
+        ));
+        assert!(matches!(
+            from_sched(&sys, "P1 nope a1 0"),
+            Err(IrError::Unknown { kind: "block", .. })
+        ));
+        assert!(matches!(
+            from_sched(&sys, "P1 body zz 0"),
+            Err(IrError::Unknown { kind: "op", .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let (sys, _) = scheduled();
+        assert!(from_sched(&sys, "P1 body a1").is_err());
+        assert!(from_sched(&sys, "P1 body a1 x").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Blocks: statically schedulable data-flow graphs with a time budget.
+//!
+//! A block is the unit of static scheduling — a connected subset of a
+//! process description whose operations receive a fixed time step relative
+//! to the block's (run-time, possibly unknown) starting time. This is the
+//! paper's condition (C1). Blocks of one process must never overlap in
+//! execution (condition (C2)); loop bodies are therefore separate blocks.
+
+use std::fmt;
+
+use crate::op::OpId;
+use crate::process::ProcessId;
+
+/// Identifier of a [`Block`] inside a [`crate::System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Dense index of this block within the system.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index produced by [`BlockId::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        BlockId(index as u32)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A statically scheduled data-flow graph with a time-constrained range.
+///
+/// Operations and edges live in the owning [`crate::System`]; the block
+/// records membership, its name and its *time range*: the number of control
+/// steps `0..time_range` available to the block (the time constraint of
+/// time-constrained scheduling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    pub(crate) name: String,
+    pub(crate) process: ProcessId,
+    pub(crate) time_range: u32,
+    pub(crate) ops: Vec<OpId>,
+}
+
+impl Block {
+    /// Human-readable name, unique within its process.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process this block belongs to.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Number of control steps available: operations must finish within
+    /// `0..time_range` relative to the block start.
+    pub fn time_range(&self) -> u32 {
+        self.time_range
+    }
+
+    /// Operations of this block in insertion order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+
+    /// Number of operations in this block.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the block contains no operation.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_round_trip() {
+        let id = BlockId::from_index(4);
+        assert_eq!(id.index(), 4);
+        assert_eq!(id.to_string(), "b4");
+    }
+}

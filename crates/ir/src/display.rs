@@ -1,0 +1,140 @@
+//! Textual rendering of systems in the `.dfg` format.
+//!
+//! The format is line based and round-trips through [`crate::parse`]:
+//!
+//! ```text
+//! # comment
+//! resource add delay=1 area=1
+//! resource mul delay=2 area=4 pipelined
+//! process P1
+//! block body time=30
+//! op a1 add
+//! op m1 mul
+//! edge a1 m1
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::system::System;
+
+/// Renders `system` in the `.dfg` text format.
+///
+/// The output parses back into an equivalent system via
+/// [`crate::parse::parse_system`].
+///
+/// # Example
+///
+/// ```
+/// use tcms_ir::{display, parse, ResourceLibrary, ResourceType, SystemBuilder};
+///
+/// # fn main() -> Result<(), tcms_ir::IrError> {
+/// let mut lib = ResourceLibrary::new();
+/// let add = lib.add(ResourceType::new("add", 1))?;
+/// let mut b = SystemBuilder::new(lib);
+/// let p = b.add_process("p0");
+/// let blk = b.add_block(p, "body", 4)?;
+/// b.add_op(blk, "x", add)?;
+/// let sys = b.build()?;
+/// let text = display::to_dfg(&sys);
+/// let back = parse::parse_system(&text)?;
+/// assert_eq!(back.num_ops(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dfg(system: &System) -> String {
+    let mut out = String::new();
+    for (_, rt) in system.library().iter() {
+        let _ = write!(
+            out,
+            "resource {} delay={} area={}",
+            rt.name(),
+            rt.delay(),
+            rt.area()
+        );
+        if rt.is_pipelined() {
+            out.push_str(" pipelined");
+        }
+        out.push('\n');
+    }
+    for (_, proc) in system.processes() {
+        let _ = writeln!(out, "process {}", proc.name());
+        for &bid in proc.blocks() {
+            let block = system.block(bid);
+            let _ = writeln!(out, "block {} time={}", block.name(), block.time_range());
+            for &o in block.ops() {
+                let op = system.op(o);
+                let _ = writeln!(
+                    out,
+                    "op {} {}",
+                    op.name(),
+                    system.library().get(op.resource_type()).name()
+                );
+            }
+            for &o in block.ops() {
+                for &s in system.succs(o) {
+                    let _ = writeln!(out, "edge {} {}", system.op(o).name(), system.op(s).name());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One-line summary of a system: process/block/op counts per type.
+pub fn summary(system: &System) -> String {
+    let mut per_type = vec![0usize; system.library().len()];
+    for (_, op) in system.ops() {
+        per_type[op.resource_type().index()] += 1;
+    }
+    let types: Vec<String> = system
+        .library()
+        .iter()
+        .map(|(id, rt)| format!("{}x{}", per_type[id.index()], rt.name()))
+        .collect();
+    format!(
+        "{} processes, {} blocks, {} ops ({})",
+        system.num_processes(),
+        system.num_blocks(),
+        system.num_ops(),
+        types.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ResourceLibrary, ResourceType};
+    use crate::system::SystemBuilder;
+
+    fn sample() -> System {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mul = lib
+            .add(ResourceType::new("mul", 2).pipelined().with_area(4))
+            .unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("P1");
+        let blk = b.add_block(p, "body", 6).unwrap();
+        let a = b.add_op(blk, "a1", add).unwrap();
+        let m = b.add_op(blk, "m1", mul).unwrap();
+        b.add_dep(a, m).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dfg_contains_all_sections() {
+        let text = to_dfg(&sample());
+        assert!(text.contains("resource add delay=1 area=1"));
+        assert!(text.contains("resource mul delay=2 area=4 pipelined"));
+        assert!(text.contains("process P1"));
+        assert!(text.contains("block body time=6"));
+        assert!(text.contains("op a1 add"));
+        assert!(text.contains("edge a1 m1"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summary(&sample());
+        assert_eq!(s, "1 processes, 1 blocks, 2 ops (1xadd, 1xmul)");
+    }
+}

@@ -1,0 +1,85 @@
+//! Graphviz DOT export for visual inspection of systems.
+
+use std::fmt::Write as _;
+
+use crate::system::System;
+
+/// Renders `system` as a Graphviz digraph, one cluster per process and one
+/// sub-cluster per block. Node labels carry the resource-type name.
+///
+/// # Example
+///
+/// ```
+/// use tcms_ir::{dot, ResourceLibrary, ResourceType, SystemBuilder};
+///
+/// # fn main() -> Result<(), tcms_ir::IrError> {
+/// let mut lib = ResourceLibrary::new();
+/// let add = lib.add(ResourceType::new("add", 1))?;
+/// let mut b = SystemBuilder::new(lib);
+/// let p = b.add_process("p0");
+/// let blk = b.add_block(p, "body", 3)?;
+/// b.add_op(blk, "x", add)?;
+/// let text = dot::to_dot(&b.build()?);
+/// assert!(text.starts_with("digraph system {"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(system: &System) -> String {
+    let mut out = String::from("digraph system {\n  rankdir=TB;\n  node [shape=box];\n");
+    for (pid, proc) in system.processes() {
+        let _ = writeln!(out, "  subgraph cluster_{pid} {{");
+        let _ = writeln!(out, "    label=\"{}\";", proc.name());
+        for &bid in proc.blocks() {
+            let block = system.block(bid);
+            let _ = writeln!(out, "    subgraph cluster_{pid}_{bid} {{");
+            let _ = writeln!(
+                out,
+                "      label=\"{} (T={})\";",
+                block.name(),
+                block.time_range()
+            );
+            for &o in block.ops() {
+                let op = system.op(o);
+                let _ = writeln!(
+                    out,
+                    "      {o} [label=\"{}\\n{}\"];",
+                    op.name(),
+                    system.library().get(op.resource_type()).name()
+                );
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (o, _) in system.ops() {
+        for &s in system.succs(o) {
+            let _ = writeln!(out, "  {o} -> {s};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ResourceLibrary, ResourceType};
+    use crate::system::SystemBuilder;
+
+    #[test]
+    fn dot_structure() {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("p0");
+        let blk = b.add_block(p, "body", 4).unwrap();
+        let x = b.add_op(blk, "x", add).unwrap();
+        let y = b.add_op(blk, "y", add).unwrap();
+        b.add_dep(x, y).unwrap();
+        let text = to_dot(&b.build().unwrap());
+        assert!(text.contains("subgraph cluster_p0"));
+        assert!(text.contains("label=\"body (T=4)\""));
+        assert!(text.contains("o0 -> o1;"));
+        assert!(text.ends_with("}\n"));
+    }
+}

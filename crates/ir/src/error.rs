@@ -1,0 +1,177 @@
+//! Error types reported while building, validating or parsing IR.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while constructing or validating a [`crate::System`].
+///
+/// The `Display` messages are lowercase and concise, suitable for wrapping in
+/// higher-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A resource type with the same name was already registered.
+    DuplicateResource {
+        /// Conflicting type name.
+        name: String,
+    },
+    /// A resource type delay of zero was requested.
+    ZeroDelay {
+        /// Offending type name.
+        name: String,
+    },
+    /// A block time range of zero was requested.
+    ZeroTimeRange {
+        /// Offending block name.
+        name: String,
+    },
+    /// A dependency edge connects operations of two different blocks,
+    /// violating condition (C1): blocks must be independently schedulable.
+    CrossBlockEdge {
+        /// Source operation name.
+        from: String,
+        /// Destination operation name.
+        to: String,
+    },
+    /// A dependency edge would create a cycle inside a block.
+    Cycle {
+        /// Block containing the cycle.
+        block: String,
+    },
+    /// An edge was inserted twice between the same operations.
+    DuplicateEdge {
+        /// Source operation name.
+        from: String,
+        /// Destination operation name.
+        to: String,
+    },
+    /// A self-dependency was requested.
+    SelfEdge {
+        /// Offending operation name.
+        op: String,
+    },
+    /// The critical path of a block exceeds its time range, so no schedule
+    /// can meet the timing constraint.
+    InfeasibleDeadline {
+        /// Offending block name.
+        block: String,
+        /// Length of the longest dependency chain in control steps.
+        critical_path: u32,
+        /// Available control steps.
+        time_range: u32,
+    },
+    /// An operation name was used twice within one block (names double as
+    /// identifiers in the text formats).
+    DuplicateOpName {
+        /// The duplicated operation name.
+        op: String,
+        /// The block it was added to.
+        block: String,
+    },
+    /// An identifier did not resolve (unknown resource/op/block/process).
+    Unknown {
+        /// What kind of entity was looked up (e.g. `"resource"`).
+        kind: &'static str,
+        /// The identifier that failed to resolve.
+        name: String,
+    },
+    /// A parse error in the `.dfg` text format.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateResource { name } => {
+                write!(f, "resource type `{name}` registered twice")
+            }
+            IrError::ZeroDelay { name } => {
+                write!(f, "resource type `{name}` must have a delay of at least 1")
+            }
+            IrError::ZeroTimeRange { name } => {
+                write!(f, "block `{name}` must have a time range of at least 1")
+            }
+            IrError::CrossBlockEdge { from, to } => {
+                write!(f, "edge `{from}` -> `{to}` crosses a block boundary")
+            }
+            IrError::Cycle { block } => {
+                write!(f, "block `{block}` contains a dependency cycle")
+            }
+            IrError::DuplicateEdge { from, to } => {
+                write!(f, "edge `{from}` -> `{to}` inserted twice")
+            }
+            IrError::SelfEdge { op } => write!(f, "operation `{op}` depends on itself"),
+            IrError::InfeasibleDeadline {
+                block,
+                critical_path,
+                time_range,
+            } => write!(
+                f,
+                "block `{block}` has critical path {critical_path} but only {time_range} steps"
+            ),
+            IrError::DuplicateOpName { op, block } => {
+                write!(f, "operation `{op}` already exists in block `{block}`")
+            }
+            IrError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            IrError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            IrError::DuplicateResource { name: "add".into() },
+            IrError::ZeroDelay { name: "add".into() },
+            IrError::ZeroTimeRange { name: "b".into() },
+            IrError::CrossBlockEdge {
+                from: "a".into(),
+                to: "b".into(),
+            },
+            IrError::Cycle { block: "b".into() },
+            IrError::DuplicateEdge {
+                from: "a".into(),
+                to: "b".into(),
+            },
+            IrError::SelfEdge { op: "a".into() },
+            IrError::InfeasibleDeadline {
+                block: "b".into(),
+                critical_path: 9,
+                time_range: 5,
+            },
+            IrError::Unknown {
+                kind: "resource",
+                name: "div".into(),
+            },
+            IrError::DuplicateOpName {
+                op: "a1".into(),
+                block: "body".into(),
+            },
+            IrError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(char::is_numeric));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(IrError::SelfEdge { op: "x".into() });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,305 @@
+//! ASAP/ALAP time frames and constrained frame propagation.
+//!
+//! A *time frame* is the inclusive range of start times an operation may
+//! still take. Force-directed schedulers work by gradually shrinking frames;
+//! every shrink is propagated through the precedence constraints with
+//! [`constrained_frames`].
+
+use crate::block::BlockId;
+use crate::op::OpId;
+use crate::system::System;
+
+/// Inclusive range of feasible start times for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeFrame {
+    /// Earliest feasible start time (as soon as possible).
+    pub asap: u32,
+    /// Latest feasible start time (as late as possible).
+    pub alap: u32,
+}
+
+impl TimeFrame {
+    /// Creates a frame; `asap` must not exceed `alap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asap > alap`.
+    pub fn new(asap: u32, alap: u32) -> Self {
+        assert!(asap <= alap, "empty time frame {asap}..{alap}");
+        TimeFrame { asap, alap }
+    }
+
+    /// Number of feasible start times.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.alap - self.asap + 1
+    }
+
+    /// `true` once only a single start time remains.
+    #[inline]
+    pub fn is_fixed(self) -> bool {
+        self.asap == self.alap
+    }
+
+    /// `true` if `t` is a feasible start time.
+    #[inline]
+    pub fn contains(self, t: u32) -> bool {
+        self.asap <= t && t <= self.alap
+    }
+
+    /// Intersection with another frame, `None` if disjoint.
+    pub fn intersect(self, other: TimeFrame) -> Option<TimeFrame> {
+        let asap = self.asap.max(other.asap);
+        let alap = self.alap.min(other.alap);
+        (asap <= alap).then_some(TimeFrame { asap, alap })
+    }
+}
+
+/// Start-time frames for every operation of a system, indexed by [`OpId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameTable {
+    frames: Vec<TimeFrame>,
+}
+
+impl FrameTable {
+    /// Computes the unconstrained ASAP/ALAP frames of every block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is infeasible; [`crate::SystemBuilder::build`]
+    /// guarantees feasibility for built systems.
+    pub fn initial(system: &System) -> Self {
+        let mut frames = vec![TimeFrame { asap: 0, alap: 0 }; system.num_ops()];
+        for (bid, block) in system.blocks() {
+            let max = |o: OpId| block.time_range() - system.delay(o);
+            let solved = constrained_frames(system, bid, |o| TimeFrame::new(0, max(o)))
+                .expect("built systems have feasible deadlines");
+            for (o, f) in solved {
+                frames[o.index()] = f;
+            }
+        }
+        FrameTable { frames }
+    }
+
+    /// The current frame of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to the originating system.
+    #[inline]
+    pub fn get(&self, op: OpId) -> TimeFrame {
+        self.frames[op.index()]
+    }
+
+    /// Overwrites the frame of `op`.
+    #[inline]
+    pub fn set(&mut self, op: OpId, frame: TimeFrame) {
+        self.frames[op.index()] = frame;
+    }
+
+    /// Mobility of `op` (frame width minus one).
+    #[inline]
+    pub fn mobility(&self, op: OpId) -> u32 {
+        self.get(op).width() - 1
+    }
+
+    /// `true` once every operation of `block` is fixed to one start time.
+    pub fn block_fixed(&self, system: &System, block: BlockId) -> bool {
+        system
+            .block(block)
+            .ops()
+            .iter()
+            .all(|&o| self.get(o).is_fixed())
+    }
+
+    /// Sum of all frame widths minus the operation count: the remaining
+    /// scheduling freedom. Zero means fully scheduled.
+    pub fn total_mobility(&self) -> u64 {
+        self.frames.iter().map(|f| (f.width() - 1) as u64).sum()
+    }
+
+    /// Extracts the start time of a fixed operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame still has more than one feasible start time.
+    pub fn fixed_start(&self, op: OpId) -> u32 {
+        let f = self.get(op);
+        assert!(f.is_fixed(), "operation {op} not yet fixed");
+        f.asap
+    }
+}
+
+/// Recomputes consistent frames for all operations of `block`, treating
+/// `bounds(op)` as hard start-time bounds.
+///
+/// Propagation runs a forward ASAP pass and a backward ALAP pass over a
+/// topological order. Returns `None` if the bounds are contradictory (some
+/// frame becomes empty), which schedulers interpret as "this tentative
+/// placement is impossible".
+pub fn constrained_frames(
+    system: &System,
+    block: BlockId,
+    mut bounds: impl FnMut(OpId) -> TimeFrame,
+) -> Option<Vec<(OpId, TimeFrame)>> {
+    let order = system.topo_order(block);
+    let n = system.num_ops();
+    let mut asap = vec![0u32; n];
+    let mut alap = vec![0u32; n];
+    // Forward: earliest starts.
+    for &o in order {
+        let mut lo = bounds(o).asap;
+        for &p in system.preds(o) {
+            lo = lo.max(asap[p.index()] + system.delay(p));
+        }
+        asap[o.index()] = lo;
+    }
+    // Backward: latest starts.
+    for &o in order.iter().rev() {
+        let mut hi = bounds(o).alap;
+        for &s in system.succs(o) {
+            let latest_pred_start = alap[s.index()].checked_sub(system.delay(o))?;
+            hi = hi.min(latest_pred_start);
+        }
+        if asap[o.index()] > hi {
+            return None;
+        }
+        alap[o.index()] = hi;
+    }
+    Some(
+        order
+            .iter()
+            .map(|&o| {
+                (
+                    o,
+                    TimeFrame {
+                        asap: asap[o.index()],
+                        alap: alap[o.index()],
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ResourceLibrary, ResourceType};
+    use crate::system::SystemBuilder;
+
+    fn chain_system() -> (System, BlockId, Vec<OpId>) {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mul = lib.add(ResourceType::new("mul", 2).pipelined()).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("p");
+        let blk = b.add_block(p, "b", 8).unwrap();
+        // a(1) -> m(2) -> c(1), plus independent d(1).
+        let a = b.add_op(blk, "a", add).unwrap();
+        let m = b.add_op(blk, "m", mul).unwrap();
+        let c = b.add_op(blk, "c", add).unwrap();
+        let d = b.add_op(blk, "d", add).unwrap();
+        b.add_dep(a, m).unwrap();
+        b.add_dep(m, c).unwrap();
+        let sys = b.build().unwrap();
+        (sys, blk, vec![a, m, c, d])
+    }
+
+    #[test]
+    fn frame_basics() {
+        let f = TimeFrame::new(2, 5);
+        assert_eq!(f.width(), 4);
+        assert!(!f.is_fixed());
+        assert!(f.contains(2) && f.contains(5) && !f.contains(6));
+        assert_eq!(
+            f.intersect(TimeFrame::new(4, 9)),
+            Some(TimeFrame::new(4, 5))
+        );
+        assert_eq!(f.intersect(TimeFrame::new(6, 9)), None);
+        assert!(TimeFrame::new(3, 3).is_fixed());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty time frame")]
+    fn inverted_frame_panics() {
+        let _ = TimeFrame::new(5, 2);
+    }
+
+    #[test]
+    fn initial_frames_chain() {
+        let (sys, _, ops) = chain_system();
+        let ft = FrameTable::initial(&sys);
+        // Chain a(1) m(2) c(1) in 8 steps: slack 4.
+        assert_eq!(ft.get(ops[0]), TimeFrame::new(0, 4)); // a
+        assert_eq!(ft.get(ops[1]), TimeFrame::new(1, 5)); // m
+        assert_eq!(ft.get(ops[2]), TimeFrame::new(3, 7)); // c
+        assert_eq!(ft.get(ops[3]), TimeFrame::new(0, 7)); // d independent
+        assert_eq!(ft.mobility(ops[0]), 4);
+    }
+
+    #[test]
+    fn constrained_propagation_forward_and_backward() {
+        let (sys, blk, ops) = chain_system();
+        let ft = FrameTable::initial(&sys);
+        // Pin m to start at 5 -> a must end by 5, c must start at 7.
+        let solved = constrained_frames(&sys, blk, |o| {
+            if o == ops[1] {
+                TimeFrame::new(5, 5)
+            } else {
+                ft.get(o)
+            }
+        })
+        .unwrap();
+        let find = |o: OpId| solved.iter().find(|(q, _)| *q == o).unwrap().1;
+        assert_eq!(find(ops[0]), TimeFrame::new(0, 4));
+        assert_eq!(find(ops[1]), TimeFrame::new(5, 5));
+        assert_eq!(find(ops[2]), TimeFrame::new(7, 7));
+        assert_eq!(find(ops[3]), TimeFrame::new(0, 7));
+    }
+
+    #[test]
+    fn contradictory_bounds_return_none() {
+        let (sys, blk, ops) = chain_system();
+        // a not before 5 and m not after 4 is impossible.
+        let r = constrained_frames(&sys, blk, |o| {
+            if o == ops[0] {
+                TimeFrame::new(5, 7)
+            } else if o == ops[1] {
+                TimeFrame::new(1, 4)
+            } else {
+                TimeFrame::new(0, 7)
+            }
+        });
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn fixed_start_and_block_fixed() {
+        let (sys, blk, ops) = chain_system();
+        let mut ft = FrameTable::initial(&sys);
+        assert!(!ft.block_fixed(&sys, blk));
+        for (i, &o) in ops.iter().enumerate() {
+            let t = [0u32, 1, 3, 0][i];
+            ft.set(o, TimeFrame::new(t, t));
+        }
+        assert!(ft.block_fixed(&sys, blk));
+        assert_eq!(ft.fixed_start(ops[2]), 3);
+        assert_eq!(ft.total_mobility(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet fixed")]
+    fn fixed_start_panics_on_wide_frame() {
+        let (sys, _, ops) = chain_system();
+        let ft = FrameTable::initial(&sys);
+        let _ = ft.fixed_start(ops[0]);
+    }
+
+    #[test]
+    fn total_mobility_matches_sum() {
+        let (sys, _, _) = chain_system();
+        let ft = FrameTable::initial(&sys);
+        assert_eq!(ft.total_mobility(), 4 + 4 + 4 + 7);
+    }
+}

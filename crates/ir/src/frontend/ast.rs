@@ -1,0 +1,103 @@
+//! Abstract syntax of the behavioral input language.
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A variable reference — either a value defined by an earlier
+    /// statement or a primary input.
+    Var(String),
+    /// An integer constant (a primary input from the scheduler's point of
+    /// view; constant folding is out of scope).
+    Const(u64),
+    /// `lhs + rhs`
+    Add(Box<Expr>, Box<Expr>),
+    /// `lhs - rhs`
+    Sub(Box<Expr>, Box<Expr>),
+    /// `lhs * rhs`
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+/// One assignment statement `name := expr;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The defined value name.
+    pub name: String,
+    /// The computed expression.
+    pub expr: Expr,
+    /// 1-based source line (for error reporting).
+    pub line: usize,
+}
+
+/// One `process <name> time=<n> { ... }` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDecl {
+    /// Process name.
+    pub name: String,
+    /// Time range of the process's single block.
+    pub time_range: u32,
+    /// The statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// All declared processes, in source order.
+    pub processes: Vec<ProcessDecl>,
+}
+
+impl Expr {
+    /// Number of operations this expression lowers to (before common
+    /// subexpression elimination).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => 0,
+            Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
+                1 + l.op_count() + r.op_count()
+            }
+        }
+    }
+
+    /// All variable names referenced by this expression.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(v) => out.push(v),
+            Expr::Const(_) => {}
+            Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_counts_nodes() {
+        let e = Expr::Add(
+            Box::new(Expr::Mul(
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Var("b".into())),
+            )),
+            Box::new(Expr::Const(3)),
+        );
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(e.vars(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn leaf_counts() {
+        assert_eq!(Expr::Var("x".into()).op_count(), 0);
+        assert_eq!(Expr::Const(7).op_count(), 0);
+        assert!(Expr::Const(7).vars().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Tokenizer of the behavioral input language.
+
+use crate::error::IrError;
+
+/// The kinds of token the language knows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// The `process` keyword.
+    Process,
+    /// An identifier (`[A-Za-z_][A-Za-z0-9_]*`).
+    Ident(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// `:=`
+    Assign,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semicolon,
+}
+
+/// A token with its 1-based source line (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Splits `source` into tokens. `#` starts a comment until end of line.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] for unexpected characters and malformed
+/// numbers.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, IrError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("");
+        let mut chars = text.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '+' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::Plus, line });
+                }
+                '-' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::Minus, line });
+                }
+                '*' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::Star, line });
+                }
+                '(' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::LParen, line });
+                }
+                ')' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::RParen, line });
+                }
+                '{' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::LBrace, line });
+                }
+                '}' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::RBrace, line });
+                }
+                ';' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::Semicolon, line });
+                }
+                '=' => {
+                    chars.next();
+                    out.push(Token { kind: TokenKind::Equals, line });
+                }
+                ':' => {
+                    chars.next();
+                    match chars.peek() {
+                        Some(&(_, '=')) => {
+                            chars.next();
+                            out.push(Token { kind: TokenKind::Assign, line });
+                        }
+                        _ => {
+                            return Err(IrError::Parse {
+                                line,
+                                message: "expected `=` after `:`".into(),
+                            })
+                        }
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_digit() {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let lit = &text[start..end];
+                    let value = lit.parse().map_err(|_| IrError::Parse {
+                        line,
+                        message: format!("invalid number `{lit}`"),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::Number(value),
+                        line,
+                    });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = &text[start..end];
+                    let kind = if word == "process" {
+                        TokenKind::Process
+                    } else {
+                        TokenKind::Ident(word.to_owned())
+                    };
+                    out.push(Token { kind, line });
+                }
+                other => {
+                    return Err(IrError::Parse {
+                        line,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_statement() {
+        assert_eq!(
+            kinds("y := a*b + 3;"),
+            vec![
+                TokenKind::Ident("y".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("a".into()),
+                TokenKind::Star,
+                TokenKind::Ident("b".into()),
+                TokenKind::Plus,
+                TokenKind::Number(3),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_and_braces() {
+        assert_eq!(
+            kinds("process p time=5 { }"),
+            vec![
+                TokenKind::Process,
+                TokenKind::Ident("p".into()),
+                TokenKind::Ident("time".into()),
+                TokenKind::Equals,
+                TokenKind::Number(5),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(kinds("a # everything := after\n;"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Semicolon]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn bad_colon_rejected() {
+        let e = tokenize("a : b").unwrap_err();
+        assert!(matches!(e, IrError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn stray_character_rejected() {
+        let e = tokenize("a := b / c;").unwrap_err();
+        assert!(matches!(e, IrError::Parse { .. }));
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(
+            kinds("_tmp1"),
+            vec![TokenKind::Ident("_tmp1".into())]
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Lowering the AST into data-flow blocks with common subexpression
+//! elimination.
+
+use std::collections::HashMap;
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::op::OpId;
+use crate::resource::{ResourceLibrary, ResourceTypeId};
+use crate::system::{System, SystemBuilder};
+
+use super::ast::{Expr, Program};
+
+/// A value during lowering: produced by an operation or a primary input.
+/// Inputs are interned per name (and constants per literal value), so CSE
+/// keys distinguish `a*b` from `c*d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Value {
+    Op(OpId),
+    Input(u32),
+}
+
+/// Structural key for CSE: operator plus operand values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CseKey(ResourceTypeId, Value, Value);
+
+struct Lowering<'a> {
+    builder: &'a mut SystemBuilder,
+    block: BlockId,
+    add: ResourceTypeId,
+    sub: ResourceTypeId,
+    mul: ResourceTypeId,
+    /// Known named values (assignment results and seen inputs).
+    env: HashMap<String, Value>,
+    /// Interned primary inputs (variables and constants).
+    inputs: HashMap<String, u32>,
+    /// CSE table for this block.
+    cse: HashMap<CseKey, OpId>,
+    /// Fresh-name counter for generated operation names.
+    counter: usize,
+}
+
+impl Lowering<'_> {
+    fn intern_input(&mut self, key: String) -> Value {
+        let next = self.inputs.len() as u32;
+        Value::Input(*self.inputs.entry(key).or_insert(next))
+    }
+
+    fn value_of_var(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.env.get(name) {
+            return v;
+        }
+        let v = self.intern_input(format!("var:{name}"));
+        self.env.insert(name.to_owned(), v);
+        v
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<Value, IrError> {
+        match expr {
+            Expr::Var(name) => Ok(self.value_of_var(name)),
+            Expr::Const(n) => Ok(self.intern_input(format!("const:{n}"))),
+            Expr::Add(l, r) => self.lower_binop(self.add, l, r),
+            Expr::Sub(l, r) => self.lower_binop(self.sub, l, r),
+            Expr::Mul(l, r) => self.lower_binop(self.mul, l, r),
+        }
+    }
+
+    fn lower_binop(
+        &mut self,
+        rtype: ResourceTypeId,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<Value, IrError> {
+        let lv = self.lower_expr(l)?;
+        let rv = self.lower_expr(r)?;
+        // Commutative operators share across operand order; subtraction
+        // does not.
+        let key = if rtype == self.sub {
+            CseKey(rtype, lv, rv)
+        } else {
+            let (a, b) = if cse_ord(lv) <= cse_ord(rv) {
+                (lv, rv)
+            } else {
+                (rv, lv)
+            };
+            CseKey(rtype, a, b)
+        };
+        if let Some(&op) = self.cse.get(&key) {
+            return Ok(Value::Op(op));
+        }
+        self.counter += 1;
+        let name = format!(
+            "{}{}",
+            self.builder.library().get(rtype).name(),
+            self.counter
+        );
+        let op = self.builder.add_op(self.block, name, rtype)?;
+        for v in [lv, rv] {
+            if let Value::Op(src) = v {
+                // Duplicate edges between the same producer/consumer are
+                // legal data flow (e.g. x*x); the IR stores one edge.
+                let _ = self.builder.add_dep(src, op);
+            }
+        }
+        self.cse.insert(key, op);
+        Ok(Value::Op(op))
+    }
+}
+
+fn cse_ord(v: Value) -> u64 {
+    match v {
+        // Inputs order after all op results, by interned id.
+        Value::Input(i) => (1 << 32) + u64::from(i),
+        Value::Op(o) => o.index() as u64,
+    }
+}
+
+/// Lowers a parsed [`Program`] into a [`System`].
+///
+/// # Errors
+///
+/// Returns [`IrError::Unknown`] if `library` lacks `add`, `sub` or `mul`,
+/// plus any builder error (duplicate names, infeasible deadlines, ...).
+pub fn lower_program(program: &Program, library: ResourceLibrary) -> Result<System, IrError> {
+    let need = |lib: &ResourceLibrary, name: &str| {
+        lib.by_name(name).ok_or_else(|| IrError::Unknown {
+            kind: "resource",
+            name: name.to_owned(),
+        })
+    };
+    let add = need(&library, "add")?;
+    let sub = need(&library, "sub")?;
+    let mul = need(&library, "mul")?;
+    let mut builder = SystemBuilder::new(library);
+    for decl in &program.processes {
+        let p = builder.add_process(decl.name.clone());
+        let block = builder.add_block(p, "body", decl.time_range)?;
+        let mut lowering = Lowering {
+            builder: &mut builder,
+            block,
+            add,
+            sub,
+            mul,
+            env: HashMap::new(),
+            inputs: HashMap::new(),
+            cse: HashMap::new(),
+            counter: 0,
+        };
+        for stmt in &decl.stmts {
+            if matches!(lowering.env.get(&stmt.name), Some(Value::Op(_))) {
+                return Err(IrError::Parse {
+                    line: stmt.line,
+                    message: format!("`{}` assigned twice", stmt.name),
+                });
+            }
+            let value = lowering.lower_expr(&stmt.expr)?;
+            lowering.env.insert(stmt.name.clone(), value);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::{parse_program, tokenize};
+    use crate::generators::paper_library;
+
+    fn lower(src: &str) -> Result<System, IrError> {
+        let (lib, _) = paper_library();
+        lower_program(&parse_program(&tokenize(src).unwrap()).unwrap(), lib)
+    }
+
+    #[test]
+    fn chain_dependencies_wired() {
+        let sys = lower("process p time=9 { t := a * b; y := t + c; z := y - t; }").unwrap();
+        let blk = sys.block_ids().next().unwrap();
+        assert_eq!(sys.block(blk).len(), 3);
+        // mul feeds add feeds sub; mul also feeds sub.
+        let mul_op = sys.ops_of_type(blk, sys.library().by_name("mul").unwrap())[0];
+        let add_op = sys.ops_of_type(blk, sys.library().by_name("add").unwrap())[0];
+        let sub_op = sys.ops_of_type(blk, sys.library().by_name("sub").unwrap())[0];
+        assert!(sys.succs(mul_op).contains(&add_op));
+        assert!(sys.succs(add_op).contains(&sub_op));
+        assert!(sys.succs(mul_op).contains(&sub_op));
+        assert_eq!(sys.critical_path(blk), 4);
+    }
+
+    #[test]
+    fn commutative_cse_shares_reversed_operands() {
+        let sys = lower("process p time=9 { t := x * y; u := t + t; }").unwrap();
+        // x*y computed once, t+t computed once (same op twice as operand).
+        assert_eq!(sys.num_ops(), 2);
+    }
+
+    #[test]
+    fn square_uses_one_op() {
+        let sys = lower("process p time=9 { s := x; y := s * s; }").unwrap();
+        assert_eq!(sys.num_ops(), 1);
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let err = lower("process p time=9 { y := a + b; y := a - b; }").unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }));
+    }
+
+    #[test]
+    fn alias_statement_allows_reuse() {
+        // `s := x;` defines an alias of an input, not an operation.
+        let sys = lower("process p time=9 { s := x; y := s + z; }").unwrap();
+        assert_eq!(sys.num_ops(), 1);
+    }
+
+    #[test]
+    fn missing_operator_type_reported() {
+        let mut lib = ResourceLibrary::new();
+        lib.add(crate::ResourceType::new("add", 1)).unwrap();
+        let program = parse_program(&tokenize("process p time=3 { y := a + b; }").unwrap())
+            .unwrap();
+        let err = lower_program(&program, lib).unwrap_err();
+        assert!(matches!(err, IrError::Unknown { kind: "resource", .. }));
+    }
+}

@@ -1,0 +1,137 @@
+//! Behavioral frontend: compile arithmetic assignments into data-flow
+//! blocks.
+//!
+//! A miniature HLS input language, enough to write the paper's workloads
+//! as equations instead of hand-built graphs:
+//!
+//! ```text
+//! process diffeq time=15 {
+//!     u1 := u - 3*x*u*dx - 3*y*dx;
+//!     x1 := x + dx;
+//!     y1 := y + u*dx;
+//!     c  := x1 - a;
+//! }
+//! ```
+//!
+//! * every binary operator becomes one operation: `+` → `add`, `-` →
+//!   `sub`, `*` → `mul` (resolved by name in the supplied
+//!   [`ResourceLibrary`](crate::ResourceLibrary)),
+//! * identifiers defined by an earlier assignment feed their consumers
+//!   through dependency edges; undefined identifiers and numeric literals
+//!   are primary inputs,
+//! * structurally identical subexpressions are shared (common
+//!   subexpression elimination) within a block,
+//! * each `process` contributes one process with one block; several
+//!   `process` declarations build a multi-process system ready for
+//!   modulo scheduling.
+//!
+//! The pipeline is [`lexer`] → [`parser`] → [`lower`]; [`compile`] runs
+//! all three.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Expr, Program, Stmt};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use lower::lower_program;
+pub use parser::parse_program;
+
+use crate::error::IrError;
+use crate::resource::ResourceLibrary;
+use crate::system::System;
+
+/// Compiles behavioral source into a ready-to-schedule [`System`].
+///
+/// `library` must provide the types named `add`, `sub` and `mul` (e.g.
+/// [`crate::generators::paper_library`]).
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with line information for lexical/syntactic
+/// problems, [`IrError::Unknown`] for missing operator types, and the
+/// usual builder errors (e.g. infeasible deadlines) from lowering.
+///
+/// # Example
+///
+/// ```
+/// use tcms_ir::frontend::compile;
+/// use tcms_ir::generators::paper_library;
+///
+/// let (lib, _) = paper_library();
+/// let sys = compile("process p time=9 { y := a * b + c; }", lib)?;
+/// assert_eq!(sys.num_ops(), 2); // one mul, one add
+/// # Ok::<(), tcms_ir::IrError>(())
+/// ```
+pub fn compile(source: &str, library: ResourceLibrary) -> Result<System, IrError> {
+    let tokens = tokenize(source)?;
+    let program = parse_program(&tokens)?;
+    lower_program(&program, library)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_library;
+
+    #[test]
+    fn compile_diffeq_matches_generator_counts() {
+        // The canonical HAL loop written as equations produces the same
+        // operation mix as the hand-built generator (modulo CSE: the
+        // generator duplicates u*dx on purpose, so we write it twice via
+        // distinct parenthesisation-independent forms and disable sharing
+        // by using different operand orders).
+        let src = "
+process diffeq time=15 {
+    u1 := u - 3*x*u*dx - 3*y*dx;
+    x1 := x + dx;
+    y1 := y + dx*u;
+    c  := x1 - a;
+}
+";
+        let (lib, types) = paper_library();
+        let sys = compile(src, lib).unwrap();
+        assert_eq!(sys.num_processes(), 1);
+        let blk = sys.block_ids().next().unwrap();
+        // 3*x*u*dx = 3 muls, 3*y*dx = 2 muls, dx*u = 1 mul -> 6 muls.
+        assert_eq!(sys.ops_of_type(blk, types.mul).len(), 6);
+        assert_eq!(sys.ops_of_type(blk, types.sub).len(), 3);
+        assert_eq!(sys.ops_of_type(blk, types.add).len(), 2);
+        // Left-assoc chain ((3*x)*u)*dx then two subtractions: 3*2 + 2 = 8.
+        assert_eq!(sys.critical_path(blk), 8);
+    }
+
+    #[test]
+    fn multi_process_program() {
+        let src = "
+process a time=6 { y := p * q; }
+process b time=6 { z := p + q; }
+";
+        let (lib, _) = paper_library();
+        let sys = compile(src, lib).unwrap();
+        assert_eq!(sys.num_processes(), 2);
+        assert_eq!(sys.num_ops(), 2);
+    }
+
+    #[test]
+    fn cse_shares_identical_subexpressions() {
+        let (lib, types) = paper_library();
+        let sys = compile(
+            "process p time=9 { y := a*b + a*b; }",
+            lib,
+        )
+        .unwrap();
+        let blk = sys.block_ids().next().unwrap();
+        // a*b appears twice but is computed once.
+        assert_eq!(sys.ops_of_type(blk, types.mul).len(), 1);
+        assert_eq!(sys.ops_of_type(blk, types.add).len(), 1);
+    }
+
+    #[test]
+    fn infeasible_deadline_reported() {
+        let (lib, _) = paper_library();
+        let err = compile("process p time=1 { y := a*b + c; }", lib).unwrap_err();
+        assert!(matches!(err, IrError::InfeasibleDeadline { .. }));
+    }
+}

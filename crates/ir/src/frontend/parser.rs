@@ -1,0 +1,249 @@
+//! Recursive-descent parser of the behavioral input language.
+//!
+//! Grammar:
+//!
+//! ```text
+//! program  := process*
+//! process  := "process" IDENT "time" "=" NUMBER "{" stmt* "}"
+//! stmt     := IDENT ":=" expr ";"
+//! expr     := term (("+" | "-") term)*
+//! term     := factor ("*" factor)*
+//! factor   := IDENT | NUMBER | "(" expr ")"
+//! ```
+//!
+//! `+`/`-` are left-associative and bind weaker than `*`.
+
+use crate::error::IrError;
+
+use super::ast::{Expr, ProcessDecl, Program, Stmt};
+use super::lexer::{Token, TokenKind};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> IrError {
+        IrError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), IrError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, IrError> {
+        match self.peek() {
+            Some(TokenKind::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, IrError> {
+        match self.peek() {
+            Some(TokenKind::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, IrError> {
+        let mut processes = Vec::new();
+        while self.peek().is_some() {
+            processes.push(self.process()?);
+        }
+        Ok(Program { processes })
+    }
+
+    fn process(&mut self) -> Result<ProcessDecl, IrError> {
+        self.expect(&TokenKind::Process, "`process`")?;
+        let name = self.ident("process name")?;
+        let time_kw = self.ident("`time`")?;
+        if time_kw != "time" {
+            return Err(self.err("expected `time=<n>`"));
+        }
+        self.expect(&TokenKind::Equals, "`=`")?;
+        let time_range = self.number("time range")? as u32;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&TokenKind::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated process body"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(ProcessDecl {
+            name,
+            time_range,
+            stmts,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, IrError> {
+        let line = self.line();
+        let name = self.ident("value name")?;
+        self.expect(&TokenKind::Assign, "`:=`")?;
+        let expr = self.expr()?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(Stmt { name, expr, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.factor()?;
+        while self.peek() == Some(&TokenKind::Star) {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, IrError> {
+        match self.bump() {
+            Some(TokenKind::Ident(name)) => Ok(Expr::Var(name.clone())),
+            Some(TokenKind::Number(n)) => Ok(Expr::Const(*n)),
+            Some(TokenKind::LParen) => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier, number or `(`"))
+            }
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with the line of the offending token.
+pub fn parse_program(tokens: &[Token]) -> Result<Program, IrError> {
+    Parser { tokens, pos: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::lexer::tokenize;
+
+    fn parse(src: &str) -> Result<Program, IrError> {
+        parse_program(&tokenize(src).unwrap())
+    }
+
+    #[test]
+    fn parses_process_with_statements() {
+        let p = parse("process p time=9 { y := a*b + c; z := y - 1; }").unwrap();
+        assert_eq!(p.processes.len(), 1);
+        let d = &p.processes[0];
+        assert_eq!(d.name, "p");
+        assert_eq!(d.time_range, 9);
+        assert_eq!(d.stmts.len(), 2);
+        assert_eq!(d.stmts[0].expr.op_count(), 2);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("process p time=9 { y := a + b*c; }").unwrap();
+        match &p.processes[0].stmts[0].expr {
+            Expr::Add(l, r) => {
+                assert_eq!(**l, Expr::Var("a".into()));
+                assert!(matches!(**r, Expr::Mul(_, _)));
+            }
+            other => panic!("wrong tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let p = parse("process p time=9 { y := (a + b)*c; }").unwrap();
+        assert!(matches!(
+            p.processes[0].stmts[0].expr,
+            Expr::Mul(_, _)
+        ));
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        let p = parse("process p time=9 { y := a - b - c; }").unwrap();
+        match &p.processes[0].stmts[0].expr {
+            Expr::Sub(l, r) => {
+                assert!(matches!(**l, Expr::Sub(_, _)));
+                assert_eq!(**r, Expr::Var("c".into()));
+            }
+            other => panic!("wrong tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse("process p time=9 {\n y := ;\n}").unwrap_err();
+        assert!(matches!(e, IrError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn missing_brace_rejected() {
+        assert!(parse("process p time=9 { y := a;").is_err());
+        assert!(parse("process p { y := a; }").is_err());
+        assert!(parse("y := a;").is_err());
+    }
+
+    #[test]
+    fn empty_program_ok() {
+        assert_eq!(parse("").unwrap(), Program::default());
+    }
+}

@@ -1,0 +1,84 @@
+//! Auto-regressive (AR) lattice filter generator.
+//!
+//! A four-stage lattice with the published operation mix of the classic AR
+//! filter HLS benchmark: 16 multiplications and 12 additions (28
+//! operations). Each stage multiplies its two inputs by reflection
+//! coefficients, combines them, and produces two outputs for the next
+//! stage.
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::process::ProcessId;
+use crate::system::SystemBuilder;
+
+use super::PaperTypes;
+
+/// Number of lattice stages.
+pub const AR_STAGES: usize = 4;
+
+/// Operation count of the AR lattice block.
+pub const AR_OPS: usize = AR_STAGES * 7;
+
+/// Appends a four-stage AR-lattice process to `builder`.
+///
+/// # Errors
+///
+/// Returns a builder error for `time_range == 0`; an infeasible deadline
+/// surfaces at [`SystemBuilder::build`].
+pub fn add_ar_lattice_process(
+    builder: &mut SystemBuilder,
+    name: &str,
+    time_range: u32,
+    types: PaperTypes,
+) -> Result<(ProcessId, BlockId), IrError> {
+    let p = builder.add_process(name);
+    let b = builder.add_block(p, "body", time_range)?;
+    let mut carry: Option<(crate::op::OpId, crate::op::OpId)> = None;
+    for s in 0..AR_STAGES {
+        let prev: Vec<crate::op::OpId> = match carry {
+            Some((x, y)) => vec![x, y],
+            None => vec![],
+        };
+        let m1 = builder.add_op_with_preds(b, format!("s{s}_m1"), types.mul, &prev)?;
+        let m2 = builder.add_op_with_preds(b, format!("s{s}_m2"), types.mul, &prev)?;
+        let a1 = builder.add_op_with_preds(b, format!("s{s}_a1"), types.add, &[m1, m2])?;
+        let m3 = builder.add_op_with_preds(b, format!("s{s}_m3"), types.mul, &[a1])?;
+        let m4 = builder.add_op_with_preds(b, format!("s{s}_m4"), types.mul, &[a1])?;
+        let a2 = builder.add_op_with_preds(b, format!("s{s}_a2"), types.add, &[m3])?;
+        let a3 = builder.add_op_with_preds(b, format!("s{s}_a3"), types.add, &[m4])?;
+        carry = Some((a2, a3));
+    }
+    Ok((p, b))
+}
+
+/// Critical path of the AR lattice for the paper's operator set
+/// (per stage: mul, add, mul, add).
+pub fn ar_critical_path(mul_delay: u32, add_delay: u32) -> u32 {
+    AR_STAGES as u32 * (2 * mul_delay + 2 * add_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_library;
+
+    #[test]
+    fn ar_counts_and_critical_path() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_ar_lattice_process(&mut b, "ar", 40, types).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.block(blk).len(), AR_OPS);
+        assert_eq!(sys.ops_of_type(blk, types.mul).len(), 16);
+        assert_eq!(sys.ops_of_type(blk, types.add).len(), 12);
+        assert_eq!(sys.critical_path(blk), ar_critical_path(2, 1));
+    }
+
+    #[test]
+    fn tight_deadline_feasible() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_ar_lattice_process(&mut b, "ar", ar_critical_path(2, 1), types).unwrap();
+        assert!(b.build().is_ok());
+    }
+}

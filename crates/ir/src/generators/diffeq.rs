@@ -1,0 +1,106 @@
+//! HAL differential-equation solver main loop.
+//!
+//! The canonical HLS benchmark computing one Euler step of
+//! `y'' + 3xy' + 3y = 0`:
+//!
+//! ```text
+//! u' = u - 3*x*u*dx - 3*y*dx
+//! x' = x + dx
+//! y' = y + u*dx
+//! c  = x' < a        (comparator; substituted by a subtraction, as in the
+//!                     paper's experiment)
+//! ```
+//!
+//! Decomposed into 6 multiplications, 2 additions and 3 subtractions
+//! (11 operations) with a critical path of 6 control steps for a unit-delay
+//! adder/subtracter and a two-cycle multiplier.
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::process::ProcessId;
+use crate::system::SystemBuilder;
+
+use super::PaperTypes;
+
+/// Appends one diffeq-solver-loop process to `builder`.
+///
+/// The process has a single block `body` with `time_range` control steps.
+///
+/// # Errors
+///
+/// Returns [`IrError::ZeroTimeRange`] for `time_range == 0`; a
+/// `time_range < 6` only surfaces at [`SystemBuilder::build`] as
+/// [`IrError::InfeasibleDeadline`].
+pub fn add_diffeq_process(
+    builder: &mut SystemBuilder,
+    name: &str,
+    time_range: u32,
+    types: PaperTypes,
+) -> Result<(ProcessId, BlockId), IrError> {
+    let p = builder.add_process(name);
+    let b = builder.add_block(p, "body", time_range)?;
+
+    let m1 = builder.add_op(b, "m1", types.mul)?; // 3 * x
+    let m2 = builder.add_op(b, "m2", types.mul)?; // u * dx
+    let m3 = builder.add_op_with_preds(b, "m3", types.mul, &[m1, m2])?; // 3x * u dx
+    let m4 = builder.add_op(b, "m4", types.mul)?; // 3 * y
+    let m5 = builder.add_op_with_preds(b, "m5", types.mul, &[m4])?; // dx * 3y
+    let s1 = builder.add_op_with_preds(b, "s1", types.sub, &[m3])?; // u - m3
+    let _s2 = builder.add_op_with_preds(b, "s2", types.sub, &[s1, m5])?; // u'
+    let a1 = builder.add_op(b, "a1", types.add)?; // x' = x + dx
+    let m6 = builder.add_op(b, "m6", types.mul)?; // u * dx (second use)
+    let _a2 = builder.add_op_with_preds(b, "a2", types.add, &[m6])?; // y'
+    let _s3 = builder.add_op_with_preds(b, "s3", types.sub, &[a1])?; // x' < a
+
+    Ok((p, b))
+}
+
+/// Minimum feasible time range of the diffeq block (its critical path).
+pub const DIFFEQ_CRITICAL_PATH: u32 = 6;
+
+/// Operation count of the diffeq block.
+pub const DIFFEQ_OPS: usize = 11;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_library;
+
+    fn diffeq() -> (crate::System, BlockId, PaperTypes) {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_diffeq_process(&mut b, "P4", 15, types).unwrap();
+        (b.build().unwrap(), blk, types)
+    }
+
+    #[test]
+    fn canonical_op_counts() {
+        let (sys, blk, t) = diffeq();
+        assert_eq!(sys.block(blk).len(), DIFFEQ_OPS);
+        assert_eq!(sys.ops_of_type(blk, t.mul).len(), 6);
+        assert_eq!(sys.ops_of_type(blk, t.add).len(), 2);
+        assert_eq!(sys.ops_of_type(blk, t.sub).len(), 3);
+    }
+
+    #[test]
+    fn canonical_critical_path() {
+        let (sys, blk, _) = diffeq();
+        assert_eq!(sys.critical_path(blk), DIFFEQ_CRITICAL_PATH);
+    }
+
+    #[test]
+    fn tight_deadline_is_feasible() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_diffeq_process(&mut b, "P", DIFFEQ_CRITICAL_PATH, types).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn below_critical_path_is_infeasible() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_diffeq_process(&mut b, "P", DIFFEQ_CRITICAL_PATH - 1, types).unwrap();
+        assert!(matches!(b.build(), Err(IrError::InfeasibleDeadline { .. })));
+    }
+}

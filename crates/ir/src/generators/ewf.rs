@@ -1,0 +1,183 @@
+//! Fifth-order elliptical wave filter (EWF) benchmark.
+//!
+//! The EWF from the 1992 HLS workshop benchmark set is the paper's main
+//! workload. The original netlist is not reproduced digit-for-digit in the
+//! available paper text, so this generator emits a deterministic graph
+//! pinned to the benchmark's published invariants, which are all a
+//! time-constrained scheduler observes:
+//!
+//! * 34 operations: 26 additions and 8 multiplications,
+//! * critical path of exactly 17 control steps with a unit-delay adder and
+//!   a two-cycle (pipelined) multiplier,
+//! * a long additive spine with multiplications embedded in it and several
+//!   shorter side chains of varying slack feeding the spine.
+//!
+//! These invariants are asserted by unit tests below.
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::process::ProcessId;
+use crate::system::SystemBuilder;
+
+use super::PaperTypes;
+
+/// Appends one elliptical-wave-filter process to `builder`.
+///
+/// The process has a single block `body` with `time_range` control steps.
+///
+/// # Errors
+///
+/// Returns [`IrError::ZeroTimeRange`] for `time_range == 0`; a
+/// `time_range < 17` only surfaces at [`SystemBuilder::build`] as
+/// [`IrError::InfeasibleDeadline`].
+pub fn add_ewf_process(
+    builder: &mut SystemBuilder,
+    name: &str,
+    time_range: u32,
+    types: PaperTypes,
+) -> Result<(ProcessId, BlockId), IrError> {
+    let p = builder.add_process(name);
+    let b = builder.add_block(p, "body", time_range)?;
+    let add = |bld: &mut SystemBuilder, n: &str| bld.add_op(b, n, types.add);
+    let mul = |bld: &mut SystemBuilder, n: &str| bld.add_op(b, n, types.mul);
+
+    // Additive spine with two embedded multiplications:
+    // a1..a3 -> m1 -> a4..a7 -> m2 -> a8..a13  (13 adds + 2 muls = 17 steps).
+    let a1 = add(builder, "a1")?;
+    let a2 = add(builder, "a2")?;
+    let a3 = add(builder, "a3")?;
+    let m1 = mul(builder, "m1")?;
+    let a4 = add(builder, "a4")?;
+    let a5 = add(builder, "a5")?;
+    let a6 = add(builder, "a6")?;
+    let a7 = add(builder, "a7")?;
+    let m2 = mul(builder, "m2")?;
+    let a8 = add(builder, "a8")?;
+    let a9 = add(builder, "a9")?;
+    let a10 = add(builder, "a10")?;
+    let a11 = add(builder, "a11")?;
+    let a12 = add(builder, "a12")?;
+    let a13 = add(builder, "a13")?;
+    let spine = [a1, a2, a3, m1, a4, a5, a6, a7, m2, a8, a9, a10, a11, a12, a13];
+    for w in spine.windows(2) {
+        builder.add_dep(w[0], w[1])?;
+    }
+
+    // Side chains (adaptor sections): 13 adds s1..s13 and 6 muls n1..n6.
+    let n1 = mul(builder, "n1")?;
+    let s1 = add(builder, "s1")?;
+    builder.add_dep(n1, s1)?;
+    builder.add_dep(s1, a4)?;
+
+    let n2 = mul(builder, "n2")?;
+    let s2 = add(builder, "s2")?;
+    let s3 = add(builder, "s3")?;
+    builder.add_dep(n2, s2)?;
+    builder.add_dep(s2, s3)?;
+    builder.add_dep(s3, a7)?;
+
+    let n3 = mul(builder, "n3")?;
+    let s4 = add(builder, "s4")?;
+    builder.add_dep(n3, s4)?;
+    builder.add_dep(s4, a8)?;
+
+    let s5 = add(builder, "s5")?;
+    let n4 = mul(builder, "n4")?;
+    let s6 = add(builder, "s6")?;
+    builder.add_dep(s5, n4)?;
+    builder.add_dep(n4, s6)?;
+    builder.add_dep(s6, a10)?;
+
+    let s7 = add(builder, "s7")?;
+    let s8 = add(builder, "s8")?;
+    let n5 = mul(builder, "n5")?;
+    builder.add_dep(s7, s8)?;
+    builder.add_dep(s8, n5)?;
+    builder.add_dep(n5, a11)?;
+
+    let n6 = mul(builder, "n6")?;
+    let s9 = add(builder, "s9")?;
+    builder.add_dep(a3, n6)?;
+    builder.add_dep(n6, s9)?;
+    builder.add_dep(s9, a9)?;
+
+    let s10 = add(builder, "s10")?;
+    builder.add_dep(a5, s10)?;
+    builder.add_dep(s10, a8)?;
+
+    let s11 = add(builder, "s11")?;
+    let s12 = add(builder, "s12")?;
+    builder.add_dep(m1, s11)?;
+    builder.add_dep(s11, s12)?;
+    builder.add_dep(s12, a12)?;
+
+    let s13 = add(builder, "s13")?;
+    builder.add_dep(a8, s13)?;
+    builder.add_dep(s13, a13)?;
+
+    Ok((p, b))
+}
+
+/// Minimum feasible time range of the EWF block (its critical path).
+pub const EWF_CRITICAL_PATH: u32 = 17;
+
+/// Operation count of the EWF block.
+pub const EWF_OPS: usize = 34;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_library;
+
+    fn ewf() -> (crate::System, BlockId, PaperTypes) {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_ewf_process(&mut b, "P1", 30, types).unwrap();
+        (b.build().unwrap(), blk, types)
+    }
+
+    #[test]
+    fn published_op_counts() {
+        let (sys, blk, t) = ewf();
+        assert_eq!(sys.block(blk).len(), EWF_OPS);
+        assert_eq!(sys.ops_of_type(blk, t.add).len(), 26);
+        assert_eq!(sys.ops_of_type(blk, t.mul).len(), 8);
+        assert_eq!(sys.ops_of_type(blk, t.sub).len(), 0);
+    }
+
+    #[test]
+    fn published_critical_path() {
+        let (sys, blk, _) = ewf();
+        assert_eq!(sys.critical_path(blk), EWF_CRITICAL_PATH);
+    }
+
+    #[test]
+    fn tight_deadline_is_feasible() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_ewf_process(&mut b, "P", EWF_CRITICAL_PATH, types).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn below_critical_path_is_infeasible() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_ewf_process(&mut b, "P", EWF_CRITICAL_PATH - 1, types).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(IrError::InfeasibleDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn two_instances_are_independent() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        add_ewf_process(&mut b, "P1", 30, types).unwrap();
+        add_ewf_process(&mut b, "P2", 50, types).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.num_ops(), 2 * EWF_OPS);
+        assert_eq!(sys.num_processes(), 2);
+    }
+}

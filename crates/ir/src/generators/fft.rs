@@ -1,0 +1,125 @@
+//! Radix-2 FFT data-flow generator.
+//!
+//! Generates the butterfly network of an `n`-point decimation-in-time FFT.
+//! Each butterfly is modelled with one (twiddle) multiplication, one
+//! addition and one subtraction; the network has `n/2 · log2(n)`
+//! butterflies.
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::op::OpId;
+use crate::process::ProcessId;
+use crate::system::SystemBuilder;
+
+use super::PaperTypes;
+
+/// Appends an `n`-point FFT process to `builder`.
+///
+/// # Errors
+///
+/// Returns a builder error for `time_range == 0`; an infeasible deadline
+/// surfaces at [`SystemBuilder::build`].
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two with `n >= 2`.
+pub fn add_fft_process(
+    builder: &mut SystemBuilder,
+    name: &str,
+    n: usize,
+    time_range: u32,
+    types: PaperTypes,
+) -> Result<(ProcessId, BlockId), IrError> {
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    let p = builder.add_process(name);
+    let b = builder.add_block(p, "body", time_range)?;
+    // lanes[i] holds the op currently producing lane i (None = primary input).
+    let mut lanes: Vec<Option<OpId>> = vec![None; n];
+    let stages = n.trailing_zeros() as usize;
+    for s in 0..stages {
+        let half = 1usize << s;
+        let mut bf = 0usize;
+        let mut base = 0usize;
+        while base < n {
+            for k in 0..half {
+                let i = base + k;
+                let j = i + half;
+                let mut preds = Vec::new();
+                if let Some(src) = lanes[j] {
+                    preds.push(src);
+                }
+                let tw = builder.add_op_with_preds(
+                    b,
+                    format!("s{s}_b{bf}_tw"),
+                    types.mul,
+                    &preds,
+                )?;
+                let mut preds_sum = vec![tw];
+                if let Some(src) = lanes[i] {
+                    preds_sum.push(src);
+                }
+                let sum = builder.add_op_with_preds(
+                    b,
+                    format!("s{s}_b{bf}_add"),
+                    types.add,
+                    &preds_sum,
+                )?;
+                let diff = builder.add_op_with_preds(
+                    b,
+                    format!("s{s}_b{bf}_sub"),
+                    types.sub,
+                    &preds_sum,
+                )?;
+                lanes[i] = Some(sum);
+                lanes[j] = Some(diff);
+                bf += 1;
+            }
+            base += 2 * half;
+        }
+    }
+    Ok((p, b))
+}
+
+/// Critical path of an `n`-point FFT for the paper's operator set
+/// (per stage: twiddle multiply then add/sub).
+pub fn fft_critical_path(n: usize, mul_delay: u32, add_delay: u32) -> u32 {
+    (n.trailing_zeros()) * (mul_delay + add_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_library;
+
+    #[test]
+    fn fft8_counts() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_fft_process(&mut b, "fft", 8, 20, types).unwrap();
+        let sys = b.build().unwrap();
+        // 8-point: 3 stages x 4 butterflies x 3 ops.
+        assert_eq!(sys.block(blk).len(), 36);
+        assert_eq!(sys.ops_of_type(blk, types.mul).len(), 12);
+        assert_eq!(sys.ops_of_type(blk, types.add).len(), 12);
+        assert_eq!(sys.ops_of_type(blk, types.sub).len(), 12);
+        assert_eq!(sys.critical_path(blk), fft_critical_path(8, 2, 1));
+    }
+
+    #[test]
+    fn fft2_is_single_butterfly() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_fft_process(&mut b, "fft", 2, 5, types).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.block(blk).len(), 3);
+        assert_eq!(sys.critical_path(blk), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let _ = add_fft_process(&mut b, "fft", 6, 20, types);
+    }
+}

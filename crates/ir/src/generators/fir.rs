@@ -1,0 +1,84 @@
+//! N-tap FIR filter generator.
+//!
+//! `y = Σ c_i · x_i` decomposed into `n` coefficient multiplications and an
+//! accumulation chain of `n-1` additions. The critical path is
+//! `mul_delay + (n-1) · add_delay`.
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::process::ProcessId;
+use crate::system::SystemBuilder;
+
+use super::PaperTypes;
+
+/// Appends an `taps`-tap FIR filter process to `builder`.
+///
+/// # Errors
+///
+/// Returns a builder error for `time_range == 0`; an infeasible deadline
+/// surfaces at [`SystemBuilder::build`].
+///
+/// # Panics
+///
+/// Panics if `taps < 2`.
+pub fn add_fir_process(
+    builder: &mut SystemBuilder,
+    name: &str,
+    taps: usize,
+    time_range: u32,
+    types: PaperTypes,
+) -> Result<(ProcessId, BlockId), IrError> {
+    assert!(taps >= 2, "a FIR filter needs at least 2 taps");
+    let p = builder.add_process(name);
+    let b = builder.add_block(p, "body", time_range)?;
+    let mut products = Vec::with_capacity(taps);
+    for i in 0..taps {
+        products.push(builder.add_op(b, format!("m{i}"), types.mul)?);
+    }
+    let mut acc = builder.add_op_with_preds(b, "acc0", types.add, &[products[0], products[1]])?;
+    for (i, &m) in products.iter().enumerate().skip(2) {
+        acc = builder.add_op_with_preds(b, format!("acc{}", i - 1), types.add, &[acc, m])?;
+    }
+    Ok((p, b))
+}
+
+/// Critical path of an `taps`-tap FIR block for the paper's operator set.
+pub fn fir_critical_path(taps: usize, mul_delay: u32, add_delay: u32) -> u32 {
+    mul_delay + (taps as u32 - 1) * add_delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_library;
+
+    #[test]
+    fn fir_counts_and_critical_path() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_fir_process(&mut b, "fir", 8, 20, types).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.block(blk).len(), 8 + 7);
+        assert_eq!(sys.ops_of_type(blk, types.mul).len(), 8);
+        assert_eq!(sys.ops_of_type(blk, types.add).len(), 7);
+        assert_eq!(sys.critical_path(blk), fir_critical_path(8, 2, 1));
+    }
+
+    #[test]
+    fn minimal_fir() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_fir_process(&mut b, "fir", 2, 3, types).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.block(blk).len(), 3);
+        assert_eq!(sys.critical_path(blk), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 taps")]
+    fn one_tap_panics() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let _ = add_fir_process(&mut b, "fir", 1, 10, types);
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic generators for the classic HLS benchmark graphs.
+//!
+//! The paper's experiment (Table 1) schedules three elliptical wave filters
+//! ([`ewf`]) and two differential-equation solver main loops ([`diffeq`])
+//! with the HLS-workshop-1992 operator set: unit-delay adder/subtracter of
+//! area 1 and a two-cycle pipelined multiplier of area 4. [`paper_library`]
+//! builds exactly that operator set.
+//!
+//! Additional generators ([`fir`], [`ar_lattice`], [`fft`], [`random`])
+//! provide larger and randomised workloads for the scaling benchmarks.
+
+pub mod ar_lattice;
+pub mod diffeq;
+pub mod ewf;
+pub mod fft;
+pub mod fir;
+pub mod random;
+
+pub use ar_lattice::add_ar_lattice_process;
+pub use diffeq::add_diffeq_process;
+pub use ewf::add_ewf_process;
+pub use fft::add_fft_process;
+pub use fir::add_fir_process;
+pub use random::{random_system, RandomSystemConfig};
+
+use crate::error::IrError;
+use crate::resource::{ResourceLibrary, ResourceType, ResourceTypeId};
+
+/// Resource-type handles of the paper's operator set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperTypes {
+    /// Unit-delay adder, area 1.
+    pub add: ResourceTypeId,
+    /// Unit-delay subtracter, area 1 (substitutes the comparator, as in the
+    /// paper).
+    pub sub: ResourceTypeId,
+    /// Two-cycle pipelined multiplier, area 4.
+    pub mul: ResourceTypeId,
+}
+
+/// Builds the paper's operator library: `add` (delay 1, area 1), `sub`
+/// (delay 1, area 1) and `mul` (delay 2, pipelined, area 4).
+///
+/// # Example
+///
+/// ```
+/// let (lib, t) = tcms_ir::generators::paper_library();
+/// assert_eq!(lib.get(t.mul).delay(), 2);
+/// assert!(lib.get(t.mul).is_pipelined());
+/// assert_eq!(lib.get(t.add).area(), 1);
+/// ```
+pub fn paper_library() -> (ResourceLibrary, PaperTypes) {
+    let mut lib = ResourceLibrary::new();
+    let add = lib
+        .add(ResourceType::new("add", 1).with_area(1))
+        .expect("fresh library");
+    let sub = lib
+        .add(ResourceType::new("sub", 1).with_area(1))
+        .expect("fresh library");
+    let mul = lib
+        .add(ResourceType::new("mul", 2).pipelined().with_area(4))
+        .expect("fresh library");
+    (lib, PaperTypes { add, sub, mul })
+}
+
+/// Builds the paper's Table-1 system: processes `P1`,`P2`,`P3` are
+/// elliptical wave filters and `P4`,`P5` are diffeq solver loops.
+///
+/// The time constraints are the DESIGN.md substitutions for the OCR-garbled
+/// values: `T(P1)=T(P2)=30`, `T(P3)=50`, `T(P4)=T(P5)=15`.
+///
+/// # Errors
+///
+/// Never fails for the fixed parameters; the `Result` mirrors the builder
+/// API.
+pub fn paper_system() -> Result<(crate::System, PaperTypes), IrError> {
+    let (lib, types) = paper_library();
+    let mut b = crate::SystemBuilder::new(lib);
+    add_ewf_process(&mut b, "P1", 30, types)?;
+    add_ewf_process(&mut b, "P2", 30, types)?;
+    add_ewf_process(&mut b, "P3", 50, types)?;
+    add_diffeq_process(&mut b, "P4", 15, types)?;
+    add_diffeq_process(&mut b, "P5", 15, types)?;
+    Ok((b.build()?, types))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_library_matches_paper_parameters() {
+        let (lib, t) = paper_library();
+        assert_eq!(lib.get(t.add).delay(), 1);
+        assert_eq!(lib.get(t.sub).delay(), 1);
+        assert_eq!(lib.get(t.mul).delay(), 2);
+        assert_eq!(lib.get(t.mul).occupancy(), 1);
+        assert_eq!(lib.get(t.add).area(), 1);
+        assert_eq!(lib.get(t.sub).area(), 1);
+        assert_eq!(lib.get(t.mul).area(), 4);
+    }
+
+    #[test]
+    fn paper_system_shape() {
+        let (sys, t) = paper_system().unwrap();
+        assert_eq!(sys.num_processes(), 5);
+        assert_eq!(sys.num_blocks(), 5);
+        // 3 EWF x 34 ops + 2 diffeq x 11 ops.
+        assert_eq!(sys.num_ops(), 3 * 34 + 2 * 11);
+        // Subtraction only appears in the diffeq processes.
+        let sub_users = sys.users_of_type(t.sub);
+        assert_eq!(sub_users.len(), 2);
+        // Adder and multiplier are used by all five processes.
+        assert_eq!(sys.users_of_type(t.add).len(), 5);
+        assert_eq!(sys.users_of_type(t.mul).len(), 5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Seeded random multi-process systems for scaling benchmarks.
+//!
+//! Blocks are layered DAGs: operations in layer `l` may depend on
+//! operations of layer `l-1`. The block time range is derived from the
+//! generated critical path via a slack factor, so every generated system is
+//! feasible by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::IrError;
+use crate::resource::ResourceTypeId;
+use crate::system::{System, SystemBuilder};
+
+use super::{paper_library, PaperTypes};
+
+/// Parameters for [`random_system`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSystemConfig {
+    /// Number of independent processes.
+    pub processes: usize,
+    /// Number of blocks per process.
+    pub blocks_per_process: usize,
+    /// Number of DAG layers per block.
+    pub layers: usize,
+    /// Inclusive range of operations per layer.
+    pub ops_per_layer: (usize, usize),
+    /// Probability of an edge from a layer-`l-1` op to a layer-`l` op.
+    pub edge_prob: f64,
+    /// Time range = ceil(critical path × slack); must be ≥ 1.0.
+    pub slack: f64,
+    /// Relative weights of add/sub/mul operations.
+    pub type_weights: [u32; 3],
+}
+
+impl Default for RandomSystemConfig {
+    fn default() -> Self {
+        RandomSystemConfig {
+            processes: 4,
+            blocks_per_process: 1,
+            layers: 5,
+            ops_per_layer: (2, 4),
+            edge_prob: 0.5,
+            slack: 2.0,
+            type_weights: [4, 1, 2],
+        }
+    }
+}
+
+/// Generates a feasible random system with the paper's operator set.
+///
+/// The same `seed` and config always produce the same system.
+///
+/// # Errors
+///
+/// Propagates builder errors; the default configuration never fails.
+///
+/// # Panics
+///
+/// Panics if `slack < 1.0`, `layers == 0`, an empty `ops_per_layer` range
+/// or all-zero `type_weights` are supplied.
+pub fn random_system(
+    config: &RandomSystemConfig,
+    seed: u64,
+) -> Result<(System, PaperTypes), IrError> {
+    assert!(config.slack >= 1.0, "slack must be at least 1.0");
+    assert!(config.layers > 0, "need at least one layer");
+    assert!(
+        config.ops_per_layer.0 >= 1 && config.ops_per_layer.0 <= config.ops_per_layer.1,
+        "invalid ops_per_layer range"
+    );
+    let total_weight: u32 = config.type_weights.iter().sum();
+    assert!(total_weight > 0, "type weights must not all be zero");
+
+    let (lib, types) = paper_library();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = SystemBuilder::new(lib);
+
+    for pi in 0..config.processes {
+        let p = builder.add_process(format!("R{pi}"));
+        for bi in 0..config.blocks_per_process {
+            // Generate the shape first so the feasible time range is known
+            // before the block is created.
+            let mut layer_types: Vec<Vec<ResourceTypeId>> = Vec::with_capacity(config.layers);
+            let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (layer, from, to)
+            for l in 0..config.layers {
+                let count = rng.random_range(config.ops_per_layer.0..=config.ops_per_layer.1);
+                let mut row = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let mut pick = rng.random_range(0..total_weight);
+                    let mut idx = 0;
+                    for (i, &w) in config.type_weights.iter().enumerate() {
+                        if pick < w {
+                            idx = i;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    row.push([types.add, types.sub, types.mul][idx]);
+                }
+                if l > 0 {
+                    for from in 0..layer_types[l - 1].len() {
+                        let mut attached = false;
+                        for to in 0..row.len() {
+                            if rng.random_bool(config.edge_prob) {
+                                edges.push((l, from, to));
+                                attached = true;
+                            }
+                        }
+                        // Keep the DAG connected between layers so the
+                        // critical path grows with the layer count.
+                        if !attached {
+                            edges.push((l, from, rng.random_range(0..row.len())));
+                        }
+                    }
+                }
+                layer_types.push(row);
+            }
+            // Longest path over the generated shape.
+            let delay = |t: ResourceTypeId| if t == types.mul { 2u32 } else { 1 };
+            let mut finish: Vec<Vec<u32>> = Vec::with_capacity(config.layers);
+            for (l, row) in layer_types.iter().enumerate() {
+                let mut f: Vec<u32> = row.iter().map(|&t| delay(t)).collect();
+                if l > 0 {
+                    for &(el, from, to) in edges.iter().filter(|e| e.0 == l) {
+                        debug_assert_eq!(el, l);
+                        let start = finish[l - 1][from];
+                        f[to] = f[to].max(start + delay(row[to]));
+                    }
+                }
+                finish.push(f);
+            }
+            let cp = finish
+                .iter()
+                .flat_map(|f| f.iter().copied())
+                .max()
+                .unwrap_or(1);
+            let time_range = ((cp as f64) * config.slack).ceil() as u32;
+
+            let b = builder.add_block(p, format!("blk{bi}"), time_range.max(1))?;
+            let mut ids: Vec<Vec<crate::op::OpId>> = Vec::with_capacity(config.layers);
+            for (l, row) in layer_types.iter().enumerate() {
+                let mut id_row = Vec::with_capacity(row.len());
+                for (i, &t) in row.iter().enumerate() {
+                    id_row.push(builder.add_op(b, format!("l{l}_o{i}"), t)?);
+                }
+                ids.push(id_row);
+            }
+            for &(l, from, to) in &edges {
+                builder.add_dep(ids[l - 1][from], ids[l][to])?;
+            }
+        }
+    }
+    Ok((builder.build()?, types))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RandomSystemConfig::default();
+        let (a, _) = random_system(&cfg, 7).unwrap();
+        let (b, _) = random_system(&cfg, 7).unwrap();
+        assert_eq!(
+            crate::display::to_dfg(&a),
+            crate::display::to_dfg(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomSystemConfig::default();
+        let (a, _) = random_system(&cfg, 1).unwrap();
+        let (b, _) = random_system(&cfg, 2).unwrap();
+        assert_ne!(crate::display::to_dfg(&a), crate::display::to_dfg(&b));
+    }
+
+    #[test]
+    fn generated_systems_are_feasible() {
+        for seed in 0..20 {
+            let cfg = RandomSystemConfig {
+                processes: 3,
+                blocks_per_process: 2,
+                layers: 4,
+                ops_per_layer: (1, 5),
+                edge_prob: 0.4,
+                slack: 1.5,
+                type_weights: [3, 1, 2],
+            };
+            let (sys, _) = random_system(&cfg, seed).unwrap();
+            assert_eq!(sys.num_processes(), 3);
+            assert_eq!(sys.num_blocks(), 6);
+            for (bid, blk) in sys.blocks() {
+                assert!(sys.critical_path(bid) <= blk.time_range());
+            }
+        }
+    }
+
+    #[test]
+    fn tight_slack_still_feasible() {
+        let cfg = RandomSystemConfig {
+            slack: 1.0,
+            ..RandomSystemConfig::default()
+        };
+        let (sys, _) = random_system(&cfg, 99).unwrap();
+        assert!(sys.num_ops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be at least")]
+    fn slack_below_one_panics() {
+        let cfg = RandomSystemConfig {
+            slack: 0.5,
+            ..RandomSystemConfig::default()
+        };
+        let _ = random_system(&cfg, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Generic DAG utilities used on block data-flow graphs.
+//!
+//! The functions work on any node set with a successor function, so the
+//! schedulers can reuse them on tentative sub-graphs.
+
+use std::collections::HashMap;
+
+use crate::op::OpId;
+
+/// Kahn topological sort over `nodes`.
+///
+/// Returns `None` if the sub-graph induced by `nodes` contains a cycle.
+/// Successors outside `nodes` are ignored.
+pub fn topo_order<'a, S>(nodes: &[OpId], mut succs: S) -> Option<Vec<OpId>>
+where
+    S: FnMut(OpId) -> &'a [OpId],
+{
+    let in_set: HashMap<OpId, usize> = nodes.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    let mut indeg = vec![0usize; nodes.len()];
+    for &n in nodes {
+        for &s in succs(n) {
+            if let Some(&j) = in_set.get(&s) {
+                indeg[j] += 1;
+            }
+        }
+    }
+    let mut stack: Vec<OpId> = nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| indeg[i] == 0)
+        .map(|(_, &o)| o)
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(n) = stack.pop() {
+        order.push(n);
+        for &s in succs(n) {
+            if let Some(&j) = in_set.get(&s) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    (order.len() == nodes.len()).then_some(order)
+}
+
+/// Length of the longest weighted path through `nodes`, where each node
+/// contributes `weight(node)` steps.
+///
+/// Returns `None` on a cycle. An empty node set has length 0.
+pub fn longest_path<'a, S, W>(nodes: &[OpId], mut succs: S, mut weight: W) -> Option<u32>
+where
+    S: FnMut(OpId) -> &'a [OpId],
+    W: FnMut(OpId) -> u32,
+{
+    let order = topo_order(nodes, &mut succs)?;
+    let mut finish: HashMap<OpId, u32> = HashMap::with_capacity(nodes.len());
+    let mut best = 0;
+    for &n in &order {
+        let start = finish.get(&n).copied().unwrap_or(0);
+        let end = start + weight(n);
+        best = best.max(end);
+        for &s in succs(n) {
+            let e = finish.entry(s).or_insert(0);
+            *e = (*e).max(end);
+        }
+    }
+    Some(best)
+}
+
+/// All nodes reachable from `from` (excluding `from` itself) inside `nodes`.
+pub fn descendants<'a, S>(nodes: &[OpId], from: OpId, mut succs: S) -> Vec<OpId>
+where
+    S: FnMut(OpId) -> &'a [OpId],
+{
+    let in_set: std::collections::HashSet<OpId> = nodes.iter().copied().collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![from];
+    let mut out = Vec::new();
+    while let Some(n) = stack.pop() {
+        for &s in succs(n) {
+            if in_set.contains(&s) && seen.insert(s) {
+                out.push(s);
+                stack.push(s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<OpId> {
+        v.iter().map(|&i| OpId(i)).collect()
+    }
+
+    struct Adj(Vec<Vec<OpId>>);
+    impl Adj {
+        fn succs(&self, o: OpId) -> &[OpId] {
+            &self.0[o.index()]
+        }
+    }
+
+    #[test]
+    fn topo_chain() {
+        let adj = Adj(vec![ids(&[1]), ids(&[2]), vec![]]);
+        let order = topo_order(&ids(&[0, 1, 2]), |o| adj.succs(o)).unwrap();
+        assert_eq!(order, ids(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn topo_detects_cycle() {
+        let adj = Adj(vec![ids(&[1]), ids(&[0])]);
+        assert!(topo_order(&ids(&[0, 1]), |o| adj.succs(o)).is_none());
+    }
+
+    #[test]
+    fn topo_ignores_external_successors() {
+        // Node 0 points at node 5, which is not part of the node set.
+        let adj = Adj(vec![ids(&[5]), vec![], vec![], vec![], vec![], vec![]]);
+        let order = topo_order(&ids(&[0, 1]), |o| adj.succs(o)).unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn longest_path_weighted() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3; weights 1,2,1,1 => longest 0,1,3 = 4.
+        let adj = Adj(vec![ids(&[1, 2]), ids(&[3]), ids(&[3]), vec![]]);
+        let w = [1, 2, 1, 1];
+        let lp = longest_path(&ids(&[0, 1, 2, 3]), |o| adj.succs(o), |o| w[o.index()]).unwrap();
+        assert_eq!(lp, 4);
+    }
+
+    #[test]
+    fn longest_path_empty() {
+        let adj = Adj(vec![]);
+        assert_eq!(longest_path(&[], |o| adj.succs(o), |_| 1), Some(0));
+    }
+
+    #[test]
+    fn longest_path_parallel_nodes() {
+        let adj = Adj(vec![vec![], vec![]]);
+        let lp = longest_path(&ids(&[0, 1]), |o| adj.succs(o), |_| 3).unwrap();
+        assert_eq!(lp, 3);
+    }
+
+    #[test]
+    fn descendants_diamond() {
+        let adj = Adj(vec![ids(&[1, 2]), ids(&[3]), ids(&[3]), vec![]]);
+        let mut d = descendants(&ids(&[0, 1, 2, 3]), OpId(0), |o| adj.succs(o));
+        d.sort();
+        assert_eq!(d, ids(&[1, 2, 3]));
+        assert!(descendants(&ids(&[0, 1, 2, 3]), OpId(3), |o| adj.succs(o)).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Operations: the atomic schedulable units of a data-flow graph.
+
+use std::fmt;
+
+use crate::block::BlockId;
+use crate::resource::ResourceTypeId;
+
+/// Identifier of an [`Operation`] inside a [`crate::System`].
+///
+/// Ids are dense across the whole system (not per block), which allows
+/// schedulers to use flat `Vec`s indexed by [`OpId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Dense index of this operation within the system.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index produced by [`OpId::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        OpId(index as u32)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// One operation of a block's data-flow graph.
+///
+/// An operation executes on exactly one resource type and belongs to exactly
+/// one block; precedence edges are stored on the [`crate::System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    pub(crate) name: String,
+    pub(crate) rtype: ResourceTypeId,
+    pub(crate) block: BlockId,
+}
+
+impl Operation {
+    /// Human-readable name, unique within its block.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resource type executing this operation.
+    pub fn resource_type(&self) -> ResourceTypeId {
+        self.rtype
+    }
+
+    /// The block this operation belongs to.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_id_round_trip() {
+        let id = OpId::from_index(11);
+        assert_eq!(id.index(), 11);
+        assert_eq!(id.to_string(), "o11");
+    }
+
+    #[test]
+    fn op_ids_order_by_index() {
+        assert!(OpId(2) < OpId(10));
+    }
+}

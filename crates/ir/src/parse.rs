@@ -1,0 +1,265 @@
+//! Parser for the `.dfg` text format (see [`crate::display::to_dfg`]).
+
+use crate::block::BlockId;
+use crate::error::IrError;
+use crate::process::ProcessId;
+use crate::resource::{ResourceLibrary, ResourceType};
+use crate::system::{System, SystemBuilder};
+
+/// Parses a system from the `.dfg` text format.
+///
+/// Blank lines and `#` comments are ignored. `op` and `edge` lines apply to
+/// the most recent `block`, `block` lines to the most recent `process`, and
+/// all `resource` lines must precede the first `process`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a 1-based line number for malformed
+/// input, and the underlying builder errors (cycles, infeasible deadlines,
+/// duplicates) otherwise.
+///
+/// # Example
+///
+/// ```
+/// let text = "
+/// resource add delay=1 area=1
+/// process P1
+/// block body time=4
+/// op x add
+/// op y add
+/// edge x y
+/// ";
+/// let sys = tcms_ir::parse::parse_system(text)?;
+/// assert_eq!(sys.num_ops(), 2);
+/// # Ok::<(), tcms_ir::IrError>(())
+/// ```
+pub fn parse_system(text: &str) -> Result<System, IrError> {
+    let mut library = Some(ResourceLibrary::new());
+    let mut builder: Option<SystemBuilder> = None;
+    let mut cur_process: Option<ProcessId> = None;
+    let mut cur_block: Option<BlockId> = None;
+
+    let err = |line: usize, message: String| IrError::Parse { line, message };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        match keyword {
+            "resource" => {
+                let lib = library
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "resource after first process".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "resource needs a name".into()))?;
+                let mut delay: Option<u32> = None;
+                let mut area: u64 = 1;
+                let mut pipelined = false;
+                for tok in tokens {
+                    if let Some(v) = tok.strip_prefix("delay=") {
+                        delay = Some(v.parse().map_err(|_| {
+                            err(lineno, format!("invalid delay `{v}`"))
+                        })?);
+                    } else if let Some(v) = tok.strip_prefix("area=") {
+                        area = v
+                            .parse()
+                            .map_err(|_| err(lineno, format!("invalid area `{v}`")))?;
+                    } else if tok == "pipelined" {
+                        pipelined = true;
+                    } else {
+                        return Err(err(lineno, format!("unknown attribute `{tok}`")));
+                    }
+                }
+                let delay =
+                    delay.ok_or_else(|| err(lineno, "resource needs delay=<n>".into()))?;
+                let mut rt = ResourceType::new(name, delay).with_area(area);
+                if pipelined {
+                    rt = rt.pipelined();
+                }
+                lib.add(rt)?;
+            }
+            "process" => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "process needs a name".into()))?;
+                let b = builder.get_or_insert_with(|| {
+                    SystemBuilder::new(library.take().expect("library unmoved before builder"))
+                });
+                cur_process = Some(b.add_process(name));
+                cur_block = None;
+            }
+            "block" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "block before any process".into()))?;
+                let p = cur_process
+                    .ok_or_else(|| err(lineno, "block before any process".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "block needs a name".into()))?;
+                let time_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "block needs time=<n>".into()))?;
+                let time = time_tok
+                    .strip_prefix("time=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(lineno, format!("invalid time `{time_tok}`")))?;
+                cur_block = Some(b.add_block(p, name, time)?);
+            }
+            "op" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "op before any block".into()))?;
+                let blk = cur_block.ok_or_else(|| err(lineno, "op before any block".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "op needs a name".into()))?;
+                let tname = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "op needs a resource type".into()))?;
+                let rtype = b.library().by_name(tname).ok_or_else(|| IrError::Unknown {
+                    kind: "resource",
+                    name: tname.into(),
+                })?;
+                b.add_op(blk, name, rtype)?;
+            }
+            "edge" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge before any block".into()))?;
+                let blk = cur_block.ok_or_else(|| err(lineno, "edge before any block".into()))?;
+                let from = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "edge needs two op names".into()))?;
+                let to = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "edge needs two op names".into()))?;
+                let from_id = lookup_op(b, blk, from).ok_or_else(|| IrError::Unknown {
+                    kind: "op",
+                    name: from.into(),
+                })?;
+                let to_id = lookup_op(b, blk, to).ok_or_else(|| IrError::Unknown {
+                    kind: "op",
+                    name: to.into(),
+                })?;
+                b.add_dep(from_id, to_id)?;
+            }
+            other => return Err(err(lineno, format!("unknown keyword `{other}`"))),
+        }
+    }
+
+    match builder {
+        Some(b) => b.build(),
+        None => SystemBuilder::new(library.take().expect("library present")).build(),
+    }
+}
+
+fn lookup_op(
+    builder: &SystemBuilder,
+    block: BlockId,
+    name: &str,
+) -> Option<crate::op::OpId> {
+    builder.op_in_block_by_name(block, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::to_dfg;
+
+    const SAMPLE: &str = "
+# a tiny two-process system
+resource add delay=1 area=1
+resource mul delay=2 area=4 pipelined
+
+process P1
+block body time=6
+op a1 add
+op m1 mul
+edge a1 m1
+
+process P2
+block body time=4
+op a1 add
+";
+
+    #[test]
+    fn parse_sample() {
+        let sys = parse_system(SAMPLE).unwrap();
+        assert_eq!(sys.num_processes(), 2);
+        assert_eq!(sys.num_blocks(), 2);
+        assert_eq!(sys.num_ops(), 3);
+        let mul = sys.library().by_name("mul").unwrap();
+        assert!(sys.library().get(mul).is_pipelined());
+        assert_eq!(sys.library().get(mul).area(), 4);
+    }
+
+    #[test]
+    fn round_trip() {
+        let sys = parse_system(SAMPLE).unwrap();
+        let text = to_dfg(&sys);
+        let back = parse_system(&text).unwrap();
+        assert_eq!(back.num_ops(), sys.num_ops());
+        assert_eq!(back.num_blocks(), sys.num_blocks());
+        assert_eq!(to_dfg(&back), text);
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let e = parse_system("frobnicate x").unwrap_err();
+        assert!(matches!(e, IrError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn op_outside_block_rejected() {
+        let e = parse_system("resource add delay=1\nop x add").unwrap_err();
+        assert!(matches!(e, IrError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let text = "resource add delay=1\nprocess P\nblock b time=3\nop x div";
+        let e = parse_system(text).unwrap_err();
+        assert!(matches!(e, IrError::Unknown { kind: "resource", .. }));
+    }
+
+    #[test]
+    fn unknown_edge_target_rejected() {
+        let text = "resource add delay=1\nprocess P\nblock b time=3\nop x add\nedge x y";
+        let e = parse_system(text).unwrap_err();
+        assert!(matches!(e, IrError::Unknown { kind: "op", .. }));
+    }
+
+    #[test]
+    fn bad_delay_rejected() {
+        let e = parse_system("resource add delay=zap").unwrap_err();
+        assert!(matches!(e, IrError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn resource_after_process_rejected() {
+        let text = "process P\nresource add delay=1";
+        let e = parse_system(text).unwrap_err();
+        assert!(matches!(e, IrError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# only comments\n\n   \n# more";
+        let sys = parse_system(text).unwrap();
+        assert_eq!(sys.num_ops(), 0);
+    }
+
+    #[test]
+    fn infeasible_deadline_propagates() {
+        let text =
+            "resource add delay=1\nprocess P\nblock b time=1\nop x add\nop y add\nedge x y";
+        let e = parse_system(text).unwrap_err();
+        assert!(matches!(e, IrError::InfeasibleDeadline { .. }));
+    }
+}

@@ -1,0 +1,78 @@
+//! Processes: independent, reactive tasks composed of blocks.
+//!
+//! Processes model the paper's unit of concurrency: mutually independent
+//! tasks with no synchronisation points, possibly triggered by spontaneous
+//! events at run time. Scheduling keeps their independence — only the
+//! periodic resource-access authorizations couple them.
+
+use std::fmt;
+
+use crate::block::BlockId;
+
+/// Identifier of a [`Process`] inside a [`crate::System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// Dense index of this process within the system.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index produced by [`ProcessId::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(index as u32)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An independently running process, composed of non-overlapping blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    pub(crate) name: String,
+    pub(crate) blocks: Vec<BlockId>,
+}
+
+impl Process {
+    /// Human-readable name, unique within the system.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks of this process in insertion order.
+    ///
+    /// By condition (C2) these never overlap in execution; they behave like
+    /// branches of an alternation for resource counting.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the process has no block.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_round_trip() {
+        let id = ProcessId::from_index(2);
+        assert_eq!(id.index(), 2);
+        assert_eq!(id.to_string(), "p2");
+    }
+}

@@ -1,0 +1,272 @@
+//! Resource (operation) types and the resource library.
+//!
+//! A *resource type* models a class of functional units — adders,
+//! subtracters, multipliers, memories, buses — characterised by an execution
+//! delay in control steps, an optional initiation-interval-1 pipeline flag
+//! and an area cost. The paper's experiment uses a unit-delay adder and
+//! subtracter of area 1 and a two-cycle pipelined multiplier of area 4.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::IrError;
+
+/// Opaque identifier of a [`ResourceType`] inside a [`ResourceLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceTypeId(pub(crate) u32);
+
+impl ResourceTypeId {
+    /// Dense index of this type, usable for indexing per-type vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index produced by [`ResourceTypeId::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ResourceTypeId(index as u32)
+    }
+}
+
+impl fmt::Display for ResourceTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Description of one class of functional units.
+///
+/// # Example
+///
+/// ```
+/// use tcms_ir::ResourceType;
+///
+/// let mul = ResourceType::new("mul", 2).pipelined().with_area(4);
+/// assert_eq!(mul.delay(), 2);
+/// assert_eq!(mul.occupancy(), 1); // pipelined: busy only in the issue cycle
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResourceType {
+    name: String,
+    delay: u32,
+    pipelined: bool,
+    area: u64,
+}
+
+impl ResourceType {
+    /// Creates a type with the given name and execution delay in control
+    /// steps. Area defaults to 1 and the unit is not pipelined.
+    ///
+    /// A zero delay is accepted here but rejected by
+    /// [`ResourceLibrary::add`], so the error surfaces with the type name.
+    pub fn new(name: impl Into<String>, delay: u32) -> Self {
+        ResourceType {
+            name: name.into(),
+            delay,
+            pipelined: false,
+            area: 1,
+        }
+    }
+
+    /// Marks the unit as pipelined with an initiation interval of one: it
+    /// accepts a new operation every control step even though results take
+    /// [`delay`](Self::delay) steps.
+    #[must_use]
+    pub fn pipelined(mut self) -> Self {
+        self.pipelined = true;
+        self
+    }
+
+    /// Sets the area cost used by spring constants and area reports.
+    #[must_use]
+    pub fn with_area(mut self, area: u64) -> Self {
+        self.area = area;
+        self
+    }
+
+    /// Type name, unique within a library.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution delay in control steps (result available after this many
+    /// steps).
+    pub fn delay(&self) -> u32 {
+        self.delay
+    }
+
+    /// Whether the unit is pipelined with initiation interval 1.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Area cost of one instance.
+    pub fn area(&self) -> u64 {
+        self.area
+    }
+
+    /// Number of control steps one operation occupies the unit: the full
+    /// delay for a non-pipelined unit, a single issue cycle for a pipelined
+    /// one.
+    pub fn occupancy(&self) -> u32 {
+        if self.pipelined {
+            1
+        } else {
+            self.delay
+        }
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (delay {}", self.name, self.delay)?;
+        if self.pipelined {
+            write!(f, ", pipelined")?;
+        }
+        write!(f, ", area {})", self.area)
+    }
+}
+
+/// Registry of all resource types of a system.
+///
+/// Types are referenced by [`ResourceTypeId`] everywhere else; names are
+/// unique.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResourceLibrary {
+    types: Vec<ResourceType>,
+    by_name: HashMap<String, ResourceTypeId>,
+}
+
+impl ResourceLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a type and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateResource`] if a type of the same name is
+    /// already present and [`IrError::ZeroDelay`] for a zero delay.
+    pub fn add(&mut self, rt: ResourceType) -> Result<ResourceTypeId, IrError> {
+        if rt.delay == 0 {
+            return Err(IrError::ZeroDelay { name: rt.name });
+        }
+        if self.by_name.contains_key(&rt.name) {
+            return Err(IrError::DuplicateResource { name: rt.name });
+        }
+        let id = ResourceTypeId(self.types.len() as u32);
+        self.by_name.insert(rt.name.clone(), id);
+        self.types.push(rt);
+        Ok(id)
+    }
+
+    /// Looks a type up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this library.
+    pub fn get(&self, id: ResourceTypeId) -> &ResourceType {
+        &self.types[id.index()]
+    }
+
+    /// Resolves a type by name.
+    pub fn by_name(&self, name: &str) -> Option<ResourceTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// `true` if no type is registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over `(id, type)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceTypeId, &ResourceType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ResourceTypeId(i as u32), t))
+    }
+
+    /// Iterates over all ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ResourceTypeId> {
+        (0..self.types.len() as u32).map(ResourceTypeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mul = lib
+            .add(ResourceType::new("mul", 2).pipelined().with_area(4))
+            .unwrap();
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.by_name("add"), Some(add));
+        assert_eq!(lib.by_name("mul"), Some(mul));
+        assert_eq!(lib.by_name("div"), None);
+        assert_eq!(lib.get(mul).area(), 4);
+        assert_eq!(lib.get(add).area(), 1);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut lib = ResourceLibrary::new();
+        lib.add(ResourceType::new("add", 1)).unwrap();
+        let err = lib.add(ResourceType::new("add", 3)).unwrap_err();
+        assert_eq!(err, IrError::DuplicateResource { name: "add".into() });
+    }
+
+    #[test]
+    fn zero_delay_rejected() {
+        let mut lib = ResourceLibrary::new();
+        let err = lib.add(ResourceType::new("nop", 0)).unwrap_err();
+        assert_eq!(err, IrError::ZeroDelay { name: "nop".into() });
+    }
+
+    #[test]
+    fn occupancy_pipelined_vs_multicycle() {
+        let pipelined = ResourceType::new("mul", 2).pipelined();
+        let multicycle = ResourceType::new("mul2", 2);
+        let unit = ResourceType::new("add", 1);
+        assert_eq!(pipelined.occupancy(), 1);
+        assert_eq!(multicycle.occupancy(), 2);
+        assert_eq!(unit.occupancy(), 1);
+    }
+
+    #[test]
+    fn iteration_order_matches_ids() {
+        let mut lib = ResourceLibrary::new();
+        lib.add(ResourceType::new("a", 1)).unwrap();
+        lib.add(ResourceType::new("b", 1)).unwrap();
+        let names: Vec<_> = lib.iter().map(|(id, t)| (id.index(), t.name())).collect();
+        assert_eq!(names, vec![(0, "a"), (1, "b")]);
+        let ids: Vec<_> = lib.ids().collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[1].index(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mul = ResourceType::new("mul", 2).pipelined().with_area(4);
+        assert_eq!(mul.to_string(), "mul (delay 2, pipelined, area 4)");
+        assert_eq!(ResourceTypeId(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn from_index_round_trip() {
+        let id = ResourceTypeId::from_index(7);
+        assert_eq!(id.index(), 7);
+    }
+}

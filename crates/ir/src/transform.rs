@@ -1,0 +1,113 @@
+//! System transformations: the process-merging baseline.
+//!
+//! Process merging is the classical way to share resources across
+//! processes (paper §1.1): when all block starting times are known —
+//! e.g. everything is triggered together — the processes can be fused
+//! into one and scheduled by a plain single-process scheduler. The paper's
+//! method exists because merging is *impossible* for reactive systems
+//! (unpredictable triggers, unbounded loops); this transformation provides
+//! the baseline for the cases where merging does work.
+
+use crate::error::IrError;
+use crate::system::{System, SystemBuilder};
+
+/// Fuses every process of `system` into a single process with one block.
+///
+/// All blocks are assumed to start simultaneously at time 0; the merged
+/// block's time range is the *maximum* of the original ranges, which
+/// **relaxes** the deadlines of shorter blocks. The merging baseline is
+/// therefore favoured in comparisons — any win of modulo sharing over it
+/// is conservative.
+///
+/// Operation order (and thus [`crate::OpId`] indices) is preserved, so
+/// schedules of the merged system can be compared op-by-op with the
+/// original. Operation names are prefixed with their original process
+/// name to stay unique.
+///
+/// # Errors
+///
+/// Propagates builder errors; merging a valid system never fails.
+pub fn merge_processes(system: &System) -> Result<System, IrError> {
+    let time_range = system
+        .blocks()
+        .map(|(_, b)| b.time_range())
+        .max()
+        .unwrap_or(1);
+    let mut builder = SystemBuilder::new(system.library().clone());
+    let p = builder.add_process("merged");
+    let block = builder.add_block(p, "body", time_range)?;
+    let mut new_ids = Vec::with_capacity(system.num_ops());
+    for (o, op) in system.ops() {
+        let process = system.block(op.block()).process();
+        let name = format!("{}_{}", system.process(process).name(), op.name());
+        new_ids.push(builder.add_op(block, name, op.resource_type())?);
+        debug_assert_eq!(new_ids[o.index()].index(), o.index());
+    }
+    for (o, _) in system.ops() {
+        for &s in system.succs(o) {
+            builder.add_dep(new_ids[o.index()], new_ids[s.index()])?;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_system;
+
+    #[test]
+    fn merge_preserves_ops_and_edges() {
+        let (sys, t) = paper_system().unwrap();
+        let merged = merge_processes(&sys).unwrap();
+        assert_eq!(merged.num_processes(), 1);
+        assert_eq!(merged.num_blocks(), 1);
+        assert_eq!(merged.num_ops(), sys.num_ops());
+        let edge_count = |s: &System| -> usize {
+            s.op_ids().map(|o| s.succs(o).len()).sum()
+        };
+        assert_eq!(edge_count(&merged), edge_count(&sys));
+        // Type mix unchanged.
+        let blk = merged.block_ids().next().unwrap();
+        assert_eq!(merged.ops_of_type(blk, t.mul).len(), 3 * 8 + 2 * 6);
+    }
+
+    #[test]
+    fn merged_time_range_is_maximum() {
+        let (sys, _) = paper_system().unwrap();
+        let merged = merge_processes(&sys).unwrap();
+        let blk = merged.block_ids().next().unwrap();
+        assert_eq!(merged.block(blk).time_range(), 50);
+        // Critical path is the max over the original blocks (17 for EWF).
+        assert_eq!(merged.critical_path(blk), 17);
+    }
+
+    #[test]
+    fn op_indices_preserved() {
+        let (sys, _) = paper_system().unwrap();
+        let merged = merge_processes(&sys).unwrap();
+        for (o, op) in sys.ops() {
+            let m = merged.op(o);
+            assert_eq!(m.resource_type(), op.resource_type());
+            assert!(m.name().ends_with(op.name()));
+        }
+    }
+
+    #[test]
+    fn names_are_prefixed_and_unique() {
+        let (sys, _) = paper_system().unwrap();
+        let merged = merge_processes(&sys).unwrap();
+        let blk = merged.block_ids().next().unwrap();
+        let mut names: Vec<&str> = merged
+            .block(blk)
+            .ops()
+            .iter()
+            .map(|&o| merged.op(o).name())
+            .collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+        assert!(names.iter().any(|n| n.starts_with("P1_")));
+    }
+}

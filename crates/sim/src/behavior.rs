@@ -1,0 +1,250 @@
+//! Process behaviours: block sequences with run-time loop trip counts.
+//!
+//! The paper's key motivation is systems that *cannot* be merged into one
+//! schedule: loops with iteration counts unknown at synthesis time and
+//! operations of unknown delay between blocks. A [`ProcessBehavior`]
+//! models exactly that — per activation, a process runs its blocks in
+//! sequence, and loop segments repeat their block a randomly drawn number
+//! of times. The static modulo schedule stays valid because every
+//! repetition just starts on the next grid point.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tcms_ir::{BlockId, ProcessId, System};
+
+/// One step of a process's activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Run the block once.
+    Once(BlockId),
+    /// Re-run the block between 1 and `max_iterations` times; the trip
+    /// count is drawn per activation (unknown at synthesis time).
+    Loop {
+        /// The loop body (a separate block, as the paper's conditions
+        /// require).
+        block: BlockId,
+        /// Upper bound of the drawn trip count.
+        max_iterations: u32,
+    },
+    /// An idle stretch of 0 to `max_steps` steps — an operation of
+    /// unknown execution time between blocks.
+    Delay {
+        /// Upper bound of the drawn idle time.
+        max_steps: u64,
+    },
+    /// A data-dependent alternation: one of the blocks runs, drawn
+    /// uniformly per activation.
+    Branch {
+        /// First alternative.
+        either: BlockId,
+        /// Second alternative.
+        or: BlockId,
+    },
+}
+
+
+/// The activation behaviour of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessBehavior {
+    segments: Vec<Segment>,
+}
+
+impl ProcessBehavior {
+    /// A behaviour from explicit segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop has `max_iterations == 0`.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        for s in &segments {
+            if let Segment::Loop { max_iterations, .. } = s {
+                assert!(*max_iterations > 0, "loops need at least one iteration");
+            }
+        }
+        ProcessBehavior { segments }
+    }
+
+    /// The default behaviour: every block of the process exactly once, in
+    /// order.
+    pub fn linear(system: &System, process: ProcessId) -> Self {
+        ProcessBehavior {
+            segments: system
+                .process(process)
+                .blocks()
+                .iter()
+                .map(|&b| Segment::Once(b))
+                .collect(),
+        }
+    }
+
+    /// The declared segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Checks that every referenced block belongs to `process`.
+    pub fn validate(&self, system: &System, process: ProcessId) -> bool {
+        self.segments.iter().all(|s| match s {
+            Segment::Once(b) | Segment::Loop { block: b, .. } => {
+                system.block(*b).process() == process
+            }
+            Segment::Branch { either, or } => {
+                system.block(*either).process() == process
+                    && system.block(*or).process() == process
+            }
+            Segment::Delay { .. } => true,
+        })
+    }
+
+    /// Draws one concrete activation: the block sequence with loop trip
+    /// counts resolved, interleaved with idle stretches.
+    pub fn unroll(&self, rng: &mut StdRng) -> Vec<UnrolledStep> {
+        let mut out = Vec::new();
+        for s in &self.segments {
+            match *s {
+                Segment::Once(b) => out.push(UnrolledStep::Run(b)),
+                Segment::Loop {
+                    block,
+                    max_iterations,
+                } => {
+                    let n = rng.random_range(1..=max_iterations);
+                    for _ in 0..n {
+                        out.push(UnrolledStep::Run(block));
+                    }
+                }
+                Segment::Delay { max_steps } => {
+                    out.push(UnrolledStep::Idle(rng.random_range(0..=max_steps)));
+                }
+                Segment::Branch { either, or } => {
+                    let pick = if rng.random_bool(0.5) { either } else { or };
+                    out.push(UnrolledStep::Run(pick));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One resolved step of an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnrolledStep {
+    /// Execute the block's static schedule (from the next grid point).
+    Run(BlockId),
+    /// Stay idle for the given number of steps.
+    Idle(u64),
+}
+
+/// Convenience: a seeded RNG for unrolling.
+pub fn unroll_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::paper_library;
+    use tcms_ir::SystemBuilder;
+
+    fn two_block_process() -> (System, ProcessId, BlockId, BlockId) {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let p = b.add_process("P");
+        let init = b.add_block(p, "init", 4).unwrap();
+        b.add_op(init, "x", types.add).unwrap();
+        let body = b.add_block(p, "loop_body", 4).unwrap();
+        b.add_op(body, "y", types.add).unwrap();
+        let sys = b.build().unwrap();
+        (sys, p, init, body)
+    }
+
+    #[test]
+    fn linear_covers_all_blocks_once() {
+        let (sys, p, init, body) = two_block_process();
+        let beh = ProcessBehavior::linear(&sys, p);
+        assert!(beh.validate(&sys, p));
+        let mut rng = unroll_rng(0);
+        let steps = beh.unroll(&mut rng);
+        assert_eq!(
+            steps,
+            vec![UnrolledStep::Run(init), UnrolledStep::Run(body)]
+        );
+    }
+
+    #[test]
+    fn loop_trip_counts_vary_with_seed() {
+        let (sys, p, init, body) = two_block_process();
+        let beh = ProcessBehavior::new(vec![
+            Segment::Once(init),
+            Segment::Loop {
+                block: body,
+                max_iterations: 8,
+            },
+        ]);
+        assert!(beh.validate(&sys, p));
+        let lens: Vec<usize> = (0..10)
+            .map(|s| beh.unroll(&mut unroll_rng(s)).len())
+            .collect();
+        assert!(lens.iter().any(|&l| l != lens[0]), "trip counts vary");
+        for l in lens {
+            assert!((2..=9).contains(&l));
+        }
+    }
+
+    #[test]
+    fn delay_segments_emit_idle() {
+        let (_, _, init, _) = two_block_process();
+        let beh = ProcessBehavior::new(vec![
+            Segment::Delay { max_steps: 10 },
+            Segment::Once(init),
+        ]);
+        let steps = beh.unroll(&mut unroll_rng(3));
+        assert!(matches!(steps[0], UnrolledStep::Idle(n) if n <= 10));
+        assert_eq!(steps[1], UnrolledStep::Run(init));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_blocks() {
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let p0 = b.add_process("A");
+        let b0 = b.add_block(p0, "b", 4).unwrap();
+        b.add_op(b0, "x", types.add).unwrap();
+        let p1 = b.add_process("B");
+        let b1 = b.add_block(p1, "b", 4).unwrap();
+        b.add_op(b1, "y", types.add).unwrap();
+        let sys = b.build().unwrap();
+        let beh = ProcessBehavior::new(vec![Segment::Once(b1)]);
+        assert!(!beh.validate(&sys, p0));
+        assert!(beh.validate(&sys, p1));
+    }
+
+    #[test]
+    fn branch_picks_exactly_one_alternative() {
+        let (sys, p, init, body) = two_block_process();
+        let beh = ProcessBehavior::new(vec![Segment::Branch {
+            either: init,
+            or: body,
+        }]);
+        assert!(beh.validate(&sys, p));
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let steps = beh.unroll(&mut unroll_rng(seed));
+            assert_eq!(steps.len(), 1);
+            if let UnrolledStep::Run(b) = steps[0] {
+                seen.insert(b);
+            }
+        }
+        assert_eq!(seen.len(), 2, "both branches eventually taken");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iteration_loop_panics() {
+        let (_, _, _, body) = two_block_process();
+        let _ = ProcessBehavior::new(vec![Segment::Loop {
+            block: body,
+            max_iterations: 0,
+        }]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation event traces.
+
+use std::fmt::Write as _;
+
+use tcms_ir::{BlockId, ProcessId, System};
+
+/// What happened at one point of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The environment triggered the process.
+    Triggered {
+        /// Triggered process.
+        process: ProcessId,
+    },
+    /// A block started after waiting for its grid slot.
+    Started {
+        /// Starting block.
+        block: BlockId,
+        /// Time the owning activation was triggered (for latency).
+        triggered_at: u64,
+    },
+    /// A block finished.
+    Completed {
+        /// Finishing block.
+        block: BlockId,
+    },
+}
+
+/// A timestamped simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Absolute simulation time.
+    pub time: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// Renders the first `limit` events as one line each.
+pub fn render_events(system: &System, events: &[Event], limit: usize) -> String {
+    let mut out = String::new();
+    for e in events.iter().take(limit) {
+        let _ = match e.kind {
+            EventKind::Triggered { process } => writeln!(
+                out,
+                "[{:>6}] trigger  {}",
+                e.time,
+                system.process(process).name()
+            ),
+            EventKind::Started {
+                block,
+                triggered_at,
+            } => writeln!(
+                out,
+                "[{:>6}] start    {}.{} (waited {})",
+                e.time,
+                system.process(system.block(block).process()).name(),
+                system.block(block).name(),
+                e.time - triggered_at
+            ),
+            EventKind::Completed { block } => writeln!(
+                out,
+                "[{:>6}] complete {}.{}",
+                e.time,
+                system.process(system.block(block).process()).name(),
+                system.block(block).name()
+            ),
+        };
+    }
+    if events.len() > limit {
+        let _ = writeln!(out, "... {} more events", events.len() - limit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::generators::paper_system;
+
+    #[test]
+    fn render_formats_lines() {
+        let (sys, _) = paper_system().unwrap();
+        let p = sys.process_ids().next().unwrap();
+        let b = sys.block_ids().next().unwrap();
+        let events = vec![
+            Event {
+                time: 0,
+                kind: EventKind::Triggered { process: p },
+            },
+            Event {
+                time: 5,
+                kind: EventKind::Started {
+                    block: b,
+                    triggered_at: 0,
+                },
+            },
+            Event {
+                time: 35,
+                kind: EventKind::Completed { block: b },
+            },
+        ];
+        let text = render_events(&sys, &events, 10);
+        assert!(text.contains("trigger  P1"));
+        assert!(text.contains("start    P1.body (waited 5)"));
+        assert!(text.contains("complete P1.body"));
+    }
+
+    #[test]
+    fn render_truncates() {
+        let (sys, _) = paper_system().unwrap();
+        let p = sys.process_ids().next().unwrap();
+        let events: Vec<Event> = (0..10)
+            .map(|t| Event {
+                time: t,
+                kind: EventKind::Triggered { process: p },
+            })
+            .collect();
+        let text = render_events(&sys, &events, 3);
+        assert!(text.contains("... 7 more events"));
+    }
+}

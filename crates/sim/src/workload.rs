@@ -1,0 +1,145 @@
+//! Trigger patterns for reactive processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// When a process is (re-)triggered by its environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires every `interval` steps starting at `offset`.
+    Periodic {
+        /// Distance between triggers.
+        interval: u64,
+        /// First trigger time.
+        offset: u64,
+    },
+    /// Spontaneous events with geometrically distributed gaps of the given
+    /// mean — the "unpredictable times" of the paper's introduction.
+    Random {
+        /// Mean gap between triggers (must be ≥ 1).
+        mean_gap: u64,
+    },
+    /// Bursts of `count` triggers `gap_within` apart, bursts separated by
+    /// `gap_between`.
+    Burst {
+        /// Triggers per burst.
+        count: u32,
+        /// Spacing inside a burst.
+        gap_within: u64,
+        /// Spacing between burst starts.
+        gap_between: u64,
+    },
+}
+
+impl Trigger {
+    /// Generates all trigger times below `horizon`, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero interval/mean/count).
+    pub fn times(&self, horizon: u64, seed: u64) -> Vec<u64> {
+        match *self {
+            Trigger::Periodic { interval, offset } => {
+                assert!(interval > 0, "interval must be positive");
+                (0..)
+                    .map(|i| offset + i * interval)
+                    .take_while(|&t| t < horizon)
+                    .collect()
+            }
+            Trigger::Random { mean_gap } => {
+                assert!(mean_gap > 0, "mean gap must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let p = 1.0 / mean_gap as f64;
+                let mut out = Vec::new();
+                let mut t = 0u64;
+                while t < horizon {
+                    // Geometric gap with success probability p.
+                    let mut gap = 1u64;
+                    while rng.random::<f64>() > p && gap < 64 * mean_gap {
+                        gap += 1;
+                    }
+                    t += gap;
+                    if t < horizon {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            Trigger::Burst {
+                count,
+                gap_within,
+                gap_between,
+            } => {
+                assert!(count > 0, "burst count must be positive");
+                assert!(gap_between > 0, "burst spacing must be positive");
+                let mut out = Vec::new();
+                let mut base = 0u64;
+                while base < horizon {
+                    for i in 0..u64::from(count) {
+                        let t = base + i * gap_within;
+                        if t < horizon {
+                            out.push(t);
+                        }
+                    }
+                    base += gap_between;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_times() {
+        let t = Trigger::Periodic {
+            interval: 10,
+            offset: 3,
+        };
+        assert_eq!(t.times(35, 0), vec![3, 13, 23, 33]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_mean_is_plausible() {
+        let t = Trigger::Random { mean_gap: 20 };
+        let a = t.times(10_000, 42);
+        let b = t.times(10_000, 42);
+        assert_eq!(a, b);
+        let c = t.times(10_000, 43);
+        assert_ne!(a, c);
+        // Mean gap within a factor of two of the target.
+        let mean = 10_000.0 / a.len() as f64;
+        assert!(mean > 10.0 && mean < 40.0, "observed mean {mean}");
+    }
+
+    #[test]
+    fn random_times_sorted_strictly() {
+        let t = Trigger::Random { mean_gap: 3 };
+        let times = t.times(1_000, 5);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn burst_times() {
+        let t = Trigger::Burst {
+            count: 3,
+            gap_within: 2,
+            gap_between: 10,
+        };
+        assert_eq!(t.times(15, 0), vec![0, 2, 4, 10, 12, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = Trigger::Periodic {
+            interval: 0,
+            offset: 0,
+        }
+        .times(10, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration: the §3.2 period trade-off, the exhaustive
+//! period enumeration of the paper's implementation, the pruned search of
+//! its future-work section, and automatic scope selection.
+//!
+//! Run with `cargo run --release --example period_exploration`.
+
+use tcms::fds::FdsConfig;
+use tcms::ir::generators::paper_system;
+use tcms::modulo::explore::{
+    auto_assign, pruned_best_period_assignment, sweep_uniform_periods,
+};
+use tcms::modulo::SharingSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (system, types) = paper_system()?;
+    let config = FdsConfig::default();
+
+    println!("uniform period sweep (global +,-,* over their users):");
+    println!("period  add  sub  mul  area");
+    for p in sweep_uniform_periods(&system, [1, 2, 3, 5, 10, 15], &config)? {
+        println!(
+            "{:>6}  {:>3}  {:>3}  {:>3}  {:>4}",
+            p.period,
+            p.report.instances(types.add),
+            p.report.instances(types.sub),
+            p.report.instances(types.mul),
+            p.report.total_area()
+        );
+    }
+
+    // Pruned search over non-uniform period assignments (future work item
+    // "find the optimal periods without a complete enumeration"). The
+    // candidate space is capped via the multiplier only to keep the
+    // example fast.
+    let mut base = SharingSpec::all_local(&system);
+    base.set_global(types.mul, system.users_of_type(types.mul), 5);
+    if let Some((spec, report, evaluated)) =
+        pruned_best_period_assignment(&system, &base, &config)?
+    {
+        println!(
+            "\npruned period search over the multiplier: best period {} -> area {} ({} schedules evaluated)",
+            spec.period(types.mul).expect("mul global"),
+            report.total_area(),
+            evaluated
+        );
+    }
+
+    // Automatic scope selection (the other future-work item).
+    let (spec, report) = auto_assign(&system, 5, &config)?;
+    println!("\nautomatic scope selection at period 5:");
+    for (k, rt) in system.library().iter() {
+        println!(
+            "  {:<4} -> {}",
+            rt.name(),
+            if spec.is_global(k) { "global" } else { "local" }
+        );
+    }
+    println!("  area {}", report.total_area());
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Reactive execution: the scheduled paper system driven by spontaneous
+//! (random), periodic and bursty triggers. The resource monitor proves
+//! that the static periodic authorization replaces a runtime executive —
+//! no shared pool is ever overdrawn, whatever the environment does.
+//!
+//! Run with `cargo run --release --example reactive_simulation`.
+
+use tcms::ir::generators::paper_system;
+use tcms::modulo::{ModuloScheduler, SharingSpec};
+use tcms::sim::{trace, SimConfig, Simulator, Trigger};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (system, types) = paper_system()?;
+    let spec = SharingSpec::all_global(&system, 5);
+    let outcome = ModuloScheduler::new(&system, spec.clone())?.run();
+    let sim = Simulator::new(&system, &spec, &outcome.schedule);
+
+    // A mixed environment: two sporadic filters, one periodic filter, one
+    // bursty and one sporadic solver.
+    let workloads = vec![
+        Trigger::Random { mean_gap: 60 },
+        Trigger::Random { mean_gap: 45 },
+        Trigger::Periodic { interval: 75, offset: 10 },
+        Trigger::Burst { count: 3, gap_within: 2, gap_between: 150 },
+        Trigger::Random { mean_gap: 30 },
+    ];
+    let result = sim.run(&workloads, &SimConfig { horizon: 5_000, seed: 2026 });
+
+    println!("first events:");
+    print!("{}", trace::render_events(&system, &result.events, 15));
+
+    println!("\ncompleted activations: {}", result.activations);
+    println!("mean wait (queue + grid alignment): {:.1} steps", result.mean_wait);
+    println!("mean trigger-to-completion latency: {:.1} steps", result.mean_latency);
+    for (k, rt) in system.library().iter() {
+        if spec.is_global(k) {
+            println!(
+                "{:<4}: peak {} of {} shared, utilization {:.1}%",
+                rt.name(),
+                result.peak_usage[k.index()],
+                sim.report().instances(k),
+                100.0 * result.utilization[k.index()]
+            );
+        }
+    }
+
+    assert!(result.conflicts.is_empty(), "static authorization suffices");
+    println!("\nno conflicts over 5000 steps — the access control needs no runtime executive");
+
+    let _ = types;
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! The `tcms` command-line tool: schedule `.dfg` designs with modulo
+//! global resource sharing, export Graphviz, verify executions.
+//!
+//! See `tcms help` or [`tcms::cli`] for the interface.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match tcms::cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match tcms::cli::run(&cmd) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Command-line interface of the `tcms` binary.
+//!
+//! ```text
+//! tcms schedule <design> [--all-global ρ] [--global TYPE=ρ]... [--gantt] [--verify N]
+//! tcms dot <design>
+//! tcms summary <design>
+//! ```
+//!
+//! `<design>` is either a structural `.dfg` file or a behavioral source
+//! (detected by the `:=` assignment operator; compiled with
+//! [`crate::ir::frontend`] against the paper's add/sub/mul library).
+//!
+//! The parsing and execution live here (and are unit tested); the binary
+//! in `src/bin/tcms.rs` only wires stdin/stdout.
+
+use std::fmt::Write as _;
+
+use crate::fds::gantt;
+use crate::ir::generators::paper_library;
+use crate::ir::{display, dot, frontend, parse, System};
+use crate::modulo::{
+    check_execution, random_activations, ModuloScheduler, SharingSpec,
+};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Schedule a design and print the report.
+    Schedule {
+        /// Path of the `.dfg` input.
+        input: String,
+        /// Uniform period for all shareable types (from `--all-global`).
+        all_global: Option<u32>,
+        /// Per-type `TYPE=PERIOD` global assignments (from `--global`).
+        globals: Vec<(String, u32)>,
+        /// Print ASCII Gantt charts (from `--gantt`).
+        gantt: bool,
+        /// Number of randomized execution checks (from `--verify N`).
+        verify: usize,
+        /// Write the schedule in `.sched` format to this path
+        /// (from `--save`).
+        save: Option<String>,
+    },
+    /// Re-check a saved `.sched` file against a design.
+    Check {
+        /// Path of the design input.
+        input: String,
+        /// Path of the `.sched` file.
+        sched: String,
+        /// Uniform period for all shareable types.
+        all_global: Option<u32>,
+        /// Per-type global assignments.
+        globals: Vec<(String, u32)>,
+    },
+    /// Emit structural VHDL for a scheduled design.
+    Vhdl {
+        /// Path of the design input.
+        input: String,
+        /// Uniform period for all shareable types.
+        all_global: Option<u32>,
+        /// Per-type global assignments.
+        globals: Vec<(String, u32)>,
+        /// Data-path width in bits.
+        width: u32,
+    },
+    /// Convert a (behavioral) design to the structural `.dfg` format.
+    Dfg {
+        /// Path of the design input.
+        input: String,
+    },
+    /// Print the Graphviz rendering of a design.
+    Dot {
+        /// Path of the `.dfg` input.
+        input: String,
+    },
+    /// Print a one-line summary of a design.
+    Summary {
+        /// Path of the `.dfg` input.
+        input: String,
+    },
+    /// Print usage information.
+    Help,
+}
+
+/// Usage text printed by `tcms help`.
+pub const USAGE: &str = "\
+tcms — time-constrained modulo scheduling with global resource sharing
+
+USAGE:
+  tcms schedule <design> [OPTIONS]     schedule and report resources/area
+  tcms check <design> <file.sched>     re-verify a saved schedule
+  tcms vhdl <design> [OPTIONS]         schedule and emit structural VHDL
+  tcms dfg <design>                    convert behavioral input to .dfg
+  tcms dot <design>                    emit Graphviz
+  tcms summary <design>                one-line design summary
+  tcms help                            this text
+
+Inputs may be structural (.dfg) or behavioral (`process p time=9 { y := a*b + c; }`).
+
+SCHEDULE OPTIONS:
+  --all-global <ρ>        share every multi-user type globally, period ρ
+  --global <TYPE=ρ>       share one type globally over all its users
+  --gantt                 print ASCII Gantt charts per block
+  --verify <N>            check N randomized grid-aligned executions
+  --save <file.sched>     write the schedule to disk
+
+VHDL OPTIONS: --all-global / --global as above, plus --width <bits>
+";
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, missing
+/// arguments and malformed options.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "dot" => {
+            let input = it.next().ok_or("dot needs an input file")?.clone();
+            Ok(Command::Dot { input })
+        }
+        "summary" => {
+            let input = it.next().ok_or("summary needs an input file")?.clone();
+            Ok(Command::Summary { input })
+        }
+        "schedule" => {
+            let input = it.next().ok_or("schedule needs an input file")?.clone();
+            let mut all_global = None;
+            let mut globals = Vec::new();
+            let mut gantt = false;
+            let mut verify = 0usize;
+            let mut save = None;
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--gantt" => gantt = true,
+                    "--verify" => {
+                        let v = it.next().ok_or("--verify needs a count")?;
+                        verify = v.parse().map_err(|_| format!("bad count `{v}`"))?;
+                    }
+                    "--save" => {
+                        save = Some(it.next().ok_or("--save needs a path")?.clone());
+                    }
+                    other => parse_spec_option(other, &mut it, &mut all_global, &mut globals)?,
+                }
+            }
+            Ok(Command::Schedule {
+                input,
+                all_global,
+                globals,
+                gantt,
+                verify,
+                save,
+            })
+        }
+        "check" => {
+            let input = it.next().ok_or("check needs a design file")?.clone();
+            let sched = it.next().ok_or("check needs a .sched file")?.clone();
+            let mut all_global = None;
+            let mut globals = Vec::new();
+            while let Some(opt) = it.next() {
+                parse_spec_option(opt, &mut it, &mut all_global, &mut globals)?;
+            }
+            Ok(Command::Check {
+                input,
+                sched,
+                all_global,
+                globals,
+            })
+        }
+        "vhdl" => {
+            let input = it.next().ok_or("vhdl needs an input file")?.clone();
+            let mut all_global = None;
+            let mut globals = Vec::new();
+            let mut width = 16;
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--width" => {
+                        let v = it.next().ok_or("--width needs a bit count")?;
+                        width = v.parse().map_err(|_| format!("bad width `{v}`"))?;
+                    }
+                    other => parse_spec_option(other, &mut it, &mut all_global, &mut globals)?,
+                }
+            }
+            Ok(Command::Vhdl {
+                input,
+                all_global,
+                globals,
+                width,
+            })
+        }
+        "dfg" => {
+            let input = it.next().ok_or("dfg needs an input file")?.clone();
+            Ok(Command::Dfg { input })
+        }
+        other => Err(format!("unknown command `{other}` (try `tcms help`)")),
+    }
+}
+
+/// Parses one `--all-global`/`--global` option shared by several commands.
+fn parse_spec_option(
+    opt: &str,
+    it: &mut std::slice::Iter<'_, String>,
+    all_global: &mut Option<u32>,
+    globals: &mut Vec<(String, u32)>,
+) -> Result<(), String> {
+    match opt {
+        "--all-global" => {
+            let v = it.next().ok_or("--all-global needs a period")?;
+            *all_global = Some(v.parse().map_err(|_| format!("bad period `{v}`"))?);
+            Ok(())
+        }
+        "--global" => {
+            let v = it.next().ok_or("--global needs TYPE=PERIOD")?;
+            let (name, period) = v
+                .split_once('=')
+                .ok_or_else(|| format!("bad assignment `{v}`"))?;
+            let period: u32 = period
+                .parse()
+                .map_err(|_| format!("bad period in `{v}`"))?;
+            globals.push((name.to_owned(), period));
+            Ok(())
+        }
+        other => Err(format!("unknown option `{other}`")),
+    }
+}
+
+/// Loads a system from either input language. A file whose first
+/// non-comment keyword is `resource` is structural `.dfg` (so a `:=`
+/// inside a comment cannot misroute it); otherwise the presence of `:=`
+/// selects the behavioral compiler.
+fn load_system(source: &str) -> Result<System, String> {
+    let first_keyword = source
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .find(|l| !l.is_empty())
+        .and_then(|l| l.split_whitespace().next())
+        .unwrap_or("");
+    let behavioral = first_keyword != "resource" && source.contains(":=");
+    if behavioral {
+        let (lib, _) = paper_library();
+        frontend::compile(source, lib).map_err(|e| e.to_string())
+    } else {
+        parse::parse_system(source).map_err(|e| e.to_string())
+    }
+}
+
+fn build_spec(
+    system: &System,
+    all_global: Option<u32>,
+    globals: &[(String, u32)],
+) -> Result<SharingSpec, String> {
+    let mut spec = match all_global {
+        Some(period) => SharingSpec::all_global(system, period),
+        None => SharingSpec::all_local(system),
+    };
+    for (name, period) in globals {
+        let k = system
+            .library()
+            .by_name(name)
+            .ok_or_else(|| format!("unknown resource type `{name}`"))?;
+        spec.set_global(k, system.users_of_type(k), *period);
+    }
+    spec.validate(system).map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Executes the `schedule` command on already-loaded source text,
+/// returning the rendered report.
+///
+/// # Errors
+///
+/// Returns a message for parse errors, invalid specs and failed
+/// verification.
+pub fn schedule_source(
+    source: &str,
+    all_global: Option<u32>,
+    globals: &[(String, u32)],
+    want_gantt: bool,
+    verify: usize,
+) -> Result<String, String> {
+    schedule_source_full(source, all_global, globals, want_gantt, verify).map(|(s, _, _)| s)
+}
+
+fn schedule_source_full(
+    source: &str,
+    all_global: Option<u32>,
+    globals: &[(String, u32)],
+    want_gantt: bool,
+    verify: usize,
+) -> Result<(String, System, crate::fds::Schedule), String> {
+    let system = load_system(source)?;
+    let spec = build_spec(&system, all_global, globals)?;
+    let outcome = ModuloScheduler::new(&system, spec.clone())
+        .map_err(|e| e.to_string())?
+        .run();
+    outcome.schedule.verify(&system).map_err(|e| e.to_string())?;
+    let report = outcome.report();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", display::summary(&system));
+    let _ = writeln!(out, "iterations: {}", outcome.iterations);
+    for (k, rt) in system.library().iter() {
+        let tr = report.of_type(k);
+        let _ = write!(out, "{:<8} {:>3} instances", rt.name(), tr.instances());
+        if let Some(auth) = &tr.authorization {
+            let _ = write!(
+                out,
+                "  (shared pool {}, period {}",
+                auth.pool(),
+                auth.period()
+            );
+            let locals: u32 = tr.local_counts.iter().map(|&(_, c)| c).sum();
+            if locals > 0 {
+                let _ = write!(out, ", +{locals} local");
+            }
+            let _ = write!(out, ")");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "total area: {}", report.total_area());
+
+    if verify > 0 {
+        for seed in 0..verify as u64 {
+            let acts = random_activations(&system, &spec, &outcome.schedule, 3, seed);
+            check_execution(&system, &spec, &outcome.schedule, &report, &acts)
+                .map_err(|e| e.to_string())?;
+        }
+        let _ = writeln!(
+            out,
+            "verified {verify} randomized grid-aligned executions: conflict-free"
+        );
+    }
+    if want_gantt {
+        let _ = writeln!(out, "\n{}", gantt::render_system(&system, &outcome.schedule));
+    }
+    let schedule = outcome.schedule.clone();
+    Ok((out, system, schedule))
+}
+
+/// Executes a parsed command, reading inputs from disk.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Dot { input } => {
+            let system = load_system(&read(input)?)?;
+            Ok(dot::to_dot(&system))
+        }
+        Command::Summary { input } => {
+            let system = load_system(&read(input)?)?;
+            Ok(format!("{}\n", display::summary(&system)))
+        }
+        Command::Schedule {
+            input,
+            all_global,
+            globals,
+            gantt,
+            verify,
+            save,
+        } => {
+            let (mut out, system, schedule) =
+                schedule_source_full(&read(input)?, *all_global, globals, *gantt, *verify)?;
+            if let Some(path) = save {
+                let text = crate::fds::schedule_io::to_sched(&system, &schedule);
+                std::fs::write(path, text)
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                out.push_str(&format!("schedule saved to {path}\n"));
+            }
+            Ok(out)
+        }
+        Command::Check {
+            input,
+            sched,
+            all_global,
+            globals,
+        } => {
+            let system = load_system(&read(input)?)?;
+            let spec = build_spec(&system, *all_global, globals)?;
+            let schedule = crate::fds::schedule_io::from_sched(&system, &read(sched)?)
+                .map_err(|e| e.to_string())?;
+            schedule.verify(&system).map_err(|e| e.to_string())?;
+            let report = crate::modulo::compute_report(&system, &spec, &schedule);
+            for seed in 0..10 {
+                let acts = random_activations(&system, &spec, &schedule, 3, seed);
+                check_execution(&system, &spec, &schedule, &report, &acts)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(format!(
+                "schedule valid: precedence, deadlines and 10 randomized executions pass; total area {}\n",
+                report.total_area()
+            ))
+        }
+        Command::Vhdl {
+            input,
+            all_global,
+            globals,
+            width,
+        } => {
+            let system = load_system(&read(input)?)?;
+            let spec = build_spec(&system, *all_global, globals)?;
+            let outcome = ModuloScheduler::new(&system, spec.clone())
+                .map_err(|e| e.to_string())?
+                .run();
+            let binding = crate::alloc::bind_system(&system, &spec, &outcome.schedule)
+                .map_err(|e| e.to_string())?;
+            let registers = crate::alloc::allocate_registers(&system, &outcome.schedule);
+            crate::alloc::emit_vhdl(
+                &system,
+                &spec,
+                &outcome.schedule,
+                &binding,
+                &registers,
+                &crate::alloc::RtlOptions {
+                    width: *width,
+                    entity: "tcms_top".into(),
+                },
+            )
+            .map_err(|e| e.to_string())
+        }
+        Command::Dfg { input } => {
+            let system = load_system(&read(input)?)?;
+            Ok(display::to_dfg(&system))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    const SAMPLE: &str = "
+resource add delay=1 area=1
+resource mul delay=2 area=4 pipelined
+process A
+block body time=8
+op m0 mul
+op a0 add
+edge m0 a0
+process B
+block body time=8
+op m0 mul
+op a0 add
+edge m0 a0
+";
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_schedule_options() {
+        let cmd = parse_args(&args(&[
+            "schedule",
+            "x.dfg",
+            "--all-global",
+            "4",
+            "--global",
+            "mul=2",
+            "--gantt",
+            "--verify",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Schedule {
+                input: "x.dfg".into(),
+                all_global: Some(4),
+                globals: vec![("mul".into(), 2)],
+                gantt: true,
+                verify: 7,
+                save: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&args(&["frob"])).is_err());
+        assert!(parse_args(&args(&["schedule"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x", "--global", "mul"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x", "--all-global", "x"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn schedule_source_local_and_global() {
+        let local = schedule_source(SAMPLE, None, &[], false, 0).unwrap();
+        assert!(local.contains("mul        2 instances"), "{local}");
+        let global = schedule_source(SAMPLE, None, &[("mul".into(), 2)], false, 3).unwrap();
+        assert!(global.contains("shared pool 1"), "{global}");
+        assert!(global.contains("conflict-free"));
+    }
+
+    #[test]
+    fn schedule_source_gantt() {
+        let out = schedule_source(SAMPLE, Some(2), &[], true, 0).unwrap();
+        assert!(out.contains("A :: body"));
+        assert!(out.contains("B :: body"));
+    }
+
+    #[test]
+    fn schedule_source_reports_unknown_type() {
+        let err = schedule_source(SAMPLE, None, &[("div".into(), 2)], false, 0).unwrap_err();
+        assert!(err.contains("unknown resource type"));
+    }
+
+    #[test]
+    fn dfg_with_assignment_in_comment_stays_structural() {
+        let src = format!("# note: y := a+b comes later\n{SAMPLE}");
+        let out = schedule_source(&src, None, &[], false, 0).unwrap();
+        assert!(out.contains("2 processes"), "{out}");
+    }
+
+    #[test]
+    fn behavioral_sources_detected_and_scheduled() {
+        let src = "
+process a time=8 { y := p * q + r; }
+process b time=8 { z := p * q; }
+";
+        let out = schedule_source(src, Some(4), &[], false, 2).unwrap();
+        assert!(out.contains("shared pool 1"), "{out}");
+        assert!(out.contains("conflict-free"));
+    }
+
+    #[test]
+    fn run_reads_missing_file_gracefully() {
+        let err = run(&Command::Summary {
+            input: "/nonexistent/x.dfg".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn run_help() {
+        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_new_commands() {
+        let v = parse_args(&args(&["vhdl", "x.dfg", "--all-global", "3", "--width", "8"]))
+            .unwrap();
+        assert_eq!(
+            v,
+            Command::Vhdl {
+                input: "x.dfg".into(),
+                all_global: Some(3),
+                globals: vec![],
+                width: 8,
+            }
+        );
+        let c = parse_args(&args(&["check", "x.dfg", "x.sched", "--global", "mul=2"]))
+            .unwrap();
+        assert!(matches!(c, Command::Check { .. }));
+        assert!(parse_args(&args(&["check", "x.dfg"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&["dfg", "x.hls"])).unwrap(),
+            Command::Dfg { .. }
+        ));
+    }
+
+    #[test]
+    fn schedule_save_then_check_round_trip() {
+        let dir = std::env::temp_dir().join("tcms_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = dir.join("d.dfg");
+        let sched = dir.join("d.sched");
+        std::fs::write(&design, SAMPLE).unwrap();
+        let out = run(&Command::Schedule {
+            input: design.to_string_lossy().into_owned(),
+            all_global: Some(2),
+            globals: vec![],
+            gantt: false,
+            verify: 0,
+            save: Some(sched.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("schedule saved"));
+        let check = run(&Command::Check {
+            input: design.to_string_lossy().into_owned(),
+            sched: sched.to_string_lossy().into_owned(),
+            all_global: Some(2),
+            globals: vec![],
+        })
+        .unwrap();
+        assert!(check.contains("schedule valid"), "{check}");
+    }
+
+    #[test]
+    fn vhdl_command_emits_entity() {
+        let dir = std::env::temp_dir().join("tcms_cli_test_vhdl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = dir.join("d.dfg");
+        std::fs::write(&design, SAMPLE).unwrap();
+        let out = run(&Command::Vhdl {
+            input: design.to_string_lossy().into_owned(),
+            all_global: Some(2),
+            globals: vec![],
+            width: 8,
+        })
+        .unwrap();
+        assert!(out.contains("entity tcms_top is"));
+        assert!(out.contains("unsigned(7 downto 0)"));
+    }
+
+    #[test]
+    fn dfg_command_converts_behavioral() {
+        let dir = std::env::temp_dir().join("tcms_cli_test_dfg");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = dir.join("d.hls");
+        std::fs::write(&design, "process p time=9 { y := a*b + c; }").unwrap();
+        let out = run(&Command::Dfg {
+            input: design.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("process p"));
+        assert!(out.contains("op mul1 mul"));
+        assert!(out.contains("edge mul1 add2"));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Facade crate for the TCMS workspace: time-constrained modulo scheduling
+//! with global resource sharing (DATE 1999 reproduction).
+//!
+//! This crate re-exports the full stack under stable module names:
+//!
+//! * [`ir`] — multi-process HLS intermediate representation and benchmarks,
+//! * [`fds`] — force-directed scheduling (FDS/IFDS) and baselines,
+//! * [`modulo`] — the paper's contribution: coupled modulo scheduling with
+//!   global resource sharing,
+//! * [`alloc`] — binding, register allocation and datapath generation,
+//! * [`sim`] — reactive discrete-event simulation of scheduled systems.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tcms::ir::generators::paper_system;
+//! use tcms::modulo::{ModuloScheduler, SharingSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (system, types) = paper_system()?;
+//! let spec = SharingSpec::all_global(&system, 5);
+//! let result = ModuloScheduler::new(&system, spec)?.run();
+//! assert!(result.report().total_area() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cli;
+
+pub use tcms_alloc as alloc;
+pub use tcms_core as modulo;
+pub use tcms_fds as fds;
+pub use tcms_ir as ir;
+pub use tcms_sim as sim;

@@ -1,0 +1,154 @@
+//! Property tests of the allocation stack: binding, register allocation
+//! and lifetimes uphold their invariants on random systems.
+
+use proptest::prelude::*;
+
+use tcms::alloc::{allocate_registers, bind_system, value_lifetimes};
+use tcms::ir::generators::{random_system, RandomSystemConfig};
+use tcms::modulo::{ModuloScheduler, SharingSpec};
+
+fn scheduled(
+    seed: u64,
+    period: u32,
+) -> Option<(
+    tcms::ir::System,
+    SharingSpec,
+    tcms::fds::Schedule,
+)> {
+    let cfg = RandomSystemConfig {
+        processes: 3,
+        blocks_per_process: 2,
+        layers: 3,
+        ops_per_layer: (1, 3),
+        edge_prob: 0.5,
+        slack: 2.0,
+        type_weights: [3, 1, 2],
+    };
+    let (system, _) = random_system(&cfg, seed).unwrap();
+    let spec = SharingSpec::all_global(&system, period);
+    if !tcms::modulo::period::spacing_feasible(&system, &spec) {
+        return None;
+    }
+    let out = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    let schedule = out.schedule.clone();
+    Some((system, spec, schedule))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn binding_never_double_books_an_instance(
+        seed in 0u64..400,
+        period in 2u32..5,
+    ) {
+        let Some((system, spec, schedule)) = scheduled(seed, period) else {
+            return Ok(());
+        };
+        let binding = bind_system(&system, &spec, &schedule).unwrap();
+        // Within one block: overlapping same-type ops on distinct units.
+        for (bid, block) in system.blocks() {
+            let _ = bid;
+            for (i, &a) in block.ops().iter().enumerate() {
+                for &b in &block.ops()[i + 1..] {
+                    if system.op(a).resource_type() != system.op(b).resource_type() {
+                        continue;
+                    }
+                    let (sa, sb) = (schedule.expect_start(a), schedule.expect_start(b));
+                    let (oa, ob) = (system.occupancy(a), system.occupancy(b));
+                    let overlap = sa < sb + ob && sb < sa + oa;
+                    if overlap {
+                        prop_assert_ne!(binding.instance(a), binding.instance(b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_process_slot_overlaps_use_distinct_units(
+        seed in 0u64..400,
+        period in 2u32..5,
+    ) {
+        let Some((system, spec, schedule)) = scheduled(seed, period) else {
+            return Ok(());
+        };
+        let binding = bind_system(&system, &spec, &schedule).unwrap();
+        for k in spec.global_types(&system) {
+            let p = spec.period(k).unwrap();
+            let mut all = Vec::new();
+            for &proc in spec.group(k).unwrap() {
+                for &b in system.process(proc).blocks() {
+                    for o in system.ops_of_type(b, k) {
+                        all.push((proc, o));
+                    }
+                }
+            }
+            for (i, &(pa, a)) in all.iter().enumerate() {
+                for &(pb, b) in &all[i + 1..] {
+                    if pa == pb {
+                        continue;
+                    }
+                    let slots = |o| {
+                        let s = schedule.expect_start(o);
+                        (s..s + system.occupancy(o))
+                            .map(|t| t % p)
+                            .collect::<std::collections::HashSet<_>>()
+                    };
+                    if !slots(a).is_disjoint(&slots(b)) {
+                        prop_assert_ne!(binding.instance(a), binding.instance(b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registers_never_hold_two_live_values(
+        seed in 0u64..400,
+        period in 2u32..5,
+    ) {
+        let Some((system, _, schedule)) = scheduled(seed, period) else {
+            return Ok(());
+        };
+        let regs = allocate_registers(&system, &schedule);
+        for (bid, _) in system.blocks() {
+            let lts = value_lifetimes(&system, bid, &schedule);
+            for (i, a) in lts.iter().enumerate() {
+                for b in &lts[i + 1..] {
+                    if a.overlaps(b) {
+                        prop_assert_ne!(
+                            regs.register(a.op),
+                            regs.register(b.op),
+                            "overlapping values {} and {} share a register",
+                            system.op(a.op).name(),
+                            system.op(b.op).name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_well_formed(
+        seed in 0u64..400,
+        period in 2u32..5,
+    ) {
+        let Some((system, _, schedule)) = scheduled(seed, period) else {
+            return Ok(());
+        };
+        for (bid, block) in system.blocks() {
+            let makespan = schedule.block_makespan(&system, bid);
+            for lt in value_lifetimes(&system, bid, &schedule) {
+                prop_assert!(lt.birth <= lt.death);
+                prop_assert!(lt.death <= makespan.max(lt.birth));
+                prop_assert_eq!(
+                    lt.birth,
+                    schedule.expect_start(lt.op) + system.delay(lt.op)
+                );
+            }
+            let _ = block;
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Property test: the `.dfg` text format round-trips any generated
+//! system.
+
+use proptest::prelude::*;
+
+use tcms::ir::display::to_dfg;
+use tcms::ir::generators::{random_system, RandomSystemConfig};
+use tcms::ir::parse::parse_system;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dfg_round_trips(
+        seed in 0u64..5000,
+        procs in 1usize..5,
+        layers in 1usize..5,
+    ) {
+        let cfg = RandomSystemConfig {
+            processes: procs,
+            layers,
+            ..RandomSystemConfig::default()
+        };
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let text = to_dfg(&system);
+        let back = parse_system(&text).unwrap();
+        prop_assert_eq!(back.num_ops(), system.num_ops());
+        prop_assert_eq!(back.num_blocks(), system.num_blocks());
+        prop_assert_eq!(back.num_processes(), system.num_processes());
+        // Round-tripping again is a fixpoint.
+        prop_assert_eq!(to_dfg(&back), text);
+        // Structure survives: same critical paths everywhere.
+        for (bid, _) in system.blocks() {
+            prop_assert_eq!(back.critical_path(bid), system.critical_path(bid));
+        }
+    }
+}
+
+#[test]
+fn paper_system_round_trips() {
+    let (system, _) = tcms::ir::generators::paper_system().unwrap();
+    let text = to_dfg(&system);
+    let back = parse_system(&text).unwrap();
+    assert_eq!(back.num_ops(), system.num_ops());
+    assert_eq!(to_dfg(&back), text);
+}

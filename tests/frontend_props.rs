@@ -1,0 +1,97 @@
+//! Property tests of the behavioral frontend: random expression programs
+//! always lower to valid, schedulable systems with the expected operation
+//! bounds.
+
+use proptest::prelude::*;
+
+use tcms::fds::{schedule_system_local, FdsConfig};
+use tcms::ir::frontend::{compile, Expr};
+use tcms::ir::generators::paper_library;
+
+/// Random expression trees over a small variable pool.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "d"]).prop_map(|v| Expr::Var(v.into())),
+        (0u64..10).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+/// Renders an expression back to surface syntax (fully parenthesised).
+fn render(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => v.clone(),
+        Expr::Const(n) => n.to_string(),
+        Expr::Add(l, r) => format!("({} + {})", render(l), render(r)),
+        Expr::Sub(l, r) => format!("({} - {})", render(l), render(r)),
+        Expr::Mul(l, r) => format!("({} * {})", render(l), render(r)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_compile_and_schedule(exprs in prop::collection::vec(expr_strategy(), 1..4)) {
+        let mut src = String::from("process p time=200 {\n");
+        for (i, e) in exprs.iter().enumerate() {
+            src.push_str(&format!("  v{i} := {};\n", render(e)));
+        }
+        src.push_str("}\n");
+        let (lib, _) = paper_library();
+        let sys = compile(&src, lib).unwrap();
+        // CSE can only shrink the op count relative to the tree size.
+        let tree_ops: usize = exprs.iter().map(Expr::op_count).sum();
+        prop_assert!(sys.num_ops() <= tree_ops);
+        // Whatever came out must be schedulable end to end.
+        if sys.num_ops() > 0 {
+            let out = schedule_system_local(&sys, &FdsConfig::default());
+            out.schedule.verify(&sys).unwrap();
+        }
+    }
+
+    #[test]
+    fn compilation_is_deterministic(exprs in prop::collection::vec(expr_strategy(), 1..3)) {
+        let mut src = String::from("process p time=200 {\n");
+        for (i, e) in exprs.iter().enumerate() {
+            src.push_str(&format!("  v{i} := {};\n", render(e)));
+        }
+        src.push_str("}\n");
+        let compile_once = || {
+            let (lib, _) = paper_library();
+            tcms::ir::display::to_dfg(&compile(&src, lib).unwrap())
+        };
+        prop_assert_eq!(compile_once(), compile_once());
+    }
+
+    #[test]
+    fn cse_never_changes_the_critical_path_upper_bound(e in expr_strategy()) {
+        // A single expression's critical path is bounded by the depth-wise
+        // worst case: every level a multiplication (delay 2).
+        let src = format!("process p time=500 {{ y := {}; }}", render(&e));
+        let (lib, _) = paper_library();
+        let sys = compile(&src, lib).unwrap();
+        if sys.num_ops() > 0 {
+            let blk = sys.block_ids().next().unwrap();
+            let depth = expr_depth(&e);
+            prop_assert!(sys.critical_path(blk) <= 2 * depth);
+        }
+    }
+}
+
+fn expr_depth(e: &Expr) -> u32 {
+    match e {
+        Expr::Var(_) | Expr::Const(_) => 0,
+        Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
+            1 + expr_depth(l).max(expr_depth(r))
+        }
+    }
+}

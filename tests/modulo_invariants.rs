@@ -1,0 +1,130 @@
+//! Property tests of the paper's central soundness claim: whatever
+//! feasible system we schedule and however its blocks are (grid-aligned)
+//! activated, the computed shared instance counts are never exceeded.
+
+use proptest::prelude::*;
+
+use tcms::fds::FdsConfig;
+use tcms::ir::generators::{random_system, RandomSystemConfig};
+use tcms::modulo::{
+    check_execution, compute_report, random_activations, ModuloScheduler, SharingSpec,
+};
+
+fn small_config() -> impl Strategy<Value = (RandomSystemConfig, u64, u32)> {
+    (
+        2usize..5,   // processes
+        1usize..3,   // blocks per process
+        2usize..5,   // layers
+        1usize..4,   // max ops per layer
+        0u64..1000,  // system seed
+        2u32..7,     // period
+    )
+        .prop_map(|(procs, blocks, layers, maxops, seed, period)| {
+            (
+                RandomSystemConfig {
+                    processes: procs,
+                    blocks_per_process: blocks,
+                    layers,
+                    ops_per_layer: (1, maxops),
+                    edge_prob: 0.4,
+                    slack: 2.0,
+                    type_weights: [3, 1, 2],
+                },
+                seed,
+                period,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_systems_schedule_validly((cfg, seed, period) in small_config()) {
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+        let outcome = ModuloScheduler::new(&system, spec).unwrap().run();
+        outcome.schedule.verify(&system).unwrap();
+    }
+
+    #[test]
+    fn shared_pools_never_overdrawn((cfg, seed, period) in small_config()) {
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+        let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+        let report = compute_report(&system, &spec, &outcome.schedule);
+        for act_seed in 0..4 {
+            let acts = random_activations(&system, &spec, &outcome.schedule, 3, act_seed);
+            check_execution(&system, &spec, &outcome.schedule, &report, &acts)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+    }
+
+    #[test]
+    fn global_never_beats_local_area_by_accident_backwards(
+        (cfg, seed, period) in small_config()
+    ) {
+        // Sharing can at worst match the local instance floor per type:
+        // the shared pool never needs MORE instances than the sum of the
+        // per-process peaks the local run produces for the same type.
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+        let cfg_fds = FdsConfig::default();
+        let global = ModuloScheduler::new(&system, spec.clone())
+            .unwrap()
+            .with_config(cfg_fds.clone())
+            .run();
+        let g = global.report();
+        for k in spec.global_types(&system) {
+            let worst: u32 = spec
+                .group(k)
+                .unwrap()
+                .iter()
+                .map(|&p| {
+                    system
+                        .process(p)
+                        .blocks()
+                        .iter()
+                        .map(|&b| {
+                            // Upper bound: all ops of the type in the block
+                            // could in principle collide in one slot.
+                            system.ops_of_type(b, k).len() as u32
+                        })
+                        .max()
+                        .unwrap_or(0)
+                })
+                .sum();
+            prop_assert!(g.instances(k) <= worst.max(1));
+        }
+    }
+
+    #[test]
+    fn authorization_tables_cover_actual_usage((cfg, seed, period) in small_config()) {
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+        let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+        for k in spec.global_types(&system) {
+            let table = tcms::modulo::AuthorizationTable::from_schedule(
+                &system, &spec, &outcome.schedule, k,
+            )
+            .unwrap();
+            for &p in spec.group(k).unwrap() {
+                for &b in system.process(p).blocks() {
+                    let usage = outcome.schedule.usage(&system, b, k);
+                    for (t, &u) in usage.iter().enumerate() {
+                        prop_assert!(u <= table.granted(p, t as u32 % period));
+                    }
+                }
+            }
+            // The pool equals the worst slot total, never more.
+            prop_assert_eq!(
+                table.pool(),
+                table.slot_totals().into_iter().max().unwrap_or(0)
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Full-stack pipeline tests: IR → coupled modulo scheduling → binding →
+//! register allocation → datapath/controller → reactive simulation, on
+//! randomized systems.
+
+use tcms::alloc::{
+    allocate_registers, bind_system, build_datapath, full_area_report,
+};
+use tcms::alloc::fsm::build_controllers;
+use tcms::ir::generators::{random_system, RandomSystemConfig};
+use tcms::modulo::{ModuloScheduler, SharingSpec};
+use tcms::sim::{SimConfig, Simulator, Trigger};
+
+fn pipeline(seed: u64) {
+    let cfg = RandomSystemConfig {
+        processes: 3,
+        blocks_per_process: 2,
+        layers: 4,
+        ops_per_layer: (1, 3),
+        edge_prob: 0.5,
+        slack: 2.5,
+        type_weights: [3, 1, 2],
+    };
+    let (system, _) = random_system(&cfg, seed).unwrap();
+    let spec = SharingSpec::all_global(&system, 3);
+    if !tcms::modulo::period::spacing_feasible(&system, &spec) {
+        return;
+    }
+    let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    outcome.schedule.verify(&system).unwrap();
+
+    let binding = bind_system(&system, &spec, &outcome.schedule).unwrap();
+    let registers = allocate_registers(&system, &outcome.schedule);
+    let datapath = build_datapath(&system, &spec, &outcome.schedule, &binding, &registers);
+    assert_eq!(
+        datapath.num_fus() as u32,
+        system
+            .library()
+            .ids()
+            .map(|k| binding.total_instances(k))
+            .sum::<u32>()
+    );
+
+    let controllers = build_controllers(&system, &spec, &outcome.schedule, &binding, &registers);
+    let issued: usize = controllers
+        .iter()
+        .flat_map(|c| c.words.iter().map(|w| w.issues.len()))
+        .sum();
+    assert_eq!(issued, system.num_ops(), "every op issued exactly once");
+
+    let area = full_area_report(&system, &spec, &outcome.schedule, &binding);
+    assert!(area.total() >= area.fu_area as f64);
+
+    let sim = Simulator::new(&system, &spec, &outcome.schedule);
+    let workloads = vec![Trigger::Random { mean_gap: 20 }; system.num_processes()];
+    let result = sim.run(
+        &workloads,
+        &SimConfig {
+            horizon: 2_000,
+            seed,
+        },
+    );
+    assert!(result.conflicts.is_empty(), "seed {seed}");
+}
+
+#[test]
+fn pipeline_runs_on_many_seeds() {
+    for seed in 0..12 {
+        pipeline(seed);
+    }
+}
+
+#[test]
+fn pipeline_with_multiblock_processes() {
+    // Blocks of one process must share pools without ever conflicting.
+    let cfg = RandomSystemConfig {
+        processes: 2,
+        blocks_per_process: 3,
+        layers: 3,
+        ops_per_layer: (2, 3),
+        edge_prob: 0.6,
+        slack: 2.0,
+        type_weights: [2, 1, 2],
+    };
+    let (system, _) = random_system(&cfg, 77).unwrap();
+    let spec = SharingSpec::all_global(&system, 2);
+    if !tcms::modulo::period::spacing_feasible(&system, &spec) {
+        return;
+    }
+    let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    outcome.schedule.verify(&system).unwrap();
+    let report = outcome.report();
+    for seed in 0..10 {
+        let acts =
+            tcms::modulo::random_activations(&system, &spec, &outcome.schedule, 3, seed);
+        tcms::modulo::check_execution(&system, &spec, &outcome.schedule, &report, &acts)
+            .unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-scheduler integration: FDS, IFDS, list scheduling and the
+//! resource-constrained modulo variant agree on validity and bounds.
+
+use proptest::prelude::*;
+
+use tcms::fds::fds::schedule_block_fds;
+use tcms::fds::list::list_schedule_block;
+use tcms::fds::{baselines, schedule_block_ifds, schedule_system_local, FdsConfig};
+use tcms::ir::generators::{
+    add_ar_lattice_process, add_fft_process, add_fir_process, paper_library, random_system,
+    RandomSystemConfig,
+};
+use tcms::ir::SystemBuilder;
+use tcms::modulo::rc::rc_modulo_schedule;
+use tcms::modulo::{ModuloScheduler, SharingSpec};
+
+#[test]
+fn all_generators_schedule_validly() {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    add_fir_process(&mut b, "fir", 8, 25, types).unwrap();
+    add_ar_lattice_process(&mut b, "ar", 40, types).unwrap();
+    add_fft_process(&mut b, "fft", 8, 25, types).unwrap();
+    let sys = b.build().unwrap();
+    let out = schedule_system_local(&sys, &FdsConfig::default());
+    out.schedule.verify(&sys).unwrap();
+
+    // And globally shared across the three kernels.
+    let spec = SharingSpec::all_global(&sys, 5);
+    let global = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+    global.schedule.verify(&sys).unwrap();
+    let mul = sys.library().by_name("mul").unwrap();
+    assert!(global.report().instances(mul) < 3 * 2, "sharing helps");
+}
+
+#[test]
+fn fds_and_ifds_agree_on_validity_and_are_close_in_quality() {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    let (_, blk) = tcms::ir::generators::add_ewf_process(&mut b, "P", 21, types).unwrap();
+    let sys = b.build().unwrap();
+    let cfg = FdsConfig::default();
+    let fds = schedule_block_fds(&sys, blk, &cfg);
+    let ifds = schedule_block_ifds(&sys, blk, &cfg);
+    fds.schedule.verify(&sys).unwrap();
+    ifds.schedule.verify(&sys).unwrap();
+    let peak = |s: &tcms::fds::Schedule| {
+        s.peak_usage(&sys, blk, types.add) + 4 * s.peak_usage(&sys, blk, types.mul)
+    };
+    let (pf, pi) = (peak(&fds.schedule), peak(&ifds.schedule));
+    // Both heuristics land in the same quality region on the EWF.
+    assert!(pi <= pf + 3, "IFDS {pi} vs FDS {pf}");
+    assert!(pf <= pi + 3, "FDS {pf} vs IFDS {pi}");
+}
+
+#[test]
+fn list_schedule_meets_fds_counts_with_relaxed_deadline() {
+    // The counts a time-constrained run achieves are feasible for the
+    // resource-constrained list scheduler given enough time.
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    let (_, blk) = tcms::ir::generators::add_ewf_process(&mut b, "P", 60, types).unwrap();
+    let sys = b.build().unwrap();
+    let ifds = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+    let limits = vec![
+        ifds.schedule.peak_usage(&sys, blk, types.add),
+        1,
+        ifds.schedule.peak_usage(&sys, blk, types.mul).max(1),
+    ];
+    let out = list_schedule_block(&sys, blk, &limits).unwrap();
+    assert!(out.makespan <= 60);
+    out.schedule.verify(&sys).unwrap();
+}
+
+#[test]
+fn rc_variant_matches_generous_limits_on_random_systems() {
+    for seed in 0..8 {
+        let cfg = RandomSystemConfig {
+            processes: 3,
+            slack: 2.5,
+            ..RandomSystemConfig::default()
+        };
+        let (sys, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&sys, 3);
+        if !tcms::modulo::period::spacing_feasible(&sys, &spec) {
+            continue;
+        }
+        // Generous limits: one instance per op of the busiest block.
+        let limits: Vec<u32> = sys
+            .library()
+            .ids()
+            .map(|k| {
+                sys.block_ids()
+                    .map(|b| sys.ops_of_type(b, k).len() as u32)
+                    .max()
+                    .unwrap_or(0)
+                    .max(1)
+                    * sys.num_processes() as u32
+            })
+            .collect();
+        let rc = rc_modulo_schedule(&sys, &spec, &limits).unwrap();
+        rc.schedule.verify(&sys).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn asap_alap_bracket_every_scheduler(seed in 0u64..500) {
+        let cfg = RandomSystemConfig::default();
+        let (sys, _) = random_system(&cfg, seed).unwrap();
+        let asap = baselines::asap_schedule(&sys);
+        let alap = baselines::alap_schedule(&sys);
+        let local = schedule_system_local(&sys, &FdsConfig::default());
+        for o in sys.op_ids() {
+            prop_assert!(asap.expect_start(o) <= local.schedule.expect_start(o));
+            prop_assert!(local.schedule.expect_start(o) <= alap.expect_start(o));
+        }
+    }
+}
