@@ -73,9 +73,7 @@ mod tests {
     fn totals_compose() {
         let (sys, _) = paper_system().unwrap();
         let r = report(&SharingSpec::all_global(&sys, 5));
-        assert!(
-            (r.total() - (r.fu_area as f64 + r.register_area + r.mux_area)).abs() < 1e-12
-        );
+        assert!((r.total() - (r.fu_area as f64 + r.register_area + r.mux_area)).abs() < 1e-12);
         assert!(r.registers > 0);
     }
 

@@ -118,10 +118,9 @@ pub fn bind_system(
             for &p in &group {
                 for &b in system.process(p).blocks() {
                     for o in system.ops_of_type(b, k) {
-                        let start =
-                            schedule.start(o).ok_or_else(|| BindingError::Unscheduled {
-                                op: system.op(o).name().to_owned(),
-                            })?;
+                        let start = schedule.start(o).ok_or_else(|| BindingError::Unscheduled {
+                            op: system.op(o).name().to_owned(),
+                        })?;
                         ops.push((p, b.index(), start, o));
                     }
                 }
@@ -293,11 +292,7 @@ mod tests {
         let binding = bind_system(&sys, &spec, &schedule).unwrap();
         let report = compute_report(&sys, &spec, &schedule);
         for k in spec.global_types(&sys) {
-            assert_eq!(
-                binding.instances_used(k),
-                report.instances(k),
-                "type {k}"
-            );
+            assert_eq!(binding.instances_used(k), report.instances(k), "type {k}");
         }
     }
 

@@ -94,12 +94,7 @@ impl Datapath {
                     );
                 }
                 Component::Register { process, index } => {
-                    let _ = writeln!(
-                        out,
-                        "  reg {}.r{}",
-                        system.process(*process).name(),
-                        index
-                    );
+                    let _ = writeln!(out, "  reg {}.r{}", system.process(*process).name(), index);
                 }
                 Component::Multiplexer { at, inputs } => {
                     let _ = writeln!(out, "  mux {at} inputs={inputs}");
@@ -199,7 +194,11 @@ mod tests {
         let spec = SharingSpec::all_global(&sys, 5);
         let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
         let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
-        let expected: u32 = sys.library().ids().map(|k| binding.total_instances(k)).sum();
+        let expected: u32 = sys
+            .library()
+            .ids()
+            .map(|k| binding.total_instances(k))
+            .sum();
         assert_eq!(dp.num_fus() as u32, expected);
     }
 

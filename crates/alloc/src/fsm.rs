@@ -180,10 +180,7 @@ mod tests {
             for (t, w) in c.words.iter().enumerate() {
                 for (i, a) in w.issues.iter().enumerate() {
                     for b in &w.issues[i + 1..] {
-                        let (ka, kb) = (
-                            sys.op(a.op).resource_type(),
-                            sys.op(b.op).resource_type(),
-                        );
+                        let (ka, kb) = (sys.op(a.op).resource_type(), sys.op(b.op).resource_type());
                         if ka == kb {
                             assert!(
                                 a.instance != b.instance,

@@ -55,7 +55,11 @@ pub fn value_lifetimes(system: &System, block: BlockId, schedule: &Schedule) -> 
                 .map(|&s| schedule.expect_start(s))
                 .max()
                 .map_or(makespan, |last_use| last_use.max(birth));
-            Lifetime { op: o, birth, death }
+            Lifetime {
+                op: o,
+                birth,
+                death,
+            }
         })
         .collect()
 }
@@ -89,7 +93,14 @@ mod tests {
         let lts = value_lifetimes(&sys, blk, &s);
         let lt = |o: OpId| *lts.iter().find(|l| l.op == o).unwrap();
         // x is born at 1, last used by z at 4.
-        assert_eq!(lt(ops[0]), Lifetime { op: ops[0], birth: 1, death: 4 });
+        assert_eq!(
+            lt(ops[0]),
+            Lifetime {
+                op: ops[0],
+                birth: 1,
+                death: 4
+            }
+        );
         // y and z are outputs: live until the makespan (5).
         assert_eq!(lt(ops[1]).death, 5);
         assert_eq!(lt(ops[2]).death, 5);
@@ -98,9 +109,21 @@ mod tests {
 
     #[test]
     fn overlap_relation() {
-        let a = Lifetime { op: OpId::from_index(0), birth: 1, death: 4 };
-        let b = Lifetime { op: OpId::from_index(1), birth: 3, death: 6 };
-        let c = Lifetime { op: OpId::from_index(2), birth: 4, death: 5 };
+        let a = Lifetime {
+            op: OpId::from_index(0),
+            birth: 1,
+            death: 4,
+        };
+        let b = Lifetime {
+            op: OpId::from_index(1),
+            birth: 3,
+            death: 6,
+        };
+        let c = Lifetime {
+            op: OpId::from_index(2),
+            birth: 4,
+            death: 5,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

@@ -78,7 +78,7 @@ pub fn estimate_muxes(
     registers: &RegisterAllocation,
 ) -> MuxEstimate {
     let _ = schedule; // sources are structural; the schedule fixed the binding
-    // port -> set of (process, register) sources
+                      // port -> set of (process, register) sources
     let mut port_sets: HashMap<FuInstance, [HashSet<(ProcessId, u32)>; 2]> = HashMap::new();
     let mut reg_writer_sets: HashMap<(ProcessId, u32), HashSet<FuInstance>> = HashMap::new();
     for (o, op) in system.ops() {
@@ -151,8 +151,7 @@ mod tests {
         assert!(global
             .fu_port_sources
             .iter()
-            .any(|(inst, sizes)| inst.process.is_none()
-                && sizes.iter().any(|&n| n >= 2)));
+            .any(|(inst, sizes)| inst.process.is_none() && sizes.iter().any(|&n| n >= 2)));
     }
 
     #[test]

@@ -57,12 +57,7 @@ pub fn allocate_registers(system: &System, schedule: &Schedule) -> RegisterAlloc
     RegisterAllocation { reg, per_process }
 }
 
-fn allocate_block(
-    system: &System,
-    block: BlockId,
-    schedule: &Schedule,
-    reg: &mut [u32],
-) -> u32 {
+fn allocate_block(system: &System, block: BlockId, schedule: &Schedule, reg: &mut [u32]) -> u32 {
     let mut lifetimes = value_lifetimes(system, block, schedule);
     lifetimes.sort_by_key(|l| (l.birth, l.death, l.op));
     // free_at[i] = death of the value currently in register i.
@@ -139,10 +134,7 @@ mod tests {
         let spec = SharingSpec::all_global(&sys, 5);
         let out = ModuloScheduler::new(&sys, spec).unwrap().run();
         let alloc = allocate_registers(&sys, &out.schedule);
-        let total: u32 = sys
-            .process_ids()
-            .map(|p| alloc.process_registers(p))
-            .sum();
+        let total: u32 = sys.process_ids().map(|p| alloc.process_registers(p)).sum();
         assert_eq!(alloc.total_registers(), total);
         for p in sys.process_ids() {
             assert!(alloc.process_registers(p) >= 1);

@@ -102,12 +102,7 @@ fn instance_signal(system: &System, inst: &FuInstance) -> String {
     )
 }
 
-fn op_instance(
-    system: &System,
-    spec: &SharingSpec,
-    binding: &Binding,
-    op: OpId,
-) -> FuInstance {
+fn op_instance(system: &System, spec: &SharingSpec, binding: &Binding, op: OpId) -> FuInstance {
     let o = system.op(op);
     let p = system.block(o.block()).process();
     FuInstance {
@@ -241,11 +236,7 @@ pub fn emit_vhdl(
         let rt = system.library().get(inst.rtype);
         if rt.is_pipelined() && rt.delay() > 1 {
             for stage in 1..rt.delay() {
-                let _ = writeln!(
-                    v,
-                    "  signal {s}_p{stage} : unsigned({} downto 0);",
-                    w - 1
-                );
+                let _ = writeln!(v, "  signal {s}_p{stage} : unsigned({} downto 0);", w - 1);
             }
         }
     }
@@ -260,7 +251,11 @@ pub fn emit_vhdl(
         let block = proc.blocks()[0];
         let makespan = schedule.block_makespan(system, block).max(1);
         let _ = writeln!(v, "  signal {p}_active, {p}_pending : std_logic := '0';");
-        let _ = writeln!(v, "  signal {p}_step : integer range 0 to {};", makespan - 1);
+        let _ = writeln!(
+            v,
+            "  signal {p}_step : integer range 0 to {};",
+            makespan - 1
+        );
         let _ = pid;
     }
     let _ = writeln!(v, "begin");
@@ -320,7 +315,10 @@ pub fn emit_vhdl(
     let _ = writeln!(v);
 
     // Slot counter: the static time base of the access authorization.
-    let _ = writeln!(v, "  -- free-running period-slot counter (lcm of all grids)");
+    let _ = writeln!(
+        v,
+        "  -- free-running period-slot counter (lcm of all grids)"
+    );
     let _ = writeln!(v, "  slots : process(clk)");
     let _ = writeln!(v, "  begin");
     let _ = writeln!(v, "    if rising_edge(clk) then");
@@ -357,7 +355,11 @@ pub fn emit_vhdl(
             ));
         }
         loads.sort();
-        let _ = writeln!(v, "  -- controller of {} (grid spacing {spacing})", proc.name());
+        let _ = writeln!(
+            v,
+            "  -- controller of {} (grid spacing {spacing})",
+            proc.name()
+        );
         let _ = writeln!(v, "  ctrl_{p} : process(clk)");
         let _ = writeln!(v, "  begin");
         let _ = writeln!(v, "    if rising_edge(clk) then");
@@ -373,7 +375,11 @@ pub fn emit_vhdl(
             v,
             "        if {p}_active = '0' and ({p}_pending = '1' or {p}_start = '1')"
         );
-        let _ = writeln!(v, "            and (slot_cnt mod {spacing}) = {} then", spacing - 1);
+        let _ = writeln!(
+            v,
+            "            and (slot_cnt mod {spacing}) = {} then",
+            spacing - 1
+        );
         let _ = writeln!(v, "          -- start on the next grid point");
         let _ = writeln!(v, "          {p}_active <= '1';");
         let _ = writeln!(v, "          {p}_pending <= '0';");

@@ -1,0 +1,105 @@
+//! Cached vs naive force evaluation (the incremental-evaluation core).
+//!
+//! Two levels are compared on 5-process systems:
+//!
+//! * `force_eval` — one candidate force through the incrementally
+//!   maintained `ModuloField` (`force`) vs against a field rebuilt from
+//!   scratch (`force_naive`). This isolates the cost the per-candidate
+//!   cache avoids paying on every engine iteration.
+//! * `scheduler` — a full coupled `ModuloScheduler` run with the engine's
+//!   candidate-force cache (`run`) vs the cache-free reference loop
+//!   (`run_naive`). Outcomes are bit-identical (enforced by tests); only
+//!   the time differs.
+//!
+//! Numbers are recorded in EXPERIMENTS.md ("Incremental evaluation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tcms_core::{ModuloEvaluator, ModuloScheduler, SharingSpec};
+use tcms_fds::{FdsConfig, ForceEvaluator};
+use tcms_ir::generators::{add_diffeq_process, add_ewf_process, paper_library};
+use tcms_ir::{FrameTable, System, SystemBuilder, TimeFrame};
+
+/// `n` elliptical wave filter processes, staggered time ranges.
+fn ewf_system(n: usize) -> System {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    for i in 0..n {
+        let range = 20 + 2 * i as u32;
+        add_ewf_process(&mut b, &format!("P{i}"), range, types).expect("ewf process");
+    }
+    b.build().expect("valid system")
+}
+
+/// `n` differential equation solver processes, staggered time ranges.
+fn diffeq_system(n: usize) -> System {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    for i in 0..n {
+        let range = 12 + i as u32;
+        add_diffeq_process(&mut b, &format!("P{i}"), range, types).expect("diffeq process");
+    }
+    b.build().expect("valid system")
+}
+
+/// A representative candidate: the first op of the first block pinned to
+/// its ASAP time (the `f_lo` extreme the engine evaluates per iteration).
+fn candidate(system: &System, frames: &FrameTable) -> Vec<(tcms_ir::OpId, TimeFrame)> {
+    let block = system.block_ids().next().expect("has blocks");
+    let op = system.block(block).ops()[0];
+    let fr = frames.get(op);
+    vec![(op, TimeFrame::new(fr.asap, fr.asap))]
+}
+
+fn bench_force_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_eval");
+    for (name, system) in [("ewf5", ewf_system(5)), ("diffeq5", diffeq_system(5))] {
+        let spec = SharingSpec::all_global(&system, 5);
+        let frames = FrameTable::initial(&system);
+        let eval = ModuloEvaluator::new(&system, spec, FdsConfig::default(), &frames);
+        let changed = candidate(&system, &frames);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", name),
+            &changed,
+            |b, changed| b.iter(|| black_box(eval.force(&frames, changed))),
+        );
+        group.bench_with_input(BenchmarkId::new("naive", name), &changed, |b, changed| {
+            b.iter(|| black_box(eval.force_naive(&frames, changed)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for (name, system) in [("ewf5", ewf_system(5)), ("diffeq5", diffeq_system(5))] {
+        group.bench_with_input(BenchmarkId::new("cached", name), &system, |b, sys| {
+            b.iter(|| {
+                let spec = SharingSpec::all_global(sys, 5);
+                black_box(
+                    ModuloScheduler::new(sys, spec)
+                        .expect("valid")
+                        .run()
+                        .iterations,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &system, |b, sys| {
+            b.iter(|| {
+                let spec = SharingSpec::all_global(sys, 5);
+                black_box(
+                    ModuloScheduler::new(sys, spec)
+                        .expect("valid")
+                        .run_naive()
+                        .iterations,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_force_eval, bench_scheduler);
+criterion_main!(benches);

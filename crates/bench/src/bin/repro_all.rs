@@ -1,5 +1,7 @@
 //! Runs every reproduction binary in sequence — the one-shot harness that
 //! regenerates all tables, figures and ablations of EXPERIMENTS.md.
+//!
+//! Command-line arguments (e.g. `--stats`) are forwarded to every child.
 
 use std::process::Command;
 
@@ -22,10 +24,12 @@ fn main() {
         .parent()
         .expect("bin dir")
         .to_path_buf();
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let mut failures = 0;
     for target in TARGETS {
         println!("==================== {target} ====================");
         let status = Command::new(exe_dir.join(target))
+            .args(&forwarded)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
         if !status.success() {

@@ -40,7 +40,10 @@ fn main() {
     let (alu_sys, alu_types) = alu_system();
 
     let run = |sys: &tcms_ir::System, spec: SharingSpec| {
-        ModuloScheduler::new(sys, spec).expect("valid").run().report()
+        ModuloScheduler::new(sys, spec)
+            .expect("valid")
+            .run()
+            .report()
     };
 
     let split_global = run(&split_sys, SharingSpec::all_global(&split_sys, 5));

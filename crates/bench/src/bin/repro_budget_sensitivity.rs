@@ -25,9 +25,7 @@ fn build(ewf_t: u32, ewf3_t: u32, diffeq_t: u32) -> tcms_ir::System {
 
 fn main() {
     let mut t = TextTable::new();
-    t.row([
-        "T(P1,P2)", "T(P3)", "T(P4,P5)", "global", "local", "ratio",
-    ]);
+    t.row(["T(P1,P2)", "T(P3)", "T(P4,P5)", "global", "local", "ratio"]);
     t.sep();
     for (ewf_t, ewf3_t, diffeq_t) in [
         (20u32, 35u32, 10u32),

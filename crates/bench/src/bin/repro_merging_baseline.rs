@@ -36,7 +36,10 @@ fn main() {
     // 3. Merged baseline: one fused process, classical IFDS.
     let merged_sys = merge_processes(&system).expect("merge succeeds");
     let merged_out = schedule_system_local(&merged_sys, &FdsConfig::default());
-    merged_out.schedule.verify(&merged_sys).expect("valid schedule");
+    merged_out
+        .schedule
+        .verify(&merged_sys)
+        .expect("valid schedule");
     let blk = merged_sys.block_ids().next().expect("one block");
     let peak = |k| merged_out.schedule.peak_usage(&merged_sys, blk, k);
     let merged_area: u64 = merged_sys

@@ -11,7 +11,9 @@ use tcms_ir::generators::paper_system;
 fn main() {
     let (system, types) = paper_system().expect("paper system builds");
     let mut t = TextTable::new();
-    t.row(["rho(add)", "rho(sub)", "rho(mul)", "harmonic", "spacing", "area"]);
+    t.row([
+        "rho(add)", "rho(sub)", "rho(mul)", "harmonic", "spacing", "area",
+    ]);
     t.sep();
     for (pa, ps, pm) in [
         (5u32, 5u32, 5u32),

@@ -1,18 +1,29 @@
 //! Sweeps the uniform access period over the Table-1 system — the §3.2
 //! trade-off: larger periods enable more sharing but stretch the
 //! invocation grid of reactive processes.
+//!
+//! Candidate periods are scheduled in parallel (the runs are independent;
+//! output order and results are deterministic). Pass `--stats` to also
+//! print per-period engine instrumentation.
 
-use tcms_bench::TextTable;
+use tcms_bench::{render_stats, stats_requested, TextTable};
 use tcms_core::explore::sweep_uniform_periods;
 use tcms_fds::FdsConfig;
 use tcms_ir::generators::paper_system;
 
 fn main() {
     let (system, types) = paper_system().expect("paper system builds");
-    let points = sweep_uniform_periods(&system, 1..=15, &FdsConfig::default())
-        .expect("sweep runs");
+    let points = sweep_uniform_periods(&system, 1..=15, &FdsConfig::default()).expect("sweep runs");
     let mut t = TextTable::new();
-    t.row(["period", "spacing", "add", "sub", "mul", "area", "iterations"]);
+    t.row([
+        "period",
+        "spacing",
+        "add",
+        "sub",
+        "mul",
+        "area",
+        "iterations",
+    ]);
     t.sep();
     for p in &points {
         t.row([
@@ -29,4 +40,13 @@ fn main() {
     print!("{}", t.render());
     println!("\nLarger periods widen the sharing window but also the block start grid");
     println!("(spacing column) — the twofold impact discussed in section 3.2.");
+    if stats_requested() {
+        println!("\nengine instrumentation:");
+        for p in &points {
+            print!(
+                "  {}",
+                render_stats(&format!("period {:>2}", p.period), &p.stats)
+            );
+        }
+    }
 }

@@ -1,8 +1,17 @@
 //! Regenerates Table 1 of the paper: scheduling results of the
 //! multi-process example (3 elliptical wave filters + 2 diffeq solvers),
 //! modulo-global vs. traditional pure-local assignment.
+//!
+//! Pass `--stats` to also print the engine instrumentation (candidate
+//! force evaluations, incremental-cache hit rates, phase times).
 
 fn main() {
     let results = tcms_bench::run_table1();
     print!("{}", tcms_bench::render_table1(&results));
+    if tcms_bench::stats_requested() {
+        println!("\nengine instrumentation:");
+        for run in [&results.global, &results.local] {
+            print!("  {}", tcms_bench::render_stats(run.label, &run.stats));
+        }
+    }
 }

@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use tcms_core::{compute_report, ModuloScheduler, ScheduleReport, SharingSpec};
-use tcms_fds::{FdsConfig, ForceEvaluator, Schedule};
+use tcms_fds::{FdsConfig, ForceEvaluator, IfdsStats, Schedule};
 use tcms_ir::generators::{paper_system, PaperTypes};
 use tcms_ir::{FrameTable, System, TimeFrame};
 
@@ -33,6 +33,31 @@ pub struct Table1Run {
     pub iterations: u64,
     /// Wall-clock scheduling time.
     pub wall: Duration,
+    /// Engine instrumentation (candidate evaluations, cache hits, phase
+    /// times).
+    pub stats: IfdsStats,
+}
+
+/// Whether the invoking binary was passed `--stats` (print engine
+/// instrumentation alongside the reproduction output).
+pub fn stats_requested() -> bool {
+    std::env::args().any(|a| a == "--stats")
+}
+
+/// Renders one engine-instrumentation line for the `--stats` output of the
+/// `repro_*` binaries.
+pub fn render_stats(label: &str, stats: &IfdsStats) -> String {
+    format!(
+        "{label}: {} iterations, {} forces evaluated, {} cache hits / {} misses ({:.1}% hit rate), eval {:.2?}, commit {:.2?}, total {:.2?}\n",
+        stats.iterations,
+        stats.ops_evaluated,
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.hit_rate(),
+        stats.eval_time,
+        stats.commit_time,
+        stats.total_time,
+    )
 }
 
 /// Both runs of the Table-1 experiment.
@@ -56,7 +81,8 @@ impl Table1Results {
 
     /// Relative saving (the paper reports ≈ 40 %).
     pub fn saving_percent(&self) -> f64 {
-        100.0 * (1.0 - self.global.report.total_area() as f64 / self.local.report.total_area() as f64)
+        100.0
+            * (1.0 - self.global.report.total_area() as f64 / self.local.report.total_area() as f64)
     }
 }
 
@@ -71,6 +97,7 @@ fn timed_run(system: &System, spec: SharingSpec, label: &'static str) -> Table1R
         spec,
         report: out.report(),
         iterations: out.iterations,
+        stats: out.stats,
         schedule: out.schedule,
         wall,
     }
@@ -95,7 +122,13 @@ pub fn run_table1() -> Table1Results {
 pub fn render_table1(r: &Table1Results) -> String {
     let sys = &r.system;
     let mut t = TextTable::new();
-    t.row(["type", "process", "modulo-max profile", "#", "usage profile"]);
+    t.row([
+        "type",
+        "process",
+        "modulo-max profile",
+        "#",
+        "usage profile",
+    ]);
     t.sep();
     for (k, rt) in sys.library().iter() {
         let auth = r.global.report.of_type(k).authorization.as_ref();
@@ -191,10 +224,7 @@ pub fn run_figure1() -> Figure1Data {
         "Figure 1: time steps of access authorization for process P4 onto the shared multiplier\n\n",
     );
     rendered.push_str(&format!("block-local usage     : {}\n", profile(&usage)));
-    rendered.push_str(&format!(
-        "granted per slot (ρ=5): {}\n\n",
-        profile(&grants)
-    ));
+    rendered.push_str(&format!("granted per slot (ρ=5): {}\n\n", profile(&grants)));
     rendered.push_str("absolute time: ");
     for t in 0..horizon {
         rendered.push_str(&format!("{:>3}", t % 10));

@@ -23,7 +23,7 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    paper_spec, render_table1, run_figure1, run_figure2, run_table1, Figure1Data, Figure2Data,
-    Table1Results, Table1Run,
+    paper_spec, render_stats, render_table1, run_figure1, run_figure2, run_table1, stats_requested,
+    Figure1Data, Figure2Data, Table1Results, Table1Run,
 };
 pub use table::{float_profile, profile, TextTable};

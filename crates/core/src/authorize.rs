@@ -114,8 +114,7 @@ mod tests {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
         let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
-        let table =
-            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).unwrap();
+        let table = AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).unwrap();
         assert_eq!(table.period(), 5);
         assert_eq!(table.grants().len(), 5);
         // Every process's actual usage fits its grant at every time step.
@@ -128,10 +127,7 @@ mod tests {
             }
         }
         // Pool covers the slot totals.
-        assert_eq!(
-            table.pool(),
-            table.slot_totals().into_iter().max().unwrap()
-        );
+        assert_eq!(table.pool(), table.slot_totals().into_iter().max().unwrap());
     }
 
     #[test]
@@ -139,9 +135,7 @@ mod tests {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_local(&sys);
         let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
-        assert!(
-            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).is_none()
-        );
+        assert!(AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).is_none());
     }
 
     #[test]
@@ -149,8 +143,7 @@ mod tests {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
         let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
-        let table =
-            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.add).unwrap();
+        let table = AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.add).unwrap();
         let p0 = sys.process_ids().next().unwrap();
         for t0 in 0..5u64 {
             assert_eq!(
@@ -166,8 +159,7 @@ mod tests {
         let spec = SharingSpec::all_global(&sys, 5);
         let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
         // Subtracter group contains only the diffeq processes.
-        let table =
-            AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.sub).unwrap();
+        let table = AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.sub).unwrap();
         let p1 = sys.process_by_name("P1").unwrap();
         for slot in 0..5 {
             assert_eq!(table.granted(p1, slot), 0);

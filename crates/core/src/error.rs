@@ -60,10 +60,16 @@ impl fmt::Display for CoreError {
                 write!(f, "global group for `{rtype}` needs at least two processes")
             }
             CoreError::ProcessDoesNotUseType { rtype, process } => {
-                write!(f, "process `{process}` does not use resource type `{rtype}`")
+                write!(
+                    f,
+                    "process `{process}` does not use resource type `{rtype}`"
+                )
             }
             CoreError::DuplicateProcessInGroup { rtype, process } => {
-                write!(f, "process `{process}` listed twice in the group of `{rtype}`")
+                write!(
+                    f,
+                    "process `{process}` listed twice in the group of `{rtype}`"
+                )
             }
             CoreError::MissingPeriod { rtype } => {
                 write!(f, "global type `{rtype}` has no period")
@@ -91,7 +97,9 @@ mod tests {
     #[test]
     fn displays_are_meaningful() {
         let errors = [
-            CoreError::GroupTooSmall { rtype: "mul".into() },
+            CoreError::GroupTooSmall {
+                rtype: "mul".into(),
+            },
             CoreError::ProcessDoesNotUseType {
                 rtype: "mul".into(),
                 process: "P1".into(),
@@ -100,13 +108,19 @@ mod tests {
                 rtype: "mul".into(),
                 process: "P1".into(),
             },
-            CoreError::MissingPeriod { rtype: "mul".into() },
-            CoreError::ZeroPeriod { rtype: "mul".into() },
+            CoreError::MissingPeriod {
+                rtype: "mul".into(),
+            },
+            CoreError::ZeroPeriod {
+                rtype: "mul".into(),
+            },
             CoreError::ResourceInfeasible {
                 block: "body".into(),
                 time_range: 15,
             },
-            CoreError::ZeroInstances { rtype: "mul".into() },
+            CoreError::ZeroInstances {
+                rtype: "mul".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -21,11 +21,38 @@ use crate::field::ModuloField;
 
 /// Force evaluator implementing the two-part modification of the IFDS
 /// algorithm. Plugs into [`tcms_fds::IfdsEngine`].
+///
+/// # Context stamps
+///
+/// The evaluator supports the engine's candidate-force cache through
+/// [`ForceEvaluator::context_stamp`], maintained at three granularities
+/// mirroring the field's layers:
+///
+/// * per block — the classical distribution `D_{b,k}` moved,
+/// * per process — some block's modulo-max `D̂` moved, which sibling
+///   blocks of the same process read through `M_p`,
+/// * per type — the group profile `G_k` moved, which every process of the
+///   sharing group reads.
+///
+/// Commits hidden under the slot maximum (the modulo-hiding effect) stop
+/// at the block or process level, so cached forces of the *other*
+/// processes in the group survive — the main source of incremental reuse
+/// under all-global sharing.
 #[derive(Debug, Clone)]
 pub struct ModuloEvaluator<'a> {
     system: &'a System,
     config: FdsConfig,
     field: ModuloField<'a>,
+    /// Monotone counter the stamps below are drawn from.
+    counter: u64,
+    /// Last mutation of a block's distribution `D_{b,·}`.
+    block_epoch: Vec<u64>,
+    /// Last mutation of any `D̂` profile of the process's blocks.
+    proc_epoch: Vec<u64>,
+    /// Last mutation of the group profile `G_k`.
+    type_epoch: Vec<u64>,
+    /// `proc_global_types[p]`: global types process `p` shares in.
+    proc_global_types: Vec<Vec<ResourceTypeId>>,
 }
 
 impl<'a> ModuloEvaluator<'a> {
@@ -36,16 +63,76 @@ impl<'a> ModuloEvaluator<'a> {
         config: FdsConfig,
         frames: &FrameTable,
     ) -> Self {
+        let proc_global_types = system
+            .process_ids()
+            .map(|p| {
+                system
+                    .library()
+                    .ids()
+                    .filter(|&k| spec.is_global_for(k, p))
+                    .collect()
+            })
+            .collect();
         ModuloEvaluator {
             system,
             config,
             field: ModuloField::new(system, spec, frames),
+            counter: 0,
+            block_epoch: vec![0; system.num_blocks()],
+            proc_epoch: vec![0; system.num_processes()],
+            type_epoch: vec![0; system.library().len()],
+            proc_global_types,
         }
     }
 
     /// Read access to the maintained field (used by reports and tests).
     pub fn field(&self) -> &ModuloField<'a> {
         &self.field
+    }
+
+    /// Reference force computed against a field rebuilt from scratch out
+    /// of `frames` — the oracle the incremental path is property-tested
+    /// against. Slow by design; only compiled for tests and the
+    /// `naive-oracle` feature.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn force_naive(&self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) -> f64 {
+        let rebuilt = ModuloField::new(self.system, self.field.spec().clone(), frames);
+        self.force_with_field(&rebuilt, frames, changed)
+    }
+
+    fn force_with_field(
+        &self,
+        field: &ModuloField<'_>,
+        frames: &FrameTable,
+        changed: &[(OpId, TimeFrame)],
+    ) -> f64 {
+        let (keys, bufs) = self.deltas(frames, changed);
+        let spec = field.spec();
+        let mut total = 0.0;
+        for (i, &(b, k)) in keys.iter().enumerate() {
+            let w = self.config.spring_weights.weight(self.system.library(), k);
+            let process = self.system.block(b).process();
+            if spec.is_global_for(k, process) {
+                // Modified force: displacement of the balanced global
+                // profile (equations 7-10).
+                let g = field.group_profile(k);
+                let x = field.tentative_group_delta(b, k, &bufs[i]);
+                for (slot, &xv) in x.iter().enumerate() {
+                    if xv != 0.0 {
+                        total += w * (g[slot] + self.config.lookahead * xv) * xv;
+                    }
+                }
+            } else {
+                // Classical force on the per-block distribution.
+                let d = field.distributions().get(b, k);
+                for (t, &xv) in bufs[i].iter().enumerate() {
+                    if xv != 0.0 {
+                        total += w * (d[t] + self.config.lookahead * xv) * xv;
+                    }
+                }
+            }
+        }
+        total
     }
 
     /// Probability deltas of `changed`, grouped per `(block, type)`.
@@ -74,43 +161,47 @@ impl<'a> ModuloEvaluator<'a> {
 
 impl ForceEvaluator for ModuloEvaluator<'_> {
     fn force(&self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) -> f64 {
-        let (keys, bufs) = self.deltas(frames, changed);
-        let spec = self.field.spec();
-        let mut total = 0.0;
-        for (i, &(b, k)) in keys.iter().enumerate() {
-            let w = self
-                .config
-                .spring_weights
-                .weight(self.system.library(), k);
-            let process = self.system.block(b).process();
-            if spec.is_global_for(k, process) {
-                // Modified force: displacement of the balanced global
-                // profile (equations 7-10).
-                let g = self.field.group_profile(k);
-                let x = self.field.tentative_group_delta(b, k, &bufs[i]);
-                for (slot, &xv) in x.iter().enumerate() {
-                    if xv != 0.0 {
-                        total += w * (g[slot] + self.config.lookahead * xv) * xv;
-                    }
-                }
-            } else {
-                // Classical force on the per-block distribution.
-                let d = self.field.distributions().get(b, k);
-                for (t, &xv) in bufs[i].iter().enumerate() {
-                    if xv != 0.0 {
-                        total += w * (d[t] + self.config.lookahead * xv) * xv;
-                    }
-                }
-            }
-        }
-        total
+        self.force_with_field(&self.field, frames, changed)
     }
 
     fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) {
         let (keys, bufs) = self.deltas(frames, changed);
+        self.counter += 1;
         for (i, &(b, k)) in keys.iter().enumerate() {
-            self.field.apply_delta(b, k, &bufs[i]);
+            let effect = self.field.apply_delta(b, k, &bufs[i]);
+            self.block_epoch[b.index()] = self.counter;
+            if effect.dhat_changed {
+                // Sibling blocks read this block's D̂ through M_p.
+                let p = self.system.block(b).process();
+                self.proc_epoch[p.index()] = self.counter;
+            }
+            if effect.gdist_changed {
+                // Every process of the sharing group reads G_k.
+                self.type_epoch[k.index()] = self.counter;
+            }
         }
+    }
+
+    fn invalidate(&mut self, ops: &[OpId]) {
+        self.counter += 1;
+        for &o in ops {
+            let b = self.system.op(o).block();
+            let p = self.system.block(b).process();
+            self.block_epoch[b.index()] = self.counter;
+            self.proc_epoch[p.index()] = self.counter;
+            for &k in &self.proc_global_types[p.index()] {
+                self.type_epoch[k.index()] = self.counter;
+            }
+        }
+    }
+
+    fn context_stamp(&self, block: BlockId) -> Option<u64> {
+        let p = self.system.block(block).process();
+        let mut stamp = self.block_epoch[block.index()].max(self.proc_epoch[p.index()]);
+        for &k in &self.proc_global_types[p.index()] {
+            stamp = stamp.max(self.type_epoch[k.index()]);
+        }
+        Some(stamp)
     }
 }
 
@@ -159,8 +250,7 @@ mod tests {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
         let frames = FrameTable::initial(&sys);
-        let mut eval =
-            ModuloEvaluator::new(&sys, spec.clone(), FdsConfig::default(), &frames);
+        let mut eval = ModuloEvaluator::new(&sys, spec.clone(), FdsConfig::default(), &frames);
         // Fix the first op of the first block to its ASAP time and commit.
         let block = sys.block_ids().next().unwrap();
         let op = sys.block(block).ops()[0];
@@ -171,14 +261,12 @@ mod tests {
         let rebuilt = ModuloField::new(&sys, spec, &new_frames);
         for slot in 0..5 {
             assert!(
-                (eval.field().group_profile(t.mul)[slot]
-                    - rebuilt.group_profile(t.mul)[slot])
+                (eval.field().group_profile(t.mul)[slot] - rebuilt.group_profile(t.mul)[slot])
                     .abs()
                     < 1e-9
             );
             assert!(
-                (eval.field().group_profile(t.add)[slot]
-                    - rebuilt.group_profile(t.add)[slot])
+                (eval.field().group_profile(t.add)[slot] - rebuilt.group_profile(t.add)[slot])
                     .abs()
                     < 1e-9
             );
@@ -191,8 +279,7 @@ mod tests {
         let spec = SharingSpec::all_global(&sys, 5);
         let scope: Vec<_> = sys.block_ids().collect();
         let engine = IfdsEngine::new(&sys, scope);
-        let mut eval =
-            ModuloEvaluator::new(&sys, spec, FdsConfig::default(), engine.frames());
+        let mut eval = ModuloEvaluator::new(&sys, spec, FdsConfig::default(), engine.frames());
         let out = engine.run(&mut eval);
         out.schedule.verify(&sys).unwrap();
         assert!(out.iterations > 0);

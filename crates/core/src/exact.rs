@@ -58,9 +58,7 @@ impl Search<'_> {
                     let mut profile = vec![0u32; period as usize];
                     for &b in self.system.process(p).blocks() {
                         let usage = self.partial_usage(b, k);
-                        for (slot, v) in
-                            modulo_max_counts(&usage, period).into_iter().enumerate()
-                        {
+                        for (slot, v) in modulo_max_counts(&usage, period).into_iter().enumerate() {
                             profile[slot] = profile[slot].max(v);
                         }
                     }
@@ -85,9 +83,7 @@ impl Search<'_> {
                 let mut has_ops = false;
                 for &b in self.system.process(p).blocks() {
                     has_ops |= !self.system.ops_of_type(b, k).is_empty();
-                    peak = peak.max(
-                        self.partial_usage(b, k).into_iter().max().unwrap_or(0),
-                    );
+                    peak = peak.max(self.partial_usage(b, k).into_iter().max().unwrap_or(0));
                 }
                 instances += u64::from(peak.max(u32::from(has_ops)));
             }

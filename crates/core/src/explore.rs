@@ -12,7 +12,19 @@
 //! * [`pruned_best_period_assignment`] — a lower-bound-pruned search
 //!   (the "without complete enumeration" future-work item),
 //! * [`auto_assign`] — a greedy automatic scope selection.
+//!
+//! # Parallelism and determinism
+//!
+//! The candidate runs of [`sweep_uniform_periods`] and
+//! [`best_period_assignment`] are independent, so they are evaluated in
+//! parallel. Infeasible candidates (equation-3 filter) and specification
+//! validation are handled *before* spawning, the parallel map preserves
+//! input order, and the winner is selected by a sequential in-order fold
+//! with a strict `<` comparison — the results (including tie-breaks) are
+//! identical to the sequential evaluation. The pruned search stays
+//! sequential: each decision depends on the incumbent.
 
+use rayon::prelude::*;
 use tcms_fds::FdsConfig;
 use tcms_ir::{ResourceTypeId, System};
 
@@ -34,12 +46,15 @@ pub struct SweepPoint {
     pub report: ScheduleReport,
     /// Iterations of the coupled scheduler run.
     pub iterations: u64,
+    /// Engine instrumentation of the run (cache hits, wall time).
+    pub stats: tcms_fds::IfdsStats,
 }
 
 /// Schedules the system once per uniform period in `periods`, with every
-/// shareable type global over all its users.
+/// shareable type global over all its users. Candidate runs execute in
+/// parallel; the returned points are in input order.
 ///
-/// Infeasible periods (equation-3 filter) are skipped.
+/// Infeasible periods (equation-3 filter) are skipped before spawning.
 ///
 /// # Errors
 ///
@@ -50,23 +65,30 @@ pub fn sweep_uniform_periods(
     periods: impl IntoIterator<Item = u32>,
     config: &FdsConfig,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let mut out = Vec::new();
+    // Filter and validate sequentially so the parallel region is
+    // infallible and spawns only real work.
+    let mut candidates: Vec<(u32, ModuloScheduler<'_>)> = Vec::new();
     for period in periods {
         let spec = SharingSpec::all_global(system, period);
         if !crate::period::spacing_feasible(system, &spec) {
             continue;
         }
-        let outcome = ModuloScheduler::new(system, spec)?
-            .with_config(config.clone())
-            .run();
-        out.push(SweepPoint {
-            period,
-            spacing: period,
-            report: outcome.report(),
-            iterations: outcome.iterations,
-        });
+        let scheduler = ModuloScheduler::new(system, spec)?.with_config(config.clone());
+        candidates.push((period, scheduler));
     }
-    Ok(out)
+    Ok(candidates
+        .into_par_iter()
+        .map(|(period, scheduler)| {
+            let outcome = scheduler.run();
+            SweepPoint {
+                period,
+                spacing: period,
+                report: outcome.report(),
+                iterations: outcome.iterations,
+                stats: outcome.stats,
+            }
+        })
+        .collect())
 }
 
 /// Exhaustively schedules every feasible period assignment and returns the
@@ -95,12 +117,25 @@ pub fn best_period_assignment(
         .map(|&k| candidate_periods(system, base, k))
         .collect();
     let specs = enumerate_periods(system, base, &globals, &cands, limit);
+    // Validate every candidate before the parallel fan-out.
+    let schedulers = specs
+        .into_iter()
+        .map(|spec| {
+            ModuloScheduler::new(system, spec.clone())
+                .map(|s| (spec, s.with_config(config.clone())))
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    let reports: Vec<(SharingSpec, ScheduleReport)> = schedulers
+        .into_par_iter()
+        .map(|(spec, scheduler)| {
+            let report = scheduler.run().report();
+            (spec, report)
+        })
+        .collect();
+    // In-order fold with strict `<`: the winner (and any tie-break) is the
+    // same one the sequential loop would pick.
     let mut best: Option<(SharingSpec, ScheduleReport)> = None;
-    for spec in specs {
-        let outcome = ModuloScheduler::new(system, spec.clone())?
-            .with_config(config.clone())
-            .run();
-        let report = outcome.report();
+    for (spec, report) in reports {
         if best
             .as_ref()
             .is_none_or(|(_, b)| report.total_area() < b.total_area())
@@ -254,8 +289,8 @@ mod tests {
     #[test]
     fn sweep_skips_infeasible_periods() {
         let (sys, _) = paper_system().unwrap();
-        let points = sweep_uniform_periods(&sys, [1, 5, 15, 16, 40], &FdsConfig::default())
-            .unwrap();
+        let points =
+            sweep_uniform_periods(&sys, [1, 5, 15, 16, 40], &FdsConfig::default()).unwrap();
         let periods: Vec<u32> = points.iter().map(|p| p.period).collect();
         // 16 and 40 exceed the diffeq spacing budget of 15.
         assert_eq!(periods, vec![1, 5, 15]);
@@ -314,6 +349,36 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(full.1.total_area(), pruned.1.total_area());
+    }
+
+    #[test]
+    fn parallel_exploration_is_deterministic() {
+        let (sys, _) = paper_system().unwrap();
+        let fds = FdsConfig::default();
+        let sweep = || {
+            sweep_uniform_periods(&sys, [1, 3, 5, 15], &fds)
+                .unwrap()
+                .into_iter()
+                .map(|p| (p.period, p.report.total_area()))
+                .collect::<Vec<_>>()
+        };
+        let a = sweep();
+        assert_eq!(a, sweep(), "sweep must be reproducible");
+        assert_eq!(
+            a.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            vec![1, 3, 5, 15],
+            "points must come back in input order"
+        );
+        let base = SharingSpec::all_global(&sys, 5);
+        let pick = || {
+            best_period_assignment(&sys, &base, &fds, Some(6))
+                .unwrap()
+                .map(|(spec, report)| (spec, report.total_area()))
+        };
+        let first = pick().unwrap();
+        let second = pick().unwrap();
+        assert_eq!(first.1, second.1);
+        assert_eq!(first.0.global_types(&sys), second.0.global_types(&sys));
     }
 
     #[test]

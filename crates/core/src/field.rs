@@ -168,21 +168,118 @@ impl<'a> ModuloField<'a> {
 
     /// Commits `delta` to the distribution of `(block, type)` and refreshes
     /// the dependent layers (for any type; global layers only when shared).
-    pub fn apply_delta(&mut self, block: BlockId, rtype: ResourceTypeId, delta: &[f64]) {
+    ///
+    /// The refresh is a *dirty-region* update: only the period slots that
+    /// `delta` maps onto are refolded, and a layer is touched only when the
+    /// layer below it actually changed (bitwise), so a commit hidden under
+    /// the slot maximum — the paper's modulo-hiding effect — stops right at
+    /// the `D̂` layer. Each refolded slot replays the corresponding
+    /// from-scratch fold ([`modulo_max`], [`slot_max`], group sum) in the
+    /// same order, so the maintained profiles stay bit-identical to a full
+    /// rebuild.
+    ///
+    /// The returned [`DeltaEffect`] reports how far the change propagated;
+    /// evaluator caches use it to decide which context stamps to advance.
+    pub fn apply_delta(
+        &mut self,
+        block: BlockId,
+        rtype: ResourceTypeId,
+        delta: &[f64],
+    ) -> DeltaEffect {
         {
             let d = self.dist.get_mut(block, rtype);
             for (t, &x) in delta.iter().enumerate() {
                 d[t] += x;
             }
         }
+        let mut effect = DeltaEffect::default();
         let process = self.system.block(block).process();
         if !self.spec.is_global_for(rtype, process) {
-            return;
+            return effect;
         }
-        self.dhat[block.index()][rtype.index()] = self.fold_block(block, rtype);
-        self.mproc[process.index()][rtype.index()] = self.fold_process(process, rtype);
-        self.gdist[rtype.index()] = self.fold_group(rtype);
+        effect.global = true;
+        let period = self.spec.period(rtype).expect("global types have periods") as usize;
+        // Period slots the delta maps onto (dirty region of D̂).
+        let mut dirty = vec![false; period];
+        for (t, &x) in delta.iter().enumerate() {
+            if x != 0.0 {
+                dirty[t % period] = true;
+            }
+        }
+        let d = self.dist.get(block, rtype).to_vec();
+        let ki = rtype.index();
+        let mut dhat_dirty = vec![false; period];
+        for (slot, _) in dirty.iter().enumerate().filter(|&(_, &m)| m) {
+            // Per-slot replay of `modulo_max`: ascending t, strictly
+            // greater wins — bitwise identical to the full fold.
+            let mut v = 0.0;
+            let mut t = slot;
+            while t < d.len() {
+                if d[t] > v {
+                    v = d[t];
+                }
+                t += period;
+            }
+            let cell = &mut self.dhat[block.index()][ki][slot];
+            if cell.to_bits() != v.to_bits() {
+                *cell = v;
+                dhat_dirty[slot] = true;
+                effect.dhat_changed = true;
+            }
+        }
+        if !effect.dhat_changed {
+            return effect;
+        }
+        let pi = process.index();
+        let mut mproc_dirty = vec![false; period];
+        for (slot, _) in dhat_dirty.iter().enumerate().filter(|&(_, &m)| m) {
+            // Per-slot replay of `fold_process` (zero-seeded `slot_max`
+            // over the process's blocks, in block order).
+            let mut v = 0.0f64;
+            for &b in self.system.process(process).blocks() {
+                v = v.max(self.dhat[b.index()][ki][slot]);
+            }
+            let cell = &mut self.mproc[pi][ki][slot];
+            if cell.to_bits() != v.to_bits() {
+                *cell = v;
+                mproc_dirty[slot] = true;
+                effect.mproc_changed = true;
+            }
+        }
+        if !effect.mproc_changed {
+            return effect;
+        }
+        for (slot, _) in mproc_dirty.iter().enumerate().filter(|&(_, &m)| m) {
+            // Per-slot replay of `fold_group` (sum in group order).
+            let mut v = 0.0f64;
+            for &p in self.spec.group(rtype).expect("global") {
+                v += self.mproc[p.index()][ki][slot];
+            }
+            let cell = &mut self.gdist[ki][slot];
+            if cell.to_bits() != v.to_bits() {
+                *cell = v;
+                effect.gdist_changed = true;
+            }
+        }
+        effect
     }
+}
+
+/// How far a committed delta propagated through the field's layers; the
+/// flags are cumulative upper layers of a strictly narrowing chain
+/// (`gdist_changed` implies `mproc_changed` implies `dhat_changed`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaEffect {
+    /// The pair is globally shared for its process (the layered profiles
+    /// exist and were examined).
+    pub global: bool,
+    /// The block's modulo-max profile `D̂` moved in some slot.
+    pub dhat_changed: bool,
+    /// The process profile `M_p` moved in some slot.
+    pub mproc_changed: bool,
+    /// The group profile `G` moved in some slot — only then do forces of
+    /// other processes in the sharing group change.
+    pub gdist_changed: bool,
 }
 
 #[cfg(test)]
@@ -258,6 +355,108 @@ mod tests {
         let frames = FrameTable::initial(&sys);
         let field = ModuloField::new(&sys, spec, &frames);
         let _ = field.group_profile(t.add);
+    }
+
+    #[test]
+    fn incremental_apply_matches_full_rebuild_bitwise() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let mut frames = FrameTable::initial(&sys);
+        let mut field = ModuloField::new(&sys, spec.clone(), &frames);
+        // Commit a sequence of op fixings through apply_delta and compare
+        // every layer against a from-scratch rebuild after each step.
+        for block in sys.block_ids().take(3) {
+            let op = sys.block(block).ops()[0];
+            let fr = frames.get(op);
+            let nf = tcms_ir::TimeFrame::new(fr.asap, fr.asap);
+            let len = sys.block(block).time_range() as usize;
+            let mut delta = vec![0.0; len];
+            tcms_fds::prob::accumulate(&mut delta, nf, sys.occupancy(op), 1.0);
+            tcms_fds::prob::accumulate(&mut delta, fr, sys.occupancy(op), -1.0);
+            let k = sys.op(op).resource_type();
+            field.apply_delta(block, k, &delta);
+            frames.set(op, nf);
+            let p = sys.block(block).process();
+            // The folded layers must equal a from-scratch refold of the
+            // *current incremental* distribution bitwise: that is the
+            // invariant force caching relies on. (The distribution itself
+            // may drift from a full rebuild by summation-order ULPs, which
+            // the tolerance-based rebuild test below covers.)
+            assert_eq!(
+                field.block_profile(block, k),
+                crate::modulo::modulo_max(field.distributions().get(block, k), 5),
+                "dhat must be an exact fold of the maintained distribution"
+            );
+            let mut mref = vec![0.0; 5];
+            for &b in sys.process(p).blocks() {
+                mref = crate::modulo::slot_max(&mref, field.block_profile(b, k));
+            }
+            assert_eq!(
+                field.process_profile(p, k),
+                mref,
+                "mproc must be an exact fold of the maintained dhat layer"
+            );
+            let mut gref = vec![0.0; 5];
+            for &q in field.spec().group(k).unwrap() {
+                for (slot, v) in field.process_profile(q, k).iter().enumerate() {
+                    gref[slot] += v;
+                }
+            }
+            assert_eq!(
+                field.group_profile(k),
+                gref,
+                "gdist must be an exact fold of the maintained mproc layer"
+            );
+            // And every layer stays within fp tolerance of a full rebuild.
+            let rebuilt = ModuloField::new(&sys, spec.clone(), &frames);
+            for (a, b) in field.group_profile(k).iter().zip(rebuilt.group_profile(k)) {
+                assert!((a - b).abs() < 1e-9, "gdist drifted from rebuild");
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_delta_stops_at_dhat_layer() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let mut field = ModuloField::new(&sys, spec, &frames);
+        let block = sys.block_ids().next().unwrap();
+        let d = field.distributions().get(block, t.add);
+        // Find a time strictly below its slot maximum and raise it halfway:
+        // the group profile must not move and the effect must say so.
+        let dhat = field.block_profile(block, t.add).to_vec();
+        let mut pick = None;
+        for (time, &v) in d.iter().enumerate() {
+            if v < dhat[time % 5] - 0.05 {
+                pick = Some((time, dhat[time % 5] - v));
+                break;
+            }
+        }
+        let Some((time, headroom)) = pick else { return };
+        let mut delta = vec![0.0; d.len()];
+        delta[time] = headroom / 2.0;
+        let effect = field.apply_delta(block, t.add, &delta);
+        assert!(effect.global);
+        assert!(
+            !effect.gdist_changed,
+            "hidden delta must not reach G: {effect:?}"
+        );
+    }
+
+    #[test]
+    fn visible_delta_propagates_to_group() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let mut field = ModuloField::new(&sys, spec, &frames);
+        let block = sys.block_ids().next().unwrap();
+        let len = sys.block(block).time_range() as usize;
+        // A large increase everywhere definitely raises the slot maxima.
+        let delta = vec![10.0; len];
+        let effect = field.apply_delta(block, t.add, &delta);
+        assert!(effect.global && effect.dhat_changed);
+        assert!(effect.mproc_changed && effect.gdist_changed);
     }
 
     #[test]

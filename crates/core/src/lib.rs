@@ -54,8 +54,8 @@ pub mod error;
 pub mod evaluator;
 pub mod exact;
 pub mod explore;
-pub mod latency;
 pub mod field;
+pub mod latency;
 pub mod modulo;
 pub mod period;
 pub mod rc;
@@ -71,6 +71,4 @@ pub use field::ModuloField;
 pub use latency::{latency_bounds, LatencyBound};
 pub use report::{compute_report, ScheduleReport, TypeReport};
 pub use scheduler::{ModuloOutcome, ModuloScheduler};
-pub use verify::{
-    check_execution, exhaustive_check, random_activations, Activation, VerifyError,
-};
+pub use verify::{check_execution, exhaustive_check, random_activations, Activation, VerifyError};

@@ -36,11 +36,7 @@ pub fn spacing_budget(system: &System, process: ProcessId) -> u32 {
 /// smallest spacing budget over its sharing group.
 ///
 /// Returns an empty vector for local types.
-pub fn candidate_periods(
-    system: &System,
-    spec: &SharingSpec,
-    rtype: ResourceTypeId,
-) -> Vec<u32> {
+pub fn candidate_periods(system: &System, spec: &SharingSpec, rtype: ResourceTypeId) -> Vec<u32> {
     let Some(group) = spec.group(rtype) else {
         return Vec::new();
     };
@@ -207,9 +203,9 @@ mod tests {
         // ones. 3^3=27 total, feasible: uniform {3,5,8} plus {3,3,5}-style
         // mixes with lcm<=15: (3,5) lcm 15 ok, (3,8) 24 no, (5,8) 40 no.
         assert!(all.len() < 27);
-        assert!(all.iter().any(|s| {
-            globals.iter().all(|&k| s.period(k) == Some(8))
-        }));
+        assert!(all
+            .iter()
+            .any(|s| { globals.iter().all(|&k| s.period(k) == Some(8)) }));
         let limited = enumerate_periods(&sys, &spec, &globals, &cands, Some(2));
         assert_eq!(limited.len(), 2);
     }

@@ -44,8 +44,7 @@ pub fn rc_modulo_schedule(
 ) -> Result<RcOutcome, CoreError> {
     spec.validate(system)?;
     for (k, rt) in system.library().iter() {
-        if !system.users_of_type(k).is_empty() && limits.get(k.index()).copied().unwrap_or(0) == 0
-        {
+        if !system.users_of_type(k).is_empty() && limits.get(k.index()).copied().unwrap_or(0) == 0 {
             return Err(CoreError::ZeroInstances {
                 rtype: rt.name().to_owned(),
             });
@@ -65,12 +64,7 @@ pub fn rc_modulo_schedule(
     }
     // Tightest blocks first: they have the least placement freedom.
     let mut block_order: Vec<_> = system.block_ids().collect();
-    block_order.sort_by_key(|&b| {
-        (
-            system.block(b).time_range() - system.critical_path(b),
-            b,
-        )
-    });
+    block_order.sort_by_key(|&b| (system.block(b).time_range() - system.critical_path(b), b));
     for bid in block_order {
         // Greedy placement can fail in two complementary ways: the
         // claim-minimizing policy may burn a chain's slack hunting for
@@ -122,9 +116,7 @@ pub fn rc_modulo_schedule(
                         .process(p)
                         .blocks()
                         .iter()
-                        .map(|&b| {
-                            modulo_max_counts(&schedule.usage(system, b, k), period)[slot]
-                        })
+                        .map(|&b| modulo_max_counts(&schedule.usage(system, b, k), period)[slot])
                         .max()
                         .unwrap_or(0)
                 })
@@ -264,7 +256,9 @@ mod tests {
         // system.
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let tc = crate::ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let tc = crate::ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run();
         let report = tc.report();
         let limits: Vec<u32> = sys
             .library()

@@ -77,11 +77,7 @@ impl fmt::Display for ScheduleReport {
 /// # Panics
 ///
 /// Panics if the schedule is incomplete; run [`Schedule::verify`] first.
-pub fn compute_report(
-    system: &System,
-    spec: &SharingSpec,
-    schedule: &Schedule,
-) -> ScheduleReport {
+pub fn compute_report(system: &System, spec: &SharingSpec, schedule: &Schedule) -> ScheduleReport {
     let mut types = Vec::with_capacity(system.library().len());
     let mut total_area = 0u64;
     for (k, rt) in system.library().iter() {

@@ -5,7 +5,7 @@
 //! describes the time frames of every operation of the system, and each
 //! iteration reduces the globally worst frame.
 
-use tcms_fds::{FdsConfig, IfdsEngine, Schedule};
+use tcms_fds::{FdsConfig, IfdsEngine, IfdsStats, Schedule};
 use tcms_ir::System;
 
 use crate::assign::SharingSpec;
@@ -59,8 +59,22 @@ impl<'a> ModuloScheduler<'a> {
         self
     }
 
-    /// Runs the coupled modified IFDS over every block of the system.
+    /// Runs the coupled modified IFDS over every block of the system,
+    /// with incremental (cached) candidate-force evaluation.
     pub fn run(self) -> ModuloOutcome<'a> {
+        self.run_impl(false)
+    }
+
+    /// Reference run without the candidate-force cache — the oracle
+    /// [`ModuloScheduler::run`] is tested against (outcomes must be
+    /// bit-identical). Only compiled for tests and the `naive-oracle`
+    /// feature.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn run_naive(self) -> ModuloOutcome<'a> {
+        self.run_impl(true)
+    }
+
+    fn run_impl(self, naive: bool) -> ModuloOutcome<'a> {
         let scope: Vec<_> = self.system.block_ids().collect();
         let engine = IfdsEngine::new(self.system, scope);
         let mut eval = ModuloEvaluator::new(
@@ -69,13 +83,24 @@ impl<'a> ModuloScheduler<'a> {
             self.config.clone(),
             engine.frames(),
         );
-        let out = engine.run(&mut eval);
+        #[cfg(any(test, feature = "naive-oracle"))]
+        let out = if naive {
+            engine.run_naive(&mut eval)
+        } else {
+            engine.run(&mut eval)
+        };
+        #[cfg(not(any(test, feature = "naive-oracle")))]
+        let out = {
+            debug_assert!(!naive, "naive run requires the naive-oracle feature");
+            engine.run(&mut eval)
+        };
         debug_assert!(out.schedule.verify(self.system).is_ok());
         ModuloOutcome {
             system: self.system,
             spec: self.spec,
             schedule: out.schedule,
             iterations: out.iterations,
+            stats: out.stats,
         }
     }
 }
@@ -89,6 +114,9 @@ pub struct ModuloOutcome<'a> {
     pub schedule: Schedule,
     /// Number of frame-reduction iterations of the coupled run.
     pub iterations: u64,
+    /// Instrumentation of the engine run (candidate evaluations, cache
+    /// hits/misses, wall time per phase).
+    pub stats: IfdsStats,
 }
 
 impl<'a> ModuloOutcome<'a> {
@@ -128,6 +156,30 @@ mod tests {
         let mut spec = SharingSpec::all_local(&sys);
         spec.set_global(t.add, vec![sys.process_ids().next().unwrap()], 5);
         assert!(ModuloScheduler::new(&sys, spec).is_err());
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_naive_run() {
+        let (sys, _) = paper_system().unwrap();
+        let mk = || ModuloScheduler::new(&sys, SharingSpec::all_global(&sys, 5)).unwrap();
+        let cached = mk().run();
+        let naive = mk().run_naive();
+        assert_eq!(
+            cached.schedule.starts(),
+            naive.schedule.starts(),
+            "schedules must be bit-identical"
+        );
+        assert_eq!(cached.iterations, naive.iterations);
+        assert_eq!(
+            cached.report().total_area(),
+            naive.report().total_area(),
+            "areas must agree"
+        );
+        assert!(
+            cached.stats.cache_hits > 0,
+            "coupled multi-process run must reuse cached forces"
+        );
+        assert!(cached.stats.ops_evaluated < naive.stats.ops_evaluated);
     }
 
     #[test]

@@ -203,9 +203,9 @@ pub fn exhaustive_check(
         .iter()
         .map(|&p| u64::from(spec.grid_spacing(system, p)))
         .collect();
-    let hyper = spacings
-        .iter()
-        .fold(1u64, |acc, &s| u64::from(crate::modulo::lcm(acc as u32, s as u32)));
+    let hyper = spacings.iter().fold(1u64, |acc, &s| {
+        u64::from(crate::modulo::lcm(acc as u32, s as u32))
+    });
     let choices: Vec<u64> = spacings.iter().map(|&s| hyper / s).collect();
     let total: u64 = choices.iter().product();
     if total > limit {
@@ -373,8 +373,7 @@ mod tests {
         // executions have the same relative phase: one combination covers
         // the steady state.
         let (sys, spec, schedule, report) = scheduled();
-        let result = exhaustive_check(&sys, &spec, &schedule, &report, 100)
-            .expect("within limit");
+        let result = exhaustive_check(&sys, &spec, &schedule, &report, 100).expect("within limit");
         assert_eq!(result.expect("no violation"), 1);
     }
 
@@ -415,8 +414,7 @@ mod tests {
     #[test]
     fn exhaustive_check_heterogeneous_phases() {
         let (sys, spec, schedule, report) = heterogeneous();
-        let result = exhaustive_check(&sys, &spec, &schedule, &report, 100)
-            .expect("within limit");
+        let result = exhaustive_check(&sys, &spec, &schedule, &report, 100).expect("within limit");
         assert_eq!(result.expect("no violation"), 6);
     }
 

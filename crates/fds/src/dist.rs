@@ -3,16 +3,34 @@
 //! For every `(block, resource type)` pair the distribution `D(t)` sums the
 //! occupancy probabilities of all matching operations (the paper's
 //! equation 4). The force model treats the values of `D` as springs.
+//!
+//! The set is *version-tracking*: every mutation of a pair bumps that
+//! pair's version counter (drawn from one set-wide epoch), so downstream
+//! caches can tell exactly which `(block, type)` regions moved since they
+//! last looked, without comparing profile contents.
 
-use tcms_ir::{BlockId, FrameTable, ResourceTypeId, System};
+use tcms_ir::{BlockId, FrameTable, OpId, ResourceTypeId, System, TimeFrame};
 
 use crate::prob;
 
 /// Distribution graphs for every `(block, type)` pair of a system.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the profile contents only, not the version-tracking
+/// state.
+#[derive(Debug, Clone)]
 pub struct DistributionSet {
     /// `dist[block][type][t]`, `t` in block-local time.
     dist: Vec<Vec<Vec<f64>>>,
+    /// `version[block][type]`: epoch of the pair's last mutation.
+    version: Vec<Vec<u64>>,
+    /// Set-wide mutation counter the per-pair versions are drawn from.
+    epoch: u64,
+}
+
+impl PartialEq for DistributionSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
 }
 
 impl DistributionSet {
@@ -27,7 +45,12 @@ impl DistributionSet {
             let d = &mut dist[op.block().index()][op.resource_type().index()];
             prob::accumulate(d, frames.get(o), system.occupancy(o), 1.0);
         }
-        DistributionSet { dist }
+        let version = vec![vec![0; num_types]; dist.len()];
+        DistributionSet {
+            dist,
+            version,
+            epoch: 0,
+        }
     }
 
     /// The distribution of `rtype` in `block`.
@@ -35,9 +58,46 @@ impl DistributionSet {
         &self.dist[block.index()][rtype.index()]
     }
 
-    /// Mutable access for incremental updates.
+    /// Mutable access for incremental updates. Conservatively marks the
+    /// pair dirty (bumps its version) even if the caller ends up not
+    /// writing.
     pub fn get_mut(&mut self, block: BlockId, rtype: ResourceTypeId) -> &mut [f64] {
+        self.epoch += 1;
+        self.version[block.index()][rtype.index()] = self.epoch;
         &mut self.dist[block.index()][rtype.index()]
+    }
+
+    /// Moves one operation's probability mass from `old` to `new` in its
+    /// `(block, type)` distribution — the dirty-region update backing
+    /// incremental force evaluation. Returns the half-open time range
+    /// `[lo, hi)` of entries that may have changed.
+    pub fn apply_op_change(
+        &mut self,
+        system: &System,
+        op: OpId,
+        old: TimeFrame,
+        new: TimeFrame,
+    ) -> (u32, u32) {
+        let meta = system.op(op);
+        let occ = system.occupancy(op);
+        let d = self.get_mut(meta.block(), meta.resource_type());
+        let len = d.len() as u32;
+        prob::accumulate(d, new, occ, 1.0);
+        prob::accumulate(d, old, occ, -1.0);
+        let lo = new.asap.min(old.asap).min(len);
+        let hi = (new.alap.max(old.alap) + occ).min(len);
+        (lo, hi)
+    }
+
+    /// The version (mutation epoch) of a pair: two equal observations
+    /// guarantee the profile did not change in between.
+    pub fn version(&self, block: BlockId, rtype: ResourceTypeId) -> u64 {
+        self.version[block.index()][rtype.index()]
+    }
+
+    /// The set-wide mutation counter (max of all pair versions).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Peak of the distribution of `rtype` in `block` — the expected
@@ -98,5 +158,52 @@ mod tests {
         let add = sys.library().by_name("add").unwrap();
         let mass: f64 = ds.get(blk, add).iter().sum();
         assert!((mass - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_op_change_matches_rebuild() {
+        let (sys, blk) = sample();
+        let mut frames = FrameTable::initial(&sys);
+        let mut ds = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        let x = sys.op_ids().next().unwrap();
+        let old = frames.get(x);
+        let new = TimeFrame::new(1, 1);
+        let (lo, hi) = ds.apply_op_change(&sys, x, old, new);
+        assert!(lo <= 1 && hi >= 2, "dirty range [{lo},{hi}) must cover t=1");
+        frames.set(x, new);
+        let rebuilt = DistributionSet::build(&sys, &frames);
+        for (a, b) in ds.get(blk, add).iter().zip(rebuilt.get(blk, add)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn versions_track_mutations_per_pair() {
+        let (sys, blk) = sample();
+        let frames = FrameTable::initial(&sys);
+        let mut ds = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        assert_eq!(ds.version(blk, add), 0);
+        assert_eq!(ds.epoch(), 0);
+        let x = sys.op_ids().next().unwrap();
+        ds.apply_op_change(&sys, x, frames.get(x), TimeFrame::new(0, 0));
+        assert_eq!(ds.version(blk, add), 1);
+        assert_eq!(ds.epoch(), 1);
+        // get_mut is conservatively counted as a mutation.
+        let _ = ds.get_mut(blk, add);
+        assert_eq!(ds.version(blk, add), 2);
+    }
+
+    #[test]
+    fn equality_ignores_versions() {
+        let (sys, blk) = sample();
+        let frames = FrameTable::initial(&sys);
+        let a = DistributionSet::build(&sys, &frames);
+        let mut b = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        let _ = b.get_mut(blk, add); // bump version, contents unchanged
+        assert_eq!(a, b);
+        assert_ne!(a.epoch(), b.epoch());
     }
 }

@@ -10,6 +10,24 @@
 //! The force model itself is pluggable (see
 //! [`ForceEvaluator`]); this hook is exactly what
 //! the paper's modulo extension plugs into.
+//!
+//! # Incremental evaluation
+//!
+//! One reduction iteration touches the frames of a single block, yet the
+//! classical loop re-evaluates the candidate forces of *every* unfixed
+//! operation. [`IfdsEngine::run`] therefore keeps a per-operation cache of
+//! the extreme-placement force pair `(f_lo, f_hi)`, keyed by
+//!
+//! * the frame generation of the operation's block (advanced by
+//!   [`tcms_ir::FrameTable`] change tracking), and
+//! * the evaluator's [`ForceEvaluator::context_stamp`] for that block.
+//!
+//! When both stamps are unchanged since the pair was computed, the force
+//! would evaluate to bit-identical values, so the cached pair is reused.
+//! [`IfdsEngine::run_naive`] runs the identical selection loop without the
+//! cache and serves as the oracle: its outcome must match `run` exactly.
+
+use std::time::{Duration, Instant};
 
 use tcms_ir::frames::constrained_frames;
 use tcms_ir::{BlockId, FrameTable, OpId, System, TimeFrame};
@@ -17,14 +35,75 @@ use tcms_ir::{BlockId, FrameTable, OpId, System, TimeFrame};
 use crate::evaluator::ForceEvaluator;
 use crate::schedule::Schedule;
 
+/// Instrumentation counters of one engine run (or several merged ones).
+///
+/// Wall-clock fields are measured with [`Instant`] and are inherently
+/// non-deterministic; they are excluded from [`IfdsOutcome`] equality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IfdsStats {
+    /// Frame-reduction iterations performed.
+    pub iterations: u64,
+    /// Candidate force pairs `(f_lo, f_hi)` computed by the evaluator.
+    pub ops_evaluated: u64,
+    /// Candidate force pairs served from the incremental cache.
+    pub cache_hits: u64,
+    /// Candidate force pairs that had to be recomputed although the cache
+    /// was enabled (stamp moved). `ops_evaluated - cache_misses` pairs were
+    /// computed with caching unavailable or disabled.
+    pub cache_misses: u64,
+    /// Wall time spent in the candidate-evaluation phase.
+    pub eval_time: Duration,
+    /// Wall time spent committing changes (evaluator update + frames).
+    pub commit_time: Duration,
+    /// Total wall time of the run.
+    pub total_time: Duration,
+}
+
+impl IfdsStats {
+    /// Accumulates `other` into `self` (used when merging per-block runs).
+    pub fn absorb(&mut self, other: &IfdsStats) {
+        self.iterations += other.iterations;
+        self.ops_evaluated += other.ops_evaluated;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.eval_time += other.eval_time;
+        self.commit_time += other.commit_time;
+        self.total_time += other.total_time;
+    }
+
+    /// Fraction of candidate pairs served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of an engine run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the deterministic outcome only (schedule and
+/// iteration count); the wall-clock instrumentation in
+/// [`IfdsOutcome::stats`] is ignored.
+#[derive(Debug, Clone)]
 pub struct IfdsOutcome {
     /// The final schedule (covering the ops of the engine's scope).
     pub schedule: Schedule,
     /// Number of frame-reduction iterations performed.
     pub iterations: u64,
+    /// Instrumentation of the run that produced the schedule.
+    pub stats: IfdsStats,
 }
+
+impl PartialEq for IfdsOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.schedule == other.schedule && self.iterations == other.iterations
+    }
+}
+
+impl Eq for IfdsOutcome {}
 
 /// Improved-FDS scheduling engine over a set of blocks.
 pub struct IfdsEngine<'a> {
@@ -101,18 +180,79 @@ impl<'a> IfdsEngine<'a> {
     }
 
     /// Runs gradual time-frame reduction to completion and extracts the
-    /// schedule.
-    pub fn run<E: ForceEvaluator>(mut self, eval: &mut E) -> IfdsOutcome {
+    /// schedule, reusing cached candidate forces for operations whose block
+    /// frames and evaluator context are untouched since the last iteration.
+    ///
+    /// Produces a schedule identical to [`IfdsEngine::run_naive`].
+    pub fn run<E: ForceEvaluator>(self, eval: &mut E) -> IfdsOutcome {
+        self.run_impl(eval, true)
+    }
+
+    /// Reference run without the candidate-force cache: every candidate is
+    /// re-evaluated each iteration, exactly like the pre-incremental
+    /// engine. Kept as the equivalence oracle for tests and benches.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn run_naive<E: ForceEvaluator>(self, eval: &mut E) -> IfdsOutcome {
+        self.run_impl(eval, false)
+    }
+
+    fn run_impl<E: ForceEvaluator>(mut self, eval: &mut E, use_cache: bool) -> IfdsOutcome {
+        let run_started = Instant::now();
+        let mut stats = IfdsStats::default();
+        // cache[op] = (block frame generation, evaluator context stamp,
+        // f_lo, f_hi) at computation time. The sentinel generation
+        // `u64::MAX` is unreachable (generations count frame mutations), so
+        // fresh entries never match.
+        let mut cache: Vec<(u64, u64, f64, f64)> = if use_cache {
+            vec![(u64::MAX, u64::MAX, 0.0, 0.0); self.system.num_ops()]
+        } else {
+            Vec::new()
+        };
+        // Frame generation of the youngest change per block, mirrored off
+        // the table's per-op stamps as commits are applied.
+        let mut block_gen: Vec<u64> = vec![0; self.system.num_blocks()];
         let mut iterations = 0;
         loop {
+            let eval_started = Instant::now();
             let mut best: Option<(f64, OpId, bool)> = None;
             for &o in &self.scope_ops {
                 let fr = self.frames.get(o);
                 if fr.is_fixed() {
                     continue;
                 }
-                let f_lo = self.placement_force(eval, o, fr.asap);
-                let f_hi = self.placement_force(eval, o, fr.alap);
+                let (f_lo, f_hi) = if use_cache {
+                    let block = self.system.op(o).block();
+                    match eval.context_stamp(block) {
+                        Some(ctx) => {
+                            let gen = block_gen[block.index()];
+                            let entry = cache[o.index()];
+                            if entry.0 == gen && entry.1 == ctx {
+                                stats.cache_hits += 1;
+                                (entry.2, entry.3)
+                            } else {
+                                stats.cache_misses += 1;
+                                stats.ops_evaluated += 1;
+                                let f_lo = self.placement_force(eval, o, fr.asap);
+                                let f_hi = self.placement_force(eval, o, fr.alap);
+                                cache[o.index()] = (gen, ctx, f_lo, f_hi);
+                                (f_lo, f_hi)
+                            }
+                        }
+                        None => {
+                            stats.ops_evaluated += 1;
+                            (
+                                self.placement_force(eval, o, fr.asap),
+                                self.placement_force(eval, o, fr.alap),
+                            )
+                        }
+                    }
+                } else {
+                    stats.ops_evaluated += 1;
+                    (
+                        self.placement_force(eval, o, fr.asap),
+                        self.placement_force(eval, o, fr.alap),
+                    )
+                };
                 let diff = (f_lo - f_hi).abs();
                 // Shorten at the side with the higher force; on a tie keep
                 // the ASAP end (deterministic stand-in for the paper's
@@ -122,7 +262,9 @@ impl<'a> IfdsEngine<'a> {
                     best = Some((diff, o, cut_low));
                 }
             }
+            stats.eval_time += eval_started.elapsed();
             let Some((_, o, cut_low)) = best else { break };
+            let commit_started = Instant::now();
             let fr = self.frames.get(o);
             let nf = if cut_low {
                 TimeFrame::new(fr.asap + 1, fr.alap)
@@ -134,15 +276,24 @@ impl<'a> IfdsEngine<'a> {
             for &(q, f) in &changes {
                 self.frames.set(q, f);
             }
+            if use_cache {
+                for &(q, _) in &changes {
+                    block_gen[self.system.op(q).block().index()] = self.frames.generation();
+                }
+            }
+            stats.commit_time += commit_started.elapsed();
             iterations += 1;
         }
         let mut schedule = Schedule::new(self.system.num_ops());
         for &o in &self.scope_ops {
             schedule.set(o, self.frames.fixed_start(o));
         }
+        stats.iterations = iterations;
+        stats.total_time = run_started.elapsed();
         IfdsOutcome {
             schedule,
             iterations,
+            stats,
         }
     }
 }
@@ -152,6 +303,7 @@ mod tests {
     use super::*;
     use crate::config::{FdsConfig, SpringWeights};
     use crate::evaluator::ClassicEvaluator;
+    use tcms_ir::generators::{add_ewf_process, paper_library};
     use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder};
 
     fn two_adder_block() -> (System, BlockId, Vec<OpId>) {
@@ -237,5 +389,55 @@ mod tests {
             IfdsEngine::new(&sys, vec![blk]).run(&mut eval)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cached_run_matches_naive_run_exactly() {
+        // Two processes scheduled in one scope: a commit touches a single
+        // block, so candidates of the *other* block stay cached. In a
+        // single-block scope every commit invalidates everything and the
+        // cache (correctly) never hits.
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, b1) = add_ewf_process(&mut b, "P1", 20, types).unwrap();
+        let (_, b2) = add_ewf_process(&mut b, "P2", 22, types).unwrap();
+        let sys = b.build().unwrap();
+        let scope = vec![b1, b2];
+        let cached = {
+            let mut eval = ClassicEvaluator::new(&sys, &scope, FdsConfig::default());
+            IfdsEngine::new(&sys, scope.clone()).run(&mut eval)
+        };
+        let naive = {
+            let mut eval = ClassicEvaluator::new(&sys, &scope, FdsConfig::default());
+            IfdsEngine::new(&sys, scope.clone()).run_naive(&mut eval)
+        };
+        assert_eq!(cached, naive);
+        assert_eq!(
+            cached.schedule.starts(),
+            naive.schedule.starts(),
+            "start times must be bit-identical"
+        );
+        assert!(cached.stats.cache_hits > 0, "two-block run must hit");
+        assert_eq!(naive.stats.cache_hits, 0);
+        assert_eq!(naive.stats.cache_misses, 0);
+        assert!(cached.stats.ops_evaluated < naive.stats.ops_evaluated);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (sys, blk, _) = two_adder_block();
+        let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval);
+        assert_eq!(out.stats.iterations, out.iterations);
+        assert_eq!(
+            out.stats.ops_evaluated, out.stats.cache_misses,
+            "with caching on, every fresh evaluation is a miss"
+        );
+        assert!(out.stats.total_time >= out.stats.eval_time);
+        let mut merged = IfdsStats::default();
+        merged.absorb(&out.stats);
+        merged.absorb(&out.stats);
+        assert_eq!(merged.iterations, 2 * out.stats.iterations);
+        assert!(merged.hit_rate() >= 0.0 && merged.hit_rate() <= 1.0);
     }
 }

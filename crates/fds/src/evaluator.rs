@@ -17,6 +17,16 @@ use crate::prob;
 /// operations whose frame differs from the committed state in `frames`;
 /// implied predecessor/successor frame reductions are included, so the
 /// returned force already contains the classical "self + neighbour" terms.
+///
+/// # Incremental contract
+///
+/// [`ForceEvaluator::force`] must be a pure function of the committed
+/// state (frames plus whatever the evaluator maintains) and `changed`.
+/// [`ForceEvaluator::context_stamp`] summarizes that committed state per
+/// block: as long as the stamp of a block is unchanged, every force for a
+/// change rooted in that block would evaluate to bit-identical results, so
+/// the engine may reuse cached values. Evaluators that cannot provide this
+/// guarantee return `None` (the default), which disables caching.
 pub trait ForceEvaluator {
     /// Force of tentatively applying `changed` on top of `frames`.
     /// Lower is better; negative values reduce expected concurrency.
@@ -25,6 +35,26 @@ pub trait ForceEvaluator {
     /// Commits `changed`. `frames` is the state *before* the change; the
     /// engine updates its frame table right after this call.
     fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]);
+
+    /// Notifies the evaluator that the frames of `ops` changed (or will
+    /// change) through some path other than [`ForceEvaluator::commit`] —
+    /// e.g. a driver mutating the engine's frame table directly. The
+    /// evaluator must conservatively advance the affected context stamps so
+    /// cached forces touching those ops are recomputed.
+    ///
+    /// The default implementation does nothing, which is sound only
+    /// together with the default (`None`) [`ForceEvaluator::context_stamp`].
+    fn invalidate(&mut self, ops: &[OpId]) {
+        let _ = ops;
+    }
+
+    /// Monotone stamp covering every piece of evaluator state a force for
+    /// a change rooted in `block` can read. `None` disables force caching
+    /// for this evaluator.
+    fn context_stamp(&self, block: BlockId) -> Option<u64> {
+        let _ = block;
+        None
+    }
 }
 
 /// The classical FDS force model of Paulin/Knight with the improvements of
@@ -35,6 +65,12 @@ pub struct ClassicEvaluator<'a> {
     system: &'a System,
     config: FdsConfig,
     dist: DistributionSet,
+    /// Staleness counter shared by the block stamps.
+    epoch: u64,
+    /// `block_epoch[b]`: epoch of the last commit/invalidation touching
+    /// block `b`. The classical force of a change rooted in `b` reads only
+    /// `b`-local state, so this single stamp covers it.
+    block_epoch: Vec<u64>,
 }
 
 impl<'a> ClassicEvaluator<'a> {
@@ -48,6 +84,8 @@ impl<'a> ClassicEvaluator<'a> {
             system,
             config,
             dist: DistributionSet::build(system, &frames),
+            epoch: 0,
+            block_epoch: vec![0; system.num_blocks()],
         }
     }
 
@@ -79,6 +117,27 @@ impl<'a> ClassicEvaluator<'a> {
         }
         (keys, bufs)
     }
+
+    /// Reference force computed against distributions rebuilt from scratch
+    /// out of `frames` — the oracle the incremental path is property-tested
+    /// against. Slow by design; only compiled for tests and the
+    /// `naive-oracle` feature.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn force_naive(&self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) -> f64 {
+        let rebuilt = DistributionSet::build(self.system, frames);
+        let (keys, bufs) = self.deltas(frames, changed);
+        let mut total = 0.0;
+        for (i, &(b, k)) in keys.iter().enumerate() {
+            let w = self.config.spring_weights.weight(self.system.library(), k);
+            let d = rebuilt.get(b, k);
+            for (t, &x) in bufs[i].iter().enumerate() {
+                if x != 0.0 {
+                    total += w * (d[t] + self.config.lookahead * x) * x;
+                }
+            }
+        }
+        total
+    }
 }
 
 impl ForceEvaluator for ClassicEvaluator<'_> {
@@ -86,10 +145,7 @@ impl ForceEvaluator for ClassicEvaluator<'_> {
         let (keys, bufs) = self.deltas(frames, changed);
         let mut total = 0.0;
         for (i, &(b, k)) in keys.iter().enumerate() {
-            let w = self
-                .config
-                .spring_weights
-                .weight(self.system.library(), k);
+            let w = self.config.spring_weights.weight(self.system.library(), k);
             let d = self.dist.get(b, k);
             for (t, &x) in bufs[i].iter().enumerate() {
                 if x != 0.0 {
@@ -102,11 +158,28 @@ impl ForceEvaluator for ClassicEvaluator<'_> {
 
     fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) {
         for &(o, nf) in changed {
-            let op = self.system.op(o);
-            let occ = self.system.occupancy(o);
-            let d = self.dist.get_mut(op.block(), op.resource_type());
-            prob::accumulate(d, nf, occ, 1.0);
-            prob::accumulate(d, frames.get(o), occ, -1.0);
+            self.dist.apply_op_change(self.system, o, frames.get(o), nf);
+        }
+        self.invalidate_changed(changed);
+    }
+
+    fn invalidate(&mut self, ops: &[OpId]) {
+        self.epoch += 1;
+        for &o in ops {
+            self.block_epoch[self.system.op(o).block().index()] = self.epoch;
+        }
+    }
+
+    fn context_stamp(&self, block: BlockId) -> Option<u64> {
+        Some(self.block_epoch[block.index()])
+    }
+}
+
+impl ClassicEvaluator<'_> {
+    fn invalidate_changed(&mut self, changed: &[(OpId, TimeFrame)]) {
+        self.epoch += 1;
+        for &(o, _) in changed {
+            self.block_epoch[self.system.op(o).block().index()] = self.epoch;
         }
     }
 }
@@ -197,5 +270,55 @@ mod tests {
         let f_at_0 = eval.force(&frames, &[(ops[1], TimeFrame::new(0, 0))]);
         let f_at_1 = eval.force(&frames, &[(ops[1], TimeFrame::new(1, 1))]);
         assert!(f_at_1 < f_at_0);
+    }
+
+    #[test]
+    fn incremental_force_matches_naive_oracle() {
+        let (sys, blk, ops) = sample();
+        let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+        let mut frames = FrameTable::initial(&sys);
+        let change = [(ops[0], TimeFrame::new(0, 0))];
+        let f_inc = eval.force(&frames, &change);
+        let f_ref = eval.force_naive(&frames, &change);
+        assert!((f_inc - f_ref).abs() < 1e-12);
+        // And after a commit too.
+        eval.commit(&frames, &change);
+        frames.set(ops[0], TimeFrame::new(0, 0));
+        let change2 = [(ops[1], TimeFrame::new(1, 1))];
+        let f_inc = eval.force(&frames, &change2);
+        let f_ref = eval.force_naive(&frames, &change2);
+        assert!((f_inc - f_ref).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_stamp_moves_only_for_touched_blocks() {
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p1 = b.add_process("p1");
+        let b1 = b.add_block(p1, "b1", 2).unwrap();
+        let x = b.add_op(b1, "x", add).unwrap();
+        let p2 = b.add_process("p2");
+        let b2 = b.add_block(p2, "b2", 2).unwrap();
+        b.add_op(b2, "y", add).unwrap();
+        let sys = b.build().unwrap();
+        let mut eval = ClassicEvaluator::new(&sys, &[b1, b2], FdsConfig::default());
+        let frames = FrameTable::initial(&sys);
+        let s1 = eval.context_stamp(b1).unwrap();
+        let s2 = eval.context_stamp(b2).unwrap();
+        eval.commit(&frames, &[(x, TimeFrame::new(0, 0))]);
+        assert_ne!(
+            eval.context_stamp(b1).unwrap(),
+            s1,
+            "touched block restamped"
+        );
+        assert_eq!(
+            eval.context_stamp(b2).unwrap(),
+            s2,
+            "untouched block stable"
+        );
+        // Explicit invalidation restamps too.
+        eval.invalidate(&[x]);
+        assert!(eval.context_stamp(b1).unwrap() > s1);
     }
 }

@@ -9,7 +9,7 @@
 use tcms_ir::{BlockId, System, TimeFrame};
 
 use crate::config::FdsConfig;
-use crate::engine::{IfdsEngine, IfdsOutcome};
+use crate::engine::{IfdsEngine, IfdsOutcome, IfdsStats};
 use crate::evaluator::{ClassicEvaluator, ForceEvaluator};
 use crate::schedule::Schedule;
 
@@ -34,8 +34,10 @@ struct FdsDriver<'a> {
 
 impl FdsDriver<'_> {
     fn run<E: ForceEvaluator>(&mut self, eval: &mut E) -> IfdsOutcome {
+        let run_started = std::time::Instant::now();
         let ops: Vec<_> = self.system.block(self.block).ops().to_vec();
         let mut iterations = 0;
+        let mut ops_evaluated = 0;
         loop {
             let mut best: Option<(f64, tcms_ir::OpId, u32)> = None;
             for &o in &ops {
@@ -44,6 +46,7 @@ impl FdsDriver<'_> {
                     continue;
                 }
                 for t in fr.asap..=fr.alap {
+                    ops_evaluated += 1;
                     let f = self.inner.placement_force(eval, o, t);
                     if best.as_ref().is_none_or(|b| f < b.0 - 1e-12) {
                         best = Some((f, o, t));
@@ -63,6 +66,12 @@ impl FdsDriver<'_> {
         IfdsOutcome {
             schedule,
             iterations,
+            stats: IfdsStats {
+                iterations,
+                ops_evaluated,
+                total_time: run_started.elapsed(),
+                ..IfdsStats::default()
+            },
         }
     }
 }

@@ -47,7 +47,7 @@ pub mod schedule;
 pub mod schedule_io;
 
 pub use config::{FdsConfig, SpringWeights};
-pub use engine::{IfdsEngine, IfdsOutcome};
+pub use engine::{IfdsEngine, IfdsOutcome, IfdsStats};
 pub use evaluator::{ClassicEvaluator, ForceEvaluator};
 pub use schedule::{Schedule, ScheduleError};
 
@@ -68,9 +68,11 @@ pub fn schedule_block_ifds(system: &System, block: BlockId, config: &FdsConfig) 
 pub fn schedule_system_local(system: &System, config: &FdsConfig) -> IfdsOutcome {
     let mut schedule = Schedule::new(system.num_ops());
     let mut iterations = 0;
+    let mut stats = IfdsStats::default();
     for bid in system.block_ids() {
         let out = schedule_block_ifds(system, bid, config);
         iterations += out.iterations;
+        stats.absorb(&out.stats);
         for &o in system.block(bid).ops() {
             schedule.set(o, out.schedule.expect_start(o));
         }
@@ -78,5 +80,6 @@ pub fn schedule_system_local(system: &System, config: &FdsConfig) -> IfdsOutcome
     IfdsOutcome {
         schedule,
         iterations,
+        stats,
     }
 }

@@ -81,9 +81,8 @@ pub fn list_schedule_block(system: &System, block: BlockId, limits: &[u32]) -> O
             }
             let k = system.op(o).resource_type().index();
             let occ = system.occupancy(o);
-            let fits = (t..t + occ).all(|tt| {
-                busy[k].get(tt as usize).copied().unwrap_or(0) < limits[k]
-            });
+            let fits =
+                (t..t + occ).all(|tt| busy[k].get(tt as usize).copied().unwrap_or(0) < limits[k]);
             if !fits {
                 continue;
             }

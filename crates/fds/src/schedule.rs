@@ -71,6 +71,11 @@ impl Schedule {
         }
     }
 
+    /// All start times, indexed by operation id (`None` = unscheduled).
+    pub fn starts(&self) -> &[Option<u32>] {
+        &self.starts
+    }
+
     /// Sets the start time of `op`.
     pub fn set(&mut self, op: OpId, start: u32) {
         self.starts[op.index()] = Some(start);
@@ -87,8 +92,7 @@ impl Schedule {
     ///
     /// Panics if `op` is unscheduled.
     pub fn expect_start(&self, op: OpId) -> u32 {
-        self.starts[op.index()]
-            .unwrap_or_else(|| panic!("operation {op} is unscheduled"))
+        self.starts[op.index()].unwrap_or_else(|| panic!("operation {op} is unscheduled"))
     }
 
     /// Number of operations with an assigned start time.
@@ -155,7 +159,10 @@ impl Schedule {
     /// Peak concurrent usage of `rtype` in `block` — the instance count a
     /// dedicated (local) allocation needs for this block.
     pub fn peak_usage(&self, system: &System, block: BlockId, rtype: ResourceTypeId) -> u32 {
-        self.usage(system, block, rtype).into_iter().max().unwrap_or(0)
+        self.usage(system, block, rtype)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Completion time of `block`: the latest finish over its operations.

@@ -62,18 +62,24 @@ pub fn from_sched(system: &System, text: &str) -> Result<Schedule, IrError> {
             line: lineno,
             message: format!("invalid start time `{start}`"),
         })?;
-        let p = system.process_by_name(pname).ok_or_else(|| IrError::Unknown {
-            kind: "process",
-            name: pname.to_owned(),
-        })?;
-        let b = system.block_by_name(p, bname).ok_or_else(|| IrError::Unknown {
-            kind: "block",
-            name: bname.to_owned(),
-        })?;
-        let o = system.op_by_name(b, oname).ok_or_else(|| IrError::Unknown {
-            kind: "op",
-            name: oname.to_owned(),
-        })?;
+        let p = system
+            .process_by_name(pname)
+            .ok_or_else(|| IrError::Unknown {
+                kind: "process",
+                name: pname.to_owned(),
+            })?;
+        let b = system
+            .block_by_name(p, bname)
+            .ok_or_else(|| IrError::Unknown {
+                kind: "block",
+                name: bname.to_owned(),
+            })?;
+        let o = system
+            .op_by_name(b, oname)
+            .ok_or_else(|| IrError::Unknown {
+                kind: "op",
+                name: oname.to_owned(),
+            })?;
         if schedule.start(o).is_some() {
             return Err(IrError::Parse {
                 line: lineno,
@@ -146,7 +152,10 @@ mod tests {
         let (sys, _) = scheduled();
         assert!(matches!(
             from_sched(&sys, "NoSuch body a1 0"),
-            Err(IrError::Unknown { kind: "process", .. })
+            Err(IrError::Unknown {
+                kind: "process",
+                ..
+            })
         ));
         assert!(matches!(
             from_sched(&sys, "P1 nope a1 0"),

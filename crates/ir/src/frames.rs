@@ -56,10 +56,36 @@ impl TimeFrame {
 }
 
 /// Start-time frames for every operation of a system, indexed by [`OpId`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The table is *change-tracking*: every effective [`FrameTable::set`]
+/// bumps a table-wide [generation counter](FrameTable::generation), stamps
+/// the touched operation with it and records the operation in a dirty set.
+/// Downstream layers (distribution graphs, force caches) key their cached
+/// state on these stamps to tell exactly what moved since their last look
+/// without diffing the whole table.
+///
+/// Equality ([`PartialEq`]) compares the frames only, not the tracking
+/// state, so tables reaching the same frames along different histories
+/// compare equal.
+#[derive(Debug, Clone)]
 pub struct FrameTable {
     frames: Vec<TimeFrame>,
+    /// Total number of effective frame changes since construction.
+    generation: u64,
+    /// Generation at which each op's frame last changed (0 = untouched).
+    op_generation: Vec<u64>,
+    /// Ops changed since the last [`FrameTable::take_dirty`], deduplicated.
+    dirty: Vec<OpId>,
+    dirty_flags: Vec<bool>,
 }
+
+impl PartialEq for FrameTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.frames == other.frames
+    }
+}
+
+impl Eq for FrameTable {}
 
 impl FrameTable {
     /// Computes the unconstrained ASAP/ALAP frames of every block.
@@ -78,7 +104,14 @@ impl FrameTable {
                 frames[o.index()] = f;
             }
         }
-        FrameTable { frames }
+        let n = frames.len();
+        FrameTable {
+            frames,
+            generation: 0,
+            op_generation: vec![0; n],
+            dirty: Vec::new(),
+            dirty_flags: vec![false; n],
+        }
     }
 
     /// The current frame of `op`.
@@ -91,10 +124,52 @@ impl FrameTable {
         self.frames[op.index()]
     }
 
-    /// Overwrites the frame of `op`.
+    /// Overwrites the frame of `op`, recording the change.
+    ///
+    /// Setting the frame an op already has is a no-op: it neither bumps the
+    /// generation nor dirties the op.
     #[inline]
     pub fn set(&mut self, op: OpId, frame: TimeFrame) {
-        self.frames[op.index()] = frame;
+        let i = op.index();
+        if self.frames[i] == frame {
+            return;
+        }
+        self.frames[i] = frame;
+        self.generation += 1;
+        self.op_generation[i] = self.generation;
+        if !self.dirty_flags[i] {
+            self.dirty_flags[i] = true;
+            self.dirty.push(op);
+        }
+    }
+
+    /// Count of effective frame changes since construction. Strictly
+    /// monotone: two observations with the same generation guarantee no
+    /// frame moved in between.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The generation at which `op`'s frame last changed (0 if it still has
+    /// its initial frame).
+    #[inline]
+    pub fn op_generation(&self, op: OpId) -> u64 {
+        self.op_generation[op.index()]
+    }
+
+    /// Ops whose frames changed since the last [`FrameTable::take_dirty`]
+    /// (or construction), in first-touched order.
+    pub fn dirty(&self) -> &[OpId] {
+        &self.dirty
+    }
+
+    /// Drains and returns the dirty set.
+    pub fn take_dirty(&mut self) -> Vec<OpId> {
+        for o in &self.dirty {
+            self.dirty_flags[o.index()] = false;
+        }
+        std::mem::take(&mut self.dirty)
     }
 
     /// Mobility of `op` (frame width minus one).
@@ -301,5 +376,54 @@ mod tests {
         let (sys, _, _) = chain_system();
         let ft = FrameTable::initial(&sys);
         assert_eq!(ft.total_mobility(), 4 + 4 + 4 + 7);
+    }
+
+    #[test]
+    fn generation_counts_effective_changes_only() {
+        let (sys, _, ops) = chain_system();
+        let mut ft = FrameTable::initial(&sys);
+        assert_eq!(ft.generation(), 0);
+        assert_eq!(ft.op_generation(ops[0]), 0);
+
+        ft.set(ops[0], ft.get(ops[0])); // identical frame: no-op
+        assert_eq!(ft.generation(), 0);
+        assert!(ft.dirty().is_empty());
+
+        ft.set(ops[0], TimeFrame::new(1, 4));
+        assert_eq!(ft.generation(), 1);
+        assert_eq!(ft.op_generation(ops[0]), 1);
+        ft.set(ops[1], TimeFrame::new(2, 5));
+        assert_eq!(ft.generation(), 2);
+        assert_eq!(ft.op_generation(ops[1]), 2);
+        // Re-touching an op keeps it listed once but restamps it.
+        ft.set(ops[0], TimeFrame::new(2, 4));
+        assert_eq!(ft.generation(), 3);
+        assert_eq!(ft.op_generation(ops[0]), 3);
+        assert_eq!(ft.dirty(), &[ops[0], ops[1]]);
+    }
+
+    #[test]
+    fn take_dirty_drains_and_rearms() {
+        let (sys, _, ops) = chain_system();
+        let mut ft = FrameTable::initial(&sys);
+        ft.set(ops[2], TimeFrame::new(4, 7));
+        assert_eq!(ft.take_dirty(), vec![ops[2]]);
+        assert!(ft.dirty().is_empty());
+        // The op can get dirty again after the drain.
+        ft.set(ops[2], TimeFrame::new(5, 7));
+        assert_eq!(ft.dirty(), &[ops[2]]);
+        assert_eq!(ft.generation(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_tracking_state() {
+        let (sys, _, ops) = chain_system();
+        let a = FrameTable::initial(&sys);
+        let mut b = FrameTable::initial(&sys);
+        let orig = b.get(ops[0]);
+        b.set(ops[0], TimeFrame::new(1, 4));
+        b.set(ops[0], orig); // same frames as `a`, different history
+        assert_eq!(a, b);
+        assert_ne!(a.generation(), b.generation());
     }
 }

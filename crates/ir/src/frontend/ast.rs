@@ -52,9 +52,7 @@ impl Expr {
     pub fn op_count(&self) -> usize {
         match self {
             Expr::Var(_) | Expr::Const(_) => 0,
-            Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
-                1 + l.op_count() + r.op_count()
-            }
+            Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => 1 + l.op_count() + r.op_count(),
         }
     }
 

@@ -61,46 +61,76 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, IrError> {
                 }
                 '+' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::Plus, line });
+                    out.push(Token {
+                        kind: TokenKind::Plus,
+                        line,
+                    });
                 }
                 '-' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::Minus, line });
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
                 }
                 '*' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::Star, line });
+                    out.push(Token {
+                        kind: TokenKind::Star,
+                        line,
+                    });
                 }
                 '(' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::LParen, line });
+                    out.push(Token {
+                        kind: TokenKind::LParen,
+                        line,
+                    });
                 }
                 ')' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::RParen, line });
+                    out.push(Token {
+                        kind: TokenKind::RParen,
+                        line,
+                    });
                 }
                 '{' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::LBrace, line });
+                    out.push(Token {
+                        kind: TokenKind::LBrace,
+                        line,
+                    });
                 }
                 '}' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::RBrace, line });
+                    out.push(Token {
+                        kind: TokenKind::RBrace,
+                        line,
+                    });
                 }
                 ';' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::Semicolon, line });
+                    out.push(Token {
+                        kind: TokenKind::Semicolon,
+                        line,
+                    });
                 }
                 '=' => {
                     chars.next();
-                    out.push(Token { kind: TokenKind::Equals, line });
+                    out.push(Token {
+                        kind: TokenKind::Equals,
+                        line,
+                    });
                 }
                 ':' => {
                     chars.next();
                     match chars.peek() {
                         Some(&(_, '=')) => {
                             chars.next();
-                            out.push(Token { kind: TokenKind::Assign, line });
+                            out.push(Token {
+                                kind: TokenKind::Assign,
+                                line,
+                            });
                         }
                         _ => {
                             return Err(IrError::Parse {
@@ -205,8 +235,10 @@ mod tests {
 
     #[test]
     fn comments_ignored() {
-        assert_eq!(kinds("a # everything := after\n;"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Semicolon]);
+        assert_eq!(
+            kinds("a # everything := after\n;"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Semicolon]
+        );
     }
 
     #[test]
@@ -230,9 +262,6 @@ mod tests {
 
     #[test]
     fn underscore_identifiers() {
-        assert_eq!(
-            kinds("_tmp1"),
-            vec![TokenKind::Ident("_tmp1".into())]
-        );
+        assert_eq!(kinds("_tmp1"), vec![TokenKind::Ident("_tmp1".into())]);
     }
 }

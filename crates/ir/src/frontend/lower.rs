@@ -65,12 +65,7 @@ impl Lowering<'_> {
         }
     }
 
-    fn lower_binop(
-        &mut self,
-        rtype: ResourceTypeId,
-        l: &Expr,
-        r: &Expr,
-    ) -> Result<Value, IrError> {
+    fn lower_binop(&mut self, rtype: ResourceTypeId, l: &Expr, r: &Expr) -> Result<Value, IrError> {
         let lv = self.lower_expr(l)?;
         let rv = self.lower_expr(r)?;
         // Commutative operators share across operand order; subtraction
@@ -216,9 +211,15 @@ mod tests {
     fn missing_operator_type_reported() {
         let mut lib = ResourceLibrary::new();
         lib.add(crate::ResourceType::new("add", 1)).unwrap();
-        let program = parse_program(&tokenize("process p time=3 { y := a + b; }").unwrap())
-            .unwrap();
+        let program =
+            parse_program(&tokenize("process p time=3 { y := a + b; }").unwrap()).unwrap();
         let err = lower_program(&program, lib).unwrap_err();
-        assert!(matches!(err, IrError::Unknown { kind: "resource", .. }));
+        assert!(matches!(
+            err,
+            IrError::Unknown {
+                kind: "resource",
+                ..
+            }
+        ));
     }
 }

@@ -117,11 +117,7 @@ process b time=6 { z := p + q; }
     #[test]
     fn cse_shares_identical_subexpressions() {
         let (lib, types) = paper_library();
-        let sys = compile(
-            "process p time=9 { y := a*b + a*b; }",
-            lib,
-        )
-        .unwrap();
+        let sys = compile("process p time=9 { y := a*b + a*b; }", lib).unwrap();
         let blk = sys.block_ids().next().unwrap();
         // a*b appears twice but is computed once.
         assert_eq!(sys.ops_of_type(blk, types.mul).len(), 1);

@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn parentheses_override() {
         let p = parse("process p time=9 { y := (a + b)*c; }").unwrap();
-        assert!(matches!(
-            p.processes[0].stmts[0].expr,
-            Expr::Mul(_, _)
-        ));
+        assert!(matches!(p.processes[0].stmts[0].expr, Expr::Mul(_, _)));
     }
 
     #[test]

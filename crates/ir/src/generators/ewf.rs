@@ -58,7 +58,9 @@ pub fn add_ewf_process(
     let a11 = add(builder, "a11")?;
     let a12 = add(builder, "a12")?;
     let a13 = add(builder, "a13")?;
-    let spine = [a1, a2, a3, m1, a4, a5, a6, a7, m2, a8, a9, a10, a11, a12, a13];
+    let spine = [
+        a1, a2, a3, m1, a4, a5, a6, a7, m2, a8, a9, a10, a11, a12, a13,
+    ];
     for w in spine.windows(2) {
         builder.add_dep(w[0], w[1])?;
     }
@@ -164,10 +166,7 @@ mod tests {
         let (lib, types) = paper_library();
         let mut b = SystemBuilder::new(lib);
         add_ewf_process(&mut b, "P", EWF_CRITICAL_PATH - 1, types).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(IrError::InfeasibleDeadline { .. })
-        ));
+        assert!(matches!(b.build(), Err(IrError::InfeasibleDeadline { .. })));
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn add_fft_process(
     time_range: u32,
     types: PaperTypes,
 ) -> Result<(ProcessId, BlockId), IrError> {
-    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "n must be a power of two >= 2"
+    );
     let p = builder.add_process(name);
     let b = builder.add_block(p, "body", time_range)?;
     // lanes[i] holds the op currently producing lane i (None = primary input).
@@ -48,12 +51,8 @@ pub fn add_fft_process(
                 if let Some(src) = lanes[j] {
                     preds.push(src);
                 }
-                let tw = builder.add_op_with_preds(
-                    b,
-                    format!("s{s}_b{bf}_tw"),
-                    types.mul,
-                    &preds,
-                )?;
+                let tw =
+                    builder.add_op_with_preds(b, format!("s{s}_b{bf}_tw"), types.mul, &preds)?;
                 let mut preds_sum = vec![tw];
                 if let Some(src) = lanes[i] {
                     preds_sum.push(src);

@@ -163,10 +163,7 @@ mod tests {
         let cfg = RandomSystemConfig::default();
         let (a, _) = random_system(&cfg, 7).unwrap();
         let (b, _) = random_system(&cfg, 7).unwrap();
-        assert_eq!(
-            crate::display::to_dfg(&a),
-            crate::display::to_dfg(&b)
-        );
+        assert_eq!(crate::display::to_dfg(&a), crate::display::to_dfg(&b));
     }
 
     #[test]

@@ -46,12 +46,12 @@ pub mod frames;
 pub mod frontend;
 pub mod generators;
 pub mod graph;
-pub mod transform;
 pub mod op;
 pub mod parse;
 pub mod process;
 pub mod resource;
 pub mod system;
+pub mod transform;
 
 pub use block::{Block, BlockId};
 pub use error::IrError;

@@ -62,9 +62,10 @@ pub fn parse_system(text: &str) -> Result<System, IrError> {
                 let mut pipelined = false;
                 for tok in tokens {
                     if let Some(v) = tok.strip_prefix("delay=") {
-                        delay = Some(v.parse().map_err(|_| {
-                            err(lineno, format!("invalid delay `{v}`"))
-                        })?);
+                        delay = Some(
+                            v.parse()
+                                .map_err(|_| err(lineno, format!("invalid delay `{v}`")))?,
+                        );
                     } else if let Some(v) = tok.strip_prefix("area=") {
                         area = v
                             .parse()
@@ -75,8 +76,7 @@ pub fn parse_system(text: &str) -> Result<System, IrError> {
                         return Err(err(lineno, format!("unknown attribute `{tok}`")));
                     }
                 }
-                let delay =
-                    delay.ok_or_else(|| err(lineno, "resource needs delay=<n>".into()))?;
+                let delay = delay.ok_or_else(|| err(lineno, "resource needs delay=<n>".into()))?;
                 let mut rt = ResourceType::new(name, delay).with_area(area);
                 if pipelined {
                     rt = rt.pipelined();
@@ -97,8 +97,8 @@ pub fn parse_system(text: &str) -> Result<System, IrError> {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| err(lineno, "block before any process".into()))?;
-                let p = cur_process
-                    .ok_or_else(|| err(lineno, "block before any process".into()))?;
+                let p =
+                    cur_process.ok_or_else(|| err(lineno, "block before any process".into()))?;
                 let name = tokens
                     .next()
                     .ok_or_else(|| err(lineno, "block needs a name".into()))?;
@@ -159,11 +159,7 @@ pub fn parse_system(text: &str) -> Result<System, IrError> {
     }
 }
 
-fn lookup_op(
-    builder: &SystemBuilder,
-    block: BlockId,
-    name: &str,
-) -> Option<crate::op::OpId> {
+fn lookup_op(builder: &SystemBuilder, block: BlockId, name: &str) -> Option<crate::op::OpId> {
     builder.op_in_block_by_name(block, name)
 }
 
@@ -225,7 +221,13 @@ op a1 add
     fn unknown_resource_rejected() {
         let text = "resource add delay=1\nprocess P\nblock b time=3\nop x div";
         let e = parse_system(text).unwrap_err();
-        assert!(matches!(e, IrError::Unknown { kind: "resource", .. }));
+        assert!(matches!(
+            e,
+            IrError::Unknown {
+                kind: "resource",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -257,8 +259,7 @@ op a1 add
 
     #[test]
     fn infeasible_deadline_propagates() {
-        let text =
-            "resource add delay=1\nprocess P\nblock b time=1\nop x add\nop y add\nedge x y";
+        let text = "resource add delay=1\nprocess P\nblock b time=1\nop x add\nop y add\nedge x y";
         let e = parse_system(text).unwrap_err();
         assert!(matches!(e, IrError::InfeasibleDeadline { .. }));
     }

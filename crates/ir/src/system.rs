@@ -155,9 +155,11 @@ impl System {
     fn compute_topo_orders(&mut self) -> Result<(), IrError> {
         let mut topo = Vec::with_capacity(self.blocks.len());
         for block in &self.blocks {
-            let order = graph::topo_order(&block.ops, |o| &self.succs[o.index()])
-                .ok_or_else(|| IrError::Cycle {
-                    block: block.name.clone(),
+            let order =
+                graph::topo_order(&block.ops, |o| &self.succs[o.index()]).ok_or_else(|| {
+                    IrError::Cycle {
+                        block: block.name.clone(),
+                    }
                 })?;
             topo.push(order);
         }

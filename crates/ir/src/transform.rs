@@ -63,9 +63,7 @@ mod tests {
         assert_eq!(merged.num_processes(), 1);
         assert_eq!(merged.num_blocks(), 1);
         assert_eq!(merged.num_ops(), sys.num_ops());
-        let edge_count = |s: &System| -> usize {
-            s.op_ids().map(|o| s.succs(o).len()).sum()
-        };
+        let edge_count = |s: &System| -> usize { s.op_ids().map(|o| s.succs(o).len()).sum() };
         assert_eq!(edge_count(&merged), edge_count(&sys));
         // Type mix unchanged.
         let blk = merged.block_ids().next().unwrap();

@@ -43,7 +43,6 @@ pub enum Segment {
     },
 }
 
-
 /// The activation behaviour of one process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessBehavior {
@@ -90,8 +89,7 @@ impl ProcessBehavior {
                 system.block(*b).process() == process
             }
             Segment::Branch { either, or } => {
-                system.block(*either).process() == process
-                    && system.block(*or).process() == process
+                system.block(*either).process() == process && system.block(*or).process() == process
             }
             Segment::Delay { .. } => true,
         })
@@ -194,10 +192,7 @@ mod tests {
     #[test]
     fn delay_segments_emit_idle() {
         let (_, _, init, _) = two_block_process();
-        let beh = ProcessBehavior::new(vec![
-            Segment::Delay { max_steps: 10 },
-            Segment::Once(init),
-        ]);
+        let beh = ProcessBehavior::new(vec![Segment::Delay { max_steps: 10 }, Segment::Once(init)]);
         let steps = beh.unroll(&mut unroll_rng(3));
         assert!(matches!(steps[0], UnrolledStep::Idle(n) if n <= 10));
         assert_eq!(steps[1], UnrolledStep::Run(init));

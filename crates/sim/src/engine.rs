@@ -127,7 +127,8 @@ impl<'a> Simulator<'a> {
         let mut latencies = Vec::new();
 
         for (pid, process) in self.system.processes() {
-            let triggers = workloads[pid.index()].times(config.horizon, config.seed + pid.index() as u64);
+            let triggers =
+                workloads[pid.index()].times(config.horizon, config.seed + pid.index() as u64);
             let _ = process;
             let mut available_at = 0u64;
             for &trig in &triggers {
@@ -174,8 +175,7 @@ impl<'a> Simulator<'a> {
                         if !self.spec.is_global_for(k, pid) {
                             continue;
                         }
-                        for (t, &u) in self.schedule.usage(self.system, b, k).iter().enumerate()
-                        {
+                        for (t, &u) in self.schedule.usage(self.system, b, k).iter().enumerate() {
                             if u > 0 {
                                 monitor.record(k.index(), start + t as u64, u);
                             }
@@ -370,6 +370,12 @@ mod tests {
         let spec = SharingSpec::all_global(&sys, 5);
         let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
         let sim = Simulator::new(&sys, &spec, &out.schedule);
-        let _ = sim.run(&[], &SimConfig { horizon: 10, seed: 0 });
+        let _ = sim.run(
+            &[],
+            &SimConfig {
+                horizon: 10,
+                seed: 0,
+            },
+        );
     }
 }

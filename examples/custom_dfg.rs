@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     outcome.schedule.verify(&system)?;
 
     for (_, block) in system.blocks() {
-        println!("\n{}::{}", system.process(block.process()).name(), block.name());
+        println!(
+            "\n{}::{}",
+            system.process(block.process()).name(),
+            block.name()
+        );
         for &o in block.ops() {
             println!(
                 "  {:<6} @ {}",
@@ -56,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.total_area()
     );
 
-    println!("\nGraphviz (pipe into `dot -Tsvg`):\n{}", dot::to_dot(&system));
+    println!(
+        "\nGraphviz (pipe into `dot -Tsvg`):\n{}",
+        dot::to_dot(&system)
+    );
     Ok(())
 }

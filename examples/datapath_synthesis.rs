@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         if label == "global" {
             println!("\nshared-pool datapath:\n{}", datapath.render(&system));
-            let p4_block = system.process(system.process_by_name("P4").expect("paper process"))
+            let p4_block = system
+                .process(system.process_by_name("P4").expect("paper process"))
                 .blocks()[0];
             let controller =
                 build_controller(&system, p4_block, &outcome.schedule, &binding, &registers);

@@ -7,9 +7,7 @@
 //! Run with `cargo run --release --example multi_process_filters`.
 
 use tcms::ir::generators::paper_system;
-use tcms::modulo::{
-    check_execution, random_activations, ModuloScheduler, SharingSpec,
-};
+use tcms::modulo::{check_execution, random_activations, ModuloScheduler, SharingSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (system, types) = paper_system()?;

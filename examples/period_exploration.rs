@@ -6,9 +6,7 @@
 
 use tcms::fds::FdsConfig;
 use tcms::ir::generators::paper_system;
-use tcms::modulo::explore::{
-    auto_assign, pruned_best_period_assignment, sweep_uniform_periods,
-};
+use tcms::modulo::explore::{auto_assign, pruned_best_period_assignment, sweep_uniform_periods};
 use tcms::modulo::SharingSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // example fast.
     let mut base = SharingSpec::all_local(&system);
     base.set_global(types.mul, system.users_of_type(types.mul), 5);
-    if let Some((spec, report, evaluated)) =
-        pruned_best_period_assignment(&system, &base, &config)?
+    if let Some((spec, report, evaluated)) = pruned_best_period_assignment(&system, &base, &config)?
     {
         println!(
             "\npruned period search over the multiplier: best period {} -> area {} ({} schedules evaluated)",

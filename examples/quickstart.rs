@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Inspect: start times, the authorization table, the area.
     for (bid, block) in system.blocks() {
-        println!("\n{}::{}", system.process(block.process()).name(), block.name());
+        println!(
+            "\n{}::{}",
+            system.process(block.process()).name(),
+            block.name()
+        );
         for &o in block.ops() {
             println!(
                 "  {:<6} @ step {}",
@@ -56,10 +60,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = outcome.report();
-    let auth = report.of_type(mul).authorization.as_ref().expect("mul is global");
-    println!("\nshared multipliers: {} (period {})", auth.pool(), auth.period());
+    let auth = report
+        .of_type(mul)
+        .authorization
+        .as_ref()
+        .expect("mul is global");
+    println!(
+        "\nshared multipliers: {} (period {})",
+        auth.pool(),
+        auth.period()
+    );
     for (p, grants) in auth.grants() {
-        println!("  {:<14} grants per slot: {:?}", system.process(*p).name(), grants);
+        println!(
+            "  {:<14} grants per slot: {:?}",
+            system.process(*p).name(),
+            grants
+        );
     }
     println!("total area: {}", report.total_area());
 

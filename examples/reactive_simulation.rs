@@ -20,18 +20,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = vec![
         Trigger::Random { mean_gap: 60 },
         Trigger::Random { mean_gap: 45 },
-        Trigger::Periodic { interval: 75, offset: 10 },
-        Trigger::Burst { count: 3, gap_within: 2, gap_between: 150 },
+        Trigger::Periodic {
+            interval: 75,
+            offset: 10,
+        },
+        Trigger::Burst {
+            count: 3,
+            gap_within: 2,
+            gap_between: 150,
+        },
         Trigger::Random { mean_gap: 30 },
     ];
-    let result = sim.run(&workloads, &SimConfig { horizon: 5_000, seed: 2026 });
+    let result = sim.run(
+        &workloads,
+        &SimConfig {
+            horizon: 5_000,
+            seed: 2026,
+        },
+    );
 
     println!("first events:");
     print!("{}", trace::render_events(&system, &result.events, 15));
 
     println!("\ncompleted activations: {}", result.activations);
-    println!("mean wait (queue + grid alignment): {:.1} steps", result.mean_wait);
-    println!("mean trigger-to-completion latency: {:.1} steps", result.mean_latency);
+    println!(
+        "mean wait (queue + grid alignment): {:.1} steps",
+        result.mean_wait
+    );
+    println!(
+        "mean trigger-to-completion latency: {:.1} steps",
+        result.mean_latency
+    );
     for (k, rt) in system.library().iter() {
         if spec.is_global(k) {
             println!(

@@ -57,7 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drive the channels with independent random DMA requests.
     let sim = Simulator::new(&system, &spec, &outcome.schedule);
     let workloads = vec![Trigger::Random { mean_gap: 25 }; 3];
-    let result = sim.run(&workloads, &SimConfig { horizon: 3_000, seed: 11 });
+    let result = sim.run(
+        &workloads,
+        &SimConfig {
+            horizon: 3_000,
+            seed: 11,
+        },
+    );
     assert!(result.conflicts.is_empty());
     println!(
         "\n{} transfers simulated, zero port/bus conflicts, port utilization {:.0}%",

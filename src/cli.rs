@@ -18,9 +18,7 @@ use std::fmt::Write as _;
 use crate::fds::gantt;
 use crate::ir::generators::paper_library;
 use crate::ir::{display, dot, frontend, parse, System};
-use crate::modulo::{
-    check_execution, random_activations, ModuloScheduler, SharingSpec,
-};
+use crate::modulo::{check_execution, random_activations, ModuloScheduler, SharingSpec};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -219,9 +217,7 @@ fn parse_spec_option(
             let (name, period) = v
                 .split_once('=')
                 .ok_or_else(|| format!("bad assignment `{v}`"))?;
-            let period: u32 = period
-                .parse()
-                .map_err(|_| format!("bad period in `{v}`"))?;
+            let period: u32 = period.parse().map_err(|_| format!("bad period in `{v}`"))?;
             globals.push((name.to_owned(), period));
             Ok(())
         }
@@ -298,7 +294,10 @@ fn schedule_source_full(
     let outcome = ModuloScheduler::new(&system, spec.clone())
         .map_err(|e| e.to_string())?
         .run();
-    outcome.schedule.verify(&system).map_err(|e| e.to_string())?;
+    outcome
+        .schedule
+        .verify(&system)
+        .map_err(|e| e.to_string())?;
     let report = outcome.report();
 
     let mut out = String::new();
@@ -336,7 +335,11 @@ fn schedule_source_full(
         );
     }
     if want_gantt {
-        let _ = writeln!(out, "\n{}", gantt::render_system(&system, &outcome.schedule));
+        let _ = writeln!(
+            out,
+            "\n{}",
+            gantt::render_system(&system, &outcome.schedule)
+        );
     }
     let schedule = outcome.schedule.clone();
     Ok((out, system, schedule))
@@ -373,8 +376,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 schedule_source_full(&read(input)?, *all_global, globals, *gantt, *verify)?;
             if let Some(path) = save {
                 let text = crate::fds::schedule_io::to_sched(&system, &schedule);
-                std::fs::write(path, text)
-                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
                 out.push_str(&format!("schedule saved to {path}\n"));
             }
             Ok(out)
@@ -557,8 +559,15 @@ process b time=8 { z := p * q; }
 
     #[test]
     fn parse_new_commands() {
-        let v = parse_args(&args(&["vhdl", "x.dfg", "--all-global", "3", "--width", "8"]))
-            .unwrap();
+        let v = parse_args(&args(&[
+            "vhdl",
+            "x.dfg",
+            "--all-global",
+            "3",
+            "--width",
+            "8",
+        ]))
+        .unwrap();
         assert_eq!(
             v,
             Command::Vhdl {
@@ -568,8 +577,7 @@ process b time=8 { z := p * q; }
                 width: 8,
             }
         );
-        let c = parse_args(&args(&["check", "x.dfg", "x.sched", "--global", "mul=2"]))
-            .unwrap();
+        let c = parse_args(&args(&["check", "x.dfg", "x.sched", "--global", "mul=2"])).unwrap();
         assert!(matches!(c, Command::Check { .. }));
         assert!(parse_args(&args(&["check", "x.dfg"])).is_err());
         assert!(matches!(

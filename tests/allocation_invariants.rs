@@ -10,11 +10,7 @@ use tcms::modulo::{ModuloScheduler, SharingSpec};
 fn scheduled(
     seed: u64,
     period: u32,
-) -> Option<(
-    tcms::ir::System,
-    SharingSpec,
-    tcms::fds::Schedule,
-)> {
+) -> Option<(tcms::ir::System, SharingSpec, tcms::fds::Schedule)> {
     let cfg = RandomSystemConfig {
         processes: 3,
         blocks_per_process: 2,

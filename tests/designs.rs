@@ -15,7 +15,11 @@ fn checked_in_table1_matches_generator() {
     let text = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
     let parsed = parse_system(&text).unwrap();
     let (generated, _) = paper_system().unwrap();
-    assert_eq!(to_dfg(&parsed), to_dfg(&generated), "regenerate with gen_designs");
+    assert_eq!(
+        to_dfg(&parsed),
+        to_dfg(&generated),
+        "regenerate with gen_designs"
+    );
 }
 
 #[test]

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use tcms::fds::{ForceEvaluator, FdsConfig};
+use tcms::fds::{FdsConfig, ForceEvaluator};
 use tcms::ir::generators::{random_system, RandomSystemConfig};
 use tcms::ir::{FrameTable, TimeFrame};
 use tcms::modulo::{ModuloEvaluator, ModuloField, SharingSpec};

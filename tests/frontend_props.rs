@@ -16,10 +16,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
             (inner.clone(), inner).prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
         ]
     })
@@ -90,8 +88,6 @@ proptest! {
 fn expr_depth(e: &Expr) -> u32 {
     match e {
         Expr::Var(_) | Expr::Const(_) => 0,
-        Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
-            1 + expr_depth(l).max(expr_depth(r))
-        }
+        Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => 1 + expr_depth(l).max(expr_depth(r)),
     }
 }

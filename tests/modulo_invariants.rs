@@ -12,12 +12,12 @@ use tcms::modulo::{
 
 fn small_config() -> impl Strategy<Value = (RandomSystemConfig, u64, u32)> {
     (
-        2usize..5,   // processes
-        1usize..3,   // blocks per process
-        2usize..5,   // layers
-        1usize..4,   // max ops per layer
-        0u64..1000,  // system seed
-        2u32..7,     // period
+        2usize..5,  // processes
+        1usize..3,  // blocks per process
+        2usize..5,  // layers
+        1usize..4,  // max ops per layer
+        0u64..1000, // system seed
+        2u32..7,    // period
     )
         .prop_map(|(procs, blocks, layers, maxops, seed, period)| {
             (

@@ -60,7 +60,9 @@ fn winning_schedule_survives_execution_and_binding() {
     // And the extended area (with registers and muxes) still wins.
     let g_full = full_area_report(&system, &spec, &outcome.schedule, &binding);
     let local_spec = SharingSpec::all_local(&system);
-    let local = ModuloScheduler::new(&system, local_spec.clone()).unwrap().run();
+    let local = ModuloScheduler::new(&system, local_spec.clone())
+        .unwrap()
+        .run();
     let l_binding = bind_system(&system, &local_spec, &local.schedule).unwrap();
     let l_full = full_area_report(&system, &local_spec, &local.schedule, &l_binding);
     assert!(g_full.total() < l_full.total());

@@ -2,10 +2,8 @@
 //! register allocation → datapath/controller → reactive simulation, on
 //! randomized systems.
 
-use tcms::alloc::{
-    allocate_registers, bind_system, build_datapath, full_area_report,
-};
 use tcms::alloc::fsm::build_controllers;
+use tcms::alloc::{allocate_registers, bind_system, build_datapath, full_area_report};
 use tcms::ir::generators::{random_system, RandomSystemConfig};
 use tcms::modulo::{ModuloScheduler, SharingSpec};
 use tcms::sim::{SimConfig, Simulator, Trigger};
@@ -90,9 +88,7 @@ fn pipeline_with_multiblock_processes() {
     outcome.schedule.verify(&system).unwrap();
     let report = outcome.report();
     for seed in 0..10 {
-        let acts =
-            tcms::modulo::random_activations(&system, &spec, &outcome.schedule, 3, seed);
-        tcms::modulo::check_execution(&system, &spec, &outcome.schedule, &report, &acts)
-            .unwrap();
+        let acts = tcms::modulo::random_activations(&system, &spec, &outcome.schedule, 3, seed);
+        tcms::modulo::check_execution(&system, &spec, &outcome.schedule, &report, &acts).unwrap();
     }
 }

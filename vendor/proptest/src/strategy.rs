@@ -1,0 +1,340 @@
+//! Value-generation strategies (no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// previous depth level and returns one producing values one level
+    /// deeper. `depth` bounds the recursion; `_desired_size` and
+    /// `_expected_branch_size` are accepted for upstream compatibility and
+    /// ignored by this shim.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            // Each level mixes all shallower levels with one deeper layer,
+            // so generated values cover every depth up to `depth`.
+            let deeper = recurse(level.clone()).boxed();
+            level = Union::new(vec![level, deeper]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_new_value(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_value(&self, runner: &mut TestRunner) -> S::Value {
+        self.new_value(runner)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.0.dyn_new_value(runner)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Weighted choice between strategies of one value type
+/// ([`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Choice over `arms` proportional to their weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let mut pick = runner.rng().random_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.new_value(runner);
+            }
+            pick -= w;
+        }
+        unreachable!("weights cover the sampled range")
+    }
+}
+
+impl<T: rand::UniformInt + 'static> Strategy for Range<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        runner.rng().random_range(self.clone())
+    }
+}
+
+impl<T: rand::UniformInt + 'static> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        runner.rng().random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$i.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+/// Length specifications accepted by [`vec`].
+pub trait SizeRange {
+    /// Draws a length.
+    fn sample_len(&self, runner: &mut TestRunner) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _runner: &mut TestRunner) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, runner: &mut TestRunner) -> usize {
+        runner.rng().random_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, runner: &mut TestRunner) -> usize {
+        runner.rng().random_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `element` and a length drawn
+/// from `size` (`prop::collection::vec`).
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = self.size.sample_len(runner);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// Uniform choice of one element of `options` (`prop::sample::select`).
+///
+/// # Panics
+///
+/// The returned strategy panics when sampled if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let i = runner.rng().random_range(0..self.options.len());
+        self.options[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{run_cases, ProptestConfig};
+
+    fn sample<S: Strategy>(s: &S, n: u32) -> Vec<S::Value> {
+        let mut out = Vec::new();
+        run_cases(&ProptestConfig::with_cases(n), "sample", |r| {
+            out.push(s.new_value(r));
+            Ok(())
+        });
+        out
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let s = (0u32..10).prop_map(|v| v * 2);
+        for v in sample(&s, 100) {
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn tuples_group_components() {
+        let s = (0u8..4, 10u8..14);
+        for (a, b) in sample(&s, 50) {
+            assert!(a < 4 && (10..14).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let s = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let vals = sample(&s, 100);
+        assert!(vals.contains(&1) && vals.contains(&2));
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let s = vec(0u8..5, 2usize..6);
+        for v in sample(&s, 50) {
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates_and_varies_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let s = Just(Tree::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let depths: Vec<u32> = sample(&s, 200).iter().map(depth).collect();
+        assert!(depths.iter().all(|&d| d <= 4));
+        assert!(depths.contains(&0));
+        assert!(depths.iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    fn select_only_returns_options() {
+        let s = select(vec!["x", "y"]);
+        for v in sample(&s, 40) {
+            assert!(v == "x" || v == "y");
+        }
+    }
+}

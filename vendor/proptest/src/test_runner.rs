@@ -1,0 +1,181 @@
+//! Case execution: configuration, errors and the per-test driver.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (assumed-away) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case found a genuine failure.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of a single property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Source of randomness handed to strategies while a case's inputs are
+/// generated.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    fn from_seed(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a; stable across runs/platforms so failures are reproducible.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` successes, panicking on the first
+/// failure with the case number and reproduction seed.
+///
+/// The seed of case `i` is a pure function of the test name and `i`
+/// (overridable via `PROPTEST_SEED` for reproduction), so runs are
+/// deterministic.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRunner) -> TestCaseResult,
+) {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| name_seed(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while passed < config.cases {
+        let seed = base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        index += 1;
+        let mut runner = TestRunner::from_seed(seed);
+        match case(&mut runner) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property test `{name}`: too many rejected cases \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property test `{name}` failed at case {passed} \
+                     (seed {seed}, rerun with PROPTEST_SEED={base}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_times() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "counter", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut total = 0;
+        let mut kept = 0;
+        run_cases(&ProptestConfig::with_cases(5), "rejector", |_| {
+            total += 1;
+            if total % 2 == 0 {
+                kept += 1;
+                Ok(())
+            } else {
+                Err(TestCaseError::reject("odd"))
+            }
+        });
+        assert_eq!(kept, 5);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run_cases(&ProptestConfig::default(), "failer", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let collect = || {
+            let mut vals = Vec::new();
+            run_cases(&ProptestConfig::with_cases(8), "det", |r| {
+                use rand::Rng;
+                vals.push(r.rng().next_u64());
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the `into_par_iter().map(..).collect::<Vec<_>>()` shape the
+//! workspace uses, executed on scoped OS threads with a shared atomic work
+//! queue. Results are written back by input index, so the collected order
+//! is **deterministic** (identical to the sequential order) regardless of
+//! thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The glob-import surface, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Operations on parallel iterators (the subset this shim supports).
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drains the iterator into an index-ordered `Vec`.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync + Send,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects into `C`, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.run())
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from index-ordered results.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// [`ParallelIterator::map`] adapter; the parallel fan-out happens here.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, O, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync + Send,
+{
+    type Item = O;
+
+    fn run(self) -> Vec<O> {
+        let items = self.inner.run();
+        let n = items.len();
+        if n <= 1 {
+            return items.into_iter().map(self.f).collect();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return items.into_iter().map(self.f).collect();
+        }
+        let f = &self.f;
+        // Work queue: tasks are claimed by index; each worker stashes
+        // `(index, result)` pairs which are merged and re-ordered at the
+        // end, making the output order independent of scheduling.
+        let tasks: Vec<Mutex<Option<I::Item>>> =
+            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, O)> = Vec::with_capacity(n);
+        let collected = Mutex::new(&mut indexed);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = tasks[i]
+                            .lock()
+                            .expect("task mutex poisoned")
+                            .take()
+                            .expect("each task is claimed exactly once");
+                        local.push((i, f(item)));
+                    }
+                    collected
+                        .lock()
+                        .expect("result mutex poisoned")
+                        .extend(local);
+                });
+            }
+        });
+        indexed.sort_by_key(|&(i, _)| i);
+        debug_assert_eq!(indexed.len(), n);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, input.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        let avail = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if avail > 1 {
+            assert!(
+                threads > 1,
+                "expected parallel execution, saw {threads} thread(s)"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![9];
+        let out: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![10]);
+    }
+}
