@@ -26,6 +26,7 @@ use std::fmt;
 use tcms_core::SharingSpec;
 use tcms_fds::Schedule;
 use tcms_ir::{OpId, ProcessId, ResourceTypeId, System};
+use tcms_obs::{span, NoopRecorder, Recorder};
 
 /// Binding failure (currently only incomplete schedules).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +99,45 @@ fn slot_set(start: u32, occ: u32, period: u32) -> Vec<u32> {
 ///
 /// Returns [`BindingError::Unscheduled`] if the schedule is incomplete.
 pub fn bind_system(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+) -> Result<Binding, BindingError> {
+    bind_system_recorded(system, spec, schedule, &NoopRecorder)
+}
+
+/// [`bind_system`] with observability: an `"alloc.bind"` span plus one
+/// `"alloc.pool"` event per resource type with the shared/total instance
+/// counts of the produced binding. The binding itself is unchanged.
+///
+/// # Errors
+///
+/// Same as [`bind_system`].
+pub fn bind_system_recorded(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    rec: &dyn Recorder,
+) -> Result<Binding, BindingError> {
+    let _bind = span!(rec, "alloc.bind", ops = system.num_ops());
+    let binding = bind_impl(system, spec, schedule)?;
+    if rec.enabled() {
+        for k in system.library().ids() {
+            rec.event(
+                "alloc.pool",
+                &[
+                    ("type", system.library().get(k).name().into()),
+                    ("shared", binding.instances_used(k).into()),
+                    ("total", binding.total_instances(k).into()),
+                ],
+            );
+        }
+        rec.counter_add("alloc.bound_ops", system.num_ops() as u64);
+    }
+    Ok(binding)
+}
+
+fn bind_impl(
     system: &System,
     spec: &SharingSpec,
     schedule: &Schedule,

@@ -45,10 +45,10 @@ pub mod regalloc;
 pub mod rtl;
 
 pub use area::{full_area_report, FullAreaReport};
-pub use binding::{bind_system, Binding, BindingError};
+pub use binding::{bind_system, bind_system_recorded, Binding, BindingError};
 pub use datapath::{build_datapath, Component, Datapath};
 pub use fsm::{build_controller, ControlWord, Controller};
 pub use lifetime::{value_lifetimes, Lifetime};
 pub use mux::{estimate_muxes, MuxEstimate};
-pub use regalloc::{allocate_registers, RegisterAllocation};
+pub use regalloc::{allocate_registers, allocate_registers_recorded, RegisterAllocation};
 pub use rtl::{emit_vhdl, RtlError, RtlOptions};

@@ -10,6 +10,7 @@
 
 use tcms_fds::Schedule;
 use tcms_ir::{BlockId, OpId, ProcessId, System};
+use tcms_obs::{span, NoopRecorder, Recorder};
 
 use crate::lifetime::value_lifetimes;
 
@@ -44,6 +45,22 @@ impl RegisterAllocation {
 ///
 /// Panics if the schedule is incomplete.
 pub fn allocate_registers(system: &System, schedule: &Schedule) -> RegisterAllocation {
+    allocate_registers_recorded(system, schedule, &NoopRecorder)
+}
+
+/// [`allocate_registers`] with observability: an `"alloc.regalloc"` span,
+/// one `"alloc.regfile"` event per process and the total register count
+/// as a gauge. The allocation itself is unchanged.
+///
+/// # Panics
+///
+/// Same as [`allocate_registers`].
+pub fn allocate_registers_recorded(
+    system: &System,
+    schedule: &Schedule,
+    rec: &dyn Recorder,
+) -> RegisterAllocation {
+    let _regalloc = span!(rec, "alloc.regalloc", ops = system.num_ops());
     let mut reg = vec![0u32; system.num_ops()];
     let mut per_process = vec![0u32; system.num_processes()];
     for (pid, proc) in system.processes() {
@@ -53,8 +70,21 @@ pub fn allocate_registers(system: &System, schedule: &Schedule) -> RegisterAlloc
             file_size = file_size.max(used);
         }
         per_process[pid.index()] = file_size;
+        if rec.enabled() {
+            rec.event(
+                "alloc.regfile",
+                &[
+                    ("process", proc.name().into()),
+                    ("registers", file_size.into()),
+                ],
+            );
+        }
     }
-    RegisterAllocation { reg, per_process }
+    let alloc = RegisterAllocation { reg, per_process };
+    if rec.enabled() {
+        rec.gauge_set("alloc.total_registers", f64::from(alloc.total_registers()));
+    }
+    alloc
 }
 
 fn allocate_block(system: &System, block: BlockId, schedule: &Schedule, reg: &mut [u32]) -> u32 {

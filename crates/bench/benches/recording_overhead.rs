@@ -1,0 +1,93 @@
+//! Observability overhead: the no-op recorder vs. a live `TraceRecorder`
+//! collecting the full span/event/metrics/timeline stream.
+//!
+//! Three variants of a complete coupled `ModuloScheduler` run on the
+//! 5-process EWF and diffeq systems:
+//!
+//! * `plain` — `run()` (the public API, no recorder parameter at all),
+//! * `noop` — `run_recorded(&NoopRecorder)` (the disabled-recording path:
+//!   one virtual `enabled()` check per phase/iteration),
+//! * `recording` — `run_recorded(&TraceRecorder)` with everything on,
+//!   including the JSONL + Chrome-trace rendering of the collected data.
+//!
+//! `plain` vs `noop` bounds the cost of the observability seams
+//! themselves; `noop` vs `recording` is the price of actually tracing.
+//! Numbers are recorded in EXPERIMENTS.md ("Recording overhead").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tcms_core::{ModuloScheduler, SharingSpec};
+use tcms_ir::generators::{add_diffeq_process, add_ewf_process, paper_library};
+use tcms_ir::{System, SystemBuilder};
+use tcms_obs::{sink, NoopRecorder, TraceRecorder};
+
+/// `n` elliptical wave filter processes, staggered time ranges.
+fn ewf_system(n: usize) -> System {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    for i in 0..n {
+        let range = 20 + 2 * i as u32;
+        add_ewf_process(&mut b, &format!("P{i}"), range, types).expect("ewf process");
+    }
+    b.build().expect("valid system")
+}
+
+/// `n` differential equation solver processes, staggered time ranges.
+fn diffeq_system(n: usize) -> System {
+    let (lib, types) = paper_library();
+    let mut b = SystemBuilder::new(lib);
+    for i in 0..n {
+        let range = 12 + i as u32;
+        add_diffeq_process(&mut b, &format!("P{i}"), range, types).expect("diffeq process");
+    }
+    b.build().expect("valid system")
+}
+
+fn bench_recording_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recording");
+    group.sample_size(10);
+    for (name, system) in [("ewf5", ewf_system(5)), ("diffeq5", diffeq_system(5))] {
+        group.bench_with_input(BenchmarkId::new("plain", name), &system, |b, sys| {
+            b.iter(|| {
+                let spec = SharingSpec::all_global(sys, 5);
+                black_box(
+                    ModuloScheduler::new(sys, spec)
+                        .expect("valid")
+                        .run()
+                        .iterations,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("noop", name), &system, |b, sys| {
+            b.iter(|| {
+                let spec = SharingSpec::all_global(sys, 5);
+                black_box(
+                    ModuloScheduler::new(sys, spec)
+                        .expect("valid")
+                        .run_recorded(&NoopRecorder)
+                        .iterations,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recording", name), &system, |b, sys| {
+            b.iter(|| {
+                let spec = SharingSpec::all_global(sys, 5);
+                let rec = TraceRecorder::new();
+                let out = ModuloScheduler::new(sys, spec)
+                    .expect("valid")
+                    .run_recorded(&rec);
+                let data = rec.finish();
+                black_box((
+                    out.iterations,
+                    sink::to_jsonl(&data).len(),
+                    sink::to_chrome_trace(&data).len(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording_overhead);
+criterion_main!(benches);

@@ -1,8 +1,12 @@
 //! Runs every reproduction binary in sequence — the one-shot harness that
 //! regenerates all tables, figures and ablations of EXPERIMENTS.md.
 //!
-//! Command-line arguments (e.g. `--stats`) are forwarded to every child.
+//! Command-line arguments (e.g. `--stats`, `--metrics`) are forwarded to
+//! every child. The file arguments of `--trace`/`--timeline` are prefixed
+//! with the child's name (`trace.json` → `repro_table1.trace.json`) so the
+//! ten children do not overwrite each other's sink files.
 
+use std::path::Path;
 use std::process::Command;
 
 const TARGETS: &[&str] = &[
@@ -18,6 +22,38 @@ const TARGETS: &[&str] = &[
     "repro_optimality_gap",
 ];
 
+/// Prefixes the file name of an observability sink path with the target
+/// name, keeping any directory components.
+fn per_target_path(target: &str, path: &str) -> String {
+    let p = Path::new(path);
+    let file = p
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_owned());
+    match p.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir
+            .join(format!("{target}.{file}"))
+            .to_string_lossy()
+            .into_owned(),
+        _ => format!("{target}.{file}"),
+    }
+}
+
+/// Rewrites `--trace`/`--timeline` file arguments for one child.
+fn args_for(target: &str, forwarded: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(forwarded.len());
+    let mut it = forwarded.iter();
+    while let Some(a) = it.next() {
+        out.push(a.clone());
+        if a == "--trace" || a == "--timeline" {
+            if let Some(path) = it.next() {
+                out.push(per_target_path(target, path));
+            }
+        }
+    }
+    out
+}
+
 fn main() {
     let exe_dir = std::env::current_exe()
         .expect("own path")
@@ -29,7 +65,7 @@ fn main() {
     for target in TARGETS {
         println!("==================== {target} ====================");
         let status = Command::new(exe_dir.join(target))
-            .args(&forwarded)
+            .args(args_for(target, &forwarded))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
         if !status.success() {

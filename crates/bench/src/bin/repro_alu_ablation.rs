@@ -6,7 +6,7 @@
 //! type used by both the addition and subtraction operations — the
 //! scheduler and the authorization machinery need no changes.
 
-use tcms_bench::TextTable;
+use tcms_bench::{ObsSession, TextTable};
 use tcms_core::{ModuloScheduler, SharingSpec};
 use tcms_ir::generators::{add_diffeq_process, add_ewf_process, PaperTypes};
 use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder};
@@ -36,13 +36,14 @@ fn alu_system() -> (tcms_ir::System, PaperTypes) {
 }
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let (split_sys, split_types) = tcms_ir::generators::paper_system().expect("builds");
     let (alu_sys, alu_types) = alu_system();
 
     let run = |sys: &tcms_ir::System, spec: SharingSpec| {
         ModuloScheduler::new(sys, spec)
             .expect("valid")
-            .run()
+            .run_recorded(obs.recorder())
             .report()
     };
 
@@ -96,4 +97,5 @@ fn main() {
     println!("both operation kinds), but does not pay off on this workload: subtraction");
     println!("usage is tiny, so pricing every adder as a 2-area ALU costs more than the");
     println!("two dedicated subtracters it replaces.");
+    obs.finish();
 }

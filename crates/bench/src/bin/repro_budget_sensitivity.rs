@@ -7,7 +7,7 @@
 //! the one-resource-per-type-and-process floor by a large factor — holds
 //! across every plausible reading of the garbled numbers.
 
-use tcms_bench::TextTable;
+use tcms_bench::{ObsSession, TextTable};
 use tcms_core::{ModuloScheduler, SharingSpec};
 use tcms_ir::generators::{add_diffeq_process, add_ewf_process, paper_library};
 use tcms_ir::SystemBuilder;
@@ -24,6 +24,7 @@ fn build(ewf_t: u32, ewf3_t: u32, diffeq_t: u32) -> tcms_ir::System {
 }
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let mut t = TextTable::new();
     t.row(["T(P1,P2)", "T(P3)", "T(P4,P5)", "global", "local", "ratio"]);
     t.sep();
@@ -40,12 +41,12 @@ fn main() {
         let system = build(ewf_t, ewf3_t, diffeq_t);
         let global = ModuloScheduler::new(&system, SharingSpec::all_global(&system, 5))
             .expect("valid")
-            .run()
+            .run_recorded(obs.recorder())
             .report()
             .total_area();
         let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))
             .expect("valid")
-            .run()
+            .run_recorded(obs.recorder())
             .report()
             .total_area();
         t.row([
@@ -61,4 +62,5 @@ fn main() {
     print!("{}", t.render());
     println!("\nThe paper reports ratio 1.65 with its (OCR-lost) budgets; the shape");
     println!("holds across the whole plausible range.");
+    obs.finish();
 }

@@ -1,7 +1,12 @@
 //! Regenerates Figure 1 of the paper: the periodic access-authorization
 //! mapping of one process onto a globally shared resource type.
+//!
+//! Accepts the observability flags `--trace <file.json>`, `--timeline
+//! <file.jsonl>`, `--metrics` (see `tcms_bench::obs`).
 
 fn main() {
-    let fig = tcms_bench::run_figure1();
+    let obs = tcms_bench::ObsSession::from_env_args();
+    let fig = tcms_bench::run_figure1_recorded(obs.recorder());
     print!("{}", fig.rendered);
+    obs.finish();
 }

@@ -12,25 +12,26 @@
 //! * modulo sharing approaches that area **while keeping the processes
 //!   independent**, which merging cannot.
 
-use tcms_bench::TextTable;
+use tcms_bench::{ObsSession, TextTable};
 use tcms_core::{ModuloScheduler, SharingSpec};
 use tcms_fds::{schedule_system_local, FdsConfig};
 use tcms_ir::generators::paper_system;
 use tcms_ir::transform::merge_processes;
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let (system, types) = paper_system().expect("paper system builds");
 
     // 1. Traditional per-process scheduling (one pool per process).
     let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))
         .expect("valid")
-        .run()
+        .run_recorded(obs.recorder())
         .report();
 
     // 2. The paper's modulo-global sharing (processes stay independent).
     let global = ModuloScheduler::new(&system, SharingSpec::all_global(&system, 5))
         .expect("valid")
-        .run()
+        .run_recorded(obs.recorder())
         .report();
 
     // 3. Merged baseline: one fused process, classical IFDS.
@@ -83,4 +84,5 @@ fn main() {
     println!("deterministic simultaneous triggers. Modulo sharing closes most of the");
     println!("local-to-merged gap while every process keeps its own rate and reacts");
     println!("independently to spontaneous events.");
+    obs.finish();
 }

@@ -3,12 +3,13 @@
 //! lcm up — the paper notes that only combinations complying with the
 //! grid spacings survive the equation-3 filter.
 
-use tcms_bench::TextTable;
+use tcms_bench::{ObsSession, TextTable};
 use tcms_core::period::{combined_spacing, is_harmonic, spacing_feasible};
 use tcms_core::{ModuloScheduler, SharingSpec};
 use tcms_ir::generators::paper_system;
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let (system, types) = paper_system().expect("paper system builds");
     let mut t = TextTable::new();
     t.row([
@@ -44,7 +45,7 @@ fn main() {
         }
         let report = ModuloScheduler::new(&system, spec)
             .expect("valid")
-            .run()
+            .run_recorded(obs.recorder())
             .report();
         t.row([
             pa.to_string(),
@@ -60,4 +61,5 @@ fn main() {
     println!("\nHarmonic sets keep the grid equal to the largest period; incommensurate");
     println!("sets multiply the spacing and are filtered once it exceeds the diffeq");
     println!("processes' budget of 15 steps (equation 3).");
+    obs.finish();
 }

@@ -4,12 +4,13 @@
 //! The paper gives no optimality evidence (FDS is a heuristic); this
 //! study quantifies the gap where exhaustive search is tractable.
 
-use tcms_bench::TextTable;
+use tcms_bench::{ObsSession, TextTable};
 use tcms_core::exact::exact_schedule;
 use tcms_core::{ModuloScheduler, SharingSpec};
 use tcms_ir::generators::{random_system, RandomSystemConfig};
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let cfg = RandomSystemConfig {
         processes: 2,
         blocks_per_process: 1,
@@ -35,7 +36,9 @@ fn main() {
         if !exact.complete {
             continue;
         }
-        let heuristic = ModuloScheduler::new(&sys, spec).expect("valid").run();
+        let heuristic = ModuloScheduler::new(&sys, spec)
+            .expect("valid")
+            .run_recorded(obs.recorder());
         let h = heuristic.report().total_area();
         total_h += h;
         total_e += exact.area;
@@ -55,4 +58,5 @@ fn main() {
         "\naggregate: heuristic {total_h} vs optimum {total_e} over {solved} systems — ratio {:.3}",
         total_h as f64 / total_e as f64
     );
+    obs.finish();
 }

@@ -4,16 +4,20 @@
 //!
 //! Candidate periods are scheduled in parallel (the runs are independent;
 //! output order and results are deterministic). Pass `--stats` to also
-//! print per-period engine instrumentation.
+//! print per-period engine instrumentation, and/or the observability
+//! flags `--trace <file.json>`, `--timeline <file.jsonl>`, `--metrics`.
 
-use tcms_bench::{render_stats, stats_requested, TextTable};
-use tcms_core::explore::sweep_uniform_periods;
+use tcms_bench::{render_stats, stats_requested, ObsSession, TextTable};
+use tcms_core::explore::sweep_uniform_periods_recorded;
 use tcms_fds::FdsConfig;
 use tcms_ir::generators::paper_system;
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let (system, types) = paper_system().expect("paper system builds");
-    let points = sweep_uniform_periods(&system, 1..=15, &FdsConfig::default()).expect("sweep runs");
+    let points =
+        sweep_uniform_periods_recorded(&system, 1..=15, &FdsConfig::default(), obs.recorder())
+            .expect("sweep runs");
     let mut t = TextTable::new();
     t.row([
         "period",
@@ -49,4 +53,5 @@ fn main() {
             );
         }
     }
+    obs.finish();
 }

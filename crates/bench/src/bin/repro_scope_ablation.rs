@@ -1,11 +1,15 @@
 //! Ablation of step (S1): every local/global combination of the three
 //! resource types on the Table-1 system.
+//!
+//! Accepts the observability flags `--trace <file.json>`, `--timeline
+//! <file.jsonl>`, `--metrics` (see `tcms_bench::obs`).
 
-use tcms_bench::TextTable;
+use tcms_bench::{ObsSession, TextTable};
 use tcms_core::{ModuloScheduler, SharingSpec};
 use tcms_ir::generators::paper_system;
 
 fn main() {
+    let obs = ObsSession::from_env_args();
     let (system, types) = paper_system().expect("paper system builds");
     let mut t = TextTable::new();
     t.row(["add", "sub", "mul", "#add", "#sub", "#mul", "area"]);
@@ -21,7 +25,7 @@ fn main() {
         }
         let report = ModuloScheduler::new(&system, spec)
             .expect("valid spec")
-            .run()
+            .run_recorded(obs.recorder())
             .report();
         t.row([
             labels[0].to_owned(),
@@ -37,4 +41,5 @@ fn main() {
     print!("{}", t.render());
     println!("\nSharing the multiplier alone recovers most of the area saving;");
     println!("the paper shares all types to demonstrate many concurrent global sharings.");
+    obs.finish();
 }

@@ -3,10 +3,13 @@
 //! modulo-global vs. traditional pure-local assignment.
 //!
 //! Pass `--stats` to also print the engine instrumentation (candidate
-//! force evaluations, incremental-cache hit rates, phase times).
+//! force evaluations, incremental-cache hit rates, phase times), and/or
+//! the observability flags `--trace <file.json>`, `--timeline
+//! <file.jsonl>`, `--metrics` (see `tcms_bench::obs`).
 
 fn main() {
-    let results = tcms_bench::run_table1();
+    let obs = tcms_bench::ObsSession::from_env_args();
+    let results = tcms_bench::run_table1_recorded(obs.recorder());
     print!("{}", tcms_bench::render_table1(&results));
     if tcms_bench::stats_requested() {
         println!("\nengine instrumentation:");
@@ -14,4 +17,5 @@ fn main() {
             print!("  {}", tcms_bench::render_stats(run.label, &run.stats));
         }
     }
+    obs.finish();
 }

@@ -7,6 +7,7 @@ use tcms_core::{compute_report, ModuloScheduler, ScheduleReport, SharingSpec};
 use tcms_fds::{FdsConfig, ForceEvaluator, IfdsStats, Schedule};
 use tcms_ir::generators::{paper_system, PaperTypes};
 use tcms_ir::{FrameTable, System, TimeFrame};
+use tcms_obs::{span, NoopRecorder, Recorder};
 
 use crate::table::{float_profile, profile, TextTable};
 
@@ -86,11 +87,17 @@ impl Table1Results {
     }
 }
 
-fn timed_run(system: &System, spec: SharingSpec, label: &'static str) -> Table1Run {
+fn timed_run(
+    system: &System,
+    spec: SharingSpec,
+    label: &'static str,
+    rec: &dyn Recorder,
+) -> Table1Run {
+    let _run = span!(rec, "table1.run", label = label);
     let start = Instant::now();
     let out = ModuloScheduler::new(system, spec.clone())
         .expect("valid spec")
-        .run();
+        .run_recorded(rec);
     let wall = start.elapsed();
     Table1Run {
         label,
@@ -105,9 +112,16 @@ fn timed_run(system: &System, spec: SharingSpec, label: &'static str) -> Table1R
 
 /// Runs the full Table-1 experiment (global vs. pure-local).
 pub fn run_table1() -> Table1Results {
+    run_table1_recorded(&NoopRecorder)
+}
+
+/// [`run_table1`] with observability: each of the two scheduling runs is
+/// wrapped in a `"table1.run"` span and records its full S3 convergence
+/// timeline through `rec`. Results are identical to [`run_table1`].
+pub fn run_table1_recorded(rec: &dyn Recorder) -> Table1Results {
     let (system, types) = paper_system().expect("paper system builds");
-    let global = timed_run(&system, paper_spec(&system), "global");
-    let local = timed_run(&system, SharingSpec::all_local(&system), "local");
+    let global = timed_run(&system, paper_spec(&system), "global", rec);
+    let local = timed_run(&system, SharingSpec::all_local(&system), "local", rec);
     Table1Results {
         system,
         types,
@@ -200,11 +214,18 @@ pub struct Figure1Data {
 /// Reproduces Figure 1 for the paper system: process P4 (diffeq) on the
 /// shared multiplier, period 5.
 pub fn run_figure1() -> Figure1Data {
+    run_figure1_recorded(&NoopRecorder)
+}
+
+/// [`run_figure1`] with observability: the scheduling run records its S3
+/// convergence through `rec` under a `"figure1.run"` span.
+pub fn run_figure1_recorded(rec: &dyn Recorder) -> Figure1Data {
+    let _fig = span!(rec, "figure1.run");
     let (system, types) = paper_system().expect("paper system builds");
     let spec = paper_spec(&system);
     let out = ModuloScheduler::new(&system, spec.clone())
         .expect("valid spec")
-        .run();
+        .run_recorded(rec);
     let p4 = system.process_by_name("P4").expect("paper process");
     let block = system.process(p4).blocks()[0];
     let usage = out.schedule.usage(&system, block, types.mul);
@@ -272,6 +293,13 @@ pub struct Figure2Data {
 /// modification hides the displacement of step 2 under the slot maximum
 /// and prefers the periodic alignment.
 pub fn run_figure2() -> Figure2Data {
+    run_figure2_recorded(&NoopRecorder)
+}
+
+/// [`run_figure2`] with observability: the per-candidate force ratings are
+/// recorded as `"figure2.force"` events under a `"figure2.run"` span.
+pub fn run_figure2_recorded(rec: &dyn Recorder) -> Figure2Data {
+    let _fig = span!(rec, "figure2.run");
     use tcms_core::ModuloEvaluator;
     use tcms_fds::ClassicEvaluator;
     use tcms_ir::generators::paper_library;
@@ -325,6 +353,18 @@ pub fn run_figure2() -> Figure2Data {
         .collect();
     let dist = modulo.field().distributions().get(blk, types.add).to_vec();
     let dhat = modulo.field().block_profile(blk, types.add).to_vec();
+    if rec.enabled() {
+        for (i, &cand) in candidates.iter().enumerate() {
+            rec.event(
+                "figure2.force",
+                &[
+                    ("placement", cand.into()),
+                    ("unmodified", unmodified[i].into()),
+                    ("modified", modified[i].into()),
+                ],
+            );
+        }
+    }
 
     let mut rendered = String::from(
         "Figure 2: unmodified vs modified IFDS on the two-operation block (ρ = 2)\n\n",

@@ -20,10 +20,13 @@
 //! gap and scaling with system size.
 
 pub mod experiments;
+pub mod obs;
 pub mod table;
 
 pub use experiments::{
-    paper_spec, render_stats, render_table1, run_figure1, run_figure2, run_table1, stats_requested,
-    Figure1Data, Figure2Data, Table1Results, Table1Run,
+    paper_spec, render_stats, render_table1, run_figure1, run_figure1_recorded, run_figure2,
+    run_figure2_recorded, run_table1, run_table1_recorded, stats_requested, Figure1Data,
+    Figure2Data, Table1Results, Table1Run,
 };
+pub use obs::ObsSession;
 pub use table::{float_profile, profile, TextTable};

@@ -15,6 +15,7 @@
 
 use tcms_fds::{FdsConfig, ForceEvaluator};
 use tcms_ir::{BlockId, FrameTable, OpId, ResourceTypeId, System, TimeFrame};
+use tcms_obs::{Recorder, TimelinePoint};
 
 use crate::assign::SharingSpec;
 use crate::field::ModuloField;
@@ -202,6 +203,34 @@ impl ForceEvaluator for ModuloEvaluator<'_> {
             stamp = stamp.max(self.type_epoch[k.index()]);
         }
         Some(stamp)
+    }
+
+    /// Samples the slot occupancy of every `M_p` and `G_k` profile — the
+    /// paper's Figure-1/2 quantities — as one `"field"` timeline point.
+    /// Called by the engine once per iteration, only while recording.
+    fn record_iteration(&self, rec: &dyn Recorder, iteration: u64) {
+        let lib = self.system.library();
+        let spec = self.field.spec();
+        let mut values = Vec::new();
+        for k in lib.ids() {
+            let Some(group) = spec.group(k) else { continue };
+            let tname = lib.get(k).name();
+            for (slot, &v) in self.field.group_profile(k).iter().enumerate() {
+                values.push((format!("G.{tname}.slot{slot}"), v));
+            }
+            values.push((format!("G.{tname}.peak"), self.field.group_peak(k)));
+            for &p in group {
+                let pname = self.system.process(p).name();
+                for (slot, &v) in self.field.process_profile(p, k).iter().enumerate() {
+                    values.push((format!("M.{tname}.{pname}.slot{slot}"), v));
+                }
+            }
+        }
+        rec.timeline(TimelinePoint {
+            phase: "field",
+            iteration,
+            values,
+        });
     }
 }
 

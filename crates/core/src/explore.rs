@@ -27,6 +27,7 @@
 use rayon::prelude::*;
 use tcms_fds::FdsConfig;
 use tcms_ir::{ResourceTypeId, System};
+use tcms_obs::{span, NoopRecorder, Recorder, TimelinePoint};
 
 use crate::assign::SharingSpec;
 use crate::error::CoreError;
@@ -65,6 +66,23 @@ pub fn sweep_uniform_periods(
     periods: impl IntoIterator<Item = u32>,
     config: &FdsConfig,
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    sweep_uniform_periods_recorded(system, periods, config, &NoopRecorder)
+}
+
+/// [`sweep_uniform_periods`] with observability: one `"sweep"` timeline
+/// point per candidate period. Candidate runs still execute in parallel;
+/// recording happens sequentially after the parallel collect, so the
+/// results and the event stream are deterministic.
+///
+/// # Errors
+///
+/// Same as [`sweep_uniform_periods`].
+pub fn sweep_uniform_periods_recorded(
+    system: &System,
+    periods: impl IntoIterator<Item = u32>,
+    config: &FdsConfig,
+    rec: &dyn Recorder,
+) -> Result<Vec<SweepPoint>, CoreError> {
     // Filter and validate sequentially so the parallel region is
     // infallible and spawns only real work.
     let mut candidates: Vec<(u32, ModuloScheduler<'_>)> = Vec::new();
@@ -76,7 +94,8 @@ pub fn sweep_uniform_periods(
         let scheduler = ModuloScheduler::new(system, spec)?.with_config(config.clone());
         candidates.push((period, scheduler));
     }
-    Ok(candidates
+    let _sweep = span!(rec, "s2.sweep", candidates = candidates.len());
+    let points: Vec<SweepPoint> = candidates
         .into_par_iter()
         .map(|(period, scheduler)| {
             let outcome = scheduler.run();
@@ -88,7 +107,24 @@ pub fn sweep_uniform_periods(
                 stats: outcome.stats,
             }
         })
-        .collect())
+        .collect();
+    if rec.enabled() {
+        for (i, p) in points.iter().enumerate() {
+            rec.counter_add("s2.candidates_scheduled", 1);
+            p.stats.publish(rec);
+            rec.timeline(TimelinePoint {
+                phase: "sweep",
+                iteration: i as u64,
+                values: vec![
+                    ("period".into(), f64::from(p.period)),
+                    ("spacing".into(), f64::from(p.spacing)),
+                    ("area".into(), p.report.total_area() as f64),
+                    ("iterations".into(), p.iterations as f64),
+                ],
+            });
+        }
+    }
+    Ok(points)
 }
 
 /// Exhaustively schedules every feasible period assignment and returns the
@@ -110,6 +146,24 @@ pub fn best_period_assignment(
     config: &FdsConfig,
     limit: Option<usize>,
 ) -> Result<Option<(SharingSpec, ScheduleReport)>, CoreError> {
+    best_period_assignment_recorded(system, base, config, limit, &NoopRecorder)
+}
+
+/// [`best_period_assignment`] with observability: an `"s2.enumerate"` span
+/// around the fan-out, a candidate counter and one `"enumerate"` timeline
+/// point per evaluated assignment (recorded in input order after the
+/// parallel collect).
+///
+/// # Errors
+///
+/// Same as [`best_period_assignment`].
+pub fn best_period_assignment_recorded(
+    system: &System,
+    base: &SharingSpec,
+    config: &FdsConfig,
+    limit: Option<usize>,
+    rec: &dyn Recorder,
+) -> Result<Option<(SharingSpec, ScheduleReport)>, CoreError> {
     base.validate(system)?;
     let globals = base.global_types(system);
     let cands: Vec<Vec<u32>> = globals
@@ -117,6 +171,7 @@ pub fn best_period_assignment(
         .map(|&k| candidate_periods(system, base, k))
         .collect();
     let specs = enumerate_periods(system, base, &globals, &cands, limit);
+    let _enumerate = span!(rec, "s2.enumerate", candidates = specs.len());
     // Validate every candidate before the parallel fan-out.
     let schedulers = specs
         .into_iter()
@@ -132,6 +187,16 @@ pub fn best_period_assignment(
             (spec, report)
         })
         .collect();
+    if rec.enabled() {
+        for (i, (_, report)) in reports.iter().enumerate() {
+            rec.counter_add("s2.candidates_scheduled", 1);
+            rec.timeline(TimelinePoint {
+                phase: "enumerate",
+                iteration: i as u64,
+                values: vec![("area".into(), report.total_area() as f64)],
+            });
+        }
+    }
     // In-order fold with strict `<`: the winner (and any tie-break) is the
     // same one the sequential loop would pick.
     let mut best: Option<(SharingSpec, ScheduleReport)> = None;
@@ -141,6 +206,11 @@ pub fn best_period_assignment(
             .is_none_or(|(_, b)| report.total_area() < b.total_area())
         {
             best = Some((spec, report));
+        }
+    }
+    if rec.enabled() {
+        if let Some((_, report)) = &best {
+            rec.gauge_set("s2.best_area", report.total_area() as f64);
         }
     }
     Ok(best)
@@ -207,6 +277,22 @@ pub fn pruned_best_period_assignment(
     base: &SharingSpec,
     config: &FdsConfig,
 ) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, CoreError> {
+    pruned_best_period_assignment_recorded(system, base, config, &NoopRecorder)
+}
+
+/// [`pruned_best_period_assignment`] with observability: counters for
+/// scheduled vs bound-pruned candidates and a timeline of the incumbent
+/// area as the search tightens.
+///
+/// # Errors
+///
+/// Same as [`pruned_best_period_assignment`].
+pub fn pruned_best_period_assignment_recorded(
+    system: &System,
+    base: &SharingSpec,
+    config: &FdsConfig,
+    rec: &dyn Recorder,
+) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, CoreError> {
     base.validate(system)?;
     let globals = base.global_types(system);
     let cands: Vec<Vec<u32>> = globals
@@ -214,6 +300,7 @@ pub fn pruned_best_period_assignment(
         .map(|&k| candidate_periods(system, base, k))
         .collect();
     let mut specs = enumerate_periods(system, base, &globals, &cands, None);
+    let _pruned = span!(rec, "s2.pruned_search", candidates = specs.len());
     // Most promising (lowest bound) first, so the incumbent tightens early.
     specs.sort_by_key(|s| area_lower_bound(system, s));
     let mut best: Option<(SharingSpec, ScheduleReport)> = None;
@@ -221,6 +308,7 @@ pub fn pruned_best_period_assignment(
     for spec in specs {
         if let Some((_, incumbent)) = &best {
             if area_lower_bound(system, &spec) >= incumbent.total_area() {
+                rec.counter_add("s2.candidates_pruned", 1);
                 continue;
             }
         }
@@ -228,12 +316,25 @@ pub fn pruned_best_period_assignment(
             .with_config(config.clone())
             .run();
         evaluated += 1;
+        rec.counter_add("s2.candidates_scheduled", 1);
         let report = outcome.report();
         if best
             .as_ref()
             .is_none_or(|(_, b)| report.total_area() < b.total_area())
         {
             best = Some((spec, report));
+            if rec.enabled() {
+                rec.timeline(TimelinePoint {
+                    phase: "pruned_search",
+                    iteration: evaluated as u64,
+                    values: vec![(
+                        "incumbent_area".into(),
+                        best.as_ref()
+                            .map(|(_, b)| b.total_area() as f64)
+                            .unwrap_or(0.0),
+                    )],
+                });
+            }
         }
     }
     Ok(best.map(|(s, r)| (s, r, evaluated)))
@@ -252,6 +353,23 @@ pub fn auto_assign(
     period: u32,
     config: &FdsConfig,
 ) -> Result<(SharingSpec, ScheduleReport), CoreError> {
+    auto_assign_recorded(system, period, config, &NoopRecorder)
+}
+
+/// [`auto_assign`] with observability: an `"s1.auto_assign"` span, one
+/// `"s1.globalize"` event per accepted type and the running total area as
+/// an `"s1"` timeline.
+///
+/// # Errors
+///
+/// Same as [`auto_assign`].
+pub fn auto_assign_recorded(
+    system: &System,
+    period: u32,
+    config: &FdsConfig,
+    rec: &dyn Recorder,
+) -> Result<(SharingSpec, ScheduleReport), CoreError> {
+    let _s1 = span!(rec, "s1.auto_assign", period = period);
     let mut spec = SharingSpec::all_local(system);
     let mut report = ModuloScheduler::new(system, spec.clone())?
         .with_config(config.clone())
@@ -259,7 +377,7 @@ pub fn auto_assign(
         .report();
     let mut types: Vec<ResourceTypeId> = system.library().ids().collect();
     types.sort_by_key(|&k| std::cmp::Reverse(system.library().get(k).area()));
-    for k in types {
+    for (trial_no, k) in types.into_iter().enumerate() {
         let users = system.users_of_type(k);
         if users.len() < 2 {
             continue;
@@ -273,9 +391,26 @@ pub fn auto_assign(
             .with_config(config.clone())
             .run()
             .report();
+        rec.counter_add("s1.trials", 1);
         if trial_report.total_area() < report.total_area() {
             spec = trial;
             report = trial_report;
+            if rec.enabled() {
+                rec.event(
+                    "s1.globalize",
+                    &[
+                        ("type", system.library().get(k).name().into()),
+                        ("area", report.total_area().into()),
+                    ],
+                );
+            }
+        }
+        if rec.enabled() {
+            rec.timeline(TimelinePoint {
+                phase: "s1",
+                iteration: trial_no as u64,
+                values: vec![("area".into(), report.total_area() as f64)],
+            });
         }
     }
     Ok((spec, report))

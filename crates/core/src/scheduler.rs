@@ -7,6 +7,7 @@
 
 use tcms_fds::{FdsConfig, IfdsEngine, IfdsStats, Schedule};
 use tcms_ir::System;
+use tcms_obs::{span, NoopRecorder, Recorder};
 
 use crate::assign::SharingSpec;
 use crate::error::CoreError;
@@ -62,7 +63,15 @@ impl<'a> ModuloScheduler<'a> {
     /// Runs the coupled modified IFDS over every block of the system,
     /// with incremental (cached) candidate-force evaluation.
     pub fn run(self) -> ModuloOutcome<'a> {
-        self.run_impl(false)
+        self.run_impl(false, &NoopRecorder)
+    }
+
+    /// [`ModuloScheduler::run`] with observability: the S3 span, the
+    /// engine's per-iteration samples and the evaluator's `M_p`/`G_k`
+    /// field timeline flow into `rec`. The schedule is bit-identical to
+    /// [`ModuloScheduler::run`] (asserted by the integration suite).
+    pub fn run_recorded(self, rec: &dyn Recorder) -> ModuloOutcome<'a> {
+        self.run_impl(false, rec)
     }
 
     /// Reference run without the candidate-force cache — the oracle
@@ -71,11 +80,17 @@ impl<'a> ModuloScheduler<'a> {
     /// feature.
     #[cfg(any(test, feature = "naive-oracle"))]
     pub fn run_naive(self) -> ModuloOutcome<'a> {
-        self.run_impl(true)
+        self.run_impl(true, &NoopRecorder)
     }
 
-    fn run_impl(self, naive: bool) -> ModuloOutcome<'a> {
+    fn run_impl(self, naive: bool, rec: &dyn Recorder) -> ModuloOutcome<'a> {
         let scope: Vec<_> = self.system.block_ids().collect();
+        let _s3 = span!(
+            rec,
+            "s3.schedule",
+            blocks = scope.len(),
+            ops = self.system.num_ops()
+        );
         let engine = IfdsEngine::new(self.system, scope);
         let mut eval = ModuloEvaluator::new(
             self.system,
@@ -87,12 +102,12 @@ impl<'a> ModuloScheduler<'a> {
         let out = if naive {
             engine.run_naive(&mut eval)
         } else {
-            engine.run(&mut eval)
+            engine.run_recorded(&mut eval, rec)
         };
         #[cfg(not(any(test, feature = "naive-oracle")))]
         let out = {
             debug_assert!(!naive, "naive run requires the naive-oracle feature");
-            engine.run(&mut eval)
+            engine.run_recorded(&mut eval, rec)
         };
         debug_assert!(out.schedule.verify(self.system).is_ok());
         ModuloOutcome {

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use tcms_ir::frames::constrained_frames;
 use tcms_ir::{BlockId, FrameTable, OpId, System, TimeFrame};
+use tcms_obs::{span, NoopRecorder, Recorder, TimelinePoint};
 
 use crate::evaluator::ForceEvaluator;
 use crate::schedule::Schedule;
@@ -79,6 +80,23 @@ impl IfdsStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Folds these counters into a recorder's metrics registry, so legacy
+    /// stats blocks and the new observability layer report one consistent
+    /// set of numbers. Wall-clock phases land in `*_us` counters.
+    pub fn publish(&self, rec: &dyn Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter_add("ifds.iterations", self.iterations);
+        rec.counter_add("ifds.ops_evaluated", self.ops_evaluated);
+        rec.counter_add("ifds.cache_hits", self.cache_hits);
+        rec.counter_add("ifds.cache_misses", self.cache_misses);
+        rec.counter_add("ifds.eval_us", self.eval_time.as_micros() as u64);
+        rec.counter_add("ifds.commit_us", self.commit_time.as_micros() as u64);
+        rec.counter_add("ifds.total_us", self.total_time.as_micros() as u64);
+        rec.gauge_set("ifds.hit_rate", self.hit_rate());
     }
 }
 
@@ -185,7 +203,15 @@ impl<'a> IfdsEngine<'a> {
     ///
     /// Produces a schedule identical to [`IfdsEngine::run_naive`].
     pub fn run<E: ForceEvaluator>(self, eval: &mut E) -> IfdsOutcome {
-        self.run_impl(eval, true)
+        self.run_impl(eval, true, &NoopRecorder)
+    }
+
+    /// [`IfdsEngine::run`] with observability: spans, per-iteration
+    /// convergence samples and final counters flow into `rec`. Recording
+    /// is read-only observation — the outcome is bit-identical to
+    /// [`IfdsEngine::run`] (the integration suite asserts this).
+    pub fn run_recorded<E: ForceEvaluator>(self, eval: &mut E, rec: &dyn Recorder) -> IfdsOutcome {
+        self.run_impl(eval, true, rec)
     }
 
     /// Reference run without the candidate-force cache: every candidate is
@@ -193,11 +219,17 @@ impl<'a> IfdsEngine<'a> {
     /// engine. Kept as the equivalence oracle for tests and benches.
     #[cfg(any(test, feature = "naive-oracle"))]
     pub fn run_naive<E: ForceEvaluator>(self, eval: &mut E) -> IfdsOutcome {
-        self.run_impl(eval, false)
+        self.run_impl(eval, false, &NoopRecorder)
     }
 
-    fn run_impl<E: ForceEvaluator>(mut self, eval: &mut E, use_cache: bool) -> IfdsOutcome {
+    fn run_impl<E: ForceEvaluator>(
+        mut self,
+        eval: &mut E,
+        use_cache: bool,
+        rec: &dyn Recorder,
+    ) -> IfdsOutcome {
         let run_started = Instant::now();
+        let _reduce_span = span!(rec, "ifds.reduce", ops = self.scope_ops.len());
         let mut stats = IfdsStats::default();
         // cache[op] = (block frame generation, evaluator context stamp,
         // f_lo, f_hi) at computation time. The sentinel generation
@@ -262,8 +294,11 @@ impl<'a> IfdsEngine<'a> {
                     best = Some((diff, o, cut_low));
                 }
             }
-            stats.eval_time += eval_started.elapsed();
-            let Some((_, o, cut_low)) = best else { break };
+            let eval_elapsed = eval_started.elapsed();
+            stats.eval_time += eval_elapsed;
+            let Some((best_diff, o, cut_low)) = best else {
+                break;
+            };
             let commit_started = Instant::now();
             let fr = self.frames.get(o);
             let nf = if cut_low {
@@ -281,8 +316,37 @@ impl<'a> IfdsEngine<'a> {
                     block_gen[self.system.op(q).block().index()] = self.frames.generation();
                 }
             }
-            stats.commit_time += commit_started.elapsed();
+            let commit_elapsed = commit_started.elapsed();
+            stats.commit_time += commit_elapsed;
             iterations += 1;
+            // Observation only: everything below reads state, never writes
+            // it, so the reduction sequence is identical with recording on.
+            if rec.enabled() {
+                let unfixed = self
+                    .scope_ops
+                    .iter()
+                    .filter(|&&q| !self.frames.get(q).is_fixed())
+                    .count();
+                rec.histogram_record("ifds.iter_eval_us", eval_elapsed.as_micros() as f64);
+                rec.histogram_record("ifds.iter_commit_us", commit_elapsed.as_micros() as f64);
+                rec.event(
+                    "ifds.cut",
+                    &[
+                        ("op", o.index().into()),
+                        ("low_side", cut_low.into()),
+                        ("force_diff", best_diff.into()),
+                    ],
+                );
+                rec.timeline(TimelinePoint {
+                    phase: "ifds",
+                    iteration: iterations,
+                    values: vec![
+                        ("force_diff".into(), best_diff),
+                        ("unfixed_ops".into(), unfixed as f64),
+                    ],
+                });
+                eval.record_iteration(rec, iterations);
+            }
         }
         let mut schedule = Schedule::new(self.system.num_ops());
         for &o in &self.scope_ops {
@@ -290,6 +354,7 @@ impl<'a> IfdsEngine<'a> {
         }
         stats.iterations = iterations;
         stats.total_time = run_started.elapsed();
+        stats.publish(rec);
         IfdsOutcome {
             schedule,
             iterations,
@@ -421,6 +486,32 @@ mod tests {
         assert_eq!(naive.stats.cache_hits, 0);
         assert_eq!(naive.stats.cache_misses, 0);
         assert!(cached.stats.ops_evaluated < naive.stats.ops_evaluated);
+    }
+
+    #[test]
+    fn recorded_run_is_bit_identical_and_captures_iterations() {
+        use tcms_obs::TraceRecorder;
+        let (sys, blk, _) = two_adder_block();
+        let plain = {
+            let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+            IfdsEngine::new(&sys, vec![blk]).run(&mut eval)
+        };
+        let rec = TraceRecorder::new();
+        let recorded = {
+            let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+            IfdsEngine::new(&sys, vec![blk]).run_recorded(&mut eval, &rec)
+        };
+        assert_eq!(plain, recorded);
+        assert_eq!(plain.schedule.starts(), recorded.schedule.starts());
+        let data = rec.finish();
+        assert_eq!(data.metrics.counter("ifds.iterations"), recorded.iterations);
+        tcms_obs::sink::check_span_nesting(&data.events).unwrap();
+        let points = data
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, tcms_obs::TraceEventKind::Point(_)))
+            .count();
+        assert_eq!(points as u64, recorded.iterations);
     }
 
     #[test]

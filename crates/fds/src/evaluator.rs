@@ -6,6 +6,7 @@
 //! balancing) without duplicating the engine.
 
 use tcms_ir::{BlockId, FrameTable, OpId, ResourceTypeId, System, TimeFrame};
+use tcms_obs::Recorder;
 
 use crate::config::FdsConfig;
 use crate::dist::DistributionSet;
@@ -54,6 +55,15 @@ pub trait ForceEvaluator {
     fn context_stamp(&self, block: BlockId) -> Option<u64> {
         let _ = block;
         None
+    }
+
+    /// Observability hook: called once per engine iteration (after the
+    /// commit) when recording is enabled, so evaluators can sample their
+    /// internal state — the modulo evaluator emits the slot occupancy of
+    /// its `M_p`/`G_k` fields here. Only invoked when
+    /// [`Recorder::enabled`] is true; the default records nothing.
+    fn record_iteration(&self, rec: &dyn Recorder, iteration: u64) {
+        let _ = (rec, iteration);
     }
 }
 

@@ -1,0 +1,302 @@
+//! Typed metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is deliberately simple — `BTreeMap`s keyed by static
+//! names, so snapshots render in a stable order — and lives behind the
+//! [`crate::TraceRecorder`]'s interior mutability. `IfdsStats` and other
+//! legacy counter blocks fold into it through plain
+//! [`MetricsRegistry::counter_add`] calls.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram bucket upper bounds: half-decade steps covering
+/// sub-microsecond to multi-second durations (values are unit-free; the
+/// instrumentation records microseconds). A final implicit `+inf` bucket
+/// catches the rest. Fixed at construction so merged/streamed histograms
+/// always line up.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    500_000.0,
+    1_000_000.0,
+];
+
+/// A histogram with a fixed bucket layout chosen at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets (ascending). An implicit last
+    /// bucket covers `(bounds.last(), +inf)`.
+    bounds: Vec<f64>,
+    /// `counts[i]` observations fell into bucket `i` (one more entry than
+    /// `bounds` for the overflow bucket).
+    counts: Vec<u64>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given ascending bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.max)
+    }
+
+    /// The bucket layout (finite upper bounds).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the `+inf` overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound below which at least `q` (in `[0,1]`) of the
+    /// observations fall, estimated from the bucket layout. Returns the
+    /// last finite bound for the overflow bucket.
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Past the last bound is the overflow bucket: report the
+                // observed max.
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at 0).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name`.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records into the histogram `name` (created with
+    /// [`DEFAULT_BUCKETS`] on first use).
+    pub fn histogram_record(&mut self, name: &'static str, value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(DEFAULT_BUCKETS))
+            .record(value);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the human-readable summary table (the `--metrics` sink).
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<32} {v:>12.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (µs unless noted):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} n={:<8} mean={:<10.2} p50<={:<10.2} p99<={:<10.2} max={:.2}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile_bound(0.5),
+                    h.quantile_bound(0.99),
+                    h.max().unwrap_or(0.0),
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a", 2);
+        m.counter_add("a", 3);
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", 2.5);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 5000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(5000.0));
+        assert!((h.mean() - 1011.28).abs() < 0.01);
+        // 3 of 5 observations fall at or below bound 10.0.
+        assert_eq!(h.quantile_bound(0.6), 10.0);
+        // The top quantile lands in the overflow bucket -> observed max.
+        assert_eq!(h.quantile_bound(1.0), 5000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_buckets_rejected() {
+        let _ = Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_renders_all_kinds() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("ifds.iterations", 42);
+        m.gauge_set("field.G.mul.peak", 1.75);
+        m.histogram_record("s3.eval_us", 12.0);
+        let s = m.render_summary();
+        assert!(s.contains("ifds.iterations"));
+        assert!(s.contains("42"));
+        assert!(s.contains("field.G.mul.peak"));
+        assert!(s.contains("s3.eval_us"));
+        assert!(MetricsRegistry::new()
+            .render_summary()
+            .contains("no metrics"));
+    }
+}

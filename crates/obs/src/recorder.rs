@@ -1,0 +1,269 @@
+//! The recording trait, field values, span guards and the no-op recorder.
+
+use std::fmt;
+
+/// A typed field value attached to spans, events and timeline samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (ids, counts, time steps).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point (forces, utilizations).
+    F64(f64),
+    /// Text (names, labels).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+value_from! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Identifier of an open span. `SpanId::NONE` (0) marks "no span", the
+/// id handed out by disabled recorders; recorders start real ids at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span id of disabled recorders.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id refers to a real span.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One convergence-timeline sample: a named phase, an iteration index and
+/// a flat list of `(series, value)` pairs. The JSONL sink writes one line
+/// per point; the Chrome sink maps each point to a counter event so
+/// Perfetto plots the series over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Which loop produced the sample (`"s3"`, `"field"`, `"sweep"`, …).
+    pub phase: &'static str,
+    /// Iteration index within the phase.
+    pub iteration: u64,
+    /// Sampled series values, e.g. `("G.mul.slot3", 1.4)`.
+    pub values: Vec<(String, f64)>,
+}
+
+/// The recording interface every instrumented hot path talks to.
+///
+/// All methods take `&self` (implementations use interior mutability) and
+/// default to no-ops, so the trait is object-safe and a `&dyn Recorder`
+/// can be threaded through engines without generic plumbing.
+///
+/// # Zero-cost contract
+///
+/// Call sites that would *compute* anything for recording (format a
+/// string, snapshot a profile) must gate on [`Recorder::enabled`]. With
+/// the [`NoopRecorder`] that is a single always-false virtual call per
+/// phase, which keeps the scheduling hot loop branch-predictable; the
+/// integration suite asserts schedules are bit-identical with recording
+/// on and off.
+pub trait Recorder {
+    /// Whether this recorder keeps anything at all. Disabled recorders
+    /// return `false` and every other method may be skipped.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a span. Returns the id to pass to [`Recorder::span_exit`];
+    /// prefer the [`crate::span!`] macro / [`crate::span_enter`] guard,
+    /// which pair the exit automatically.
+    fn span_enter(&self, name: &'static str, fields: &[(&'static str, Value)]) -> SpanId {
+        let _ = (name, fields);
+        SpanId::NONE
+    }
+
+    /// Closes a span opened by [`Recorder::span_enter`].
+    fn span_exit(&self, span: SpanId) {
+        let _ = span;
+    }
+
+    /// Records an instant event (e.g. a simulator conflict).
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let _ = (name, fields);
+    }
+
+    /// Adds to a monotone counter.
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets a gauge to its latest value.
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation into a fixed-bucket histogram.
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Appends one convergence-timeline sample.
+    fn timeline(&self, point: TimelinePoint) {
+        let _ = point;
+    }
+}
+
+/// The disabled recorder: a zero-sized type whose every method is the
+/// trait default no-op. This is what release hot paths run against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// RAII guard closing a span on drop. Guards drop in LIFO order, so
+/// nesting is well-formed by construction.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct Span<'r> {
+    rec: Option<&'r dyn Recorder>,
+    id: SpanId,
+}
+
+impl Span<'_> {
+    /// The id of the underlying span (`SpanId::NONE` when disabled).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.span_exit(self.id);
+        }
+    }
+}
+
+/// Opens a span guard on `rec`; the span closes when the guard drops.
+/// With a disabled recorder this is one virtual `enabled()` call and no
+/// allocation.
+pub fn span_enter<'r>(
+    rec: &'r dyn Recorder,
+    name: &'static str,
+    fields: &[(&'static str, Value)],
+) -> Span<'r> {
+    if !rec.enabled() {
+        return Span {
+            rec: None,
+            id: SpanId::NONE,
+        };
+    }
+    Span {
+        rec: Some(rec),
+        id: rec.span_enter(name, fields),
+    }
+}
+
+/// Opens a wall-clock-timed span with named fields:
+///
+/// ```
+/// use tcms_obs::{span, NoopRecorder, Recorder};
+/// let rec = NoopRecorder;
+/// let _guard = span!(&rec, "s3.commit", block = 3u64, process = 1u64);
+/// ```
+///
+/// Field values are anything `Into<Value>`; the guard exits the span when
+/// it drops. With a disabled recorder the field expressions are still
+/// evaluated (keep them to cheap copies like indices) but nothing is
+/// stored.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::span_enter(
+            $rec,
+            $name,
+            &[$((stringify!($key), $crate::Value::from($val))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_inert() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        let id = rec.span_enter("x", &[]);
+        assert!(!id.is_some());
+        rec.span_exit(id);
+        rec.counter_add("c", 1);
+        rec.gauge_set("g", 1.0);
+        rec.histogram_record("h", 1.0);
+        rec.event("e", &[("k", Value::from(1u64))]);
+        rec.timeline(TimelinePoint {
+            phase: "p",
+            iteration: 0,
+            values: vec![],
+        });
+    }
+
+    #[test]
+    fn span_macro_compiles_with_and_without_fields() {
+        let rec = NoopRecorder;
+        let g = span!(&rec, "bare");
+        drop(g);
+        let g = span!(&rec, "fields", a = 1u32, b = 2.5f64, c = "s", d = true);
+        assert_eq!(g.id(), SpanId::NONE);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-3i32), Value::I64(-3));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7usize).to_string(), "7");
+    }
+}

@@ -1,0 +1,285 @@
+//! The collecting recorder behind `--trace`, `--metrics` and
+//! `--timeline`.
+//!
+//! [`TraceRecorder`] buffers everything in memory (interior mutability,
+//! single-threaded — one recorder per scheduling run) and
+//! [`TraceRecorder::finish`] freezes it into a [`TraceData`] that the
+//! sinks in [`crate::sink`] serialize.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+use crate::recorder::{Recorder, SpanId, TimelinePoint, Value};
+
+/// What one recorded event was.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A span opened.
+    SpanEnter {
+        /// Id paired with the matching exit.
+        id: SpanId,
+        /// Span name (e.g. `"s3.commit"`).
+        name: &'static str,
+        /// Attached fields.
+        fields: Vec<(&'static str, Value)>,
+    },
+    /// A span closed.
+    SpanExit {
+        /// Id of the matching enter.
+        id: SpanId,
+    },
+    /// An instant event.
+    Instant {
+        /// Event name (e.g. `"sim.conflict"`).
+        name: &'static str,
+        /// Attached fields.
+        fields: Vec<(&'static str, Value)>,
+    },
+    /// A counter increment (also folded into the metrics registry).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Increment.
+        delta: u64,
+    },
+    /// A convergence-timeline sample.
+    Point(TimelinePoint),
+}
+
+/// One timestamped event of a recording session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// The event payload.
+    pub kind: TraceEventKind,
+}
+
+/// Everything a recording session captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceData {
+    /// Timestamped event stream in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Final counter/gauge/histogram state.
+    pub metrics: MetricsRegistry,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    metrics: MetricsRegistry,
+    next_span: u64,
+    open_spans: Vec<SpanId>,
+}
+
+/// The enabled, collecting [`Recorder`].
+///
+/// Not `Sync` by design: recording is per scheduling run; parallel
+/// design-space exploration records per-candidate results *after* the
+/// parallel region (see `tcms-core::explore`), keeping both the schedule
+/// results and the event stream deterministic.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    started: Instant,
+    inner: RefCell<Inner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// Creates an empty recording session; timestamps are measured from
+    /// this moment.
+    pub fn new() -> Self {
+        TraceRecorder {
+            started: Instant::now(),
+            inner: RefCell::new(Inner {
+                events: Vec::new(),
+                metrics: MetricsRegistry::new(),
+                next_span: 1,
+                open_spans: Vec::new(),
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, kind: TraceEventKind) {
+        let ts_us = self.now_us();
+        self.inner
+            .borrow_mut()
+            .events
+            .push(TraceEvent { ts_us, kind });
+    }
+
+    /// Number of spans currently open (used by tests and the summary).
+    pub fn open_span_depth(&self) -> usize {
+        self.inner.borrow().open_spans.len()
+    }
+
+    /// Freezes the session. Open spans are closed at the final timestamp
+    /// so sinks always see balanced enter/exit pairs.
+    pub fn finish(self) -> TraceData {
+        let mut inner = self.inner.into_inner();
+        while let Some(id) = inner.open_spans.pop() {
+            let ts_us = inner.events.last().map(|e| e.ts_us).unwrap_or(0);
+            inner.events.push(TraceEvent {
+                ts_us,
+                kind: TraceEventKind::SpanExit { id },
+            });
+        }
+        TraceData {
+            events: inner.events,
+            metrics: inner.metrics,
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &'static str, fields: &[(&'static str, Value)]) -> SpanId {
+        let ts_us = self.now_us();
+        let mut inner = self.inner.borrow_mut();
+        let id = SpanId(inner.next_span);
+        inner.next_span += 1;
+        inner.open_spans.push(id);
+        inner.events.push(TraceEvent {
+            ts_us,
+            kind: TraceEventKind::SpanEnter {
+                id,
+                name,
+                fields: fields.to_vec(),
+            },
+        });
+        id
+    }
+
+    fn span_exit(&self, span: SpanId) {
+        if !span.is_some() {
+            return;
+        }
+        let ts_us = self.now_us();
+        let mut inner = self.inner.borrow_mut();
+        // Guards drop LIFO; tolerate (and record) out-of-order exits, the
+        // nesting validator will flag them.
+        if let Some(pos) = inner.open_spans.iter().rposition(|&s| s == span) {
+            inner.open_spans.remove(pos);
+        }
+        inner.events.push(TraceEvent {
+            ts_us,
+            kind: TraceEventKind::SpanExit { id: span },
+        });
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.push(TraceEventKind::Instant {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let ts_us = self.now_us();
+        let mut inner = self.inner.borrow_mut();
+        inner.metrics.counter_add(name, delta);
+        inner.events.push(TraceEvent {
+            ts_us,
+            kind: TraceEventKind::Counter { name, delta },
+        });
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.inner.borrow_mut().metrics.gauge_set(name, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .histogram_record(name, value);
+    }
+
+    fn timeline(&self, point: TimelinePoint) {
+        self.push(TraceEventKind::Point(point));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn records_nested_spans_in_order() {
+        let rec = TraceRecorder::new();
+        {
+            let _a = span!(&rec, "outer", x = 1u64);
+            assert_eq!(rec.open_span_depth(), 1);
+            {
+                let _b = span!(&rec, "inner");
+                assert_eq!(rec.open_span_depth(), 2);
+            }
+            assert_eq!(rec.open_span_depth(), 1);
+        }
+        let data = rec.finish();
+        let kinds: Vec<&TraceEventKind> = data.events.iter().map(|e| &e.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            TraceEventKind::SpanEnter { name: "outer", .. }
+        ));
+        assert!(matches!(
+            kinds[1],
+            TraceEventKind::SpanEnter { name: "inner", .. }
+        ));
+        assert!(matches!(kinds[2], TraceEventKind::SpanExit { .. }));
+        assert!(matches!(kinds[3], TraceEventKind::SpanExit { .. }));
+        crate::sink::check_span_nesting(&data.events).unwrap();
+    }
+
+    #[test]
+    fn counters_fold_into_registry_and_stream() {
+        let rec = TraceRecorder::new();
+        rec.counter_add("c", 2);
+        rec.counter_add("c", 3);
+        rec.gauge_set("g", 9.0);
+        rec.histogram_record("h", 4.0);
+        let data = rec.finish();
+        assert_eq!(data.metrics.counter("c"), 5);
+        assert_eq!(data.metrics.gauge("g"), Some(9.0));
+        assert_eq!(data.metrics.histogram("h").unwrap().count(), 1);
+        let counter_events = data
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Counter { .. }))
+            .count();
+        assert_eq!(counter_events, 2);
+    }
+
+    #[test]
+    fn finish_closes_leaked_spans() {
+        let rec = TraceRecorder::new();
+        let id = rec.span_enter("leaked", &[]);
+        assert!(id.is_some());
+        let data = rec.finish();
+        crate::sink::check_span_nesting(&data.events).unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let rec = TraceRecorder::new();
+        for _ in 0..100 {
+            rec.counter_add("c", 1);
+        }
+        let data = rec.finish();
+        assert!(data.events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+}

@@ -12,6 +12,7 @@
 use tcms_core::{compute_report, ScheduleReport, SharingSpec};
 use tcms_fds::Schedule;
 use tcms_ir::{ResourceTypeId, System};
+use tcms_obs::{span, Recorder};
 
 use crate::behavior::{ProcessBehavior, UnrolledStep};
 use crate::monitor::{Conflict, ResourceMonitor};
@@ -87,6 +88,66 @@ impl<'a> Simulator<'a> {
             .map(|p| ProcessBehavior::linear(self.system, p))
             .collect();
         self.run_behaviors(workloads, &behaviors, config)
+    }
+
+    /// [`Simulator::run`] with observability: a `"sim.run"` span, one
+    /// `"sim.conflict"` event per detected pool overdraw, and activation /
+    /// wait / utilization summaries as counters and gauges. The simulated
+    /// result is identical to [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_recorded(
+        &self,
+        workloads: &[Trigger],
+        config: &SimConfig,
+        rec: &dyn Recorder,
+    ) -> SimResult {
+        let _sim = span!(rec, "sim.run", horizon = config.horizon, seed = config.seed);
+        let result = self.run(workloads, config);
+        if rec.enabled() {
+            self.record_result(&result, rec);
+        }
+        result
+    }
+
+    /// Publishes a finished [`SimResult`] into a recorder (also used by
+    /// [`Simulator::run_recorded`]). Conflicts become `"sim.conflict"`
+    /// instant events — for a correct schedule none is ever emitted.
+    pub fn record_result(&self, result: &SimResult, rec: &dyn Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter_add("sim.activations", result.activations as u64);
+        rec.counter_add("sim.events", result.events.len() as u64);
+        rec.counter_add("sim.conflicts", result.conflicts.len() as u64);
+        rec.gauge_set("sim.mean_wait", result.mean_wait);
+        rec.gauge_set("sim.mean_latency", result.mean_latency);
+        for c in &result.conflicts {
+            rec.event(
+                "sim.conflict",
+                &[
+                    ("type", self.system.library().get(c.rtype).name().into()),
+                    ("time", c.time.into()),
+                    ("used", c.used.into()),
+                    ("available", c.available.into()),
+                ],
+            );
+        }
+        for k in self.system.library().ids() {
+            if self.spec.is_global(k) {
+                rec.event(
+                    "sim.pool",
+                    &[
+                        ("type", self.system.library().get(k).name().into()),
+                        ("utilization", result.utilization[k.index()].into()),
+                        ("peak", result.peak_usage[k.index()].into()),
+                        ("instances", self.report.instances(k).into()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Runs the simulation with explicit per-process behaviours —

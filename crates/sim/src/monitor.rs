@@ -104,6 +104,18 @@ mod tests {
     }
 
     #[test]
+    fn utilization_guards_zero_instances_and_zero_horizon() {
+        // Both divisor factors can be zero independently; each must yield
+        // a defined 0.0 rather than NaN/inf.
+        let m = ResourceMonitor::new(1, 0);
+        assert_eq!(m.utilization(0, 4), 0.0, "zero horizon");
+        assert_eq!(m.utilization(0, 0), 0.0, "zero horizon and instances");
+        let m = ResourceMonitor::new(1, 8);
+        assert_eq!(m.utilization(0, 0), 0.0, "zero instances");
+        assert!(m.utilization(0, 1).is_finite());
+    }
+
+    #[test]
     fn conflicts_detected() {
         let mut m = ResourceMonitor::new(1, 5);
         m.record(0, 2, 4);

@@ -19,6 +19,7 @@ use crate::fds::gantt;
 use crate::ir::generators::paper_library;
 use crate::ir::{display, dot, frontend, parse, System};
 use crate::modulo::{check_execution, random_activations, ModuloScheduler, SharingSpec};
+use crate::obs::{sink, NoopRecorder, Recorder, TraceRecorder};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,14 @@ pub enum Command {
         /// Write the schedule in `.sched` format to this path
         /// (from `--save`).
         save: Option<String>,
+        /// Write a Chrome `trace_event` JSON file to this path
+        /// (from `--trace`; open with Perfetto / about:tracing).
+        trace: Option<String>,
+        /// Print the metrics-registry summary table (from `--metrics`).
+        metrics: bool,
+        /// Write the JSONL event/timeline stream to this path
+        /// (from `--timeline`).
+        timeline: Option<String>,
     },
     /// Re-check a saved `.sched` file against a design.
     Check {
@@ -102,6 +111,11 @@ SCHEDULE OPTIONS:
   --verify <N>            check N randomized grid-aligned executions
   --save <file.sched>     write the schedule to disk
 
+OBSERVABILITY OPTIONS (schedule):
+  --trace <file.json>     write a Chrome trace_event file (Perfetto/about:tracing)
+  --metrics               print the metrics-registry summary table
+  --timeline <file.jsonl> write the JSONL span/event/timeline stream
+
 VHDL OPTIONS: --all-global / --global as above, plus --width <bits>
 ";
 
@@ -133,6 +147,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut gantt = false;
             let mut verify = 0usize;
             let mut save = None;
+            let mut trace = None;
+            let mut metrics = false;
+            let mut timeline = None;
             while let Some(opt) = it.next() {
                 match opt.as_str() {
                     "--gantt" => gantt = true,
@@ -142,6 +159,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--save" => {
                         save = Some(it.next().ok_or("--save needs a path")?.clone());
+                    }
+                    "--trace" => {
+                        trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+                    }
+                    "--metrics" => metrics = true,
+                    "--timeline" => {
+                        timeline = Some(it.next().ok_or("--timeline needs a path")?.clone());
                     }
                     other => parse_spec_option(other, &mut it, &mut all_global, &mut globals)?,
                 }
@@ -153,6 +177,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 gantt,
                 verify,
                 save,
+                trace,
+                metrics,
+                timeline,
             })
         }
         "check" => {
@@ -279,7 +306,15 @@ pub fn schedule_source(
     want_gantt: bool,
     verify: usize,
 ) -> Result<String, String> {
-    schedule_source_full(source, all_global, globals, want_gantt, verify).map(|(s, _, _)| s)
+    schedule_source_full(
+        source,
+        all_global,
+        globals,
+        want_gantt,
+        verify,
+        &NoopRecorder,
+    )
+    .map(|(s, _, _)| s)
 }
 
 fn schedule_source_full(
@@ -288,12 +323,13 @@ fn schedule_source_full(
     globals: &[(String, u32)],
     want_gantt: bool,
     verify: usize,
+    rec: &dyn Recorder,
 ) -> Result<(String, System, crate::fds::Schedule), String> {
     let system = load_system(source)?;
     let spec = build_spec(&system, all_global, globals)?;
     let outcome = ModuloScheduler::new(&system, spec.clone())
         .map_err(|e| e.to_string())?
-        .run();
+        .run_recorded(rec);
     outcome
         .schedule
         .verify(&system)
@@ -371,13 +407,43 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             gantt,
             verify,
             save,
+            trace,
+            metrics,
+            timeline,
         } => {
+            let recording = trace.is_some() || *metrics || timeline.is_some();
+            let recorder = if recording {
+                Some(TraceRecorder::new())
+            } else {
+                None
+            };
+            let rec: &dyn Recorder = match &recorder {
+                Some(r) => r,
+                None => &NoopRecorder,
+            };
             let (mut out, system, schedule) =
-                schedule_source_full(&read(input)?, *all_global, globals, *gantt, *verify)?;
+                schedule_source_full(&read(input)?, *all_global, globals, *gantt, *verify, rec)?;
             if let Some(path) = save {
                 let text = crate::fds::schedule_io::to_sched(&system, &schedule);
                 std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
                 out.push_str(&format!("schedule saved to {path}\n"));
+            }
+            if let Some(recorder) = recorder {
+                let data = recorder.finish();
+                if let Some(path) = trace {
+                    std::fs::write(path, sink::to_chrome_trace(&data))
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    out.push_str(&format!("chrome trace written to {path}\n"));
+                }
+                if let Some(path) = timeline {
+                    std::fs::write(path, sink::to_jsonl(&data))
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    out.push_str(&format!("timeline written to {path}\n"));
+                }
+                if *metrics {
+                    out.push('\n');
+                    out.push_str(&data.metrics.render_summary());
+                }
             }
             Ok(out)
         }
@@ -490,8 +556,40 @@ edge m0 a0
                 gantt: true,
                 verify: 7,
                 save: None,
+                trace: None,
+                metrics: false,
+                timeline: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_observability_options() {
+        let cmd = parse_args(&args(&[
+            "schedule",
+            "x.dfg",
+            "--trace",
+            "t.json",
+            "--metrics",
+            "--timeline",
+            "tl.jsonl",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Schedule {
+                trace,
+                metrics,
+                timeline,
+                ..
+            } => {
+                assert_eq!(trace.as_deref(), Some("t.json"));
+                assert!(metrics);
+                assert_eq!(timeline.as_deref(), Some("tl.jsonl"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_args(&args(&["schedule", "x", "--trace"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x", "--timeline"])).is_err());
     }
 
     #[test]
@@ -600,6 +698,9 @@ process b time=8 { z := p * q; }
             gantt: false,
             verify: 0,
             save: Some(sched.to_string_lossy().into_owned()),
+            trace: None,
+            metrics: false,
+            timeline: None,
         })
         .unwrap();
         assert!(out.contains("schedule saved"));
@@ -611,6 +712,35 @@ process b time=8 { z := p * q; }
         })
         .unwrap();
         assert!(check.contains("schedule valid"), "{check}");
+    }
+
+    #[test]
+    fn schedule_with_observability_writes_valid_sinks() {
+        let dir = std::env::temp_dir().join("tcms_cli_test_obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = dir.join("d.dfg");
+        let trace = dir.join("d.trace.json");
+        let timeline = dir.join("d.timeline.jsonl");
+        std::fs::write(&design, SAMPLE).unwrap();
+        let out = run(&Command::Schedule {
+            input: design.to_string_lossy().into_owned(),
+            all_global: Some(2),
+            globals: vec![],
+            gantt: false,
+            verify: 0,
+            save: None,
+            trace: Some(trace.to_string_lossy().into_owned()),
+            metrics: true,
+            timeline: Some(timeline.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("chrome trace written"), "{out}");
+        assert!(out.contains("timeline written"), "{out}");
+        assert!(out.contains("ifds.iterations"), "{out}");
+        let chrome = std::fs::read_to_string(&trace).unwrap();
+        assert!(sink::validate_chrome_trace(&chrome).unwrap() > 0);
+        let jsonl = std::fs::read_to_string(&timeline).unwrap();
+        assert!(sink::validate_jsonl(&jsonl).unwrap() > 0);
     }
 
     #[test]

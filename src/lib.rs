@@ -9,7 +9,8 @@
 //! * [`modulo`] — the paper's contribution: coupled modulo scheduling with
 //!   global resource sharing,
 //! * [`alloc`] — binding, register allocation and datapath generation,
-//! * [`sim`] — reactive discrete-event simulation of scheduled systems.
+//! * [`sim`] — reactive discrete-event simulation of scheduled systems,
+//! * [`obs`] — structured tracing, metrics and convergence timelines.
 //!
 //! # Quickstart
 //!
@@ -32,4 +33,5 @@ pub use tcms_alloc as alloc;
 pub use tcms_core as modulo;
 pub use tcms_fds as fds;
 pub use tcms_ir as ir;
+pub use tcms_obs as obs;
 pub use tcms_sim as sim;

@@ -31,6 +31,9 @@ fn cli_schedules_checked_in_dfg() {
         gantt: false,
         verify: 3,
         save: None,
+        trace: None,
+        metrics: false,
+        timeline: None,
     })
     .unwrap();
     assert!(out.contains("conflict-free"), "{out}");
@@ -46,6 +49,9 @@ fn cli_schedules_checked_in_behavioral() {
         gantt: false,
         verify: 3,
         save: None,
+        trace: None,
+        metrics: false,
+        timeline: None,
     })
     .unwrap();
     // Two diffeq solvers share a single multiplier pool.

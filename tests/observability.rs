@@ -1,0 +1,116 @@
+//! End-to-end observability guarantees on the paper's 5-process example:
+//! recording must never change scheduling results, and both sink formats
+//! must round-trip through their validating parsers with well-formed span
+//! nesting.
+
+use tcms::ir::generators::paper_system;
+use tcms::modulo::{ModuloScheduler, SharingSpec};
+use tcms::obs::{sink, Recorder, TraceData, TraceEventKind, TraceRecorder};
+
+/// Schedules the paper system twice — plain and recorded — and returns
+/// the recorded run's trace data for the sink tests.
+fn schedule_both() -> TraceData {
+    let (system, _) = paper_system().expect("paper system builds");
+    let spec = SharingSpec::all_global(&system, 5);
+
+    let plain = ModuloScheduler::new(&system, spec.clone())
+        .expect("valid spec")
+        .run();
+
+    let rec = TraceRecorder::new();
+    let recorded = ModuloScheduler::new(&system, spec)
+        .expect("valid spec")
+        .run_recorded(&rec);
+
+    // The tentpole invariant: recording is observation only. Identical
+    // schedules, identical iteration counts, identical resource report.
+    assert_eq!(
+        plain.schedule, recorded.schedule,
+        "recording changed the schedule"
+    );
+    assert_eq!(plain.iterations, recorded.iterations);
+    assert_eq!(plain.report().total_area(), recorded.report().total_area());
+
+    rec.finish()
+}
+
+#[test]
+fn recording_is_bit_identical_and_sinks_validate() {
+    let data = schedule_both();
+    assert!(!data.events.is_empty(), "recorded run captured no events");
+    assert!(!data.metrics.is_empty(), "recorded run captured no metrics");
+
+    // Span nesting is well-formed on the raw event stream.
+    sink::check_span_nesting(&data.events).expect("balanced spans");
+
+    // JSONL round-trips through the parser and stays well-nested.
+    let jsonl = sink::to_jsonl(&data);
+    let records = sink::parse_jsonl(&jsonl).expect("every line parses");
+    assert_eq!(records.len(), data.events.len());
+    sink::check_jsonl_nesting(&records).expect("nesting survives the sink");
+    assert_eq!(sink::validate_jsonl(&jsonl).expect("valid"), records.len());
+
+    // The S3 convergence timeline is present: one "ifds" point per
+    // committed iteration, plus the per-iteration field samples.
+    let timeline_phases: Vec<String> = records
+        .iter()
+        .filter(|r| r.get("type").and_then(|t| t.as_str()) == Some("timeline"))
+        .filter_map(|r| r.get("phase").and_then(|p| p.as_str()).map(str::to_owned))
+        .collect();
+    assert!(
+        timeline_phases.iter().any(|p| p == "ifds"),
+        "missing ifds convergence timeline"
+    );
+    assert!(
+        timeline_phases.iter().any(|p| p == "field"),
+        "missing M_p/G_k field timeline"
+    );
+
+    // The Chrome trace validates and contains the scheduler spans.
+    let chrome = sink::to_chrome_trace(&data);
+    assert!(sink::validate_chrome_trace(&chrome).expect("valid trace") > 0);
+    assert!(chrome.contains("s3.schedule"));
+    assert!(chrome.contains("ifds.reduce"));
+}
+
+#[test]
+fn field_timeline_tracks_every_slot_of_the_shared_types() {
+    let data = schedule_both();
+    // Every global type of the paper spec has period 5 → the field
+    // timeline must carry G.<type>.slot0..slot4 and the per-process
+    // M.<process> series for the multiplier.
+    let mut series: Vec<String> = Vec::new();
+    for ev in &data.events {
+        if let TraceEventKind::Point(p) = &ev.kind {
+            if p.phase == "field" {
+                for (name, _) in &p.values {
+                    if !series.contains(name) {
+                        series.push(name.clone());
+                    }
+                }
+            }
+        }
+    }
+    for slot in 0..5 {
+        assert!(
+            series.iter().any(|s| s == &format!("G.mul.slot{slot}")),
+            "missing G.mul.slot{slot} in {series:?}"
+        );
+    }
+    assert!(series.iter().any(|s| s == "G.mul.peak"));
+    assert!(series.iter().any(|s| s.starts_with("M.mul.P4.slot")));
+}
+
+#[test]
+fn noop_recorder_records_nothing() {
+    let rec = tcms::obs::NoopRecorder;
+    assert!(!rec.enabled());
+    let (system, _) = paper_system().expect("paper system builds");
+    let spec = SharingSpec::all_global(&system, 5);
+    // Running through the recorded path with the no-op recorder is the
+    // default `run()`; it must succeed and produce a complete schedule.
+    let out = ModuloScheduler::new(&system, spec)
+        .expect("valid spec")
+        .run_recorded(&rec);
+    out.schedule.verify(&system).expect("complete schedule");
+}
