@@ -64,7 +64,10 @@ mod tests {
 
     fn report(spec: &SharingSpec) -> FullAreaReport {
         let (sys, _) = paper_system().unwrap();
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, spec, &out.schedule).unwrap();
         full_area_report(&sys, spec, &out.schedule, &binding)
     }

@@ -265,7 +265,10 @@ mod tests {
     ) {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let schedule = out.schedule.clone();
         (sys, t, spec, schedule)
     }
@@ -340,7 +343,10 @@ mod tests {
     fn local_binding_matches_local_counts() {
         let (sys, _, _, _) = global_setup();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
         let report = compute_report(&sys, &spec, &out.schedule);
         for k in sys.library().ids() {

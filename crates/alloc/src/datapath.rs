@@ -173,7 +173,10 @@ mod tests {
     fn datapath() -> (tcms_ir::System, Datapath) {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
         let regs = allocate_registers(&sys, &out.schedule);
         let dp = build_datapath(&sys, &spec, &out.schedule, &binding, &regs);
@@ -192,7 +195,10 @@ mod tests {
     fn fu_count_matches_binding_totals() {
         let (sys, dp) = datapath();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
         let expected: u32 = sys
             .library()

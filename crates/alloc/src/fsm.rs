@@ -135,7 +135,10 @@ mod tests {
     ) {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let schedule = out.schedule.clone();
         let binding = bind_system(&sys, &spec, &schedule).unwrap();
         let regs = allocate_registers(&sys, &schedule);

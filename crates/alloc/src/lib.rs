@@ -27,7 +27,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let (sys, _) = paper_system()?;
 //! let spec = SharingSpec::all_global(&sys, 5);
-//! let out = ModuloScheduler::new(&sys, spec.clone())?.run();
+//! let out = ModuloScheduler::new(&sys, spec.clone())?.run()?;
 //! let binding = bind_system(&sys, &spec, &out.schedule)?;
 //! let report = full_area_report(&sys, &spec, &out.schedule, &binding);
 //! assert!(report.fu_area > 0);

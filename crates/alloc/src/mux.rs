@@ -127,7 +127,10 @@ mod tests {
 
     fn estimate(spec: &SharingSpec) -> (MuxEstimate, u64) {
         let (sys, _) = paper_system().unwrap();
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, spec, &out.schedule).unwrap();
         let regs = allocate_registers(&sys, &out.schedule);
         let est = estimate_muxes(&sys, spec, &out.schedule, &binding, &regs);

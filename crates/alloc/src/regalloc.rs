@@ -162,7 +162,7 @@ mod tests {
     fn paper_system_register_files_are_per_process() {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
         let alloc = allocate_registers(&sys, &out.schedule);
         let total: u32 = sys.process_ids().map(|p| alloc.process_registers(p)).sum();
         assert_eq!(alloc.total_registers(), total);
@@ -175,7 +175,7 @@ mod tests {
     fn register_indices_stay_below_file_size() {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
         let alloc = allocate_registers(&sys, &out.schedule);
         for (o, op) in sys.ops() {
             let p = sys.block(op.block()).process();

@@ -424,7 +424,10 @@ mod tests {
     fn emit() -> (tcms_ir::System, String) {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
         let regs = allocate_registers(&sys, &out.schedule);
         let vhdl = emit_vhdl(
@@ -492,7 +495,7 @@ mod tests {
         let (sys, vhdl) = emit();
         let regs = {
             let spec = SharingSpec::all_global(&sys, 5);
-            let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+            let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
             allocate_registers(&sys, &out.schedule)
         };
         for (pid, proc) in sys.processes() {
@@ -520,7 +523,10 @@ mod tests {
         b.add_op(b3, "z", types.add).unwrap();
         let sys = b.build().unwrap();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let binding = bind_system(&sys, &spec, &out.schedule).unwrap();
         let regs = allocate_registers(&sys, &out.schedule);
         let err = emit_vhdl(

@@ -25,7 +25,13 @@ fn bench_fds(c: &mut Criterion) {
             b.iter(|| black_box(schedule_block_fds(&sys, blk, &FdsConfig::default()).iterations))
         });
         group.bench_with_input(BenchmarkId::new("ifds", time), &time, |b, _| {
-            b.iter(|| black_box(schedule_block_ifds(&sys, blk, &FdsConfig::default()).iterations))
+            b.iter(|| {
+                black_box(
+                    schedule_block_ifds(&sys, blk, &FdsConfig::default())
+                        .expect("feasible")
+                        .iterations,
+                )
+            })
         });
     }
     group.finish();

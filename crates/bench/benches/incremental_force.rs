@@ -82,6 +82,7 @@ fn bench_scheduler(c: &mut Criterion) {
                     ModuloScheduler::new(sys, spec)
                         .expect("valid")
                         .run()
+                        .expect("feasible")
                         .iterations,
                 )
             })
@@ -93,6 +94,7 @@ fn bench_scheduler(c: &mut Criterion) {
                     ModuloScheduler::new(sys, spec)
                         .expect("valid")
                         .run_naive()
+                        .expect("feasible")
                         .iterations,
                 )
             })

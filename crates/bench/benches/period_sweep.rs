@@ -14,7 +14,10 @@ fn bench_periods(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
             b.iter(|| {
                 let spec = SharingSpec::all_global(&system, p);
-                let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+                let out = ModuloScheduler::new(&system, spec)
+                    .expect("valid")
+                    .run()
+                    .unwrap();
                 black_box(out.report().total_area())
             })
         });

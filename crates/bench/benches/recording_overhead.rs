@@ -55,6 +55,7 @@ fn bench_recording_overhead(c: &mut Criterion) {
                     ModuloScheduler::new(sys, spec)
                         .expect("valid")
                         .run()
+                        .expect("feasible")
                         .iterations,
                 )
             })
@@ -66,6 +67,7 @@ fn bench_recording_overhead(c: &mut Criterion) {
                     ModuloScheduler::new(sys, spec)
                         .expect("valid")
                         .run_recorded(&NoopRecorder)
+                        .expect("feasible")
                         .iterations,
                 )
             })
@@ -76,7 +78,8 @@ fn bench_recording_overhead(c: &mut Criterion) {
                 let rec = TraceRecorder::new();
                 let out = ModuloScheduler::new(sys, spec)
                     .expect("valid")
-                    .run_recorded(&rec);
+                    .run_recorded(&rec)
+                    .expect("feasible");
                 let data = rec.finish();
                 black_box((
                     out.iterations,

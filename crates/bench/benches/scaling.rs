@@ -21,7 +21,10 @@ fn bench_scaling(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let spec = SharingSpec::all_global(&system, 4);
-                    let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+                    let out = ModuloScheduler::new(&system, spec)
+                        .expect("valid")
+                        .run()
+                        .unwrap();
                     black_box(out.iterations)
                 })
             },

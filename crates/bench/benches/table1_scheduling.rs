@@ -15,14 +15,20 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function("global_modulo", |b| {
         b.iter(|| {
             let spec = SharingSpec::all_global(&system, 5);
-            let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+            let out = ModuloScheduler::new(&system, spec)
+                .expect("valid")
+                .run()
+                .unwrap();
             black_box(out.report().total_area())
         })
     });
     group.bench_function("pure_local", |b| {
         b.iter(|| {
             let spec = SharingSpec::all_local(&system);
-            let out = ModuloScheduler::new(&system, spec).expect("valid").run();
+            let out = ModuloScheduler::new(&system, spec)
+                .expect("valid")
+                .run()
+                .unwrap();
             black_box(out.report().total_area())
         })
     });

@@ -19,6 +19,7 @@ const TARGETS: &[&str] = &[
     "repro_merging_baseline",
     "repro_alu_ablation",
     "repro_mixed_periods",
+    "repro_fault_sweep",
     "repro_optimality_gap",
 ];
 

@@ -44,6 +44,7 @@ fn main() {
         ModuloScheduler::new(sys, spec)
             .expect("valid")
             .run_recorded(obs.recorder())
+            .expect("paper specs are feasible under an unlimited budget")
             .report()
     };
 

@@ -42,11 +42,13 @@ fn main() {
         let global = ModuloScheduler::new(&system, SharingSpec::all_global(&system, 5))
             .expect("valid")
             .run_recorded(obs.recorder())
+            .expect("sweep budgets are feasible")
             .report()
             .total_area();
         let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))
             .expect("valid")
             .run_recorded(obs.recorder())
+            .expect("local sharing is always feasible")
             .report()
             .total_area();
         t.row([

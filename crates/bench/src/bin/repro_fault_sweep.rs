@@ -1,0 +1,119 @@
+//! Fault-injection sweep over the paper's Table-1 system.
+//!
+//! The static access authorization is proved conflict-free only for the
+//! fault-free model. This sweep measures how a scheduled system behaves
+//! when that model is violated deterministically: trigger jitter,
+//! dropped authorization slots and transient pool outages, each swept
+//! separately and combined, across three fixed fault seeds. Reported per
+//! row: dropped slots, outage exposure, authorization violations against
+//! the outage-reduced pools, missed deadlines (beyond the nominal span
+//! plus slack) and the backlog drain time.
+//!
+//! Every run derives all randomness from the printed seeds, so the table
+//! is bit-identical across invocations — see EXPERIMENTS.md §"Fault
+//! injection".
+
+use tcms_bench::{ObsSession, TextTable};
+use tcms_core::{ModuloScheduler, SharingSpec};
+use tcms_ir::generators::paper_system;
+use tcms_sim::{FaultPlan, SimConfig, Simulator, Trigger};
+
+const HORIZON: u64 = 5_000;
+const MEAN_GAP: u64 = 40;
+const FAULT_SEEDS: [u64; 3] = [11, 23, 47];
+
+fn plan_rows() -> Vec<(&'static str, FaultPlan)> {
+    let jitter = {
+        let mut p = FaultPlan::quiet(0);
+        p.trigger_jitter = 5;
+        p.deadline_slack = 5;
+        p
+    };
+    let drops = {
+        let mut p = FaultPlan::quiet(0);
+        p.drop_slot_prob = 0.10;
+        p.deadline_slack = 5;
+        p
+    };
+    let outages = {
+        let mut p = FaultPlan::quiet(0);
+        p.outage_rate = 0.005;
+        p.repair_time = 30;
+        p.deadline_slack = 5;
+        p
+    };
+    vec![
+        ("none", FaultPlan::quiet(0)),
+        ("jitter", jitter),
+        ("slot-drops", drops),
+        ("outages", outages),
+        ("combined", FaultPlan::moderate(0)),
+    ]
+}
+
+fn main() {
+    let obs = ObsSession::from_env_args();
+    let (system, _) = paper_system().expect("paper system builds");
+    let spec = SharingSpec::all_global(&system, 5);
+    let outcome = ModuloScheduler::new(&system, spec.clone())
+        .expect("paper spec is valid")
+        .run()
+        .expect("paper spec is feasible");
+    let sim = Simulator::new(&system, &spec, &outcome.schedule);
+    let workloads = vec![Trigger::Random { mean_gap: MEAN_GAP }; system.num_processes()];
+
+    println!(
+        "Fault sweep: paper Table-1 system, all-global rho=5, horizon {HORIZON}, \
+         random workload mean gap {MEAN_GAP}, fault seeds {FAULT_SEEDS:?}\n"
+    );
+    let mut t = TextTable::new();
+    t.row([
+        "faults",
+        "seed",
+        "dropped",
+        "outages",
+        "down-steps",
+        "auth-viol",
+        "missed",
+        "drain",
+    ]);
+    t.sep();
+    for (label, base) in plan_rows() {
+        for seed in FAULT_SEEDS {
+            let mut plan = base.clone();
+            plan.seed = seed;
+            let (result, m) = sim.run_with_faults_recorded(
+                &workloads,
+                &SimConfig {
+                    horizon: HORIZON,
+                    seed: 1,
+                },
+                &plan,
+                obs.recorder(),
+            );
+            assert!(
+                result.conflicts.is_empty(),
+                "full pools must never be overdrawn — faults only delay or shrink"
+            );
+            t.row([
+                label.to_owned(),
+                seed.to_string(),
+                m.dropped_slots.to_string(),
+                m.outages.to_string(),
+                m.outage_instance_steps.to_string(),
+                m.authorization_violations.to_string(),
+                m.missed_deadlines.to_string(),
+                m.time_to_drain.to_string(),
+            ]);
+        }
+        t.sep();
+    }
+    print!("{}", t.render());
+    println!(
+        "\nReading: `auth-viol` counts steps where the static authorization used an\n\
+         instance that an outage had taken down — the executive-free guarantee holds\n\
+         exactly in the rows without outages. `missed` counts activations finishing\n\
+         later than their nominal span plus the plan's slack."
+    );
+    obs.finish();
+}

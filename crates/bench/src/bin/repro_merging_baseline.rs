@@ -26,17 +26,20 @@ fn main() {
     let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))
         .expect("valid")
         .run_recorded(obs.recorder())
+        .expect("paper specs are feasible under an unlimited budget")
         .report();
 
     // 2. The paper's modulo-global sharing (processes stay independent).
     let global = ModuloScheduler::new(&system, SharingSpec::all_global(&system, 5))
         .expect("valid")
         .run_recorded(obs.recorder())
+        .expect("paper specs are feasible under an unlimited budget")
         .report();
 
     // 3. Merged baseline: one fused process, classical IFDS.
     let merged_sys = merge_processes(&system).expect("merge succeeds");
-    let merged_out = schedule_system_local(&merged_sys, &FdsConfig::default());
+    let merged_out = schedule_system_local(&merged_sys, &FdsConfig::default())
+        .expect("unlimited budget cannot trip");
     merged_out
         .schedule
         .verify(&merged_sys)

@@ -46,6 +46,7 @@ fn main() {
         let report = ModuloScheduler::new(&system, spec)
             .expect("valid")
             .run_recorded(obs.recorder())
+            .expect("paper specs are feasible under an unlimited budget")
             .report();
         t.row([
             pa.to_string(),

@@ -38,7 +38,8 @@ fn main() {
         }
         let heuristic = ModuloScheduler::new(&sys, spec)
             .expect("valid")
-            .run_recorded(obs.recorder());
+            .run_recorded(obs.recorder())
+            .expect("random specs that pass eq. 3 are feasible");
         let h = heuristic.report().total_area();
         total_h += h;
         total_e += exact.area;

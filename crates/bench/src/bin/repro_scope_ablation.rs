@@ -26,6 +26,7 @@ fn main() {
         let report = ModuloScheduler::new(&system, spec)
             .expect("valid spec")
             .run_recorded(obs.recorder())
+            .expect("paper specs are feasible under an unlimited budget")
             .report();
         t.row([
             labels[0].to_owned(),

@@ -97,7 +97,8 @@ fn timed_run(
     let start = Instant::now();
     let out = ModuloScheduler::new(system, spec.clone())
         .expect("valid spec")
-        .run_recorded(rec);
+        .run_recorded(rec)
+        .expect("paper specs are feasible under an unlimited budget");
     let wall = start.elapsed();
     Table1Run {
         label,
@@ -225,7 +226,8 @@ pub fn run_figure1_recorded(rec: &dyn Recorder) -> Figure1Data {
     let spec = paper_spec(&system);
     let out = ModuloScheduler::new(&system, spec.clone())
         .expect("valid spec")
-        .run_recorded(rec);
+        .run_recorded(rec)
+        .expect("paper specs are feasible under an unlimited budget");
     let p4 = system.process_by_name("P4").expect("paper process");
     let block = system.process(p4).blocks()[0];
     let usage = out.schedule.usage(&system, block, types.mul);
@@ -330,6 +332,7 @@ pub fn run_figure2_recorded(rec: &dyn Recorder) -> Figure2Data {
     let cfg = FdsConfig {
         lookahead: 0.0,
         spring_weights: tcms_fds::SpringWeights::Uniform,
+        ..FdsConfig::default()
     };
     let classic = ClassicEvaluator::new(&system, &[blk], cfg.clone());
     // ClassicEvaluator builds from initial frames; rebuild its view of the

@@ -9,7 +9,7 @@
 use tcms_ir::{BlockId, ProcessId, ResourceTypeId, System};
 
 use crate::error::CoreError;
-use crate::modulo::lcm;
+use crate::modulo::{checked_lcm, lcm};
 
 /// Sharing scope of one resource type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,6 +214,18 @@ impl SharingSpec {
                 }
             }
         }
+        // Equation-3 screen against arithmetic overflow: every process's
+        // grid spacing must fit in u32, so the unchecked `lcm` used on the
+        // hot paths is safe for validated specifications.
+        for p in system.process_ids() {
+            let mut acc: u32 = 1;
+            for k in self.global_types_of_process(system, p) {
+                let period = self.period(k).expect("global types have periods");
+                acc = checked_lcm(acc, period).ok_or_else(|| CoreError::PeriodGridOverflow {
+                    process: system.process(p).name().to_owned(),
+                })?;
+            }
+        }
         Ok(())
     }
 }
@@ -334,6 +346,24 @@ mod tests {
         let (sys, t) = paper_system().unwrap();
         let mut spec = SharingSpec::all_local(&sys);
         spec.set_period(t.mul, 7);
+    }
+
+    #[test]
+    fn overflowing_period_grid_rejected() {
+        // Two near-u32::MAX co-prime periods: each fits, their lcm does
+        // not. Validation must reject instead of wrapping silently.
+        let (sys, t) = paper_system().unwrap();
+        let mut spec = SharingSpec::all_local(&sys);
+        spec.set_global(t.add, sys.users_of_type(t.add), u32::MAX - 4);
+        spec.set_global(t.mul, sys.users_of_type(t.mul), u32::MAX - 58);
+        assert!(matches!(
+            spec.validate(&sys),
+            Err(CoreError::PeriodGridOverflow { .. })
+        ));
+        // A single huge period is fine by itself (spacing = the period).
+        let mut single = SharingSpec::all_local(&sys);
+        single.set_global(t.add, sys.users_of_type(t.add), u32::MAX - 4);
+        single.validate(&sys).unwrap();
     }
 
     #[test]

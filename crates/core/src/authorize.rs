@@ -113,7 +113,10 @@ mod tests {
     fn table_matches_schedule_usage() {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let table = AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).unwrap();
         assert_eq!(table.period(), 5);
         assert_eq!(table.grants().len(), 5);
@@ -134,7 +137,10 @@ mod tests {
     fn local_type_has_no_table() {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.mul).is_none());
     }
 
@@ -142,7 +148,10 @@ mod tests {
     fn granted_at_is_periodic() {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let table = AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.add).unwrap();
         let p0 = sys.process_ids().next().unwrap();
         for t0 in 0..5u64 {
@@ -157,7 +166,10 @@ mod tests {
     fn outside_process_gets_zero() {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         // Subtracter group contains only the diffeq processes.
         let table = AuthorizationTable::from_schedule(&sys, &spec, &out.schedule, t.sub).unwrap();
         let p1 = sys.process_by_name("P1").unwrap();

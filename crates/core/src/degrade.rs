@@ -1,0 +1,627 @@
+//! Graceful-degradation ladder over the coupled modulo scheduler.
+//!
+//! A specification can fail the coupled run for reasons the caller may
+//! prefer to trade against rather than abort on: the equation-3 grid is
+//! infeasible, or the configured [`tcms_fds::RunBudget`] trips first.
+//! [`schedule_with_degradation`] retries with progressively weaker — but
+//! always explicit — concessions:
+//!
+//! 1. **Relax periods** ([`Rung::RelaxPeriods`]): raise every global
+//!    period to the harmonic ceiling (the largest period in use), which
+//!    collapses each process's grid spacing from an lcm to that single
+//!    value — the upward move along the S2 candidate grid.
+//! 2. **Demote groups** ([`Rung::DemoteGroup`]): return the tightest
+//!    global group (largest period — the binding resource of the
+//!    infeasibility) to the traditional local assignment, one group per
+//!    attempt.
+//! 3. **Widen time** ([`Rung::WidenTime`]): scale every block's time
+//!    range by a bounded factor
+//!    ([`tcms_ir::transform::widen_time_ranges`]), restoring the original
+//!    sharing specification — latency is sacrificed, area is not.
+//! 4. **Resource-constrained fallback** ([`Rung::RcFallback`]): abandon
+//!    time-constrained scheduling and list-schedule with per-block
+//!    concurrency limits ([`crate::rc::rc_modulo_schedule`]) under the
+//!    all-local specification. This rung always has a feasible solution.
+//!
+//! Every attempt — successful or not — is recorded both in the returned
+//! [`LadderOutcome::attempts`] trail and as a `degrade.rung` timeline
+//! event on the [`Recorder`]. Every emitted schedule is re-verified
+//! (structural verification plus randomized grid-aligned executions)
+//! before it is returned; a schedule that fails re-verification is
+//! discarded and the ladder keeps climbing.
+
+use tcms_fds::{FdsConfig, Schedule};
+use tcms_ir::transform::widen_time_ranges;
+use tcms_ir::System;
+use tcms_obs::{span, NoopRecorder, Recorder};
+
+use crate::assign::SharingSpec;
+use crate::error::ScheduleError;
+use crate::period::spacing_budget;
+use crate::rc::rc_modulo_schedule;
+use crate::report::{compute_report, ScheduleReport};
+use crate::scheduler::ModuloScheduler;
+use crate::verify::{check_execution, random_activations};
+
+/// The ladder rung that produced (or attempted) a schedule, ordered from
+/// no degradation to full fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The specification as given — no degradation.
+    Direct,
+    /// Global periods raised to their harmonic ceiling.
+    RelaxPeriods,
+    /// One or more global groups demoted to local pools.
+    DemoteGroup,
+    /// Block time ranges widened by a bounded factor.
+    WidenTime,
+    /// Resource-constrained list scheduling, all-local pools.
+    RcFallback,
+}
+
+impl Rung {
+    /// Stable kebab-case name (used in timeline events and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Direct => "direct",
+            Rung::RelaxPeriods => "relax-periods",
+            Rung::DemoteGroup => "demote-group",
+            Rung::WidenTime => "widen-time",
+            Rung::RcFallback => "rc-fallback",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One attempted rung of the ladder.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The rung tried.
+    pub rung: Rung,
+    /// Human-readable description of the concession (e.g. which group was
+    /// demoted, which factor was applied).
+    pub detail: String,
+    /// `None` if this attempt produced the returned schedule, otherwise
+    /// the error that pushed the ladder onward.
+    pub error: Option<ScheduleError>,
+}
+
+/// Bounds and knobs of the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Maximum number of global groups demoted on [`Rung::DemoteGroup`]
+    /// before escalating (default: unlimited — demote until none remain).
+    pub max_demotions: usize,
+    /// Time-widening factors tried in order on [`Rung::WidenTime`], as
+    /// `(numerator, denominator)` pairs. Factors below 1 are ignored.
+    /// Default: 5/4, 3/2, 2/1 — bounded at doubling the constraint.
+    pub widen_factors: Vec<(u32, u32)>,
+    /// Extra instances added to every per-block concurrency limit of the
+    /// [`Rung::RcFallback`] list scheduler (default 0).
+    pub rc_headroom: u32,
+    /// Number of randomized grid-aligned executions used to re-verify
+    /// every emitted schedule (default 3).
+    pub verify_seeds: u64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            max_demotions: usize::MAX,
+            widen_factors: vec![(5, 4), (3, 2), (2, 1)],
+            rc_headroom: 0,
+            verify_seeds: 3,
+        }
+    }
+}
+
+/// A schedule produced by the ladder, together with everything needed to
+/// interpret it: the (possibly modified) specification, the (possibly
+/// widened) system, the rung that succeeded and the full attempt trail.
+#[derive(Debug, Clone)]
+pub struct LadderOutcome {
+    /// The verified schedule.
+    pub schedule: Schedule,
+    /// Resource counts, authorization tables and area.
+    pub report: ScheduleReport,
+    /// The sharing specification the schedule was produced under — equal
+    /// to the input on [`Rung::Direct`], modified otherwise.
+    pub spec: SharingSpec,
+    /// The widened system when [`Rung::WidenTime`] engaged; `None` means
+    /// the schedule is valid against the caller's system.
+    pub system: Option<System>,
+    /// The rung that produced the schedule.
+    pub rung: Rung,
+    /// Frame-reduction iterations of the successful coupled run (0 for
+    /// the resource-constrained fallback).
+    pub iterations: u64,
+    /// Every rung tried, in order, including the successful one (whose
+    /// `error` is `None`).
+    pub attempts: Vec<Attempt>,
+}
+
+impl LadderOutcome {
+    /// One-line human-readable account of how the schedule was obtained.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let last = self
+            .attempts
+            .last()
+            .expect("outcome implies at least one attempt");
+        if self.rung == Rung::Direct {
+            "scheduled as specified (no degradation)".to_owned()
+        } else {
+            format!(
+                "degraded to rung `{}` ({}) after {} attempts",
+                self.rung,
+                last.detail,
+                self.attempts.len()
+            )
+        }
+    }
+}
+
+/// Runs the degradation ladder without observability.
+///
+/// # Errors
+///
+/// Returns the *root-cause* error — the failure of the undegraded run —
+/// if every rung fails. The resource-constrained fallback is designed to
+/// always succeed, so an error here indicates an internal invariant
+/// violation or a system whose blocks cannot hold their own operations.
+pub fn schedule_with_degradation(
+    system: &System,
+    spec: &SharingSpec,
+    config: &FdsConfig,
+    ladder: &LadderConfig,
+) -> Result<LadderOutcome, ScheduleError> {
+    schedule_with_degradation_recorded(system, spec, config, ladder, &NoopRecorder)
+}
+
+/// [`schedule_with_degradation`] with observability: each rung emits a
+/// `degrade.rung` timeline event (fields: `rung`, `detail`, `outcome`)
+/// and the inner scheduler runs stream their usual spans and samples.
+///
+/// # Errors
+///
+/// Same as [`schedule_with_degradation`].
+pub fn schedule_with_degradation_recorded(
+    system: &System,
+    spec: &SharingSpec,
+    config: &FdsConfig,
+    ladder: &LadderConfig,
+    rec: &dyn Recorder,
+) -> Result<LadderOutcome, ScheduleError> {
+    let _ladder_span = span!(rec, "degrade.ladder");
+    let mut attempts: Vec<Attempt> = Vec::new();
+
+    // Rung 0: the specification as given. Feasible specs take exactly the
+    // plain scheduler path, so their schedules are bit-identical to a
+    // direct `ModuloScheduler::run`.
+    if let Some(ok) = attempt_coupled(
+        system,
+        spec,
+        config,
+        ladder,
+        Rung::Direct,
+        "as specified",
+        &mut attempts,
+        rec,
+    ) {
+        return Ok(finish(ok, spec.clone(), None, Rung::Direct, attempts));
+    }
+
+    // Rung 1: raise every global period to the harmonic ceiling.
+    let mut current = spec.clone();
+    if let Some((relaxed, ceiling)) = relax_periods(system, &current) {
+        let detail = format!("all global periods raised to {ceiling}");
+        if let Some(ok) = attempt_coupled(
+            system,
+            &relaxed,
+            config,
+            ladder,
+            Rung::RelaxPeriods,
+            &detail,
+            &mut attempts,
+            rec,
+        ) {
+            return Ok(finish(ok, relaxed, None, Rung::RelaxPeriods, attempts));
+        }
+        current = relaxed;
+    }
+
+    // Rung 2: demote the tightest global group, one per attempt.
+    for _ in 0..ladder.max_demotions {
+        let Some((demoted, name)) = demote_tightest(system, &current) else {
+            break;
+        };
+        let detail = format!("global group of `{name}` demoted to local");
+        if let Some(ok) = attempt_coupled(
+            system,
+            &demoted,
+            config,
+            ladder,
+            Rung::DemoteGroup,
+            &detail,
+            &mut attempts,
+            rec,
+        ) {
+            return Ok(finish(ok, demoted, None, Rung::DemoteGroup, attempts));
+        }
+        current = demoted;
+    }
+
+    // Rung 3: widen the time constraint by a bounded factor, restoring
+    // the caller's sharing specification (latency is conceded, not area).
+    for &(numer, denom) in ladder.widen_factors.iter().filter(|(n, d)| n >= d) {
+        let widened =
+            widen_time_ranges(system, numer, denom).expect("widening never shrinks a time range");
+        let detail = format!("time ranges scaled by {numer}/{denom}");
+        if let Some(ok) = attempt_coupled(
+            &widened,
+            spec,
+            config,
+            ladder,
+            Rung::WidenTime,
+            &detail,
+            &mut attempts,
+            rec,
+        ) {
+            return Ok(finish(
+                ok,
+                spec.clone(),
+                Some(widened),
+                Rung::WidenTime,
+                attempts,
+            ));
+        }
+    }
+
+    // Rung 4: resource-constrained list scheduling with per-block
+    // concurrency limits under the all-local specification. With
+    // `limit(k) = max ops of type k in any block`, no placement can ever
+    // block on a resource, so this rung is a guaranteed landing pad.
+    let local = SharingSpec::all_local(system);
+    let limits: Vec<u32> = system
+        .library()
+        .ids()
+        .map(|k| {
+            system
+                .block_ids()
+                .map(|b| system.ops_of_type(b, k).len() as u32)
+                .max()
+                .unwrap_or(0)
+                .max(1)
+                + ladder.rc_headroom
+        })
+        .collect();
+    let detail = "resource-constrained list scheduling, local pools".to_owned();
+    match rc_modulo_schedule(system, &local, &limits).map_err(ScheduleError::from) {
+        Ok(rc) => match reverify(system, &local, &rc.schedule, ladder.verify_seeds) {
+            Ok(report) => {
+                record(rec, &mut attempts, Rung::RcFallback, &detail, None);
+                return Ok(finish(
+                    (rc.schedule, report, 0),
+                    local,
+                    None,
+                    Rung::RcFallback,
+                    attempts,
+                ));
+            }
+            Err(msg) => {
+                let e = ScheduleError::VerificationFailed { detail: msg };
+                record(rec, &mut attempts, Rung::RcFallback, &detail, Some(e));
+            }
+        },
+        Err(e) => record(rec, &mut attempts, Rung::RcFallback, &detail, Some(e)),
+    }
+
+    // Every rung failed: surface the root cause (the undegraded failure).
+    Err(attempts
+        .iter()
+        .find_map(|a| a.error.clone())
+        .expect("a fully failed ladder has at least one error"))
+}
+
+/// Runs the coupled scheduler for one rung and re-verifies the result.
+/// Returns `Some((schedule, report, iterations))` on success; records the
+/// attempt and the timeline event either way.
+#[allow(clippy::too_many_arguments)]
+fn attempt_coupled(
+    system: &System,
+    spec: &SharingSpec,
+    config: &FdsConfig,
+    ladder: &LadderConfig,
+    rung: Rung,
+    detail: &str,
+    attempts: &mut Vec<Attempt>,
+    rec: &dyn Recorder,
+) -> Option<(Schedule, ScheduleReport, u64)> {
+    let result = ModuloScheduler::new(system, spec.clone())
+        .map_err(ScheduleError::from)
+        .and_then(|s| {
+            s.with_config(config.clone())
+                .run_recorded(rec)
+                .map(|o| (o.schedule, o.iterations))
+        });
+    match result {
+        Ok((schedule, iterations)) => {
+            match reverify(system, spec, &schedule, ladder.verify_seeds) {
+                Ok(report) => {
+                    record(rec, attempts, rung, detail, None);
+                    Some((schedule, report, iterations))
+                }
+                Err(msg) => {
+                    let e = ScheduleError::VerificationFailed { detail: msg };
+                    record(rec, attempts, rung, detail, Some(e));
+                    None
+                }
+            }
+        }
+        Err(e) => {
+            record(rec, attempts, rung, detail, Some(e));
+            None
+        }
+    }
+}
+
+/// Structural verification plus `seeds` randomized grid-aligned
+/// executions; returns the report on success, the failure text otherwise.
+fn reverify(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    seeds: u64,
+) -> Result<ScheduleReport, String> {
+    schedule.verify(system).map_err(|e| e.to_string())?;
+    let report = compute_report(system, spec, schedule);
+    for seed in 0..seeds {
+        let acts = random_activations(system, spec, schedule, 3, seed);
+        check_execution(system, spec, schedule, &report, &acts).map_err(|e| e.to_string())?;
+    }
+    Ok(report)
+}
+
+fn record(
+    rec: &dyn Recorder,
+    attempts: &mut Vec<Attempt>,
+    rung: Rung,
+    detail: &str,
+    error: Option<ScheduleError>,
+) {
+    rec.event(
+        "degrade.rung",
+        &[
+            ("rung", rung.name().into()),
+            ("detail", detail.to_owned().into()),
+            (
+                "outcome",
+                match &error {
+                    None => "ok".into(),
+                    Some(e) => format!("{e}").into(),
+                },
+            ),
+        ],
+    );
+    rec.counter_add("degrade.attempts", 1);
+    attempts.push(Attempt {
+        rung,
+        detail: detail.to_owned(),
+        error,
+    });
+}
+
+fn finish(
+    (schedule, report, iterations): (Schedule, ScheduleReport, u64),
+    spec: SharingSpec,
+    system: Option<System>,
+    rung: Rung,
+    attempts: Vec<Attempt>,
+) -> LadderOutcome {
+    LadderOutcome {
+        schedule,
+        report,
+        spec,
+        system,
+        rung,
+        iterations,
+        attempts,
+    }
+}
+
+/// The upward S2 move: raise every global period to the largest period in
+/// use (the harmonic ceiling), collapsing each process's grid spacing
+/// from an lcm to that single value. Returns `None` when the move is a
+/// no-op (all periods already equal, or no global types) or when the
+/// ceiling itself exceeds some sharing process's spacing budget.
+fn relax_periods(system: &System, spec: &SharingSpec) -> Option<(SharingSpec, u32)> {
+    let globals = spec.global_types(system);
+    let ceiling = globals
+        .iter()
+        .map(|&k| spec.period(k).expect("global types have periods"))
+        .max()?;
+    let changes = globals
+        .iter()
+        .any(|&k| spec.period(k).expect("global types have periods") < ceiling);
+    let tolerated = system.process_ids().all(|p| {
+        spec.global_types_of_process(system, p).is_empty() || spacing_budget(system, p) >= ceiling
+    });
+    if !changes || !tolerated {
+        return None;
+    }
+    let mut relaxed = spec.clone();
+    for &k in &globals {
+        relaxed.set_period(k, ceiling);
+    }
+    Some((relaxed, ceiling))
+}
+
+/// Demotes the tightest global group — the type with the largest period,
+/// i.e. the binding resource of an equation-3 violation — to local.
+/// Ties break on the smaller type id for determinism.
+fn demote_tightest(system: &System, spec: &SharingSpec) -> Option<(SharingSpec, String)> {
+    let tightest = spec.global_types(system).into_iter().max_by_key(|&k| {
+        (
+            spec.period(k).expect("global types have periods"),
+            std::cmp::Reverse(k.index()),
+        )
+    })?;
+    let mut demoted = spec.clone();
+    demoted.set_local(tightest);
+    Some((demoted, system.library().get(tightest).name().to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_fds::RunBudget;
+    use tcms_ir::generators::paper_system;
+
+    fn infeasible_spec(sys: &System, t: &tcms_ir::generators::PaperTypes) -> SharingSpec {
+        // lcm(7, 5) = 35 exceeds every process budget (max 30/15).
+        let mut spec = SharingSpec::all_global(sys, 5);
+        spec.set_period(t.add, 7);
+        spec
+    }
+
+    #[test]
+    fn feasible_spec_stays_on_direct_rung_bit_identical() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let plain = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let ladder =
+            schedule_with_degradation(&sys, &spec, &FdsConfig::default(), &LadderConfig::default())
+                .unwrap();
+        assert_eq!(ladder.rung, Rung::Direct);
+        assert_eq!(ladder.schedule, plain.schedule, "bit-identical");
+        assert_eq!(ladder.iterations, plain.iterations);
+        assert!(ladder.system.is_none());
+        assert_eq!(ladder.attempts.len(), 1);
+        assert!(ladder.attempts[0].error.is_none());
+        assert!(ladder.summary().contains("no degradation"));
+    }
+
+    #[test]
+    fn infeasible_spec_recovers_by_relaxing_periods() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = infeasible_spec(&sys, &t);
+        // The plain run refuses.
+        assert!(matches!(
+            ModuloScheduler::new(&sys, spec.clone()).unwrap().run(),
+            Err(ScheduleError::Infeasible { .. })
+        ));
+        // The ladder relaxes 5 -> 7 (harmonic ceiling), spacing drops to
+        // 7 <= 15, and the schedule passes re-verification.
+        let out =
+            schedule_with_degradation(&sys, &spec, &FdsConfig::default(), &LadderConfig::default())
+                .unwrap();
+        assert_eq!(out.rung, Rung::RelaxPeriods);
+        assert_eq!(out.spec.period(t.add), Some(7));
+        assert_eq!(out.spec.period(t.mul), Some(7));
+        assert_eq!(out.attempts.len(), 2);
+        assert!(matches!(
+            out.attempts[0].error,
+            Some(ScheduleError::Infeasible { .. })
+        ));
+        assert!(out.summary().contains("relax-periods"), "{}", out.summary());
+    }
+
+    #[test]
+    fn relaxation_blocked_falls_through_to_demotion() {
+        let (sys, t) = paper_system().unwrap();
+        // Period 16 on the adder exceeds the diffeq budget of 15, so the
+        // harmonic ceiling (16) is intolerable and rung 1 is skipped; the
+        // ladder demotes the adder group (the largest period) instead.
+        let mut spec = SharingSpec::all_global(&sys, 5);
+        spec.set_period(t.add, 16);
+        let out =
+            schedule_with_degradation(&sys, &spec, &FdsConfig::default(), &LadderConfig::default())
+                .unwrap();
+        assert_eq!(out.rung, Rung::DemoteGroup);
+        assert!(!out.spec.is_global(t.add), "adder demoted");
+        assert!(out.spec.is_global(t.mul), "multiplier still shared");
+        // Attempt trail: direct failure, then the successful demotion
+        // (no relax-periods attempt was possible).
+        assert_eq!(out.attempts.len(), 2);
+        assert_eq!(out.attempts[1].rung, Rung::DemoteGroup);
+    }
+
+    #[test]
+    fn budget_trip_lands_on_rc_fallback() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        // One iteration is never enough for the paper system, whatever
+        // the spec — every coupled rung trips, only rc survives.
+        let config = FdsConfig {
+            budget: RunBudget {
+                max_iterations: Some(1),
+                ..RunBudget::default()
+            },
+            ..FdsConfig::default()
+        };
+        let out =
+            schedule_with_degradation(&sys, &spec, &config, &LadderConfig::default()).unwrap();
+        assert_eq!(out.rung, Rung::RcFallback);
+        assert_eq!(out.iterations, 0);
+        assert!(out.spec.global_types(&sys).is_empty(), "all-local fallback");
+        assert!(out
+            .attempts
+            .iter()
+            .take(out.attempts.len() - 1)
+            .all(|a| matches!(a.error, Some(ScheduleError::BudgetExhausted(_)))));
+    }
+
+    #[test]
+    fn ladder_emits_timeline_events() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = infeasible_spec(&sys, &t);
+        let rec = tcms_obs::TraceRecorder::new();
+        schedule_with_degradation_recorded(
+            &sys,
+            &spec,
+            &FdsConfig::default(),
+            &LadderConfig::default(),
+            &rec,
+        )
+        .unwrap();
+        let data = rec.finish();
+        let rung_events = data
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(&e.kind, tcms_obs::TraceEventKind::Instant { name, .. } if *name == "degrade.rung")
+            })
+            .count();
+        assert_eq!(rung_events, 2, "one event per attempt");
+    }
+
+    #[test]
+    fn widen_time_rung_returns_owned_system() {
+        let (sys, _) = paper_system().unwrap();
+        // Uniform ρ = 16: already harmonic, so the relax rung is a no-op,
+        // and the spacing 16 exceeds the diffeq budget of 15. With
+        // demotions capped at zero, only time widening can rescue the
+        // spec: 5/4 scaling lifts the budget to ceil(15·5/4) = 19 ≥ 16.
+        let spec = SharingSpec::all_global(&sys, 16);
+        let ladder = LadderConfig {
+            max_demotions: 0,
+            ..LadderConfig::default()
+        };
+        let out = schedule_with_degradation(&sys, &spec, &FdsConfig::default(), &ladder).unwrap();
+        assert_eq!(out.rung, Rung::WidenTime);
+        assert_eq!(out.spec, spec, "sharing specification preserved");
+        let widened = out.system.as_ref().expect("widened system is returned");
+        let p4 = widened.process_by_name("P4").unwrap();
+        assert!(spacing_budget(widened, p4) >= 16);
+        out.schedule.verify(widened).unwrap();
+    }
+}

@@ -51,6 +51,13 @@ pub enum CoreError {
         /// Resource type name.
         rtype: String,
     },
+    /// The start-time grid spacing of a process (equation 3: the lcm of
+    /// the periods of its global types) overflows `u32`. Raised during
+    /// validation so unchecked lcm arithmetic downstream stays safe.
+    PeriodGridOverflow {
+        /// Process whose grid spacing overflowed.
+        process: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -84,11 +91,114 @@ impl fmt::Display for CoreError {
             CoreError::ZeroInstances { rtype } => {
                 write!(f, "instance count for used type `{rtype}` is zero")
             }
+            CoreError::PeriodGridOverflow { process } => write!(
+                f,
+                "start-time grid spacing of process `{process}` overflows u32 \
+                 (lcm of its global periods is too large)"
+            ),
         }
     }
 }
 
 impl Error for CoreError {}
+
+/// Errors of a full scheduling run ([`crate::ModuloScheduler::run`] and
+/// the degradation orchestrator built on top of it).
+///
+/// Wraps specification-level [`CoreError`]s and engine-level
+/// [`tcms_fds::EngineError`]s and adds the feasibility verdicts only the
+/// coupled scheduler can decide.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The sharing specification is invalid (see [`CoreError`]).
+    Spec(CoreError),
+    /// The equation-3 feasibility filter failed: a process's grid spacing
+    /// (lcm of its global periods) exceeds its spacing budget, so its
+    /// tightest block cannot align to the start grid.
+    Infeasible {
+        /// Tightest block of the offending process (qualified
+        /// `process::block` name).
+        block: String,
+        /// `spacing_budget - grid_spacing`, always negative here. How far
+        /// the spec is from feasibility — a relaxation must win back at
+        /// least `-slack` steps.
+        slack: i64,
+        /// The global type whose period dominates the spacing (largest
+        /// period in the process's global set) — the first candidate to
+        /// relax or demote.
+        binding_resource: String,
+    },
+    /// The engine's run budget tripped; the payload carries the engine's
+    /// partial-progress report.
+    BudgetExhausted(tcms_fds::EngineError),
+    /// A process's period grid overflows `u32` (promoted out of
+    /// [`CoreError::PeriodGridOverflow`] for direct matching).
+    PeriodGridOverflow {
+        /// Process whose grid spacing overflowed.
+        process: String,
+    },
+    /// A schedule produced by a degradation rung failed re-verification —
+    /// an internal invariant violation, reported instead of asserted so a
+    /// later rung can still rescue the run.
+    VerificationFailed {
+        /// Description of the verification failure.
+        detail: String,
+    },
+}
+
+impl From<CoreError> for ScheduleError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::PeriodGridOverflow { process } => {
+                ScheduleError::PeriodGridOverflow { process }
+            }
+            other => ScheduleError::Spec(other),
+        }
+    }
+}
+
+impl From<tcms_fds::EngineError> for ScheduleError {
+    fn from(e: tcms_fds::EngineError) -> Self {
+        ScheduleError::BudgetExhausted(e)
+    }
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Spec(e) => write!(f, "invalid sharing specification: {e}"),
+            ScheduleError::Infeasible {
+                block,
+                slack,
+                binding_resource,
+            } => write!(
+                f,
+                "block `{block}` cannot align to the start grid: spacing exceeds \
+                 the budget by {} steps (binding resource `{binding_resource}`)",
+                -slack
+            ),
+            ScheduleError::BudgetExhausted(e) => write!(f, "{e}"),
+            ScheduleError::PeriodGridOverflow { process } => write!(
+                f,
+                "start-time grid spacing of process `{process}` overflows u32 \
+                 (lcm of its global periods is too large)"
+            ),
+            ScheduleError::VerificationFailed { detail } => {
+                write!(f, "emitted schedule failed re-verification: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Spec(e) => Some(e),
+            ScheduleError::BudgetExhausted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -121,9 +231,41 @@ mod tests {
             CoreError::ZeroInstances {
                 rtype: "mul".into(),
             },
+            CoreError::PeriodGridOverflow {
+                process: "P1".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn schedule_error_wraps_and_promotes() {
+        let spec_err: ScheduleError = CoreError::ZeroPeriod {
+            rtype: "mul".into(),
+        }
+        .into();
+        assert!(matches!(spec_err, ScheduleError::Spec(_)));
+        assert!(std::error::Error::source(&spec_err).is_some());
+
+        let overflow: ScheduleError = CoreError::PeriodGridOverflow {
+            process: "P1".into(),
+        }
+        .into();
+        assert!(matches!(
+            overflow,
+            ScheduleError::PeriodGridOverflow { ref process } if process == "P1"
+        ));
+
+        let infeasible = ScheduleError::Infeasible {
+            block: "P4::body".into(),
+            slack: -20,
+            binding_resource: "add".into(),
+        };
+        let s = infeasible.to_string();
+        assert!(s.contains("P4::body"), "{s}");
+        assert!(s.contains("20 steps"), "{s}");
+        assert!(s.contains("add"), "{s}");
     }
 }

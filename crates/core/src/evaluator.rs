@@ -309,7 +309,7 @@ mod tests {
         let scope: Vec<_> = sys.block_ids().collect();
         let engine = IfdsEngine::new(&sys, scope);
         let mut eval = ModuloEvaluator::new(&sys, spec, FdsConfig::default(), engine.frames());
-        let out = engine.run(&mut eval);
+        let out = engine.run(&mut eval).unwrap();
         out.schedule.verify(&sys).unwrap();
         assert!(out.iterations > 0);
     }

@@ -255,7 +255,10 @@ mod tests {
             if !exact.complete {
                 continue;
             }
-            let heuristic = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+            let heuristic = ModuloScheduler::new(&sys, spec.clone())
+                .unwrap()
+                .run()
+                .unwrap();
             let h_area = heuristic.report().total_area();
             assert!(
                 h_area >= exact.area,
@@ -288,7 +291,10 @@ mod tests {
             if !exact.complete {
                 continue;
             }
-            let heuristic = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+            let heuristic = ModuloScheduler::new(&sys, spec.clone())
+                .unwrap()
+                .run()
+                .unwrap();
             total_h += heuristic.report().total_area();
             total_e += exact.area;
         }

@@ -30,7 +30,7 @@ use tcms_ir::{ResourceTypeId, System};
 use tcms_obs::{span, NoopRecorder, Recorder, TimelinePoint};
 
 use crate::assign::SharingSpec;
-use crate::error::CoreError;
+use crate::error::{CoreError, ScheduleError};
 use crate::period::{candidate_periods, enumerate_periods};
 use crate::report::ScheduleReport;
 use crate::scheduler::ModuloScheduler;
@@ -60,12 +60,13 @@ pub struct SweepPoint {
 /// # Errors
 ///
 /// Propagates scheduler construction errors (none for well-formed
-/// systems).
+/// systems) and run failures such as a tripped budget; the error reported
+/// is the one of the earliest failing candidate in input order.
 pub fn sweep_uniform_periods(
     system: &System,
     periods: impl IntoIterator<Item = u32>,
     config: &FdsConfig,
-) -> Result<Vec<SweepPoint>, CoreError> {
+) -> Result<Vec<SweepPoint>, ScheduleError> {
     sweep_uniform_periods_recorded(system, periods, config, &NoopRecorder)
 }
 
@@ -82,9 +83,9 @@ pub fn sweep_uniform_periods_recorded(
     periods: impl IntoIterator<Item = u32>,
     config: &FdsConfig,
     rec: &dyn Recorder,
-) -> Result<Vec<SweepPoint>, CoreError> {
-    // Filter and validate sequentially so the parallel region is
-    // infallible and spawns only real work.
+) -> Result<Vec<SweepPoint>, ScheduleError> {
+    // Filter and validate sequentially so the parallel region spawns only
+    // real work; run failures are folded back in input order below.
     let mut candidates: Vec<(u32, ModuloScheduler<'_>)> = Vec::new();
     for period in periods {
         let spec = SharingSpec::all_global(system, period);
@@ -95,19 +96,24 @@ pub fn sweep_uniform_periods_recorded(
         candidates.push((period, scheduler));
     }
     let _sweep = span!(rec, "s2.sweep", candidates = candidates.len());
+    // The parallel map preserves input order, and the sequential `?` fold
+    // below reports the earliest failing candidate — deterministic even
+    // when several candidates fail.
     let points: Vec<SweepPoint> = candidates
         .into_par_iter()
         .map(|(period, scheduler)| {
-            let outcome = scheduler.run();
-            SweepPoint {
+            let outcome = scheduler.run()?;
+            Ok(SweepPoint {
                 period,
                 spacing: period,
                 report: outcome.report(),
                 iterations: outcome.iterations,
                 stats: outcome.stats,
-            }
+            })
         })
-        .collect();
+        .collect::<Vec<Result<SweepPoint, ScheduleError>>>()
+        .into_iter()
+        .collect::<Result<Vec<SweepPoint>, ScheduleError>>()?;
     if rec.enabled() {
         for (i, p) in points.iter().enumerate() {
             rec.counter_add("s2.candidates_scheduled", 1);
@@ -145,7 +151,7 @@ pub fn best_period_assignment(
     base: &SharingSpec,
     config: &FdsConfig,
     limit: Option<usize>,
-) -> Result<Option<(SharingSpec, ScheduleReport)>, CoreError> {
+) -> Result<Option<(SharingSpec, ScheduleReport)>, ScheduleError> {
     best_period_assignment_recorded(system, base, config, limit, &NoopRecorder)
 }
 
@@ -163,7 +169,7 @@ pub fn best_period_assignment_recorded(
     config: &FdsConfig,
     limit: Option<usize>,
     rec: &dyn Recorder,
-) -> Result<Option<(SharingSpec, ScheduleReport)>, CoreError> {
+) -> Result<Option<(SharingSpec, ScheduleReport)>, ScheduleError> {
     base.validate(system)?;
     let globals = base.global_types(system);
     let cands: Vec<Vec<u32>> = globals
@@ -180,13 +186,17 @@ pub fn best_period_assignment_recorded(
                 .map(|s| (spec, s.with_config(config.clone())))
         })
         .collect::<Result<Vec<_>, CoreError>>()?;
+    // Ordered collect + sequential fold: the earliest failing candidate
+    // (in enumeration order) decides the error deterministically.
     let reports: Vec<(SharingSpec, ScheduleReport)> = schedulers
         .into_par_iter()
         .map(|(spec, scheduler)| {
-            let report = scheduler.run().report();
-            (spec, report)
+            let report = scheduler.run()?.report();
+            Ok((spec, report))
         })
-        .collect();
+        .collect::<Vec<Result<_, ScheduleError>>>()
+        .into_iter()
+        .collect::<Result<Vec<_>, ScheduleError>>()?;
     if rec.enabled() {
         for (i, (_, report)) in reports.iter().enumerate() {
             rec.counter_add("s2.candidates_scheduled", 1);
@@ -276,7 +286,7 @@ pub fn pruned_best_period_assignment(
     system: &System,
     base: &SharingSpec,
     config: &FdsConfig,
-) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, CoreError> {
+) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, ScheduleError> {
     pruned_best_period_assignment_recorded(system, base, config, &NoopRecorder)
 }
 
@@ -292,7 +302,7 @@ pub fn pruned_best_period_assignment_recorded(
     base: &SharingSpec,
     config: &FdsConfig,
     rec: &dyn Recorder,
-) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, CoreError> {
+) -> Result<Option<(SharingSpec, ScheduleReport, usize)>, ScheduleError> {
     base.validate(system)?;
     let globals = base.global_types(system);
     let cands: Vec<Vec<u32>> = globals
@@ -314,7 +324,7 @@ pub fn pruned_best_period_assignment_recorded(
         }
         let outcome = ModuloScheduler::new(system, spec.clone())?
             .with_config(config.clone())
-            .run();
+            .run()?;
         evaluated += 1;
         rec.counter_add("s2.candidates_scheduled", 1);
         let report = outcome.report();
@@ -352,7 +362,7 @@ pub fn auto_assign(
     system: &System,
     period: u32,
     config: &FdsConfig,
-) -> Result<(SharingSpec, ScheduleReport), CoreError> {
+) -> Result<(SharingSpec, ScheduleReport), ScheduleError> {
     auto_assign_recorded(system, period, config, &NoopRecorder)
 }
 
@@ -368,12 +378,12 @@ pub fn auto_assign_recorded(
     period: u32,
     config: &FdsConfig,
     rec: &dyn Recorder,
-) -> Result<(SharingSpec, ScheduleReport), CoreError> {
+) -> Result<(SharingSpec, ScheduleReport), ScheduleError> {
     let _s1 = span!(rec, "s1.auto_assign", period = period);
     let mut spec = SharingSpec::all_local(system);
     let mut report = ModuloScheduler::new(system, spec.clone())?
         .with_config(config.clone())
-        .run()
+        .run()?
         .report();
     let mut types: Vec<ResourceTypeId> = system.library().ids().collect();
     types.sort_by_key(|&k| std::cmp::Reverse(system.library().get(k).area()));
@@ -389,7 +399,7 @@ pub fn auto_assign_recorded(
         }
         let trial_report = ModuloScheduler::new(system, trial.clone())?
             .with_config(config.clone())
-            .run()
+            .run()?
             .report();
         rec.counter_add("s1.trials", 1);
         if trial_report.total_area() < report.total_area() {
@@ -451,6 +461,7 @@ mod tests {
         let report = ModuloScheduler::new(&sys, spec.clone())
             .unwrap()
             .run()
+            .unwrap()
             .report();
         for k in spec.global_types(&sys) {
             assert!(
@@ -523,6 +534,7 @@ mod tests {
         let local_area = ModuloScheduler::new(&sys, SharingSpec::all_local(&sys))
             .unwrap()
             .run()
+            .unwrap()
             .report()
             .total_area();
         let (spec, report) = auto_assign(&sys, 5, &fds).unwrap();

@@ -77,7 +77,10 @@ mod tests {
     fn bounds(period: u32) -> Vec<LatencyBound> {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, period);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         sys.process_ids()
             .map(|p| latency_bounds(&sys, &spec, &out.schedule, p))
             .collect()
@@ -87,7 +90,10 @@ mod tests {
     fn local_schedules_have_zero_wait() {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         for p in sys.process_ids() {
             let b = latency_bounds(&sys, &spec, &out.schedule, p);
             assert_eq!(b.worst_start_wait, 0);
@@ -124,7 +130,10 @@ mod tests {
         // isolated trigger can never wait longer than the bound.
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         for p in sys.process_ids() {
             let bound = latency_bounds(&sys, &spec, &out.schedule, p);
             let block = sys.process(p).blocks()[0];

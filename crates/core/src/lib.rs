@@ -23,8 +23,10 @@
 //! Supporting modules: [`modulo`] (the modulo-maximum transformation),
 //! [`authorize`] (static access-authorization tables), [`report`]
 //! (instance counts and area), [`verify`] (run-time validity checking of
-//! the static sharing claim) and [`rc`] (the resource-constrained variant
-//! of the companion ISSS'98 paper).
+//! the static sharing claim), [`rc`] (the resource-constrained variant
+//! of the companion ISSS'98 paper) and [`degrade`] (the graceful
+//! degradation ladder that retries infeasible or budget-tripped
+//! specifications with explicit, bounded concessions).
 //!
 //! # Example: the paper's Table-1 flow
 //!
@@ -37,9 +39,9 @@
 //! // Global adder/multiplier over all processes, subtracter over the two
 //! // diffeq processes, all with period 5 — the paper's configuration.
 //! let spec = SharingSpec::all_global(&system, 5);
-//! let global = ModuloScheduler::new(&system, spec)?.run();
+//! let global = ModuloScheduler::new(&system, spec)?.run()?;
 //!
-//! let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))?.run();
+//! let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))?.run()?;
 //!
 //! // Global sharing beats one-resource-per-type-and-process.
 //! assert!(global.report().total_area() < local.report().total_area());
@@ -50,6 +52,7 @@
 
 pub mod assign;
 pub mod authorize;
+pub mod degrade;
 pub mod error;
 pub mod evaluator;
 pub mod exact;
@@ -65,7 +68,8 @@ pub mod verify;
 
 pub use assign::{Scope, SharingSpec};
 pub use authorize::AuthorizationTable;
-pub use error::CoreError;
+pub use degrade::{schedule_with_degradation, LadderConfig, LadderOutcome, Rung};
+pub use error::{CoreError, ScheduleError};
 pub use evaluator::ModuloEvaluator;
 pub use field::ModuloField;
 pub use latency::{latency_bounds, LatencyBound};

@@ -68,14 +68,30 @@ pub fn slot_max(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// Least common multiple (used for grid spacings, equation 3).
 ///
 /// `lcm(0, x)` is defined as `x` for convenience.
+///
+/// # Panics
+///
+/// Panics if the result does not fit in `u32`. User-supplied periods are
+/// screened with [`checked_lcm`] during [`crate::SharingSpec::validate`],
+/// so validated specifications never reach this panic.
 pub fn lcm(a: u32, b: u32) -> u32 {
+    checked_lcm(a, b).expect("lcm overflows u32 — periods must pass validation first")
+}
+
+/// Overflow-aware least common multiple: `None` if the result exceeds
+/// `u32::MAX`. This is the entry point for untrusted (user-supplied)
+/// periods; spec validation maps `None` to
+/// [`crate::CoreError::PeriodGridOverflow`].
+///
+/// `checked_lcm(0, x)` is defined as `Some(x)` for convenience.
+pub fn checked_lcm(a: u32, b: u32) -> Option<u32> {
     if a == 0 {
-        return b;
+        return Some(b);
     }
     if b == 0 {
-        return a;
+        return Some(a);
     }
-    a / gcd(a, b) * b
+    (a / gcd(a, b)).checked_mul(b)
 }
 
 /// Greatest common divisor.
@@ -145,6 +161,27 @@ mod tests {
         assert_eq!(lcm(5, 5), 5);
         assert_eq!(lcm(0, 9), 9);
         assert_eq!(lcm(9, 0), 9);
+    }
+
+    #[test]
+    fn checked_lcm_detects_overflow() {
+        // Near-u32::MAX co-prime pair: the true lcm is their product,
+        // which needs 62 bits.
+        let a = u32::MAX - 4; // 4294967291, prime
+        let b = u32::MAX - 58; // 4294967237, prime
+        assert_eq!(gcd(a, b), 1);
+        assert_eq!(checked_lcm(a, b), None);
+        // Non-co-prime values that still fit are computed exactly.
+        assert_eq!(checked_lcm(1 << 31, 1 << 30), Some(1 << 31));
+        assert_eq!(checked_lcm(a, a), Some(a));
+        assert_eq!(checked_lcm(0, 7), Some(7));
+        assert_eq!(checked_lcm(7, 0), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "lcm overflows u32")]
+    fn unchecked_lcm_overflow_panics_with_message() {
+        let _ = lcm(u32::MAX - 4, u32::MAX - 58);
     }
 
     #[test]

@@ -258,7 +258,8 @@ mod tests {
         let spec = SharingSpec::all_global(&sys, 5);
         let tc = crate::ModuloScheduler::new(&sys, spec.clone())
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         let report = tc.report();
         let limits: Vec<u32> = sys
             .library()

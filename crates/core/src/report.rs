@@ -120,7 +120,7 @@ mod tests {
     fn local_report_has_one_pool_per_user() {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
         let report = out.report();
         // Traditional scheduling: at least one instance per type and
         // process — five multipliers, two subtracters at minimum.
@@ -141,7 +141,7 @@ mod tests {
     fn global_report_uses_shared_pool() {
         let (sys, t) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
         let report = out.report();
         assert!(report.of_type(t.mul).local_counts.is_empty());
         let auth = report.of_type(t.mul).authorization.as_ref().unwrap();
@@ -158,7 +158,7 @@ mod tests {
         let p1 = sys.process_by_name("P1").unwrap();
         let p2 = sys.process_by_name("P2").unwrap();
         spec.set_global(t.mul, vec![p1, p2], 5);
-        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
         let report = out.report();
         let tr = report.of_type(t.mul);
         // P3, P4, P5 keep local multipliers; P1+P2 share a pool.
@@ -176,7 +176,8 @@ mod tests {
         let (sys, _) = paper_system().unwrap();
         let out = ModuloScheduler::new(&sys, SharingSpec::all_local(&sys))
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         let text = out.report().to_string();
         assert!(text.contains("total area"));
     }

@@ -10,8 +10,9 @@ use tcms_ir::System;
 use tcms_obs::{span, NoopRecorder, Recorder};
 
 use crate::assign::SharingSpec;
-use crate::error::CoreError;
+use crate::error::{CoreError, ScheduleError};
 use crate::evaluator::ModuloEvaluator;
+use crate::period::spacing_budget;
 use crate::report::{compute_report, ScheduleReport};
 
 /// The coupled time-constrained modulo scheduler.
@@ -25,7 +26,7 @@ use crate::report::{compute_report, ScheduleReport};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let (system, _types) = paper_system()?;
 /// let spec = SharingSpec::all_global(&system, 5);
-/// let outcome = ModuloScheduler::new(&system, spec)?.run();
+/// let outcome = ModuloScheduler::new(&system, spec)?.run()?;
 /// outcome.schedule.verify(&system)?;
 /// println!("area {}", outcome.report().total_area());
 /// # Ok(())
@@ -62,7 +63,15 @@ impl<'a> ModuloScheduler<'a> {
 
     /// Runs the coupled modified IFDS over every block of the system,
     /// with incremental (cached) candidate-force evaluation.
-    pub fn run(self) -> ModuloOutcome<'a> {
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::Infeasible`] if a process's grid spacing
+    ///   (equation 3) exceeds its spacing budget — no alignment of its
+    ///   tightest block to the start grid exists,
+    /// * [`ScheduleError::BudgetExhausted`] if the configured
+    ///   [`tcms_fds::RunBudget`] trips before the frames converge.
+    pub fn run(self) -> Result<ModuloOutcome<'a>, ScheduleError> {
         self.run_impl(false, &NoopRecorder)
     }
 
@@ -70,7 +79,11 @@ impl<'a> ModuloScheduler<'a> {
     /// engine's per-iteration samples and the evaluator's `M_p`/`G_k`
     /// field timeline flow into `rec`. The schedule is bit-identical to
     /// [`ModuloScheduler::run`] (asserted by the integration suite).
-    pub fn run_recorded(self, rec: &dyn Recorder) -> ModuloOutcome<'a> {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModuloScheduler::run`].
+    pub fn run_recorded(self, rec: &dyn Recorder) -> Result<ModuloOutcome<'a>, ScheduleError> {
         self.run_impl(false, rec)
     }
 
@@ -78,12 +91,48 @@ impl<'a> ModuloScheduler<'a> {
     /// [`ModuloScheduler::run`] is tested against (outcomes must be
     /// bit-identical). Only compiled for tests and the `naive-oracle`
     /// feature.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModuloScheduler::run`].
     #[cfg(any(test, feature = "naive-oracle"))]
-    pub fn run_naive(self) -> ModuloOutcome<'a> {
+    pub fn run_naive(self) -> Result<ModuloOutcome<'a>, ScheduleError> {
         self.run_impl(true, &NoopRecorder)
     }
 
-    fn run_impl(self, naive: bool, rec: &dyn Recorder) -> ModuloOutcome<'a> {
+    /// Equation-3 precheck: every process's grid spacing must stay within
+    /// its spacing budget, otherwise the tightest block has no feasible
+    /// alignment and the engine would chase an unsatisfiable constraint.
+    fn check_feasible(&self) -> Result<(), ScheduleError> {
+        for p in self.system.process_ids() {
+            let spacing = self.spec.grid_spacing(self.system, p);
+            let budget = spacing_budget(self.system, p);
+            if spacing > budget {
+                let proc = self.system.process(p);
+                let tightest = proc
+                    .blocks()
+                    .iter()
+                    .copied()
+                    .min_by_key(|&b| self.system.block(b).time_range())
+                    .expect("processes have at least one block");
+                let binding = self
+                    .spec
+                    .global_types_of_process(self.system, p)
+                    .into_iter()
+                    .max_by_key(|&k| self.spec.period(k).expect("global types have periods"))
+                    .expect("infeasible spacing implies at least one global type");
+                return Err(ScheduleError::Infeasible {
+                    block: format!("{}::{}", proc.name(), self.system.block(tightest).name()),
+                    slack: budget as i64 - spacing as i64,
+                    binding_resource: self.system.library().get(binding).name().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn run_impl(self, naive: bool, rec: &dyn Recorder) -> Result<ModuloOutcome<'a>, ScheduleError> {
+        self.check_feasible()?;
         let scope: Vec<_> = self.system.block_ids().collect();
         let _s3 = span!(
             rec,
@@ -91,7 +140,7 @@ impl<'a> ModuloScheduler<'a> {
             blocks = scope.len(),
             ops = self.system.num_ops()
         );
-        let engine = IfdsEngine::new(self.system, scope);
+        let engine = IfdsEngine::new(self.system, scope).with_budget(self.config.budget);
         let mut eval = ModuloEvaluator::new(
             self.system,
             self.spec.clone(),
@@ -100,23 +149,23 @@ impl<'a> ModuloScheduler<'a> {
         );
         #[cfg(any(test, feature = "naive-oracle"))]
         let out = if naive {
-            engine.run_naive(&mut eval)
+            engine.run_naive(&mut eval)?
         } else {
-            engine.run_recorded(&mut eval, rec)
+            engine.run_recorded(&mut eval, rec)?
         };
         #[cfg(not(any(test, feature = "naive-oracle")))]
         let out = {
             debug_assert!(!naive, "naive run requires the naive-oracle feature");
-            engine.run_recorded(&mut eval, rec)
+            engine.run_recorded(&mut eval, rec)?
         };
         debug_assert!(out.schedule.verify(self.system).is_ok());
-        ModuloOutcome {
+        Ok(ModuloOutcome {
             system: self.system,
             spec: self.spec,
             schedule: out.schedule,
             iterations: out.iterations,
             stats: out.stats,
-        }
+        })
     }
 }
 
@@ -160,9 +209,54 @@ mod tests {
     fn paper_system_schedules_validly_global() {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
         out.schedule.verify(&sys).unwrap();
         assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn oversized_spacing_fails_with_infeasible() {
+        let (sys, t) = paper_system().unwrap();
+        // lcm(7, 5, 5) = 35 > 15 budget of the diffeq processes.
+        let mut spec = SharingSpec::all_global(&sys, 5);
+        spec.set_period(t.add, 7);
+        let err = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap_err();
+        match err {
+            crate::error::ScheduleError::Infeasible {
+                block,
+                slack,
+                binding_resource,
+            } => {
+                assert!(block.contains("::"), "qualified name, got {block}");
+                // First failing process in iteration order is the first EWF:
+                // spacing lcm(7, 5) = 35 against its budget of 30.
+                assert_eq!(slack, 30 - 35);
+                assert_eq!(binding_resource, "add", "period 7 dominates the lcm");
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_trip_surfaces_as_schedule_error() {
+        use tcms_fds::RunBudget;
+        let (sys, _) = paper_system().unwrap();
+        let cfg = FdsConfig {
+            budget: RunBudget {
+                max_iterations: Some(3),
+                ..RunBudget::default()
+            },
+            ..FdsConfig::default()
+        };
+        let err = ModuloScheduler::new(&sys, SharingSpec::all_global(&sys, 5))
+            .unwrap()
+            .with_config(cfg)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ScheduleError::BudgetExhausted(_)
+        ));
     }
 
     #[test]
@@ -177,8 +271,8 @@ mod tests {
     fn cached_run_is_bit_identical_to_naive_run() {
         let (sys, _) = paper_system().unwrap();
         let mk = || ModuloScheduler::new(&sys, SharingSpec::all_global(&sys, 5)).unwrap();
-        let cached = mk().run();
-        let naive = mk().run_naive();
+        let cached = mk().run().unwrap();
+        let naive = mk().run_naive().unwrap();
         assert_eq!(
             cached.schedule.starts(),
             naive.schedule.starts(),
@@ -204,6 +298,7 @@ mod tests {
             ModuloScheduler::new(&sys, SharingSpec::all_global(&sys, 5))
                 .unwrap()
                 .run()
+                .unwrap()
                 .schedule
         };
         assert_eq!(run(), run());

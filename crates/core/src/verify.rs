@@ -203,11 +203,23 @@ pub fn exhaustive_check(
         .iter()
         .map(|&p| u64::from(spec.grid_spacing(system, p)))
         .collect();
-    let hyper = spacings.iter().fold(1u64, |acc, &s| {
-        u64::from(crate::modulo::lcm(acc as u32, s as u32))
-    });
+    // The cross-process hyperperiod can overflow even when every
+    // per-process spacing passed validation (coprime spacings multiply);
+    // an overflowing hyperperiod means astronomically many phase
+    // combinations, so report it through the limit-exceeded channel.
+    let mut hyper32 = 1u32;
+    for &s in &spacings {
+        match crate::modulo::checked_lcm(hyper32, s as u32) {
+            Some(l) => hyper32 = l,
+            None => return Err(u64::MAX),
+        }
+    }
+    let hyper = u64::from(hyper32);
     let choices: Vec<u64> = spacings.iter().map(|&s| hyper / s).collect();
-    let total: u64 = choices.iter().product();
+    let total: u64 = choices
+        .iter()
+        .try_fold(1u64, |acc, &c| acc.checked_mul(c))
+        .unwrap_or(u64::MAX);
     if total > limit {
         return Err(total);
     }
@@ -291,7 +303,10 @@ mod tests {
     ) {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let report = out.report();
         let schedule = out.schedule.clone();
         (sys, spec, schedule, report)
@@ -344,7 +359,10 @@ mod tests {
         check_execution(&sys, &spec, &schedule, &report, &acts).unwrap();
 
         let local_spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, local_spec).unwrap().run();
+        let out = ModuloScheduler::new(&sys, local_spec)
+            .unwrap()
+            .run()
+            .unwrap();
         // Local schedule was not aligned for sharing: checking it against
         // the *global* spec's report will generally overflow the pool.
         let r = check_execution(&sys, &spec, &out.schedule, &report, &acts);
@@ -359,7 +377,10 @@ mod tests {
     fn local_spec_trivially_verifies() {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_local(&sys);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let report = out.report();
         for seed in 0..5 {
             let acts = random_activations(&sys, &spec, &out.schedule, 2, seed);
@@ -405,7 +426,10 @@ mod tests {
         spec.set_global(types.mul, vec![pa, pb], 2);
         spec.set_global(types.add, vec![pb, pc], 3);
         spec.validate(&sys).unwrap();
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let report = out.report();
         let schedule = out.schedule.clone();
         (sys, spec, schedule, report)
@@ -437,5 +461,78 @@ mod tests {
             e.to_string(),
             "4 instances of `mul` in use at time 12, pool holds 3"
         );
+    }
+
+    #[test]
+    fn exhaustive_check_detects_colliding_schedule() {
+        // The report is derived from a properly staggered schedule (pool
+        // of one suffices: P1 uses slot 0, P2 slot 1); the schedule under
+        // check puts both ops at offset 0, so every aligned phase collides.
+        // The sweep must surface the overflow as an inner error.
+        use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder};
+        let mut lib = ResourceLibrary::new();
+        let ta = lib.add(ResourceType::new("ta", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let mut ops = Vec::new();
+        for name in ["P1", "P2"] {
+            let p = b.add_process(name);
+            let blk = b.add_block(p, "body", 2).unwrap();
+            ops.push(b.add_op(blk, "x", ta).unwrap());
+        }
+        let sys = b.build().unwrap();
+        let mut spec = SharingSpec::all_local(&sys);
+        spec.set_global(ta, sys.users_of_type(ta), 2);
+        spec.validate(&sys).unwrap();
+        let mut staggered = tcms_fds::Schedule::new(2);
+        staggered.set(ops[0], 0);
+        staggered.set(ops[1], 1);
+        let report = crate::compute_report(&sys, &spec, &staggered);
+        assert_eq!(report.instances(ta), 1, "staggering shares one instance");
+        let mut colliding = tcms_fds::Schedule::new(2);
+        colliding.set(ops[0], 0);
+        colliding.set(ops[1], 0);
+        let verdict =
+            exhaustive_check(&sys, &spec, &colliding, &report, 100).expect("within limit");
+        assert!(
+            matches!(verdict, Err(VerifyError::GlobalOverflow { ref rtype, .. }) if rtype == "ta"),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_check_overflowing_hyperperiod_reports_limit_exceeded() {
+        // Two disjoint global groups with large coprime periods: each
+        // process's spacing validates (65537 and 65539 both fit their
+        // budgets) but the cross-process hyperperiod 65537·65539
+        // overflows u32. The checker must refuse via the limit channel
+        // instead of panicking in the lcm fold.
+        use tcms_ir::{ResourceLibrary, ResourceType, SystemBuilder};
+        let mut lib = ResourceLibrary::new();
+        let ta = lib.add(ResourceType::new("ta", 1)).unwrap();
+        let tb = lib.add(ResourceType::new("tb", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let mut ops = Vec::new();
+        for (name, rtype, range) in [
+            ("P1", ta, 65_537),
+            ("P2", ta, 65_537),
+            ("P3", tb, 65_539),
+            ("P4", tb, 65_539),
+        ] {
+            let p = b.add_process(name);
+            let blk = b.add_block(p, "body", range).unwrap();
+            ops.push(b.add_op(blk, "x", rtype).unwrap());
+        }
+        let sys = b.build().unwrap();
+        let mut spec = SharingSpec::all_local(&sys);
+        spec.set_global(ta, sys.users_of_type(ta), 65_537);
+        spec.set_global(tb, sys.users_of_type(tb), 65_539);
+        spec.validate(&sys).expect("per-process spacings are fine");
+        let mut schedule = tcms_fds::Schedule::new(sys.num_ops());
+        for o in ops {
+            schedule.set(o, 0);
+        }
+        let report = crate::compute_report(&sys, &spec, &schedule);
+        let err = exhaustive_check(&sys, &spec, &schedule, &report, u64::MAX - 1).unwrap_err();
+        assert_eq!(err, u64::MAX);
     }
 }

@@ -1,5 +1,7 @@
 //! Tuning parameters shared by all force-directed schedulers.
 
+use std::time::Duration;
+
 use tcms_ir::{ResourceLibrary, ResourceTypeId};
 
 /// How resource types are weighted in the total force ("global spring
@@ -24,6 +26,41 @@ impl SpringWeights {
     }
 }
 
+/// Hard limits on one engine run — the watchdog of the scheduling pipeline.
+///
+/// The default budget is unlimited on every axis, so a default-configured
+/// run behaves exactly like the pre-budget engine. When a limit trips, the
+/// engine aborts with [`crate::EngineError::BudgetExhausted`] carrying a
+/// partial-progress report instead of spinning forever.
+///
+/// `max_iterations` and `max_evals` are deterministic (they count work, not
+/// time); `wall_deadline` is inherently wall-clock-dependent and should be
+/// reserved for interactive/service deployments where reproducibility
+/// matters less than bounded latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    /// Maximum frame-reduction iterations (`None` = unlimited).
+    pub max_iterations: Option<u64>,
+    /// Wall-clock deadline for the whole run (`None` = unlimited).
+    pub wall_deadline: Option<Duration>,
+    /// Maximum candidate force-pair evaluations (`None` = unlimited).
+    pub max_evals: Option<u64>,
+}
+
+impl RunBudget {
+    /// The unlimited budget (identical to `RunBudget::default()`).
+    pub const UNLIMITED: RunBudget = RunBudget {
+        max_iterations: None,
+        wall_deadline: None,
+        max_evals: None,
+    };
+
+    /// `true` if no axis is limited — the watchdog can be skipped entirely.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_iterations.is_none() && self.wall_deadline.is_none() && self.max_evals.is_none()
+    }
+}
+
 /// Configuration of the force model.
 ///
 /// # Example
@@ -34,6 +71,7 @@ impl SpringWeights {
 /// let cfg = FdsConfig {
 ///     lookahead: 0.0,
 ///     spring_weights: SpringWeights::Uniform,
+///     ..FdsConfig::default()
 /// };
 /// assert_ne!(cfg, FdsConfig::default());
 /// ```
@@ -46,6 +84,8 @@ pub struct FdsConfig {
     pub lookahead: f64,
     /// Per-type force weights.
     pub spring_weights: SpringWeights,
+    /// Run budget enforced by the engine's watchdog (unlimited by default).
+    pub budget: RunBudget,
 }
 
 impl Default for FdsConfig {
@@ -53,6 +93,7 @@ impl Default for FdsConfig {
         FdsConfig {
             lookahead: 1.0 / 3.0,
             spring_weights: SpringWeights::Area,
+            budget: RunBudget::UNLIMITED,
         }
     }
 }
@@ -75,5 +116,22 @@ mod tests {
         assert_eq!(SpringWeights::Uniform.weight(&lib, t.mul), 1.0);
         assert_eq!(SpringWeights::Area.weight(&lib, t.mul), 4.0);
         assert_eq!(SpringWeights::Area.weight(&lib, t.add), 1.0);
+    }
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(RunBudget::default().is_unlimited());
+        assert!(RunBudget::UNLIMITED.is_unlimited());
+        assert_eq!(FdsConfig::default().budget, RunBudget::UNLIMITED);
+        let limited = RunBudget {
+            max_iterations: Some(10),
+            ..RunBudget::default()
+        };
+        assert!(!limited.is_unlimited());
+        let timed = RunBudget {
+            wall_deadline: Some(Duration::from_millis(5)),
+            ..RunBudget::default()
+        };
+        assert!(!timed.is_unlimited());
     }
 }

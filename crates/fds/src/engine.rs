@@ -33,6 +33,8 @@ use tcms_ir::frames::constrained_frames;
 use tcms_ir::{BlockId, FrameTable, OpId, System, TimeFrame};
 use tcms_obs::{span, NoopRecorder, Recorder, TimelinePoint};
 
+use crate::config::RunBudget;
+use crate::error::{BudgetAxis, EngineError};
 use crate::evaluator::ForceEvaluator;
 use crate::schedule::Schedule;
 
@@ -128,6 +130,7 @@ pub struct IfdsEngine<'a> {
     system: &'a System,
     scope_ops: Vec<OpId>,
     frames: FrameTable,
+    budget: RunBudget,
 }
 
 impl<'a> IfdsEngine<'a> {
@@ -146,7 +149,16 @@ impl<'a> IfdsEngine<'a> {
             system,
             scope_ops,
             frames: FrameTable::initial(system),
+            budget: RunBudget::UNLIMITED,
         }
+    }
+
+    /// Replaces the engine's run budget (unlimited by default). The budget
+    /// is enforced by the watchdog inside the reduction loop; tripping it
+    /// aborts the run with [`EngineError::BudgetExhausted`].
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The current frame table (initial ASAP/ALAP before [`IfdsEngine::run`]).
@@ -202,7 +214,13 @@ impl<'a> IfdsEngine<'a> {
     /// frames and evaluator context are untouched since the last iteration.
     ///
     /// Produces a schedule identical to [`IfdsEngine::run_naive`].
-    pub fn run<E: ForceEvaluator>(self, eval: &mut E) -> IfdsOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BudgetExhausted`] if a budget installed with
+    /// [`IfdsEngine::with_budget`] trips before every frame is fixed. With
+    /// the default unlimited budget the run always succeeds.
+    pub fn run<E: ForceEvaluator>(self, eval: &mut E) -> Result<IfdsOutcome, EngineError> {
         self.run_impl(eval, true, &NoopRecorder)
     }
 
@@ -210,16 +228,46 @@ impl<'a> IfdsEngine<'a> {
     /// convergence samples and final counters flow into `rec`. Recording
     /// is read-only observation — the outcome is bit-identical to
     /// [`IfdsEngine::run`] (the integration suite asserts this).
-    pub fn run_recorded<E: ForceEvaluator>(self, eval: &mut E, rec: &dyn Recorder) -> IfdsOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IfdsEngine::run`]. On a budget trip an
+    /// `ifds.budget_exhausted` event carrying the partial-progress counters
+    /// is emitted through `rec` before the error is returned.
+    pub fn run_recorded<E: ForceEvaluator>(
+        self,
+        eval: &mut E,
+        rec: &dyn Recorder,
+    ) -> Result<IfdsOutcome, EngineError> {
         self.run_impl(eval, true, rec)
     }
 
     /// Reference run without the candidate-force cache: every candidate is
     /// re-evaluated each iteration, exactly like the pre-incremental
     /// engine. Kept as the equivalence oracle for tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IfdsEngine::run`].
     #[cfg(any(test, feature = "naive-oracle"))]
-    pub fn run_naive<E: ForceEvaluator>(self, eval: &mut E) -> IfdsOutcome {
+    pub fn run_naive<E: ForceEvaluator>(self, eval: &mut E) -> Result<IfdsOutcome, EngineError> {
         self.run_impl(eval, false, &NoopRecorder)
+    }
+
+    /// Returns the budget axis that is exhausted given the loop counters,
+    /// if any. Iteration/eval limits are checked before the wall clock so
+    /// deterministic axes win ties against the non-deterministic one.
+    fn tripped_axis(&self, iterations: u64, evals: u64, started: Instant) -> Option<BudgetAxis> {
+        let b = &self.budget;
+        if b.max_iterations.is_some_and(|cap| iterations >= cap) {
+            Some(BudgetAxis::Iterations)
+        } else if b.max_evals.is_some_and(|cap| evals >= cap) {
+            Some(BudgetAxis::Evaluations)
+        } else if b.wall_deadline.is_some_and(|cap| started.elapsed() >= cap) {
+            Some(BudgetAxis::WallClock)
+        } else {
+            None
+        }
     }
 
     fn run_impl<E: ForceEvaluator>(
@@ -227,7 +275,7 @@ impl<'a> IfdsEngine<'a> {
         eval: &mut E,
         use_cache: bool,
         rec: &dyn Recorder,
-    ) -> IfdsOutcome {
+    ) -> Result<IfdsOutcome, EngineError> {
         let run_started = Instant::now();
         let _reduce_span = span!(rec, "ifds.reduce", ops = self.scope_ops.len());
         let mut stats = IfdsStats::default();
@@ -244,7 +292,47 @@ impl<'a> IfdsEngine<'a> {
         // the table's per-op stamps as commits are applied.
         let mut block_gen: Vec<u64> = vec![0; self.system.num_blocks()];
         let mut iterations = 0;
+        let watchdog_armed = !self.budget.is_unlimited();
         loop {
+            if watchdog_armed {
+                if let Some(axis) = self.tripped_axis(iterations, stats.ops_evaluated, run_started)
+                {
+                    let unfixed_ops = self
+                        .scope_ops
+                        .iter()
+                        .filter(|&&q| !self.frames.get(q).is_fixed())
+                        .count();
+                    if unfixed_ops == 0 {
+                        // All frames are already fixed: the run is complete,
+                        // not aborted — fall through to schedule extraction.
+                        break;
+                    }
+                    let elapsed = run_started.elapsed();
+                    stats.iterations = iterations;
+                    stats.total_time = elapsed;
+                    // Partial-progress report: the counters so far plus the
+                    // trip event, so a tripped run is still observable.
+                    if rec.enabled() {
+                        rec.event(
+                            "ifds.budget_exhausted",
+                            &[
+                                ("axis", format!("{axis}").into()),
+                                ("iterations", iterations.into()),
+                                ("evals", stats.ops_evaluated.into()),
+                                ("unfixed_ops", unfixed_ops.into()),
+                            ],
+                        );
+                    }
+                    stats.publish(rec);
+                    return Err(EngineError::BudgetExhausted {
+                        axis,
+                        iterations,
+                        evals: stats.ops_evaluated,
+                        unfixed_ops,
+                        elapsed,
+                    });
+                }
+            }
             let eval_started = Instant::now();
             let mut best: Option<(f64, OpId, bool)> = None;
             for &o in &self.scope_ops {
@@ -355,11 +443,11 @@ impl<'a> IfdsEngine<'a> {
         stats.iterations = iterations;
         stats.total_time = run_started.elapsed();
         stats.publish(rec);
-        IfdsOutcome {
+        Ok(IfdsOutcome {
             schedule,
             iterations,
             stats,
-        }
+        })
     }
 }
 
@@ -388,9 +476,10 @@ mod tests {
         let cfg = FdsConfig {
             lookahead: 1.0 / 3.0,
             spring_weights: SpringWeights::Uniform,
+            ..FdsConfig::default()
         };
         let mut eval = ClassicEvaluator::new(&sys, &[blk], cfg);
-        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval);
+        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval).unwrap();
         out.schedule.verify(&sys).unwrap();
         let s0 = out.schedule.expect_start(ops[0]);
         let s1 = out.schedule.expect_start(ops[1]);
@@ -415,7 +504,7 @@ mod tests {
         b.add_dep(m, c).unwrap();
         let sys = b.build().unwrap();
         let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
-        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval);
+        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval).unwrap();
         out.schedule.verify(&sys).unwrap();
     }
 
@@ -451,7 +540,7 @@ mod tests {
         let (sys, blk, _) = two_adder_block();
         let run = || {
             let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
-            IfdsEngine::new(&sys, vec![blk]).run(&mut eval)
+            IfdsEngine::new(&sys, vec![blk]).run(&mut eval).unwrap()
         };
         assert_eq!(run(), run());
     }
@@ -470,11 +559,13 @@ mod tests {
         let scope = vec![b1, b2];
         let cached = {
             let mut eval = ClassicEvaluator::new(&sys, &scope, FdsConfig::default());
-            IfdsEngine::new(&sys, scope.clone()).run(&mut eval)
+            IfdsEngine::new(&sys, scope.clone()).run(&mut eval).unwrap()
         };
         let naive = {
             let mut eval = ClassicEvaluator::new(&sys, &scope, FdsConfig::default());
-            IfdsEngine::new(&sys, scope.clone()).run_naive(&mut eval)
+            IfdsEngine::new(&sys, scope.clone())
+                .run_naive(&mut eval)
+                .unwrap()
         };
         assert_eq!(cached, naive);
         assert_eq!(
@@ -494,12 +585,14 @@ mod tests {
         let (sys, blk, _) = two_adder_block();
         let plain = {
             let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
-            IfdsEngine::new(&sys, vec![blk]).run(&mut eval)
+            IfdsEngine::new(&sys, vec![blk]).run(&mut eval).unwrap()
         };
         let rec = TraceRecorder::new();
         let recorded = {
             let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
-            IfdsEngine::new(&sys, vec![blk]).run_recorded(&mut eval, &rec)
+            IfdsEngine::new(&sys, vec![blk])
+                .run_recorded(&mut eval, &rec)
+                .unwrap()
         };
         assert_eq!(plain, recorded);
         assert_eq!(plain.schedule.starts(), recorded.schedule.starts());
@@ -518,7 +611,7 @@ mod tests {
     fn stats_are_consistent() {
         let (sys, blk, _) = two_adder_block();
         let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
-        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval);
+        let out = IfdsEngine::new(&sys, vec![blk]).run(&mut eval).unwrap();
         assert_eq!(out.stats.iterations, out.iterations);
         assert_eq!(
             out.stats.ops_evaluated, out.stats.cache_misses,
@@ -530,5 +623,117 @@ mod tests {
         merged.absorb(&out.stats);
         assert_eq!(merged.iterations, 2 * out.stats.iterations);
         assert!(merged.hit_rate() >= 0.0 && merged.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn iteration_budget_trips_with_partial_progress() {
+        use crate::config::RunBudget;
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_ewf_process(&mut b, "P1", 20, types).unwrap();
+        let sys = b.build().unwrap();
+        let budget = RunBudget {
+            max_iterations: Some(1),
+            ..RunBudget::default()
+        };
+        let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+        let err = IfdsEngine::new(&sys, vec![blk])
+            .with_budget(budget)
+            .run(&mut eval)
+            .unwrap_err();
+        match err {
+            EngineError::BudgetExhausted {
+                axis,
+                iterations,
+                evals,
+                unfixed_ops,
+                ..
+            } => {
+                assert_eq!(axis, BudgetAxis::Iterations);
+                assert_eq!(iterations, 1);
+                assert!(evals > 0, "one iteration must have evaluated");
+                assert!(unfixed_ops > 0, "EWF cannot finish in one iteration");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_budget_trip_is_deterministic() {
+        use crate::config::RunBudget;
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_ewf_process(&mut b, "P1", 20, types).unwrap();
+        let sys = b.build().unwrap();
+        let trip = || {
+            let budget = RunBudget {
+                max_evals: Some(50),
+                ..RunBudget::default()
+            };
+            let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+            IfdsEngine::new(&sys, vec![blk])
+                .with_budget(budget)
+                .run(&mut eval)
+                .unwrap_err()
+        };
+        let (a, b) = (trip(), trip());
+        assert_eq!(a, b, "deterministic axes must trip identically");
+        let EngineError::BudgetExhausted { axis, .. } = a;
+        assert_eq!(axis, BudgetAxis::Evaluations);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let (sys, blk, _) = two_adder_block();
+        use crate::config::RunBudget;
+        let plain = {
+            let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+            IfdsEngine::new(&sys, vec![blk]).run(&mut eval).unwrap()
+        };
+        let budgeted = {
+            let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+            IfdsEngine::new(&sys, vec![blk])
+                .with_budget(RunBudget {
+                    max_iterations: Some(1_000_000),
+                    max_evals: Some(1_000_000),
+                    ..RunBudget::default()
+                })
+                .run(&mut eval)
+                .unwrap()
+        };
+        assert_eq!(plain, budgeted);
+        assert_eq!(plain.schedule.starts(), budgeted.schedule.starts());
+    }
+
+    #[test]
+    fn budget_trip_emits_recorder_event() {
+        use crate::config::RunBudget;
+        use tcms_obs::TraceRecorder;
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let (_, blk) = add_ewf_process(&mut b, "P1", 20, types).unwrap();
+        let sys = b.build().unwrap();
+        let rec = TraceRecorder::new();
+        let mut eval = ClassicEvaluator::new(&sys, &[blk], FdsConfig::default());
+        let err = IfdsEngine::new(&sys, vec![blk])
+            .with_budget(RunBudget {
+                max_iterations: Some(2),
+                ..RunBudget::default()
+            })
+            .run_recorded(&mut eval, &rec)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+        let data = rec.finish();
+        assert!(
+            data.events.iter().any(|e| matches!(
+                &e.kind,
+                tcms_obs::TraceEventKind::Instant { name, .. } if *name == "ifds.budget_exhausted"
+            )),
+            "trip must be observable as an event"
+        );
+        assert_eq!(
+            data.metrics.counter("ifds.iterations"),
+            2,
+            "partial-progress counters must still be published"
+        );
     }
 }

@@ -1,0 +1,135 @@
+//! Errors of the force-directed scheduling engine.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Which axis of a [`crate::RunBudget`] tripped the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetAxis {
+    /// The iteration cap (`max_iterations`).
+    Iterations,
+    /// The wall-clock deadline (`wall_deadline`).
+    WallClock,
+    /// The candidate-evaluation cap (`max_evals`).
+    Evaluations,
+}
+
+impl fmt::Display for BudgetAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetAxis::Iterations => write!(f, "iteration"),
+            BudgetAxis::WallClock => write!(f, "wall-clock"),
+            BudgetAxis::Evaluations => write!(f, "evaluation"),
+        }
+    }
+}
+
+/// Errors raised by an [`crate::IfdsEngine`] run.
+///
+/// Equality ignores the non-deterministic `elapsed` wall time of
+/// [`EngineError::BudgetExhausted`], so deterministic budget trips (by
+/// iteration or evaluation count) compare equal across runs.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// The run budget was exhausted before every frame was fixed. The
+    /// payload is a partial-progress report: how far the reduction got and
+    /// how much work remains.
+    BudgetExhausted {
+        /// The budget axis that tripped.
+        axis: BudgetAxis,
+        /// Frame-reduction iterations completed before the trip.
+        iterations: u64,
+        /// Candidate force pairs evaluated before the trip.
+        evals: u64,
+        /// Operations whose frames were still unfixed at the trip.
+        unfixed_ops: usize,
+        /// Wall time spent before the trip (non-deterministic; excluded
+        /// from equality).
+        elapsed: Duration,
+    },
+}
+
+impl PartialEq for EngineError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                EngineError::BudgetExhausted {
+                    axis: a1,
+                    iterations: i1,
+                    evals: e1,
+                    unfixed_ops: u1,
+                    elapsed: _,
+                },
+                EngineError::BudgetExhausted {
+                    axis: a2,
+                    iterations: i2,
+                    evals: e2,
+                    unfixed_ops: u2,
+                    elapsed: _,
+                },
+            ) => a1 == a2 && i1 == i2 && e1 == e2 && u1 == u2,
+        }
+    }
+}
+
+impl Eq for EngineError {}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BudgetExhausted {
+                axis,
+                iterations,
+                evals,
+                unfixed_ops,
+                ..
+            } => write!(
+                f,
+                "{axis} budget exhausted after {iterations} iterations and {evals} \
+                 candidate evaluations, {unfixed_ops} operations still unfixed"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_progress() {
+        let e = EngineError::BudgetExhausted {
+            axis: BudgetAxis::Iterations,
+            iterations: 42,
+            evals: 900,
+            unfixed_ops: 7,
+            elapsed: Duration::from_millis(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42 iterations"), "{s}");
+        assert!(s.contains("7 operations"), "{s}");
+        assert!(s.contains("iteration budget"), "{s}");
+    }
+
+    #[test]
+    fn equality_ignores_wall_time() {
+        let mk = |elapsed| EngineError::BudgetExhausted {
+            axis: BudgetAxis::Evaluations,
+            iterations: 1,
+            evals: 2,
+            unfixed_ops: 3,
+            elapsed,
+        };
+        assert_eq!(mk(Duration::from_secs(1)), mk(Duration::from_secs(9)));
+    }
+
+    #[test]
+    fn axes_display() {
+        assert_eq!(BudgetAxis::Iterations.to_string(), "iteration");
+        assert_eq!(BudgetAxis::WallClock.to_string(), "wall-clock");
+        assert_eq!(BudgetAxis::Evaluations.to_string(), "evaluation");
+    }
+}

@@ -222,6 +222,7 @@ mod tests {
         let cfg = FdsConfig {
             lookahead: 0.0,
             spring_weights: SpringWeights::Uniform,
+            ..FdsConfig::default()
         };
         let eval = ClassicEvaluator::new(&sys, &[BlockId::from_index(0)], cfg);
         let frames = FrameTable::initial(&sys);
@@ -237,6 +238,7 @@ mod tests {
         let cfg = FdsConfig {
             lookahead: 1.0 / 3.0,
             spring_weights: SpringWeights::Uniform,
+            ..FdsConfig::default()
         };
         let eval = ClassicEvaluator::new(&sys, &[BlockId::from_index(0)], cfg.clone());
         let frames = FrameTable::initial(&sys);
@@ -270,6 +272,7 @@ mod tests {
         let cfg = FdsConfig {
             lookahead: 0.0,
             spring_weights: SpringWeights::Uniform,
+            ..FdsConfig::default()
         };
         let mut eval = ClassicEvaluator::new(&sys, &[BlockId::from_index(0)], cfg);
         let mut frames = FrameTable::initial(&sys);

@@ -119,6 +119,7 @@ mod tests {
         let cfg = FdsConfig {
             lookahead: 0.0,
             spring_weights: SpringWeights::Uniform,
+            ..FdsConfig::default()
         };
         let out = schedule_block_fds(&sys, blk, &cfg);
         out.schedule.verify(&sys).unwrap();

@@ -29,7 +29,7 @@ use crate::schedule::Schedule;
 /// let mut b = SystemBuilder::new(lib);
 /// let (_, blk) = add_diffeq_process(&mut b, "P", 10, types)?;
 /// let sys = b.build()?;
-/// let out = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+/// let out = schedule_block_ifds(&sys, blk, &FdsConfig::default()).unwrap();
 /// let chart = gantt::render_block(&sys, blk, &out.schedule);
 /// assert!(chart.contains("m1"));
 /// # Ok(())
@@ -124,7 +124,7 @@ mod tests {
         let mut b = SystemBuilder::new(lib);
         let (_, blk) = add_diffeq_process(&mut b, "P", 10, types).unwrap();
         let sys = b.build().unwrap();
-        let out = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+        let out = schedule_block_ifds(&sys, blk, &FdsConfig::default()).unwrap();
         (sys, blk, out.schedule)
     }
 
@@ -178,7 +178,7 @@ mod tests {
         add_diffeq_process(&mut b, "A", 10, types).unwrap();
         add_diffeq_process(&mut b, "B", 12, types).unwrap();
         let sys = b.build().unwrap();
-        let out = schedule_system_local(&sys, &FdsConfig::default());
+        let out = schedule_system_local(&sys, &FdsConfig::default()).unwrap();
         let text = render_system(&sys, &out.schedule);
         assert!(text.contains("A :: body"));
         assert!(text.contains("B :: body"));

@@ -28,7 +28,7 @@
 //! let mut b = SystemBuilder::new(lib);
 //! let (_, blk) = add_ewf_process(&mut b, "P1", 20, types)?;
 //! let sys = b.build()?;
-//! let out = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+//! let out = schedule_block_ifds(&sys, blk, &FdsConfig::default())?;
 //! out.schedule.verify(&sys)?;
 //! # Ok(())
 //! # }
@@ -38,6 +38,7 @@ pub mod baselines;
 pub mod config;
 pub mod dist;
 pub mod engine;
+pub mod error;
 pub mod evaluator;
 pub mod fds;
 pub mod gantt;
@@ -46,8 +47,9 @@ pub mod prob;
 pub mod schedule;
 pub mod schedule_io;
 
-pub use config::{FdsConfig, SpringWeights};
+pub use config::{FdsConfig, RunBudget, SpringWeights};
 pub use engine::{IfdsEngine, IfdsOutcome, IfdsStats};
+pub use error::{BudgetAxis, EngineError};
 pub use evaluator::{ClassicEvaluator, ForceEvaluator};
 pub use schedule::{Schedule, ScheduleError};
 
@@ -55,31 +57,51 @@ use tcms_ir::{BlockId, System};
 
 /// Schedules a single block with the improved force-directed scheduling
 /// algorithm and the classical (per-block) force model.
-pub fn schedule_block_ifds(system: &System, block: BlockId, config: &FdsConfig) -> IfdsOutcome {
+///
+/// # Errors
+///
+/// Returns [`EngineError::BudgetExhausted`] if `config.budget` trips; with
+/// the default unlimited budget the call always succeeds.
+pub fn schedule_block_ifds(
+    system: &System,
+    block: BlockId,
+    config: &FdsConfig,
+) -> Result<IfdsOutcome, EngineError> {
     let scope = vec![block];
+    let budget = config.budget;
     let mut eval = ClassicEvaluator::new(system, &scope, config.clone());
-    IfdsEngine::new(system, scope).run(&mut eval)
+    IfdsEngine::new(system, scope)
+        .with_budget(budget)
+        .run(&mut eval)
 }
 
 /// Schedules every block of the system independently with IFDS — the
 /// traditional flow the paper compares against ("pure local assignment").
 ///
 /// Returns the merged schedule and the summed iteration count.
-pub fn schedule_system_local(system: &System, config: &FdsConfig) -> IfdsOutcome {
+///
+/// # Errors
+///
+/// Returns [`EngineError::BudgetExhausted`] if `config.budget` trips in
+/// any per-block run (the budget applies per block, not to the sum).
+pub fn schedule_system_local(
+    system: &System,
+    config: &FdsConfig,
+) -> Result<IfdsOutcome, EngineError> {
     let mut schedule = Schedule::new(system.num_ops());
     let mut iterations = 0;
     let mut stats = IfdsStats::default();
     for bid in system.block_ids() {
-        let out = schedule_block_ifds(system, bid, config);
+        let out = schedule_block_ifds(system, bid, config)?;
         iterations += out.iterations;
         stats.absorb(&out.stats);
         for &o in system.block(bid).ops() {
             schedule.set(o, out.schedule.expect_start(o));
         }
     }
-    IfdsOutcome {
+    Ok(IfdsOutcome {
         schedule,
         iterations,
         stats,
-    }
+    })
 }

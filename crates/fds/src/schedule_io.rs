@@ -109,7 +109,7 @@ mod tests {
 
     fn scheduled() -> (System, Schedule) {
         let (sys, _) = paper_system().unwrap();
-        let out = schedule_system_local(&sys, &FdsConfig::default());
+        let out = schedule_system_local(&sys, &FdsConfig::default()).unwrap();
         (sys, out.schedule)
     }
 

@@ -95,7 +95,9 @@ impl Parser<'_> {
             return Err(self.err("expected `time=<n>`"));
         }
         self.expect(&TokenKind::Equals, "`=`")?;
-        let time_range = self.number("time range")? as u32;
+        let time_raw = self.number("time range")?;
+        let time_range = u32::try_from(time_raw)
+            .map_err(|_| self.err(format!("time range {time_raw} exceeds the u32 limit")))?;
         self.expect(&TokenKind::LBrace, "`{`")?;
         let mut stmts = Vec::new();
         while self.peek() != Some(&TokenKind::RBrace) {

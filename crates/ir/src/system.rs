@@ -300,7 +300,15 @@ impl SystemBuilder {
     }
 
     /// Adds a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process count would overflow the `u32` id space.
     pub fn add_process(&mut self, name: impl Into<String>) -> ProcessId {
+        assert!(
+            self.processes.len() < u32::MAX as usize,
+            "process count overflows the id space"
+        );
         let id = ProcessId(self.processes.len() as u32);
         self.processes.push(Process {
             name: name.into(),
@@ -328,6 +336,10 @@ impl SystemBuilder {
         if time_range == 0 {
             return Err(IrError::ZeroTimeRange { name });
         }
+        assert!(
+            self.blocks.len() < u32::MAX as usize,
+            "block count overflows the id space"
+        );
         let id = BlockId(self.blocks.len() as u32);
         self.blocks.push(Block {
             name,
@@ -365,6 +377,10 @@ impl SystemBuilder {
                 block: self.blocks[block.index()].name.clone(),
             });
         }
+        assert!(
+            self.ops.len() < u32::MAX as usize,
+            "operation count overflows the id space"
+        );
         let id = OpId(self.ops.len() as u32);
         self.ops.push(Operation {
             name: name.clone(),

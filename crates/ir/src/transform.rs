@@ -51,6 +51,50 @@ pub fn merge_processes(system: &System) -> Result<System, IrError> {
     builder.build()
 }
 
+/// Rebuilds `system` with every block's time range scaled by
+/// `numer / denom` (rounded up), leaving processes, blocks, operations and
+/// dependencies — including all ids — untouched.
+///
+/// This is the relaxation used by the scheduling degradation ladder: when
+/// a specification is infeasible under the given deadlines, widening the
+/// time constraint by a bounded factor trades latency for feasibility.
+/// Scaling factors below 1 are allowed but may fail the deadline check.
+///
+/// # Errors
+///
+/// Propagates builder errors ([`IrError::InfeasibleDeadline`] if a scaled
+/// range falls below a block's critical path — impossible for
+/// `numer >= denom`).
+///
+/// # Panics
+///
+/// Panics if `denom` is zero.
+pub fn widen_time_ranges(system: &System, numer: u32, denom: u32) -> Result<System, IrError> {
+    assert!(denom > 0, "scaling denominator must be positive");
+    let mut builder = SystemBuilder::new(system.library().clone());
+    for pid in system.process_ids() {
+        let p = builder.add_process(system.process(pid).name());
+        debug_assert_eq!(p.index(), pid.index());
+    }
+    for (bid, block) in system.blocks() {
+        let widened = ((u64::from(block.time_range()) * u64::from(numer))
+            .div_ceil(u64::from(denom)))
+        .min(u64::from(u32::MAX)) as u32;
+        let nb = builder.add_block(block.process(), block.name(), widened)?;
+        debug_assert_eq!(nb.index(), bid.index());
+    }
+    for (o, op) in system.ops() {
+        let no = builder.add_op(op.block(), op.name(), op.resource_type())?;
+        debug_assert_eq!(no.index(), o.index());
+    }
+    for (o, _) in system.ops() {
+        for &s in system.succs(o) {
+            builder.add_dep(o, s)?;
+        }
+    }
+    builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +133,46 @@ mod tests {
             assert_eq!(m.resource_type(), op.resource_type());
             assert!(m.name().ends_with(op.name()));
         }
+    }
+
+    #[test]
+    fn widen_scales_ranges_and_preserves_structure() {
+        let (sys, _) = paper_system().unwrap();
+        let wide = widen_time_ranges(&sys, 3, 2).unwrap();
+        assert_eq!(wide.num_processes(), sys.num_processes());
+        assert_eq!(wide.num_blocks(), sys.num_blocks());
+        assert_eq!(wide.num_ops(), sys.num_ops());
+        for (bid, block) in sys.blocks() {
+            let scaled = (block.time_range() * 3).div_ceil(2);
+            assert_eq!(wide.block(bid).time_range(), scaled);
+            assert_eq!(wide.block(bid).name(), block.name());
+            assert_eq!(wide.block(bid).process(), block.process());
+        }
+        for (o, op) in sys.ops() {
+            assert_eq!(wide.op(o).name(), op.name());
+            assert_eq!(wide.op(o).resource_type(), op.resource_type());
+            assert_eq!(wide.succs(o), sys.succs(o));
+        }
+    }
+
+    #[test]
+    fn widen_identity_factor_is_noop_on_ranges() {
+        let (sys, _) = paper_system().unwrap();
+        let same = widen_time_ranges(&sys, 1, 1).unwrap();
+        for (bid, block) in sys.blocks() {
+            assert_eq!(same.block(bid).time_range(), block.time_range());
+        }
+    }
+
+    #[test]
+    fn widen_below_critical_path_fails() {
+        let (sys, _) = paper_system().unwrap();
+        // EWF critical path is 17 over a 30-step range; 1/4 scaling gives
+        // 8 < 17, which the deadline check must reject.
+        assert!(matches!(
+            widen_time_ranges(&sys, 1, 4),
+            Err(IrError::InfeasibleDeadline { .. })
+        ));
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! demonstration that the periodic authorization replaces a runtime
 //! executive.
 
+use rand::Rng;
 use tcms_core::{compute_report, ScheduleReport, SharingSpec};
 use tcms_fds::Schedule;
 use tcms_ir::{ResourceTypeId, System};
 use tcms_obs::{span, Recorder};
 
 use crate::behavior::{ProcessBehavior, UnrolledStep};
+use crate::fault::{FaultMetrics, FaultPlan};
 use crate::monitor::{Conflict, ResourceMonitor};
 use crate::trace::{Event, EventKind};
 use crate::workload::Trigger;
@@ -164,6 +166,98 @@ impl<'a> Simulator<'a> {
         behaviors: &[ProcessBehavior],
         config: &SimConfig,
     ) -> SimResult {
+        self.run_core(workloads, behaviors, config, None).0
+    }
+
+    /// [`Simulator::run`] under a deterministic [`FaultPlan`]: triggers
+    /// are jittered, authorization slots dropped and pool instances taken
+    /// out by transient outages, all reproducibly from the plan's seed.
+    /// Returns the simulation result together with the recovery metrics.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulator::run`], plus invalid plan probabilities.
+    pub fn run_with_faults(
+        &self,
+        workloads: &[Trigger],
+        config: &SimConfig,
+        plan: &FaultPlan,
+    ) -> (SimResult, FaultMetrics) {
+        let behaviors: Vec<ProcessBehavior> = self
+            .system
+            .process_ids()
+            .map(|p| ProcessBehavior::linear(self.system, p))
+            .collect();
+        self.run_behaviors_with_faults(workloads, &behaviors, config, plan)
+    }
+
+    /// [`Simulator::run_behaviors`] under a deterministic [`FaultPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulator::run_behaviors`], plus invalid plan
+    /// probabilities.
+    pub fn run_behaviors_with_faults(
+        &self,
+        workloads: &[Trigger],
+        behaviors: &[ProcessBehavior],
+        config: &SimConfig,
+        plan: &FaultPlan,
+    ) -> (SimResult, FaultMetrics) {
+        plan.validate();
+        self.run_core(workloads, behaviors, config, Some(plan))
+    }
+
+    /// [`Simulator::run_with_faults`] with observability: the usual
+    /// `"sim.run"` span and result events plus one `"sim.fault.metrics"`
+    /// instant event carrying the recovery counters.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulator::run_with_faults`].
+    pub fn run_with_faults_recorded(
+        &self,
+        workloads: &[Trigger],
+        config: &SimConfig,
+        plan: &FaultPlan,
+        rec: &dyn Recorder,
+    ) -> (SimResult, FaultMetrics) {
+        let _sim = span!(rec, "sim.run", horizon = config.horizon, seed = config.seed);
+        let (result, metrics) = self.run_with_faults(workloads, config, plan);
+        if rec.enabled() {
+            self.record_result(&result, rec);
+            rec.counter_add("sim.fault.dropped_slots", metrics.dropped_slots);
+            rec.counter_add("sim.fault.outages", metrics.outages);
+            rec.counter_add("sim.fault.missed_deadlines", metrics.missed_deadlines);
+            rec.event(
+                "sim.fault.metrics",
+                &[
+                    ("jitter_injected", metrics.jitter_injected.into()),
+                    ("dropped_slots", metrics.dropped_slots.into()),
+                    ("outages", metrics.outages.into()),
+                    (
+                        "outage_instance_steps",
+                        metrics.outage_instance_steps.into(),
+                    ),
+                    (
+                        "authorization_violations",
+                        metrics.authorization_violations.into(),
+                    ),
+                    ("missed_deadlines", metrics.missed_deadlines.into()),
+                    ("time_to_drain", metrics.time_to_drain.into()),
+                ],
+            );
+        }
+        (result, metrics)
+    }
+
+    fn run_core(
+        &self,
+        workloads: &[Trigger],
+        behaviors: &[ProcessBehavior],
+        config: &SimConfig,
+        plan: Option<&FaultPlan>,
+    ) -> (SimResult, FaultMetrics) {
         assert_eq!(
             workloads.len(),
             self.system.num_processes(),
@@ -186,13 +280,27 @@ impl<'a> Simulator<'a> {
         let mut activations = 0usize;
         let mut waits = Vec::new();
         let mut latencies = Vec::new();
+        let mut metrics = FaultMetrics::default();
+        let mut last_trigger = 0u64;
+        let mut last_completion = 0u64;
 
         for (pid, process) in self.system.processes() {
-            let triggers =
+            let mut triggers =
                 workloads[pid.index()].times(config.horizon, config.seed + pid.index() as u64);
+            let mut fault_rng = plan.map(|p| p.process_rng(pid.index()));
+            if let (Some(p), Some(rng)) = (plan, fault_rng.as_mut()) {
+                if p.trigger_jitter > 0 {
+                    for t in &mut triggers {
+                        let delay = rng.random_range(0..=p.trigger_jitter);
+                        metrics.jitter_injected += delay;
+                        *t += delay;
+                    }
+                }
+            }
             let _ = process;
             let mut available_at = 0u64;
             for &trig in &triggers {
+                last_trigger = last_trigger.max(trig);
                 events.push(Event {
                     time: trig,
                     kind: EventKind::Triggered { process: pid },
@@ -207,18 +315,32 @@ impl<'a> Simulator<'a> {
                         .wrapping_add(trig.wrapping_mul(1_000_003)),
                 );
                 let steps = behaviors[pid.index()].unroll(&mut rng);
-                let mut cursor = trig.max(available_at);
+                // Deadlines are measured from dispatch (when the process
+                // is free to run), not from the trigger — queueing backlog
+                // is workload pressure, not a fault effect.
+                let dispatch = trig.max(available_at);
+                let mut cursor = dispatch;
                 let mut first_start = None;
+                let mut nominal = 0u64;
                 for step in steps {
                     let b = match step {
                         UnrolledStep::Idle(n) => {
                             cursor += n;
+                            nominal += n;
                             continue;
                         }
                         UnrolledStep::Run(b) => b,
                     };
                     let spacing = u64::from(self.spec.block_grid_spacing(self.system, b));
-                    let start = cursor.div_ceil(spacing) * spacing;
+                    let mut start = cursor.div_ceil(spacing) * spacing;
+                    if let (Some(p), Some(frng)) = (plan, fault_rng.as_mut()) {
+                        // A dropped authorization slot: the block misses
+                        // its grid point and waits for the next one.
+                        while p.drop_slot_prob > 0.0 && frng.random::<f64>() < p.drop_slot_prob {
+                            start += spacing;
+                            metrics.dropped_slots += 1;
+                        }
+                    }
                     if start >= config.horizon {
                         cursor = start;
                         break;
@@ -244,6 +366,8 @@ impl<'a> Simulator<'a> {
                     }
                     let makespan = u64::from(self.schedule.block_makespan(self.system, b));
                     cursor = start + makespan;
+                    nominal += spacing + makespan;
+                    last_completion = last_completion.max(cursor);
                     events.push(Event {
                         time: cursor,
                         kind: EventKind::Completed { block: b },
@@ -253,6 +377,11 @@ impl<'a> Simulator<'a> {
                 if let Some(fs) = first_start {
                     waits.push((fs - trig) as f64);
                     latencies.push((cursor - trig) as f64);
+                    if let Some(p) = plan {
+                        if cursor - dispatch > nominal + p.deadline_slack {
+                            metrics.missed_deadlines += 1;
+                        }
+                    }
                 }
                 available_at = cursor;
             }
@@ -270,7 +399,22 @@ impl<'a> Simulator<'a> {
             conflicts.extend(monitor.conflicts(k.index(), pool, k));
             utilization[k.index()] = monitor.utilization(k.index(), pool);
             peak_usage[k.index()] = monitor.peak(k.index());
+            if let Some(p) = plan {
+                // Outages shrink the pool; steps where the static
+                // authorization still uses more than the surviving
+                // instances are authorization violations.
+                let (down, count) = p.outage_timeline(k.index(), config.horizon);
+                metrics.outages += count;
+                metrics.outage_instance_steps += down.iter().map(|&u| u64::from(u)).sum::<u64>();
+                for (t, &used) in monitor.usage_series(k.index()).iter().enumerate() {
+                    let effective = pool.saturating_sub(down[t]);
+                    if used > effective {
+                        metrics.authorization_violations += 1;
+                    }
+                }
+            }
         }
+        metrics.time_to_drain = last_completion.saturating_sub(last_trigger);
         let mean = |v: &[f64]| {
             if v.is_empty() {
                 0.0
@@ -278,7 +422,7 @@ impl<'a> Simulator<'a> {
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
-        SimResult {
+        let result = SimResult {
             events,
             conflicts,
             activations,
@@ -286,7 +430,8 @@ impl<'a> Simulator<'a> {
             mean_latency: mean(&latencies),
             utilization,
             peak_usage,
-        }
+        };
+        (result, metrics)
     }
 }
 
@@ -304,7 +449,10 @@ mod tests {
     fn simulate(trigger: Trigger, horizon: u64, seed: u64) -> (tcms_ir::System, SimResult) {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let sim = Simulator::new(&sys, &spec, &out.schedule);
         let workloads = vec![trigger; sys.num_processes()];
         let result = sim.run(&workloads, &SimConfig { horizon, seed });
@@ -353,7 +501,10 @@ mod tests {
     fn peaks_stay_within_pools() {
         let (sys, r) = simulate(Trigger::Random { mean_gap: 50 }, 5_000, 3);
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let report = out.report();
         for k in spec.global_types(&sys) {
             assert!(r.peak_usage[k.index()] <= report.instances(k));
@@ -388,7 +539,10 @@ mod tests {
         use crate::behavior::{ProcessBehavior, Segment};
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let sim = Simulator::new(&sys, &spec, &out.schedule);
         let behaviors: Vec<ProcessBehavior> = sys
             .process_ids()
@@ -424,12 +578,160 @@ mod tests {
         }
     }
 
+    fn fault_fixture() -> (tcms_ir::System, SharingSpec, tcms_fds::Schedule) {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let schedule = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .schedule;
+        (sys, spec, schedule)
+    }
+
+    #[test]
+    fn quiet_fault_plan_matches_plain_run() {
+        let (sys, spec, schedule) = fault_fixture();
+        let sim = Simulator::new(&sys, &spec, &schedule);
+        let workloads = vec![Trigger::Random { mean_gap: 40 }; sys.num_processes()];
+        let config = SimConfig {
+            horizon: 3_000,
+            seed: 2,
+        };
+        let plain = sim.run(&workloads, &config);
+        let (faulted, metrics) =
+            sim.run_with_faults(&workloads, &config, &crate::fault::FaultPlan::quiet(9));
+        assert_eq!(faulted.events, plain.events);
+        assert_eq!(faulted.conflicts, plain.conflicts);
+        assert_eq!(faulted.activations, plain.activations);
+        assert_eq!(metrics.jitter_injected, 0);
+        assert_eq!(metrics.dropped_slots, 0);
+        assert_eq!(metrics.outages, 0);
+        assert_eq!(metrics.authorization_violations, 0);
+        assert_eq!(metrics.missed_deadlines, 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let (sys, spec, schedule) = fault_fixture();
+        let sim = Simulator::new(&sys, &spec, &schedule);
+        let workloads = vec![Trigger::Random { mean_gap: 30 }; sys.num_processes()];
+        let config = SimConfig {
+            horizon: 4_000,
+            seed: 5,
+        };
+        let plan = crate::fault::FaultPlan::moderate(11);
+        let (ra, ma) = sim.run_with_faults(&workloads, &config, &plan);
+        let (rb, mb) = sim.run_with_faults(&workloads, &config, &plan);
+        assert_eq!(ra.events, rb.events);
+        assert_eq!(ma, mb);
+        assert!(
+            ma.dropped_slots > 0 || ma.jitter_injected > 0,
+            "moderate plan must inject something: {ma:?}"
+        );
+        // A different fault seed changes the run.
+        let (rc, mc) =
+            sim.run_with_faults(&workloads, &config, &crate::fault::FaultPlan::moderate(12));
+        assert!(ra.events != rc.events || ma != mc);
+    }
+
+    #[test]
+    fn slot_drops_and_jitter_keep_grid_alignment_and_conflict_freedom() {
+        // Dropped slots and jitter only ever *delay* starts to later grid
+        // points, so the static authorization still holds: starts stay
+        // grid-aligned and the full pool is never overdrawn.
+        let (sys, spec, schedule) = fault_fixture();
+        let sim = Simulator::new(&sys, &spec, &schedule);
+        let workloads = vec![Trigger::Random { mean_gap: 35 }; sys.num_processes()];
+        let mut plan = crate::fault::FaultPlan::quiet(3);
+        plan.trigger_jitter = 7;
+        plan.drop_slot_prob = 0.2;
+        plan.deadline_slack = 0;
+        let (r, m) = sim.run_with_faults(
+            &workloads,
+            &SimConfig {
+                horizon: 4_000,
+                seed: 1,
+            },
+            &plan,
+        );
+        assert!(r.conflicts.is_empty(), "{:?}", r.conflicts);
+        assert_eq!(m.authorization_violations, 0, "pool untouched by plan");
+        assert!(m.dropped_slots > 0);
+        for e in &r.events {
+            if let EventKind::Started { block, .. } = e.kind {
+                let spacing = u64::from(spec.block_grid_spacing(&sys, block));
+                assert_eq!(e.time % spacing, 0, "faulted start off grid");
+            }
+        }
+        // Enough dropped slots produce missed deadlines under zero slack.
+        assert!(m.missed_deadlines > 0, "{m:?}");
+    }
+
+    #[test]
+    fn outages_surface_authorization_violations() {
+        // Frequent long outages under saturating load must eventually
+        // catch the authorization using an instance that is down — the
+        // violation counter is the whole point of the experiment.
+        let (sys, spec, schedule) = fault_fixture();
+        let sim = Simulator::new(&sys, &spec, &schedule);
+        let workloads = vec![
+            Trigger::Periodic {
+                interval: 1,
+                offset: 0,
+            };
+            sys.num_processes()
+        ];
+        let mut plan = crate::fault::FaultPlan::quiet(4);
+        plan.outage_rate = 0.05;
+        plan.repair_time = 40;
+        let (_, m) = sim.run_with_faults(
+            &workloads,
+            &SimConfig {
+                horizon: 3_000,
+                seed: 0,
+            },
+            &plan,
+        );
+        assert!(m.outages > 0);
+        assert!(m.outage_instance_steps > 0);
+        assert!(m.authorization_violations > 0, "{m:?}");
+    }
+
+    #[test]
+    fn time_to_drain_covers_trailing_work() {
+        let (sys, spec, schedule) = fault_fixture();
+        let sim = Simulator::new(&sys, &spec, &schedule);
+        // One early burst, then silence: drain time is the backlog the
+        // burst left behind.
+        let workloads = vec![
+            Trigger::Burst {
+                count: 6,
+                gap_within: 1,
+                gap_between: 100_000,
+            };
+            sys.num_processes()
+        ];
+        let (_, m) = sim.run_with_faults(
+            &workloads,
+            &SimConfig {
+                horizon: 2_000,
+                seed: 0,
+            },
+            &crate::fault::FaultPlan::quiet(0),
+        );
+        assert!(m.time_to_drain > 0, "{m:?}");
+    }
+
     #[test]
     #[should_panic(expected = "one workload per process")]
     fn workload_count_checked() {
         let (sys, _) = paper_system().unwrap();
         let spec = SharingSpec::all_global(&sys, 5);
-        let out = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+        let out = ModuloScheduler::new(&sys, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
         let sim = Simulator::new(&sys, &spec, &out.schedule);
         let _ = sim.run(
             &[],

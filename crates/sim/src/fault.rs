@@ -1,0 +1,214 @@
+//! Deterministic fault injection for the reactive simulator.
+//!
+//! The paper's access authorization is *static*: it proves conflict
+//! freedom only while triggers land where the grid admits them and every
+//! pool instance is healthy. This module stresses that assumption with
+//! seed-reproducible faults — jittered triggers, dropped (stale)
+//! authorization slots and transient resource outages with repair times —
+//! and measures how the scheduled system degrades and recovers:
+//! missed-deadline counts, authorization violations against the shrunken
+//! pool, and the time to drain the backlog after the last trigger.
+//!
+//! All randomness derives from [`FaultPlan::seed`] alone, so two runs with
+//! the same plan, workload and horizon are bit-identical — faults are a
+//! reproducible experiment, not noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seed-driven fault-injection plan. The default plan injects nothing;
+/// enable individual fault classes by raising their fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the workload seed).
+    pub seed: u64,
+    /// Each trigger is delayed by a uniform draw in `0..=trigger_jitter`
+    /// steps — sensor latency or interrupt coalescing ahead of the grid.
+    pub trigger_jitter: u64,
+    /// Probability that a block's authorization slot is dropped at each
+    /// attempt: the block misses its grid point and must wait a full
+    /// spacing for the next one (a stale authorization window).
+    pub drop_slot_prob: f64,
+    /// Per-step probability that a transient outage takes one instance of
+    /// each global pool out of service.
+    pub outage_rate: f64,
+    /// Steps an outage lasts before the instance is repaired.
+    pub repair_time: u64,
+    /// Allowance beyond an activation's nominal span (grid alignment plus
+    /// block makespans plus declared delays) before its completion counts
+    /// as a missed deadline.
+    pub deadline_slack: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            trigger_jitter: 0,
+            drop_slot_prob: 0.0,
+            outage_rate: 0.0,
+            repair_time: 0,
+            deadline_slack: 0,
+        }
+    }
+
+    /// A moderate all-classes plan used by the demo sweep: small jitter,
+    /// occasional slot drops and rare short outages.
+    #[must_use]
+    pub fn moderate(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            trigger_jitter: 3,
+            drop_slot_prob: 0.05,
+            outage_rate: 0.002,
+            repair_time: 25,
+            deadline_slack: 10,
+        }
+    }
+
+    /// Checks the plan's probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is not a finite value in `[0, 1)`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("drop_slot_prob", self.drop_slot_prob),
+            ("outage_rate", self.outage_rate),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..1.0).contains(&p),
+                "{name} must be a finite probability in [0, 1), got {p}"
+            );
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.trigger_jitter == 0 && self.drop_slot_prob == 0.0 && self.outage_rate == 0.0
+    }
+
+    /// The deterministic fault RNG for process `pid`.
+    pub(crate) fn process_rng(&self, pid: usize) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xD1B5_4A32_D192_ED03)
+                .wrapping_add(0x5851_F42D ^ pid as u64),
+        )
+    }
+
+    /// Generates the outage timeline of one pool: `unavailable[t]` is the
+    /// number of instances out of service at step `t`. Outages of one pool
+    /// never overlap (an instance is repaired before the next draw), so
+    /// at most one instance per pool is down at a time.
+    pub(crate) fn outage_timeline(&self, pool: usize, horizon: u64) -> (Vec<u32>, u64) {
+        let mut unavailable = vec![0u32; horizon as usize];
+        let mut outages = 0u64;
+        if self.outage_rate <= 0.0 || self.repair_time == 0 {
+            return (unavailable, outages);
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xBEEF ^ pool as u64),
+        );
+        let mut t = 0u64;
+        while t < horizon {
+            if rng.random::<f64>() < self.outage_rate {
+                outages += 1;
+                let end = (t + self.repair_time).min(horizon);
+                for u in t..end {
+                    unavailable[u as usize] += 1;
+                }
+                t += self.repair_time;
+            } else {
+                t += 1;
+            }
+        }
+        (unavailable, outages)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::quiet(0)
+    }
+}
+
+/// Recovery metrics of a faulted run — all zero when the plan is quiet
+/// and the workload leaves slack.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Total trigger delay injected by jitter (steps).
+    pub jitter_injected: u64,
+    /// Authorization slots dropped (each costs one grid spacing of wait).
+    pub dropped_slots: u64,
+    /// Transient outages started across all global pools.
+    pub outages: u64,
+    /// Instance-steps lost to outages.
+    pub outage_instance_steps: u64,
+    /// Steps at which a pool's observed usage exceeded its *effective*
+    /// (outage-reduced) size — the static authorization overdrawing the
+    /// degraded pool. Zero whenever no outage overlaps a busy step.
+    pub authorization_violations: u64,
+    /// Activations whose trigger-to-completion latency exceeded their
+    /// nominal span plus [`FaultPlan::deadline_slack`].
+    pub missed_deadlines: u64,
+    /// Steps between the last trigger and the last block completion —
+    /// how long the system needs to drain its backlog once the
+    /// environment goes quiet.
+    pub time_to_drain: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_is_quiet() {
+        let p = FaultPlan::quiet(7);
+        assert!(p.is_quiet());
+        p.validate();
+        let (timeline, outages) = p.outage_timeline(0, 100);
+        assert_eq!(outages, 0);
+        assert!(timeline.iter().all(|&u| u == 0));
+    }
+
+    #[test]
+    fn outage_timeline_is_deterministic_and_respects_repair_time() {
+        let mut p = FaultPlan::quiet(3);
+        p.outage_rate = 0.01;
+        p.repair_time = 20;
+        let (a, na) = p.outage_timeline(1, 5_000);
+        let (b, nb) = p.outage_timeline(1, 5_000);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na > 0, "rate 0.01 over 5000 steps should trigger");
+        // Non-overlapping outages: never more than one instance down.
+        assert!(a.iter().all(|&u| u <= 1));
+        let down: u64 = a.iter().map(|&u| u64::from(u)).sum();
+        assert!(down <= na * 20, "no outage exceeds its repair time");
+        assert!(down >= (na - 1) * 20, "only the last outage may be clipped");
+    }
+
+    #[test]
+    fn different_pools_draw_different_outages() {
+        let mut p = FaultPlan::quiet(3);
+        p.outage_rate = 0.01;
+        p.repair_time = 10;
+        let (a, _) = p.outage_timeline(0, 5_000);
+        let (b, _) = p.outage_timeline(1, 5_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_slot_prob")]
+    fn probability_out_of_range_rejected() {
+        let mut p = FaultPlan::quiet(0);
+        p.drop_slot_prob = 1.5;
+        p.validate();
+    }
+}

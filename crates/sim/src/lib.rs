@@ -11,6 +11,9 @@
 //!   run-time trip counts and delays of unknown length,
 //! * [`engine`] — the simulator: processes wait for their grid slot
 //!   (equations 2–3), run their blocks' static schedules, and release,
+//! * [`fault`] — deterministic, seed-driven fault injection (jittered
+//!   triggers, dropped authorization slots, transient pool outages) with
+//!   recovery metrics,
 //! * [`monitor`] — instantaneous resource accounting proving that the
 //!   static access authorization needs **no runtime executive**: the
 //!   shared pools are never overdrawn,
@@ -26,7 +29,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let (sys, _) = paper_system()?;
 //! let spec = SharingSpec::all_global(&sys, 5);
-//! let out = ModuloScheduler::new(&sys, spec.clone())?.run();
+//! let out = ModuloScheduler::new(&sys, spec.clone())?.run()?;
 //! let sim = Simulator::new(&sys, &spec, &out.schedule);
 //! let workloads = vec![Trigger::Random { mean_gap: 40 }; sys.num_processes()];
 //! let result = sim.run(&workloads, &SimConfig { horizon: 2_000, seed: 7 });
@@ -37,12 +40,14 @@
 
 pub mod behavior;
 pub mod engine;
+pub mod fault;
 pub mod monitor;
 pub mod trace;
 pub mod workload;
 
 pub use behavior::{ProcessBehavior, Segment, UnrolledStep};
 pub use engine::{SimConfig, SimResult, Simulator};
+pub use fault::{FaultMetrics, FaultPlan};
 pub use monitor::{Conflict, ResourceMonitor};
 pub use trace::{Event, EventKind};
 pub use workload::Trigger;

@@ -60,6 +60,11 @@ impl ResourceMonitor {
         self.busy_cycles(pool) as f64 / (f64::from(instances) * self.horizon as f64)
     }
 
+    /// The per-step usage series of a pool (length = horizon).
+    pub fn usage_series(&self, pool: usize) -> &[u32] {
+        &self.usage[pool]
+    }
+
     /// All overdraws of pool `pool` against `available` instances, tagged
     /// with `rtype`.
     pub fn conflicts(&self, pool: usize, available: u32, rtype: ResourceTypeId) -> Vec<Conflict> {

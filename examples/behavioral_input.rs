@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", tcms::ir::display::summary(&system));
 
     let spec = SharingSpec::all_global(&system, 5);
-    let outcome = ModuloScheduler::new(&system, spec)?.run();
+    let outcome = ModuloScheduler::new(&system, spec)?.run()?;
     outcome.schedule.verify(&system)?;
 
     let report = outcome.report();

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = SharingSpec::all_local(&system);
     spec.set_global(mul, system.users_of_type(mul), 2);
 
-    let outcome = ModuloScheduler::new(&system, spec)?.run();
+    let outcome = ModuloScheduler::new(&system, spec)?.run()?;
     outcome.schedule.verify(&system)?;
 
     for (_, block) in system.blocks() {

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("global", SharingSpec::all_global(&system, 5)),
         ("local", SharingSpec::all_local(&system)),
     ] {
-        let outcome = ModuloScheduler::new(&system, spec.clone())?.run();
+        let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
         let binding = bind_system(&system, &spec, &outcome.schedule)?;
         let registers = allocate_registers(&system, &outcome.schedule);
         let datapath = build_datapath(&system, &spec, &outcome.schedule, &binding, &registers);

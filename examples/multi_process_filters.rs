@@ -16,8 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's assignment: adder and multiplier shared by all five
     // processes, subtracter by the two diffeq processes, period 5.
     let spec = SharingSpec::all_global(&system, 5);
-    let global = ModuloScheduler::new(&system, spec.clone())?.run();
-    let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))?.run();
+    let global = ModuloScheduler::new(&system, spec.clone())?.run()?;
+    let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))?.run()?;
 
     let (g, l) = (global.report(), local.report());
     println!("\n              global   local");

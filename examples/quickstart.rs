@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = SharingSpec::all_local(&system);
     spec.set_global(mul, vec![p0, p1], 3);
 
-    let outcome = ModuloScheduler::new(&system, spec)?.run();
+    let outcome = ModuloScheduler::new(&system, spec)?.run()?;
     outcome.schedule.verify(&system)?;
 
     // 4. Inspect: start times, the authorization table, the area.

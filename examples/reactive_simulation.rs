@@ -12,7 +12,7 @@ use tcms::sim::{trace, SimConfig, Simulator, Trigger};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (system, types) = paper_system()?;
     let spec = SharingSpec::all_global(&system, 5);
-    let outcome = ModuloScheduler::new(&system, spec.clone())?.run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
     let sim = Simulator::new(&system, &spec, &outcome.schedule);
 
     // A mixed environment: two sporadic filters, one periodic filter, one

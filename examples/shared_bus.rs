@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     spec.set_global(mem, procs.clone(), 3);
     spec.set_global(bus, procs.clone(), 3);
 
-    let outcome = ModuloScheduler::new(&system, spec.clone())?.run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
     outcome.schedule.verify(&system)?;
     let report = outcome.report();
 

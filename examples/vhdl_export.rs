@@ -12,7 +12,7 @@ use tcms::modulo::{ModuloScheduler, SharingSpec};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (system, _) = paper_system()?;
     let spec = SharingSpec::all_global(&system, 5);
-    let outcome = ModuloScheduler::new(&system, spec.clone())?.run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
     let binding = bind_system(&system, &spec, &outcome.schedule)?;
     let registers = allocate_registers(&system, &outcome.schedule);
     let vhdl = emit_vhdl(

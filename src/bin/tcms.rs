@@ -1,17 +1,23 @@
 //! The `tcms` command-line tool: schedule `.dfg` designs with modulo
 //! global resource sharing, export Graphviz, verify executions.
 //!
-//! See `tcms help` or [`tcms::cli`] for the interface.
+//! See `tcms help` or [`tcms::cli`] for the interface. Failures exit
+//! with a stable per-class code (see [`tcms::cli::CliError::exit_code`]):
+//! 2 usage, 3 I/O, 4 malformed input, 5 invalid spec, 6 infeasible,
+//! 7 budget exhausted, 8 period grid overflow, 9 verification, 10 backend.
 
 use std::process::ExitCode;
+
+use tcms::cli::CliError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match tcms::cli::parse_args(&args) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            let err = CliError::Usage(e);
+            eprintln!("error: {err}");
+            return ExitCode::from(err.exit_code());
         }
     };
     match tcms::cli::run(&cmd) {
@@ -21,7 +27,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -13,16 +13,110 @@
 //! The parsing and execution live here (and are unit tested); the binary
 //! in `src/bin/tcms.rs` only wires stdin/stdout.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 use crate::fds::gantt;
 use crate::ir::generators::paper_library;
 use crate::ir::{display, dot, frontend, parse, System};
-use crate::modulo::{check_execution, random_activations, ModuloScheduler, SharingSpec};
+use crate::modulo::{
+    check_execution, random_activations, ModuloScheduler, ScheduleError, SharingSpec,
+};
 use crate::obs::{sink, NoopRecorder, Recorder, TraceRecorder};
 
+/// A typed CLI failure. Every class maps to a stable process exit code
+/// (see [`CliError::exit_code`]) so scripts can branch on *why* a run
+/// failed, not only that it did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad command line: unknown flag, missing argument, malformed value.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying OS error text.
+        message: String,
+    },
+    /// The input text failed to parse or compile (either language).
+    Malformed(String),
+    /// The sharing specification is invalid for the design.
+    Spec(String),
+    /// The scheduler failed with a typed [`ScheduleError`].
+    Schedule(ScheduleError),
+    /// A produced or loaded schedule failed verification.
+    Verify(String),
+    /// Binding / RTL generation failed after a valid schedule.
+    Backend(String),
+}
+
+impl CliError {
+    /// The stable process exit code for this failure class.
+    ///
+    /// | code | class |
+    /// |------|-------|
+    /// | 2 | usage |
+    /// | 3 | I/O |
+    /// | 4 | malformed input |
+    /// | 5 | invalid sharing spec |
+    /// | 6 | infeasible time constraint |
+    /// | 7 | run budget exhausted |
+    /// | 8 | period grid overflow |
+    /// | 9 | schedule verification failure |
+    /// | 10 | backend (binding/RTL) failure |
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Malformed(_) => 4,
+            CliError::Spec(_) | CliError::Schedule(ScheduleError::Spec(_)) => 5,
+            CliError::Schedule(ScheduleError::Infeasible { .. }) => 6,
+            CliError::Schedule(ScheduleError::BudgetExhausted(_)) => 7,
+            CliError::Schedule(ScheduleError::PeriodGridOverflow { .. }) => 8,
+            CliError::Verify(_) | CliError::Schedule(ScheduleError::VerificationFailed { .. }) => 9,
+            CliError::Backend(_) => 10,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            CliError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            CliError::Spec(msg) => write!(f, "invalid sharing spec: {msg}"),
+            CliError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            CliError::Verify(msg) => write!(f, "schedule verification failed: {msg}"),
+            CliError::Backend(msg) => write!(f, "backend failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for CliError {
+    fn from(e: ScheduleError) -> Self {
+        CliError::Schedule(e)
+    }
+}
+
+impl From<crate::modulo::CoreError> for CliError {
+    fn from(e: crate::modulo::CoreError) -> Self {
+        CliError::Schedule(ScheduleError::from(e))
+    }
+}
+
 /// A parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Schedule a design and print the report.
     Schedule {
@@ -47,6 +141,31 @@ pub enum Command {
         /// Write the JSONL event/timeline stream to this path
         /// (from `--timeline`).
         timeline: Option<String>,
+        /// Retry infeasible or budget-tripped specifications through the
+        /// graceful-degradation ladder (from `--degrade`).
+        degrade: bool,
+    },
+    /// Simulate a scheduled design under reactive workloads, optionally
+    /// with deterministic fault injection.
+    Simulate {
+        /// Path of the design input.
+        input: String,
+        /// Uniform period for all shareable types.
+        all_global: Option<u32>,
+        /// Per-type global assignments.
+        globals: Vec<(String, u32)>,
+        /// Simulated time steps (from `--horizon`).
+        horizon: u64,
+        /// Workload seed (from `--seed`).
+        seed: u64,
+        /// Mean gap of the random triggers (from `--mean-gap`).
+        mean_gap: u64,
+        /// Enable fault injection (from `--faults`).
+        faults: bool,
+        /// The fault plan used when `faults` is set; knob flags
+        /// (`--fault-seed`, `--jitter`, `--drop-prob`, `--outage-rate`,
+        /// `--repair`, `--slack`) override the moderate defaults.
+        plan: crate::sim::FaultPlan,
     },
     /// Re-check a saved `.sched` file against a design.
     Check {
@@ -95,6 +214,7 @@ tcms — time-constrained modulo scheduling with global resource sharing
 
 USAGE:
   tcms schedule <design> [OPTIONS]     schedule and report resources/area
+  tcms simulate <design> [OPTIONS]     schedule, then simulate reactive load
   tcms check <design> <file.sched>     re-verify a saved schedule
   tcms vhdl <design> [OPTIONS]         schedule and emit structural VHDL
   tcms dfg <design>                    convert behavioral input to .dfg
@@ -110,6 +230,21 @@ SCHEDULE OPTIONS:
   --gantt                 print ASCII Gantt charts per block
   --verify <N>            check N randomized grid-aligned executions
   --save <file.sched>     write the schedule to disk
+  --degrade               on failure, retry through the degradation ladder
+                          (relax periods, demote groups, widen time, rc fallback)
+
+SIMULATE OPTIONS:
+  --all-global / --global as above, plus:
+  --horizon <N>           simulated steps (default 5000)
+  --seed <N>              workload seed (default 0)
+  --mean-gap <N>          mean trigger gap of the random workload (default 50)
+  --faults                inject deterministic faults (moderate defaults)
+  --fault-seed <N>        seed of the fault stream (default 0)
+  --jitter <N>            max trigger delay in steps
+  --drop-prob <P>         per-attempt authorization-slot drop probability
+  --outage-rate <P>       per-step pool outage probability
+  --repair <N>            outage repair time in steps
+  --slack <N>             deadline allowance beyond the nominal span
 
 OBSERVABILITY OPTIONS (schedule):
   --trace <file.json>     write a Chrome trace_event file (Perfetto/about:tracing)
@@ -150,9 +285,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut trace = None;
             let mut metrics = false;
             let mut timeline = None;
+            let mut degrade = false;
             while let Some(opt) = it.next() {
                 match opt.as_str() {
                     "--gantt" => gantt = true,
+                    "--degrade" => degrade = true,
                     "--verify" => {
                         let v = it.next().ok_or("--verify needs a count")?;
                         verify = v.parse().map_err(|_| format!("bad count `{v}`"))?;
@@ -180,6 +317,63 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 trace,
                 metrics,
                 timeline,
+                degrade,
+            })
+        }
+        "simulate" => {
+            let input = it.next().ok_or("simulate needs an input file")?.clone();
+            let mut all_global = None;
+            let mut globals = Vec::new();
+            let mut horizon = 5_000u64;
+            let mut seed = 0u64;
+            let mut mean_gap = 50u64;
+            let mut faults = false;
+            let mut plan = crate::sim::FaultPlan::moderate(0);
+            fn num<T: std::str::FromStr>(
+                it: &mut std::slice::Iter<'_, String>,
+                flag: &str,
+            ) -> Result<T, String> {
+                let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
+            }
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--horizon" => horizon = num(&mut it, "--horizon")?,
+                    "--seed" => seed = num(&mut it, "--seed")?,
+                    "--mean-gap" => mean_gap = num(&mut it, "--mean-gap")?,
+                    "--faults" => faults = true,
+                    "--fault-seed" => plan.seed = num(&mut it, "--fault-seed")?,
+                    "--jitter" => plan.trigger_jitter = num(&mut it, "--jitter")?,
+                    "--drop-prob" => plan.drop_slot_prob = num(&mut it, "--drop-prob")?,
+                    "--outage-rate" => plan.outage_rate = num(&mut it, "--outage-rate")?,
+                    "--repair" => plan.repair_time = num(&mut it, "--repair")?,
+                    "--slack" => plan.deadline_slack = num(&mut it, "--slack")?,
+                    other => parse_spec_option(other, &mut it, &mut all_global, &mut globals)?,
+                }
+            }
+            if horizon == 0 {
+                return Err("--horizon must be positive".to_owned());
+            }
+            if mean_gap == 0 {
+                return Err("--mean-gap must be positive".to_owned());
+            }
+            for (name, p) in [
+                ("--drop-prob", plan.drop_slot_prob),
+                ("--outage-rate", plan.outage_rate),
+            ] {
+                if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+                    return Err(format!("{name} must be a probability in [0, 1), got {p}"));
+                }
+            }
+            Ok(Command::Simulate {
+                input,
+                all_global,
+                globals,
+                horizon,
+                seed,
+                mean_gap,
+                faults,
+                plan,
             })
         }
         "check" => {
@@ -256,7 +450,7 @@ fn parse_spec_option(
 /// non-comment keyword is `resource` is structural `.dfg` (so a `:=`
 /// inside a comment cannot misroute it); otherwise the presence of `:=`
 /// selects the behavioral compiler.
-fn load_system(source: &str) -> Result<System, String> {
+fn load_system(source: &str) -> Result<System, CliError> {
     let first_keyword = source
         .lines()
         .map(|l| l.split('#').next().unwrap_or("").trim())
@@ -266,9 +460,9 @@ fn load_system(source: &str) -> Result<System, String> {
     let behavioral = first_keyword != "resource" && source.contains(":=");
     if behavioral {
         let (lib, _) = paper_library();
-        frontend::compile(source, lib).map_err(|e| e.to_string())
+        frontend::compile(source, lib).map_err(|e| CliError::Malformed(e.to_string()))
     } else {
-        parse::parse_system(source).map_err(|e| e.to_string())
+        parse::parse_system(source).map_err(|e| CliError::Malformed(e.to_string()))
     }
 }
 
@@ -276,7 +470,7 @@ fn build_spec(
     system: &System,
     all_global: Option<u32>,
     globals: &[(String, u32)],
-) -> Result<SharingSpec, String> {
+) -> Result<SharingSpec, CliError> {
     let mut spec = match all_global {
         Some(period) => SharingSpec::all_global(system, period),
         None => SharingSpec::all_local(system),
@@ -285,10 +479,10 @@ fn build_spec(
         let k = system
             .library()
             .by_name(name)
-            .ok_or_else(|| format!("unknown resource type `{name}`"))?;
+            .ok_or_else(|| CliError::Spec(format!("unknown resource type `{name}`")))?;
         spec.set_global(k, system.users_of_type(k), *period);
     }
-    spec.validate(system).map_err(|e| e.to_string())?;
+    spec.validate(system)?;
     Ok(spec)
 }
 
@@ -297,48 +491,74 @@ fn build_spec(
 ///
 /// # Errors
 ///
-/// Returns a message for parse errors, invalid specs and failed
-/// verification.
+/// Returns a typed [`CliError`] for parse errors, invalid specs,
+/// scheduling failures and failed verification.
 pub fn schedule_source(
     source: &str,
     all_global: Option<u32>,
     globals: &[(String, u32)],
     want_gantt: bool,
     verify: usize,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     schedule_source_full(
         source,
         all_global,
         globals,
         want_gantt,
         verify,
+        false,
         &NoopRecorder,
     )
     .map(|(s, _, _)| s)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn schedule_source_full(
     source: &str,
     all_global: Option<u32>,
     globals: &[(String, u32)],
     want_gantt: bool,
     verify: usize,
+    degrade: bool,
     rec: &dyn Recorder,
-) -> Result<(String, System, crate::fds::Schedule), String> {
+) -> Result<(String, System, crate::fds::Schedule), CliError> {
     let system = load_system(source)?;
     let spec = build_spec(&system, all_global, globals)?;
-    let outcome = ModuloScheduler::new(&system, spec.clone())
-        .map_err(|e| e.to_string())?
-        .run_recorded(rec);
-    outcome
-        .schedule
-        .verify(&system)
-        .map_err(|e| e.to_string())?;
-    let report = outcome.report();
+    let (system, spec, schedule, report, iterations, note) = if degrade {
+        let outcome = crate::modulo::degrade::schedule_with_degradation_recorded(
+            &system,
+            &spec,
+            &crate::fds::FdsConfig::default(),
+            &crate::modulo::LadderConfig::default(),
+            rec,
+        )?;
+        let note = outcome.summary();
+        let final_system = outcome.system.unwrap_or(system);
+        (
+            final_system,
+            outcome.spec,
+            outcome.schedule,
+            outcome.report,
+            outcome.iterations,
+            Some(note),
+        )
+    } else {
+        let outcome = ModuloScheduler::new(&system, spec.clone())?.run_recorded(rec)?;
+        outcome
+            .schedule
+            .verify(&system)
+            .map_err(|e| CliError::Verify(e.to_string()))?;
+        let report = outcome.report();
+        let (schedule, iterations) = (outcome.schedule, outcome.iterations);
+        (system, spec, schedule, report, iterations, None)
+    };
 
     let mut out = String::new();
     let _ = writeln!(out, "{}", display::summary(&system));
-    let _ = writeln!(out, "iterations: {}", outcome.iterations);
+    if let Some(note) = note {
+        let _ = writeln!(out, "degradation: {note}");
+    }
+    let _ = writeln!(out, "iterations: {iterations}");
     for (k, rt) in system.library().iter() {
         let tr = report.of_type(k);
         let _ = write!(out, "{:<8} {:>3} instances", rt.name(), tr.instances());
@@ -361,9 +581,9 @@ fn schedule_source_full(
 
     if verify > 0 {
         for seed in 0..verify as u64 {
-            let acts = random_activations(&system, &spec, &outcome.schedule, 3, seed);
-            check_execution(&system, &spec, &outcome.schedule, &report, &acts)
-                .map_err(|e| e.to_string())?;
+            let acts = random_activations(&system, &spec, &schedule, 3, seed);
+            check_execution(&system, &spec, &schedule, &report, &acts)
+                .map_err(|e| CliError::Verify(e.to_string()))?;
         }
         let _ = writeln!(
             out,
@@ -371,13 +591,8 @@ fn schedule_source_full(
         );
     }
     if want_gantt {
-        let _ = writeln!(
-            out,
-            "\n{}",
-            gantt::render_system(&system, &outcome.schedule)
-        );
+        let _ = writeln!(out, "\n{}", gantt::render_system(&system, &schedule));
     }
-    let schedule = outcome.schedule.clone();
     Ok((out, system, schedule))
 }
 
@@ -385,10 +600,14 @@ fn schedule_source_full(
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on any failure.
-pub fn run(cmd: &Command) -> Result<String, String> {
+/// Returns a typed [`CliError`]; the binary maps it to a stable exit
+/// code via [`CliError::exit_code`].
+pub fn run(cmd: &Command) -> Result<String, CliError> {
     let read = |path: &str| {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+        std::fs::read_to_string(path).map_err(|e| CliError::Io {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })
     };
     match cmd {
         Command::Help => Ok(USAGE.to_owned()),
@@ -410,6 +629,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             trace,
             metrics,
             timeline,
+            degrade,
         } => {
             let recording = trace.is_some() || *metrics || timeline.is_some();
             let recorder = if recording {
@@ -421,29 +641,128 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 Some(r) => r,
                 None => &NoopRecorder,
             };
-            let (mut out, system, schedule) =
-                schedule_source_full(&read(input)?, *all_global, globals, *gantt, *verify, rec)?;
+            let (mut out, system, schedule) = schedule_source_full(
+                &read(input)?,
+                *all_global,
+                globals,
+                *gantt,
+                *verify,
+                *degrade,
+                rec,
+            )?;
+            let write = |path: &str, text: String| {
+                std::fs::write(path, text).map_err(|e| CliError::Io {
+                    path: path.to_owned(),
+                    message: e.to_string(),
+                })
+            };
             if let Some(path) = save {
-                let text = crate::fds::schedule_io::to_sched(&system, &schedule);
-                std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                write(path, crate::fds::schedule_io::to_sched(&system, &schedule))?;
                 out.push_str(&format!("schedule saved to {path}\n"));
             }
             if let Some(recorder) = recorder {
                 let data = recorder.finish();
                 if let Some(path) = trace {
-                    std::fs::write(path, sink::to_chrome_trace(&data))
-                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    write(path, sink::to_chrome_trace(&data))?;
                     out.push_str(&format!("chrome trace written to {path}\n"));
                 }
                 if let Some(path) = timeline {
-                    std::fs::write(path, sink::to_jsonl(&data))
-                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    write(path, sink::to_jsonl(&data))?;
                     out.push_str(&format!("timeline written to {path}\n"));
                 }
                 if *metrics {
                     out.push('\n');
                     out.push_str(&data.metrics.render_summary());
                 }
+            }
+            Ok(out)
+        }
+        Command::Simulate {
+            input,
+            all_global,
+            globals,
+            horizon,
+            seed,
+            mean_gap,
+            faults,
+            plan,
+        } => {
+            let system = load_system(&read(input)?)?;
+            let spec = build_spec(&system, *all_global, globals)?;
+            let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
+            outcome
+                .schedule
+                .verify(&system)
+                .map_err(|e| CliError::Verify(e.to_string()))?;
+            let sim = crate::sim::Simulator::new(&system, &spec, &outcome.schedule);
+            let workloads = vec![
+                crate::sim::Trigger::Random {
+                    mean_gap: *mean_gap
+                };
+                system.num_processes()
+            ];
+            let config = crate::sim::SimConfig {
+                horizon: *horizon,
+                seed: *seed,
+            };
+            let (result, metrics) = if *faults {
+                let (r, m) = sim.run_with_faults(&workloads, &config, plan);
+                (r, Some(m))
+            } else {
+                (sim.run(&workloads, &config), None)
+            };
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", display::summary(&system));
+            let _ = writeln!(
+                out,
+                "simulated {horizon} steps (workload seed {seed}, mean gap {mean_gap}): \
+                 {} activations",
+                result.activations
+            );
+            let _ = writeln!(
+                out,
+                "mean wait {:.2}, mean latency {:.2}",
+                result.mean_wait, result.mean_latency
+            );
+            for k in system.library().ids() {
+                if spec.is_global(k) {
+                    let _ = writeln!(
+                        out,
+                        "pool {:<8} utilization {:.2}  peak {}/{}",
+                        system.library().get(k).name(),
+                        result.utilization[k.index()],
+                        result.peak_usage[k.index()],
+                        sim.report().instances(k)
+                    );
+                }
+            }
+            let _ = writeln!(out, "conflicts vs full pools: {}", result.conflicts.len());
+            if let Some(m) = metrics {
+                let _ = writeln!(
+                    out,
+                    "fault injection (seed {}): jitter<={} drop-prob={} outage-rate={} \
+                     repair={} slack={}",
+                    plan.seed,
+                    plan.trigger_jitter,
+                    plan.drop_slot_prob,
+                    plan.outage_rate,
+                    plan.repair_time,
+                    plan.deadline_slack
+                );
+                let _ = writeln!(out, "  jitter injected:          {}", m.jitter_injected);
+                let _ = writeln!(out, "  dropped slots:            {}", m.dropped_slots);
+                let _ = writeln!(
+                    out,
+                    "  outages:                  {} ({} instance-steps)",
+                    m.outages, m.outage_instance_steps
+                );
+                let _ = writeln!(
+                    out,
+                    "  authorization violations: {}",
+                    m.authorization_violations
+                );
+                let _ = writeln!(out, "  missed deadlines:         {}", m.missed_deadlines);
+                let _ = writeln!(out, "  time to drain:            {}", m.time_to_drain);
             }
             Ok(out)
         }
@@ -456,13 +775,15 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let system = load_system(&read(input)?)?;
             let spec = build_spec(&system, *all_global, globals)?;
             let schedule = crate::fds::schedule_io::from_sched(&system, &read(sched)?)
-                .map_err(|e| e.to_string())?;
-            schedule.verify(&system).map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Malformed(e.to_string()))?;
+            schedule
+                .verify(&system)
+                .map_err(|e| CliError::Verify(e.to_string()))?;
             let report = crate::modulo::compute_report(&system, &spec, &schedule);
             for seed in 0..10 {
                 let acts = random_activations(&system, &spec, &schedule, 3, seed);
                 check_execution(&system, &spec, &schedule, &report, &acts)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::Verify(e.to_string()))?;
             }
             Ok(format!(
                 "schedule valid: precedence, deadlines and 10 randomized executions pass; total area {}\n",
@@ -477,11 +798,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         } => {
             let system = load_system(&read(input)?)?;
             let spec = build_spec(&system, *all_global, globals)?;
-            let outcome = ModuloScheduler::new(&system, spec.clone())
-                .map_err(|e| e.to_string())?
-                .run();
+            let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
             let binding = crate::alloc::bind_system(&system, &spec, &outcome.schedule)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Backend(e.to_string()))?;
             let registers = crate::alloc::allocate_registers(&system, &outcome.schedule);
             crate::alloc::emit_vhdl(
                 &system,
@@ -494,7 +813,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     entity: "tcms_top".into(),
                 },
             )
-            .map_err(|e| e.to_string())
+            .map_err(|e| CliError::Backend(e.to_string()))
         }
         Command::Dfg { input } => {
             let system = load_system(&read(input)?)?;
@@ -559,8 +878,51 @@ edge m0 a0
                 trace: None,
                 metrics: false,
                 timeline: None,
+                degrade: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_simulate_options() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "x.dfg",
+            "--all-global",
+            "5",
+            "--horizon",
+            "2000",
+            "--faults",
+            "--drop-prob",
+            "0.1",
+            "--repair",
+            "40",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                horizon,
+                faults,
+                plan,
+                all_global,
+                ..
+            } => {
+                assert_eq!(horizon, 2000);
+                assert_eq!(all_global, Some(5));
+                assert!(faults);
+                assert!((plan.drop_slot_prob - 0.1).abs() < 1e-12);
+                assert_eq!(plan.repair_time, 40);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_simulate_rejects_degenerate_values() {
+        assert!(parse_args(&args(&["simulate", "x.dfg", "--drop-prob", "1.5"])).is_err());
+        assert!(parse_args(&args(&["simulate", "x.dfg", "--horizon", "0"])).is_err());
+        assert!(parse_args(&args(&["simulate", "x.dfg", "--mean-gap", "0"])).is_err());
+        assert!(parse_args(&args(&["simulate", "x.dfg", "--outage-rate", "nan"])).is_err());
     }
 
     #[test]
@@ -620,7 +982,125 @@ edge m0 a0
     #[test]
     fn schedule_source_reports_unknown_type() {
         let err = schedule_source(SAMPLE, None, &[("div".into(), 2)], false, 0).unwrap_err();
-        assert!(err.contains("unknown resource type"));
+        assert!(err.to_string().contains("unknown resource type"));
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn malformed_source_is_typed() {
+        let err = schedule_source("resource add delay=zero", None, &[], false, 0).unwrap_err();
+        assert!(matches!(err, CliError::Malformed(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn exit_codes_are_stable_and_distinct() {
+        use crate::modulo::CoreError;
+        let errors = [
+            CliError::Usage("u".into()),
+            CliError::Io {
+                path: "p".into(),
+                message: "m".into(),
+            },
+            CliError::Malformed("m".into()),
+            CliError::Spec("s".into()),
+            CliError::Schedule(ScheduleError::Infeasible {
+                block: "P::b".into(),
+                slack: -5,
+                binding_resource: "mul".into(),
+            }),
+            CliError::Schedule(ScheduleError::PeriodGridOverflow {
+                process: "P".into(),
+            }),
+            CliError::Verify("v".into()),
+            CliError::Backend("b".into()),
+        ];
+        let codes: Vec<u8> = errors.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 8, 9, 10]);
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+            assert_ne!(e.exit_code(), 0, "failures must not exit 0");
+        }
+        // A wrapped spec error shares the spec class.
+        let wrapped = CliError::Schedule(ScheduleError::Spec(CoreError::GroupTooSmall {
+            rtype: "mul".into(),
+        }));
+        assert_eq!(wrapped.exit_code(), 5);
+    }
+
+    #[test]
+    fn every_core_error_variant_round_trips_to_an_exit_code() {
+        use crate::modulo::CoreError;
+        // One constructor per CoreError variant: each must display
+        // something, convert into a CliError via ScheduleError, and land
+        // on its documented exit code (5 for spec problems, 8 for the
+        // promoted period-grid overflow).
+        let variants: Vec<(CoreError, u8)> = vec![
+            (
+                CoreError::GroupTooSmall {
+                    rtype: "mul".into(),
+                },
+                5,
+            ),
+            (
+                CoreError::ProcessDoesNotUseType {
+                    rtype: "mul".into(),
+                    process: "P1".into(),
+                },
+                5,
+            ),
+            (
+                CoreError::DuplicateProcessInGroup {
+                    rtype: "mul".into(),
+                    process: "P1".into(),
+                },
+                5,
+            ),
+            (
+                CoreError::MissingPeriod {
+                    rtype: "mul".into(),
+                },
+                5,
+            ),
+            (
+                CoreError::ZeroPeriod {
+                    rtype: "mul".into(),
+                },
+                5,
+            ),
+            (
+                CoreError::ResourceInfeasible {
+                    block: "body".into(),
+                    time_range: 15,
+                },
+                5,
+            ),
+            (
+                CoreError::ZeroInstances {
+                    rtype: "mul".into(),
+                },
+                5,
+            ),
+            (
+                CoreError::PeriodGridOverflow {
+                    process: "P1".into(),
+                },
+                8,
+            ),
+        ];
+        for (core, expected) in variants {
+            let display = core.to_string();
+            assert!(!display.is_empty());
+            let cli: CliError = core.into();
+            assert_eq!(cli.exit_code(), expected, "{cli}");
+            assert!(!cli.to_string().is_empty());
+        }
+        // The ScheduleError variants not derived from CoreError.
+        let verification = CliError::Schedule(ScheduleError::VerificationFailed {
+            detail: "pool overflow at t=3".into(),
+        });
+        assert_eq!(verification.exit_code(), 9);
+        assert!(verification.to_string().contains("re-verification"));
     }
 
     #[test]
@@ -647,7 +1127,8 @@ process b time=8 { z := p * q; }
             input: "/nonexistent/x.dfg".into(),
         })
         .unwrap_err();
-        assert!(err.contains("cannot read"));
+        assert!(err.to_string().contains("cannot access"));
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]
@@ -701,6 +1182,7 @@ process b time=8 { z := p * q; }
             trace: None,
             metrics: false,
             timeline: None,
+            degrade: false,
         })
         .unwrap();
         assert!(out.contains("schedule saved"));
@@ -732,6 +1214,7 @@ process b time=8 { z := p * q; }
             trace: Some(trace.to_string_lossy().into_owned()),
             metrics: true,
             timeline: Some(timeline.to_string_lossy().into_owned()),
+            degrade: false,
         })
         .unwrap();
         assert!(out.contains("chrome trace written"), "{out}");

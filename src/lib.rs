@@ -21,8 +21,8 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let (system, types) = paper_system()?;
 //! let spec = SharingSpec::all_global(&system, 5);
-//! let result = ModuloScheduler::new(&system, spec)?.run();
-//! assert!(result.report().total_area() > 0);
+//! let outcome = ModuloScheduler::new(&system, spec)?.run()?;
+//! assert!(outcome.report().total_area() > 0);
 //! # Ok(())
 //! # }
 //! ```

@@ -25,7 +25,10 @@ fn scheduled(
     if !tcms::modulo::period::spacing_feasible(&system, &spec) {
         return None;
     }
-    let out = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    let out = ModuloScheduler::new(&system, spec.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     let schedule = out.schedule.clone();
     Some((system, spec, schedule))
 }

@@ -34,6 +34,7 @@ fn cli_schedules_checked_in_dfg() {
         trace: None,
         metrics: false,
         timeline: None,
+        degrade: false,
     })
     .unwrap();
     assert!(out.contains("conflict-free"), "{out}");
@@ -52,6 +53,7 @@ fn cli_schedules_checked_in_behavioral() {
         trace: None,
         metrics: false,
         timeline: None,
+        degrade: false,
     })
     .unwrap();
     // Two diffeq solvers share a single multiplier pool.

@@ -51,7 +51,7 @@ proptest! {
         prop_assert!(sys.num_ops() <= tree_ops);
         // Whatever came out must be schedulable end to end.
         if sys.num_ops() > 0 {
-            let out = schedule_system_local(&sys, &FdsConfig::default());
+            let out = schedule_system_local(&sys, &FdsConfig::default()).unwrap();
             out.schedule.verify(&sys).unwrap();
         }
     }

@@ -202,10 +202,10 @@ proptest! {
 
         let cached = ModuloScheduler::new(&system, spec.clone())
             .unwrap()
-            .run();
+            .run().unwrap();
         let naive = ModuloScheduler::new(&system, spec)
             .unwrap()
-            .run_naive();
+            .run_naive().unwrap();
 
         prop_assert_eq!(
             cached.schedule.starts(),

@@ -44,7 +44,7 @@ proptest! {
         let (system, _) = random_system(&cfg, seed).unwrap();
         let spec = SharingSpec::all_global(&system, period);
         prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
-        let outcome = ModuloScheduler::new(&system, spec).unwrap().run();
+        let outcome = ModuloScheduler::new(&system, spec).unwrap().run().unwrap();
         outcome.schedule.verify(&system).unwrap();
     }
 
@@ -53,7 +53,7 @@ proptest! {
         let (system, _) = random_system(&cfg, seed).unwrap();
         let spec = SharingSpec::all_global(&system, period);
         prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
-        let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+        let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run().unwrap();
         let report = compute_report(&system, &spec, &outcome.schedule);
         for act_seed in 0..4 {
             let acts = random_activations(&system, &spec, &outcome.schedule, 3, act_seed);
@@ -76,7 +76,7 @@ proptest! {
         let global = ModuloScheduler::new(&system, spec.clone())
             .unwrap()
             .with_config(cfg_fds.clone())
-            .run();
+            .run().unwrap();
         let g = global.report();
         for k in spec.global_types(&system) {
             let worst: u32 = spec
@@ -106,7 +106,7 @@ proptest! {
         let (system, _) = random_system(&cfg, seed).unwrap();
         let spec = SharingSpec::all_global(&system, period);
         prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
-        let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+        let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run().unwrap();
         for k in spec.global_types(&system) {
             let table = tcms::modulo::AuthorizationTable::from_schedule(
                 &system, &spec, &outcome.schedule, k,

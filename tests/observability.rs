@@ -15,12 +15,14 @@ fn schedule_both() -> TraceData {
 
     let plain = ModuloScheduler::new(&system, spec.clone())
         .expect("valid spec")
-        .run();
+        .run()
+        .unwrap();
 
     let rec = TraceRecorder::new();
     let recorded = ModuloScheduler::new(&system, spec)
         .expect("valid spec")
-        .run_recorded(&rec);
+        .run_recorded(&rec)
+        .unwrap();
 
     // The tentpole invariant: recording is observation only. Identical
     // schedules, identical iteration counts, identical resource report.
@@ -111,6 +113,7 @@ fn noop_recorder_records_nothing() {
     // default `run()`; it must succeed and produce a complete schedule.
     let out = ModuloScheduler::new(&system, spec)
         .expect("valid spec")
-        .run_recorded(&rec);
+        .run_recorded(&rec)
+        .unwrap();
     out.schedule.verify(&system).expect("complete schedule");
 }

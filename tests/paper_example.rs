@@ -11,10 +11,11 @@ use tcms::sim::{SimConfig, Simulator, Trigger};
 fn table1_headline_reproduces() {
     let (system, types) = paper_system().unwrap();
     let spec = SharingSpec::all_global(&system, 5);
-    let global = ModuloScheduler::new(&system, spec).unwrap().run();
+    let global = ModuloScheduler::new(&system, spec).unwrap().run().unwrap();
     let local = ModuloScheduler::new(&system, SharingSpec::all_local(&system))
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     let (g, l) = (global.report(), local.report());
 
     // Traditional scheduling: >= 1 resource per type and process.
@@ -40,7 +41,10 @@ fn table1_headline_reproduces() {
 fn winning_schedule_survives_execution_and_binding() {
     let (system, _) = paper_system().unwrap();
     let spec = SharingSpec::all_global(&system, 5);
-    let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     outcome.schedule.verify(&system).unwrap();
     let report = outcome.report();
 
@@ -62,7 +66,8 @@ fn winning_schedule_survives_execution_and_binding() {
     let local_spec = SharingSpec::all_local(&system);
     let local = ModuloScheduler::new(&system, local_spec.clone())
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
     let l_binding = bind_system(&system, &local_spec, &local.schedule).unwrap();
     let l_full = full_area_report(&system, &local_spec, &local.schedule, &l_binding);
     assert!(g_full.total() < l_full.total());
@@ -74,7 +79,10 @@ fn winning_schedule_survives_execution_and_binding() {
 fn simulated_reactive_execution_is_conflict_free() {
     let (system, _) = paper_system().unwrap();
     let spec = SharingSpec::all_global(&system, 5);
-    let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     let sim = Simulator::new(&system, &spec, &outcome.schedule);
     for (seed, mean_gap) in [(1u64, 25u64), (2, 60), (3, 120)] {
         let workloads = vec![Trigger::Random { mean_gap }; system.num_processes()];

@@ -23,7 +23,10 @@ fn pipeline(seed: u64) {
     if !tcms::modulo::period::spacing_feasible(&system, &spec) {
         return;
     }
-    let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     outcome.schedule.verify(&system).unwrap();
 
     let binding = bind_system(&system, &spec, &outcome.schedule).unwrap();
@@ -84,7 +87,10 @@ fn pipeline_with_multiblock_processes() {
     if !tcms::modulo::period::spacing_feasible(&system, &spec) {
         return;
     }
-    let outcome = ModuloScheduler::new(&system, spec.clone()).unwrap().run();
+    let outcome = ModuloScheduler::new(&system, spec.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     outcome.schedule.verify(&system).unwrap();
     let report = outcome.report();
     for seed in 0..10 {

@@ -22,12 +22,15 @@ fn all_generators_schedule_validly() {
     add_ar_lattice_process(&mut b, "ar", 40, types).unwrap();
     add_fft_process(&mut b, "fft", 8, 25, types).unwrap();
     let sys = b.build().unwrap();
-    let out = schedule_system_local(&sys, &FdsConfig::default());
+    let out = schedule_system_local(&sys, &FdsConfig::default()).unwrap();
     out.schedule.verify(&sys).unwrap();
 
     // And globally shared across the three kernels.
     let spec = SharingSpec::all_global(&sys, 5);
-    let global = ModuloScheduler::new(&sys, spec.clone()).unwrap().run();
+    let global = ModuloScheduler::new(&sys, spec.clone())
+        .unwrap()
+        .run()
+        .unwrap();
     global.schedule.verify(&sys).unwrap();
     let mul = sys.library().by_name("mul").unwrap();
     assert!(global.report().instances(mul) < 3 * 2, "sharing helps");
@@ -41,7 +44,7 @@ fn fds_and_ifds_agree_on_validity_and_are_close_in_quality() {
     let sys = b.build().unwrap();
     let cfg = FdsConfig::default();
     let fds = schedule_block_fds(&sys, blk, &cfg);
-    let ifds = schedule_block_ifds(&sys, blk, &cfg);
+    let ifds = schedule_block_ifds(&sys, blk, &cfg).unwrap();
     fds.schedule.verify(&sys).unwrap();
     ifds.schedule.verify(&sys).unwrap();
     let peak = |s: &tcms::fds::Schedule| {
@@ -61,7 +64,7 @@ fn list_schedule_meets_fds_counts_with_relaxed_deadline() {
     let mut b = SystemBuilder::new(lib);
     let (_, blk) = tcms::ir::generators::add_ewf_process(&mut b, "P", 60, types).unwrap();
     let sys = b.build().unwrap();
-    let ifds = schedule_block_ifds(&sys, blk, &FdsConfig::default());
+    let ifds = schedule_block_ifds(&sys, blk, &FdsConfig::default()).unwrap();
     let limits = vec![
         ifds.schedule.peak_usage(&sys, blk, types.add),
         1,
@@ -112,7 +115,7 @@ proptest! {
         let (sys, _) = random_system(&cfg, seed).unwrap();
         let asap = baselines::asap_schedule(&sys);
         let alap = baselines::alap_schedule(&sys);
-        let local = schedule_system_local(&sys, &FdsConfig::default());
+        let local = schedule_system_local(&sys, &FdsConfig::default()).unwrap();
         for o in sys.op_ids() {
             prop_assert!(asap.expect_start(o) <= local.schedule.expect_start(o));
             prop_assert!(local.schedule.expect_start(o) <= alap.expect_start(o));
