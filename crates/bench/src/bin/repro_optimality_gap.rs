@@ -3,6 +3,10 @@
 //!
 //! The paper gives no optimality evidence (FDS is a heuristic); this
 //! study quantifies the gap where exhaustive search is tractable.
+//!
+//! `--node-cap <N>` bounds the exact search (systems that do not finish
+//! under the cap are skipped); `--seeds <N>` sets how many random
+//! systems are tried. CI runs a small-cap smoke configuration.
 
 use tcms_bench::{ObsSession, TextTable};
 use tcms_core::exact::exact_schedule;
@@ -11,6 +15,29 @@ use tcms_ir::generators::{random_system, RandomSystemConfig};
 
 fn main() {
     let obs = ObsSession::from_env_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut node_cap = 5_000_000u64;
+    let mut seeds = 20u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--node-cap" => {
+                node_cap = it
+                    .next()
+                    .expect("--node-cap needs a count")
+                    .parse()
+                    .expect("--node-cap needs a number");
+            }
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .expect("--seeds needs a count")
+                    .parse()
+                    .expect("--seeds needs a number");
+            }
+            _ => {} // observability flags already handled by ObsSession
+        }
+    }
     let cfg = RandomSystemConfig {
         processes: 2,
         blocks_per_process: 1,
@@ -24,13 +51,13 @@ fn main() {
     t.row(["seed", "ops", "heuristic", "optimum", "nodes", "gap"]);
     t.sep();
     let (mut total_h, mut total_e, mut solved) = (0u64, 0u64, 0u32);
-    for seed in 0..20u64 {
+    for seed in 0..seeds {
         let (sys, _) = random_system(&cfg, seed).expect("feasible");
         let spec = SharingSpec::all_global(&sys, 2);
         if !tcms_core::period::spacing_feasible(&sys, &spec) {
             continue;
         }
-        let Some(exact) = exact_schedule(&sys, &spec, 5_000_000).expect("valid spec") else {
+        let Some(exact) = exact_schedule(&sys, &spec, node_cap).expect("valid spec") else {
             continue;
         };
         if !exact.complete {

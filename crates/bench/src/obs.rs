@@ -1,12 +1,14 @@
 //! Observability plumbing shared by the `repro_*` binaries.
 //!
-//! Every reproduction binary accepts the same three flags as
+//! Every reproduction binary accepts the same flags as
 //! `tcms schedule`:
 //!
 //! * `--trace <file.json>` — Chrome `trace_event` output
 //!   (Perfetto / about:tracing),
 //! * `--timeline <file.jsonl>` — the JSONL span/event/timeline stream,
-//! * `--metrics` — print the metrics-registry summary table.
+//! * `--metrics` — print the metrics-registry summary table,
+//! * `--threads <N>` — worker threads for candidate-force evaluation
+//!   (0 = auto; results are bit-identical at every thread count).
 //!
 //! A binary constructs one [`ObsSession`] from its arguments, threads
 //! [`ObsSession::recorder`] through the `*_recorded` runners and calls
@@ -25,12 +27,15 @@ pub struct ObsSession {
 }
 
 impl ObsSession {
-    /// Parses `--trace`, `--timeline` and `--metrics` from the process
-    /// arguments. Unknown flags are left for the binary's own parsing.
+    /// Parses `--trace`, `--timeline`, `--metrics` and `--threads` from
+    /// the process arguments. Unknown flags are left for the binary's own
+    /// parsing. `--threads` applies the global worker-thread override
+    /// immediately (see `tcms_fds::threads`).
     ///
     /// # Panics
     ///
-    /// Panics when `--trace`/`--timeline` is passed without a path.
+    /// Panics when `--trace`/`--timeline` is passed without a path or
+    /// `--threads` without a valid count.
     pub fn from_env_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::from_args(&args)
@@ -40,7 +45,8 @@ impl ObsSession {
     ///
     /// # Panics
     ///
-    /// Panics when `--trace`/`--timeline` is passed without a path.
+    /// Panics when `--trace`/`--timeline` is passed without a path or
+    /// `--threads` without a valid count.
     pub fn from_args(args: &[String]) -> Self {
         let mut s = ObsSession::default();
         let mut it = args.iter();
@@ -51,6 +57,14 @@ impl ObsSession {
                     s.timeline = Some(it.next().expect("--timeline needs a path").clone());
                 }
                 "--metrics" => s.metrics = true,
+                "--threads" => {
+                    let n: usize = it
+                        .next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads needs a numeric count");
+                    tcms_fds::threads::set(n);
+                }
                 _ => {}
             }
         }

@@ -21,8 +21,20 @@
 //! validation are handled *before* spawning, the parallel map preserves
 //! input order, and the winner is selected by a sequential in-order fold
 //! with a strict `<` comparison — the results (including tie-breaks) are
-//! identical to the sequential evaluation. The pruned search stays
-//! sequential: each decision depends on the incumbent.
+//! identical to the sequential evaluation.
+//!
+//! [`pruned_best_period_assignment`] is a parallel bound-ordered search
+//! over a shared atomic incumbent. Candidates are stably sorted by their
+//! admissible area lower bound and pruned with a **strict** `bound >
+//! incumbent` test: the incumbent never drops below the optimum, so every
+//! candidate whose bound does not exceed the optimum is scheduled in every
+//! run, and any extra candidate a stale incumbent lets through has
+//! `area >= bound > optimum` and cannot win. The sequential index-ordered
+//! fold therefore returns the *same* winner as the old sequential
+//! incumbent loop — the first optimal candidate in bound order — at every
+//! thread count. Only the `evaluated` count is timing-dependent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 use tcms_fds::FdsConfig;
@@ -92,7 +104,7 @@ pub fn sweep_uniform_periods_recorded(
         if !crate::period::spacing_feasible(system, &spec) {
             continue;
         }
-        let scheduler = ModuloScheduler::new(system, spec)?.with_config(config.clone());
+        let scheduler = ModuloScheduler::new(system, spec)?.with_config_ref(config);
         candidates.push((period, scheduler));
     }
     let _sweep = span!(rec, "s2.sweep", candidates = candidates.len());
@@ -182,8 +194,7 @@ pub fn best_period_assignment_recorded(
     let schedulers = specs
         .into_iter()
         .map(|spec| {
-            ModuloScheduler::new(system, spec.clone())
-                .map(|s| (spec, s.with_config(config.clone())))
+            ModuloScheduler::new(system, spec.clone()).map(|s| (spec, s.with_config_ref(config)))
         })
         .collect::<Result<Vec<_>, CoreError>>()?;
     // Ordered collect + sequential fold: the earliest failing candidate
@@ -255,7 +266,9 @@ pub fn pool_lower_bound(system: &System, spec: &SharingSpec, rtype: ResourceType
 }
 
 /// Area lower bound for a period assignment: local pools as scheduled
-/// plus [`pool_lower_bound`] per global type. Used to prune the search.
+/// plus [`pool_lower_bound`] per global type. Reference implementation
+/// the cached [`BoundContext::area_lower_bound`] is tested against.
+#[cfg(test)]
 fn area_lower_bound(system: &System, spec: &SharingSpec) -> u64 {
     let mut area = 0u64;
     for (k, rt) in system.library().iter() {
@@ -271,13 +284,83 @@ fn area_lower_bound(system: &System, spec: &SharingSpec) -> u64 {
     area
 }
 
+/// Spec-independent inputs of [`area_lower_bound`], resolved once per
+/// search instead of once per candidate: busy cycles per `(block, type)`,
+/// the user set per type and the per-block reuse factors only depend on
+/// the system, while the enumerated specs vary periods alone.
+struct BoundContext<'a> {
+    system: &'a System,
+    /// `busy[b * num_types + k]`: summed occupancy of type-`k` ops in `b`.
+    busy: Vec<u32>,
+    /// Users per type, in `process_ids` order.
+    users: Vec<Vec<tcms_ir::ProcessId>>,
+    num_types: usize,
+}
+
+impl<'a> BoundContext<'a> {
+    fn new(system: &'a System) -> Self {
+        let num_types = system.library().len();
+        let mut busy = vec![0u32; system.num_blocks() * num_types];
+        for (o, op) in system.ops() {
+            busy[op.block().index() * num_types + op.resource_type().index()] +=
+                system.occupancy(o);
+        }
+        let users = system
+            .library()
+            .ids()
+            .map(|k| system.users_of_type(k))
+            .collect();
+        BoundContext {
+            system,
+            busy,
+            users,
+            num_types,
+        }
+    }
+
+    /// Same value as [`area_lower_bound`] (the search's sort key and prune
+    /// test must match the old sequential implementation exactly), without
+    /// the per-call `Vec` churn of `users_of_type`/`ops_of_type`.
+    fn area_lower_bound(&self, spec: &SharingSpec) -> u64 {
+        let mut area = 0u64;
+        for (k, rt) in self.system.library().iter() {
+            let group = spec.group(k).unwrap_or(&[]);
+            let mut instances = self.users[k.index()]
+                .iter()
+                .filter(|p| !group.contains(p))
+                .count() as u64;
+            if !group.is_empty() {
+                let period = f64::from(spec.period(k).expect("global types have periods"));
+                let mut slot_mass = 0.0f64;
+                for &p in group {
+                    let mut process_mass = 0.0f64;
+                    for &b in self.system.process(p).blocks() {
+                        let busy = self.busy[b.index() * self.num_types + k.index()];
+                        let t_b = f64::from(self.system.block(b).time_range());
+                        let reuse = (t_b / period).ceil();
+                        process_mass = process_mass.max(f64::from(busy) / reuse);
+                    }
+                    slot_mass += process_mass;
+                }
+                instances += (slot_mass / period).ceil() as u64;
+            }
+            area += instances * rt.area();
+        }
+        area
+    }
+}
+
 /// Lower-bound-pruned period search (the paper's "find the optimal periods
 /// ... without a complete enumeration" future-work item).
 ///
-/// Candidates are ordered by decreasing area lower bound quality and a
-/// combination is only scheduled when its bound beats the incumbent.
-/// Returns the same optimum as [`best_period_assignment`] whenever the
-/// bound is admissible (it is), while scheduling far fewer combinations.
+/// Candidates are stably sorted by area lower bound and scheduled in
+/// parallel against a shared atomic incumbent; a candidate is pruned when
+/// its bound strictly exceeds the incumbent. Returns the same optimum —
+/// and the same winning spec — as [`best_period_assignment`] at every
+/// thread count (see the module docs for why), while scheduling far fewer
+/// combinations. The returned `evaluated` count is the only
+/// timing-dependent output: a stale incumbent may let a few extra
+/// candidates through, none of which can win.
 ///
 /// # Errors
 ///
@@ -309,45 +392,67 @@ pub fn pruned_best_period_assignment_recorded(
         .iter()
         .map(|&k| candidate_periods(system, base, k))
         .collect();
-    let mut specs = enumerate_periods(system, base, &globals, &cands, None);
+    let specs = enumerate_periods(system, base, &globals, &cands, None);
     let _pruned = span!(rec, "s2.pruned_search", candidates = specs.len());
-    // Most promising (lowest bound) first, so the incumbent tightens early.
-    specs.sort_by_key(|s| area_lower_bound(system, s));
-    let mut best: Option<(SharingSpec, ScheduleReport)> = None;
-    let mut evaluated = 0usize;
-    for spec in specs {
-        if let Some((_, incumbent)) = &best {
-            if area_lower_bound(system, &spec) >= incumbent.total_area() {
-                rec.counter_add("s2.candidates_pruned", 1);
-                continue;
+    // Most promising (lowest bound) first, so the incumbent tightens
+    // early; the stable sort keeps enumeration order among equal bounds,
+    // which is what makes the winner below the same one the sequential
+    // incumbent loop picked.
+    let ctx = BoundContext::new(system);
+    let mut bounded: Vec<(u64, SharingSpec)> = specs
+        .into_iter()
+        .map(|s| (ctx.area_lower_bound(&s), s))
+        .collect();
+    bounded.sort_by_key(|&(bound, _)| bound);
+    // Shared incumbent: schedule candidates in parallel, prune with a
+    // *strict* `bound > incumbent`. The incumbent only ever holds real
+    // schedule areas (>= optimum), so every potentially-optimal candidate
+    // is scheduled in every run; the recording and the winner fold run
+    // sequentially in bound order afterwards.
+    let incumbent = AtomicU64::new(u64::MAX);
+    let results: Vec<Result<Option<ScheduleReport>, ScheduleError>> =
+        rayon::par_map_indexed(bounded.len(), |i| {
+            let (bound, spec) = &bounded[i];
+            if *bound > incumbent.load(Ordering::Relaxed) {
+                return Ok(None);
             }
-        }
-        let outcome = ModuloScheduler::new(system, spec.clone())?
-            .with_config(config.clone())
-            .run()?;
-        evaluated += 1;
-        rec.counter_add("s2.candidates_scheduled", 1);
-        let report = outcome.report();
-        if best
-            .as_ref()
-            .is_none_or(|(_, b)| report.total_area() < b.total_area())
-        {
-            best = Some((spec, report));
-            if rec.enabled() {
-                rec.timeline(TimelinePoint {
-                    phase: "pruned_search",
-                    iteration: evaluated as u64,
-                    values: vec![(
-                        "incumbent_area".into(),
-                        best.as_ref()
-                            .map(|(_, b)| b.total_area() as f64)
-                            .unwrap_or(0.0),
-                    )],
-                });
+            let outcome = ModuloScheduler::new(system, spec.clone())?
+                .with_config_ref(config)
+                .run()?;
+            let report = outcome.report();
+            incumbent.fetch_min(report.total_area(), Ordering::Relaxed);
+            Ok(Some(report))
+        });
+    // In-order fold: the earliest error in bound order decides
+    // deterministically, and the strict `<` keeps the first optimal spec.
+    let mut best: Option<(usize, ScheduleReport)> = None;
+    let mut evaluated = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        match result? {
+            None => rec.counter_add("s2.candidates_pruned", 1),
+            Some(report) => {
+                evaluated += 1;
+                rec.counter_add("s2.candidates_scheduled", 1);
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| report.total_area() < b.total_area())
+                {
+                    if rec.enabled() {
+                        rec.timeline(TimelinePoint {
+                            phase: "pruned_search",
+                            iteration: evaluated as u64,
+                            values: vec![("incumbent_area".into(), report.total_area() as f64)],
+                        });
+                    }
+                    best = Some((i, report));
+                }
             }
         }
     }
-    Ok(best.map(|(s, r)| (s, r, evaluated)))
+    Ok(best.map(|(i, r)| {
+        let spec = bounded.swap_remove(i).1;
+        (spec, r, evaluated)
+    }))
 }
 
 /// Greedy automatic scope selection (the paper's other future-work item):
@@ -382,7 +487,7 @@ pub fn auto_assign_recorded(
     let _s1 = span!(rec, "s1.auto_assign", period = period);
     let mut spec = SharingSpec::all_local(system);
     let mut report = ModuloScheduler::new(system, spec.clone())?
-        .with_config(config.clone())
+        .with_config_ref(config)
         .run()?
         .report();
     let mut types: Vec<ResourceTypeId> = system.library().ids().collect();
@@ -397,13 +502,15 @@ pub fn auto_assign_recorded(
         if !crate::period::spacing_feasible(system, &trial) {
             continue;
         }
-        let trial_report = ModuloScheduler::new(system, trial.clone())?
-            .with_config(config.clone())
-            .run()?
-            .report();
+        // The trial spec moves into the scheduler and is recovered from
+        // the outcome only when accepted — rejected trials never clone it.
+        let outcome = ModuloScheduler::new(system, trial)?
+            .with_config_ref(config)
+            .run()?;
+        let trial_report = outcome.report();
         rec.counter_add("s1.trials", 1);
         if trial_report.total_area() < report.total_area() {
-            spec = trial;
+            spec = outcome.into_spec();
             report = trial_report;
             if rec.enabled() {
                 rec.event(
@@ -473,6 +580,7 @@ mod tests {
 
     #[test]
     fn pruned_search_matches_exhaustive_on_small_system() {
+        let _guard = crate::test_support::threads_lock();
         let cfg = RandomSystemConfig {
             processes: 2,
             blocks_per_process: 1,
@@ -491,10 +599,47 @@ mod tests {
         let full = best_period_assignment(&sys, &base, &fds, None)
             .unwrap()
             .unwrap();
-        let pruned = pruned_best_period_assignment(&sys, &base, &fds)
-            .unwrap()
-            .unwrap();
-        assert_eq!(full.1.total_area(), pruned.1.total_area());
+        // The parallel search must return the exhaustive optimum — same
+        // area AND same winning spec — at every thread count.
+        for threads in [1, 2, 4, 8] {
+            rayon::set_num_threads(threads);
+            let pruned = pruned_best_period_assignment(&sys, &base, &fds)
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                full.1.total_area(),
+                pruned.1.total_area(),
+                "threads = {threads}: pruned search must find the optimum"
+            );
+            assert_eq!(
+                full.0, pruned.0,
+                "threads = {threads}: winning spec must be deterministic"
+            );
+            assert!(
+                pruned.2 > 0,
+                "threads = {threads}: at least one candidate is scheduled"
+            );
+        }
+        rayon::set_num_threads(0);
+    }
+
+    #[test]
+    fn cached_area_bound_matches_reference() {
+        let (sys, _) = paper_system().unwrap();
+        let ctx = super::BoundContext::new(&sys);
+        for period in 1..=8u32 {
+            let spec = SharingSpec::all_global(&sys, period);
+            assert_eq!(
+                ctx.area_lower_bound(&spec),
+                super::area_lower_bound(&sys, &spec),
+                "period {period}: cached bound must equal the reference"
+            );
+        }
+        let local = SharingSpec::all_local(&sys);
+        assert_eq!(
+            ctx.area_lower_bound(&local),
+            super::area_lower_bound(&sys, &local)
+        );
     }
 
     #[test]

@@ -76,3 +76,16 @@ pub use latency::{latency_bounds, LatencyBound};
 pub use report::{compute_report, ScheduleReport, TypeReport};
 pub use scheduler::{ModuloOutcome, ModuloScheduler};
 pub use verify::{check_execution, exhaustive_check, random_activations, Activation, VerifyError};
+
+/// Serializes unit tests that mutate the global thread-count override.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn threads_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

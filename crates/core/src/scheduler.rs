@@ -5,6 +5,8 @@
 //! describes the time frames of every operation of the system, and each
 //! iteration reduces the globally worst frame.
 
+use std::borrow::Cow;
+
 use tcms_fds::{FdsConfig, IfdsEngine, IfdsStats, Schedule};
 use tcms_ir::System;
 use tcms_obs::{span, NoopRecorder, Recorder};
@@ -36,7 +38,9 @@ use crate::report::{compute_report, ScheduleReport};
 pub struct ModuloScheduler<'a> {
     system: &'a System,
     spec: SharingSpec,
-    config: FdsConfig,
+    /// Borrowed when the caller schedules many candidates under one
+    /// configuration (the exploration fan-outs), owned otherwise.
+    config: Cow<'a, FdsConfig>,
 }
 
 impl<'a> ModuloScheduler<'a> {
@@ -50,14 +54,23 @@ impl<'a> ModuloScheduler<'a> {
         Ok(ModuloScheduler {
             system,
             spec,
-            config: FdsConfig::default(),
+            config: Cow::Owned(FdsConfig::default()),
         })
     }
 
     /// Overrides the force-model configuration.
     #[must_use]
     pub fn with_config(mut self, config: FdsConfig) -> Self {
-        self.config = config;
+        self.config = Cow::Owned(config);
+        self
+    }
+
+    /// Overrides the force-model configuration without taking ownership —
+    /// the fan-out paths scheduling hundreds of candidates share one
+    /// borrowed configuration instead of cloning it per candidate.
+    #[must_use]
+    pub fn with_config_ref(mut self, config: &'a FdsConfig) -> Self {
+        self.config = Cow::Borrowed(config);
         self
     }
 
@@ -144,7 +157,7 @@ impl<'a> ModuloScheduler<'a> {
         let mut eval = ModuloEvaluator::new(
             self.system,
             self.spec.clone(),
-            self.config.clone(),
+            self.config.as_ref().clone(),
             engine.frames(),
         );
         #[cfg(any(test, feature = "naive-oracle"))]
@@ -192,6 +205,12 @@ impl<'a> ModuloOutcome<'a> {
     /// The sharing specification the schedule was produced under.
     pub fn spec(&self) -> &SharingSpec {
         &self.spec
+    }
+
+    /// Consumes the outcome and returns the owned specification — lets
+    /// trial-and-reject loops recover their spec without cloning it.
+    pub fn into_spec(self) -> SharingSpec {
+        self.spec
     }
 
     /// Resource counts, authorization tables and area of the schedule.

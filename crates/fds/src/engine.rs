@@ -26,6 +26,18 @@
 //! would evaluate to bit-identical values, so the cached pair is reused.
 //! [`IfdsEngine::run_naive`] runs the identical selection loop without the
 //! cache and serves as the oracle: its outcome must match `run` exactly.
+//!
+//! # Parallel evaluation
+//!
+//! The candidate sweep of one iteration splits into three passes: a
+//! sequential cache consultation, a (possibly parallel) evaluation of the
+//! missing force pairs, and a sequential selection fold in scope order.
+//! [`ForceEvaluator::force`] takes `&self`, so pass 2 may compute pairs in
+//! any order on any thread and still produce bit-identical values; the
+//! epsilon tie-break of the selection (`diff > best + 1e-12`) is
+//! *non-associative*, which is why pass 3 stays a sequential index-ordered
+//! fold. The schedule is therefore bit-identical at every thread count —
+//! the determinism suite and the `run_naive` oracle pin this down.
 
 use std::time::{Duration, Instant};
 
@@ -54,6 +66,9 @@ pub struct IfdsStats {
     /// was enabled (stamp moved). `ops_evaluated - cache_misses` pairs were
     /// computed with caching unavailable or disabled.
     pub cache_misses: u64,
+    /// Candidate force pairs evaluated inside a parallel fan-out (a subset
+    /// of `ops_evaluated`; the rest ran inline on the calling thread).
+    pub parallel_evals: u64,
     /// Wall time spent in the candidate-evaluation phase.
     pub eval_time: Duration,
     /// Wall time spent committing changes (evaluator update + frames).
@@ -69,6 +84,7 @@ impl IfdsStats {
         self.ops_evaluated += other.ops_evaluated;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.parallel_evals += other.parallel_evals;
         self.eval_time += other.eval_time;
         self.commit_time += other.commit_time;
         self.total_time += other.total_time;
@@ -95,6 +111,7 @@ impl IfdsStats {
         rec.counter_add("ifds.ops_evaluated", self.ops_evaluated);
         rec.counter_add("ifds.cache_hits", self.cache_hits);
         rec.counter_add("ifds.cache_misses", self.cache_misses);
+        rec.counter_add("ifds.parallel_evals", self.parallel_evals);
         rec.counter_add("ifds.eval_us", self.eval_time.as_micros() as u64);
         rec.counter_add("ifds.commit_us", self.commit_time.as_micros() as u64);
         rec.counter_add("ifds.total_us", self.total_time.as_micros() as u64);
@@ -124,6 +141,19 @@ impl PartialEq for IfdsOutcome {
 }
 
 impl Eq for IfdsOutcome {}
+
+/// Where one candidate's force pair comes from in the current iteration:
+/// the incremental cache, or slot `j` of the freshly evaluated batch.
+#[derive(Clone, Copy)]
+enum CandSource {
+    Cached(f64, f64),
+    Pending(usize),
+}
+
+/// One force pair awaiting evaluation: the op, its time frame, and the
+/// cache write-back key `(block generation, context stamp)` when the
+/// incremental cache is on.
+type PendingEval = (OpId, TimeFrame, Option<(u64, u64)>);
 
 /// Improved-FDS scheduling engine over a set of blocks.
 pub struct IfdsEngine<'a> {
@@ -220,7 +250,7 @@ impl<'a> IfdsEngine<'a> {
     /// Returns [`EngineError::BudgetExhausted`] if a budget installed with
     /// [`IfdsEngine::with_budget`] trips before every frame is fixed. With
     /// the default unlimited budget the run always succeeds.
-    pub fn run<E: ForceEvaluator>(self, eval: &mut E) -> Result<IfdsOutcome, EngineError> {
+    pub fn run<E: ForceEvaluator + Sync>(self, eval: &mut E) -> Result<IfdsOutcome, EngineError> {
         self.run_impl(eval, true, &NoopRecorder)
     }
 
@@ -234,7 +264,7 @@ impl<'a> IfdsEngine<'a> {
     /// Same as [`IfdsEngine::run`]. On a budget trip an
     /// `ifds.budget_exhausted` event carrying the partial-progress counters
     /// is emitted through `rec` before the error is returned.
-    pub fn run_recorded<E: ForceEvaluator>(
+    pub fn run_recorded<E: ForceEvaluator + Sync>(
         self,
         eval: &mut E,
         rec: &dyn Recorder,
@@ -250,7 +280,10 @@ impl<'a> IfdsEngine<'a> {
     ///
     /// Same as [`IfdsEngine::run`].
     #[cfg(any(test, feature = "naive-oracle"))]
-    pub fn run_naive<E: ForceEvaluator>(self, eval: &mut E) -> Result<IfdsOutcome, EngineError> {
+    pub fn run_naive<E: ForceEvaluator + Sync>(
+        self,
+        eval: &mut E,
+    ) -> Result<IfdsOutcome, EngineError> {
         self.run_impl(eval, false, &NoopRecorder)
     }
 
@@ -270,7 +303,7 @@ impl<'a> IfdsEngine<'a> {
         }
     }
 
-    fn run_impl<E: ForceEvaluator>(
+    fn run_impl<E: ForceEvaluator + Sync>(
         mut self,
         eval: &mut E,
         use_cache: bool,
@@ -279,6 +312,14 @@ impl<'a> IfdsEngine<'a> {
         let run_started = Instant::now();
         let _reduce_span = span!(rec, "ifds.reduce", ops = self.scope_ops.len());
         let mut stats = IfdsStats::default();
+        // Thread count is resolved once per run; 1 keeps the whole sweep
+        // inline. Fanning out fewer pairs than this is slower than just
+        // computing them (a broadcast costs a few microseconds).
+        let threads = rayon::current_num_threads();
+        const PAR_MIN_PAIRS: usize = 4;
+        if rec.enabled() {
+            rec.gauge_set("ifds.threads", threads as f64);
+        }
         // cache[op] = (block frame generation, evaluator context stamp,
         // f_lo, f_hi) at computation time. The sentinel generation
         // `u64::MAX` is unreachable (generations count frame mutations), so
@@ -291,6 +332,12 @@ impl<'a> IfdsEngine<'a> {
         // Frame generation of the youngest change per block, mirrored off
         // the table's per-op stamps as commits are applied.
         let mut block_gen: Vec<u64> = vec![0; self.system.num_blocks()];
+        // Per-iteration scratch: every unfixed candidate in scope order
+        // (`cands`) and the subset whose force pair must be computed this
+        // iteration (`to_eval`, with the cache write-back key when the
+        // cache is on).
+        let mut cands: Vec<(OpId, CandSource)> = Vec::new();
+        let mut to_eval: Vec<PendingEval> = Vec::new();
         let mut iterations = 0;
         let watchdog_armed = !self.budget.is_unlimited();
         loop {
@@ -334,13 +381,16 @@ impl<'a> IfdsEngine<'a> {
                 }
             }
             let eval_started = Instant::now();
-            let mut best: Option<(f64, OpId, bool)> = None;
+            // Pass 1 (sequential, scope order): consult the cache and
+            // collect the force pairs that actually need computing.
+            cands.clear();
+            to_eval.clear();
             for &o in &self.scope_ops {
                 let fr = self.frames.get(o);
                 if fr.is_fixed() {
                     continue;
                 }
-                let (f_lo, f_hi) = if use_cache {
+                let src = if use_cache {
                     let block = self.system.op(o).block();
                     match eval.context_stamp(block) {
                         Some(ctx) => {
@@ -348,30 +398,71 @@ impl<'a> IfdsEngine<'a> {
                             let entry = cache[o.index()];
                             if entry.0 == gen && entry.1 == ctx {
                                 stats.cache_hits += 1;
-                                (entry.2, entry.3)
+                                CandSource::Cached(entry.2, entry.3)
                             } else {
                                 stats.cache_misses += 1;
                                 stats.ops_evaluated += 1;
-                                let f_lo = self.placement_force(eval, o, fr.asap);
-                                let f_hi = self.placement_force(eval, o, fr.alap);
-                                cache[o.index()] = (gen, ctx, f_lo, f_hi);
-                                (f_lo, f_hi)
+                                to_eval.push((o, fr, Some((gen, ctx))));
+                                CandSource::Pending(to_eval.len() - 1)
                             }
                         }
                         None => {
                             stats.ops_evaluated += 1;
-                            (
-                                self.placement_force(eval, o, fr.asap),
-                                self.placement_force(eval, o, fr.alap),
-                            )
+                            to_eval.push((o, fr, None));
+                            CandSource::Pending(to_eval.len() - 1)
                         }
                     }
                 } else {
                     stats.ops_evaluated += 1;
+                    to_eval.push((o, fr, None));
+                    CandSource::Pending(to_eval.len() - 1)
+                };
+                cands.push((o, src));
+            }
+            // Pass 2: compute the missing pairs — on the worker pool when
+            // there is one and the batch is worth the fan-out. `force` is
+            // a pure `&self` read of the evaluator, so computing pairs out
+            // of order yields bit-identical values; only the *fold* order
+            // below matters for the tie-break.
+            let forces: Vec<(f64, f64)> = if threads > 1 && to_eval.len() >= PAR_MIN_PAIRS {
+                stats.parallel_evals += to_eval.len() as u64;
+                let eval_ref: &E = eval;
+                let batch = &to_eval;
+                let this = &self;
+                rayon::par_map_indexed(batch.len(), |j| {
+                    let (o, fr, _) = batch[j];
                     (
-                        self.placement_force(eval, o, fr.asap),
-                        self.placement_force(eval, o, fr.alap),
+                        this.placement_force(eval_ref, o, fr.asap),
+                        this.placement_force(eval_ref, o, fr.alap),
                     )
+                })
+            } else {
+                to_eval
+                    .iter()
+                    .map(|&(o, fr, _)| {
+                        (
+                            self.placement_force(eval, o, fr.asap),
+                            self.placement_force(eval, o, fr.alap),
+                        )
+                    })
+                    .collect()
+            };
+            // Pass 3 (sequential, scope order): cache write-back and the
+            // selection fold. The epsilon tie-break is non-associative, so
+            // this fold must run in scope order on one thread — that is
+            // what keeps the parallel run bit-identical to the sequential
+            // loop.
+            let mut best: Option<(f64, OpId, bool)> = None;
+            for &(o, src) in &cands {
+                let (f_lo, f_hi) = match src {
+                    CandSource::Cached(f_lo, f_hi) => (f_lo, f_hi),
+                    CandSource::Pending(j) => {
+                        let (f_lo, f_hi) = forces[j];
+                        if let Some((gen, ctx)) = to_eval[j].2 {
+                            cache[o.index()] = (gen, ctx, f_lo, f_hi);
+                        }
+                        (f_lo, f_hi)
+                    }
                 };
                 let diff = (f_lo - f_hi).abs();
                 // Shorten at the side with the higher force; on a tie keep

@@ -47,6 +47,18 @@ pub mod prob;
 pub mod schedule;
 pub mod schedule_io;
 
+/// Thread-count control for every parallel scheduling primitive in the
+/// workspace (the engine's candidate sweep, the design-space exploration
+/// fan-outs and the exact-search root split all share one pool).
+///
+/// Resolution order: [`threads::set`] override, then the `TCMS_THREADS`
+/// environment variable, then the detected hardware parallelism. A count
+/// of 1 disables all fan-out; results are identical at every count.
+pub mod threads {
+    pub use rayon::current_num_threads as current;
+    pub use rayon::set_num_threads as set;
+}
+
 pub use config::{FdsConfig, RunBudget, SpringWeights};
 pub use engine::{IfdsEngine, IfdsOutcome, IfdsStats};
 pub use error::{BudgetAxis, EngineError};

@@ -144,6 +144,8 @@ pub enum Command {
         /// Retry infeasible or budget-tripped specifications through the
         /// graceful-degradation ladder (from `--degrade`).
         degrade: bool,
+        /// Worker-thread count override (from `--threads`; 0 = auto).
+        threads: Option<usize>,
     },
     /// Simulate a scheduled design under reactive workloads, optionally
     /// with deterministic fault injection.
@@ -166,6 +168,8 @@ pub enum Command {
         /// (`--fault-seed`, `--jitter`, `--drop-prob`, `--outage-rate`,
         /// `--repair`, `--slack`) override the moderate defaults.
         plan: crate::sim::FaultPlan,
+        /// Worker-thread count override (from `--threads`; 0 = auto).
+        threads: Option<usize>,
     },
     /// Re-check a saved `.sched` file against a design.
     Check {
@@ -232,12 +236,16 @@ SCHEDULE OPTIONS:
   --save <file.sched>     write the schedule to disk
   --degrade               on failure, retry through the degradation ladder
                           (relax periods, demote groups, widen time, rc fallback)
+  --threads <N>           worker threads for candidate-force evaluation
+                          (0 = auto; also via the TCMS_THREADS env var);
+                          results are bit-identical at every thread count
 
 SIMULATE OPTIONS:
   --all-global / --global as above, plus:
   --horizon <N>           simulated steps (default 5000)
   --seed <N>              workload seed (default 0)
   --mean-gap <N>          mean trigger gap of the random workload (default 50)
+  --threads <N>           worker threads as above
   --faults                inject deterministic faults (moderate defaults)
   --fault-seed <N>        seed of the fault stream (default 0)
   --jitter <N>            max trigger delay in steps
@@ -286,10 +294,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut metrics = false;
             let mut timeline = None;
             let mut degrade = false;
+            let mut threads = None;
             while let Some(opt) = it.next() {
                 match opt.as_str() {
                     "--gantt" => gantt = true,
                     "--degrade" => degrade = true,
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a count")?;
+                        threads = Some(v.parse().map_err(|_| format!("bad count `{v}`"))?);
+                    }
                     "--verify" => {
                         let v = it.next().ok_or("--verify needs a count")?;
                         verify = v.parse().map_err(|_| format!("bad count `{v}`"))?;
@@ -318,6 +331,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics,
                 timeline,
                 degrade,
+                threads,
             })
         }
         "simulate" => {
@@ -328,6 +342,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut seed = 0u64;
             let mut mean_gap = 50u64;
             let mut faults = false;
+            let mut threads = None;
             let mut plan = crate::sim::FaultPlan::moderate(0);
             fn num<T: std::str::FromStr>(
                 it: &mut std::slice::Iter<'_, String>,
@@ -341,6 +356,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--horizon" => horizon = num(&mut it, "--horizon")?,
                     "--seed" => seed = num(&mut it, "--seed")?,
                     "--mean-gap" => mean_gap = num(&mut it, "--mean-gap")?,
+                    "--threads" => threads = Some(num(&mut it, "--threads")?),
                     "--faults" => faults = true,
                     "--fault-seed" => plan.seed = num(&mut it, "--fault-seed")?,
                     "--jitter" => plan.trigger_jitter = num(&mut it, "--jitter")?,
@@ -374,6 +390,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 mean_gap,
                 faults,
                 plan,
+                threads,
             })
         }
         "check" => {
@@ -630,7 +647,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             metrics,
             timeline,
             degrade,
+            threads,
         } => {
+            if let Some(n) = threads {
+                crate::fds::threads::set(*n);
+            }
             let recording = trace.is_some() || *metrics || timeline.is_some();
             let recorder = if recording {
                 Some(TraceRecorder::new())
@@ -686,7 +707,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             mean_gap,
             faults,
             plan,
+            threads,
         } => {
+            if let Some(n) = threads {
+                crate::fds::threads::set(*n);
+            }
             let system = load_system(&read(input)?)?;
             let spec = build_spec(&system, *all_global, globals)?;
             let outcome = ModuloScheduler::new(&system, spec.clone())?.run()?;
@@ -879,8 +904,25 @@ edge m0 a0
                 metrics: false,
                 timeline: None,
                 degrade: false,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_threads_option() {
+        let cmd = parse_args(&args(&["schedule", "x.dfg", "--threads", "4"])).unwrap();
+        match cmd {
+            Command::Schedule { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&["simulate", "x.dfg", "--threads", "2"])).unwrap();
+        match cmd {
+            Command::Simulate { threads, .. } => assert_eq!(threads, Some(2)),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_args(&args(&["schedule", "x.dfg", "--threads"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x.dfg", "--threads", "many"])).is_err());
     }
 
     #[test]
@@ -1183,6 +1225,7 @@ process b time=8 { z := p * q; }
             metrics: false,
             timeline: None,
             degrade: false,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("schedule saved"));
@@ -1215,6 +1258,7 @@ process b time=8 { z := p * q; }
             metrics: true,
             timeline: Some(timeline.to_string_lossy().into_owned()),
             degrade: false,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("chrome trace written"), "{out}");

@@ -110,6 +110,7 @@ fn cli_without_degrade_exits_infeasible_and_with_degrade_recovers() {
         metrics: false,
         timeline: None,
         degrade,
+        threads: None,
     };
     let err = run(&cmd(false)).unwrap_err();
     assert!(matches!(
@@ -135,6 +136,7 @@ fn cli_fault_simulation_is_deterministic_per_seed() {
         mean_gap: 40,
         faults: true,
         plan: tcms::sim::FaultPlan::moderate(7),
+        threads: None,
     };
     let out = run(&cmd).unwrap();
     assert!(out.contains("fault injection (seed 7)"), "{out}");

@@ -35,6 +35,7 @@ fn cli_schedules_checked_in_dfg() {
         metrics: false,
         timeline: None,
         degrade: false,
+        threads: None,
     })
     .unwrap();
     assert!(out.contains("conflict-free"), "{out}");
@@ -54,6 +55,7 @@ fn cli_schedules_checked_in_behavioral() {
         metrics: false,
         timeline: None,
         degrade: false,
+        threads: None,
     })
     .unwrap();
     // Two diffeq solvers share a single multiplier pool.

@@ -1,18 +1,302 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! Provides the `into_par_iter().map(..).collect::<Vec<_>>()` shape the
-//! workspace uses, executed on scoped OS threads with a shared atomic work
-//! queue. Results are written back by input index, so the collected order
-//! is **deterministic** (identical to the sequential order) regardless of
+//! workspace uses, plus the lower-level [`par_map_indexed`] /
+//! [`scope_reduce`] primitives the scheduler's hot loops are built on.
+//! All fan-out runs on one persistent worker pool (spawning threads per
+//! call would dwarf the per-iteration work of the IFDS engine); results
+//! are written back by input index, so the collected order is
+//! **deterministic** (identical to the sequential order) regardless of
 //! thread scheduling.
+//!
+//! # Thread-count resolution
+//!
+//! [`current_num_threads`] resolves, in priority order:
+//!
+//! 1. a programmatic [`set_num_threads`] override (the CLI's `--threads`),
+//! 2. the `TCMS_THREADS` environment variable (parsed once per process),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 makes every primitive run inline on the calling
+//! thread with no pool interaction at all — the sequential code path is
+//! literally the parallel one with the fan-out skipped, which is what the
+//! determinism suite pins down.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// The glob-import surface, mirroring `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
 }
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration.
+// ---------------------------------------------------------------------------
+
+/// Programmatic thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `TCMS_THREADS` is parsed once per process: the pool outlives any
+/// in-process mutation of the environment, and tests use
+/// [`set_num_threads`] instead.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("TCMS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Overrides the number of threads used by all parallel primitives.
+///
+/// Takes precedence over `TCMS_THREADS` and the detected parallelism;
+/// `0` clears the override. May exceed the machine's core count (useful
+/// for exercising the parallel paths on small boxes).
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of threads parallel primitives will use right now.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    let e = env_threads();
+    if e > 0 {
+        return e;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool with broadcast jobs.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_worker() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+/// One broadcast job: every participating thread (workers + the caller)
+/// runs the same closure, which claims work items off a shared atomic
+/// counter until none remain.
+struct Job {
+    seq: u64,
+    /// Lifetime-erased task. Sound because [`broadcast`] does not return
+    /// until `finished == claimed`, i.e. no worker still holds it.
+    task: &'static (dyn Fn() + Sync),
+    /// Number of workers that may pick this job up.
+    limit: usize,
+    claimed: usize,
+    finished: usize,
+    panicked: bool,
+}
+
+#[derive(Default)]
+struct PoolState {
+    workers: usize,
+    seq: u64,
+    job: Option<Job>,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new job.
+    job_cv: Condvar,
+    /// The broadcaster waits here for its job to quiesce.
+    done_cv: Condvar,
+    /// Serializes broadcasts. `try_lock` failure (another broadcast in
+    /// flight, possibly our own further up the stack) degrades to inline
+    /// sequential execution, which is always equivalent.
+    broadcast_lock: Mutex<()>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState::default()),
+        job_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        broadcast_lock: Mutex::new(()),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IS_WORKER.with(|c| c.set(true));
+    let mut last_seq = 0u64;
+    let mut state = pool.state.lock().expect("pool state poisoned");
+    loop {
+        let (seq, task) = loop {
+            if let Some(job) = state.job.as_mut() {
+                if job.seq != last_seq && job.claimed < job.limit {
+                    job.claimed += 1;
+                    last_seq = job.seq;
+                    break (job.seq, job.task);
+                }
+            }
+            state = pool.job_cv.wait(state).expect("pool state poisoned");
+        };
+        drop(state);
+        let ok = catch_unwind(AssertUnwindSafe(task)).is_ok();
+        state = pool.state.lock().expect("pool state poisoned");
+        if let Some(job) = state.job.as_mut() {
+            if job.seq == seq {
+                job.finished += 1;
+                job.panicked |= !ok;
+                pool.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `task` on up to `participants` threads (the caller plus pool
+/// workers) and returns once every claimed run has finished.
+///
+/// Nested or concurrent broadcasts run `task` inline on the caller — the
+/// task must therefore produce identical results under any degree of
+/// fan-out (all callers here claim work items atomically, so it does).
+fn broadcast(participants: usize, task: &(dyn Fn() + Sync)) {
+    let pool = pool();
+    let Ok(_guard) = pool.broadcast_lock.try_lock() else {
+        task();
+        return;
+    };
+    // SAFETY: only the lifetime is erased; the wait below guarantees no
+    // worker holds the reference when this frame returns.
+    let task_static: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task) };
+    let want = participants.saturating_sub(1);
+    {
+        let mut state = pool.state.lock().expect("pool state poisoned");
+        while state.workers < want {
+            state.workers += 1;
+            let name = format!("tcms-worker-{}", state.workers);
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker");
+        }
+        state.seq += 1;
+        state.job = Some(Job {
+            seq: state.seq,
+            task: task_static,
+            limit: want,
+            claimed: 0,
+            finished: 0,
+            panicked: false,
+        });
+    }
+    pool.job_cv.notify_all();
+    // The caller is a participant too; if workers are slow to wake it
+    // simply drains the whole work queue itself.
+    let caller_ok = catch_unwind(AssertUnwindSafe(task)).is_ok();
+    let mut state = pool.state.lock().expect("pool state poisoned");
+    while state
+        .job
+        .as_ref()
+        .is_some_and(|job| job.finished < job.claimed)
+    {
+        state = pool.done_cv.wait(state).expect("pool state poisoned");
+    }
+    let worker_panicked = state.job.take().map(|job| job.panicked).unwrap_or(false);
+    drop(state);
+    if !caller_ok || worker_panicked {
+        panic!("a parallel task panicked");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index-ordered primitives.
+// ---------------------------------------------------------------------------
+
+/// Raw write handle into the result buffer; each index is claimed exactly
+/// once off the atomic counter, so concurrent writes never alias.
+struct SlotPtr<O>(*mut Option<O>);
+unsafe impl<O: Send> Sync for SlotPtr<O> {}
+
+impl<O> SlotPtr<O> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and claimed by exactly one participant.
+    unsafe fn write(&self, i: usize, v: O) {
+        unsafe { *self.0.add(i) = Some(v) };
+    }
+}
+
+/// Evaluates `f(0..n)` on the pool and returns the results in index
+/// order — the deterministic scoped-reduce building block. Falls back to
+/// a plain sequential map when the resolved thread count is 1, `n <= 1`,
+/// or the call is nested inside another parallel region.
+pub fn par_map_indexed<O, F>(n: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || in_worker() {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let out = SlotPtr(slots.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    // Chunked claiming keeps writes local and the counter cool without
+    // affecting results: indices are disjoint whatever the chunk size.
+    let chunk = (n / (threads * 4)).max(1);
+    let task = || loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        for i in start..(start + chunk).min(n) {
+            let v = f(i);
+            // SAFETY: `i` is claimed exactly once across all participants.
+            unsafe { out.write(i, v) };
+        }
+    };
+    broadcast(threads, &task);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is computed exactly once"))
+        .collect()
+}
+
+/// Parallel map + **sequential index-ordered fold**: `map(i)` runs on the
+/// pool, then `fold(acc, i, value)` is applied strictly in `0..n` order on
+/// the calling thread. This is the deterministic reduction the IFDS
+/// candidate sweep needs — its epsilon tie-break is non-associative, so
+/// the fold order (not just the map results) must match the sequential
+/// loop bit for bit.
+pub fn scope_reduce<O, A, F, R>(n: usize, map: F, init: A, mut fold: R) -> A
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+    R: FnMut(A, usize, O) -> A,
+{
+    let mut acc = init;
+    for (i, v) in par_map_indexed(n, map).into_iter().enumerate() {
+        acc = fold(acc, i, v);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// rayon-shaped iterator surface.
+// ---------------------------------------------------------------------------
 
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
@@ -79,6 +363,20 @@ impl<T: Send> ParallelIterator for ParVec<T> {
     }
 }
 
+/// Take handle into the input buffer; mirrors [`SlotPtr`] on the read
+/// side (each index is taken exactly once).
+struct TakePtr<T>(*mut Option<T>);
+unsafe impl<T: Send> Sync for TakePtr<T> {}
+
+impl<T> TakePtr<T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and claimed by exactly one participant.
+    unsafe fn take(&self, i: usize) -> Option<T> {
+        unsafe { (*self.0.add(i)).take() }
+    }
+}
+
 /// [`ParallelIterator::map`] adapter; the parallel fan-out happens here.
 pub struct ParMap<I, F> {
     inner: I,
@@ -94,59 +392,27 @@ where
     type Item = O;
 
     fn run(self) -> Vec<O> {
-        let items = self.inner.run();
+        let mut items: Vec<Option<I::Item>> = self.inner.run().into_iter().map(Some).collect();
         let n = items.len();
-        if n <= 1 {
-            return items.into_iter().map(self.f).collect();
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
-        if threads <= 1 {
-            return items.into_iter().map(self.f).collect();
-        }
         let f = &self.f;
-        // Work queue: tasks are claimed by index; each worker stashes
-        // `(index, result)` pairs which are merged and re-ordered at the
-        // end, making the output order independent of scheduling.
-        let tasks: Vec<Mutex<Option<I::Item>>> =
-            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, O)> = Vec::with_capacity(n);
-        let collected = Mutex::new(&mut indexed);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, O)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let item = tasks[i]
-                            .lock()
-                            .expect("task mutex poisoned")
-                            .take()
-                            .expect("each task is claimed exactly once");
-                        local.push((i, f(item)));
-                    }
-                    collected
-                        .lock()
-                        .expect("result mutex poisoned")
-                        .extend(local);
-                });
-            }
-        });
-        indexed.sort_by_key(|&(i, _)| i);
-        debug_assert_eq!(indexed.len(), n);
-        indexed.into_iter().map(|(_, v)| v).collect()
+        let input = TakePtr(items.as_mut_ptr());
+        par_map_indexed(n, |i| {
+            // SAFETY: `i` is claimed exactly once, and `items` outlives
+            // the fan-out (par_map_indexed returns only once quiescent).
+            let item = unsafe { input.take(i) }.expect("each item is taken exactly once");
+            f(item)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, par_map_indexed, scope_reduce, set_num_threads};
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global thread-count override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn map_collect_preserves_order() {
@@ -156,28 +422,85 @@ mod tests {
     }
 
     #[test]
-    fn actually_runs_on_multiple_threads_when_available() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let seen = Mutex::new(HashSet::new());
-        let _: Vec<()> = (0..64)
-            .collect::<Vec<i32>>()
-            .into_par_iter()
-            .map(|_| {
-                std::thread::sleep(std::time::Duration::from_millis(1));
-                seen.lock().unwrap().insert(std::thread::current().id());
-            })
-            .collect();
-        let threads = seen.lock().unwrap().len();
-        let avail = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        if avail > 1 {
-            assert!(
-                threads > 1,
-                "expected parallel execution, saw {threads} thread(s)"
-            );
+    fn par_map_indexed_matches_sequential_at_any_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let reference: Vec<usize> = (0..257).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            set_num_threads(threads);
+            assert_eq!(current_num_threads(), threads);
+            let got = par_map_indexed(257, |i| i * i + 1);
+            assert_eq!(got, reference, "threads = {threads}");
         }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn scope_reduce_folds_in_index_order() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let order = scope_reduce(
+            100,
+            |i| i,
+            Vec::new(),
+            |mut acc: Vec<usize>, i, v| {
+                assert_eq!(i, v);
+                acc.push(i);
+                acc
+            },
+        );
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let out = par_map_indexed(8, |i| {
+            let inner = par_map_indexed(8, move |j| i * 8 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn pool_grows_beyond_available_parallelism() {
+        use std::collections::HashSet;
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = par_map_indexed(64, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        // Even on a 1-core box the pool must actually fan out when an
+        // override asks for it: determinism tests rely on exercising the
+        // real parallel code path everywhere.
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected the pool to run on multiple threads"
+        );
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn worker_panics_propagate_after_quiescence() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<()> = par_map_indexed(16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        set_num_threads(0);
+        // The pool must stay usable after a panicked job.
+        let ok = par_map_indexed(8, |i| i + 1);
+        assert_eq!(ok, (1..=8).collect::<Vec<_>>());
     }
 
     #[test]
