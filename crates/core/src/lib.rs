@@ -58,6 +58,7 @@ pub mod evaluator;
 pub mod exact;
 pub mod explore;
 pub mod field;
+pub mod fingerprint;
 pub mod latency;
 pub mod modulo;
 pub mod period;
@@ -72,6 +73,7 @@ pub use degrade::{schedule_with_degradation, LadderConfig, LadderOutcome, Rung};
 pub use error::{CoreError, ScheduleError};
 pub use evaluator::ModuloEvaluator;
 pub use field::ModuloField;
+pub use fingerprint::{config_fingerprint, CacheableResult};
 pub use latency::{latency_bounds, LatencyBound};
 pub use report::{compute_report, ScheduleReport, TypeReport};
 pub use scheduler::{ModuloOutcome, ModuloScheduler};

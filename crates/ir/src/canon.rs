@@ -1,0 +1,501 @@
+//! Canonicalization and content hashing of systems.
+//!
+//! Two `.dfg` files that declare the same design in a different order —
+//! resources shuffled, processes swapped, blocks reordered inside a
+//! process, operations and edges listed in any order — describe the
+//! *same* scheduling problem and must be recognisable as such by a
+//! content-addressed result cache. This module computes a **canonical
+//! form** of a [`System`]: a deterministic, declaration-order-independent
+//! serialization together with a stable renaming (canonical indices) of
+//! every entity, and a 128-bit content hash over that form.
+//!
+//! # Canonical order
+//!
+//! * resource types sort by name (the library enforces name uniqueness),
+//! * operations sort by name within their block (the builder enforces
+//!   per-block uniqueness),
+//! * blocks sort by `(name, time range, content signature)` within their
+//!   process, and processes sort by `(name, content signature)` — the
+//!   signatures break ties between identically named siblings, so the
+//!   order is total for every valid system,
+//! * edges sort by `(from, to)` in canonical operation indices.
+//!
+//! Names participate in the canonical form on purpose: a *rename* is an
+//! observable change (reports and saved schedules are keyed by name), so
+//! only *reorderings* may collide — which is exactly the isomorphism the
+//! cache wants. Semantically meaningful attributes (delays, areas,
+//! pipelining, time ranges, dependency structure) all feed the hash, so
+//! any semantic edit changes it.
+//!
+//! # Schedule translation
+//!
+//! [`Canonicalization::op_order`] maps canonical operation positions back
+//! to this system's [`OpId`]s. A schedule stored as start times in
+//! canonical order can therefore be replayed onto any system with the
+//! same canonical hash, independent of its declaration order — the basis
+//! of the serve cache's bit-identical replay guarantee.
+//!
+//! # Example
+//!
+//! ```
+//! use tcms_ir::canon::Canonicalization;
+//! use tcms_ir::parse::parse_system;
+//!
+//! let a = parse_system("
+//! resource add delay=1 area=1
+//! process P
+//! block b time=4
+//! op x add
+//! op y add
+//! edge x y
+//! ").unwrap();
+//! let b = parse_system("
+//! resource add delay=1 area=1
+//! process P
+//! block b time=4
+//! op y add
+//! op x add
+//! edge x y
+//! ").unwrap();
+//! assert_eq!(Canonicalization::of(&a).hash(), Canonicalization::of(&b).hash());
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::op::OpId;
+use crate::system::System;
+
+/// 64-bit FNV-1a offset basis.
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher (64-bit), the workspace's dependency-free
+/// stable hash. Unlike `std::hash`, the digest is identical across
+/// platforms, processes and releases — a requirement for on-disk cache
+/// keys.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher at the standard offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(FNV64_OFFSET)
+    }
+
+    /// A hasher at a caller-chosen basis (used to derive independent
+    /// streams for the two halves of a 128-bit digest).
+    #[must_use]
+    pub fn with_basis(basis: u64) -> Self {
+        Fnv64(basis)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV64_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable 64-bit digest of a byte string (one-shot [`Fnv64`]).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A 128-bit content hash of a canonical form.
+///
+/// Built from two independent FNV-1a streams (the second seeded with the
+/// finished first digest), formatted as 32 lowercase hex digits. The
+/// doubled width makes accidental collisions between distinct canonical
+/// texts negligible for cache-sized populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecHash {
+    hi: u64,
+    lo: u64,
+}
+
+impl SpecHash {
+    /// Hashes a canonical text.
+    #[must_use]
+    pub fn of_text(text: &str) -> Self {
+        let lo = fnv64(text.as_bytes());
+        // Seed the second stream with the first digest so the halves
+        // never degenerate to the same function of the input.
+        let mut second = Fnv64::with_basis(FNV64_OFFSET ^ lo.rotate_left(32));
+        second.update(text.as_bytes());
+        SpecHash {
+            hi: second.finish(),
+            lo,
+        }
+    }
+
+    /// Reconstructs a hash from its 32-digit hex rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `s` is not exactly 32 hex digits.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("spec hash must be 32 hex digits, got `{s}`"));
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).map_err(|e| e.to_string())?;
+        let lo = u64::from_str_radix(&s[16..], 16).map_err(|e| e.to_string())?;
+        Ok(SpecHash { hi, lo })
+    }
+
+    /// The upper 64 bits (used for shard selection).
+    #[must_use]
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// The lower 64 bits.
+    #[must_use]
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+}
+
+impl fmt::Display for SpecHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// The canonical form of a [`System`]: stable renaming, sorted canonical
+/// text and content hash, plus the order maps needed to translate
+/// schedules between declaration order and canonical order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canonicalization {
+    hash: SpecHash,
+    text: String,
+    /// Canonical position → declared [`OpId`].
+    op_order: Vec<OpId>,
+    /// Declared op index → canonical position.
+    op_rank: Vec<usize>,
+    /// Canonical resource-type position → declared library index.
+    type_order: Vec<usize>,
+    /// Declared library index → canonical resource-type position.
+    type_rank: Vec<usize>,
+    /// Canonical process position → declared process index.
+    process_order: Vec<usize>,
+    /// Declared process index → canonical process position.
+    process_rank: Vec<usize>,
+}
+
+impl Canonicalization {
+    /// Computes the canonical form of `system`.
+    #[must_use]
+    pub fn of(system: &System) -> Self {
+        // --- resource types: sort by (unique) name -------------------
+        let mut type_order: Vec<usize> = (0..system.library().len()).collect();
+        type_order.sort_by_key(|&i| {
+            system
+                .library()
+                .get(crate::resource::ResourceTypeId::from_index(i))
+                .name()
+                .to_owned()
+        });
+        let mut type_rank = vec![0usize; type_order.len()];
+        for (rank, &i) in type_order.iter().enumerate() {
+            type_rank[i] = rank;
+        }
+
+        // --- per-block canonical op order and signature --------------
+        // Ops sort by name (unique within a block). The block signature
+        // serializes time range, typed ops and edges in that order, so
+        // it is declaration-order independent.
+        let nblocks = system.num_blocks();
+        let mut block_op_order: Vec<Vec<OpId>> = Vec::with_capacity(nblocks);
+        let mut block_sig: Vec<String> = Vec::with_capacity(nblocks);
+        for (bid, block) in system.blocks() {
+            let mut ops: Vec<OpId> = block.ops().to_vec();
+            ops.sort_by(|&a, &b| system.op(a).name().cmp(system.op(b).name()));
+            let rank_of = |op: OpId| {
+                ops.binary_search_by(|&o| system.op(o).name().cmp(system.op(op).name()))
+                    .expect("op is in its own block")
+            };
+            let mut sig = String::new();
+            let _ = write!(
+                sig,
+                "block name={} time={}",
+                block.name(),
+                block.time_range()
+            );
+            for &o in &ops {
+                let _ = write!(
+                    sig,
+                    "\nop name={} type={}",
+                    system.op(o).name(),
+                    type_rank[system.op(o).rtype.index()]
+                );
+            }
+            let mut edges: Vec<(usize, usize)> = Vec::new();
+            for &o in &ops {
+                let from = rank_of(o);
+                for &s in system.succs(o) {
+                    edges.push((from, rank_of(s)));
+                }
+            }
+            edges.sort_unstable();
+            for (f, t) in edges {
+                let _ = write!(sig, "\nedge {f} {t}");
+            }
+            debug_assert_eq!(bid.index(), block_sig.len());
+            block_op_order.push(ops);
+            block_sig.push(sig);
+        }
+
+        // --- blocks within a process: sort by (name, signature) ------
+        // The signature tie-breaks identically named siblings; two blocks
+        // with equal name *and* equal signature are interchangeable, so
+        // either order yields the same canonical text.
+        let mut proc_block_order: Vec<Vec<usize>> = Vec::with_capacity(system.num_processes());
+        let mut proc_sig: Vec<String> = Vec::with_capacity(system.num_processes());
+        for (_, proc) in system.processes() {
+            let mut blocks: Vec<usize> = proc.blocks().iter().map(|b| b.index()).collect();
+            blocks.sort_by(|&a, &b| block_sig[a].cmp(&block_sig[b]));
+            let mut sig = format!("process name={}", proc.name());
+            for &b in &blocks {
+                sig.push('\n');
+                sig.push_str(&block_sig[b]);
+            }
+            proc_block_order.push(blocks);
+            proc_sig.push(sig);
+        }
+
+        // --- processes: sort by (name, signature) --------------------
+        let mut process_order: Vec<usize> = (0..system.num_processes()).collect();
+        process_order.sort_by(|&a, &b| proc_sig[a].cmp(&proc_sig[b]));
+        let mut process_rank = vec![0usize; process_order.len()];
+        for (rank, &i) in process_order.iter().enumerate() {
+            process_rank[i] = rank;
+        }
+
+        // --- canonical text and op order -----------------------------
+        let mut text = String::from("tcms-canonical v1\n");
+        for &ti in &type_order {
+            let rt = system
+                .library()
+                .get(crate::resource::ResourceTypeId::from_index(ti));
+            let _ = writeln!(
+                text,
+                "resource name={} delay={} area={} pipelined={}",
+                rt.name(),
+                rt.delay(),
+                rt.area(),
+                u8::from(rt.is_pipelined())
+            );
+        }
+        let mut op_order: Vec<OpId> = Vec::with_capacity(system.num_ops());
+        for &pi in &process_order {
+            text.push_str(&proc_sig[pi]);
+            text.push('\n');
+            for &bi in &proc_block_order[pi] {
+                op_order.extend(block_op_order[bi].iter().copied());
+            }
+        }
+        let mut op_rank = vec![0usize; system.num_ops()];
+        for (rank, &o) in op_order.iter().enumerate() {
+            op_rank[o.index()] = rank;
+        }
+
+        Canonicalization {
+            hash: SpecHash::of_text(&text),
+            text,
+            op_order,
+            op_rank,
+            type_order,
+            type_rank,
+            process_order,
+            process_rank,
+        }
+    }
+
+    /// The 128-bit content hash of the canonical form.
+    #[must_use]
+    pub fn hash(&self) -> SpecHash {
+        self.hash
+    }
+
+    /// The canonical serialization the hash covers.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Canonical position → declared [`OpId`] of this system.
+    #[must_use]
+    pub fn op_order(&self) -> &[OpId] {
+        &self.op_order
+    }
+
+    /// Canonical position of a declared operation.
+    #[must_use]
+    pub fn op_rank(&self, op: OpId) -> usize {
+        self.op_rank[op.index()]
+    }
+
+    /// Canonical position of a declared resource-type index.
+    #[must_use]
+    pub fn type_rank(&self, type_index: usize) -> usize {
+        self.type_rank[type_index]
+    }
+
+    /// Canonical resource-type position → declared library index.
+    #[must_use]
+    pub fn type_order(&self) -> &[usize] {
+        &self.type_order
+    }
+
+    /// Canonical position of a declared process index.
+    #[must_use]
+    pub fn process_rank(&self, process_index: usize) -> usize {
+        self.process_rank[process_index]
+    }
+
+    /// Canonical process position → declared process index.
+    #[must_use]
+    pub fn process_order(&self) -> &[usize] {
+        &self.process_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_system;
+
+    const BASE: &str = "
+resource add delay=1 area=1
+resource mul delay=2 area=4 pipelined
+process A
+block body time=8
+op m0 mul
+op a0 add
+edge m0 a0
+process B
+block body time=8
+op a0 add
+op m0 mul
+edge m0 a0
+";
+
+    /// Same design with every declaration order permuted: resources,
+    /// processes, ops and edges.
+    const SHUFFLED: &str = "
+resource mul delay=2 area=4 pipelined
+resource add delay=1 area=1
+process B
+block body time=8
+op m0 mul
+op a0 add
+edge m0 a0
+process A
+block body time=8
+op a0 add
+op m0 mul
+edge m0 a0
+";
+
+    #[test]
+    fn permuted_declarations_hash_equal() {
+        let a = Canonicalization::of(&parse_system(BASE).unwrap());
+        let b = Canonicalization::of(&parse_system(SHUFFLED).unwrap());
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.text(), b.text());
+    }
+
+    #[test]
+    fn semantic_change_changes_hash() {
+        let a = Canonicalization::of(&parse_system(BASE).unwrap());
+        let bumped = BASE.replace("delay=1", "delay=2");
+        let b = Canonicalization::of(&parse_system(&bumped).unwrap());
+        assert_ne!(a.hash(), b.hash());
+        let widened = BASE.replace("time=8", "time=9");
+        let c = Canonicalization::of(&parse_system(&widened).unwrap());
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn rename_changes_hash() {
+        let a = Canonicalization::of(&parse_system(BASE).unwrap());
+        let renamed = BASE.replace("process A", "process C");
+        let b = Canonicalization::of(&parse_system(&renamed).unwrap());
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn op_order_translates_between_permutations() {
+        let sys_a = parse_system(BASE).unwrap();
+        let sys_b = parse_system(SHUFFLED).unwrap();
+        let ca = Canonicalization::of(&sys_a);
+        let cb = Canonicalization::of(&sys_b);
+        assert_eq!(ca.op_order().len(), cb.op_order().len());
+        for rank in 0..ca.op_order().len() {
+            let oa = ca.op_order()[rank];
+            let ob = cb.op_order()[rank];
+            // The canonically aligned ops agree on name, type and the
+            // owning process/block names.
+            assert_eq!(sys_a.op(oa).name(), sys_b.op(ob).name());
+            let (ba, bb) = (sys_a.op(oa).block(), sys_b.op(ob).block());
+            assert_eq!(sys_a.block(ba).name(), sys_b.block(bb).name());
+            assert_eq!(
+                sys_a.process(sys_a.block(ba).process()).name(),
+                sys_b.process(sys_b.block(bb).process()).name()
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_invert_orders() {
+        let sys = parse_system(BASE).unwrap();
+        let c = Canonicalization::of(&sys);
+        for (rank, &op) in c.op_order().iter().enumerate() {
+            assert_eq!(c.op_rank(op), rank);
+        }
+        for (rank, &ti) in c.type_order().iter().enumerate() {
+            assert_eq!(c.type_rank(ti), rank);
+        }
+        for (rank, &pi) in c.process_order().iter().enumerate() {
+            assert_eq!(c.process_rank(pi), rank);
+        }
+    }
+
+    #[test]
+    fn spec_hash_round_trips_through_hex() {
+        let h = SpecHash::of_text("hello");
+        let parsed = SpecHash::parse(&h.to_string()).unwrap();
+        assert_eq!(h, parsed);
+        assert!(SpecHash::parse("xyz").is_err());
+        assert!(SpecHash::parse(&"0".repeat(31)).is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned digest: the on-disk cache format depends on it.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

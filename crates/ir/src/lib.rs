@@ -39,6 +39,7 @@
 //! ```
 
 pub mod block;
+pub mod canon;
 pub mod display;
 pub mod dot;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod system;
 pub mod transform;
 
 pub use block::{Block, BlockId};
+pub use canon::{Canonicalization, SpecHash};
 pub use error::IrError;
 pub use frames::{FrameTable, TimeFrame};
 pub use op::{OpId, Operation};

@@ -98,6 +98,47 @@ pub fn write_number(out: &mut String, v: f64) {
     }
 }
 
+/// Appends the compact JSON rendering of `value` to `out` (object keys
+/// in `BTreeMap` order, so the output is deterministic).
+pub fn write_value(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => write_number(out, *n),
+        JsonValue::String(s) => write_escaped(out, s),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// The compact JSON rendering of `value` as a fresh string.
+#[must_use]
+pub fn to_string(value: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
 /// Parses a complete JSON document; trailing whitespace is allowed,
 /// trailing garbage is an error.
 ///

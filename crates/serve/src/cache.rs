@@ -1,0 +1,426 @@
+//! Sharded in-memory LRU cache with single-flight deduplication.
+//!
+//! Entries are finished schedules ([`CacheableResult`]) keyed by
+//! `(canonical spec hash, config fingerprint)` — see
+//! [`tcms_core::fingerprint`]. The map is split into shards (each behind
+//! its own mutex) so concurrent workers rarely contend, and an
+//! **in-flight registry** coalesces identical concurrent misses: the
+//! first requester becomes the *leader* and runs the scheduler, every
+//! concurrent identical request blocks on the same flight and receives
+//! the leader's result — one IFDS run total. Failed computations are
+//! propagated to all waiters but never cached, so a later request
+//! retries (relevant for deadline-dependent failures).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use tcms_core::CacheableResult;
+use tcms_ir::SpecHash;
+
+use crate::error::ServeError;
+
+/// Content-addressed cache key: what design, under what configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical hash of the design ([`tcms_ir::canon`]).
+    pub spec: SpecHash,
+    /// Fingerprint of the sharing spec and force-model configuration
+    /// ([`tcms_core::fingerprint::config_fingerprint`]).
+    pub config: u64,
+}
+
+/// How a request's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Found in the cache; zero scheduler work.
+    Hit,
+    /// Computed by this request (the single-flight leader) and inserted.
+    Miss,
+    /// Coalesced onto a concurrent identical request's run.
+    Coalesced,
+}
+
+impl Disposition {
+    /// The wire rendering used in responses and metrics.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Disposition::Hit => "hit",
+            Disposition::Miss => "miss",
+            Disposition::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Monotonic counters of cache behaviour, readable without locking the
+/// shards (used by the `stats` request and the load generator).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: AtomicU64,
+    /// Lookups that scheduled fresh work.
+    pub misses: AtomicU64,
+    /// Lookups coalesced onto an in-flight identical job.
+    pub coalesced: AtomicU64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: AtomicU64,
+    /// Entries inserted (misses that completed plus snapshot loads).
+    pub insertions: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that scheduled fresh work.
+    pub misses: u64,
+    /// Lookups coalesced onto an in-flight identical job.
+    pub coalesced: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Hit rate over all completed lookups, in `[0, 1]`; hits and
+    /// coalesced lookups both count as avoided scheduler runs.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<CacheableResult>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+enum FlightState {
+    Running,
+    Done(Result<Arc<CacheableResult>, ServeError>),
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// The sharded LRU schedule cache with single-flight deduplication.
+pub struct SchedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for SchedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_cap", &self.per_shard_cap)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl SchedCache {
+    /// A cache holding at most `capacity` entries, split over `shards`
+    /// independently locked shards (both rounded up to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_cap = capacity.div_ceil(shards).max(1);
+        SchedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap,
+            inflight: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // The canonical hash is already uniform; fold in the config
+        // fingerprint so spec-heavy sweeps still spread across shards.
+        let h = key.spec.hi() ^ key.spec.lo().rotate_left(17) ^ key.config;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, refreshing its LRU position. Does not touch the
+    /// hit/miss counters — [`SchedCache::get_or_compute`] owns those.
+    #[must_use]
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<CacheableResult>> {
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Inserts `value` under `key`, evicting the least-recently-used
+    /// entry of the target shard when it is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<CacheableResult>) {
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_cap && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The single-flight lookup: returns the cached value, or runs
+    /// `compute` exactly once per key across all concurrent callers.
+    ///
+    /// The leader's successful result is inserted before the flight is
+    /// resolved, so a request arriving after resolution hits the cache.
+    /// Errors are fanned out to every waiter and **not** cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (to the leader and every coalesced
+    /// waiter alike).
+    pub fn get_or_compute<F>(
+        &self,
+        key: CacheKey,
+        compute: F,
+    ) -> (Result<Arc<CacheableResult>, ServeError>, Disposition)
+    where
+        F: FnOnce() -> Result<CacheableResult, ServeError>,
+    {
+        if let Some(v) = self.peek(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return (Ok(v), Disposition::Hit);
+        }
+        // Miss: join or create the flight for this key.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                    });
+                    inflight.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let result = compute().map(Arc::new);
+            if let Ok(v) = &result {
+                self.insert(key, Arc::clone(v));
+            }
+            {
+                let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                inflight.remove(&key);
+            }
+            let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+            *state = FlightState::Done(result.clone());
+            flight.cv.notify_all();
+            drop(state);
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            (result, Disposition::Miss)
+        } else {
+            let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+            while matches!(*state, FlightState::Running) {
+                state = flight
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            let result = match &*state {
+                FlightState::Done(r) => r.clone(),
+                FlightState::Running => unreachable!("loop exits only when done"),
+            };
+            drop(state);
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            (result, Disposition::Coalesced)
+        }
+    }
+
+    /// Number of cached entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// `true` when no entry is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All entries, for snapshot persistence. Ordered by key so
+    /// snapshots of equal caches are byte-identical.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(CacheKey, Arc<CacheableResult>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            out.extend(shard.map.iter().map(|(k, e)| (*k, Arc::clone(&e.value))));
+        }
+        out.sort_by_key(|(k, _)| (k.spec, k.config));
+        out
+    }
+
+    /// A point-in-time copy of the behaviour counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            spec: SpecHash::of_text(&n.to_string()),
+            config: n,
+        }
+    }
+
+    fn result(n: u32) -> CacheableResult {
+        CacheableResult {
+            starts: vec![n],
+            iterations: u64::from(n),
+        }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = SchedCache::new(8, 2);
+        let (v, d) = cache.get_or_compute(key(1), || Ok(result(7)));
+        assert_eq!(d, Disposition::Miss);
+        assert_eq!(v.unwrap().iterations, 7);
+        let (v, d) = cache.get_or_compute(key(1), || panic!("must not recompute"));
+        assert_eq!(d, Disposition::Hit);
+        assert_eq!(v.unwrap().iterations, 7);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.coalesced), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SchedCache::new(8, 2);
+        let (v, d) = cache.get_or_compute(key(1), || Err(ServeError::Verify("boom".into())));
+        assert_eq!(d, Disposition::Miss);
+        assert!(v.is_err());
+        assert!(cache.is_empty());
+        let (v, d) = cache.get_or_compute(key(1), || Ok(result(3)));
+        assert_eq!(d, Disposition::Miss, "failed run must be retried");
+        assert!(v.is_ok());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        let cache = SchedCache::new(2, 1);
+        cache.insert(key(1), Arc::new(result(1)));
+        cache.insert(key(2), Arc::new(result(2)));
+        let _ = cache.peek(&key(1)); // refresh 1 → 2 is now the LRU entry
+        cache.insert(key(3), Arc::new(result(3)));
+        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.peek(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.peek(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_misses_coalesce_to_one_compute() {
+        let cache = Arc::new(SchedCache::new(8, 2));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let (v, d) = cache.get_or_compute(key(42), || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open long enough for the others
+                    // to join it.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    Ok(result(9))
+                });
+                (v.unwrap().iterations, d)
+            }));
+        }
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(outcomes.iter().all(|(it, _)| *it == 9));
+        let leaders = outcomes
+            .iter()
+            .filter(|(_, d)| *d == Disposition::Miss)
+            .count();
+        assert_eq!(leaders, 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        // Late arrivals may hit the already-resolved entry instead of
+        // coalescing; either way no second compute happened.
+        assert_eq!(s.coalesced + s.hits, 7);
+    }
+
+    #[test]
+    fn entries_are_sorted_and_complete() {
+        let cache = SchedCache::new(16, 4);
+        for n in [5u64, 1, 9, 3] {
+            cache.insert(key(n), Arc::new(result(n as u32)));
+        }
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 4);
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|(k, _)| (k.spec, k.config));
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.config).collect::<Vec<_>>(),
+            sorted.iter().map(|(k, _)| k.config).collect::<Vec<_>>()
+        );
+    }
+}

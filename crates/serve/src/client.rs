@@ -1,0 +1,214 @@
+//! A blocking NDJSON client for the daemon.
+//!
+//! Supports pipelining: send any number of requests, then collect
+//! responses and match them by id (the daemon answers in completion
+//! order).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tcms_obs::json::{self, JsonValue};
+
+use crate::pipeline::{ScheduleOptions, SimulateOptions};
+use crate::protocol::{parse_response, Response};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Renders a schedule request line.
+#[must_use]
+pub fn schedule_request_line(
+    id: &str,
+    design: &str,
+    opts: &ScheduleOptions,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut map = common_fields(id, design, opts.all_global, &opts.globals, deadline_ms);
+    map.insert("action".into(), JsonValue::String("schedule".into()));
+    map.insert("gantt".into(), JsonValue::Bool(opts.gantt));
+    map.insert("degrade".into(), JsonValue::Bool(opts.degrade));
+    #[allow(clippy::cast_precision_loss)]
+    map.insert("verify".into(), JsonValue::Number(opts.verify as f64));
+    json::to_string(&JsonValue::Object(map))
+}
+
+/// Renders a simulate request line.
+#[must_use]
+pub fn simulate_request_line(
+    id: &str,
+    design: &str,
+    opts: &SimulateOptions,
+    deadline_ms: Option<u64>,
+) -> String {
+    let mut map = common_fields(id, design, opts.all_global, &opts.globals, deadline_ms);
+    map.insert("action".into(), JsonValue::String("simulate".into()));
+    #[allow(clippy::cast_precision_loss)]
+    {
+        map.insert("horizon".into(), JsonValue::Number(opts.horizon as f64));
+        map.insert("seed".into(), JsonValue::Number(opts.seed as f64));
+        map.insert("mean_gap".into(), JsonValue::Number(opts.mean_gap as f64));
+    }
+    json::to_string(&JsonValue::Object(map))
+}
+
+/// Renders a bare control-action request line (`ping`, `stats`,
+/// `shutdown`).
+#[must_use]
+pub fn control_request_line(id: &str, action: &str) -> String {
+    let mut map = BTreeMap::new();
+    map.insert("id".into(), JsonValue::String(id.to_owned()));
+    map.insert("action".into(), JsonValue::String(action.to_owned()));
+    json::to_string(&JsonValue::Object(map))
+}
+
+fn common_fields(
+    id: &str,
+    design: &str,
+    all_global: Option<u32>,
+    globals: &[(String, u32)],
+    deadline_ms: Option<u64>,
+) -> BTreeMap<String, JsonValue> {
+    let mut map = BTreeMap::new();
+    map.insert("id".into(), JsonValue::String(id.to_owned()));
+    map.insert("design".into(), JsonValue::String(design.to_owned()));
+    if let Some(period) = all_global {
+        map.insert("all_global".into(), JsonValue::Number(f64::from(period)));
+    }
+    if !globals.is_empty() {
+        let pairs = globals
+            .iter()
+            .map(|(name, period)| {
+                JsonValue::Array(vec![
+                    JsonValue::String(name.clone()),
+                    JsonValue::Number(f64::from(*period)),
+                ])
+            })
+            .collect();
+        map.insert("globals".into(), JsonValue::Array(pairs));
+    }
+    if let Some(ms) = deadline_ms {
+        #[allow(clippy::cast_precision_loss)]
+        map.insert("deadline_ms".into(), JsonValue::Number(ms as f64));
+    }
+    map
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sets a receive timeout (None = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one raw request line (pipelined; pair with [`Client::recv`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a closed connection or an unparseable response.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return parse_response(line.trim_end())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; protocol-level errors come back in
+    /// [`Response::error`].
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        self.send_line(line)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Action};
+
+    #[test]
+    fn request_lines_parse_back() {
+        let opts = ScheduleOptions {
+            all_global: Some(4),
+            globals: vec![("mul".into(), 2)],
+            gantt: true,
+            verify: 3,
+            degrade: false,
+        };
+        let line = schedule_request_line("req-1", "design text", &opts, Some(500));
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.deadline_ms, Some(500));
+        match req.action {
+            Action::Schedule {
+                design,
+                opts: parsed,
+            } => {
+                assert_eq!(design, "design text");
+                assert_eq!(parsed, opts);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+
+        let sim = SimulateOptions {
+            all_global: Some(3),
+            horizon: 800,
+            ..SimulateOptions::default()
+        };
+        let line = simulate_request_line("req-2", "d", &sim, None);
+        match parse_request(&line).unwrap().action {
+            Action::Simulate { opts: parsed, .. } => assert_eq!(parsed, sim),
+            other => panic!("unexpected action {other:?}"),
+        }
+
+        for action in ["ping", "stats", "shutdown"] {
+            let line = control_request_line("c", action);
+            assert!(parse_request(&line).is_ok(), "{line}");
+        }
+    }
+}

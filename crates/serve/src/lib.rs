@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! `tcms-serve` — a concurrent scheduling service for the TCMS stack.
+//!
+//! A long-running daemon (`tcms serve`) that speaks newline-delimited
+//! JSON over TCP and dispatches scheduling jobs from a bounded queue
+//! onto a worker pool. Its centerpiece is a **content-addressed result
+//! cache**: requests are keyed by the canonical hash of their design
+//! ([`tcms_ir::canon`]) plus a fingerprint of the scheduling
+//! configuration ([`tcms_core::fingerprint`]), so isomorphic designs —
+//! any reordering of resource, process, block, op or edge declarations —
+//! share one cache entry. Identical in-flight requests are coalesced
+//! into a single scheduler run (single-flight dedup), and the cache can
+//! persist across restarts as an integrity-checked JSONL snapshot.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — the NDJSON wire format: requests, responses, typed
+//!   error rendering,
+//! * [`pipeline`] — the shared load → spec → schedule → render path
+//!   (also used by the one-shot CLI, which is what makes daemon
+//!   responses bit-identical to `tcms schedule` output),
+//! * [`cache`] — sharded LRU + single-flight dedup,
+//! * [`persist`] — the on-disk snapshot (`--cache-dir`),
+//! * [`server`] — accept loop, bounded queue, worker pool, deadlines
+//!   and backpressure,
+//! * [`client`] — a blocking, pipelining client (`tcms client`, the
+//!   load generator and the e2e tests),
+//! * [`error`] — [`ServeError`] with stable wire classes and codes.
+//!
+//! The crate uses only the standard library plus the workspace's own
+//! crates — no external dependencies, per the workspace's offline
+//! build constraint.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod persist;
+pub mod pipeline;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStatsSnapshot, Disposition, SchedCache};
+pub use client::Client;
+pub use error::ServeError;
+pub use pipeline::{
+    schedule_request, simulate_request, ExecContext, ScheduleArtifacts, ScheduleOptions,
+    SimulateOptions,
+};
+pub use protocol::{Action, Request, Response};
+pub use server::{ServeConfig, Server};

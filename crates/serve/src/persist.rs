@@ -1,0 +1,280 @@
+//! Disk persistence of the schedule cache (`--cache-dir`).
+//!
+//! The snapshot is a JSONL file (`cache.jsonl` inside the cache
+//! directory): a header line identifying the format, then one line per
+//! entry. Every entry line carries an integrity digest (`check`) over
+//! its payload and key; loading verifies each line and **skips** corrupt
+//! or foreign lines instead of failing — a half-written snapshot from a
+//! crashed daemon degrades to a partially warm cache, never to wrong
+//! results. (A replayed schedule is additionally re-verified against the
+//! design before it is served, so even an undetected collision cannot
+//! produce an invalid response.)
+//!
+//! Snapshots are written atomically: a temporary file in the same
+//! directory, then a rename. Writing sorts entries by key, so two
+//! daemons holding the same cache content produce byte-identical
+//! snapshots.
+
+use std::io::{self, BufRead as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tcms_core::CacheableResult;
+use tcms_ir::canon::fnv64;
+use tcms_ir::SpecHash;
+use tcms_obs::json::{self, JsonValue};
+
+use crate::cache::{CacheKey, SchedCache};
+
+/// Snapshot format marker.
+const MAGIC: &str = "tcms-serve-cache";
+/// Snapshot format version; bump on incompatible change.
+const VERSION: f64 = 1.0;
+
+/// The snapshot path inside a cache directory.
+#[must_use]
+pub fn snapshot_path(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("cache.jsonl")
+}
+
+fn entry_check(key: &CacheKey, value: &CacheableResult) -> u64 {
+    let keyed = format!("{}|{:016x}|", key.spec, key.config);
+    fnv64(keyed.as_bytes()) ^ value.integrity()
+}
+
+fn entry_line(key: &CacheKey, value: &CacheableResult) -> String {
+    format!(
+        "{{\"spec\":\"{}\",\"config\":\"{:016x}\",{},\"check\":\"{:016x}\"}}",
+        key.spec,
+        key.config,
+        value.to_json_fields(),
+        entry_check(key, value)
+    )
+}
+
+/// Writes a snapshot of `entries` to `cache_dir/cache.jsonl`, creating
+/// the directory if needed. Atomic via temp-file-then-rename.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_snapshot(
+    cache_dir: &Path,
+    entries: &[(CacheKey, Arc<CacheableResult>)],
+) -> io::Result<()> {
+    std::fs::create_dir_all(cache_dir)?;
+    let final_path = snapshot_path(cache_dir);
+    let tmp_path = cache_dir.join(format!("cache.jsonl.tmp.{}", std::process::id()));
+    let mut ordered: Vec<&(CacheKey, Arc<CacheableResult>)> = entries.iter().collect();
+    ordered.sort_by_key(|(k, _)| (k.spec, k.config));
+    {
+        let mut f = io::BufWriter::new(std::fs::File::create(&tmp_path)?);
+        writeln!(
+            f,
+            "{{\"magic\":\"{MAGIC}\",\"version\":{VERSION},\"entries\":{}}}",
+            ordered.len()
+        )?;
+        for (key, value) in ordered {
+            writeln!(f, "{}", entry_line(key, value))?;
+        }
+        f.flush()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)
+}
+
+/// What a snapshot load found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Entries loaded into the cache.
+    pub loaded: usize,
+    /// Lines skipped: corrupt JSON, failed integrity check, wrong
+    /// format version.
+    pub skipped: usize,
+}
+
+fn parse_entry(line: &str) -> Option<(CacheKey, CacheableResult)> {
+    let v = json::parse(line).ok()?;
+    let spec = SpecHash::parse(v.get("spec")?.as_str()?).ok()?;
+    let config = u64::from_str_radix(v.get("config")?.as_str()?, 16).ok()?;
+    let check = u64::from_str_radix(v.get("check")?.as_str()?, 16).ok()?;
+    let iterations = to_u64(v.get("iterations")?)?;
+    let starts = v
+        .get("starts")?
+        .as_array()?
+        .iter()
+        .map(|s| to_u64(s).and_then(|n| u32::try_from(n).ok()))
+        .collect::<Option<Vec<u32>>>()?;
+    let key = CacheKey { spec, config };
+    let value = CacheableResult { starts, iterations };
+    if entry_check(&key, &value) != check {
+        return None;
+    }
+    Some((key, value))
+}
+
+fn to_u64(v: &JsonValue) -> Option<u64> {
+    let n = v.as_f64()?;
+    // Exact non-negative integers only; snapshot numbers are counts.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
+/// Loads `cache_dir/cache.jsonl` into `cache`, skipping corrupt lines.
+/// A missing snapshot file is an empty load, not an error.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than "not found".
+pub fn load_snapshot(cache_dir: &Path, cache: &SchedCache) -> io::Result<LoadReport> {
+    let path = snapshot_path(cache_dir);
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadReport::default()),
+        Err(e) => return Err(e),
+    };
+    let mut report = LoadReport::default();
+    let mut lines = io::BufReader::new(file).lines();
+    // Header: wrong magic or version means a foreign file — load nothing.
+    match lines.next() {
+        Some(Ok(header)) => {
+            let ok = json::parse(&header).ok().is_some_and(|h| {
+                h.get("magic").and_then(JsonValue::as_str) == Some(MAGIC)
+                    && h.get("version").and_then(JsonValue::as_f64) == Some(VERSION)
+            });
+            if !ok {
+                return Ok(LoadReport {
+                    loaded: 0,
+                    skipped: 1,
+                });
+            }
+        }
+        _ => return Ok(LoadReport::default()),
+    }
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_entry(&line) {
+            Some((key, value)) => {
+                cache.insert(key, Arc::new(value));
+                report.loaded += 1;
+            }
+            None => report.skipped += 1,
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<(CacheKey, Arc<CacheableResult>)> {
+        (0..4u32)
+            .map(|n| {
+                (
+                    CacheKey {
+                        spec: SpecHash::of_text(&format!("design {n}")),
+                        config: u64::from(n) * 1717,
+                    },
+                    Arc::new(CacheableResult {
+                        starts: vec![n, n + 1, n + 2],
+                        iterations: u64::from(n) + 10,
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcms_persist_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let entries = sample_entries();
+        save_snapshot(&dir, &entries).unwrap();
+        let cache = SchedCache::new(64, 4);
+        let report = load_snapshot(&dir, &cache).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 4,
+                skipped: 0
+            }
+        );
+        for (key, value) in &entries {
+            assert_eq!(cache.peek(key).unwrap(), *value);
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let entries = sample_entries();
+        save_snapshot(&dir, &entries).unwrap();
+        let path = snapshot_path(&dir);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip a start time inside the second entry: its check no longer
+        // matches. Also append plain garbage.
+        text = text.replacen("\"starts\":[1,2,3]", "\"starts\":[1,2,9]", 1);
+        text.push_str("not json at all\n");
+        std::fs::write(&path, text).unwrap();
+        let cache = SchedCache::new(64, 4);
+        let report = load_snapshot(&dir, &cache).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 3,
+                skipped: 2
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_or_missing_snapshot_loads_nothing() {
+        let dir = tmp_dir("foreign");
+        let cache = SchedCache::new(8, 1);
+        assert_eq!(
+            load_snapshot(&dir, &cache).unwrap(),
+            LoadReport::default(),
+            "missing file"
+        );
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(snapshot_path(&dir), "{\"magic\":\"other\"}\n").unwrap();
+        let report = load_snapshot(&dir, &cache).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 0,
+                skipped: 1
+            }
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let dir_a = tmp_dir("det_a");
+        let dir_b = tmp_dir("det_b");
+        let entries = sample_entries();
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        // save_snapshot sorts internally: any input order produces the
+        // same bytes.
+        save_snapshot(&dir_a, &entries).unwrap();
+        save_snapshot(&dir_b, &reversed).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(snapshot_path(&dir_a)).unwrap(),
+            std::fs::read_to_string(snapshot_path(&dir_b)).unwrap()
+        );
+    }
+}

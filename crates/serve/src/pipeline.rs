@@ -1,0 +1,609 @@
+//! The shared request pipeline: load → spec → schedule (optionally
+//! through the content-addressed cache) → render.
+//!
+//! Both the one-shot CLI (`tcms schedule` / `tcms simulate`) and every
+//! daemon worker execute **this** code, so their outputs are
+//! bit-identical by construction — the daemon does not reimplement the
+//! report renderer, it shares it.
+//!
+//! # Cache semantics
+//!
+//! With a [`SchedCache`], the plain scheduling path becomes
+//! content-addressed:
+//!
+//! 1. canonicalize the design ([`tcms_ir::canon`]) and fingerprint the
+//!    configuration ([`tcms_core::fingerprint`]),
+//! 2. single-flight `get_or_compute` on `(spec hash, fingerprint)`,
+//! 3. replay the cached canonical starts onto *this* request's system
+//!    and re-verify before rendering.
+//!
+//! On a miss the compute closure runs the exact scheduler invocation the
+//! cache-less path runs; capturing and immediately replaying the result
+//! is the identity mapping, so miss responses equal cache-less
+//! responses byte for byte. On a hit the replayed schedule is the one
+//! the original miss produced (same canonical form ⇒ same translation),
+//! so hits render the same bytes too — with **zero** IFDS iterations of
+//! new work. The degradation ladder rewrites the system itself, so
+//! `degrade` requests bypass the cache.
+
+use std::fmt::Write as _;
+
+use tcms_core::degrade::schedule_with_degradation_recorded;
+use tcms_core::{
+    check_execution, config_fingerprint, random_activations, CacheableResult, LadderConfig,
+    ModuloScheduler, SharingSpec,
+};
+use tcms_fds::{gantt, FdsConfig, RunBudget, Schedule};
+use tcms_ir::canon::Canonicalization;
+use tcms_ir::generators::paper_library;
+use tcms_ir::{display, frontend, parse, System};
+use tcms_obs::{NoopRecorder, Recorder};
+use tcms_sim::{SimConfig, Simulator, Trigger};
+
+use crate::cache::{CacheKey, Disposition, SchedCache};
+use crate::error::ServeError;
+
+/// Loads a system from either input language. A file whose first
+/// non-comment keyword is `resource` is structural `.dfg` (so a `:=`
+/// inside a comment cannot misroute it); otherwise the presence of `:=`
+/// selects the behavioral compiler.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Malformed`] when neither language accepts the
+/// text.
+pub fn load_system(source: &str) -> Result<System, ServeError> {
+    let first_keyword = source
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .find(|l| !l.is_empty())
+        .and_then(|l| l.split_whitespace().next())
+        .unwrap_or("");
+    let behavioral = first_keyword != "resource" && source.contains(":=");
+    if behavioral {
+        let (lib, _) = paper_library();
+        frontend::compile(source, lib).map_err(|e| ServeError::Malformed(e.to_string()))
+    } else {
+        parse::parse_system(source).map_err(|e| ServeError::Malformed(e.to_string()))
+    }
+}
+
+/// Builds and validates the sharing specification from the CLI-style
+/// `--all-global` / `--global TYPE=ρ` arguments.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Spec`] for unknown type names and invalid
+/// specifications.
+pub fn build_spec(
+    system: &System,
+    all_global: Option<u32>,
+    globals: &[(String, u32)],
+) -> Result<SharingSpec, ServeError> {
+    let mut spec = match all_global {
+        Some(period) => SharingSpec::all_global(system, period),
+        None => SharingSpec::all_local(system),
+    };
+    for (name, period) in globals {
+        let k = system
+            .library()
+            .by_name(name)
+            .ok_or_else(|| ServeError::Spec(format!("unknown resource type `{name}`")))?;
+        spec.set_global(k, system.users_of_type(k), *period);
+    }
+    spec.validate(system).map_err(ServeError::from)?;
+    Ok(spec)
+}
+
+/// Options of a schedule request (the CLI's `schedule` flags).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleOptions {
+    /// Uniform period for all shareable types (`--all-global`).
+    pub all_global: Option<u32>,
+    /// Per-type `TYPE=PERIOD` global assignments (`--global`).
+    pub globals: Vec<(String, u32)>,
+    /// Render ASCII Gantt charts (`--gantt`).
+    pub gantt: bool,
+    /// Number of randomized execution checks (`--verify N`).
+    pub verify: usize,
+    /// Retry failures through the degradation ladder (`--degrade`);
+    /// bypasses the cache.
+    pub degrade: bool,
+}
+
+/// Execution context of one pipeline run.
+pub struct ExecContext<'a> {
+    /// The content-addressed cache, if caching is enabled.
+    pub cache: Option<&'a SchedCache>,
+    /// Run budget applied to fresh scheduler runs (deadline enforcement).
+    pub budget: RunBudget,
+    /// Observability recorder threaded through the scheduler.
+    pub rec: &'a dyn Recorder,
+}
+
+impl Default for ExecContext<'_> {
+    fn default() -> Self {
+        ExecContext {
+            cache: None,
+            budget: RunBudget::UNLIMITED,
+            rec: &NoopRecorder,
+        }
+    }
+}
+
+/// Everything a schedule request produced.
+#[derive(Debug)]
+pub struct ScheduleArtifacts {
+    /// The rendered report (the response payload / CLI stdout).
+    pub text: String,
+    /// The loaded system (for `--save` and binding follow-ups).
+    pub system: System,
+    /// The finished schedule.
+    pub schedule: Schedule,
+    /// How the result was obtained; `Miss` for cache-less runs.
+    pub disposition: Disposition,
+    /// Frame-reduction iterations *executed by this request* — zero on a
+    /// cache hit or coalesced wait (the rendered report still shows the
+    /// original run's count).
+    pub fresh_iterations: u64,
+}
+
+/// Runs the full schedule pipeline on `source`.
+///
+/// # Errors
+///
+/// Returns the typed [`ServeError`] for parse, spec, scheduling and
+/// verification failures.
+pub fn schedule_request(
+    source: &str,
+    opts: &ScheduleOptions,
+    ctx: &ExecContext<'_>,
+) -> Result<ScheduleArtifacts, ServeError> {
+    let system = load_system(source)?;
+    let spec = build_spec(&system, opts.all_global, &opts.globals)?;
+    let config = FdsConfig {
+        budget: ctx.budget,
+        ..FdsConfig::default()
+    };
+
+    let (system, spec, schedule, iterations, fresh_iterations, disposition, note) = if opts.degrade
+    {
+        // The ladder may rewrite the system (relaxed periods, widened
+        // time ranges), so its results are not content-addressed by the
+        // *input* design — bypass the cache.
+        let outcome = schedule_with_degradation_recorded(
+            &system,
+            &spec,
+            &config,
+            &LadderConfig::default(),
+            ctx.rec,
+        )?;
+        let note = outcome.summary();
+        let final_system = outcome.system.unwrap_or(system);
+        let iterations = outcome.iterations;
+        (
+            final_system,
+            outcome.spec,
+            outcome.schedule,
+            iterations,
+            iterations,
+            Disposition::Miss,
+            Some(note),
+        )
+    } else if let Some(cache) = ctx.cache {
+        let canon = Canonicalization::of(&system);
+        let key = CacheKey {
+            spec: canon.hash(),
+            config: config_fingerprint(&system, &canon, &spec, &config),
+        };
+        let (result, disposition) = cache.get_or_compute(key, || {
+            let outcome = ModuloScheduler::new(&system, spec.clone())
+                .map_err(ServeError::from)?
+                .with_config(config.clone())
+                .run_recorded(ctx.rec)
+                .map_err(ServeError::from)?;
+            outcome
+                .schedule
+                .verify(&system)
+                .map_err(|e| ServeError::Verify(e.to_string()))?;
+            Ok(CacheableResult::capture(
+                &canon,
+                &outcome.schedule,
+                outcome.iterations,
+            ))
+        });
+        let cached = result?;
+        let schedule = cached
+            .replay(&canon)
+            .map_err(|e| ServeError::Verify(format!("cache replay failed: {e}")))?;
+        // Replay is re-verified even on hits: a hash collision or
+        // corrupt snapshot entry surfaces as a typed error, never as a
+        // silently wrong response.
+        schedule
+            .verify(&system)
+            .map_err(|e| ServeError::Verify(format!("cached schedule invalid: {e}")))?;
+        let fresh = if disposition == Disposition::Miss {
+            cached.iterations
+        } else {
+            0
+        };
+        (
+            system,
+            spec,
+            schedule,
+            cached.iterations,
+            fresh,
+            disposition,
+            None,
+        )
+    } else {
+        let (schedule, iterations) = {
+            let outcome = ModuloScheduler::new(&system, spec.clone())
+                .map_err(ServeError::from)?
+                .with_config(config)
+                .run_recorded(ctx.rec)
+                .map_err(ServeError::from)?;
+            outcome
+                .schedule
+                .verify(&system)
+                .map_err(|e| ServeError::Verify(e.to_string()))?;
+            (outcome.schedule, outcome.iterations)
+        };
+        (
+            system,
+            spec,
+            schedule,
+            iterations,
+            iterations,
+            Disposition::Miss,
+            None,
+        )
+    };
+
+    let text = render_schedule_report(
+        &system,
+        &spec,
+        &schedule,
+        iterations,
+        note.as_deref(),
+        opts.gantt,
+        opts.verify,
+    )?;
+    Ok(ScheduleArtifacts {
+        text,
+        system,
+        schedule,
+        disposition,
+        fresh_iterations,
+    })
+}
+
+/// Renders the schedule report exactly as `tcms schedule` prints it.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Verify`] when a `--verify` execution check
+/// fails.
+pub fn render_schedule_report(
+    system: &System,
+    spec: &SharingSpec,
+    schedule: &Schedule,
+    iterations: u64,
+    degradation_note: Option<&str>,
+    want_gantt: bool,
+    verify: usize,
+) -> Result<String, ServeError> {
+    let report = tcms_core::compute_report(system, spec, schedule);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", display::summary(system));
+    if let Some(note) = degradation_note {
+        let _ = writeln!(out, "degradation: {note}");
+    }
+    let _ = writeln!(out, "iterations: {iterations}");
+    for (k, rt) in system.library().iter() {
+        let tr = report.of_type(k);
+        let _ = write!(out, "{:<8} {:>3} instances", rt.name(), tr.instances());
+        if let Some(auth) = &tr.authorization {
+            let _ = write!(
+                out,
+                "  (shared pool {}, period {}",
+                auth.pool(),
+                auth.period()
+            );
+            let locals: u32 = tr.local_counts.iter().map(|&(_, c)| c).sum();
+            if locals > 0 {
+                let _ = write!(out, ", +{locals} local");
+            }
+            let _ = write!(out, ")");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "total area: {}", report.total_area());
+
+    if verify > 0 {
+        for seed in 0..verify as u64 {
+            let acts = random_activations(system, spec, schedule, 3, seed);
+            check_execution(system, spec, schedule, &report, &acts)
+                .map_err(|e| ServeError::Verify(e.to_string()))?;
+        }
+        let _ = writeln!(
+            out,
+            "verified {verify} randomized grid-aligned executions: conflict-free"
+        );
+    }
+    if want_gantt {
+        let _ = writeln!(out, "\n{}", gantt::render_system(system, schedule));
+    }
+    Ok(out)
+}
+
+/// Options of a simulate request (the CLI's `simulate` flags, without
+/// fault injection — reactive-load simulation over the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulateOptions {
+    /// Uniform period for all shareable types.
+    pub all_global: Option<u32>,
+    /// Per-type global assignments.
+    pub globals: Vec<(String, u32)>,
+    /// Simulated time steps.
+    pub horizon: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Mean gap of the random triggers.
+    pub mean_gap: u64,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        SimulateOptions {
+            all_global: None,
+            globals: Vec::new(),
+            horizon: 5_000,
+            seed: 0,
+            mean_gap: 50,
+        }
+    }
+}
+
+/// Runs the simulate pipeline: schedule (through the cache when one is
+/// given — the simulation itself is not cached) and simulate the
+/// reactive workload, rendering exactly the CLI's `simulate` output.
+///
+/// # Errors
+///
+/// Same classes as [`schedule_request`].
+pub fn simulate_request(
+    source: &str,
+    opts: &SimulateOptions,
+    ctx: &ExecContext<'_>,
+) -> Result<(String, Disposition, u64), ServeError> {
+    let sched_opts = ScheduleOptions {
+        all_global: opts.all_global,
+        globals: opts.globals.clone(),
+        ..ScheduleOptions::default()
+    };
+    let arts = schedule_request(source, &sched_opts, ctx)?;
+    let system = arts.system;
+    let spec = build_spec(&system, opts.all_global, &opts.globals)?;
+    let sim = Simulator::new(&system, &spec, &arts.schedule);
+    let workloads = vec![
+        Trigger::Random {
+            mean_gap: opts.mean_gap
+        };
+        system.num_processes()
+    ];
+    let config = SimConfig {
+        horizon: opts.horizon,
+        seed: opts.seed,
+    };
+    let result = sim.run(&workloads, &config);
+    let out = render_simulation(
+        &system,
+        &spec,
+        &sim,
+        &result,
+        opts.horizon,
+        opts.seed,
+        opts.mean_gap,
+    );
+    Ok((out, arts.disposition, arts.fresh_iterations))
+}
+
+/// Renders the standard simulation block exactly as `tcms simulate`
+/// prints it (shared by the daemon and the CLI, including the CLI's
+/// fault-injection mode, which appends its own lines after this block).
+#[must_use]
+pub fn render_simulation(
+    system: &System,
+    spec: &SharingSpec,
+    sim: &Simulator<'_>,
+    result: &tcms_sim::SimResult,
+    horizon: u64,
+    seed: u64,
+    mean_gap: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", display::summary(system));
+    let _ = writeln!(
+        out,
+        "simulated {horizon} steps (workload seed {seed}, mean gap {mean_gap}): \
+         {} activations",
+        result.activations
+    );
+    let _ = writeln!(
+        out,
+        "mean wait {:.2}, mean latency {:.2}",
+        result.mean_wait, result.mean_latency
+    );
+    for k in system.library().ids() {
+        if spec.is_global(k) {
+            let _ = writeln!(
+                out,
+                "pool {:<8} utilization {:.2}  peak {}/{}",
+                system.library().get(k).name(),
+                result.utilization[k.index()],
+                result.peak_usage[k.index()],
+                sim.report().instances(k)
+            );
+        }
+    }
+    let _ = writeln!(out, "conflicts vs full pools: {}", result.conflicts.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+resource add delay=1 area=1
+resource mul delay=2 area=4 pipelined
+process A
+block body time=8
+op m0 mul
+op a0 add
+edge m0 a0
+process B
+block body time=8
+op m0 mul
+op a0 add
+edge m0 a0
+";
+
+    /// The same design with every declaration order permuted.
+    const SAMPLE_SHUFFLED: &str = "
+resource mul delay=2 area=4 pipelined
+resource add delay=1 area=1
+process B
+block body time=8
+op a0 add
+op m0 mul
+edge m0 a0
+process A
+block body time=8
+op a0 add
+op m0 mul
+edge m0 a0
+";
+
+    fn opts_global(period: u32) -> ScheduleOptions {
+        ScheduleOptions {
+            all_global: Some(period),
+            ..ScheduleOptions::default()
+        }
+    }
+
+    #[test]
+    fn cacheless_and_miss_and_hit_render_identical_bytes() {
+        let plain = schedule_request(SAMPLE, &opts_global(4), &ExecContext::default()).unwrap();
+        assert_eq!(plain.disposition, Disposition::Miss);
+        assert!(plain.fresh_iterations > 0);
+
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let miss = schedule_request(SAMPLE, &opts_global(4), &ctx).unwrap();
+        assert_eq!(miss.disposition, Disposition::Miss);
+        assert_eq!(miss.text, plain.text);
+
+        let hit = schedule_request(SAMPLE, &opts_global(4), &ctx).unwrap();
+        assert_eq!(hit.disposition, Disposition::Hit);
+        assert_eq!(hit.fresh_iterations, 0, "warm hits do zero IFDS work");
+        assert_eq!(hit.text, plain.text);
+    }
+
+    #[test]
+    fn permuted_design_hits_the_same_entry() {
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let miss = schedule_request(SAMPLE, &opts_global(4), &ctx).unwrap();
+        let hit = schedule_request(SAMPLE_SHUFFLED, &opts_global(4), &ctx).unwrap();
+        assert_eq!(miss.disposition, Disposition::Miss);
+        assert_eq!(hit.disposition, Disposition::Hit);
+        assert_eq!(hit.fresh_iterations, 0);
+        // Same design, same totals — rendered from the replayed schedule
+        // against the permuted declaration.
+        assert!(hit.text.contains("total area"));
+        let area = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("total area"))
+                .map(str::to_owned)
+        };
+        assert_eq!(area(&hit.text), area(&miss.text));
+    }
+
+    #[test]
+    fn different_config_is_a_different_entry() {
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let a = schedule_request(SAMPLE, &opts_global(4), &ctx).unwrap();
+        let b = schedule_request(SAMPLE, &opts_global(2), &ctx).unwrap();
+        assert_eq!(a.disposition, Disposition::Miss);
+        assert_eq!(b.disposition, Disposition::Miss);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn malformed_and_bad_spec_are_typed() {
+        let err = schedule_request(
+            "resource add delay=zero",
+            &ScheduleOptions::default(),
+            &ExecContext::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::Malformed(_)), "{err:?}");
+        let opts = ScheduleOptions {
+            globals: vec![("div".into(), 2)],
+            ..ScheduleOptions::default()
+        };
+        let err = schedule_request(SAMPLE, &opts, &ExecContext::default()).unwrap_err();
+        assert!(matches!(err, ServeError::Spec(_)), "{err:?}");
+        assert_eq!(err.code(), 5);
+    }
+
+    #[test]
+    fn degrade_requests_bypass_the_cache() {
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let opts = ScheduleOptions {
+            degrade: true,
+            ..opts_global(4)
+        };
+        let a = schedule_request(SAMPLE, &opts, &ctx).unwrap();
+        assert!(cache.is_empty(), "degrade results are never cached");
+        assert!(a.fresh_iterations > 0);
+    }
+
+    #[test]
+    fn simulate_renders_and_uses_cache_for_scheduling() {
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let opts = SimulateOptions {
+            all_global: Some(4),
+            horizon: 500,
+            ..SimulateOptions::default()
+        };
+        let (a, d1, fresh1) = simulate_request(SAMPLE, &opts, &ctx).unwrap();
+        let (b, d2, fresh2) = simulate_request(SAMPLE, &opts, &ctx).unwrap();
+        assert_eq!(d1, Disposition::Miss);
+        assert_eq!(d2, Disposition::Hit);
+        assert!(fresh1 > 0);
+        assert_eq!(fresh2, 0);
+        assert_eq!(a, b, "simulation output is deterministic");
+        assert!(a.contains("simulated 500 steps"));
+    }
+}

@@ -1,0 +1,628 @@
+//! The daemon: TCP accept loop, bounded job queue, worker pool.
+//!
+//! # Request lifecycle
+//!
+//! 1. A connection thread reads one NDJSON line and parses it.
+//!    Control actions (`ping`, `stats`, `shutdown`) are answered inline;
+//!    work actions (`schedule`, `simulate`) are pushed onto the bounded
+//!    job queue.
+//! 2. If the queue is full the request is **shed immediately** with a
+//!    typed `overloaded` (429) error — backpressure is explicit, the
+//!    daemon never buffers unboundedly.
+//! 3. A worker pops the job. If its deadline already expired in the
+//!    queue it answers `deadline` (408) without scheduling; otherwise
+//!    the remaining time becomes the scheduler's [`RunBudget`]
+//!    wall-clock watchdog, so a deadline also bounds the IFDS run
+//!    itself.
+//! 4. The worker runs the shared [`pipeline`](crate::pipeline) —
+//!    through the content-addressed cache — and writes the response
+//!    line back on the requesting connection. Responses arrive in
+//!    completion order; the echoed `id` correlates them.
+//!
+//! Scheduling work itself fans out onto the vendored rayon pool, which
+//! is safe to enter from several worker threads at once (a contended
+//! parallel region degrades to inline sequential execution with
+//! bit-identical results).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tcms_fds::RunBudget;
+use tcms_obs::json::JsonValue;
+use tcms_obs::{MetricsRegistry, NoopRecorder};
+
+use crate::cache::{Disposition, SchedCache};
+use crate::error::ServeError;
+use crate::persist;
+use crate::pipeline::{schedule_request, simulate_request, ExecContext};
+use crate::protocol::{
+    error_line, output_body, parse_request, success_line, Action, Request, RequestId,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7733` (`:0` picks a free port).
+    pub listen: String,
+    /// Worker threads (0 = automatic).
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it requests are shed.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (lock granularity).
+    pub cache_shards: usize,
+    /// Directory for the persistent cache snapshot (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+    /// Deadline applied to requests that carry none, in milliseconds.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            cache_dir: None,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// One queued work item.
+struct Job {
+    id: RequestId,
+    action: Action,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    conn: Arc<ConnWriter>,
+}
+
+/// The write half of a connection; workers share it via `Arc`.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Writes one response line. Errors are swallowed: a vanished client
+    /// must not take a worker down.
+    fn send(&self, line: &str) {
+        let mut stream = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    cache: SchedCache,
+    metrics: Mutex<MetricsRegistry>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Pushes a job, shedding when the bounded queue is full.
+    fn enqueue(&self, job: Job) -> Result<(), ServeError> {
+        if self.shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = {
+            let mut queue = self.lock_queue();
+            if queue.len() >= self.config.queue_capacity {
+                return Err(ServeError::Overloaded {
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            queue.push_back(job);
+            queue.len()
+        };
+        self.queue_cv.notify_one();
+        #[allow(clippy::cast_precision_loss)]
+        self.lock_metrics()
+            .gauge_set("serve.queue.depth", depth as f64);
+        Ok(())
+    }
+
+    /// Pops the next job, blocking until one arrives or shutdown drains
+    /// the queue empty.
+    fn dequeue(&self) -> Option<Job> {
+        let mut queue = self.lock_queue();
+        loop {
+            if let Some(job) = queue.pop_front() {
+                let depth = queue.len();
+                drop(queue);
+                #[allow(clippy::cast_precision_loss)]
+                self.lock_metrics()
+                    .gauge_set("serve.queue.depth", depth as f64);
+                return Some(job);
+            }
+            if self.shutting_down() {
+                return None;
+            }
+            queue = self
+                .queue_cv
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Runs one job end to end and writes its response.
+    fn execute(&self, job: Job) {
+        let waited = job.enqueued.elapsed();
+        let budget = match job.deadline {
+            Some(deadline) => {
+                let Some(remaining) = deadline.checked_sub(waited) else {
+                    let waited_ms = u64::try_from(waited.as_millis()).unwrap_or(u64::MAX);
+                    job.conn.send(&error_line(
+                        &job.id,
+                        &ServeError::DeadlineExpired { waited_ms },
+                    ));
+                    return;
+                };
+                RunBudget {
+                    wall_deadline: Some(remaining),
+                    ..RunBudget::UNLIMITED
+                }
+            }
+            None => RunBudget::UNLIMITED,
+        };
+        let cache = (self.config.cache_capacity > 0).then_some(&self.cache);
+        let ctx = ExecContext {
+            cache,
+            budget,
+            rec: &NoopRecorder,
+        };
+        let outcome = match &job.action {
+            Action::Schedule { design, opts } => schedule_request(design, opts, &ctx)
+                .map(|a| (a.text, a.disposition, a.fresh_iterations)),
+            Action::Simulate { design, opts } => simulate_request(design, opts, &ctx),
+            // Control actions never reach the queue.
+            Action::Stats | Action::Ping | Action::Shutdown => return,
+        };
+        let line = match outcome {
+            Ok((output, disposition, fresh_iterations)) => {
+                {
+                    let mut m = self.lock_metrics();
+                    m.counter_add(disposition_metric(disposition), 1);
+                    if disposition == Disposition::Miss {
+                        m.counter_add("serve.scheduler.runs", 1);
+                    }
+                    m.counter_add("serve.ifds.iterations", fresh_iterations);
+                }
+                // The rendered report's iteration count mirrors the run
+                // that produced the cache entry; `fresh_iterations` in
+                // the metrics counts only *new* IFDS work.
+                success_line(&job.id, output_body(&output, disposition, fresh_iterations))
+            }
+            Err(e) => {
+                self.lock_metrics().counter_add("serve.errors", 1);
+                error_line(&job.id, &e)
+            }
+        };
+        #[allow(clippy::cast_precision_loss)]
+        self.lock_metrics().histogram_record(
+            "serve.latency_ms",
+            job.enqueued.elapsed().as_millis() as f64,
+        );
+        job.conn.send(&line);
+    }
+
+    /// The daemon-statistics response body.
+    fn stats_body(&self) -> BTreeMap<String, JsonValue> {
+        let cache = self.cache.stats();
+        let metrics = self.lock_metrics();
+        let num = |n: u64| {
+            #[allow(clippy::cast_precision_loss)]
+            JsonValue::Number(n as f64)
+        };
+        let mut body = BTreeMap::new();
+        body.insert("cache_entries".into(), num(self.cache.len() as u64));
+        body.insert("cache_hits".into(), num(cache.hits));
+        body.insert("cache_misses".into(), num(cache.misses));
+        body.insert("cache_coalesced".into(), num(cache.coalesced));
+        body.insert("cache_evictions".into(), num(cache.evictions));
+        body.insert("cache_hit_rate".into(), JsonValue::Number(cache.hit_rate()));
+        body.insert("requests".into(), num(metrics.counter("serve.requests")));
+        body.insert(
+            "scheduler_runs".into(),
+            num(metrics.counter("serve.scheduler.runs")),
+        );
+        body.insert(
+            "ifds_iterations".into(),
+            num(metrics.counter("serve.ifds.iterations")),
+        );
+        body.insert("errors".into(), num(metrics.counter("serve.errors")));
+        body.insert(
+            "queue_depth".into(),
+            JsonValue::Number(metrics.gauge("serve.queue.depth").unwrap_or(0.0)),
+        );
+        body.insert("workers".into(), num(self.config.workers as u64));
+        body
+    }
+}
+
+fn disposition_metric(d: Disposition) -> &'static str {
+    match d {
+        Disposition::Hit => "serve.cache.hit",
+        Disposition::Miss => "serve.cache.miss",
+        Disposition::Coalesced => "serve.cache.coalesced",
+    }
+}
+
+/// Serves one connection: read lines, answer control actions inline,
+/// queue work actions.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // The read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let writer = Arc::new(ConnWriter {
+        stream: Mutex::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        }),
+    });
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.lock_metrics().counter_add("serve.requests", 1);
+        let request = match parse_request(line.trim_end()) {
+            Ok(r) => r,
+            Err((id, e)) => {
+                shared.lock_metrics().counter_add("serve.errors", 1);
+                writer.send(&error_line(&id, &e));
+                continue;
+            }
+        };
+        let Request {
+            id,
+            action,
+            deadline_ms,
+        } = request;
+        match action {
+            Action::Ping => {
+                let mut body = BTreeMap::new();
+                body.insert("pong".into(), JsonValue::Bool(true));
+                writer.send(&success_line(&id, body));
+            }
+            Action::Stats => {
+                writer.send(&success_line(&id, shared.stats_body()));
+            }
+            Action::Shutdown => {
+                writer.send(&success_line(&id, BTreeMap::new()));
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.queue_cv.notify_all();
+            }
+            work @ (Action::Schedule { .. } | Action::Simulate { .. }) => {
+                let deadline = deadline_ms
+                    .or(shared.config.default_deadline_ms)
+                    .map(Duration::from_millis);
+                let job = Job {
+                    id: id.clone(),
+                    action: work,
+                    enqueued: Instant::now(),
+                    deadline,
+                    conn: Arc::clone(&writer),
+                };
+                if let Err(e) = shared.enqueue(job) {
+                    shared.lock_metrics().counter_add("serve.errors", 1);
+                    if matches!(e, ServeError::Overloaded { .. }) {
+                        shared.lock_metrics().counter_add("serve.shed", 1);
+                    }
+                    writer.send(&error_line(&id, &e));
+                }
+            }
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::wait`] leaves threads
+/// running; call [`Server::shutdown`] then [`Server::wait`] (or let a
+/// client's `shutdown` request trigger it) for a clean exit that also
+/// persists the cache snapshot.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, loads the cache snapshot (when a cache
+    /// directory is configured) and spawns the accept loop and worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and snapshot I/O failures.
+    pub fn start(mut config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        if config.workers == 0 {
+            config.workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .clamp(2, 8);
+        }
+        let cache = SchedCache::new(config.cache_capacity.max(1), config.cache_shards.max(1));
+        let mut metrics = MetricsRegistry::default();
+        if let Some(dir) = &config.cache_dir {
+            let report = persist::load_snapshot(dir, &cache)?;
+            metrics.counter_add("serve.snapshot.loaded", report.loaded as u64);
+            metrics.counter_add("serve.snapshot.skipped", report.skipped as u64);
+        }
+        let shared = Arc::new(Shared {
+            config,
+            cache,
+            metrics: Mutex::new(metrics),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tcms-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.dequeue() {
+                            shared.execute(job);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tcms-serve-accept".into())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            // Connection threads are detached; they exit on
+                            // client EOF or the shutdown flag (read timeout).
+                            let _ = std::thread::Builder::new()
+                                .name("tcms-serve-conn".into())
+                                .spawn(move || serve_connection(&shared, stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if shared.shutting_down() {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => {
+                            if shared.shutting_down() {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown: stop accepting, drain the queue, then exit.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether a shutdown has been requested (by [`Server::shutdown`] or
+    /// a client's `shutdown` action).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Blocks until the daemon has shut down, then persists the cache
+    /// snapshot when a cache directory is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot write failures.
+    pub fn wait(mut self) -> std::io::Result<()> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(dir) = &self.shared.config.cache_dir {
+            persist::save_snapshot(dir, &self.shared.cache.entries())?;
+        }
+        Ok(())
+    }
+
+    /// Reads one observability counter (test and stats support).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.shared.lock_metrics().counter(name)
+    }
+
+    /// The result cache (test and stats support).
+    #[must_use]
+    pub fn cache(&self) -> &SchedCache {
+        &self.shared.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_response;
+
+    const SAMPLE: &str = "resource add delay=1 area=1\nresource mul delay=2 area=4 pipelined\n\
+        process A\nblock body time=8\nop m0 mul\nop a0 add\nedge m0 a0\n\
+        process B\nblock body time=8\nop m0 mul\nop a0 add\nedge m0 a0\n";
+
+    fn start() -> (Server, SocketAddr) {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> crate::protocol::Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        parse_response(line.trim_end()).unwrap()
+    }
+
+    fn schedule_req(id: &str) -> String {
+        let design = SAMPLE.replace('\n', "\\n");
+        format!(r#"{{"id":"{id}","action":"schedule","design":"{design}","all_global":4}}"#)
+    }
+
+    #[test]
+    fn ping_and_stats_answer_inline() {
+        let (server, addr) = start();
+        let pong = roundtrip(addr, r#"{"id":1,"action":"ping"}"#);
+        assert!(pong.is_ok());
+        assert_eq!(pong.body.get("pong"), Some(&JsonValue::Bool(true)));
+        let stats = roundtrip(addr, r#"{"id":2,"action":"stats"}"#);
+        assert!(stats.is_ok());
+        assert!(stats.body.get("cache_entries").is_some());
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn schedule_misses_then_hits() {
+        let (server, addr) = start();
+        let first = roundtrip(addr, &schedule_req("m"));
+        assert!(first.is_ok(), "{:?}", first.error);
+        assert_eq!(first.cache(), Some("miss"));
+        let second = roundtrip(addr, &schedule_req("h"));
+        assert!(second.is_ok());
+        assert_eq!(second.cache(), Some("hit"));
+        assert_eq!(first.output(), second.output());
+        assert_eq!(server.counter("serve.scheduler.runs"), 1);
+        assert_eq!(server.counter("serve.cache.hit"), 1);
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn malformed_design_gets_typed_error() {
+        let (server, addr) = start();
+        let resp = roundtrip(
+            addr,
+            r#"{"id":"x","action":"schedule","design":"resource add delay=zero"}"#,
+        );
+        let (class, code, _) = resp.error.unwrap();
+        assert_eq!((class.as_str(), code), ("malformed", 4));
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_expires_in_queue() {
+        let (server, addr) = start();
+        let design = SAMPLE.replace('\n', "\\n");
+        let resp = roundtrip(
+            addr,
+            &format!(r#"{{"id":"d","action":"schedule","design":"{design}","deadline_ms":0}}"#),
+        );
+        let (class, code, _) = resp.error.unwrap();
+        assert_eq!((class.as_str(), code), ("deadline", 408));
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn client_shutdown_request_stops_the_daemon() {
+        let (server, addr) = start();
+        let resp = roundtrip(addr, r#"{"id":"bye","action":"shutdown"}"#);
+        assert!(resp.is_ok());
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_restart() {
+        let dir = std::env::temp_dir().join(format!("tcms_serve_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config.clone()).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(roundtrip(addr, &schedule_req("a")).cache(), Some("miss"));
+        server.shutdown();
+        server.wait().unwrap();
+
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr();
+        // Warm from the snapshot: the very first request is a hit.
+        assert_eq!(roundtrip(addr, &schedule_req("b")).cache(), Some("hit"));
+        assert_eq!(server.counter("serve.scheduler.runs"), 0);
+        server.shutdown();
+        server.wait().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

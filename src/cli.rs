@@ -15,14 +15,14 @@
 
 use std::fmt;
 use std::fmt::Write as _;
+use std::path::Path;
 
-use crate::fds::gantt;
-use crate::ir::generators::paper_library;
-use crate::ir::{display, dot, frontend, parse, System};
-use crate::modulo::{
-    check_execution, random_activations, ModuloScheduler, ScheduleError, SharingSpec,
-};
+use crate::ir::{display, dot, System};
+use crate::modulo::{check_execution, random_activations, ModuloScheduler, ScheduleError};
 use crate::obs::{sink, NoopRecorder, Recorder, TraceRecorder};
+use crate::serve::cache::SchedCache;
+use crate::serve::pipeline::{self, ExecContext, ScheduleOptions, SimulateOptions};
+use crate::serve::{persist, Client, ServeConfig, ServeError, Server};
 
 /// A typed CLI failure. Every class maps to a stable process exit code
 /// (see [`CliError::exit_code`]) so scripts can branch on *why* a run
@@ -48,6 +48,17 @@ pub enum CliError {
     Verify(String),
     /// Binding / RTL generation failed after a valid schedule.
     Backend(String),
+    /// A request to a `tcms serve` daemon failed remotely; carries the
+    /// wire class and code (see [`crate::serve::ServeError`]).
+    Service {
+        /// The stable wire class, e.g. `overloaded`.
+        class: String,
+        /// The wire code (CLI exit codes, or 4xx/5xx for service-only
+        /// classes).
+        code: u16,
+        /// The daemon's error message.
+        message: String,
+    },
 }
 
 impl CliError {
@@ -64,6 +75,7 @@ impl CliError {
     /// | 8 | period grid overflow |
     /// | 9 | schedule verification failure |
     /// | 10 | backend (binding/RTL) failure |
+    /// | 11 | remote service failure (unless the daemon's code is 2–10) |
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -76,6 +88,12 @@ impl CliError {
             CliError::Schedule(ScheduleError::PeriodGridOverflow { .. }) => 8,
             CliError::Verify(_) | CliError::Schedule(ScheduleError::VerificationFailed { .. }) => 9,
             CliError::Backend(_) => 10,
+            // A remote scheduling failure keeps its one-shot exit code;
+            // the service-only classes (429/408/503) fold to 11.
+            CliError::Service { code, .. } => u8::try_from(*code)
+                .ok()
+                .filter(|c| (2..=10).contains(c))
+                .unwrap_or(11),
         }
     }
 }
@@ -90,7 +108,32 @@ impl fmt::Display for CliError {
             CliError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             CliError::Verify(msg) => write!(f, "schedule verification failed: {msg}"),
             CliError::Backend(msg) => write!(f, "backend failed: {msg}"),
+            CliError::Service {
+                class,
+                code,
+                message,
+            } => write!(f, "service error [{class}/{code}]: {message}"),
         }
+    }
+}
+
+/// Maps a serving-pipeline error onto the CLI's error classes; the
+/// scheduling classes translate one-to-one, the service-only classes
+/// become [`CliError::Service`].
+fn serve_to_cli(e: ServeError) -> CliError {
+    match e {
+        ServeError::BadRequest(m) => CliError::Usage(m),
+        ServeError::Malformed(m) => CliError::Malformed(m),
+        ServeError::Spec(m) => CliError::Spec(m),
+        ServeError::Schedule(e) => CliError::Schedule(e),
+        ServeError::Verify(m) => CliError::Verify(m),
+        other @ (ServeError::Overloaded { .. }
+        | ServeError::DeadlineExpired { .. }
+        | ServeError::ShuttingDown) => CliError::Service {
+            class: other.class().to_owned(),
+            code: other.code(),
+            message: other.to_string(),
+        },
     }
 }
 
@@ -146,6 +189,9 @@ pub enum Command {
         degrade: bool,
         /// Worker-thread count override (from `--threads`; 0 = auto).
         threads: Option<usize>,
+        /// Persistent content-addressed result cache directory
+        /// (from `--cache-dir`).
+        cache_dir: Option<String>,
     },
     /// Simulate a scheduled design under reactive workloads, optionally
     /// with deterministic fault injection.
@@ -198,6 +244,31 @@ pub enum Command {
         /// Path of the design input.
         input: String,
     },
+    /// Run the scheduling daemon until a client requests shutdown.
+    Serve {
+        /// Listen address (from `--listen`; `:0` picks a free port).
+        listen: String,
+        /// Worker threads (from `--workers`; 0 = auto).
+        workers: usize,
+        /// Bounded job-queue capacity (from `--queue`).
+        queue: usize,
+        /// Result-cache capacity in entries (from `--cache-capacity`).
+        cache_capacity: usize,
+        /// Persistent cache snapshot directory (from `--cache-dir`).
+        cache_dir: Option<String>,
+        /// Default per-job deadline in ms (from `--deadline-ms`).
+        deadline_ms: Option<u64>,
+        /// Worker-thread count for the scheduler itself
+        /// (from `--threads`; 0 = auto).
+        threads: Option<usize>,
+    },
+    /// Send one request to a running daemon and print the response.
+    Client {
+        /// Daemon address, e.g. `127.0.0.1:7733`.
+        addr: String,
+        /// The request to send.
+        action: ClientCommand,
+    },
     /// Print the Graphviz rendering of a design.
     Dot {
         /// Path of the `.dfg` input.
@@ -212,6 +283,36 @@ pub enum Command {
     Help,
 }
 
+/// What `tcms client` asks a daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientCommand {
+    /// Remote `schedule`: the design file is read locally and sent over
+    /// the wire.
+    Schedule {
+        /// Path of the design input.
+        input: String,
+        /// Schedule options (the same flags as one-shot `schedule`).
+        opts: ScheduleOptions,
+        /// Per-job deadline in ms (from `--deadline-ms`).
+        deadline_ms: Option<u64>,
+    },
+    /// Remote `simulate`.
+    Simulate {
+        /// Path of the design input.
+        input: String,
+        /// Simulation options (the same flags as one-shot `simulate`).
+        opts: SimulateOptions,
+        /// Per-job deadline in ms (from `--deadline-ms`).
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Daemon statistics (cache hit rate, queue depth, counters).
+    Stats,
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+}
+
 /// Usage text printed by `tcms help`.
 pub const USAGE: &str = "\
 tcms — time-constrained modulo scheduling with global resource sharing
@@ -224,6 +325,8 @@ USAGE:
   tcms dfg <design>                    convert behavioral input to .dfg
   tcms dot <design>                    emit Graphviz
   tcms summary <design>                one-line design summary
+  tcms serve [OPTIONS]                 run the NDJSON-over-TCP scheduling daemon
+  tcms client <addr> <request>         talk to a running daemon
   tcms help                            this text
 
 Inputs may be structural (.dfg) or behavioral (`process p time=9 { y := a*b + c; }`).
@@ -239,6 +342,8 @@ SCHEDULE OPTIONS:
   --threads <N>           worker threads for candidate-force evaluation
                           (0 = auto; also via the TCMS_THREADS env var);
                           results are bit-identical at every thread count
+  --cache-dir <DIR>       persistent content-addressed result cache:
+                          isomorphic designs re-use earlier schedules
 
 SIMULATE OPTIONS:
   --all-global / --global as above, plus:
@@ -260,6 +365,20 @@ OBSERVABILITY OPTIONS (schedule):
   --timeline <file.jsonl> write the JSONL span/event/timeline stream
 
 VHDL OPTIONS: --all-global / --global as above, plus --width <bits>
+
+SERVE OPTIONS:
+  --listen <addr>         listen address (default 127.0.0.1:7733; :0 = any port)
+  --workers <N>           job worker threads (default auto)
+  --queue <N>             bounded job-queue capacity (default 256)
+  --cache-capacity <N>    result-cache entries (default 1024; 0 disables)
+  --cache-dir <DIR>       load/save the cache snapshot across restarts
+  --deadline-ms <N>       default per-job deadline
+  --threads <N>           scheduler worker threads, as for schedule
+
+CLIENT REQUESTS:
+  tcms client <addr> schedule <design> [schedule opts] [--deadline-ms N]
+  tcms client <addr> simulate <design> [simulate opts] [--deadline-ms N]
+  tcms client <addr> ping | stats | shutdown
 ";
 
 /// Parses a command line (without the program name).
@@ -295,10 +414,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut timeline = None;
             let mut degrade = false;
             let mut threads = None;
+            let mut cache_dir = None;
             while let Some(opt) = it.next() {
                 match opt.as_str() {
                     "--gantt" => gantt = true,
                     "--degrade" => degrade = true,
+                    "--cache-dir" => {
+                        cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+                    }
                     "--threads" => {
                         let v = it.next().ok_or("--threads needs a count")?;
                         threads = Some(v.parse().map_err(|_| format!("bad count `{v}`"))?);
@@ -332,6 +455,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 timeline,
                 degrade,
                 threads,
+                cache_dir,
             })
         }
         "simulate" => {
@@ -433,6 +557,132 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let input = it.next().ok_or("dfg needs an input file")?.clone();
             Ok(Command::Dfg { input })
         }
+        "serve" => {
+            let mut listen = "127.0.0.1:7733".to_owned();
+            let mut workers = 0usize;
+            let mut queue = 256usize;
+            let mut cache_capacity = 1024usize;
+            let mut cache_dir = None;
+            let mut deadline_ms = None;
+            let mut threads = None;
+            fn num<T: std::str::FromStr>(
+                it: &mut std::slice::Iter<'_, String>,
+                flag: &str,
+            ) -> Result<T, String> {
+                let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
+            }
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--listen" => {
+                        listen = it.next().ok_or("--listen needs an address")?.clone();
+                    }
+                    "--workers" => workers = num(&mut it, "--workers")?,
+                    "--queue" => queue = num(&mut it, "--queue")?,
+                    "--cache-capacity" => cache_capacity = num(&mut it, "--cache-capacity")?,
+                    "--cache-dir" => {
+                        cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+                    }
+                    "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                    "--threads" => threads = Some(num(&mut it, "--threads")?),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            if queue == 0 {
+                return Err("--queue must be positive".to_owned());
+            }
+            Ok(Command::Serve {
+                listen,
+                workers,
+                queue,
+                cache_capacity,
+                cache_dir,
+                deadline_ms,
+                threads,
+            })
+        }
+        "client" => {
+            let addr = it.next().ok_or("client needs a daemon address")?.clone();
+            let request = it.next().ok_or("client needs a request")?.clone();
+            fn num<T: std::str::FromStr>(
+                it: &mut std::slice::Iter<'_, String>,
+                flag: &str,
+            ) -> Result<T, String> {
+                let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
+            }
+            let action = match request.as_str() {
+                "ping" => ClientCommand::Ping,
+                "stats" => ClientCommand::Stats,
+                "shutdown" => ClientCommand::Shutdown,
+                "schedule" => {
+                    let input = it
+                        .next()
+                        .ok_or("client schedule needs a design file")?
+                        .clone();
+                    let mut opts = ScheduleOptions::default();
+                    let mut deadline_ms = None;
+                    while let Some(opt) = it.next() {
+                        match opt.as_str() {
+                            "--gantt" => opts.gantt = true,
+                            "--degrade" => opts.degrade = true,
+                            "--verify" => opts.verify = num(&mut it, "--verify")?,
+                            "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                            other => parse_spec_option(
+                                other,
+                                &mut it,
+                                &mut opts.all_global,
+                                &mut opts.globals,
+                            )?,
+                        }
+                    }
+                    ClientCommand::Schedule {
+                        input,
+                        opts,
+                        deadline_ms,
+                    }
+                }
+                "simulate" => {
+                    let input = it
+                        .next()
+                        .ok_or("client simulate needs a design file")?
+                        .clone();
+                    let mut opts = SimulateOptions::default();
+                    let mut deadline_ms = None;
+                    while let Some(opt) = it.next() {
+                        match opt.as_str() {
+                            "--horizon" => opts.horizon = num(&mut it, "--horizon")?,
+                            "--seed" => opts.seed = num(&mut it, "--seed")?,
+                            "--mean-gap" => opts.mean_gap = num(&mut it, "--mean-gap")?,
+                            "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                            other => parse_spec_option(
+                                other,
+                                &mut it,
+                                &mut opts.all_global,
+                                &mut opts.globals,
+                            )?,
+                        }
+                    }
+                    if opts.horizon == 0 {
+                        return Err("--horizon must be positive".to_owned());
+                    }
+                    if opts.mean_gap == 0 {
+                        return Err("--mean-gap must be positive".to_owned());
+                    }
+                    ClientCommand::Simulate {
+                        input,
+                        opts,
+                        deadline_ms,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown client request `{other}` (schedule, simulate, ping, stats, shutdown)"
+                    ));
+                }
+            };
+            Ok(Command::Client { addr, action })
+        }
         other => Err(format!("unknown command `{other}` (try `tcms help`)")),
     }
 }
@@ -463,44 +713,18 @@ fn parse_spec_option(
     }
 }
 
-/// Loads a system from either input language. A file whose first
-/// non-comment keyword is `resource` is structural `.dfg` (so a `:=`
-/// inside a comment cannot misroute it); otherwise the presence of `:=`
-/// selects the behavioral compiler.
+/// Loads a system from either input language (delegates to the shared
+/// serving pipeline so the daemon and the CLI accept identical inputs).
 fn load_system(source: &str) -> Result<System, CliError> {
-    let first_keyword = source
-        .lines()
-        .map(|l| l.split('#').next().unwrap_or("").trim())
-        .find(|l| !l.is_empty())
-        .and_then(|l| l.split_whitespace().next())
-        .unwrap_or("");
-    let behavioral = first_keyword != "resource" && source.contains(":=");
-    if behavioral {
-        let (lib, _) = paper_library();
-        frontend::compile(source, lib).map_err(|e| CliError::Malformed(e.to_string()))
-    } else {
-        parse::parse_system(source).map_err(|e| CliError::Malformed(e.to_string()))
-    }
+    pipeline::load_system(source).map_err(serve_to_cli)
 }
 
 fn build_spec(
     system: &System,
     all_global: Option<u32>,
     globals: &[(String, u32)],
-) -> Result<SharingSpec, CliError> {
-    let mut spec = match all_global {
-        Some(period) => SharingSpec::all_global(system, period),
-        None => SharingSpec::all_local(system),
-    };
-    for (name, period) in globals {
-        let k = system
-            .library()
-            .by_name(name)
-            .ok_or_else(|| CliError::Spec(format!("unknown resource type `{name}`")))?;
-        spec.set_global(k, system.users_of_type(k), *period);
-    }
-    spec.validate(system)?;
-    Ok(spec)
+) -> Result<crate::modulo::SharingSpec, CliError> {
+    pipeline::build_spec(system, all_global, globals).map_err(serve_to_cli)
 }
 
 /// Executes the `schedule` command on already-loaded source text,
@@ -519,98 +743,37 @@ pub fn schedule_source(
 ) -> Result<String, CliError> {
     schedule_source_full(
         source,
-        all_global,
-        globals,
-        want_gantt,
-        verify,
-        false,
+        &ScheduleOptions {
+            all_global,
+            globals: globals.to_vec(),
+            gantt: want_gantt,
+            verify,
+            degrade: false,
+        },
         &NoopRecorder,
+        None,
     )
     .map(|(s, _, _)| s)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Runs the shared serving pipeline one-shot: same loader, same
+/// scheduler invocation, same renderer as a `tcms serve` daemon — which
+/// is what makes daemon responses bit-identical to this command's
+/// stdout. With a cache, results are content-addressed by the canonical
+/// design hash and configuration fingerprint.
 fn schedule_source_full(
     source: &str,
-    all_global: Option<u32>,
-    globals: &[(String, u32)],
-    want_gantt: bool,
-    verify: usize,
-    degrade: bool,
+    opts: &ScheduleOptions,
     rec: &dyn Recorder,
+    cache: Option<&SchedCache>,
 ) -> Result<(String, System, crate::fds::Schedule), CliError> {
-    let system = load_system(source)?;
-    let spec = build_spec(&system, all_global, globals)?;
-    let (system, spec, schedule, report, iterations, note) = if degrade {
-        let outcome = crate::modulo::degrade::schedule_with_degradation_recorded(
-            &system,
-            &spec,
-            &crate::fds::FdsConfig::default(),
-            &crate::modulo::LadderConfig::default(),
-            rec,
-        )?;
-        let note = outcome.summary();
-        let final_system = outcome.system.unwrap_or(system);
-        (
-            final_system,
-            outcome.spec,
-            outcome.schedule,
-            outcome.report,
-            outcome.iterations,
-            Some(note),
-        )
-    } else {
-        let outcome = ModuloScheduler::new(&system, spec.clone())?.run_recorded(rec)?;
-        outcome
-            .schedule
-            .verify(&system)
-            .map_err(|e| CliError::Verify(e.to_string()))?;
-        let report = outcome.report();
-        let (schedule, iterations) = (outcome.schedule, outcome.iterations);
-        (system, spec, schedule, report, iterations, None)
+    let ctx = ExecContext {
+        cache,
+        rec,
+        ..ExecContext::default()
     };
-
-    let mut out = String::new();
-    let _ = writeln!(out, "{}", display::summary(&system));
-    if let Some(note) = note {
-        let _ = writeln!(out, "degradation: {note}");
-    }
-    let _ = writeln!(out, "iterations: {iterations}");
-    for (k, rt) in system.library().iter() {
-        let tr = report.of_type(k);
-        let _ = write!(out, "{:<8} {:>3} instances", rt.name(), tr.instances());
-        if let Some(auth) = &tr.authorization {
-            let _ = write!(
-                out,
-                "  (shared pool {}, period {}",
-                auth.pool(),
-                auth.period()
-            );
-            let locals: u32 = tr.local_counts.iter().map(|&(_, c)| c).sum();
-            if locals > 0 {
-                let _ = write!(out, ", +{locals} local");
-            }
-            let _ = write!(out, ")");
-        }
-        out.push('\n');
-    }
-    let _ = writeln!(out, "total area: {}", report.total_area());
-
-    if verify > 0 {
-        for seed in 0..verify as u64 {
-            let acts = random_activations(&system, &spec, &schedule, 3, seed);
-            check_execution(&system, &spec, &schedule, &report, &acts)
-                .map_err(|e| CliError::Verify(e.to_string()))?;
-        }
-        let _ = writeln!(
-            out,
-            "verified {verify} randomized grid-aligned executions: conflict-free"
-        );
-    }
-    if want_gantt {
-        let _ = writeln!(out, "\n{}", gantt::render_system(&system, &schedule));
-    }
-    Ok((out, system, schedule))
+    let arts = pipeline::schedule_request(source, opts, &ctx).map_err(serve_to_cli)?;
+    Ok((arts.text, arts.system, arts.schedule))
 }
 
 /// Executes a parsed command, reading inputs from disk.
@@ -648,6 +811,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             timeline,
             degrade,
             threads,
+            cache_dir,
         } => {
             if let Some(n) = threads {
                 crate::fds::threads::set(*n);
@@ -662,15 +826,36 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 Some(r) => r,
                 None => &NoopRecorder,
             };
-            let (mut out, system, schedule) = schedule_source_full(
-                &read(input)?,
-                *all_global,
-                globals,
-                *gantt,
-                *verify,
-                *degrade,
-                rec,
-            )?;
+            // With --cache-dir, warm the content-addressed cache from
+            // disk and persist it (including this run's result) after.
+            let cache = cache_dir
+                .as_deref()
+                .map(|dir| {
+                    let cache = SchedCache::new(1024, 8);
+                    persist::load_snapshot(Path::new(dir), &cache).map_err(|e| CliError::Io {
+                        path: dir.to_owned(),
+                        message: e.to_string(),
+                    })?;
+                    Ok::<_, CliError>(cache)
+                })
+                .transpose()?;
+            let opts = ScheduleOptions {
+                all_global: *all_global,
+                globals: globals.clone(),
+                gantt: *gantt,
+                verify: *verify,
+                degrade: *degrade,
+            };
+            let (mut out, system, schedule) =
+                schedule_source_full(&read(input)?, &opts, rec, cache.as_ref())?;
+            if let (Some(cache), Some(dir)) = (&cache, cache_dir.as_deref()) {
+                persist::save_snapshot(Path::new(dir), &cache.entries()).map_err(|e| {
+                    CliError::Io {
+                        path: dir.to_owned(),
+                        message: e.to_string(),
+                    }
+                })?;
+            }
             let write = |path: &str, text: String| {
                 std::fs::write(path, text).map_err(|e| CliError::Io {
                     path: path.to_owned(),
@@ -736,32 +921,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             } else {
                 (sim.run(&workloads, &config), None)
             };
-            let mut out = String::new();
-            let _ = writeln!(out, "{}", display::summary(&system));
-            let _ = writeln!(
-                out,
-                "simulated {horizon} steps (workload seed {seed}, mean gap {mean_gap}): \
-                 {} activations",
-                result.activations
+            let mut out = pipeline::render_simulation(
+                &system, &spec, &sim, &result, *horizon, *seed, *mean_gap,
             );
-            let _ = writeln!(
-                out,
-                "mean wait {:.2}, mean latency {:.2}",
-                result.mean_wait, result.mean_latency
-            );
-            for k in system.library().ids() {
-                if spec.is_global(k) {
-                    let _ = writeln!(
-                        out,
-                        "pool {:<8} utilization {:.2}  peak {}/{}",
-                        system.library().get(k).name(),
-                        result.utilization[k.index()],
-                        result.peak_usage[k.index()],
-                        sim.report().instances(k)
-                    );
-                }
-            }
-            let _ = writeln!(out, "conflicts vs full pools: {}", result.conflicts.len());
             if let Some(m) = metrics {
                 let _ = writeln!(
                     out,
@@ -844,6 +1006,97 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             let system = load_system(&read(input)?)?;
             Ok(display::to_dfg(&system))
         }
+        Command::Serve {
+            listen,
+            workers,
+            queue,
+            cache_capacity,
+            cache_dir,
+            deadline_ms,
+            threads,
+        } => {
+            if let Some(n) = threads {
+                crate::fds::threads::set(*n);
+            }
+            let config = ServeConfig {
+                listen: listen.clone(),
+                workers: *workers,
+                queue_capacity: *queue,
+                cache_capacity: *cache_capacity,
+                cache_shards: 8,
+                cache_dir: cache_dir.as_deref().map(std::path::PathBuf::from),
+                default_deadline_ms: *deadline_ms,
+            };
+            let server = Server::start(config).map_err(|e| CliError::Io {
+                path: listen.clone(),
+                message: e.to_string(),
+            })?;
+            // Announce the bound address immediately (":0" resolves to a
+            // real port) so harnesses can connect, then block until a
+            // client's shutdown request drains the daemon.
+            println!("tcms-serve listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.wait().map_err(|e| CliError::Io {
+                path: listen.clone(),
+                message: e.to_string(),
+            })?;
+            Ok("tcms-serve shut down\n".to_owned())
+        }
+        Command::Client { addr, action } => {
+            let connect = |addr: &str| {
+                Client::connect(addr).map_err(|e| CliError::Io {
+                    path: addr.to_owned(),
+                    message: e.to_string(),
+                })
+            };
+            let transport = |e: std::io::Error| CliError::Io {
+                path: addr.clone(),
+                message: e.to_string(),
+            };
+            let line = match action {
+                ClientCommand::Schedule {
+                    input,
+                    opts,
+                    deadline_ms,
+                } => crate::serve::client::schedule_request_line(
+                    "cli",
+                    &read(input)?,
+                    opts,
+                    *deadline_ms,
+                ),
+                ClientCommand::Simulate {
+                    input,
+                    opts,
+                    deadline_ms,
+                } => crate::serve::client::simulate_request_line(
+                    "cli",
+                    &read(input)?,
+                    opts,
+                    *deadline_ms,
+                ),
+                ClientCommand::Ping => crate::serve::client::control_request_line("cli", "ping"),
+                ClientCommand::Stats => crate::serve::client::control_request_line("cli", "stats"),
+                ClientCommand::Shutdown => {
+                    crate::serve::client::control_request_line("cli", "shutdown")
+                }
+            };
+            let mut client = connect(addr)?;
+            let response = client.request(&line).map_err(transport)?;
+            if let Some((class, code, message)) = response.error {
+                return Err(CliError::Service {
+                    class,
+                    code,
+                    message,
+                });
+            }
+            match response.output() {
+                // schedule/simulate responses carry the report verbatim.
+                Some(output) => Ok(output.to_owned()),
+                // Control responses print as their JSON body.
+                None => Ok(format!("{}\n", crate::obs::json::to_string(&response.body))),
+            }
+        }
     }
 }
 
@@ -905,6 +1158,7 @@ edge m0 a0
                 timeline: None,
                 degrade: false,
                 threads: None,
+                cache_dir: None,
             }
         );
     }
@@ -1226,6 +1480,7 @@ process b time=8 { z := p * q; }
             timeline: None,
             degrade: false,
             threads: None,
+            cache_dir: None,
         })
         .unwrap();
         assert!(out.contains("schedule saved"));
@@ -1259,6 +1514,7 @@ process b time=8 { z := p * q; }
             timeline: Some(timeline.to_string_lossy().into_owned()),
             degrade: false,
             threads: None,
+            cache_dir: None,
         })
         .unwrap();
         assert!(out.contains("chrome trace written"), "{out}");
@@ -1300,5 +1556,138 @@ process b time=8 { z := p * q; }
         assert!(out.contains("process p"));
         assert!(out.contains("op mul1 mul"));
         assert!(out.contains("edge mul1 add2"));
+    }
+
+    #[test]
+    fn parse_serve_options() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--queue",
+            "32",
+            "--cache-capacity",
+            "64",
+            "--cache-dir",
+            "/tmp/c",
+            "--deadline-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                listen: "127.0.0.1:0".into(),
+                workers: 3,
+                queue: 32,
+                cache_capacity: 64,
+                cache_dir: Some("/tmp/c".into()),
+                deadline_ms: Some(500),
+                threads: None,
+            }
+        );
+        assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_client_requests() {
+        let cmd = parse_args(&args(&[
+            "client",
+            "127.0.0.1:7733",
+            "schedule",
+            "x.dfg",
+            "--all-global",
+            "4",
+            "--verify",
+            "2",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client { addr, action } => {
+                assert_eq!(addr, "127.0.0.1:7733");
+                match action {
+                    ClientCommand::Schedule {
+                        input,
+                        opts,
+                        deadline_ms,
+                    } => {
+                        assert_eq!(input, "x.dfg");
+                        assert_eq!(opts.all_global, Some(4));
+                        assert_eq!(opts.verify, 2);
+                        assert_eq!(deadline_ms, Some(250));
+                    }
+                    other => panic!("unexpected action {other:?}"),
+                }
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        for request in ["ping", "stats", "shutdown"] {
+            assert!(matches!(
+                parse_args(&args(&["client", "a:1", request])).unwrap(),
+                Command::Client { .. }
+            ));
+        }
+        assert!(parse_args(&args(&["client", "a:1", "frob"])).is_err());
+        assert!(parse_args(&args(&["client", "a:1"])).is_err());
+        assert!(parse_args(&args(&["client", "a:1", "simulate", "x", "--horizon", "0"])).is_err());
+    }
+
+    #[test]
+    fn service_errors_map_to_exit_codes() {
+        // Remote scheduling classes keep their one-shot exit codes.
+        let remote = CliError::Service {
+            class: "infeasible".into(),
+            code: 6,
+            message: "m".into(),
+        };
+        assert_eq!(remote.exit_code(), 6);
+        // Service-only classes fold to the dedicated code 11.
+        for code in [429u16, 408, 503] {
+            let e = CliError::Service {
+                class: "overloaded".into(),
+                code,
+                message: "m".into(),
+            };
+            assert_eq!(e.exit_code(), 11);
+            assert!(e.to_string().contains("service error"));
+        }
+    }
+
+    #[test]
+    fn schedule_cache_dir_round_trip_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("tcms_cli_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = dir.join("d.dfg");
+        std::fs::write(&design, SAMPLE).unwrap();
+        let cmd = |cache: bool| Command::Schedule {
+            input: design.to_string_lossy().into_owned(),
+            all_global: Some(2),
+            globals: vec![],
+            gantt: false,
+            verify: 1,
+            save: None,
+            trace: None,
+            metrics: false,
+            timeline: None,
+            degrade: false,
+            threads: None,
+            cache_dir: cache.then(|| dir.join("cache").to_string_lossy().into_owned()),
+        };
+        let plain = run(&cmd(false)).unwrap();
+        let miss = run(&cmd(true)).unwrap();
+        let hit = run(&cmd(true)).unwrap();
+        assert_eq!(plain, miss, "cache miss output matches cache-less run");
+        assert_eq!(plain, hit, "cache hit output matches cache-less run");
+        assert!(
+            crate::serve::persist::snapshot_path(&dir.join("cache")).exists(),
+            "snapshot persisted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

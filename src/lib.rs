@@ -10,7 +10,9 @@
 //!   global resource sharing,
 //! * [`alloc`] — binding, register allocation and datapath generation,
 //! * [`sim`] — reactive discrete-event simulation of scheduled systems,
-//! * [`obs`] — structured tracing, metrics and convergence timelines.
+//! * [`obs`] — structured tracing, metrics and convergence timelines,
+//! * [`serve`] — the concurrent scheduling daemon with canonical spec
+//!   hashing and a content-addressed result cache.
 //!
 //! # Quickstart
 //!
@@ -34,4 +36,5 @@ pub use tcms_core as modulo;
 pub use tcms_fds as fds;
 pub use tcms_ir as ir;
 pub use tcms_obs as obs;
+pub use tcms_serve as serve;
 pub use tcms_sim as sim;

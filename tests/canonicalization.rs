@@ -1,0 +1,255 @@
+//! Property tests of the canonicalization pass that keys the serve
+//! cache: *any* permutation of declaration order — resources, processes,
+//! blocks, operations, edges — yields the same canonical hash and text
+//! and therefore hits the same cache entry, while every *semantic* edit
+//! (delay, area, pipelining, time budget, dependency structure) produces
+//! a different hash.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tcms::ir::canon::Canonicalization;
+use tcms::ir::parse::parse_system;
+use tcms::serve::cache::{Disposition, SchedCache};
+use tcms::serve::pipeline::{schedule_request, ExecContext, ScheduleOptions};
+
+/// A design as structured declarations, so it can be rendered in any
+/// order without changing its meaning.
+#[derive(Debug, Clone)]
+struct Design {
+    /// `(name, delay, area, pipelined)` per resource type.
+    resources: Vec<(String, u32, u32, bool)>,
+    /// `(process name, blocks)`.
+    processes: Vec<(String, Vec<Block>)>,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    name: String,
+    time: u64,
+    /// `(op name, resource index)`.
+    ops: Vec<(String, usize)>,
+    /// `(from op index, to op index)`, always forward so the graph is
+    /// acyclic by construction.
+    edges: Vec<(usize, usize)>,
+}
+
+/// In-place Fisher–Yates (the vendored rand shim has no `shuffle`).
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j: usize = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// Draws a small random multi-process design. Every block gets a
+/// generous time budget so the designs also schedule feasibly under an
+/// all-global period of 4 (used by the cache-hit property below).
+fn random_design(seed: u64) -> Design {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_res: usize = rng.random_range(2..=3);
+    let resources: Vec<(String, u32, u32, bool)> = (0..n_res)
+        .map(|r| {
+            (
+                format!("r{r}"),
+                rng.random_range(1..=2u32),
+                rng.random_range(1..=4u32),
+                rng.random_bool(0.3),
+            )
+        })
+        .collect();
+    let n_proc: usize = rng.random_range(1..=2);
+    let processes = (0..n_proc)
+        .map(|p| {
+            let n_blocks: usize = rng.random_range(1..=2);
+            let blocks = (0..n_blocks)
+                .map(|b| {
+                    let n_ops: usize = rng.random_range(2..=5);
+                    let ops: Vec<(String, usize)> = (0..n_ops)
+                        .map(|o| (format!("o{o}"), rng.random_range(0..n_res)))
+                        .collect();
+                    let mut edges = Vec::new();
+                    for to in 1..n_ops {
+                        if rng.random_bool(0.6) {
+                            let from: usize = rng.random_range(0..to);
+                            edges.push((from, to));
+                        }
+                    }
+                    Block {
+                        name: format!("b{b}"),
+                        // Worst case: every op serialized at max delay 2
+                        // on a shared grid of period 4.
+                        time: 8 * n_ops as u64 + 16,
+                        ops,
+                        edges,
+                    }
+                })
+                .collect();
+            (format!("p{p}"), blocks)
+        })
+        .collect();
+    Design {
+        resources,
+        processes,
+    }
+}
+
+/// Renders the design as `.dfg` text. With `perm_seed`, every
+/// independently orderable declaration group is shuffled: resources
+/// among themselves, processes, blocks within a process, ops within a
+/// block, edges within a block. (Structural rules of the format still
+/// hold: resources precede processes, ops precede the edges that name
+/// them.)
+fn render(design: &Design, perm_seed: Option<u64>) -> String {
+    let mut rng = StdRng::seed_from_u64(perm_seed.unwrap_or(0));
+    let permute = perm_seed.is_some();
+    let mut text = String::new();
+    let mut resources = design.resources.clone();
+    if permute {
+        shuffle(&mut resources, &mut rng);
+    }
+    for (name, delay, area, pipelined) in &resources {
+        let pipe = if *pipelined { " pipelined" } else { "" };
+        text.push_str(&format!(
+            "resource {name} delay={delay} area={area}{pipe}\n"
+        ));
+    }
+    let mut processes = design.processes.clone();
+    if permute {
+        shuffle(&mut processes, &mut rng);
+    }
+    for (pname, blocks) in &processes {
+        text.push_str(&format!("process {pname}\n"));
+        let mut blocks = blocks.clone();
+        if permute {
+            shuffle(&mut blocks, &mut rng);
+        }
+        for block in &blocks {
+            text.push_str(&format!("block {} time={}\n", block.name, block.time));
+            let mut ops = block.ops.clone();
+            let mut edges = block.edges.clone();
+            if permute {
+                shuffle(&mut ops, &mut rng);
+                shuffle(&mut edges, &mut rng);
+            }
+            for (oname, res) in &ops {
+                text.push_str(&format!("op {oname} {}\n", design.resources[*res].0));
+            }
+            for (from, to) in &edges {
+                text.push_str(&format!(
+                    "edge {} {}\n",
+                    block.ops[*from].0, block.ops[*to].0
+                ));
+            }
+        }
+    }
+    text
+}
+
+/// Applies one semantic mutation selected by `choice`. Every arm changes
+/// the scheduling problem, so the canonical hash must change.
+fn mutate(design: &Design, choice: usize) -> Design {
+    let mut d = design.clone();
+    match choice % 5 {
+        0 => d.resources[0].1 += 1,                // delay
+        1 => d.resources[0].2 += 1,                // area
+        2 => d.resources[0].3 = !d.resources[0].3, // pipelining
+        3 => d.processes[0].1[0].time += 1,        // block time budget
+        4 => {
+            // Dependency structure: toggle the edge 0 -> last op.
+            let block = &mut d.processes[0].1[0];
+            let probe = (0, block.ops.len() - 1);
+            match block.edges.iter().position(|e| *e == probe) {
+                Some(i) => {
+                    block.edges.remove(i);
+                }
+                None => block.edges.push(probe),
+            }
+        }
+        _ => unreachable!(),
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_declaration_permutation_hashes_identically(seed in 0u64..u64::MAX, perm in 0u64..u64::MAX) {
+        let design = random_design(seed);
+        let plain = parse_system(&render(&design, None)).unwrap();
+        let shuffled = parse_system(&render(&design, Some(perm))).unwrap();
+        let a = Canonicalization::of(&plain);
+        let b = Canonicalization::of(&shuffled);
+        prop_assert_eq!(a.hash(), b.hash());
+        prop_assert_eq!(a.text(), b.text());
+        // The canonical op order names the same operations in the same
+        // canonical sequence on both sides.
+        let names = |sys: &tcms::ir::System, c: &Canonicalization| -> Vec<String> {
+            c.op_order().iter().map(|&op| sys.op(op).name().to_owned()).collect()
+        };
+        prop_assert_eq!(names(&plain, &a), names(&shuffled, &b));
+    }
+
+    #[test]
+    fn semantic_mutations_never_collide(seed in 0u64..u64::MAX, choice in 0usize..5) {
+        let design = random_design(seed);
+        let mutated = mutate(&design, choice);
+        let original = parse_system(&render(&design, None)).unwrap();
+        let changed = parse_system(&render(&mutated, None)).unwrap();
+        prop_assert_ne!(
+            Canonicalization::of(&original).hash(),
+            Canonicalization::of(&changed).hash(),
+            "mutation arm {} collided", choice
+        );
+    }
+}
+
+proptest! {
+    // Each case runs the real scheduler twice, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn permuted_designs_hit_the_same_cache_entry(seed in 0u64..u64::MAX, perm in 0u64..u64::MAX) {
+        let design = random_design(seed);
+        let cache = SchedCache::new(64, 4);
+        let opts = ScheduleOptions {
+            all_global: Some(4),
+            ..ScheduleOptions::default()
+        };
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let first = schedule_request(&render(&design, None), &opts, &ctx).unwrap();
+        prop_assert_eq!(first.disposition, Disposition::Miss);
+        let second = schedule_request(&render(&design, Some(perm)), &opts, &ctx).unwrap();
+        prop_assert_eq!(second.disposition, Disposition::Hit);
+        // The report renders in the requester's declaration order, so
+        // the *bytes* may differ across permutations — but the replayed
+        // schedule must assign every operation the same start time, read
+        // off in canonical op order (identical on both sides).
+        let canonical_starts = |art: &tcms::serve::ScheduleArtifacts| -> Vec<Option<u32>> {
+            Canonicalization::of(&art.system)
+                .op_order()
+                .iter()
+                .map(|&op| art.schedule.start(op))
+                .collect()
+        };
+        prop_assert_eq!(canonical_starts(&first), canonical_starts(&second));
+    }
+}
+
+/// The canonical text itself is stable across repeated computation (a
+/// cheap guard against accidental iteration-order nondeterminism).
+#[test]
+fn canonicalization_is_deterministic() {
+    let design = random_design(7);
+    let sys = parse_system(&render(&design, None)).unwrap();
+    let a = Canonicalization::of(&sys);
+    let b = Canonicalization::of(&sys);
+    assert_eq!(a.hash(), b.hash());
+    assert_eq!(a.text(), b.text());
+    assert_eq!(a.op_order(), b.op_order());
+}

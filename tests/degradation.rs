@@ -111,6 +111,7 @@ fn cli_without_degrade_exits_infeasible_and_with_degrade_recovers() {
         timeline: None,
         degrade,
         threads: None,
+        cache_dir: None,
     };
     let err = run(&cmd(false)).unwrap_err();
     assert!(matches!(

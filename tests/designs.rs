@@ -36,6 +36,7 @@ fn cli_schedules_checked_in_dfg() {
         timeline: None,
         degrade: false,
         threads: None,
+        cache_dir: None,
     })
     .unwrap();
     assert!(out.contains("conflict-free"), "{out}");
@@ -56,6 +57,7 @@ fn cli_schedules_checked_in_behavioral() {
         timeline: None,
         degrade: false,
         threads: None,
+        cache_dir: None,
     })
     .unwrap();
     // Two diffeq solvers share a single multiplier pool.

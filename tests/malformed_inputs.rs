@@ -54,6 +54,7 @@ fn every_corpus_file_yields_a_typed_malformed_error() {
             timeline: None,
             degrade: false,
             threads: None,
+            cache_dir: None,
         })
         .unwrap_err();
         assert!(

@@ -1,0 +1,272 @@
+//! End-to-end acceptance of the `tcms-serve` daemon over real loopback
+//! TCP: malformed corpus inputs come back as typed wire errors, daemon
+//! responses are bit-identical to the one-shot CLI on both cache miss
+//! and hit, simultaneous identical requests coalesce into a single
+//! scheduler run, warm hits perform zero IFDS iterations, and the
+//! installed `tcms serve` / `tcms client` binaries round-trip.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command as Proc, Stdio};
+use std::sync::{Arc, Barrier};
+
+use tcms::cli::{run, Command};
+use tcms::obs::json::JsonValue;
+use tcms::serve::client::{control_request_line, schedule_request_line};
+use tcms::serve::{Client, ScheduleOptions, ServeConfig, Server};
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = format!("{}/tests/corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    files
+}
+
+fn design_path(name: &str) -> String {
+    format!("{}/designs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn start_server() -> Server {
+    Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts on loopback")
+}
+
+/// Reads one numeric field out of a `stats` response.
+fn stat(client: &mut Client, field: &str) -> u64 {
+    let resp = client
+        .request(&control_request_line("stats", "stats"))
+        .expect("stats round-trip");
+    assert!(resp.is_ok(), "{resp:?}");
+    let v = resp
+        .body
+        .get(field)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("stats response lacks `{field}`: {resp:?}"));
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        v as u64
+    }
+}
+
+/// Every malformed corpus file must come back as the same typed wire
+/// error the one-shot CLI reports: class `malformed`, code 4 — never a
+/// dropped connection, never a panic, never a success.
+#[test]
+fn corpus_replays_get_typed_malformed_errors() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+    for path in corpus_files() {
+        let design = std::fs::read_to_string(&path).unwrap();
+        let id = path.file_name().unwrap().to_string_lossy().into_owned();
+        let resp = client
+            .request(&schedule_request_line(&id, &design, &opts, None))
+            .expect("response arrives");
+        let (class, code, message) = resp
+            .error
+            .clone()
+            .unwrap_or_else(|| panic!("{id}: malformed input was accepted: {resp:?}"));
+        assert_eq!(class, "malformed", "{id}: {message}");
+        assert_eq!(code, 4, "{id}");
+        assert!(!message.is_empty(), "{id}");
+    }
+    // The daemon survived twenty poison pills and still answers.
+    assert!(client
+        .request(&control_request_line("alive", "ping"))
+        .expect("ping after corpus")
+        .is_ok());
+    server.shutdown();
+    server.wait().unwrap();
+}
+
+/// The daemon's schedule output must match the one-shot CLI byte for
+/// byte, on the cold-cache miss AND on the warm-cache hit.
+#[test]
+fn daemon_output_is_bit_identical_to_one_shot_cli() {
+    let input = design_path("paper_table1.dfg");
+    let one_shot = run(&Command::Schedule {
+        input: input.clone(),
+        all_global: Some(5),
+        globals: vec![],
+        gantt: true,
+        verify: 2,
+        save: None,
+        trace: None,
+        metrics: false,
+        timeline: None,
+        degrade: false,
+        threads: None,
+        cache_dir: None,
+    })
+    .unwrap();
+
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design = std::fs::read_to_string(&input).unwrap();
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        gantt: true,
+        verify: 2,
+        ..ScheduleOptions::default()
+    };
+    for (round, expected_cache) in [("cold", "miss"), ("warm", "hit")] {
+        let resp = client
+            .request(&schedule_request_line(round, &design, &opts, None))
+            .expect("response arrives");
+        assert!(resp.is_ok(), "{round}: {resp:?}");
+        assert_eq!(resp.cache(), Some(expected_cache), "{round}");
+        assert_eq!(resp.output(), Some(one_shot.as_str()), "{round}");
+    }
+    server.shutdown();
+    server.wait().unwrap();
+}
+
+/// Two identical requests fired simultaneously must produce exactly one
+/// scheduler run: the loser of the single-flight race waits for the
+/// winner's result instead of recomputing it.
+#[test]
+fn simultaneous_identical_requests_run_the_scheduler_once() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let barrier = Arc::new(Barrier::new(2));
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let design = design.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let line = schedule_request_line(
+                    &format!("race-{i}"),
+                    &design,
+                    &ScheduleOptions {
+                        all_global: Some(5),
+                        ..ScheduleOptions::default()
+                    },
+                    None,
+                );
+                barrier.wait();
+                client.request(&line).expect("response arrives")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+    for resp in &responses {
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+    // Both answers carry the same bytes regardless of who computed them.
+    assert_eq!(responses[0].output(), responses[1].output());
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(
+        stat(&mut client, "scheduler_runs"),
+        1,
+        "single-flight must collapse the race to one run"
+    );
+    server.shutdown();
+    server.wait().unwrap();
+}
+
+/// A warm-cache hit must not touch the scheduler at all: the IFDS
+/// iteration counter stays flat while the hit counter advances.
+#[test]
+fn warm_hit_performs_zero_ifds_iterations() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+
+    let cold = client
+        .request(&schedule_request_line("cold", &design, &opts, None))
+        .expect("response arrives");
+    assert!(cold.is_ok(), "{cold:?}");
+    assert_eq!(cold.cache(), Some("miss"));
+    let after_cold = stat(&mut client, "ifds_iterations");
+    assert!(after_cold > 0, "a fresh run must report its iterations");
+
+    let warm = client
+        .request(&schedule_request_line("warm", &design, &opts, None))
+        .expect("response arrives");
+    assert!(warm.is_ok(), "{warm:?}");
+    assert_eq!(warm.cache(), Some("hit"));
+    assert_eq!(
+        stat(&mut client, "ifds_iterations"),
+        after_cold,
+        "a warm hit must perform zero IFDS iterations"
+    );
+    assert_eq!(warm.output(), cold.output());
+    server.shutdown();
+    server.wait().unwrap();
+}
+
+/// The installed binaries round-trip: `tcms serve` boots and announces
+/// its address, `tcms client schedule` gets the schedule, `tcms client
+/// shutdown` stops the daemon cleanly.
+#[test]
+fn serve_and_client_binaries_round_trip() {
+    let bin = env!("CARGO_BIN_EXE_tcms");
+    let mut daemon = Proc::new(bin)
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut banner = String::new();
+    // Keep the pipe alive until the daemon exits: its farewell line must
+    // not hit a closed stdout.
+    let mut daemon_stdout = BufReader::new(daemon.stdout.take().expect("piped stdout"));
+    daemon_stdout
+        .read_line(&mut banner)
+        .expect("daemon announces itself");
+    let addr = banner
+        .trim()
+        .strip_prefix("tcms-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_owned();
+
+    let schedule = Proc::new(bin)
+        .args([
+            "client",
+            &addr,
+            "schedule",
+            &design_path("paper_table1.dfg"),
+            "--all-global",
+            "5",
+            "--verify",
+            "2",
+        ])
+        .output()
+        .expect("client runs");
+    assert!(
+        schedule.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&schedule.stderr)
+    );
+    let out = String::from_utf8_lossy(&schedule.stdout);
+    assert!(out.contains("conflict-free"), "{out}");
+    assert!(out.contains("total area: 14"), "{out}");
+
+    let stop = Proc::new(bin)
+        .args(["client", &addr, "shutdown"])
+        .output()
+        .expect("client runs");
+    assert!(stop.status.success());
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit: {status:?}");
+    let mut farewell = String::new();
+    daemon_stdout.read_line(&mut farewell).expect("farewell");
+    assert_eq!(farewell.trim(), "tcms-serve shut down");
+}
