@@ -1,0 +1,180 @@
+//! Force-kernel microbenchmark: the slab fold/force paths against the
+//! seed's jagged per-candidate implementation, on the Table-1 design.
+//!
+//! ```text
+//! repro_force_kernel [--rounds N] [--out FILE]
+//! ```
+//!
+//! Three ways of scoring the same candidate set are timed:
+//!
+//! * **legacy** — `ModuloEvaluator::force_legacy`, the pre-slab
+//!   incremental path kept behind the `naive-oracle` feature: fresh delta
+//!   buffers per candidate, a distribution copy and per-sibling fold
+//!   `Vec`s per key.
+//! * **scalar** — `ModuloEvaluator::force`, the slab kernels with
+//!   per-call scratch.
+//! * **batched** — `ModuloEvaluator::force_batch`, the slab kernels with
+//!   scratch and sibling profiles shared across the whole candidate set.
+//!
+//! Every pair of scores is asserted bit-identical before anything is
+//! timed — a fast-but-wrong kernel fails loudly. The summary lands in
+//! `BENCH_kernel.json` (per-force ns, folds/s, speedups).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use tcms_bench::paper_spec;
+use tcms_core::ModuloEvaluator;
+use tcms_fds::{FdsConfig, ForceEvaluator};
+use tcms_ir::generators::paper_system;
+use tcms_ir::{FrameTable, OpId, TimeFrame};
+use tcms_obs::json::{self, JsonValue};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rounds = 200usize;
+    let mut out_path = "BENCH_kernel.json".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rounds" => {
+                rounds = it
+                    .next()
+                    .expect("--rounds needs a count")
+                    .parse()
+                    .expect("--rounds needs a number");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out needs a path").clone();
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    assert!(rounds > 0, "--rounds must be positive");
+
+    let (system, _) = paper_system().expect("paper system builds");
+    let spec = paper_spec(&system);
+    let frames = FrameTable::initial(&system);
+    let eval = ModuloEvaluator::new(&system, spec, FdsConfig::default(), &frames);
+
+    // The candidate set of one full engine sweep: every feasible start
+    // slot of every operation — the batch shape the engine's candidate
+    // scoring and the exact-search bounds evaluate.
+    let mut candidates: Vec<Vec<(OpId, TimeFrame)>> = Vec::new();
+    for o in system.op_ids() {
+        let fr = frames.get(o);
+        for t in fr.asap..=fr.alap {
+            candidates.push(vec![(o, TimeFrame::new(t, t))]);
+        }
+    }
+    let views: Vec<&[(OpId, TimeFrame)]> = candidates.iter().map(|c| c.as_slice()).collect();
+
+    // Correctness before speed: all three paths must agree bitwise.
+    let batched_scores = eval.force_batch(&frames, &views);
+    for (i, cand) in views.iter().enumerate() {
+        let scalar = eval.force(&frames, cand);
+        let legacy = eval.force_legacy(&frames, cand);
+        assert_eq!(
+            batched_scores[i].to_bits(),
+            scalar.to_bits(),
+            "candidate {i}: batched vs scalar"
+        );
+        assert_eq!(
+            scalar.to_bits(),
+            legacy.to_bits(),
+            "candidate {i}: scalar vs legacy"
+        );
+    }
+
+    // Each path scores `rounds` full sweeps; best-of-rounds per-force
+    // time (minimum is the right statistic — noise only adds time).
+    let mut sink = 0.0f64;
+    let time_sweep = |f: &mut dyn FnMut() -> f64| -> f64 {
+        let mut best = f64::INFINITY;
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            let started = Instant::now();
+            acc += f();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        sink_guard(acc);
+        best
+    };
+
+    let n = views.len() as f64;
+    let legacy_sweep = time_sweep(&mut || {
+        views
+            .iter()
+            .map(|c| eval.force_legacy(&frames, c))
+            .sum::<f64>()
+    });
+    let scalar_sweep = time_sweep(&mut || views.iter().map(|c| eval.force(&frames, c)).sum());
+    let batched_sweep = time_sweep(&mut || eval.force_batch(&frames, &views).iter().sum());
+    sink += legacy_sweep;
+
+    let legacy_ns = legacy_sweep * 1e9 / n;
+    let scalar_ns = scalar_sweep * 1e9 / n;
+    let batched_ns = batched_sweep * 1e9 / n;
+    // One modified-force candidate performs one fused modulo fold per
+    // touched (block, type) pair; single-op candidates touch exactly one.
+    let folds_per_s = n / batched_sweep;
+    let speedup_vs_legacy = legacy_ns / batched_ns;
+    let batched_vs_scalar = scalar_ns / batched_ns;
+
+    println!(
+        "force kernel on table1 design ({} ops, {} candidates, best of {rounds} sweeps):",
+        system.num_ops(),
+        views.len()
+    );
+    println!("  legacy  (jagged, per-candidate): {legacy_ns:9.1} ns/force");
+    println!("  scalar  (slab,   per-candidate): {scalar_ns:9.1} ns/force");
+    println!("  batched (slab,   shared sweep) : {batched_ns:9.1} ns/force");
+    println!("  fused folds: {folds_per_s:.0}/s");
+    println!(
+        "  batched vs legacy: {speedup_vs_legacy:.2}x   batched vs scalar: {batched_vs_scalar:.2}x"
+    );
+
+    assert!(
+        batched_vs_scalar > 1.0,
+        "batched evaluation must beat per-candidate scalar evaluation \
+         ({batched_ns:.1} ns vs {scalar_ns:.1} ns)"
+    );
+
+    let num = |v: f64| JsonValue::Number(v);
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "benchmark".to_owned(),
+        JsonValue::String("force_kernel".to_owned()),
+    );
+    doc.insert(
+        "design".to_owned(),
+        JsonValue::String("table1_paper_system".to_owned()),
+    );
+    #[allow(clippy::cast_precision_loss)]
+    doc.insert("ops".to_owned(), num(system.num_ops() as f64));
+    doc.insert("candidates".to_owned(), num(n));
+    #[allow(clippy::cast_precision_loss)]
+    doc.insert("rounds".to_owned(), num(rounds as f64));
+    doc.insert("legacy_ns_per_force".to_owned(), num(legacy_ns));
+    doc.insert("scalar_ns_per_force".to_owned(), num(scalar_ns));
+    doc.insert("batched_ns_per_force".to_owned(), num(batched_ns));
+    doc.insert("folds_per_s".to_owned(), num(folds_per_s));
+    doc.insert(
+        "speedup_batched_vs_legacy".to_owned(),
+        num(speedup_vs_legacy),
+    );
+    doc.insert("ratio_batched_vs_scalar".to_owned(), num(batched_vs_scalar));
+    doc.insert("bit_identical".to_owned(), JsonValue::Bool(true));
+    let rendered = format!("{}\n", json::to_string(&JsonValue::Object(doc)));
+    json::parse(&rendered).expect("valid JSON report");
+    std::fs::write(&out_path, rendered).expect("write report");
+    println!("report written to {out_path}");
+    let _ = sink;
+}
+
+/// Keeps the summed forces observable so the optimizer cannot delete the
+/// timed work.
+#[inline(never)]
+fn sink_guard(v: f64) {
+    assert!(v.is_finite(), "forces must stay finite");
+}

@@ -54,6 +54,10 @@ pub struct ModuloEvaluator<'a> {
     type_epoch: Vec<u64>,
     /// `proc_global_types[p]`: global types process `p` shares in.
     proc_global_types: Vec<Vec<ResourceTypeId>>,
+    /// Per-op `(block, type, occupancy, block time range)` resolved once
+    /// at construction — the delta path reads one flat entry per change
+    /// instead of chasing the op, block and library tables per candidate.
+    op_meta: Vec<(BlockId, ResourceTypeId, u32, u32)>,
 }
 
 impl<'a> ModuloEvaluator<'a> {
@@ -74,6 +78,14 @@ impl<'a> ModuloEvaluator<'a> {
                     .collect()
             })
             .collect();
+        let op_meta = system
+            .op_ids()
+            .map(|o| {
+                let op = system.op(o);
+                let len = system.block(op.block()).time_range();
+                (op.block(), op.resource_type(), system.occupancy(o), len)
+            })
+            .collect();
         ModuloEvaluator {
             system,
             config,
@@ -83,6 +95,7 @@ impl<'a> ModuloEvaluator<'a> {
             proc_epoch: vec![0; system.num_processes()],
             type_epoch: vec![0; system.library().len()],
             proc_global_types,
+            op_meta,
         }
     }
 
@@ -101,30 +114,28 @@ impl<'a> ModuloEvaluator<'a> {
         self.force_with_field(&rebuilt, frames, changed)
     }
 
-    fn force_with_field(
-        &self,
-        field: &ModuloField<'_>,
-        frames: &FrameTable,
-        changed: &[(OpId, TimeFrame)],
-    ) -> f64 {
-        let (keys, bufs) = self.deltas(frames, changed);
+    /// The seed's incremental force path, kept verbatim (per-candidate
+    /// jagged-era allocations: fresh delta buffers, a distribution copy
+    /// and two fold `Vec`s per key) as the PR 1 baseline the
+    /// `repro_force_kernel` bench measures the slab kernels against.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn force_legacy(&self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) -> f64 {
+        let (keys, bufs) = self.deltas_legacy(frames, changed);
+        let field = &self.field;
         let spec = field.spec();
         let mut total = 0.0;
         for (i, &(b, k)) in keys.iter().enumerate() {
             let w = self.config.spring_weights.weight(self.system.library(), k);
             let process = self.system.block(b).process();
             if spec.is_global_for(k, process) {
-                // Modified force: displacement of the balanced global
-                // profile (equations 7-10).
                 let g = field.group_profile(k);
-                let x = field.tentative_group_delta(b, k, &bufs[i]);
+                let x = field.tentative_group_delta_legacy(b, k, &bufs[i]);
                 for (slot, &xv) in x.iter().enumerate() {
                     if xv != 0.0 {
                         total += w * (g[slot] + self.config.lookahead * xv) * xv;
                     }
                 }
             } else {
-                // Classical force on the per-block distribution.
                 let d = field.distributions().get(b, k);
                 for (t, &xv) in bufs[i].iter().enumerate() {
                     if xv != 0.0 {
@@ -136,8 +147,11 @@ impl<'a> ModuloEvaluator<'a> {
         total
     }
 
-    /// Probability deltas of `changed`, grouped per `(block, type)`.
-    fn deltas(
+    /// The seed's delta computation, kept verbatim (fresh `Vec`s and the
+    /// per-step division loop of [`tcms_fds::prob::accumulate_reference`])
+    /// as part of the PR 1 baseline behind [`ModuloEvaluator::force_legacy`].
+    #[cfg(any(test, feature = "naive-oracle"))]
+    fn deltas_legacy(
         &self,
         frames: &FrameTable,
         changed: &[(OpId, TimeFrame)],
@@ -153,10 +167,454 @@ impl<'a> ModuloEvaluator<'a> {
                 keys.len() - 1
             });
             let occ = self.system.occupancy(o);
-            tcms_fds::prob::accumulate(&mut bufs[i], nf, occ, 1.0);
-            tcms_fds::prob::accumulate(&mut bufs[i], frames.get(o), occ, -1.0);
+            tcms_fds::prob::accumulate_reference(&mut bufs[i], nf, occ, 1.0);
+            tcms_fds::prob::accumulate_reference(&mut bufs[i], frames.get(o), occ, -1.0);
         }
         (keys, bufs)
+    }
+
+    fn force_with_field(
+        &self,
+        field: &ModuloField<'_>,
+        frames: &FrameTable,
+        changed: &[(OpId, TimeFrame)],
+    ) -> f64 {
+        let mut scratch = EvalScratch::default();
+        let mut state = DeltaBufs::default();
+        self.deltas_into(frames, changed, &mut state);
+        self.force_from_deltas(field, &state, &mut scratch)
+    }
+
+    /// Force of one candidate given its per-`(block, type)` deltas,
+    /// reusing (and filling) the sibling-profile cache in `scratch`.
+    ///
+    /// The term accumulation runs key by key, slot by slot, threading one
+    /// running total — exactly the seed's summation order — so the result
+    /// is bit-identical to the pre-slab implementation.
+    /// Every delta term outside `spans[i]` is exactly `+0.0` (the buffer
+    /// was span-zeroed and [`tcms_fds::prob::accumulate`] wrote only the
+    /// span), so truncating the fused fold's delta to the span and
+    /// span-limiting the local force sum are bitwise free: `d + 0.0 == d`
+    /// for the never-`-0.0` distribution values, and a zero delta term
+    /// contributes `±0.0`, which cannot move the running total.
+    fn force_from_deltas<'f>(
+        &self,
+        field: &'f ModuloField<'_>,
+        state: &DeltaBufs,
+        scratch: &mut EvalScratch<'f>,
+    ) -> f64 {
+        let bufs = &state.bufs;
+        let mut total = 0.0;
+        for (i, &(b, k)) in state.keys.iter().enumerate() {
+            let pos = scratch.plan_pos(self, field, b, k);
+            let plan = &mut scratch.plans[pos];
+            let (lo, hi) = state.spans[i];
+            if let Some(g) = &mut plan.global {
+                // Modified force: displacement of the balanced global
+                // profile (equations 7-10), replayed from the plan's
+                // resolved slices — the same kernel sequence as
+                // `ModuloField::tentative_group_delta_into`.
+                let gdelta = &mut scratch.gdelta;
+                if gdelta.len() != g.rho {
+                    gdelta.resize(g.rho, 0.0);
+                }
+                g.uses += 1;
+                if g.uses > 2 && g.tables.is_none() {
+                    g.tables = Some(crate::kernel::modulo_boundary_max_tables(plan.dist, g.rho));
+                }
+                if let Some((pre, suf)) = &g.tables {
+                    crate::kernel::modulo_max_delta_span_into(
+                        pre,
+                        suf,
+                        plan.dist,
+                        &bufs[i][lo..hi],
+                        lo,
+                        gdelta,
+                    );
+                } else {
+                    crate::kernel::modulo_max_delta_into(plan.dist, &bufs[i][..hi], gdelta);
+                }
+                if let Some(sib) = &g.siblings {
+                    crate::kernel::slot_max_into(gdelta, sib);
+                }
+                crate::kernel::sub_into(gdelta, g.mold);
+                total = tcms_fds::slab::force_sum(
+                    total,
+                    g.gprof,
+                    gdelta,
+                    plan.weight,
+                    self.config.lookahead,
+                );
+            } else {
+                // Classical force on the per-block distribution.
+                total = tcms_fds::slab::force_sum(
+                    total,
+                    &plan.dist[lo..hi],
+                    &bufs[i][lo..hi],
+                    plan.weight,
+                    self.config.lookahead,
+                );
+            }
+        }
+        total
+    }
+
+    /// Probability deltas of `changed`, grouped per `(block, type)`, into
+    /// the reused buffers of `state` (only the first `state.keys.len()`
+    /// entries of `bufs`/`spans` are meaningful after the call).
+    ///
+    /// `spans[i]` is the half-open dirty span of `bufs[i]` — everything
+    /// outside it is exactly `+0.0`. Reusing a buffer therefore zeroes
+    /// only its previous span instead of the whole block range.
+    ///
+    /// The removal term of an op (its occupancy over the *current* frame,
+    /// subtracted) does not depend on the candidate, so it is computed
+    /// once per op per batch and replayed from `state.removals` — by copy
+    /// into a fresh buffer, element-wise add into a dirty one. Both are
+    /// bitwise identical to re-running the accumulation: the copy swaps
+    /// two addends landing on a zeroed element (IEEE addition is
+    /// commutative), the add contributes the exact same terms in the
+    /// exact same order.
+    fn deltas_into(
+        &self,
+        frames: &FrameTable,
+        changed: &[(OpId, TimeFrame)],
+        state: &mut DeltaBufs,
+    ) {
+        state.keys.clear();
+        if state.cache_removals && state.removals.len() != self.op_meta.len() {
+            state.removals.resize(self.op_meta.len(), None);
+        }
+        for &(o, nf) in changed {
+            let (block, rtype, occ, range) = self.op_meta[o.index()];
+            let key = (block, rtype);
+            let i = state
+                .keys
+                .iter()
+                .position(|&k| k == key)
+                .unwrap_or_else(|| {
+                    state.keys.push(key);
+                    let i = state.keys.len() - 1;
+                    let len = range as usize;
+                    if state.bufs.len() <= i {
+                        state.bufs.push(vec![0.0; len]);
+                        state.spans.push((0, 0));
+                    } else if state.bufs[i].len() == len {
+                        let (lo, hi) = state.spans[i];
+                        state.bufs[i][lo..hi].fill(0.0);
+                        state.spans[i] = (0, 0);
+                    } else {
+                        state.bufs[i].clear();
+                        state.bufs[i].resize(len, 0.0);
+                        state.spans[i] = (0, 0);
+                    }
+                    i
+                });
+            if !state.cache_removals {
+                // One-shot evaluation: the removal term is used once, so
+                // accumulate both terms directly in the seed's order.
+                let buf = &mut state.bufs[i];
+                let a = tcms_fds::prob::accumulate(buf, nf, occ, 1.0);
+                let r = tcms_fds::prob::accumulate(buf, frames.get(o), occ, -1.0);
+                state.spans[i] = span_union(state.spans[i], span_union(a, r));
+                continue;
+            }
+            let len = state.bufs[i].len();
+            let (removal, rspan) = state.removals[o.index()].get_or_insert_with(|| {
+                let mut r = vec![0.0; len];
+                let span = tcms_fds::prob::accumulate(&mut r, frames.get(o), occ, -1.0);
+                (r, span)
+            });
+            let buf = &mut state.bufs[i];
+            let (rlo, rhi) = *rspan;
+            if state.spans[i].0 >= state.spans[i].1 {
+                // Fresh buffer: land the removal term by copy, then add
+                // the placement term on top.
+                buf[rlo..rhi].copy_from_slice(&removal[rlo..rhi]);
+                state.spans[i] = *rspan;
+                let a = tcms_fds::prob::accumulate(buf, nf, occ, 1.0);
+                state.spans[i] = span_union(state.spans[i], a);
+            } else {
+                // Dirty buffer: keep the seed's exact term order —
+                // placement first, then the removal terms.
+                let a = tcms_fds::prob::accumulate(buf, nf, occ, 1.0);
+                for (b, &r) in buf[rlo..rhi].iter_mut().zip(&removal[rlo..rhi]) {
+                    *b += r;
+                }
+                state.spans[i] = span_union(state.spans[i], span_union(a, *rspan));
+            }
+        }
+    }
+
+    /// Batched fast path for the overwhelmingly common candidate shape:
+    /// one op moved onto a global type. The removal term *and* the
+    /// committed distribution are candidate-independent, so their sum is
+    /// folded into per-op modulo boundary tables
+    /// ([`crate::kernel::modulo_boundary_max_tables`] over
+    /// `D_{b,k} - removal`) once per batch; each candidate then only
+    /// scans its placement span — `occ` steps for the width-1 frames the
+    /// engine sweeps — instead of the whole removal span.
+    ///
+    /// Bitwise identical to the generic path: outside the placement span
+    /// the delta buffer holds exactly the removal term (`d + r` — the
+    /// same two operands the tables pre-add), inside it holds
+    /// `r + p` accumulated onto a zeroed element (`0.0 + p == p`
+    /// bitwise for the positive placement terms), and regrouping the
+    /// zero-seeded per-slot max is order-insensitive over the
+    /// never-`NaN`/`-0.0` profile values.
+    ///
+    /// Returns `None` (caller falls back to the generic path) for local
+    /// pairs and empty blocks.
+    fn force_single_fast<'f>(
+        &self,
+        field: &'f ModuloField<'_>,
+        o: OpId,
+        nf: TimeFrame,
+        frames: &FrameTable,
+        state: &mut DeltaBufs,
+        scratch: &mut EvalScratch<'f>,
+    ) -> Option<f64> {
+        let (block, rtype, occ, range) = self.op_meta[o.index()];
+        let len = range as usize;
+        if len == 0 {
+            return None;
+        }
+        let pos = scratch.plan_pos(self, field, block, rtype);
+        let plan = &scratch.plans[pos];
+        let g = plan.global.as_ref()?;
+        if state.removals.len() != self.op_meta.len() {
+            state.removals.resize(self.op_meta.len(), None);
+        }
+        if state.op_tables.len() != self.op_meta.len() {
+            state.op_tables.resize(self.op_meta.len(), None);
+            state.op_uses.resize(self.op_meta.len(), 0);
+        }
+        // The tables only pay off once an op is scored against more than
+        // one slot (the build walks the whole block range); the op's
+        // first candidate takes the generic span fold instead.
+        if state.op_uses[o.index()] == 0 && state.op_tables[o.index()].is_none() {
+            state.op_uses[o.index()] = 1;
+            return None;
+        }
+        let (rbuf, rspan) = state.removals[o.index()].get_or_insert_with(|| {
+            let mut r = vec![0.0; len];
+            let span = tcms_fds::prob::accumulate(&mut r, frames.get(o), occ, -1.0);
+            (r, span)
+        });
+        let (rlo, rhi) = *rspan;
+        let (pre, suf) = state.op_tables[o.index()].get_or_insert_with(|| {
+            let mut combined = plan.dist.to_vec();
+            for (c, &r) in combined[rlo..rhi].iter_mut().zip(&rbuf[rlo..rhi]) {
+                *c += r;
+            }
+            crate::kernel::modulo_boundary_max_tables(&combined, g.rho)
+        });
+        // Placement span, clamped exactly like
+        // [`tcms_fds::prob::accumulate`] clamps its writes.
+        let last = (nf.alap + occ - 1).min(range - 1);
+        let (plo, phi) = if nf.asap > last {
+            (0, 0)
+        } else {
+            (nf.asap as usize, last as usize + 1)
+        };
+        let gdelta = &mut scratch.gdelta;
+        if gdelta.len() != g.rho {
+            gdelta.resize(g.rho, 0.0);
+        }
+        let pre_row = &pre[plo * g.rho..(plo + 1) * g.rho];
+        let suf_row = &suf[phi * g.rho..(phi + 1) * g.rho];
+        for ((d, &a), &b) in gdelta.iter_mut().zip(pre_row).zip(suf_row) {
+            *d = a.max(b);
+        }
+        // The placement terms are the run-cached quotients `accumulate`
+        // would write onto a zeroed buffer (`0.0 + p == p` bitwise for
+        // the positive terms), folded in place of reading them back.
+        let width = f64::from(nf.width());
+        let mut count_cached = 0u32;
+        let mut term = 0.0f64;
+        let mut slot = plo % g.rho;
+        for ((t, &d), &r) in (plo..).zip(&plan.dist[plo..phi]).zip(&rbuf[plo..phi]) {
+            let t32 = t as u32;
+            let lo = nf.asap.max(t32.saturating_sub(occ - 1));
+            let hi = nf.alap.min(t32);
+            let count = hi - lo + 1;
+            if count != count_cached {
+                count_cached = count;
+                term = f64::from(count) / width;
+            }
+            gdelta[slot] = gdelta[slot].max(d + (r + term));
+            slot += 1;
+            if slot == g.rho {
+                slot = 0;
+            }
+        }
+        if let Some(sib) = &g.siblings {
+            crate::kernel::slot_max_into(gdelta, sib);
+        }
+        Some(tcms_fds::slab::force_sum_sub(
+            0.0,
+            g.gprof,
+            gdelta,
+            g.mold,
+            plan.weight,
+            self.config.lookahead,
+        ))
+    }
+
+    /// Probability deltas of `changed`, grouped per `(block, type)`.
+    fn deltas(
+        &self,
+        frames: &FrameTable,
+        changed: &[(OpId, TimeFrame)],
+    ) -> (Vec<(BlockId, ResourceTypeId)>, Vec<Vec<f64>>) {
+        let mut state = DeltaBufs::default();
+        self.deltas_into(frames, changed, &mut state);
+        state.bufs.truncate(state.keys.len());
+        (state.keys, state.bufs)
+    }
+}
+
+/// Reused delta-computation state of one batch: grouped keys, the delta
+/// buffers with their dirty spans, and the per-op removal terms (valid
+/// for one frame table — batches create a fresh `DeltaBufs`).
+#[derive(Default)]
+struct DeltaBufs {
+    keys: Vec<(BlockId, ResourceTypeId)>,
+    bufs: Vec<Vec<f64>>,
+    spans: Vec<(usize, usize)>,
+    removals: Vec<Option<Removal>>,
+    /// Per-op modulo boundary tables over `D_{b,k} + removal` — the
+    /// candidate-independent part of the single-op tentative fold,
+    /// pre-reduced so [`ModuloEvaluator::force_single_fast`] only scans
+    /// the placement span. Sized together with `removals`.
+    op_tables: Vec<Option<(Vec<f64>, Vec<f64>)>>,
+    /// Per-op single-op candidate counts — the lazy-build trigger for
+    /// `op_tables`.
+    op_uses: Vec<u32>,
+    /// Whether the removal terms are cached in `removals`. Only worth the
+    /// per-op table for batches, where an op's removal is replayed for
+    /// many candidate frames; one-shot evaluations accumulate directly.
+    cache_removals: bool,
+}
+
+/// One cached removal term: the accumulated buffer and its dirty span.
+type Removal = (Vec<f64>, (usize, usize));
+
+/// Union of two half-open spans, treating empty spans as neutral.
+fn span_union(a: (usize, usize), b: (usize, usize)) -> (usize, usize) {
+    if a.0 >= a.1 {
+        b
+    } else if b.0 >= b.1 {
+        a
+    } else {
+        (a.0.min(b.0), a.1.max(b.1))
+    }
+}
+
+/// Reused state for repeated force evaluations against one committed
+/// field: the `ΔG` slot scratch plus a small cache of per-`(block, type)`
+/// evaluation plans. Everything in a plan depends only on the committed
+/// field, never on the candidate, so sharing it across a batch is
+/// bitwise free; the cache is only valid against one committed state —
+/// batched evaluation creates one scratch per batch.
+#[derive(Default)]
+struct EvalScratch<'f> {
+    gdelta: Vec<f64>,
+    plans: Vec<PairPlan<'f>>,
+    /// `plan_idx[block * num_types + type]`: position in `plans` plus
+    /// one, `0` for "not built yet" — a direct-indexed lookup so the hot
+    /// loop never scans.
+    plan_idx: Vec<u32>,
+}
+
+/// Candidate-independent inputs of one `(block, type)` force term,
+/// resolved once per batch: the spring weight, the committed
+/// distribution slice, and (for global pairs) the profile slices and the
+/// sibling slot max of the tentative evaluation.
+struct PairPlan<'f> {
+    /// Spring weight `w_k`.
+    weight: f64,
+    /// Committed distribution `D_{b,k}`.
+    dist: &'f [f64],
+    /// `None` for local pairs (classical force applies).
+    global: Option<GlobalPlan<'f>>,
+}
+
+/// The global-pair half of a [`PairPlan`]: inputs of equations 7-10.
+struct GlobalPlan<'f> {
+    /// Period `ρ` of the sharing group.
+    rho: usize,
+    /// Group profile `G_k` — the spring the displacement is priced on.
+    gprof: &'f [f64],
+    /// Committed `M_{p,k}` the tentative process max is differenced
+    /// against.
+    mold: &'f [f64],
+    /// Slot max over the sibling blocks' `D̂` profiles. `None` when the
+    /// block has no siblings: the fold's result *is* the process max
+    /// then, and `max(v, 0.0)` over the zero-seeded, never-negative fold
+    /// values would be the identity bitwise — skipping it is free.
+    siblings: Option<Vec<f64>>,
+    /// How many candidates have evaluated this pair so far — the lazy
+    /// trigger for `tables`.
+    uses: u32,
+    /// Prefix/suffix boundary tables of the committed distribution
+    /// ([`crate::kernel::modulo_boundary_max_tables`]), built once a pair
+    /// proves hot (3rd use): they turn the fused fold from a full scan
+    /// into a span scan, which only pays off when the build cost is
+    /// amortized over many candidates. Either fold variant is bitwise
+    /// identical, so the switch-over is free.
+    tables: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl<'f> EvalScratch<'f> {
+    /// Position of the plan of `(block, rtype)` in `self.plans`, computed
+    /// on first use and shared afterwards. Returns an index rather than a
+    /// reference so callers can borrow `gdelta` alongside.
+    fn plan_pos(
+        &mut self,
+        eval: &ModuloEvaluator<'_>,
+        field: &'f ModuloField<'_>,
+        block: BlockId,
+        rtype: ResourceTypeId,
+    ) -> usize {
+        let num_types = eval.system.library().len();
+        if self.plan_idx.len() != eval.system.num_blocks() * num_types {
+            self.plan_idx = vec![0; eval.system.num_blocks() * num_types];
+        }
+        let slot = block.index() * num_types + rtype.index();
+        let cached = self.plan_idx[slot];
+        if cached != 0 {
+            return cached as usize - 1;
+        }
+        let weight = eval
+            .config
+            .spring_weights
+            .weight(eval.system.library(), rtype);
+        let process = eval.system.block(block).process();
+        let global = field.spec().is_global_for(rtype, process).then(|| {
+            let rho = field.slot_count(rtype);
+            let siblings = (eval.system.process(process).blocks().len() > 1).then(|| {
+                let mut buf = vec![0.0; rho];
+                field.sibling_profile_into(block, rtype, &mut buf);
+                buf
+            });
+            GlobalPlan {
+                rho,
+                gprof: field.group_profile(rtype),
+                mold: field.process_profile(process, rtype),
+                siblings,
+                uses: 0,
+                tables: None,
+            }
+        });
+        self.plans.push(PairPlan {
+            weight,
+            dist: field.distributions().get(block, rtype),
+            global,
+        });
+        let pos = self.plans.len() - 1;
+        self.plan_idx[slot] = u32::try_from(pos + 1).expect("plan count fits u32");
+        pos
     }
 }
 
@@ -165,11 +623,46 @@ impl ForceEvaluator for ModuloEvaluator<'_> {
         self.force_with_field(&self.field, frames, changed)
     }
 
+    /// Scores every candidate against the current committed field,
+    /// bit-identical to calling [`ForceEvaluator::force`] per candidate.
+    /// The win over the default implementation: delta buffers are reused
+    /// and the sibling slot-max profiles — which depend only on committed
+    /// state, not on the candidate — are computed once per `(block, type)`
+    /// and shared across the whole batch.
+    fn force_batch(&self, frames: &FrameTable, candidates: &[&[(OpId, TimeFrame)]]) -> Vec<f64> {
+        let mut scratch = EvalScratch::default();
+        let mut state = DeltaBufs {
+            cache_removals: true,
+            ..DeltaBufs::default()
+        };
+        candidates
+            .iter()
+            .map(|changed| {
+                if let [(o, nf)] = **changed {
+                    if let Some(f) =
+                        self.force_single_fast(&self.field, o, nf, frames, &mut state, &mut scratch)
+                    {
+                        return f;
+                    }
+                }
+                self.deltas_into(frames, changed, &mut state);
+                self.force_from_deltas(&self.field, &state, &mut scratch)
+            })
+            .collect()
+    }
+
     fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) {
         let (keys, bufs) = self.deltas(frames, changed);
         self.counter += 1;
         for (i, &(b, k)) in keys.iter().enumerate() {
             let effect = self.field.apply_delta(b, k, &bufs[i]);
+            if !effect.dist_changed {
+                // The candidate's deltas cancelled out bitwise (e.g. two
+                // ops of one pair swapping probability mass): nothing any
+                // cached force could observe moved, so the stamps — and
+                // with them the engine's candidate cache — survive.
+                continue;
+            }
             self.block_epoch[b.index()] = self.counter;
             if effect.dhat_changed {
                 // Sibling blocks read this block's D̂ through M_p.
@@ -299,6 +792,79 @@ mod tests {
                     .abs()
                     < 1e-9
             );
+        }
+    }
+
+    #[test]
+    fn cancelling_commit_preserves_context_stamps() {
+        // Two ops of the same (block, type) swap their probability mass:
+        // A collapses [0,1] -> [0,0] (delta +0.5/-0.5) while B collapses
+        // [0,1] -> [1,1] (delta -0.5/+0.5). The summed pair delta is
+        // bitwise zero, so the commit must leave every context stamp — and
+        // with it the engine's candidate cache — untouched.
+        let (lib, types) = paper_library();
+        let mut b = SystemBuilder::new(lib);
+        let p1 = b.add_process("P1");
+        let blk = b.add_block(p1, "body", 2).unwrap();
+        let a = b.add_op(blk, "a", types.add).unwrap();
+        let c = b.add_op(blk, "c", types.add).unwrap();
+        let p2 = b.add_process("P2");
+        let blk2 = b.add_block(p2, "body", 2).unwrap();
+        b.add_op(blk2, "z", types.add).unwrap();
+        let sys = b.build().unwrap();
+        let mut spec = SharingSpec::all_local(&sys);
+        spec.set_global(types.add, vec![p1, p2], 2);
+        spec.validate(&sys).unwrap();
+
+        let mut frames = FrameTable::initial(&sys);
+        frames.set(a, TimeFrame::new(0, 1));
+        frames.set(c, TimeFrame::new(0, 1));
+        let mut eval = ModuloEvaluator::new(&sys, spec, FdsConfig::default(), &frames);
+        let before = eval.context_stamp(blk);
+
+        eval.commit(
+            &frames,
+            &[(a, TimeFrame::new(0, 0)), (c, TimeFrame::new(1, 1))],
+        );
+        assert_eq!(
+            eval.context_stamp(blk),
+            before,
+            "a bitwise-cancelled delta must not dirty any stamp"
+        );
+
+        // A genuine move does bump the stamp.
+        eval.commit(&frames, &[(a, TimeFrame::new(0, 0))]);
+        assert_ne!(eval.context_stamp(blk), before);
+    }
+
+    #[test]
+    fn batched_forces_match_scalar_forces_bitwise() {
+        let (sys, _) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let eval = ModuloEvaluator::new(&sys, spec, FdsConfig::default(), &frames);
+
+        let mut candidates: Vec<Vec<(tcms_ir::OpId, TimeFrame)>> = Vec::new();
+        for o in sys.op_ids() {
+            let f = frames.get(o);
+            candidates.push(vec![(o, TimeFrame::new(f.asap, f.asap))]);
+            candidates.push(vec![(o, TimeFrame::new(f.alap, f.alap))]);
+        }
+        let views: Vec<&[(tcms_ir::OpId, TimeFrame)]> =
+            candidates.iter().map(|c| c.as_slice()).collect();
+        let batched = eval.force_batch(&frames, &views);
+        assert_eq!(batched.len(), views.len());
+        for (i, c) in views.iter().enumerate() {
+            let scalar = eval.force(&frames, c);
+            assert_eq!(
+                batched[i].to_bits(),
+                scalar.to_bits(),
+                "candidate {i} diverged: batched {} vs scalar {scalar}",
+                batched[i]
+            );
+            // And both agree bitwise with the from-scratch oracle.
+            assert_eq!(scalar.to_bits(), eval.force_naive(&frames, c).to_bits());
+            assert_eq!(scalar.to_bits(), eval.force_legacy(&frames, c).to_bits());
         }
     }
 

@@ -303,14 +303,10 @@ impl<'a> Bounds<'a> {
                 self.profile_scratch.resize(period, 0);
                 for &b in self.system.process(p).blocks() {
                     if let Some(prof) = self.profiles[b.index() * self.num_types + k].as_ref() {
-                        for (s, v) in prof.slot_max.iter().enumerate() {
-                            self.profile_scratch[s] = self.profile_scratch[s].max(*v);
-                        }
+                        crate::kernel::slot_max_u32_into(&mut self.profile_scratch, &prof.slot_max);
                     }
                 }
-                for (s, v) in self.profile_scratch.iter().enumerate() {
-                    self.slot_scratch[s] += v;
-                }
+                crate::kernel::add_u32_into(&mut self.slot_scratch, &self.profile_scratch);
             }
             let mut pool = u64::from(self.slot_scratch.iter().copied().max().unwrap_or(0));
             // Any process with unscheduled ops of this type will need at

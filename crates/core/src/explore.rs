@@ -320,7 +320,11 @@ impl<'a> BoundContext<'a> {
 
     /// Same value as [`area_lower_bound`] (the search's sort key and prune
     /// test must match the old sequential implementation exactly), without
-    /// the per-call `Vec` churn of `users_of_type`/`ops_of_type`.
+    /// the per-call `Vec` churn of `users_of_type`/`ops_of_type`. The
+    /// search itself goes through the memoized
+    /// [`BoundContext::area_lower_bounds`]; this per-spec form is the
+    /// reference it is tested against.
+    #[cfg(test)]
     fn area_lower_bound(&self, spec: &SharingSpec) -> u64 {
         let mut area = 0u64;
         for (k, rt) in self.system.library().iter() {
@@ -330,23 +334,85 @@ impl<'a> BoundContext<'a> {
                 .filter(|p| !group.contains(p))
                 .count() as u64;
             if !group.is_empty() {
-                let period = f64::from(spec.period(k).expect("global types have periods"));
-                let mut slot_mass = 0.0f64;
-                for &p in group {
-                    let mut process_mass = 0.0f64;
-                    for &b in self.system.process(p).blocks() {
-                        let busy = self.busy[b.index() * self.num_types + k.index()];
-                        let t_b = f64::from(self.system.block(b).time_range());
-                        let reuse = (t_b / period).ceil();
-                        process_mass = process_mass.max(f64::from(busy) / reuse);
-                    }
-                    slot_mass += process_mass;
-                }
-                instances += (slot_mass / period).ceil() as u64;
+                let period = spec.period(k).expect("global types have periods");
+                instances += self.pool_instances(k, group, period);
             }
             area += instances * rt.area();
         }
         area
+    }
+
+    /// The pool term of one global type: a pure function of the type's
+    /// group and period given the system.
+    fn pool_instances(&self, k: ResourceTypeId, group: &[tcms_ir::ProcessId], period: u32) -> u64 {
+        let period = f64::from(period);
+        let mut slot_mass = 0.0f64;
+        for &p in group {
+            let mut process_mass = 0.0f64;
+            for &b in self.system.process(p).blocks() {
+                let busy = self.busy[b.index() * self.num_types + k.index()];
+                let t_b = f64::from(self.system.block(b).time_range());
+                let reuse = (t_b / period).ceil();
+                process_mass = process_mass.max(f64::from(busy) / reuse);
+            }
+            slot_mass += process_mass;
+        }
+        (slot_mass / period).ceil() as u64
+    }
+
+    /// Bounds of a whole candidate batch in one call, each equal to
+    /// [`BoundContext::area_lower_bound`] of that spec.
+    ///
+    /// The specs enumerated by one period search share their sharing
+    /// groups and differ only in the periods, so the expensive pool term
+    /// is a function of `(type, period)` alone and recurs across most of
+    /// the batch; this entry point memoizes it per `(type, period)` pair
+    /// (a linear scan — searches enumerate few distinct periods). Group
+    /// constancy is debug-asserted against the first spec that filled
+    /// each memo slot.
+    fn area_lower_bounds(&self, specs: &[SharingSpec]) -> Vec<u64> {
+        let mut memo: Vec<(usize, u32, u64)> = Vec::new();
+        #[cfg(debug_assertions)]
+        let mut memo_groups: Vec<Vec<tcms_ir::ProcessId>> = Vec::new();
+        specs
+            .iter()
+            .map(|spec| {
+                let mut area = 0u64;
+                for (k, rt) in self.system.library().iter() {
+                    let group = spec.group(k).unwrap_or(&[]);
+                    let mut instances = self.users[k.index()]
+                        .iter()
+                        .filter(|p| !group.contains(p))
+                        .count() as u64;
+                    if !group.is_empty() {
+                        let period = spec.period(k).expect("global types have periods");
+                        let hit = memo
+                            .iter()
+                            .position(|&(mk, mp, _)| mk == k.index() && mp == period);
+                        let pool = match hit {
+                            Some(i) => {
+                                #[cfg(debug_assertions)]
+                                debug_assert_eq!(
+                                    memo_groups[i], group,
+                                    "batched bounds require constant groups across specs"
+                                );
+                                memo[i].2
+                            }
+                            None => {
+                                let v = self.pool_instances(k, group, period);
+                                memo.push((k.index(), period, v));
+                                #[cfg(debug_assertions)]
+                                memo_groups.push(group.to_vec());
+                                v
+                            }
+                        };
+                        instances += pool;
+                    }
+                    area += instances * rt.area();
+                }
+                area
+            })
+            .collect()
     }
 }
 
@@ -399,10 +465,8 @@ pub fn pruned_best_period_assignment_recorded(
     // which is what makes the winner below the same one the sequential
     // incumbent loop picked.
     let ctx = BoundContext::new(system);
-    let mut bounded: Vec<(u64, SharingSpec)> = specs
-        .into_iter()
-        .map(|s| (ctx.area_lower_bound(&s), s))
-        .collect();
+    let bounds = ctx.area_lower_bounds(&specs);
+    let mut bounded: Vec<(u64, SharingSpec)> = bounds.into_iter().zip(specs).collect();
     bounded.sort_by_key(|&(bound, _)| bound);
     // Shared incumbent: schedule candidates in parallel, prune with a
     // *strict* `bound > incumbent`. The incumbent only ever holds real
@@ -640,6 +704,28 @@ mod tests {
             ctx.area_lower_bound(&local),
             super::area_lower_bound(&sys, &local)
         );
+    }
+
+    #[test]
+    fn batched_area_bounds_match_per_spec_bounds() {
+        let (sys, _) = paper_system().unwrap();
+        let ctx = super::BoundContext::new(&sys);
+        // A realistic batch: repeated periods (the memo's hit case), plus
+        // the all-local spec with no pool term at all.
+        let mut specs: Vec<SharingSpec> = (1..=8u32)
+            .chain([3, 5, 5, 1])
+            .map(|p| SharingSpec::all_global(&sys, p))
+            .collect();
+        specs.push(SharingSpec::all_local(&sys));
+        let batched = ctx.area_lower_bounds(&specs);
+        assert_eq!(batched.len(), specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                ctx.area_lower_bound(spec),
+                "spec {i}: batched bound must equal the per-spec bound"
+            );
+        }
     }
 
     #[test]

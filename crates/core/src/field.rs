@@ -10,12 +10,56 @@
 //!    branches (equation 9),
 //! 3. per group: `G_k(τ) = Σ_{p∈group} M_{p,k}(τ)` — the balanced global
 //!    requirement whose peak is the shared instance count.
+//!
+//! Each layer is one contiguous `f64` arena (see DESIGN.md §10): a
+//! per-key offset table maps `(block, type)`, `(process, type)` or `type`
+//! to a period-length slice, with `u32::MAX` marking keys that are not
+//! globally shared. The fold kernels of [`crate::kernel`] stream over
+//! those slices without allocating.
 
 use tcms_fds::dist::DistributionSet;
 use tcms_ir::{BlockId, FrameTable, ProcessId, ResourceTypeId, System};
 
 use crate::assign::SharingSpec;
-use crate::modulo::{modulo_max, slot_max};
+use crate::kernel;
+
+/// Offset sentinel for keys without a profile (not globally shared).
+const ABSENT: u32 = u32::MAX;
+
+/// One arena layer: a flat `f64` store plus a per-key offset table.
+/// Every present profile of one layer has the period of its type as
+/// length, so `(offset, period)` fully locates a slice.
+#[derive(Debug, Clone)]
+struct Layer {
+    off: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl Layer {
+    fn new(keys: usize) -> Self {
+        Layer {
+            off: vec![ABSENT; keys],
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends a zeroed profile of `len` slots for `key`.
+    fn insert(&mut self, key: usize, len: usize) {
+        debug_assert_eq!(self.off[key], ABSENT, "profile inserted twice");
+        self.off[key] = self.data.len() as u32;
+        self.data.resize(self.data.len() + len, 0.0);
+    }
+
+    fn try_slice(&self, key: usize, len: usize) -> Option<&[f64]> {
+        let o = self.off[key];
+        (o != ABSENT).then(|| &self.data[o as usize..o as usize + len])
+    }
+
+    fn slice_mut(&mut self, key: usize, len: usize) -> &mut [f64] {
+        let o = self.off[key] as usize;
+        &mut self.data[o..o + len]
+    }
+}
 
 /// Incrementally maintained distributions for the modified force model.
 #[derive(Debug, Clone)]
@@ -23,14 +67,18 @@ pub struct ModuloField<'a> {
     system: &'a System,
     spec: SharingSpec,
     dist: DistributionSet,
-    /// `dhat[block][type]`: modulo-max profile; empty when the pair is not
-    /// globally shared.
-    dhat: Vec<Vec<Vec<f64>>>,
-    /// `mproc[process][type]`: per-process balanced profile; empty when not
-    /// applicable.
-    mproc: Vec<Vec<Vec<f64>>>,
-    /// `gdist[type]`: group-summed profile; empty for local types.
-    gdist: Vec<Vec<f64>>,
+    /// `periods[k]`: ρ of a globally shared type, 0 for local types
+    /// (cached off the spec — the hot paths must not chase spec lookups).
+    periods: Vec<u32>,
+    /// Modulo-max profiles `D̂`, keyed by `block * num_types + type`.
+    dhat: Layer,
+    /// Balanced process profiles `M_p`, keyed by `process * num_types + type`.
+    mproc: Layer,
+    /// Group profiles `G_k`, keyed by `type`.
+    gdist: Layer,
+    /// Reused per-slot mask scratch for [`ModuloField::apply_delta`]
+    /// (bits: 1 = delta touches slot, 2 = `D̂` moved, 4 = `M_p` moved).
+    mask: Vec<u8>,
 }
 
 impl<'a> ModuloField<'a> {
@@ -38,13 +86,33 @@ impl<'a> ModuloField<'a> {
     pub fn new(system: &'a System, spec: SharingSpec, frames: &FrameTable) -> Self {
         let num_types = system.library().len();
         let dist = DistributionSet::build(system, frames);
+        let mut periods = vec![0u32; num_types];
+        let mut dhat = Layer::new(system.num_blocks() * num_types);
+        let mut mproc = Layer::new(system.num_processes() * num_types);
+        let mut gdist = Layer::new(num_types);
+        for k in system.library().ids() {
+            let Some(rho) = spec.period(k).filter(|_| spec.is_global(k)) else {
+                continue;
+            };
+            let rho = rho as usize;
+            periods[k.index()] = rho as u32;
+            for &p in spec.group(k).expect("global") {
+                for &b in system.process(p).blocks() {
+                    dhat.insert(b.index() * num_types + k.index(), rho);
+                }
+                mproc.insert(p.index() * num_types + k.index(), rho);
+            }
+            gdist.insert(k.index(), rho);
+        }
         let mut field = ModuloField {
             system,
             spec,
             dist,
-            dhat: vec![vec![Vec::new(); num_types]; system.num_blocks()],
-            mproc: vec![vec![Vec::new(); num_types]; system.num_processes()],
-            gdist: vec![Vec::new(); num_types],
+            periods,
+            dhat,
+            mproc,
+            gdist,
+            mask: Vec::new(),
         };
         for k in system.library().ids() {
             if !field.spec.is_global(k) {
@@ -53,11 +121,11 @@ impl<'a> ModuloField<'a> {
             let group: Vec<ProcessId> = field.spec.group(k).expect("global").to_vec();
             for &p in &group {
                 for &b in system.process(p).blocks() {
-                    field.dhat[b.index()][k.index()] = field.fold_block(b, k);
+                    field.fold_block(b, k);
                 }
-                field.mproc[p.index()][k.index()] = field.fold_process(p, k);
+                field.fold_process(p, k);
             }
-            field.gdist[k.index()] = field.fold_group(k);
+            field.fold_group(k);
         }
         field
     }
@@ -72,15 +140,32 @@ impl<'a> ModuloField<'a> {
         &self.dist
     }
 
+    /// Number of period slots of a globally shared type (its ρ), or 0 for
+    /// a local type. Callers sizing scratch buffers use this instead of a
+    /// spec lookup.
+    pub fn slot_count(&self, rtype: ResourceTypeId) -> usize {
+        self.periods[rtype.index()] as usize
+    }
+
+    #[inline]
+    fn dhat_key(&self, block: BlockId, rtype: ResourceTypeId) -> usize {
+        block.index() * self.periods.len() + rtype.index()
+    }
+
+    #[inline]
+    fn mproc_key(&self, process: ProcessId, rtype: ResourceTypeId) -> usize {
+        process.index() * self.periods.len() + rtype.index()
+    }
+
     /// Modulo-max profile of a globally shared `(block, type)` pair.
     ///
     /// # Panics
     ///
     /// Panics if the pair is not globally shared.
     pub fn block_profile(&self, block: BlockId, rtype: ResourceTypeId) -> &[f64] {
-        let v = &self.dhat[block.index()][rtype.index()];
-        assert!(!v.is_empty(), "pair is not globally shared");
-        v
+        self.dhat
+            .try_slice(self.dhat_key(block, rtype), self.slot_count(rtype))
+            .expect("pair is not globally shared")
     }
 
     /// Balanced per-process profile `M_{p,k}`.
@@ -89,9 +174,9 @@ impl<'a> ModuloField<'a> {
     ///
     /// Panics if `process` is not in the group of `rtype`.
     pub fn process_profile(&self, process: ProcessId, rtype: ResourceTypeId) -> &[f64] {
-        let v = &self.mproc[process.index()][rtype.index()];
-        assert!(!v.is_empty(), "process is not in the sharing group");
-        v
+        self.mproc
+            .try_slice(self.mproc_key(process, rtype), self.slot_count(rtype))
+            .expect("process is not in the sharing group")
     }
 
     /// Group profile `G_k` of a global type.
@@ -100,9 +185,9 @@ impl<'a> ModuloField<'a> {
     ///
     /// Panics if `rtype` is local.
     pub fn group_profile(&self, rtype: ResourceTypeId) -> &[f64] {
-        let v = &self.gdist[rtype.index()];
-        assert!(!v.is_empty(), "type is not globally shared");
-        v
+        self.gdist
+            .try_slice(rtype.index(), self.slot_count(rtype))
+            .expect("type is not globally shared")
     }
 
     /// Expected shared instance count: the peak of `G_k`.
@@ -113,36 +198,117 @@ impl<'a> ModuloField<'a> {
             .fold(0.0, f64::max)
     }
 
-    fn fold_block(&self, block: BlockId, rtype: ResourceTypeId) -> Vec<f64> {
-        let period = self.spec.period(rtype).expect("global types have periods");
-        modulo_max(self.dist.get(block, rtype), period)
+    /// Refolds `D̂_{b,k}` from the block's distribution.
+    fn fold_block(&mut self, block: BlockId, rtype: ResourceTypeId) {
+        let rho = self.slot_count(rtype);
+        let key = self.dhat_key(block, rtype);
+        let d = self.dist.get(block, rtype);
+        kernel::modulo_max_into(d, self.dhat.slice_mut(key, rho));
     }
 
-    fn fold_process(&self, process: ProcessId, rtype: ResourceTypeId) -> Vec<f64> {
-        let period = self.spec.period(rtype).expect("global types have periods") as usize;
-        let mut acc = vec![0.0; period];
+    /// Refolds `M_{p,k}` from the process's `D̂` profiles (zero-seeded
+    /// slot max in block order).
+    fn fold_process(&mut self, process: ProcessId, rtype: ResourceTypeId) {
+        let rho = self.slot_count(rtype);
+        let key = self.mproc_key(process, rtype);
+        let acc = self.mproc.slice_mut(key, rho);
+        acc.fill(0.0);
         for &b in self.system.process(process).blocks() {
-            acc = slot_max(&acc, &self.dhat[b.index()][rtype.index()]);
+            let dkey = b.index() * self.periods.len() + rtype.index();
+            let dh = self
+                .dhat
+                .try_slice(dkey, rho)
+                .expect("group blocks carry D-hat profiles");
+            kernel::slot_max_into(acc, dh);
         }
-        acc
     }
 
-    fn fold_group(&self, rtype: ResourceTypeId) -> Vec<f64> {
-        let period = self.spec.period(rtype).expect("global types have periods") as usize;
-        let mut acc = vec![0.0; period];
+    /// Refolds `G_k` from the group's `M_p` profiles (sum in group order).
+    fn fold_group(&mut self, rtype: ResourceTypeId) {
+        let rho = self.slot_count(rtype);
+        let acc = self.gdist.slice_mut(rtype.index(), rho);
+        acc.fill(0.0);
         for &p in self.spec.group(rtype).expect("global") {
-            for (slot, v) in self.mproc[p.index()][rtype.index()].iter().enumerate() {
-                acc[slot] += v;
+            let mkey = p.index() * self.periods.len() + rtype.index();
+            let m = self
+                .mproc
+                .try_slice(mkey, rho)
+                .expect("group processes carry M profiles");
+            kernel::add_into(acc, m);
+        }
+    }
+
+    /// Zero-seeded slot max of the `D̂` profiles of every *other* block of
+    /// `block`'s process — the part of `M_p` that does not depend on
+    /// `block`. Batched candidate evaluation computes this once per
+    /// `(block, type)` and shares it across all candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not globally shared or `out` is not
+    /// period-sized.
+    pub fn sibling_profile_into(&self, block: BlockId, rtype: ResourceTypeId, out: &mut [f64]) {
+        let rho = self.slot_count(rtype);
+        assert_eq!(out.len(), rho, "scratch must cover one period");
+        out.fill(0.0);
+        let process = self.system.block(block).process();
+        for &b in self.system.process(process).blocks() {
+            if b != block {
+                kernel::slot_max_into(out, self.block_profile(b, rtype));
             }
         }
-        debug_assert_eq!(acc.len(), period);
-        acc
     }
 
     /// Effect of adding `delta` (indexed by block-local time) to the
     /// distribution of a globally shared `(block, type)`: the change of the
     /// group profile `ΔG_k(τ)`, without mutating the field.
+    ///
+    /// Allocation-free core of [`ModuloField::tentative_group_delta`]:
+    /// `siblings` must be the profile from
+    /// [`ModuloField::sibling_profile_into`] for the same pair, and `out`
+    /// receives `ΔG`. The result is bit-identical to folding a
+    /// materialized `D + delta` copy the way the seed did: the fused
+    /// kernel folds the same values in the same slot order, and regrouping
+    /// the zero-seeded slot max over `{D̂_new} ∪ siblings` cannot change a
+    /// maximum of non-negative, non-NaN values.
+    pub fn tentative_group_delta_into(
+        &self,
+        block: BlockId,
+        rtype: ResourceTypeId,
+        delta: &[f64],
+        siblings: &[f64],
+        out: &mut [f64],
+    ) {
+        let rho = self.slot_count(rtype);
+        assert_eq!(out.len(), rho, "out must cover one period");
+        kernel::modulo_max_delta_into(self.dist.get(block, rtype), delta, out);
+        kernel::slot_max_into(out, siblings);
+        let process = self.system.block(block).process();
+        kernel::sub_into(out, self.process_profile(process, rtype));
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`ModuloField::sibling_profile_into`] +
+    /// [`ModuloField::tentative_group_delta_into`].
     pub fn tentative_group_delta(
+        &self,
+        block: BlockId,
+        rtype: ResourceTypeId,
+        delta: &[f64],
+    ) -> Vec<f64> {
+        let rho = self.slot_count(rtype);
+        let mut siblings = vec![0.0; rho];
+        self.sibling_profile_into(block, rtype, &mut siblings);
+        let mut out = vec![0.0; rho];
+        self.tentative_group_delta_into(block, rtype, delta, &siblings, &mut out);
+        out
+    }
+
+    /// The seed's tentative evaluation, kept verbatim (jagged-era
+    /// allocations and branchy folds) as the oracle and the per-force
+    /// baseline of the `repro_force_kernel` bench.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn tentative_group_delta_legacy(
         &self,
         block: BlockId,
         rtype: ResourceTypeId,
@@ -154,15 +320,15 @@ impl<'a> ModuloField<'a> {
         for (t, &x) in delta.iter().enumerate() {
             dnew[t] += x;
         }
-        let dhat_new = modulo_max(&dnew, period);
+        let dhat_new = kernel::modulo_max_legacy(&dnew, period);
         // Rebuild the process max with the tentative block profile.
         let mut mnew = dhat_new;
         for &b in self.system.process(process).blocks() {
             if b != block {
-                mnew = slot_max(&mnew, &self.dhat[b.index()][rtype.index()]);
+                mnew = kernel::slot_max_legacy(&mnew, self.block_profile(b, rtype));
             }
         }
-        let mold = &self.mproc[process.index()][rtype.index()];
+        let mold = self.process_profile(process, rtype);
         mnew.iter().zip(mold).map(|(&n, &o)| n - o).collect()
     }
 
@@ -173,10 +339,12 @@ impl<'a> ModuloField<'a> {
     /// `delta` maps onto are refolded, and a layer is touched only when the
     /// layer below it actually changed (bitwise), so a commit hidden under
     /// the slot maximum — the paper's modulo-hiding effect — stops right at
-    /// the `D̂` layer. Each refolded slot replays the corresponding
-    /// from-scratch fold ([`modulo_max`], [`slot_max`], group sum) in the
-    /// same order, so the maintained profiles stay bit-identical to a full
-    /// rebuild.
+    /// the `D̂` layer, and a delta that cancels to nothing (implied frame
+    /// changes can sum to a net zero) stops at the distribution itself.
+    /// Each refolded slot replays the corresponding from-scratch fold
+    /// ([`crate::modulo::modulo_max`], [`crate::modulo::slot_max`], group
+    /// sum) in the same order, so the maintained profiles stay
+    /// bit-identical to a full rebuild.
     ///
     /// The returned [`DeltaEffect`] reports how far the change propagated;
     /// evaluator caches use it to decide which context stamps to advance.
@@ -186,30 +354,55 @@ impl<'a> ModuloField<'a> {
         rtype: ResourceTypeId,
         delta: &[f64],
     ) -> DeltaEffect {
-        {
-            let d = self.dist.get_mut(block, rtype);
+        // Precise dirtying: write through the scoped API, bumping the
+        // pair's version only when some entry actually changed bitwise.
+        // (`d + 0.0 == d` bitwise — distributions never hold `-0.0` — so
+        // every changed entry sits under a non-zero delta entry.)
+        let dist_changed = self.dist.write_scoped(block, rtype, |d| {
+            let mut changed = false;
             for (t, &x) in delta.iter().enumerate() {
-                d[t] += x;
+                let new = d[t] + x;
+                changed |= d[t].to_bits() != new.to_bits();
+                d[t] = new;
             }
-        }
-        let mut effect = DeltaEffect::default();
+            (changed, changed)
+        });
+        let mut effect = DeltaEffect {
+            dist_changed,
+            ..DeltaEffect::default()
+        };
         let process = self.system.block(block).process();
         if !self.spec.is_global_for(rtype, process) {
             return effect;
         }
         effect.global = true;
-        let period = self.spec.period(rtype).expect("global types have periods") as usize;
-        // Period slots the delta maps onto (dirty region of D̂).
-        let mut dirty = vec![false; period];
+        if !effect.dist_changed {
+            // The folds are pure functions of the distribution: an
+            // absorbed or cancelled delta cannot move any layer.
+            return effect;
+        }
+        let period = self.slot_count(rtype);
+        let nt = self.periods.len();
+        const DELTA_DIRTY: u8 = 1;
+        const DHAT_DIRTY: u8 = 2;
+        const MPROC_DIRTY: u8 = 4;
+        // Period slots the delta maps onto (dirty region of D̂), collected
+        // into the reused mask scratch.
+        self.mask.clear();
+        self.mask.resize(period, 0);
         for (t, &x) in delta.iter().enumerate() {
             if x != 0.0 {
-                dirty[t % period] = true;
+                self.mask[t % period] |= DELTA_DIRTY;
             }
         }
-        let d = self.dist.get(block, rtype).to_vec();
-        let ki = rtype.index();
-        let mut dhat_dirty = vec![false; period];
-        for (slot, _) in dirty.iter().enumerate().filter(|&(_, &m)| m) {
+        let d = self.dist.get(block, rtype);
+        let dhat = self
+            .dhat
+            .slice_mut(block.index() * nt + rtype.index(), period);
+        for (slot, m) in self.mask.iter_mut().enumerate() {
+            if *m & DELTA_DIRTY == 0 {
+                continue;
+            }
             // Per-slot replay of `modulo_max`: ascending t, strictly
             // greater wins — bitwise identical to the full fold.
             let mut v = 0.0;
@@ -220,44 +413,52 @@ impl<'a> ModuloField<'a> {
                 }
                 t += period;
             }
-            let cell = &mut self.dhat[block.index()][ki][slot];
-            if cell.to_bits() != v.to_bits() {
-                *cell = v;
-                dhat_dirty[slot] = true;
+            if dhat[slot].to_bits() != v.to_bits() {
+                dhat[slot] = v;
+                *m |= DHAT_DIRTY;
                 effect.dhat_changed = true;
             }
         }
         if !effect.dhat_changed {
             return effect;
         }
-        let pi = process.index();
-        let mut mproc_dirty = vec![false; period];
-        for (slot, _) in dhat_dirty.iter().enumerate().filter(|&(_, &m)| m) {
+        let mproc = self
+            .mproc
+            .slice_mut(process.index() * nt + rtype.index(), period);
+        let blocks = self.system.process(process).blocks();
+        for (slot, m) in self.mask.iter_mut().enumerate() {
+            if *m & DHAT_DIRTY == 0 {
+                continue;
+            }
             // Per-slot replay of `fold_process` (zero-seeded `slot_max`
             // over the process's blocks, in block order).
             let mut v = 0.0f64;
-            for &b in self.system.process(process).blocks() {
-                v = v.max(self.dhat[b.index()][ki][slot]);
+            for &b in blocks {
+                let off = self.dhat.off[b.index() * nt + rtype.index()] as usize;
+                v = v.max(self.dhat.data[off + slot]);
             }
-            let cell = &mut self.mproc[pi][ki][slot];
-            if cell.to_bits() != v.to_bits() {
-                *cell = v;
-                mproc_dirty[slot] = true;
+            if mproc[slot].to_bits() != v.to_bits() {
+                mproc[slot] = v;
+                *m |= MPROC_DIRTY;
                 effect.mproc_changed = true;
             }
         }
         if !effect.mproc_changed {
             return effect;
         }
-        for (slot, _) in mproc_dirty.iter().enumerate().filter(|&(_, &m)| m) {
+        let gdist = self.gdist.slice_mut(rtype.index(), period);
+        for (slot, m) in self.mask.iter().enumerate() {
+            if *m & MPROC_DIRTY == 0 {
+                continue;
+            }
             // Per-slot replay of `fold_group` (sum in group order).
             let mut v = 0.0f64;
             for &p in self.spec.group(rtype).expect("global") {
-                v += self.mproc[p.index()][ki][slot];
+                let off = self.mproc.off[p.index() * nt + rtype.index()] as usize;
+                v += self.mproc.data[off + slot];
             }
-            let cell = &mut self.gdist[ki][slot];
-            if cell.to_bits() != v.to_bits() {
-                *cell = v;
+            if gdist[slot].to_bits() != v.to_bits() {
+                gdist[slot] = v;
                 effect.gdist_changed = true;
             }
         }
@@ -267,9 +468,14 @@ impl<'a> ModuloField<'a> {
 
 /// How far a committed delta propagated through the field's layers; the
 /// flags are cumulative upper layers of a strictly narrowing chain
-/// (`gdist_changed` implies `mproc_changed` implies `dhat_changed`).
+/// (`gdist_changed` implies `mproc_changed` implies `dhat_changed`
+/// implies `dist_changed`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeltaEffect {
+    /// Some entry of the block's distribution `D` actually changed
+    /// (bitwise). A delta that cancels to a net zero leaves this false —
+    /// and then no downstream cache needs invalidating at all.
+    pub dist_changed: bool,
     /// The pair is globally shared for its process (the layered profiles
     /// exist and were examined).
     pub global: bool,
@@ -328,6 +534,29 @@ mod tests {
                 (after[slot] - before[slot] - predicted[slot]).abs() < 1e-12,
                 "slot {slot}"
             );
+        }
+    }
+
+    #[test]
+    fn tentative_delta_matches_legacy_bitwise() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let field = ModuloField::new(&sys, spec, &frames);
+        for block in sys.block_ids() {
+            let len = sys.block(block).time_range() as usize;
+            let mut delta = vec![0.0; len];
+            delta[0] = 0.4;
+            delta[len - 1] = -0.125;
+            for k in [t.add, t.mul] {
+                let fast = field.tentative_group_delta(block, k, &delta);
+                let legacy = field.tentative_group_delta_legacy(block, k, &delta);
+                assert_eq!(
+                    fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    legacy.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "block {block:?} type {k:?}"
+                );
+            }
         }
     }
 
@@ -437,11 +666,34 @@ mod tests {
         let mut delta = vec![0.0; d.len()];
         delta[time] = headroom / 2.0;
         let effect = field.apply_delta(block, t.add, &delta);
-        assert!(effect.global);
+        assert!(effect.global && effect.dist_changed);
         assert!(
             !effect.gdist_changed,
             "hidden delta must not reach G: {effect:?}"
         );
+    }
+
+    #[test]
+    fn cancelled_delta_leaves_version_untouched() {
+        let (sys, t) = paper_system().unwrap();
+        let spec = SharingSpec::all_global(&sys, 5);
+        let frames = FrameTable::initial(&sys);
+        let mut field = ModuloField::new(&sys, spec, &frames);
+        let block = sys.block_ids().next().unwrap();
+        let len = sys.block(block).time_range() as usize;
+        let before = field.distributions().version(block, t.add);
+        // A delta of exact zeros writes nothing and must not dirty the
+        // pair — the precise-dirtying fix this effect flag exists for.
+        let effect = field.apply_delta(block, t.add, &vec![0.0; len]);
+        assert!(!effect.dist_changed && effect.global);
+        assert!(!effect.dhat_changed);
+        assert_eq!(field.distributions().version(block, t.add), before);
+        // A real delta still dirties it.
+        let mut delta = vec![0.0; len];
+        delta[0] = 0.25;
+        let effect = field.apply_delta(block, t.add, &delta);
+        assert!(effect.dist_changed);
+        assert!(field.distributions().version(block, t.add) > before);
     }
 
     #[test]
@@ -455,7 +707,7 @@ mod tests {
         // A large increase everywhere definitely raises the slot maxima.
         let delta = vec![10.0; len];
         let effect = field.apply_delta(block, t.add, &delta);
-        assert!(effect.global && effect.dhat_changed);
+        assert!(effect.global && effect.dist_changed && effect.dhat_changed);
         assert!(effect.mproc_changed && effect.gdist_changed);
     }
 

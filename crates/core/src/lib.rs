@@ -59,6 +59,7 @@ pub mod exact;
 pub mod explore;
 pub mod field;
 pub mod fingerprint;
+pub mod kernel;
 pub mod latency;
 pub mod modulo;
 pub mod period;

@@ -32,12 +32,7 @@
 pub fn modulo_max(dist: &[f64], period: u32) -> Vec<f64> {
     assert!(period > 0, "period must be at least 1");
     let mut out = vec![0.0; period as usize];
-    for (t, &v) in dist.iter().enumerate() {
-        let slot = t % period as usize;
-        if v > out[slot] {
-            out[slot] = v;
-        }
-    }
+    crate::kernel::modulo_max_into(dist, &mut out);
     out
 }
 
@@ -45,12 +40,7 @@ pub fn modulo_max(dist: &[f64], period: u32) -> Vec<f64> {
 pub fn modulo_max_counts(counts: &[u32], period: u32) -> Vec<u32> {
     assert!(period > 0, "period must be at least 1");
     let mut out = vec![0u32; period as usize];
-    for (t, &v) in counts.iter().enumerate() {
-        let slot = t % period as usize;
-        if v > out[slot] {
-            out[slot] = v;
-        }
-    }
+    crate::kernel::modulo_max_counts_into(counts, &mut out);
     out
 }
 
@@ -61,8 +51,9 @@ pub fn modulo_max_counts(counts: &[u32], period: u32) -> Vec<u32> {
 ///
 /// Panics if the profiles have different lengths.
 pub fn slot_max(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "profiles must cover the same period");
-    a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect()
+    let mut out = a.to_vec();
+    crate::kernel::slot_max_into(&mut out, b);
+    out
 }
 
 /// Least common multiple (used for grid spacings, equation 3).

@@ -8,10 +8,14 @@
 //! pair's version counter (drawn from one set-wide epoch), so downstream
 //! caches can tell exactly which `(block, type)` regions moved since they
 //! last looked, without comparing profile contents.
+//!
+//! Storage is one contiguous [`crate::slab`] arena; `get`/`get_mut` are
+//! thin slice views into it.
 
 use tcms_ir::{BlockId, FrameTable, OpId, ResourceTypeId, System, TimeFrame};
 
 use crate::prob;
+use crate::slab::SlabIndex;
 
 /// Distribution graphs for every `(block, type)` pair of a system.
 ///
@@ -19,52 +23,83 @@ use crate::prob;
 /// state.
 #[derive(Debug, Clone)]
 pub struct DistributionSet {
-    /// `dist[block][type][t]`, `t` in block-local time.
-    dist: Vec<Vec<Vec<f64>>>,
-    /// `version[block][type]`: epoch of the pair's last mutation.
-    version: Vec<Vec<u64>>,
+    index: SlabIndex,
+    /// All profiles, packed per the index (`D[b][k][t]` at
+    /// `index.range(b, k)[t]`).
+    data: Vec<f64>,
+    /// `version[index.pair(b, k)]`: epoch of the pair's last mutation.
+    version: Vec<u64>,
     /// Set-wide mutation counter the per-pair versions are drawn from.
     epoch: u64,
 }
 
 impl PartialEq for DistributionSet {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.index == other.index && self.data == other.data
     }
 }
 
 impl DistributionSet {
     /// Builds all distributions from the current time frames.
     pub fn build(system: &System, frames: &FrameTable) -> Self {
-        let num_types = system.library().len();
-        let mut dist: Vec<Vec<Vec<f64>>> = system
-            .blocks()
-            .map(|(_, b)| vec![vec![0.0; b.time_range() as usize]; num_types])
-            .collect();
+        let index = SlabIndex::from_system(system);
+        let mut data = index.alloc();
         for (o, op) in system.ops() {
-            let d = &mut dist[op.block().index()][op.resource_type().index()];
+            let d = &mut data[index.range(op.block(), op.resource_type())];
             prob::accumulate(d, frames.get(o), system.occupancy(o), 1.0);
         }
-        let version = vec![vec![0; num_types]; dist.len()];
+        let version = vec![0; index.num_pairs()];
         DistributionSet {
-            dist,
+            index,
+            data,
             version,
             epoch: 0,
         }
     }
 
+    /// The arena index shared by all profiles of this set.
+    pub fn index(&self) -> &SlabIndex {
+        &self.index
+    }
+
     /// The distribution of `rtype` in `block`.
     pub fn get(&self, block: BlockId, rtype: ResourceTypeId) -> &[f64] {
-        &self.dist[block.index()][rtype.index()]
+        &self.data[self.index.range(block, rtype)]
     }
 
     /// Mutable access for incremental updates. Conservatively marks the
     /// pair dirty (bumps its version) even if the caller ends up not
-    /// writing.
+    /// writing; callers that can report whether they actually changed a
+    /// value should use [`DistributionSet::write_scoped`] instead.
     pub fn get_mut(&mut self, block: BlockId, rtype: ResourceTypeId) -> &mut [f64] {
+        self.mark_dirty(block, rtype);
+        &mut self.data[self.index.range(block, rtype)]
+    }
+
+    /// Explicitly marks a pair dirty: bumps the set epoch and stamps the
+    /// pair's version with it.
+    pub fn mark_dirty(&mut self, block: BlockId, rtype: ResourceTypeId) {
         self.epoch += 1;
-        self.version[block.index()][rtype.index()] = self.epoch;
-        &mut self.dist[block.index()][rtype.index()]
+        self.version[self.index.pair(block, rtype)] = self.epoch;
+    }
+
+    /// Scoped write access: runs `f` on the pair's profile and marks the
+    /// pair dirty only if `f` reports that it changed a value (first
+    /// element of the returned tuple). This is the precise-dirtying
+    /// counterpart of [`DistributionSet::get_mut`] — read-modify paths
+    /// that end up writing nothing leave the version untouched, so
+    /// downstream force caches keyed on it survive.
+    pub fn write_scoped<R>(
+        &mut self,
+        block: BlockId,
+        rtype: ResourceTypeId,
+        f: impl FnOnce(&mut [f64]) -> (bool, R),
+    ) -> R {
+        let (changed, out) = f(&mut self.data[self.index.range(block, rtype)]);
+        if changed {
+            self.mark_dirty(block, rtype);
+        }
+        out
     }
 
     /// Moves one operation's probability mass from `old` to `new` in its
@@ -80,6 +115,9 @@ impl DistributionSet {
     ) -> (u32, u32) {
         let meta = system.op(op);
         let occ = system.occupancy(op);
+        // A single op's mass genuinely moves whenever old != new (different
+        // widths redistribute the same mass), so the conservative dirty
+        // marking of `get_mut` is exact here.
         let d = self.get_mut(meta.block(), meta.resource_type());
         let len = d.len() as u32;
         prob::accumulate(d, new, occ, 1.0);
@@ -92,7 +130,7 @@ impl DistributionSet {
     /// The version (mutation epoch) of a pair: two equal observations
     /// guarantee the profile did not change in between.
     pub fn version(&self, block: BlockId, rtype: ResourceTypeId) -> u64 {
-        self.version[block.index()][rtype.index()]
+        self.version[self.index.pair(block, rtype)]
     }
 
     /// The set-wide mutation counter (max of all pair versions).
@@ -193,6 +231,26 @@ mod tests {
         // get_mut is conservatively counted as a mutation.
         let _ = ds.get_mut(blk, add);
         assert_eq!(ds.version(blk, add), 2);
+    }
+
+    #[test]
+    fn scoped_write_bumps_only_on_actual_change() {
+        let (sys, blk) = sample();
+        let frames = FrameTable::initial(&sys);
+        let mut ds = DistributionSet::build(&sys, &frames);
+        let add = sys.library().by_name("add").unwrap();
+        // A read-modify pass that writes nothing keeps the version.
+        let peak = ds.write_scoped(blk, add, |d| (false, d.iter().copied().fold(0.0, f64::max)));
+        assert!(peak > 0.0);
+        assert_eq!(ds.version(blk, add), 0);
+        assert_eq!(ds.epoch(), 0);
+        // An actual write reported as such bumps it.
+        ds.write_scoped(blk, add, |d| {
+            d[0] += 1.0;
+            (true, ())
+        });
+        assert_eq!(ds.version(blk, add), 1);
+        assert_eq!(ds.epoch(), 1);
     }
 
     #[test]

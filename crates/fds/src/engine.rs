@@ -69,6 +69,10 @@ pub struct IfdsStats {
     /// Candidate force pairs evaluated inside a parallel fan-out (a subset
     /// of `ops_evaluated`; the rest ran inline on the calling thread).
     pub parallel_evals: u64,
+    /// Candidate force pairs evaluated through the evaluator's batched
+    /// entry point ([`ForceEvaluator::force_batch`]) instead of one
+    /// `force` call per placement. A subset of `ops_evaluated`.
+    pub batched_evals: u64,
     /// Wall time spent in the candidate-evaluation phase.
     pub eval_time: Duration,
     /// Wall time spent committing changes (evaluator update + frames).
@@ -85,6 +89,7 @@ impl IfdsStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.parallel_evals += other.parallel_evals;
+        self.batched_evals += other.batched_evals;
         self.eval_time += other.eval_time;
         self.commit_time += other.commit_time;
         self.total_time += other.total_time;
@@ -112,6 +117,7 @@ impl IfdsStats {
         rec.counter_add("ifds.cache_hits", self.cache_hits);
         rec.counter_add("ifds.cache_misses", self.cache_misses);
         rec.counter_add("ifds.parallel_evals", self.parallel_evals);
+        rec.counter_add("ifds.batched_evals", self.batched_evals);
         rec.counter_add("ifds.eval_us", self.eval_time.as_micros() as u64);
         rec.counter_add("ifds.commit_us", self.commit_time.as_micros() as u64);
         rec.counter_add("ifds.total_us", self.total_time.as_micros() as u64);
@@ -239,6 +245,22 @@ impl<'a> IfdsEngine<'a> {
         eval.force(&self.frames, &changes)
     }
 
+    /// Forces of the two extreme placements of `op` in frame `fr`,
+    /// evaluated as one batch so the evaluator can share state-dependent
+    /// intermediates between them. Bit-identical to two
+    /// [`IfdsEngine::placement_force`] calls.
+    pub fn placement_force_pair<E: ForceEvaluator>(
+        &self,
+        eval: &E,
+        op: OpId,
+        fr: TimeFrame,
+    ) -> (f64, f64) {
+        let lo = self.implied_changes(op, TimeFrame::new(fr.asap, fr.asap));
+        let hi = self.implied_changes(op, TimeFrame::new(fr.alap, fr.alap));
+        let f = eval.force_batch(&self.frames, &[&lo, &hi]);
+        (f[0], f[1])
+    }
+
     /// Runs gradual time-frame reduction to completion and extracts the
     /// schedule, reusing cached candidate forces for operations whose block
     /// frames and evaluator context are untouched since the last iteration.
@@ -251,7 +273,7 @@ impl<'a> IfdsEngine<'a> {
     /// [`IfdsEngine::with_budget`] trips before every frame is fixed. With
     /// the default unlimited budget the run always succeeds.
     pub fn run<E: ForceEvaluator + Sync>(self, eval: &mut E) -> Result<IfdsOutcome, EngineError> {
-        self.run_impl(eval, true, &NoopRecorder)
+        self.run_impl(eval, true, true, &NoopRecorder)
     }
 
     /// [`IfdsEngine::run`] with observability: spans, per-iteration
@@ -269,12 +291,14 @@ impl<'a> IfdsEngine<'a> {
         eval: &mut E,
         rec: &dyn Recorder,
     ) -> Result<IfdsOutcome, EngineError> {
-        self.run_impl(eval, true, rec)
+        self.run_impl(eval, true, true, rec)
     }
 
-    /// Reference run without the candidate-force cache: every candidate is
-    /// re-evaluated each iteration, exactly like the pre-incremental
-    /// engine. Kept as the equivalence oracle for tests and benches.
+    /// Reference run without the candidate-force cache and without batched
+    /// evaluation: every candidate placement is re-evaluated with its own
+    /// [`ForceEvaluator::force`] call each iteration, exactly like the
+    /// pre-incremental engine. Kept as the equivalence oracle for tests
+    /// and benches — matching it pins both the cache and the batched path.
     ///
     /// # Errors
     ///
@@ -284,7 +308,7 @@ impl<'a> IfdsEngine<'a> {
         self,
         eval: &mut E,
     ) -> Result<IfdsOutcome, EngineError> {
-        self.run_impl(eval, false, &NoopRecorder)
+        self.run_impl(eval, false, false, &NoopRecorder)
     }
 
     /// Returns the budget axis that is exhausted given the loop counters,
@@ -307,6 +331,7 @@ impl<'a> IfdsEngine<'a> {
         mut self,
         eval: &mut E,
         use_cache: bool,
+        use_batch: bool,
         rec: &dyn Recorder,
     ) -> Result<IfdsOutcome, EngineError> {
         let run_started = Instant::now();
@@ -426,16 +451,45 @@ impl<'a> IfdsEngine<'a> {
             // below matters for the tie-break.
             let forces: Vec<(f64, f64)> = if threads > 1 && to_eval.len() >= PAR_MIN_PAIRS {
                 stats.parallel_evals += to_eval.len() as u64;
+                if use_batch {
+                    stats.batched_evals += to_eval.len() as u64;
+                }
                 let eval_ref: &E = eval;
                 let batch = &to_eval;
                 let this = &self;
                 rayon::par_map_indexed(batch.len(), |j| {
                     let (o, fr, _) = batch[j];
-                    (
-                        this.placement_force(eval_ref, o, fr.asap),
-                        this.placement_force(eval_ref, o, fr.alap),
-                    )
+                    if use_batch {
+                        // Workers batch per pair: the two extreme
+                        // placements share the evaluator's candidate-
+                        // independent intermediates.
+                        this.placement_force_pair(eval_ref, o, fr)
+                    } else {
+                        (
+                            this.placement_force(eval_ref, o, fr.asap),
+                            this.placement_force(eval_ref, o, fr.alap),
+                        )
+                    }
                 })
+            } else if use_batch && !to_eval.is_empty() {
+                // Sequential batched sweep: score every extreme placement
+                // of the iteration in one `force_batch` call, so the
+                // evaluator shares candidate-independent intermediates
+                // (delta scratch, sibling profiles) across the whole sweep.
+                stats.batched_evals += to_eval.len() as u64;
+                let changesets: Vec<Vec<(OpId, TimeFrame)>> = to_eval
+                    .iter()
+                    .flat_map(|&(o, fr, _)| {
+                        [
+                            self.implied_changes(o, TimeFrame::new(fr.asap, fr.asap)),
+                            self.implied_changes(o, TimeFrame::new(fr.alap, fr.alap)),
+                        ]
+                    })
+                    .collect();
+                let views: Vec<&[(OpId, TimeFrame)]> =
+                    changesets.iter().map(|c| c.as_slice()).collect();
+                let flat = eval.force_batch(&self.frames, &views);
+                flat.chunks_exact(2).map(|c| (c[0], c[1])).collect()
             } else {
                 to_eval
                     .iter()
@@ -667,6 +721,10 @@ mod tests {
         assert!(cached.stats.cache_hits > 0, "two-block run must hit");
         assert_eq!(naive.stats.cache_hits, 0);
         assert_eq!(naive.stats.cache_misses, 0);
+        assert_eq!(
+            naive.stats.batched_evals, 0,
+            "the oracle run must stay on the scalar force path"
+        );
         assert!(cached.stats.ops_evaluated < naive.stats.ops_evaluated);
     }
 
@@ -707,6 +765,10 @@ mod tests {
         assert_eq!(
             out.stats.ops_evaluated, out.stats.cache_misses,
             "with caching on, every fresh evaluation is a miss"
+        );
+        assert_eq!(
+            out.stats.ops_evaluated, out.stats.batched_evals,
+            "run() scores every fresh pair through the batched entry point"
         );
         assert!(out.stats.total_time >= out.stats.eval_time);
         let mut merged = IfdsStats::default();

@@ -33,6 +33,21 @@ pub trait ForceEvaluator {
     /// Lower is better; negative values reduce expected concurrency.
     fn force(&self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) -> f64;
 
+    /// Batched evaluation: the forces of several candidate change sets
+    /// against the *same* committed state, in order.
+    ///
+    /// Must return exactly what [`ForceEvaluator::force`] would return for
+    /// each candidate (bit-identically) — implementations may only share
+    /// state-dependent intermediates across candidates, never change the
+    /// per-candidate arithmetic. The engine's candidate sweep scores the
+    /// two extreme placements of one operation through this entry point;
+    /// evaluators with expensive state folds (the modulo evaluator's
+    /// sibling-block slot maxima) amortize them across the batch. The
+    /// default computes each candidate independently.
+    fn force_batch(&self, frames: &FrameTable, candidates: &[&[(OpId, TimeFrame)]]) -> Vec<f64> {
+        candidates.iter().map(|c| self.force(frames, c)).collect()
+    }
+
     /// Commits `changed`. `frames` is the state *before* the change; the
     /// engine updates its frame table right after this call.
     fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]);
@@ -105,26 +120,48 @@ impl<'a> ClassicEvaluator<'a> {
     }
 
     /// Accumulates the probability deltas of `changed`, grouped per
-    /// `(block, type)`.
-    fn deltas(
+    /// `(block, type)`, into reused buffers: `keys` is rebuilt, and only
+    /// the first `keys.len()` entries of `bufs` are meaningful (spare
+    /// buffers keep their capacity for the next call).
+    fn deltas_into(
         &self,
         frames: &FrameTable,
         changed: &[(OpId, TimeFrame)],
-    ) -> (Vec<(BlockId, ResourceTypeId)>, Vec<Vec<f64>>) {
-        let mut keys: Vec<(BlockId, ResourceTypeId)> = Vec::new();
-        let mut bufs: Vec<Vec<f64>> = Vec::new();
+        keys: &mut Vec<(BlockId, ResourceTypeId)>,
+        bufs: &mut Vec<Vec<f64>>,
+    ) {
+        keys.clear();
         for &(o, nf) in changed {
             let op = self.system.op(o);
             let key = (op.block(), op.resource_type());
             let i = keys.iter().position(|&k| k == key).unwrap_or_else(|| {
                 keys.push(key);
-                bufs.push(vec![0.0; self.system.block(key.0).time_range() as usize]);
+                let len = self.system.block(key.0).time_range() as usize;
+                if bufs.len() < keys.len() {
+                    bufs.push(vec![0.0; len]);
+                } else {
+                    let b = &mut bufs[keys.len() - 1];
+                    b.clear();
+                    b.resize(len, 0.0);
+                }
                 keys.len() - 1
             });
             let occ = self.system.occupancy(o);
             prob::accumulate(&mut bufs[i], nf, occ, 1.0);
             prob::accumulate(&mut bufs[i], frames.get(o), occ, -1.0);
         }
+    }
+
+    /// Allocating wrapper around [`ClassicEvaluator::deltas_into`].
+    fn deltas(
+        &self,
+        frames: &FrameTable,
+        changed: &[(OpId, TimeFrame)],
+    ) -> (Vec<(BlockId, ResourceTypeId)>, Vec<Vec<f64>>) {
+        let mut keys = Vec::new();
+        let mut bufs = Vec::new();
+        self.deltas_into(frames, changed, &mut keys, &mut bufs);
+        bufs.truncate(keys.len());
         (keys, bufs)
     }
 
@@ -139,12 +176,13 @@ impl<'a> ClassicEvaluator<'a> {
         let mut total = 0.0;
         for (i, &(b, k)) in keys.iter().enumerate() {
             let w = self.config.spring_weights.weight(self.system.library(), k);
-            let d = rebuilt.get(b, k);
-            for (t, &x) in bufs[i].iter().enumerate() {
-                if x != 0.0 {
-                    total += w * (d[t] + self.config.lookahead * x) * x;
-                }
-            }
+            total = crate::slab::force_sum(
+                total,
+                rebuilt.get(b, k),
+                &bufs[i],
+                w,
+                self.config.lookahead,
+            );
         }
         total
     }
@@ -156,14 +194,40 @@ impl ForceEvaluator for ClassicEvaluator<'_> {
         let mut total = 0.0;
         for (i, &(b, k)) in keys.iter().enumerate() {
             let w = self.config.spring_weights.weight(self.system.library(), k);
-            let d = self.dist.get(b, k);
-            for (t, &x) in bufs[i].iter().enumerate() {
-                if x != 0.0 {
-                    total += w * (d[t] + self.config.lookahead * x) * x;
-                }
-            }
+            total = crate::slab::force_sum(
+                total,
+                self.dist.get(b, k),
+                &bufs[i],
+                w,
+                self.config.lookahead,
+            );
         }
         total
+    }
+
+    /// Batched scoring sharing the delta scratch buffers across
+    /// candidates; the per-candidate arithmetic is identical to
+    /// [`ForceEvaluator::force`], so the results are bit-identical.
+    fn force_batch(&self, frames: &FrameTable, candidates: &[&[(OpId, TimeFrame)]]) -> Vec<f64> {
+        let mut keys = Vec::new();
+        let mut bufs = Vec::new();
+        let mut out = Vec::with_capacity(candidates.len());
+        for &changed in candidates {
+            self.deltas_into(frames, changed, &mut keys, &mut bufs);
+            let mut total = 0.0;
+            for (i, &(b, k)) in keys.iter().enumerate() {
+                let w = self.config.spring_weights.weight(self.system.library(), k);
+                total = crate::slab::force_sum(
+                    total,
+                    self.dist.get(b, k),
+                    &bufs[i],
+                    w,
+                    self.config.lookahead,
+                );
+            }
+            out.push(total);
+        }
+        out
     }
 
     fn commit(&mut self, frames: &FrameTable, changed: &[(OpId, TimeFrame)]) {

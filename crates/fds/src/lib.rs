@@ -46,6 +46,7 @@ pub mod list;
 pub mod prob;
 pub mod schedule;
 pub mod schedule_io;
+pub mod slab;
 
 /// Thread-count control for every parallel scheduling primitive in the
 /// workspace (the engine's candidate sweep, the design-space exploration

@@ -92,6 +92,51 @@ fn coupled_schedules_are_bit_identical_across_thread_counts() {
     threads::set(0);
 }
 
+/// The batched candidate sweep (`run`, which scores placements through
+/// `ForceEvaluator::force_batch` and the candidate cache) must match the
+/// scalar, cache-free reference run (`run_naive`) bit-identically at
+/// every thread count — pinning batching, caching and parallelism in one
+/// comparison.
+#[test]
+fn batched_runs_match_scalar_reference_across_thread_counts() {
+    let _guard = threads_lock();
+    for (seed, sys) in test_systems().into_iter().take(3) {
+        threads::set(1);
+        let Some(reference) = run_naive_any(&sys) else {
+            continue;
+        };
+        for n in THREAD_COUNTS {
+            threads::set(n);
+            let run = schedule_any(&sys);
+            assert_eq!(
+                reference.0, run.0,
+                "seed {seed}, threads {n}: batched starts must equal the scalar reference"
+            );
+            assert_eq!(
+                reference.1, run.1,
+                "seed {seed}, threads {n}: iteration counts must match the scalar reference"
+            );
+        }
+    }
+    threads::set(0);
+}
+
+/// `schedule_any`'s ladder, but through the scalar cache-free oracle so
+/// both paths pick the same spec.
+fn run_naive_any(sys: &System) -> Option<(Vec<Option<u32>>, u64)> {
+    for period in [2u32, 3, 4] {
+        let spec = SharingSpec::all_global(sys, period);
+        if let Ok(out) = ModuloScheduler::new(sys, spec).unwrap().run_naive() {
+            return Some((out.schedule.starts().to_vec(), out.iterations));
+        }
+    }
+    let out = ModuloScheduler::new(sys, SharingSpec::all_local(sys))
+        .unwrap()
+        .run_naive()
+        .ok()?;
+    Some((out.schedule.starts().to_vec(), out.iterations))
+}
+
 #[test]
 fn explore_winners_are_bit_identical_across_thread_counts() {
     let _guard = threads_lock();

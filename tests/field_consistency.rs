@@ -2,16 +2,146 @@
 //! modified force model stays bit-equal to a from-scratch rebuild across
 //! arbitrary commit sequences. This is the invariant the whole modified
 //! force rests on — a drifting field would silently corrupt every force.
+//!
+//! The slab refactor adds a second family of properties: the branch-free
+//! fold kernels (and the fused tentative-delta path built from them) must
+//! be *bit-identical* to the seed's jagged branchy folds, which are kept
+//! behind the `naive-oracle` feature exactly for this comparison. Ragged
+//! profile lengths, `ρ = 1` and `time_range < ρ` are all in range.
 
 use proptest::prelude::*;
 
 use tcms::fds::{FdsConfig, ForceEvaluator};
 use tcms::ir::generators::{random_system, RandomSystemConfig};
 use tcms::ir::{FrameTable, TimeFrame};
-use tcms::modulo::{ModuloEvaluator, ModuloField, SharingSpec};
+use tcms::modulo::{kernel, ModuloEvaluator, ModuloField, SharingSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chunked modulo-max kernel equals the seed's strided branchy
+    /// fold bitwise, for every (ragged) length/period combination.
+    /// (The vendored proptest only generates integer ranges, so values
+    /// are dyadic rationals — exact in f64, which is what bitwise
+    /// comparison wants anyway.)
+    #[test]
+    fn modulo_max_kernel_matches_legacy_bitwise(
+        raw in prop::collection::vec(0u32..64, 0..40),
+        period in 1u32..12,
+    ) {
+        let dist: Vec<f64> = raw.iter().map(|&v| f64::from(v) * 0.0625).collect();
+        let legacy = kernel::modulo_max_legacy(&dist, period);
+        let mut out = vec![0.0; period as usize];
+        kernel::modulo_max_into(&dist, &mut out);
+        for (slot, (a, b)) in out.iter().zip(&legacy).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "len {} period {period} slot {slot}: kernel {a} vs legacy {b}",
+                dist.len()
+            );
+        }
+    }
+
+    /// The fused delta fold (`max(dist + delta)` without materializing
+    /// the sum) equals materializing the sum and folding it with the
+    /// legacy kernel — bitwise, including deltas shorter than the
+    /// distribution and periods longer than both.
+    #[test]
+    fn fused_delta_fold_matches_materialized_legacy_bitwise(
+        raw_dist in prop::collection::vec(0u32..64, 0..32),
+        raw_delta in prop::collection::vec(0u32..64, 0..32),
+        period in 1u32..12,
+    ) {
+        let dist: Vec<f64> = raw_dist.iter().map(|&v| f64::from(v) * 0.0625).collect();
+        // Deltas in [-2, +2), signed via the raw value's parity-free split.
+        let delta: Vec<f64> = raw_delta
+            .iter()
+            .map(|&v| (f64::from(v) - 32.0) * 0.0625)
+            .collect();
+        prop_assume!(delta.len() <= dist.len());
+        let mut summed = dist.clone();
+        for (d, x) in summed.iter_mut().zip(&delta) {
+            *d += x;
+        }
+        let legacy = kernel::modulo_max_legacy(&summed, period);
+        let mut out = vec![0.0; period as usize];
+        kernel::modulo_max_delta_into(&dist, &delta, &mut out);
+        for (slot, (a, b)) in out.iter().zip(&legacy).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "len {}/{} period {period} slot {slot}: fused {a} vs legacy {b}",
+                dist.len(), delta.len()
+            );
+        }
+    }
+
+    /// The in-place slot-max kernel equals the seed's allocating fold.
+    #[test]
+    fn slot_max_kernel_matches_legacy_bitwise(
+        pairs in prop::collection::vec((0u32..64, 0u32..64), 0..24),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|&(x, _)| f64::from(x) * 0.0625).collect();
+        let b: Vec<f64> = pairs.iter().map(|&(_, y)| f64::from(y) * 0.0625).collect();
+        let legacy = kernel::slot_max_legacy(&a, &b);
+        let mut out = a.clone();
+        kernel::slot_max_into(&mut out, &b);
+        for (slot, (x, y)) in out.iter().zip(&legacy).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "slot {slot}");
+        }
+    }
+
+    /// The slab tentative-group-delta path (fused fold + shared sibling
+    /// profile) equals the seed's per-candidate jagged implementation
+    /// bitwise, on random systems with ragged block lengths — including
+    /// `ρ = 1` and blocks whose time range is below the period.
+    #[test]
+    fn tentative_group_delta_matches_legacy_on_random_systems(
+        seed in 0u64..500,
+        period in 1u32..7,
+        probe in 0usize..64,
+        side in 0u32..2,
+    ) {
+        let cfg = RandomSystemConfig {
+            processes: 3,
+            blocks_per_process: 1,
+            layers: 3,
+            ops_per_layer: (1, 3),
+            edge_prob: 0.4,
+            slack: 2.5,
+            type_weights: [2, 1, 2],
+        };
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(spec.validate(&system).is_ok());
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+
+        let frames = FrameTable::initial(&system);
+        let field = ModuloField::new(&system, spec.clone(), &frames);
+
+        let ops: Vec<_> = system.op_ids().collect();
+        let o = ops[probe % ops.len()];
+        let op = system.op(o);
+        let (b, k) = (op.block(), op.resource_type());
+        let process = system.block(b).process();
+        prop_assume!(spec.is_global_for(k, process));
+
+        // Delta of pinning the probe op to one frame end.
+        let fr = frames.get(o);
+        let pin = if side == 0 { fr.asap } else { fr.alap };
+        let mut delta = vec![0.0; system.block(b).time_range() as usize];
+        let occ = system.occupancy(o);
+        tcms::fds::prob::accumulate(&mut delta, TimeFrame::new(pin, pin), occ, 1.0);
+        tcms::fds::prob::accumulate(&mut delta, fr, occ, -1.0);
+
+        let slab = field.tentative_group_delta(b, k, &delta);
+        let legacy = field.tentative_group_delta_legacy(b, k, &delta);
+        for (slot, (a, l)) in slab.iter().zip(&legacy).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), l.to_bits(),
+                "seed {seed} period {period} slot {slot}: slab {a} vs legacy {l}"
+            );
+        }
+    }
 
     #[test]
     fn incremental_field_matches_rebuild(

@@ -188,6 +188,52 @@ proptest! {
         }
     }
 
+    /// Layer 2c: batched candidate evaluation is bit-identical to one
+    /// `force()` call per candidate — and both to the from-scratch
+    /// oracle — after arbitrary commit sequences. This is the contract
+    /// the engine's batched sweep stands on.
+    #[test]
+    fn batched_forces_match_scalar_and_naive(
+        seed in 0u64..500,
+        period in 2u32..5,
+        shrinks in prop::collection::vec((0usize..64, 0u32..4), 0..8),
+    ) {
+        let (system, _) = random_system(&small_config(), seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+
+        let mut frames = FrameTable::initial(&system);
+        let mut eval =
+            ModuloEvaluator::new(&system, spec, FdsConfig::default(), &frames);
+        for (op_pick, side) in shrinks {
+            let changed = random_shrink(&system, &frames, op_pick, side);
+            eval.commit(&frames, &changed);
+            for &(q, f) in &changed {
+                frames.set(q, f);
+            }
+        }
+
+        // Both frame ends of every op, scored as one batch.
+        let mut candidates: Vec<Vec<(OpId, TimeFrame)>> = Vec::new();
+        for o in system.op_ids() {
+            let fr = frames.get(o);
+            candidates.push(vec![(o, TimeFrame::new(fr.asap, fr.asap))]);
+            candidates.push(vec![(o, TimeFrame::new(fr.alap, fr.alap))]);
+        }
+        let views: Vec<&[(OpId, TimeFrame)]> =
+            candidates.iter().map(|c| c.as_slice()).collect();
+        let batched = eval.force_batch(&frames, &views);
+        prop_assert_eq!(batched.len(), views.len());
+        for (i, cand) in views.iter().enumerate() {
+            let scalar = eval.force(&frames, cand);
+            prop_assert_eq!(
+                batched[i].to_bits(), scalar.to_bits(),
+                "seed {}: candidate {} batched {} vs scalar {}",
+                seed, i, batched[i], scalar
+            );
+        }
+    }
+
     /// Layer 3: the cached scheduler run is bit-identical to the
     /// cache-free reference run — same start times, same iteration
     /// count, same allocation — on random multi-process systems.
@@ -217,4 +263,29 @@ proptest! {
         prop_assert!(cached.stats.ops_evaluated <= naive.stats.ops_evaluated);
         prop_assert_eq!(naive.stats.cache_hits, 0);
     }
+}
+
+/// The precise-dirtying commit path (distribution versions bump only when
+/// bits actually change; context stamps are gated on `dist_changed`) must
+/// keep the paper-system cache hit-rate at or above its measured level —
+/// a regression here silently degrades the incremental engine without
+/// failing any equivalence test.
+#[test]
+fn paper_system_cache_hit_rate_clears_floor() {
+    let (sys, _) = tcms::ir::generators::paper_system().unwrap();
+    let spec = SharingSpec::all_global(&sys, 5);
+    let out = ModuloScheduler::new(&sys, spec).unwrap().run().unwrap();
+    assert!(
+        out.stats.cache_hits > 0,
+        "the paper system must hit the cache"
+    );
+    let rate = out.stats.hit_rate();
+    assert!(
+        rate >= 0.12,
+        "paper-system hit rate regressed: {rate:.3} (measured 0.130 at the slab refactor)"
+    );
+    assert_eq!(
+        out.stats.batched_evals, out.stats.ops_evaluated,
+        "every fresh pair must go through the batched entry point"
+    );
 }
