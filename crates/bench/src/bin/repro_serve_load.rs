@@ -5,7 +5,12 @@
 //!
 //! ```text
 //! repro_serve_load [--clients N] [--requests N] [--workers N] [--out FILE]
+//!                  [--journal-dir DIR]
 //! ```
+//!
+//! `--journal-dir` turns on workload-journal capture during the run —
+//! the A/B against a capture-less run measures the journal's hot-path
+//! overhead, and the captured file feeds `repro_replay --journal`.
 //!
 //! Each client keeps exactly one request in flight, so `--clients 100`
 //! (the default) holds 100 concurrent in-flight requests for the whole
@@ -80,6 +85,7 @@ fn main() {
     let mut requests = 5usize;
     let mut workers = 0usize;
     let mut out_path = "BENCH_serve.json".to_owned();
+    let mut journal_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let next = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -92,6 +98,7 @@ fn main() {
             "--requests" => requests = next(&mut it, "--requests").parse().expect("bad count"),
             "--workers" => workers = next(&mut it, "--workers").parse().expect("bad count"),
             "--out" => out_path = next(&mut it, "--out"),
+            "--journal-dir" => journal_dir = Some(next(&mut it, "--journal-dir")),
             other => panic!("unknown flag `{other}`"),
         }
     }
@@ -103,6 +110,7 @@ fn main() {
         // Every client keeps one request in flight; leave headroom so
         // the run measures service, not shedding.
         queue_capacity: clients + 16,
+        journal_dir: journal_dir.as_deref().map(std::path::PathBuf::from),
         ..ServeConfig::default()
     })
     .expect("daemon starts");
@@ -171,6 +179,7 @@ fn main() {
 
     let stats = server.cache().stats();
     let scheduler_runs = server.counter("serve.scheduler.runs");
+    let journal_stats = server.journal_stats();
     server.shutdown();
     server.wait().expect("clean shutdown");
 
@@ -224,6 +233,13 @@ fn main() {
     doc.insert("scheduler_runs".to_owned(), count(scheduler_runs));
     doc.insert("errors".to_owned(), count(errors as u64));
     doc.insert("lost_responses".to_owned(), count(lost as u64));
+    if let Some(j) = journal_stats {
+        let mut journal = BTreeMap::new();
+        journal.insert("recorded".to_owned(), count(j.recorded));
+        journal.insert("dropped".to_owned(), count(j.dropped));
+        doc.insert("journal".to_owned(), JsonValue::Object(journal));
+        println!("journal: {} recorded, {} dropped", j.recorded, j.dropped);
+    }
     let rendered = format!("{}\n", json::to_string(&JsonValue::Object(doc)));
     // Self-check: the report must parse back.
     json::parse(&rendered).expect("valid JSON report");

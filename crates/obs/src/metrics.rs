@@ -6,8 +6,17 @@
 //! legacy counter blocks fold into it through plain
 //! [`MetricsRegistry::counter_add`] calls.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+use crate::json::JsonValue;
+
+/// Metric names are `Cow` so the registry serves both compile-time
+/// instrumentation sites (`&'static str`, zero-alloc) and registries
+/// reconstructed from a wire snapshot (owned `String`, e.g. the `tcms
+/// stats` client re-hydrating a daemon's registry from JSON).
+pub type MetricName = Cow<'static, str>;
 
 /// Default histogram bucket upper bounds: half-decade steps covering
 /// sub-microsecond to multi-second durations (values are unit-free; the
@@ -138,14 +147,48 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Rebuilds a histogram from serialized parts (the inverse of
+    /// [`Histogram::bounds`]/[`Histogram::counts`]/[`Histogram::sum`]
+    /// plus min/max, as emitted by [`MetricsRegistry::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-ascending bounds and a counts length that does not
+    /// cover every bucket plus overflow.
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Result<Self, String> {
+        if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("histogram bounds must be non-empty and strictly ascending".into());
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram counts length {} does not match {} bounds + overflow",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            sum,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
 }
 
 /// Registry of named counters, gauges and histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, f64>,
+    histograms: BTreeMap<MetricName, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -155,20 +198,20 @@ impl MetricsRegistry {
     }
 
     /// Adds `delta` to the counter `name` (created at 0).
-    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+    pub fn counter_add(&mut self, name: impl Into<MetricName>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
     }
 
     /// Sets the gauge `name`.
-    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn gauge_set(&mut self, name: impl Into<MetricName>, value: f64) {
+        self.gauges.insert(name.into(), value);
     }
 
     /// Records into the histogram `name` (created with
     /// [`DEFAULT_BUCKETS`] on first use).
-    pub fn histogram_record(&mut self, name: &'static str, value: f64) {
+    pub fn histogram_record(&mut self, name: impl Into<MetricName>, value: f64) {
         self.histograms
-            .entry(name)
+            .entry(name.into())
             .or_insert_with(|| Histogram::new(DEFAULT_BUCKETS))
             .record(value);
     }
@@ -189,18 +232,18 @@ impl MetricsRegistry {
     }
 
     /// All counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
     /// All gauges in name order.
-    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
-        self.gauges.iter().map(|(&k, &v)| (k, v))
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
     /// All histograms in name order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(&k, v)| (k, v))
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_ref(), v))
     }
 
     /// Whether nothing was recorded.
@@ -242,11 +285,114 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Serializes the full registry as a [`JsonValue`] object with
+    /// `counters`, `gauges` and `histograms` members (each keyed by
+    /// metric name, in `BTreeMap` order so the output is deterministic).
+    /// This is the wire form the daemon's `stats` action ships; the
+    /// client rebuilds an equal registry with
+    /// [`MetricsRegistry::from_json`].
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = BTreeMap::new();
+        for (name, v) in &self.counters {
+            counters.insert(name.to_string(), JsonValue::Number(*v as f64));
+        }
+        let mut gauges = BTreeMap::new();
+        for (name, v) in &self.gauges {
+            gauges.insert(name.to_string(), JsonValue::Number(*v));
+        }
+        let mut histograms = BTreeMap::new();
+        for (name, h) in &self.histograms {
+            let mut obj = BTreeMap::new();
+            obj.insert(
+                "bounds".to_string(),
+                JsonValue::Array(h.bounds().iter().map(|&b| JsonValue::Number(b)).collect()),
+            );
+            obj.insert(
+                "counts".to_string(),
+                JsonValue::Array(
+                    h.counts()
+                        .iter()
+                        .map(|&c| JsonValue::Number(c as f64))
+                        .collect(),
+                ),
+            );
+            obj.insert("sum".to_string(), JsonValue::Number(h.sum()));
+            if let Some(min) = h.min() {
+                obj.insert("min".to_string(), JsonValue::Number(min));
+            }
+            if let Some(max) = h.max() {
+                obj.insert("max".to_string(), JsonValue::Number(max));
+            }
+            histograms.insert(name.to_string(), JsonValue::Object(obj));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("counters".to_string(), JsonValue::Object(counters));
+        root.insert("gauges".to_string(), JsonValue::Object(gauges));
+        root.insert("histograms".to_string(), JsonValue::Object(histograms));
+        JsonValue::Object(root)
+    }
+
+    /// Rebuilds a registry from the [`MetricsRegistry::to_json`] wire
+    /// form. The result compares equal to the source registry (counters
+    /// survive exactly up to 2^53, the `f64` integer range).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing member, mistyped value or malformed
+    /// histogram.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let mut reg = MetricsRegistry::new();
+        let member = |key: &str| -> Result<&BTreeMap<String, JsonValue>, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| format!("metrics object lacks `{key}`"))
+        };
+        for (name, v) in member("counters")? {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("counter `{name}` is not a number"))?;
+            reg.counters.insert(Cow::Owned(name.clone()), n as u64);
+        }
+        for (name, v) in member("gauges")? {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("gauge `{name}` is not a number"))?;
+            reg.gauges.insert(Cow::Owned(name.clone()), n);
+        }
+        for (name, v) in member("histograms")? {
+            let nums = |key: &str| -> Result<Vec<f64>, String> {
+                v.get(key)
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("histogram `{name}` lacks `{key}`"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| format!("histogram `{name}`: non-numeric `{key}`"))
+                    })
+                    .collect()
+            };
+            let bounds = nums("bounds")?;
+            let counts: Vec<u64> = nums("counts")?.into_iter().map(|c| c as u64).collect();
+            let sum = v
+                .get("sum")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("histogram `{name}` lacks `sum`"))?;
+            let min = v.get("min").and_then(JsonValue::as_f64);
+            let max = v.get("max").and_then(JsonValue::as_f64);
+            let h = Histogram::from_parts(bounds, counts, sum, min, max)
+                .map_err(|e| format!("histogram `{name}`: {e}"))?;
+            reg.histograms.insert(Cow::Owned(name.clone()), h);
+        }
+        Ok(reg)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json;
 
     #[test]
     fn counters_and_gauges() {
@@ -298,5 +444,62 @@ mod tests {
         assert!(MetricsRegistry::new()
             .render_summary()
             .contains("no metrics"));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("serve.requests", 17);
+        m.counter_add("serve.cache.hit", 9);
+        m.gauge_set("serve.queue.depth", 3.0);
+        for v in [0.5, 12.0, 700.0, 2_000_000.0] {
+            m.histogram_record("serve.total_us.hit", v);
+        }
+        // An empty histogram (no min/max members on the wire).
+        m.histograms
+            .insert(Cow::Borrowed("empty"), Histogram::new(DEFAULT_BUCKETS));
+
+        let wire = json::to_string(&m.to_json());
+        let back = MetricsRegistry::from_json(&json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, m);
+        // The reconstruction renders the same summary table.
+        assert_eq!(back.render_summary(), m.render_summary());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        let bad = [
+            "{}",
+            r#"{"counters":{},"gauges":{}}"#,
+            r#"{"counters":{"a":"x"},"gauges":{},"histograms":{}}"#,
+            r#"{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1.0],"counts":[1],"sum":0}}}"#,
+            r#"{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[2.0,1.0],"counts":[0,0,0],"sum":0}}}"#,
+        ];
+        for doc in bad {
+            let v = json::parse(doc).unwrap();
+            assert!(MetricsRegistry::from_json(&v).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn histogram_from_parts_validates() {
+        assert!(Histogram::from_parts(vec![1.0, 2.0], vec![0, 0, 0], 0.0, None, None).is_ok());
+        assert!(Histogram::from_parts(vec![], vec![0], 0.0, None, None).is_err());
+        assert!(Histogram::from_parts(vec![2.0, 1.0], vec![0, 0, 0], 0.0, None, None).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![0], 0.0, None, None).is_err());
+        // Rebuilt histograms keep recording correctly.
+        let mut h =
+            Histogram::from_parts(vec![10.0], vec![1, 0], 5.0, Some(5.0), Some(5.0)).unwrap();
+        h.record(50.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(50.0));
+    }
+
+    #[test]
+    fn owned_and_static_names_collide_correctly() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", 1);
+        m.counter_add(String::from("x"), 2);
+        assert_eq!(m.counter("x"), 3);
     }
 }

@@ -225,6 +225,128 @@ pub fn validate_jsonl(input: &str) -> Result<usize, String> {
     Ok(records.len())
 }
 
+/// Magic header value identifying a `tcms-serve` workload journal.
+/// Duplicated (deliberately) by the serve crate's writer; the serve test
+/// suite asserts the two stay in sync by running captured journals
+/// through [`validate_journal`].
+pub const JOURNAL_MAGIC: &str = "tcms-serve-journal";
+
+/// Journal schema version this validator understands.
+pub const JOURNAL_VERSION: f64 = 1.0;
+
+/// Outcome of [`validate_journal`] on a well-formed journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalCheck {
+    /// Number of valid records (the header line does not count).
+    pub records: usize,
+    /// Whether the final line was torn (unparseable or schema-invalid)
+    /// and skipped. A torn tail is expected after a crash and is not an
+    /// error; torn lines anywhere else are.
+    pub torn_tail: bool,
+}
+
+fn journal_record_error(line_no: usize, rec: &JsonValue) -> Option<String> {
+    let num = |key: &str| rec.get(key).and_then(JsonValue::as_f64);
+    let string = |key: &str| rec.get(key).and_then(JsonValue::as_str);
+    if rec.as_object().is_none() {
+        return Some(format!("line {line_no}: record is not an object"));
+    }
+    for key in [
+        "seq", "ts_us", "code", "queue_us", "exec_us", "total_us", "dropped",
+    ] {
+        if num(key).is_none() {
+            return Some(format!("line {line_no}: missing numeric `{key}`"));
+        }
+    }
+    for key in ["action", "outcome", "request"] {
+        match string(key) {
+            Some(s) if !s.is_empty() => {}
+            _ => return Some(format!("line {line_no}: missing string `{key}`")),
+        }
+    }
+    // Optional members must still be well-typed when present.
+    for key in ["disposition", "spec", "config"] {
+        match rec.get(key) {
+            None | Some(JsonValue::Null) | Some(JsonValue::String(_)) => {}
+            Some(_) => return Some(format!("line {line_no}: `{key}` must be a string or null")),
+        }
+    }
+    if let Some(spec) = string("spec") {
+        if spec.len() != 32 || !spec.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Some(format!("line {line_no}: `spec` is not a 32-hex-digit hash"));
+        }
+    }
+    None
+}
+
+/// Validates a `tcms-serve` workload journal: a magic header line
+/// followed by one JSON record per request with strictly increasing
+/// `seq`, non-decreasing `ts_us`/`dropped`, and the capture schema
+/// (action/outcome/timings/raw request). The final line may be torn —
+/// a crash mid-append leaves a partial line, which loaders skip — but a
+/// malformed line anywhere else fails validation.
+///
+/// # Errors
+///
+/// Describes the first schema or monotonicity violation with its
+/// 1-based line number.
+pub fn validate_journal(input: &str) -> Result<JournalCheck, String> {
+    let lines: Vec<&str> = input.lines().collect();
+    let Some((&header, records)) = lines.split_first() else {
+        return Err("empty journal: missing header line".into());
+    };
+    let h = json::parse(header).map_err(|e| format!("line 1: bad header: {e}"))?;
+    if h.get("magic").and_then(JsonValue::as_str) != Some(JOURNAL_MAGIC) {
+        return Err(format!("line 1: header magic is not {JOURNAL_MAGIC:?}"));
+    }
+    if h.get("version").and_then(JsonValue::as_f64) != Some(JOURNAL_VERSION) {
+        return Err("line 1: unsupported journal version".into());
+    }
+
+    let mut check = JournalCheck {
+        records: 0,
+        torn_tail: false,
+    };
+    let mut prev_seq: Option<f64> = None;
+    let mut prev_ts = 0.0;
+    let mut prev_dropped = 0.0;
+    for (i, line) in records.iter().enumerate() {
+        let line_no = i + 2;
+        let is_last = i + 1 == records.len();
+        let problem = match json::parse(line) {
+            Ok(rec) => match journal_record_error(line_no, &rec) {
+                Some(e) => Some(e),
+                None => {
+                    let seq = rec.get("seq").and_then(JsonValue::as_f64).unwrap();
+                    let ts = rec.get("ts_us").and_then(JsonValue::as_f64).unwrap();
+                    let dropped = rec.get("dropped").and_then(JsonValue::as_f64).unwrap();
+                    if prev_seq.is_some_and(|p| seq <= p) {
+                        Some(format!(
+                            "line {line_no}: seq {seq} is not strictly increasing"
+                        ))
+                    } else if ts < prev_ts {
+                        Some(format!("line {line_no}: ts_us went backwards"))
+                    } else if dropped < prev_dropped {
+                        Some(format!("line {line_no}: dropped count went backwards"))
+                    } else {
+                        prev_seq = Some(seq);
+                        prev_ts = ts;
+                        prev_dropped = dropped;
+                        None
+                    }
+                }
+            },
+            Err(e) => Some(format!("line {line_no}: {e}")),
+        };
+        match problem {
+            None => check.records += 1,
+            Some(_) if is_last => check.torn_tail = true,
+            Some(e) => return Err(e),
+        }
+    }
+    Ok(check)
+}
+
 fn chrome_args(out: &mut String, fields: &[(&'static str, Value)]) {
     out.push_str(",\"args\":");
     write_fields(out, fields);
@@ -520,6 +642,87 @@ mod tests {
             {\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1},\
             {\"name\":\"b\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":1}]}";
         assert!(validate_chrome_trace(crossed).is_err());
+    }
+
+    fn journal_line(seq: u64, ts: u64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"ts_us\":{ts},\"action\":\"schedule\",\
+             \"spec\":\"00112233445566778899aabbccddeeff\",\"config\":\"00000000deadbeef\",\
+             \"disposition\":\"miss\",\"outcome\":\"ok\",\"code\":0,\
+             \"queue_us\":5,\"exec_us\":100,\"total_us\":105,\"dropped\":0,\
+             \"request\":\"{{\\\"id\\\":\\\"r{seq}\\\"}}\"}}"
+        )
+    }
+
+    fn journal_doc(lines: &[String]) -> String {
+        let mut out = format!("{{\"magic\":\"{JOURNAL_MAGIC}\",\"version\":1}}\n");
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn journal_validator_accepts_well_formed_capture() {
+        let doc = journal_doc(&[
+            journal_line(0, 10),
+            journal_line(1, 20),
+            journal_line(2, 20),
+        ]);
+        let check = validate_journal(&doc).unwrap();
+        assert_eq!(check.records, 3);
+        assert!(!check.torn_tail);
+    }
+
+    #[test]
+    fn journal_validator_tolerates_torn_tail_only() {
+        // A torn final line (partial write after a crash) is skipped...
+        let mut doc = journal_doc(&[journal_line(0, 10)]);
+        doc.push_str("{\"seq\":1,\"ts_us\":20,\"act");
+        let check = validate_journal(&doc).unwrap();
+        assert_eq!(check.records, 1);
+        assert!(check.torn_tail);
+        // ...but the same garbage mid-file is corruption, not a tear.
+        let doc = journal_doc(&["{\"seq\":1,\"ts_us\":20,\"act".into(), journal_line(2, 30)]);
+        assert!(validate_journal(&doc).is_err());
+    }
+
+    #[test]
+    fn journal_validator_enforces_schema_and_monotonicity() {
+        // Missing header.
+        assert!(validate_journal("").is_err());
+        assert!(validate_journal(&journal_line(0, 0)).is_err());
+        // Foreign magic.
+        assert!(validate_journal("{\"magic\":\"other\",\"version\":1}\n").is_err());
+        // seq must be strictly increasing (mid-file).
+        let doc = journal_doc(&[
+            journal_line(1, 10),
+            journal_line(1, 20),
+            journal_line(2, 30),
+        ]);
+        assert!(validate_journal(&doc)
+            .unwrap_err()
+            .contains("strictly increasing"));
+        // ts_us must not go backwards.
+        let doc = journal_doc(&[
+            journal_line(0, 20),
+            journal_line(1, 10),
+            journal_line(2, 30),
+        ]);
+        assert!(validate_journal(&doc).unwrap_err().contains("ts_us"));
+        // A record without the raw request line cannot drive replay.
+        let stripped = journal_line(0, 10).replace("\"request\"", "\"req\"");
+        let doc = journal_doc(&[stripped, journal_line(1, 20)]);
+        assert!(validate_journal(&doc).unwrap_err().contains("request"));
+        // A bad spec hash is flagged.
+        let shorthash = journal_line(0, 10).replace("00112233445566778899aabbccddeeff", "abc");
+        let doc = journal_doc(&[shorthash, journal_line(1, 20)]);
+        assert!(validate_journal(&doc).unwrap_err().contains("spec"));
+        // An empty journal (header only) is valid: zero records.
+        let check = validate_journal(&journal_doc(&[])).unwrap();
+        assert_eq!(check.records, 0);
+        assert!(!check.torn_tail);
     }
 
     #[test]

@@ -69,8 +69,19 @@ pub struct CacheStats {
     pub insertions: AtomicU64,
 }
 
-/// A point-in-time copy of [`CacheStats`].
+/// A point-in-time view of a single cache shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Entries currently resident in this shard.
+    pub occupancy: usize,
+    /// Maximum entries this shard holds before evicting.
+    pub capacity: usize,
+    /// Entries this shard has evicted since startup.
+    pub evictions: u64,
+}
+
+/// A point-in-time copy of [`CacheStats`] plus per-shard occupancy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CacheStatsSnapshot {
     /// Lookups answered from memory.
     pub hits: u64,
@@ -78,10 +89,13 @@ pub struct CacheStatsSnapshot {
     pub misses: u64,
     /// Lookups coalesced onto an in-flight identical job.
     pub coalesced: u64,
-    /// Entries evicted by the LRU policy.
+    /// Entries evicted by the LRU policy (sum over shards).
     pub evictions: u64,
     /// Entries inserted.
     pub insertions: u64,
+    /// Per-shard occupancy/capacity/evictions, in shard order. Skewed
+    /// occupancy here is the signal the ROADMAP's cache tuner feeds on.
+    pub shards: Vec<ShardStats>,
 }
 
 impl CacheStatsSnapshot {
@@ -109,6 +123,7 @@ struct Entry {
 struct Shard {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
+    evictions: u64,
 }
 
 enum FlightState {
@@ -188,6 +203,7 @@ impl SchedCache {
                 .map(|(k, _)| *k)
             {
                 shard.map.remove(&oldest);
+                shard.evictions += 1;
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -300,15 +316,29 @@ impl SchedCache {
         out
     }
 
-    /// A point-in-time copy of the behaviour counters.
+    /// A point-in-time copy of the behaviour counters plus per-shard
+    /// occupancy (locks each shard briefly, one at a time).
     #[must_use]
     pub fn stats(&self) -> CacheStatsSnapshot {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+                ShardStats {
+                    occupancy: shard.map.len(),
+                    capacity: self.per_shard_cap,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect();
         CacheStatsSnapshot {
             hits: self.stats.hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             insertions: self.stats.insertions.load(Ordering::Relaxed),
+            shards,
         }
     }
 }
@@ -406,6 +436,44 @@ mod tests {
         // Late arrivals may hit the already-resolved entry instead of
         // coalescing; either way no second compute happened.
         assert_eq!(s.coalesced + s.hits, 7);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_before_any_lookup() {
+        let s = CacheStatsSnapshot::default();
+        let rate = s.hit_rate();
+        assert!(!rate.is_nan(), "zero lookups must not divide by zero");
+        assert_eq!(rate, 0.0);
+        // A fresh cache's snapshot agrees.
+        assert_eq!(SchedCache::new(8, 2).stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reports_per_shard_occupancy_and_evictions() {
+        let cache = SchedCache::new(4, 4); // per-shard capacity 1
+        let empty = cache.stats();
+        assert_eq!(empty.shards.len(), 4);
+        assert!(empty
+            .shards
+            .iter()
+            .all(|s| s.occupancy == 0 && s.capacity == 1 && s.evictions == 0));
+
+        // Overfill: 16 distinct keys into 4 one-entry shards must evict
+        // exactly 16 - 4 entries, attributed to the shards that overflowed.
+        for n in 0..16u64 {
+            cache.insert(key(n), Arc::new(result(n as u32)));
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.shards.iter().map(|s| s.occupancy).sum::<usize>(),
+            cache.len()
+        );
+        assert!(s.shards.iter().all(|s| s.occupancy <= s.capacity));
+        assert_eq!(
+            s.shards.iter().map(|s| s.evictions).sum::<u64>(),
+            s.evictions
+        );
+        assert_eq!(s.evictions, 16 - cache.len() as u64);
     }
 
     #[test]

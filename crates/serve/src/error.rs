@@ -14,9 +14,13 @@ use tcms_core::ScheduleError;
 /// A typed failure of the serving pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
-    /// The request itself was malformed (bad JSON, missing fields,
-    /// unknown action).
+    /// The request itself was malformed (bad JSON, missing or ill-typed
+    /// fields).
     BadRequest(String),
+    /// The request named an action this daemon does not implement — a
+    /// distinct class (and pinned code) so version-skewed clients can
+    /// tell "you sent garbage" from "this daemon is too old".
+    UnknownAction(String),
     /// The design text failed to parse or compile.
     Malformed(String),
     /// The sharing specification is invalid for the design.
@@ -46,6 +50,7 @@ impl ServeError {
     pub fn class(&self) -> &'static str {
         match self {
             ServeError::BadRequest(_) => "bad-request",
+            ServeError::UnknownAction(_) => "unknown-action",
             ServeError::Malformed(_) => "malformed",
             ServeError::Spec(_) => "spec",
             ServeError::Schedule(e) => match e {
@@ -68,6 +73,7 @@ impl ServeError {
     pub fn code(&self) -> u16 {
         match self {
             ServeError::BadRequest(_) => 2,
+            ServeError::UnknownAction(_) => 404,
             ServeError::Malformed(_) => 4,
             ServeError::Spec(_) | ServeError::Schedule(ScheduleError::Spec(_)) => 5,
             ServeError::Schedule(ScheduleError::Infeasible { .. }) => 6,
@@ -86,6 +92,11 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::UnknownAction(name) => write!(
+                f,
+                "unknown action `{name}`; this daemon serves schedule, \
+                 simulate, stats, ping, shutdown"
+            ),
             ServeError::Malformed(msg) => write!(f, "malformed input: {msg}"),
             ServeError::Spec(msg) => write!(f, "invalid sharing spec: {msg}"),
             ServeError::Schedule(e) => write!(f, "scheduling failed: {e}"),
@@ -130,6 +141,11 @@ mod tests {
     fn classes_and_codes_are_stable() {
         let cases: Vec<(ServeError, &str, u16)> = vec![
             (ServeError::BadRequest("x".into()), "bad-request", 2),
+            (
+                ServeError::UnknownAction("frobnicate".into()),
+                "unknown-action",
+                404,
+            ),
             (ServeError::Malformed("x".into()), "malformed", 4),
             (ServeError::Spec("x".into()), "spec", 5),
             (

@@ -1,0 +1,664 @@
+//! The persistent workload journal (`--journal-dir`): an append-only
+//! JSONL capture of every work request the daemon executed.
+//!
+//! # Why a journal
+//!
+//! The force-directed search and the sharded cache are only tunable
+//! against *real* traffic. The journal records, per request: the raw
+//! request line (so replay needs no reconstruction), the canonical
+//! [`CacheKey`] (spec hash + config fingerprint), the cache
+//! [`Disposition`], the outcome class and wire code, and queue/exec
+//! timings — enough to re-drive the exact workload through a fresh
+//! daemon (`repro_replay`) or feed an offline tuner.
+//!
+//! # Off the hot path
+//!
+//! Workers never touch the file. They hand a [`JournalEntry`] to a
+//! bounded [`std::sync::mpsc::sync_channel`] with a **non-blocking**
+//! `try_send`; a dedicated writer thread drains the channel, assigns the
+//! **monotone sequence number** (single-writer ⇒ strictly increasing
+//! on-disk order, no cross-thread reordering) and appends one line per
+//! record. When the channel is full the entry is *dropped, not queued*:
+//! an [`AtomicU64`] counts the drops and every subsequent record carries
+//! the cumulative count, so a replay knows exactly how many requests are
+//! missing and a worker is never stalled by a slow disk.
+//!
+//! # Crash tolerance
+//!
+//! The file starts with a magic header line (like
+//! [`persist`](crate::persist) snapshots). A crash mid-append leaves a
+//! torn final line; [`load_journal`] skips it (and any corrupt line)
+//! with a count rather than an error, and [`JournalWriter::open`]
+//! truncates a torn tail before appending so recovery never glues new
+//! records onto half-written ones. Sequence numbers continue from the
+//! last valid record. The `trace_check --journal` validator in
+//! `tcms-obs` enforces the same schema strictly (torn tails allowed at
+//! the tail only); a test keeps the two in sync.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tcms_ir::SpecHash;
+use tcms_obs::json::{self, JsonValue};
+
+use crate::cache::{CacheKey, Disposition};
+
+/// Magic header value of a journal file. Must match
+/// [`tcms_obs::JOURNAL_MAGIC`] — the obs validator lints what this
+/// writer emits.
+pub const JOURNAL_MAGIC: &str = "tcms-serve-journal";
+/// Schema version written to the header.
+pub const JOURNAL_VERSION: f64 = 1.0;
+/// File name inside the `--journal-dir` directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// Default bounded-channel capacity between workers and the writer.
+pub const DEFAULT_JOURNAL_BUFFER: usize = 1024;
+
+/// What a worker hands to the writer thread: everything about one
+/// executed (or shed) request except the fields the writer itself
+/// assigns (`seq`, `ts_us`, cumulative `dropped`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The work action: `"schedule"` or `"simulate"`.
+    pub action: &'static str,
+    /// Content-address of the result, when the pipeline computed one.
+    pub key: Option<CacheKey>,
+    /// Cache disposition, `None` when the request failed before lookup.
+    pub disposition: Option<Disposition>,
+    /// `"ok"` or the [`ServeError`](crate::ServeError) class.
+    pub outcome: &'static str,
+    /// 0 on success, the stable wire code otherwise.
+    pub code: u16,
+    /// Time spent queued, in microseconds.
+    pub queue_us: u64,
+    /// Time spent executing the pipeline, in microseconds.
+    pub exec_us: u64,
+    /// Total time from arrival to response, in microseconds.
+    pub total_us: u64,
+    /// The raw request line, verbatim — what a replay re-sends.
+    pub request: String,
+}
+
+/// One record loaded back from a journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Writer-assigned sequence number, strictly increasing in file
+    /// order.
+    pub seq: u64,
+    /// Microseconds since the writer (re)opened the journal.
+    pub ts_us: u64,
+    /// The work action name.
+    pub action: String,
+    /// Canonical spec hash, when captured.
+    pub spec: Option<SpecHash>,
+    /// Config fingerprint, when captured.
+    pub config: Option<u64>,
+    /// Cache disposition string (`hit`/`miss`/`coalesced`).
+    pub disposition: Option<String>,
+    /// `"ok"` or the error class.
+    pub outcome: String,
+    /// Wire code (0 on success).
+    pub code: u16,
+    /// Queue wait in microseconds.
+    pub queue_us: u64,
+    /// Execution time in microseconds.
+    pub exec_us: u64,
+    /// Arrival-to-response time in microseconds.
+    pub total_us: u64,
+    /// Cumulative dropped-entry count at write time.
+    pub dropped: u64,
+    /// The raw request line.
+    pub request: String,
+}
+
+/// Counters of a live [`JournalWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Entries accepted onto the channel (≥ records on disk until the
+    /// writer catches up).
+    pub recorded: u64,
+    /// Entries dropped because the channel was full.
+    pub dropped: u64,
+}
+
+/// Outcome of loading a journal file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalLoadReport {
+    /// Valid records loaded.
+    pub loaded: usize,
+    /// Invalid lines skipped (each one a warning, not an error).
+    pub skipped: usize,
+    /// Whether the final line was torn (partial append before a crash).
+    pub torn_tail: bool,
+}
+
+enum Msg {
+    Record(JournalEntry),
+    Shutdown,
+}
+
+/// The off-hot-path journal writer: bounded channel in, JSONL out.
+pub struct JournalWriter {
+    tx: SyncSender<Msg>,
+    recorded: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Path of the journal file inside a journal directory.
+#[must_use]
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+impl JournalWriter {
+    /// Opens (or creates) the journal in `dir` and spawns the writer
+    /// thread. An existing journal is continued: sequence numbers resume
+    /// after the last valid record and a torn tail is truncated away
+    /// first. `buffer` bounds the worker→writer channel (clamped to at
+    /// least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, and refuses (with `InvalidData`) to
+    /// append to a file whose header is not a journal header — the
+    /// daemon must not grow records onto a foreign file.
+    pub fn open(dir: &Path, buffer: usize) -> io::Result<JournalWriter> {
+        fs::create_dir_all(dir)?;
+        let path = journal_path(dir);
+        let mut next_seq = 0;
+        let mut valid_len = 0u64;
+        let fresh = !path.exists();
+        if fresh {
+            let header =
+                format!("{{\"magic\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION}}}\n");
+            fs::write(&path, header.as_bytes())?;
+        } else {
+            let content = fs::read_to_string(&path)?;
+            let scan = scan_journal(&content).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })?;
+            next_seq = scan.records.last().map_or(0, |r| r.seq + 1);
+            valid_len = scan.valid_len;
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        if !fresh {
+            // Drop a torn tail (and any trailing garbage) so recovery
+            // never appends onto a half-written line.
+            file.set_len(valid_len)?;
+        }
+
+        let (tx, rx) = sync_channel(buffer.max(1));
+        let recorded = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let dropped = Arc::clone(&dropped);
+            std::thread::Builder::new()
+                .name("tcms-serve-journal".into())
+                .spawn(move || writer_loop(&rx, file, next_seq, &dropped))
+                .map_err(|e| io::Error::other(format!("spawn journal writer: {e}")))?
+        };
+        Ok(JournalWriter {
+            tx,
+            recorded,
+            dropped,
+            handle: Mutex::new(Some(handle)),
+            path,
+        })
+    }
+
+    /// Hands one entry to the writer thread **without blocking**: when
+    /// the channel is full (or the writer is gone) the entry is dropped
+    /// and counted, never queued — a slow disk costs records, not
+    /// request latency.
+    pub fn record(&self, entry: JournalEntry) {
+        match self.tx.try_send(Msg::Record(entry)) {
+            Ok(()) => {
+                self.recorded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains the channel, flushes the file and joins the writer thread.
+    /// Idempotent; entries recorded after close are counted as dropped.
+    pub fn close(&self) {
+        let handle = {
+            let mut guard = self.handle.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.take()
+        };
+        if let Some(handle) = handle {
+            // A blocking send is fine here: the writer is draining, so
+            // the channel empties; everything queued before the sentinel
+            // reaches the disk.
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = handle.join();
+        }
+    }
+
+    /// Point-in-time accepted/dropped counters.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            recorded: self.recorded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn writer_loop(rx: &Receiver<Msg>, file: fs::File, mut next_seq: u64, dropped: &AtomicU64) {
+    let start = Instant::now();
+    let mut out = io::BufWriter::new(file);
+    while let Ok(Msg::Record(entry)) = rx.recv() {
+        let ts_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let line = record_line(&entry, next_seq, ts_us, dropped.load(Ordering::Relaxed));
+        next_seq += 1;
+        // Line + newline in one write, then flush: a crash tears at most
+        // the final line, which loaders skip.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+    let _ = out.flush();
+}
+
+fn record_line(entry: &JournalEntry, seq: u64, ts_us: u64, dropped: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let num = |n: u64| JsonValue::Number(n as f64);
+    let mut map = std::collections::BTreeMap::new();
+    map.insert("seq".to_string(), num(seq));
+    map.insert("ts_us".to_string(), num(ts_us));
+    map.insert(
+        "action".to_string(),
+        JsonValue::String(entry.action.to_owned()),
+    );
+    map.insert(
+        "spec".to_string(),
+        match entry.key {
+            Some(k) => JsonValue::String(k.spec.to_string()),
+            None => JsonValue::Null,
+        },
+    );
+    map.insert(
+        "config".to_string(),
+        match entry.key {
+            // Hex string: a u64 fingerprint does not survive f64.
+            Some(k) => JsonValue::String(format!("{:016x}", k.config)),
+            None => JsonValue::Null,
+        },
+    );
+    map.insert(
+        "disposition".to_string(),
+        match entry.disposition {
+            Some(d) => JsonValue::String(d.as_str().to_owned()),
+            None => JsonValue::Null,
+        },
+    );
+    map.insert(
+        "outcome".to_string(),
+        JsonValue::String(entry.outcome.to_owned()),
+    );
+    map.insert("code".to_string(), num(u64::from(entry.code)));
+    map.insert("queue_us".to_string(), num(entry.queue_us));
+    map.insert("exec_us".to_string(), num(entry.exec_us));
+    map.insert("total_us".to_string(), num(entry.total_us));
+    map.insert("dropped".to_string(), num(dropped));
+    map.insert(
+        "request".to_string(),
+        JsonValue::String(entry.request.clone()),
+    );
+    json::to_string(&JsonValue::Object(map))
+}
+
+fn to_u64(v: Option<&JsonValue>) -> Result<u64, String> {
+    let n = v
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| "missing numeric field".to_string())?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    if n >= 0.0 && n.fract() == 0.0 {
+        Ok(n as u64)
+    } else {
+        Err(format!("non-integer numeric field {n}"))
+    }
+}
+
+fn opt_str(v: Option<&JsonValue>) -> Result<Option<String>, String> {
+    match v {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err("field must be a string or null".into()),
+    }
+}
+
+fn parse_record(line: &str) -> Result<JournalRecord, String> {
+    let v = json::parse(line)?;
+    let req = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing string `{key}`"))
+    };
+    let num = |key: &str| to_u64(v.get(key)).map_err(|e| format!("`{key}`: {e}"));
+    let spec = match opt_str(v.get("spec"))? {
+        Some(s) => Some(SpecHash::parse(&s)?),
+        None => None,
+    };
+    let config = match opt_str(v.get("config"))? {
+        Some(s) => Some(u64::from_str_radix(&s, 16).map_err(|e| format!("`config`: {e}"))?),
+        None => None,
+    };
+    Ok(JournalRecord {
+        seq: num("seq")?,
+        ts_us: num("ts_us")?,
+        action: req("action")?,
+        spec,
+        config,
+        disposition: opt_str(v.get("disposition"))?,
+        outcome: req("outcome")?,
+        code: u16::try_from(num("code")?).map_err(|_| "`code` out of range".to_string())?,
+        queue_us: num("queue_us")?,
+        exec_us: num("exec_us")?,
+        total_us: num("total_us")?,
+        dropped: num("dropped")?,
+        request: req("request")?,
+    })
+}
+
+struct Scan {
+    records: Vec<JournalRecord>,
+    report: JournalLoadReport,
+    /// Byte length of the valid prefix (header + every valid line,
+    /// including the trailing newline) — what recovery truncates to.
+    valid_len: u64,
+}
+
+/// Scans journal content. The header must be valid (a foreign file is an
+/// error, not a skip); record lines are skipped when invalid, with the
+/// final line classified as a torn tail.
+fn scan_journal(content: &str) -> Result<Scan, String> {
+    let mut offset = 0usize;
+    let mut lines = Vec::new();
+    // Manual split tracking byte offsets: `str::lines` hides whether the
+    // final line was newline-terminated (a torn append is not).
+    while offset < content.len() {
+        let rest = &content[offset..];
+        let (line, advance) = match rest.find('\n') {
+            Some(i) => (&rest[..i], i + 1),
+            None => (rest, rest.len()),
+        };
+        lines.push((line, offset, offset + advance));
+        offset += advance;
+    }
+    let Some(&(header, _, header_end)) = lines.first() else {
+        return Err("empty journal: missing header line".into());
+    };
+    let h = json::parse(header).map_err(|e| format!("bad header: {e}"))?;
+    if h.get("magic").and_then(JsonValue::as_str) != Some(JOURNAL_MAGIC) {
+        return Err(format!("header magic is not {JOURNAL_MAGIC:?}"));
+    }
+    if h.get("version").and_then(JsonValue::as_f64) != Some(JOURNAL_VERSION) {
+        return Err("unsupported journal version".into());
+    }
+    let mut scan = Scan {
+        records: Vec::new(),
+        report: JournalLoadReport::default(),
+        valid_len: header_end as u64,
+    };
+    let mut prev_seq = None;
+    for (i, &(line, _, end)) in lines.iter().enumerate().skip(1) {
+        let terminated = content.as_bytes().get(end - 1) == Some(&b'\n');
+        let parsed = if terminated || !line.is_empty() {
+            parse_record(line)
+        } else {
+            Err("empty line".into())
+        };
+        match parsed {
+            Ok(rec) if terminated && prev_seq.is_none_or(|p| rec.seq > p) => {
+                prev_seq = Some(rec.seq);
+                scan.records.push(rec);
+                scan.report.loaded += 1;
+                scan.valid_len = end as u64;
+            }
+            // Invalid, unterminated or out-of-order: skip. Only the
+            // final line counts as a torn tail.
+            _ => {
+                scan.report.skipped += 1;
+                if i + 1 == lines.len() {
+                    scan.report.torn_tail = true;
+                }
+            }
+        }
+    }
+    Ok(scan)
+}
+
+/// Loads every valid record of a journal file, skipping corrupt lines
+/// (reported, not fatal) and flagging a torn final line.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` when the file is not a
+/// journal (missing or foreign header).
+pub fn load_journal(path: &Path) -> io::Result<(Vec<JournalRecord>, JournalLoadReport)> {
+    let content = fs::read_to_string(path)?;
+    let scan = scan_journal(&content).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })?;
+    Ok((scan.records, scan.report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcms_journal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(action: &'static str, outcome: &'static str) -> JournalEntry {
+        JournalEntry {
+            action,
+            key: Some(CacheKey {
+                spec: SpecHash::of_text(action),
+                config: 0xdead_beef_0042_0007,
+            }),
+            disposition: Some(Disposition::Miss),
+            outcome,
+            code: 0,
+            queue_us: 3,
+            exec_us: 250,
+            total_us: 253,
+            request: format!("{{\"action\":\"{action}\"}}"),
+        }
+    }
+
+    #[test]
+    fn write_load_round_trip_preserves_order_and_keys() {
+        let dir = temp_dir("rt");
+        let writer = JournalWriter::open(&dir, 64).unwrap();
+        for i in 0..20 {
+            let mut e = entry("schedule", "ok");
+            e.request = format!("{{\"id\":{i}}}");
+            writer.record(e);
+        }
+        writer.close();
+        assert_eq!(writer.stats().recorded, 20);
+        assert_eq!(writer.stats().dropped, 0);
+
+        let (records, report) = load_journal(&journal_path(&dir)).unwrap();
+        assert_eq!(report.loaded, 20);
+        assert_eq!(report.skipped, 0);
+        assert!(!report.torn_tail);
+        assert_eq!(records.len(), 20);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "writer-assigned seq is contiguous");
+            assert_eq!(r.request, format!("{{\"id\":{i}}}"));
+            assert_eq!(r.config, Some(0xdead_beef_0042_0007));
+            assert_eq!(r.spec, Some(SpecHash::of_text("schedule")));
+            assert_eq!(r.disposition.as_deref(), Some("miss"));
+            assert_eq!(r.outcome, "ok");
+        }
+        assert!(
+            records.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+            "timestamps are monotone"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_sequence_and_truncates_torn_tail() {
+        let dir = temp_dir("reopen");
+        let writer = JournalWriter::open(&dir, 64).unwrap();
+        writer.record(entry("schedule", "ok"));
+        writer.record(entry("simulate", "ok"));
+        writer.close();
+
+        // Simulate a crash mid-append: a partial line with no newline.
+        let path = journal_path(&dir);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"seq\":2,\"ts_us\":99,\"act").unwrap();
+        drop(file);
+        let (records, report) = load_journal(&path).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.skipped, 1);
+        assert!(report.torn_tail, "partial append is a torn tail");
+        assert_eq!(records.len(), 2);
+
+        // Recovery: the torn tail is truncated, seq resumes at 2.
+        let writer = JournalWriter::open(&dir, 64).unwrap();
+        writer.record(entry("schedule", "ok"));
+        writer.close();
+        let (records, report) = load_journal(&path).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "sequence continues across restarts"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_channel_drops_with_accounting_instead_of_blocking() {
+        let dir = temp_dir("drop");
+        let writer = JournalWriter::open(&dir, 2).unwrap();
+        // Saturate: far more entries than the channel holds, faster than
+        // a flushing writer can drain. Some must drop; none may block.
+        for _ in 0..5_000 {
+            writer.record(entry("schedule", "ok"));
+        }
+        writer.close();
+        let stats = writer.stats();
+        assert_eq!(stats.recorded + stats.dropped, 5_000);
+        let (records, report) = load_journal(&journal_path(&dir)).unwrap();
+        assert_eq!(records.len() as u64, stats.recorded);
+        assert!(!report.torn_tail);
+        // The cumulative drop count rides along in the records.
+        if stats.dropped > 0 {
+            assert!(records.last().unwrap().dropped <= stats.dropped);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_clobbered() {
+        let dir = temp_dir("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        fs::write(&path, "{\"magic\":\"something-else\",\"version\":1}\n").unwrap();
+        let err = JournalWriter::open(&dir, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(load_journal(&path).is_err());
+        // The foreign file is untouched.
+        assert!(fs::read_to_string(&path)
+            .unwrap()
+            .contains("something-else"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_outcomes_round_trip_without_a_key() {
+        let dir = temp_dir("err");
+        let writer = JournalWriter::open(&dir, 8).unwrap();
+        writer.record(JournalEntry {
+            action: "schedule",
+            key: None,
+            disposition: None,
+            outcome: "malformed",
+            code: 4,
+            queue_us: 1,
+            exec_us: 2,
+            total_us: 3,
+            request: "{\"action\":\"schedule\",\"design\":\"bad\"}".into(),
+        });
+        writer.close();
+        let (records, _) = load_journal(&journal_path(&dir)).unwrap();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.spec, None);
+        assert_eq!(r.config, None);
+        assert_eq!(r.disposition, None);
+        assert_eq!((r.outcome.as_str(), r.code), ("malformed", 4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emitted_journal_passes_the_obs_validator() {
+        // The writer and the `trace_check --journal` validator live in
+        // different crates; this is the test that keeps them in sync.
+        assert_eq!(JOURNAL_MAGIC, tcms_obs::JOURNAL_MAGIC);
+        assert_eq!(JOURNAL_VERSION, tcms_obs::JOURNAL_VERSION);
+        let dir = temp_dir("obsval");
+        let writer = JournalWriter::open(&dir, 8).unwrap();
+        writer.record(entry("schedule", "ok"));
+        writer.record(JournalEntry {
+            disposition: Some(Disposition::Hit),
+            ..entry("schedule", "ok")
+        });
+        writer.close();
+        let content = fs::read_to_string(journal_path(&dir)).unwrap();
+        let check = tcms_obs::validate_journal(&content).unwrap();
+        assert_eq!(check.records, 2);
+        assert!(!check.torn_tail);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

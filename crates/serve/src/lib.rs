@@ -21,10 +21,15 @@
 //!   responses bit-identical to `tcms schedule` output),
 //! * [`cache`] — sharded LRU + single-flight dedup,
 //! * [`persist`] — the on-disk snapshot (`--cache-dir`),
+//! * [`journal`] — the append-only workload journal (`--journal-dir`):
+//!   per-request capture off the hot path, crash-tolerant load, the
+//!   substrate for deterministic replay,
 //! * [`server`] — accept loop, bounded queue, worker pool, deadlines
 //!   and backpressure,
 //! * [`client`] — a blocking, pipelining client (`tcms client`, the
 //!   load generator and the e2e tests),
+//! * [`stats`] — the human-readable rendering of a `stats` response
+//!   (`tcms stats`),
 //! * [`error`] — [`ServeError`] with stable wire classes and codes.
 //!
 //! The crate uses only the standard library plus the workspace's own
@@ -34,17 +39,23 @@
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod journal;
 pub mod persist;
 pub mod pipeline;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 
-pub use cache::{CacheKey, CacheStatsSnapshot, Disposition, SchedCache};
+pub use cache::{CacheKey, CacheStatsSnapshot, Disposition, SchedCache, ShardStats};
 pub use client::Client;
 pub use error::ServeError;
+pub use journal::{
+    load_journal, JournalEntry, JournalLoadReport, JournalRecord, JournalStats, JournalWriter,
+};
 pub use pipeline::{
     schedule_request, simulate_request, ExecContext, ScheduleArtifacts, ScheduleOptions,
-    SimulateOptions,
+    SimulateArtifacts, SimulateOptions,
 };
 pub use protocol::{Action, Request, Response};
 pub use server::{ServeConfig, Server};
+pub use stats::render_stats;

@@ -146,6 +146,11 @@ pub struct ScheduleArtifacts {
     /// cache hit or coalesced wait (the rendered report still shows the
     /// original run's count).
     pub fresh_iterations: u64,
+    /// The content-address of the result, when the cached path computed
+    /// one (`None` for cache-less and degrade runs). The daemon's
+    /// workload journal records it so replays can be correlated without
+    /// re-canonicalizing.
+    pub cache_key: Option<CacheKey>,
 }
 
 /// Runs the full schedule pipeline on `source`.
@@ -166,6 +171,7 @@ pub fn schedule_request(
         ..FdsConfig::default()
     };
 
+    let mut cache_key = None;
     let (system, spec, schedule, iterations, fresh_iterations, disposition, note) = if opts.degrade
     {
         // The ladder may rewrite the system (relaxed periods, widened
@@ -196,6 +202,7 @@ pub fn schedule_request(
             spec: canon.hash(),
             config: config_fingerprint(&system, &canon, &spec, &config),
         };
+        cache_key = Some(key);
         let (result, disposition) = cache.get_or_compute(key, || {
             let outcome = ModuloScheduler::new(&system, spec.clone())
                 .map_err(ServeError::from)?
@@ -275,6 +282,7 @@ pub fn schedule_request(
         schedule,
         disposition,
         fresh_iterations,
+        cache_key,
     })
 }
 
@@ -365,6 +373,19 @@ impl Default for SimulateOptions {
     }
 }
 
+/// Everything a simulate request produced.
+#[derive(Debug)]
+pub struct SimulateArtifacts {
+    /// The rendered simulation report (the response payload).
+    pub text: String,
+    /// How the underlying *schedule* was obtained.
+    pub disposition: Disposition,
+    /// IFDS iterations executed by this request (zero on a warm hit).
+    pub fresh_iterations: u64,
+    /// The schedule's content-address, when the cached path computed one.
+    pub cache_key: Option<CacheKey>,
+}
+
 /// Runs the simulate pipeline: schedule (through the cache when one is
 /// given — the simulation itself is not cached) and simulate the
 /// reactive workload, rendering exactly the CLI's `simulate` output.
@@ -376,7 +397,7 @@ pub fn simulate_request(
     source: &str,
     opts: &SimulateOptions,
     ctx: &ExecContext<'_>,
-) -> Result<(String, Disposition, u64), ServeError> {
+) -> Result<SimulateArtifacts, ServeError> {
     let sched_opts = ScheduleOptions {
         all_global: opts.all_global,
         globals: opts.globals.clone(),
@@ -406,7 +427,12 @@ pub fn simulate_request(
         opts.seed,
         opts.mean_gap,
     );
-    Ok((out, arts.disposition, arts.fresh_iterations))
+    Ok(SimulateArtifacts {
+        text: out,
+        disposition: arts.disposition,
+        fresh_iterations: arts.fresh_iterations,
+        cache_key: arts.cache_key,
+    })
 }
 
 /// Renders the standard simulation block exactly as `tcms simulate`
@@ -597,13 +623,15 @@ edge m0 a0
             horizon: 500,
             ..SimulateOptions::default()
         };
-        let (a, d1, fresh1) = simulate_request(SAMPLE, &opts, &ctx).unwrap();
-        let (b, d2, fresh2) = simulate_request(SAMPLE, &opts, &ctx).unwrap();
-        assert_eq!(d1, Disposition::Miss);
-        assert_eq!(d2, Disposition::Hit);
-        assert!(fresh1 > 0);
-        assert_eq!(fresh2, 0);
-        assert_eq!(a, b, "simulation output is deterministic");
-        assert!(a.contains("simulated 500 steps"));
+        let a = simulate_request(SAMPLE, &opts, &ctx).unwrap();
+        let b = simulate_request(SAMPLE, &opts, &ctx).unwrap();
+        assert_eq!(a.disposition, Disposition::Miss);
+        assert_eq!(b.disposition, Disposition::Hit);
+        assert!(a.fresh_iterations > 0);
+        assert_eq!(b.fresh_iterations, 0);
+        assert_eq!(a.cache_key, b.cache_key);
+        assert!(a.cache_key.is_some(), "cached runs expose their key");
+        assert_eq!(a.text, b.text, "simulation output is deterministic");
+        assert!(a.text.contains("simulated 500 steps"));
     }
 }

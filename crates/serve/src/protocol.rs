@@ -223,7 +223,7 @@ fn parse_body(v: &JsonValue) -> Result<(Action, Option<u64>), ServeError> {
         "ping" => Action::Ping,
         "shutdown" => Action::Shutdown,
         other => {
-            return Err(ServeError::BadRequest(format!("unknown action `{other}`")));
+            return Err(ServeError::UnknownAction(other.to_owned()));
         }
     };
     Ok((action, deadline_ms))
@@ -399,8 +399,11 @@ mod tests {
     fn bad_requests_keep_their_id() {
         let (id, err) = parse_request(r#"{"id":7,"action":"frobnicate"}"#).unwrap_err();
         assert_eq!(id, JsonValue::Number(7.0));
-        assert!(matches!(err, ServeError::BadRequest(_)));
-        assert_eq!(err.code(), 2);
+        // Unknown actions are their own class with a pinned code, so a
+        // newer client against an older daemon gets a diagnosable reply.
+        assert_eq!(err, ServeError::UnknownAction("frobnicate".into()));
+        assert_eq!(err.class(), "unknown-action");
+        assert_eq!(err.code(), 404);
 
         let (id, err) = parse_request("not json").unwrap_err();
         assert_eq!(id, JsonValue::Null);

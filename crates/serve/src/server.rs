@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,6 +39,7 @@ use tcms_obs::{MetricsRegistry, NoopRecorder};
 
 use crate::cache::{Disposition, SchedCache};
 use crate::error::ServeError;
+use crate::journal::{JournalEntry, JournalStats, JournalWriter, DEFAULT_JOURNAL_BUFFER};
 use crate::persist;
 use crate::pipeline::{schedule_request, simulate_request, ExecContext};
 use crate::protocol::{
@@ -62,6 +63,12 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Deadline applied to requests that carry none, in milliseconds.
     pub default_deadline_ms: Option<u64>,
+    /// Directory for the workload journal (`--journal-dir`); `None`
+    /// disables capture.
+    pub journal_dir: Option<PathBuf>,
+    /// Bounded worker→journal channel capacity; when full, entries are
+    /// dropped (and counted), never queued.
+    pub journal_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +81,8 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_dir: None,
             default_deadline_ms: None,
+            journal_dir: None,
+            journal_buffer: DEFAULT_JOURNAL_BUFFER,
         }
     }
 }
@@ -85,6 +94,9 @@ struct Job {
     enqueued: Instant,
     deadline: Option<Duration>,
     conn: Arc<ConnWriter>,
+    /// The raw request line, kept only when journaling is on — the
+    /// journal replays verbatim bytes, not a re-serialisation.
+    raw: Option<String>,
 }
 
 /// The write half of a connection; workers share it via `Arc`.
@@ -110,6 +122,8 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    journal: Option<JournalWriter>,
+    inflight: AtomicU64,
 }
 
 impl Shared {
@@ -171,17 +185,45 @@ impl Shared {
         }
     }
 
+    /// Hands one finished (or shed) request to the journal writer, when
+    /// journaling is on. `raw` is populated by the connection thread only
+    /// in that case, so both `None`s mean "capture disabled".
+    fn journal_record(&self, raw: Option<String>, entry: impl FnOnce(String) -> JournalEntry) {
+        let (Some(journal), Some(request)) = (&self.journal, raw) else {
+            return;
+        };
+        journal.record(entry(request));
+    }
+
     /// Runs one job end to end and writes its response.
     fn execute(&self, job: Job) {
         let waited = job.enqueued.elapsed();
+        let queue_us = dur_us(waited);
+        let action = action_label(&job.action);
+        #[allow(clippy::cast_precision_loss)]
+        self.lock_metrics()
+            .histogram_record("serve.queue_wait_us", queue_us as f64);
         let budget = match job.deadline {
             Some(deadline) => {
                 let Some(remaining) = deadline.checked_sub(waited) else {
                     let waited_ms = u64::try_from(waited.as_millis()).unwrap_or(u64::MAX);
-                    job.conn.send(&error_line(
-                        &job.id,
-                        &ServeError::DeadlineExpired { waited_ms },
-                    ));
+                    let err = ServeError::DeadlineExpired { waited_ms };
+                    self.lock_metrics().counter_add("serve.errors", 1);
+                    // Journal before responding: once the client sees the
+                    // response it may read `journal_stats`, which must
+                    // already account for this request.
+                    self.journal_record(job.raw, |request| JournalEntry {
+                        action,
+                        key: None,
+                        disposition: None,
+                        outcome: err.class(),
+                        code: err.code(),
+                        queue_us,
+                        exec_us: 0,
+                        total_us: queue_us,
+                        request,
+                    });
+                    job.conn.send(&error_line(&job.id, &err));
                     return;
                 };
                 RunBudget {
@@ -197,15 +239,38 @@ impl Shared {
             budget,
             rec: &NoopRecorder,
         };
+        // Control actions never reach the queue.
+        if matches!(job.action, Action::Stats | Action::Ping | Action::Shutdown) {
+            return;
+        }
+        let inflight = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        #[allow(clippy::cast_precision_loss)]
+        self.lock_metrics()
+            .gauge_set("serve.inflight", inflight as f64);
+        let exec_start = Instant::now();
         let outcome = match &job.action {
             Action::Schedule { design, opts } => schedule_request(design, opts, &ctx)
-                .map(|a| (a.text, a.disposition, a.fresh_iterations)),
-            Action::Simulate { design, opts } => simulate_request(design, opts, &ctx),
-            // Control actions never reach the queue.
-            Action::Stats | Action::Ping | Action::Shutdown => return,
+                .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
+            Action::Simulate { design, opts } => simulate_request(design, opts, &ctx)
+                .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
+            Action::Stats | Action::Ping | Action::Shutdown => unreachable!(),
         };
-        let line = match outcome {
-            Ok((output, disposition, fresh_iterations)) => {
+        let exec_us = dur_us(exec_start.elapsed());
+        let inflight = self.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        let total_us = dur_us(job.enqueued.elapsed());
+        let disposition = outcome.as_ref().ok().map(|(_, d, _, _)| *d);
+        {
+            let mut m = self.lock_metrics();
+            #[allow(clippy::cast_precision_loss)]
+            {
+                m.gauge_set("serve.inflight", inflight as f64);
+                m.histogram_record(exec_metric(disposition), exec_us as f64);
+                m.histogram_record(total_metric(disposition), total_us as f64);
+                m.histogram_record("serve.latency_ms", total_us as f64 / 1_000.0);
+            }
+        }
+        match outcome {
+            Ok((output, disposition, fresh_iterations, key)) => {
                 {
                     let mut m = self.lock_metrics();
                     m.counter_add(disposition_metric(disposition), 1);
@@ -214,22 +279,44 @@ impl Shared {
                     }
                     m.counter_add("serve.ifds.iterations", fresh_iterations);
                 }
+                // Journal before responding (non-blocking `try_send`): a
+                // client that has seen the response may immediately read
+                // `journal_stats`, which must already count this request.
+                self.journal_record(job.raw, |request| JournalEntry {
+                    action,
+                    key,
+                    disposition: Some(disposition),
+                    outcome: "ok",
+                    code: 0,
+                    queue_us,
+                    exec_us,
+                    total_us,
+                    request,
+                });
                 // The rendered report's iteration count mirrors the run
                 // that produced the cache entry; `fresh_iterations` in
                 // the metrics counts only *new* IFDS work.
-                success_line(&job.id, output_body(&output, disposition, fresh_iterations))
+                job.conn.send(&success_line(
+                    &job.id,
+                    output_body(&output, disposition, fresh_iterations),
+                ));
             }
             Err(e) => {
                 self.lock_metrics().counter_add("serve.errors", 1);
-                error_line(&job.id, &e)
+                self.journal_record(job.raw, |request| JournalEntry {
+                    action,
+                    key: None,
+                    disposition: None,
+                    outcome: e.class(),
+                    code: e.code(),
+                    queue_us,
+                    exec_us,
+                    total_us,
+                    request,
+                });
+                job.conn.send(&error_line(&job.id, &e));
             }
-        };
-        #[allow(clippy::cast_precision_loss)]
-        self.lock_metrics().histogram_record(
-            "serve.latency_ms",
-            job.enqueued.elapsed().as_millis() as f64,
-        );
-        job.conn.send(&line);
+        }
     }
 
     /// The daemon-statistics response body.
@@ -261,8 +348,74 @@ impl Shared {
             "queue_depth".into(),
             JsonValue::Number(metrics.gauge("serve.queue.depth").unwrap_or(0.0)),
         );
+        body.insert(
+            "inflight".into(),
+            JsonValue::Number(metrics.gauge("serve.inflight").unwrap_or(0.0)),
+        );
         body.insert("workers".into(), num(self.config.workers as u64));
+        // Per-shard cache occupancy/evictions: lock-granularity hot
+        // spots show up here long before the global hit rate moves.
+        body.insert(
+            "cache_shards".into(),
+            JsonValue::Array(
+                cache
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        let mut m = BTreeMap::new();
+                        m.insert("occupancy".into(), num(s.occupancy as u64));
+                        m.insert("capacity".into(), num(s.capacity as u64));
+                        m.insert("evictions".into(), num(s.evictions));
+                        JsonValue::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        // The full registry in wire form: `tcms stats` reconstructs a
+        // MetricsRegistry from this and renders the standard summary.
+        body.insert("metrics".into(), metrics.to_json());
+        let mut journal = BTreeMap::new();
+        match &self.journal {
+            Some(w) => {
+                let stats = w.stats();
+                journal.insert("enabled".into(), JsonValue::Bool(true));
+                journal.insert("recorded".into(), num(stats.recorded));
+                journal.insert("dropped".into(), num(stats.dropped));
+                journal.insert(
+                    "path".into(),
+                    JsonValue::String(w.path().display().to_string()),
+                );
+            }
+            None => {
+                journal.insert("enabled".into(), JsonValue::Bool(false));
+            }
+        }
+        body.insert("journal".into(), JsonValue::Object(journal));
         body
+    }
+}
+
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn action_label(action: &Action) -> &'static str {
+    match action {
+        Action::Schedule { .. } => "schedule",
+        Action::Simulate { .. } => "simulate",
+        Action::Stats => "stats",
+        Action::Ping => "ping",
+        Action::Shutdown => "shutdown",
+    }
+}
+
+fn request_metric(action: &Action) -> &'static str {
+    match action {
+        Action::Schedule { .. } => "serve.requests.schedule",
+        Action::Simulate { .. } => "serve.requests.simulate",
+        Action::Stats => "serve.requests.stats",
+        Action::Ping => "serve.requests.ping",
+        Action::Shutdown => "serve.requests.shutdown",
     }
 }
 
@@ -274,10 +427,35 @@ fn disposition_metric(d: Disposition) -> &'static str {
     }
 }
 
+/// Execution-time histogram, split by cache disposition (`None` = the
+/// request errored): a hit's ~µs lookup and a miss's ~ms scheduler run
+/// must not share buckets.
+fn exec_metric(d: Option<Disposition>) -> &'static str {
+    match d {
+        Some(Disposition::Hit) => "serve.exec_us.hit",
+        Some(Disposition::Miss) => "serve.exec_us.miss",
+        Some(Disposition::Coalesced) => "serve.exec_us.coalesced",
+        None => "serve.exec_us.error",
+    }
+}
+
+/// Arrival-to-response histogram, split like [`exec_metric`].
+fn total_metric(d: Option<Disposition>) -> &'static str {
+    match d {
+        Some(Disposition::Hit) => "serve.total_us.hit",
+        Some(Disposition::Miss) => "serve.total_us.miss",
+        Some(Disposition::Coalesced) => "serve.total_us.coalesced",
+        None => "serve.total_us.error",
+    }
+}
+
 /// Serves one connection: read lines, answer control actions inline,
 /// queue work actions.
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    // The read timeout doubles as the shutdown poll interval.
+    // The read timeout doubles as the shutdown poll interval. Nagle is
+    // off: a one-line response must not wait out the client's delayed
+    // ACK (a ~40 ms floor on every request without this).
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let writer = Arc::new(ConnWriter {
         stream: Mutex::new(match stream.try_clone() {
@@ -320,6 +498,9 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             action,
             deadline_ms,
         } = request;
+        shared
+            .lock_metrics()
+            .counter_add(request_metric(&action), 1);
         match action {
             Action::Ping => {
                 let mut body = BTreeMap::new();
@@ -338,18 +519,37 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 let deadline = deadline_ms
                     .or(shared.config.default_deadline_ms)
                     .map(Duration::from_millis);
+                // Keep the raw bytes only when journaling: the journal
+                // replays the request verbatim, not a re-serialisation.
+                let raw = shared.journal.as_ref().map(|_| line.trim_end().to_owned());
+                let action_name = action_label(&work);
                 let job = Job {
                     id: id.clone(),
                     action: work,
                     enqueued: Instant::now(),
                     deadline,
                     conn: Arc::clone(&writer),
+                    raw: raw.clone(),
                 };
                 if let Err(e) = shared.enqueue(job) {
                     shared.lock_metrics().counter_add("serve.errors", 1);
                     if matches!(e, ServeError::Overloaded { .. }) {
                         shared.lock_metrics().counter_add("serve.shed", 1);
                     }
+                    // Shed requests are journaled too (and before the
+                    // response goes out): a replay that omits them would
+                    // understate the offered load.
+                    shared.journal_record(raw, |request| JournalEntry {
+                        action: action_name,
+                        key: None,
+                        disposition: None,
+                        outcome: e.class(),
+                        code: e.code(),
+                        queue_us: 0,
+                        exec_us: 0,
+                        total_us: 0,
+                        request,
+                    });
                     writer.send(&error_line(&id, &e));
                 }
             }
@@ -393,6 +593,10 @@ impl Server {
             metrics.counter_add("serve.snapshot.loaded", report.loaded as u64);
             metrics.counter_add("serve.snapshot.skipped", report.skipped as u64);
         }
+        let journal = match &config.journal_dir {
+            Some(dir) => Some(JournalWriter::open(dir, config.journal_buffer)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             config,
             cache,
@@ -400,6 +604,8 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            journal,
+            inflight: AtomicU64::new(0),
         });
         let workers = (0..shared.config.workers)
             .map(|i| {
@@ -484,6 +690,11 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Close the journal after the workers: every executed request
+        // reaches the writer before the file is flushed and joined.
+        if let Some(journal) = &self.shared.journal {
+            journal.close();
+        }
         if let Some(dir) = &self.shared.config.cache_dir {
             persist::save_snapshot(dir, &self.shared.cache.entries())?;
         }
@@ -494,6 +705,12 @@ impl Server {
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.shared.lock_metrics().counter(name)
+    }
+
+    /// Journal accepted/dropped counters, when capture is enabled.
+    #[must_use]
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.shared.journal.as_ref().map(JournalWriter::stats)
     }
 
     /// The result cache (test and stats support).
@@ -598,6 +815,82 @@ mod tests {
         let (server, addr) = start();
         let resp = roundtrip(addr, r#"{"id":"bye","action":"shutdown"}"#);
         assert!(resp.is_ok());
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn journal_captures_work_requests_with_dispositions() {
+        let dir = std::env::temp_dir().join(format!("tcms_serve_jnl_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            journal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        assert!(roundtrip(addr, &schedule_req("a")).is_ok());
+        assert!(roundtrip(addr, &schedule_req("b")).is_ok());
+        let bad = roundtrip(
+            addr,
+            r#"{"id":"x","action":"schedule","design":"resource add delay=zero"}"#,
+        );
+        assert!(!bad.is_ok());
+        // Control actions stay out of the journal.
+        assert!(roundtrip(addr, r#"{"id":"p","action":"ping"}"#).is_ok());
+        let stats = server.journal_stats().unwrap();
+        assert_eq!((stats.recorded, stats.dropped), (3, 0));
+        server.shutdown();
+        server.wait().unwrap();
+
+        let (records, report) =
+            crate::journal::load_journal(&crate::journal::journal_path(&dir)).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert!(!report.torn_tail);
+        let outcomes: Vec<_> = records
+            .iter()
+            .map(|r| (r.outcome.as_str(), r.disposition.as_deref(), r.code))
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                ("ok", Some("miss"), 0),
+                ("ok", Some("hit"), 0),
+                ("malformed", None, 4),
+            ]
+        );
+        // Successful records carry the content address; the raw request
+        // line rides along verbatim for replay.
+        assert!(records[0].spec.is_some() && records[0].config.is_some());
+        assert_eq!(records[0].spec, records[1].spec);
+        assert_eq!(records[0].request, schedule_req("a"));
+        assert!(records[2].spec.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_body_exposes_shards_metrics_and_journal() {
+        let (server, addr) = start();
+        assert!(roundtrip(addr, &schedule_req("s")).is_ok());
+        let stats = roundtrip(addr, r#"{"id":"st","action":"stats"}"#);
+        assert!(stats.is_ok());
+        let shards = stats.body.get("cache_shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), ServeConfig::default().cache_shards);
+        let occupied: f64 = shards
+            .iter()
+            .map(|s| s.get("occupancy").unwrap().as_f64().unwrap())
+            .sum();
+        assert_eq!(occupied, 1.0, "one entry lives in exactly one shard");
+        let metrics = stats.body.get("metrics").unwrap();
+        let registry = MetricsRegistry::from_json(metrics).unwrap();
+        assert_eq!(registry.counter("serve.requests.schedule"), 1);
+        assert_eq!(registry.counter("serve.cache.miss"), 1);
+        assert!(registry
+            .histograms()
+            .any(|(name, _)| name == "serve.exec_us.miss"));
+        let journal = stats.body.get("journal").unwrap();
+        assert_eq!(journal.get("enabled"), Some(&JsonValue::Bool(false)));
+        server.shutdown();
         server.wait().unwrap();
     }
 

@@ -127,7 +127,8 @@ fn serve_to_cli(e: ServeError) -> CliError {
         ServeError::Spec(m) => CliError::Spec(m),
         ServeError::Schedule(e) => CliError::Schedule(e),
         ServeError::Verify(m) => CliError::Verify(m),
-        other @ (ServeError::Overloaded { .. }
+        other @ (ServeError::UnknownAction(_)
+        | ServeError::Overloaded { .. }
         | ServeError::DeadlineExpired { .. }
         | ServeError::ShuttingDown) => CliError::Service {
             class: other.class().to_owned(),
@@ -258,6 +259,8 @@ pub enum Command {
         cache_dir: Option<String>,
         /// Default per-job deadline in ms (from `--deadline-ms`).
         deadline_ms: Option<u64>,
+        /// Workload-journal directory (from `--journal-dir`).
+        journal_dir: Option<String>,
         /// Worker-thread count for the scheduler itself
         /// (from `--threads`; 0 = auto).
         threads: Option<usize>,
@@ -268,6 +271,12 @@ pub enum Command {
         addr: String,
         /// The request to send.
         action: ClientCommand,
+    },
+    /// Fetch a daemon's statistics and render them human-readably
+    /// (`tcms client <addr> stats` prints the raw JSON instead).
+    Stats {
+        /// Daemon address, e.g. `127.0.0.1:7733`.
+        addr: String,
     },
     /// Print the Graphviz rendering of a design.
     Dot {
@@ -327,6 +336,7 @@ USAGE:
   tcms summary <design>                one-line design summary
   tcms serve [OPTIONS]                 run the NDJSON-over-TCP scheduling daemon
   tcms client <addr> <request>         talk to a running daemon
+  tcms stats <addr>                    render a daemon's live statistics
   tcms help                            this text
 
 Inputs may be structural (.dfg) or behavioral (`process p time=9 { y := a*b + c; }`).
@@ -373,12 +383,17 @@ SERVE OPTIONS:
   --cache-capacity <N>    result-cache entries (default 1024; 0 disables)
   --cache-dir <DIR>       load/save the cache snapshot across restarts
   --deadline-ms <N>       default per-job deadline
+  --journal-dir <DIR>     capture an append-only workload journal
+                          (JSONL; replayable with the repro_replay bench,
+                          checkable with trace_check --journal)
   --threads <N>           scheduler worker threads, as for schedule
 
 CLIENT REQUESTS:
   tcms client <addr> schedule <design> [schedule opts] [--deadline-ms N]
   tcms client <addr> simulate <design> [simulate opts] [--deadline-ms N]
   tcms client <addr> ping | stats | shutdown
+  (`--stats` is accepted as an alias for `stats`; `tcms stats <addr>`
+  renders the same data as a summary instead of raw JSON)
 ";
 
 /// Parses a command line (without the program name).
@@ -564,6 +579,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cache_capacity = 1024usize;
             let mut cache_dir = None;
             let mut deadline_ms = None;
+            let mut journal_dir = None;
             let mut threads = None;
             fn num<T: std::str::FromStr>(
                 it: &mut std::slice::Iter<'_, String>,
@@ -584,6 +600,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
                     }
                     "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                    "--journal-dir" => {
+                        journal_dir = Some(it.next().ok_or("--journal-dir needs a path")?.clone());
+                    }
                     "--threads" => threads = Some(num(&mut it, "--threads")?),
                     other => return Err(format!("unknown option `{other}`")),
                 }
@@ -598,8 +617,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cache_capacity,
                 cache_dir,
                 deadline_ms,
+                journal_dir,
                 threads,
             })
+        }
+        "stats" => {
+            let addr = it.next().ok_or("stats needs a daemon address")?.clone();
+            Ok(Command::Stats { addr })
         }
         "client" => {
             let addr = it.next().ok_or("client needs a daemon address")?.clone();
@@ -613,7 +637,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             let action = match request.as_str() {
                 "ping" => ClientCommand::Ping,
-                "stats" => ClientCommand::Stats,
+                "stats" | "--stats" => ClientCommand::Stats,
                 "shutdown" => ClientCommand::Shutdown,
                 "schedule" => {
                     let input = it
@@ -1013,6 +1037,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             cache_capacity,
             cache_dir,
             deadline_ms,
+            journal_dir,
             threads,
         } => {
             if let Some(n) = threads {
@@ -1026,6 +1051,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 cache_shards: 8,
                 cache_dir: cache_dir.as_deref().map(std::path::PathBuf::from),
                 default_deadline_ms: *deadline_ms,
+                journal_dir: journal_dir.as_deref().map(std::path::PathBuf::from),
+                ..ServeConfig::default()
             };
             let server = Server::start(config).map_err(|e| CliError::Io {
                 path: listen.clone(),
@@ -1096,6 +1123,30 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 // Control responses print as their JSON body.
                 None => Ok(format!("{}\n", crate::obs::json::to_string(&response.body))),
             }
+        }
+        Command::Stats { addr } => {
+            let mut client = Client::connect(addr).map_err(|e| CliError::Io {
+                path: addr.clone(),
+                message: e.to_string(),
+            })?;
+            let line = crate::serve::client::control_request_line("cli", "stats");
+            let response = client.request(&line).map_err(|e| CliError::Io {
+                path: addr.clone(),
+                message: e.to_string(),
+            })?;
+            if let Some((class, code, message)) = response.error {
+                return Err(CliError::Service {
+                    class,
+                    code,
+                    message,
+                });
+            }
+            let body = response.body.as_object().ok_or_else(|| CliError::Service {
+                class: "bad-request".into(),
+                code: 2,
+                message: "stats response body is not an object".into(),
+            })?;
+            Ok(crate::serve::render_stats(body))
         }
     }
 }
@@ -1574,6 +1625,8 @@ process b time=8 { z := p * q; }
             "/tmp/c",
             "--deadline-ms",
             "500",
+            "--journal-dir",
+            "/tmp/j",
         ]))
         .unwrap();
         assert_eq!(
@@ -1585,11 +1638,24 @@ process b time=8 { z := p * q; }
                 cache_capacity: 64,
                 cache_dir: Some("/tmp/c".into()),
                 deadline_ms: Some(500),
+                journal_dir: Some("/tmp/j".into()),
                 threads: None,
             }
         );
         assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
         assert!(parse_args(&args(&["serve", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["serve", "--journal-dir"])).is_err());
+    }
+
+    #[test]
+    fn parse_stats_subcommand() {
+        assert_eq!(
+            parse_args(&args(&["stats", "127.0.0.1:7733"])).unwrap(),
+            Command::Stats {
+                addr: "127.0.0.1:7733".into()
+            }
+        );
+        assert!(parse_args(&args(&["stats"])).is_err());
     }
 
     #[test]
@@ -1632,6 +1698,14 @@ process b time=8 { z := p * q; }
                 Command::Client { .. }
             ));
         }
+        // `--stats` is a flag-spelled alias for the `stats` request.
+        assert!(matches!(
+            parse_args(&args(&["client", "a:1", "--stats"])).unwrap(),
+            Command::Client {
+                action: ClientCommand::Stats,
+                ..
+            }
+        ));
         assert!(parse_args(&args(&["client", "a:1", "frob"])).is_err());
         assert!(parse_args(&args(&["client", "a:1"])).is_err());
         assert!(parse_args(&args(&["client", "a:1", "simulate", "x", "--horizon", "0"])).is_err());
@@ -1656,6 +1730,12 @@ process b time=8 { z := p * q; }
             assert_eq!(e.exit_code(), 11);
             assert!(e.to_string().contains("service error"));
         }
+        // An unknown-action rejection (wire code 404) is pinned to the
+        // same fold: a version-skewed daemon exits 11, never something
+        // that collides with a scheduling failure.
+        let skew = serve_to_cli(ServeError::UnknownAction("frobnicate".into()));
+        assert_eq!(skew.exit_code(), 11);
+        assert!(skew.to_string().contains("unknown-action/404"));
     }
 
     #[test]

@@ -270,3 +270,225 @@ fn serve_and_client_binaries_round_trip() {
     daemon_stdout.read_line(&mut farewell).expect("farewell");
     assert_eq!(farewell.trim(), "tcms-serve shut down");
 }
+
+/// A mixed hit/miss/error workload captured in the journal must (a)
+/// record the exact disposition/outcome sequence, and (b) replay
+/// bit-identically against a fresh daemon.
+#[test]
+fn journal_captures_mixed_workload_and_replays_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("tcms_e2e_journal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 2,
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design_a = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let design_b = "resource add delay=1 area=1\nprocess P\nblock body time=4\nop a0 add\n";
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+    // miss, hit, miss, hit, malformed — a single pipelined client keeps
+    // the order deterministic.
+    let mut originals = Vec::new();
+    for (id, design) in [
+        ("a1", design_a.as_str()),
+        ("a2", design_a.as_str()),
+        ("b1", design_b),
+        ("b2", design_b),
+        ("bad", "resource add delay=zero"),
+    ] {
+        let line = schedule_request_line(id, design, &opts, None);
+        let resp = client.request(&line).expect("response arrives");
+        originals.push((line, resp));
+    }
+    server.shutdown();
+    server.wait().unwrap();
+
+    let path = tcms::serve::journal::journal_path(&dir);
+    let (records, report) = tcms::serve::load_journal(&path).expect("journal loads");
+    assert_eq!((report.loaded, report.skipped), (5, 0));
+    assert!(!report.torn_tail);
+    let sequence: Vec<_> = records
+        .iter()
+        .map(|r| (r.outcome.as_str(), r.disposition.as_deref(), r.code))
+        .collect();
+    assert_eq!(
+        sequence,
+        vec![
+            ("ok", Some("miss"), 0),
+            ("ok", Some("hit"), 0),
+            ("ok", Some("miss"), 0),
+            ("ok", Some("hit"), 0),
+            ("malformed", None, 4),
+        ],
+        "the journal records the exact disposition sequence"
+    );
+    // Both cached designs share config fingerprints but not spec hashes.
+    assert_eq!(records[0].spec, records[1].spec);
+    assert_ne!(records[0].spec, records[2].spec);
+    assert!(records[4].spec.is_none());
+
+    // Replay the journaled raw lines against a *fresh* daemon: every
+    // response must be bit-identical to the original run.
+    let replay_server = start_server();
+    let mut replay_client = Client::connect(replay_server.local_addr()).expect("connect");
+    for (record, (line, original)) in records.iter().zip(&originals) {
+        assert_eq!(&record.request, line, "raw request preserved verbatim");
+        let replayed = replay_client
+            .request(&record.request)
+            .expect("replay response arrives");
+        assert_eq!(
+            replayed.output(),
+            original.output(),
+            "replayed output is bit-identical"
+        );
+        match (&replayed.error, &original.error) {
+            (None, None) => {}
+            (Some((rc, rn, _)), Some((oc, on, _))) => {
+                assert_eq!((rc, rn), (oc, on), "error class/code preserved");
+            }
+            other => panic!("replay outcome diverged: {other:?}"),
+        }
+    }
+    replay_server.shutdown();
+    replay_server.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn final line — the crash artifact — is skipped with a warning
+/// flag by both the lenient loader and the strict validator, and a
+/// reopened writer truncates it before appending.
+#[test]
+fn truncated_journal_tail_is_skipped_and_flagged() {
+    let dir = std::env::temp_dir().join(format!("tcms_e2e_torn_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+    for id in ["x1", "x2"] {
+        assert!(client
+            .request(&schedule_request_line(id, &design, &opts, None))
+            .expect("response")
+            .is_ok());
+    }
+    server.shutdown();
+    server.wait().unwrap();
+
+    // Simulate a crash mid-append.
+    let path = tcms::serve::journal::journal_path(&dir);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"seq\":2,\"ts_us\":1,\"acti").unwrap();
+    }
+    let content = std::fs::read_to_string(&path).unwrap();
+    let check = tcms::obs::validate_journal(&content).expect("strict validator tolerates the tail");
+    assert_eq!(check.records, 2);
+    assert!(check.torn_tail, "validator flags the torn tail");
+    let (records, report) = tcms::serve::load_journal(&path).expect("lenient loader");
+    assert_eq!(records.len(), 2);
+    assert_eq!((report.loaded, report.skipped), (2, 1));
+    assert!(report.torn_tail, "loader flags the torn tail");
+
+    // Recovery: a restarted daemon truncates the tear and continues the
+    // sequence without gluing onto the half-written line.
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon restarts over torn journal");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert!(client
+        .request(&schedule_request_line("x3", &design, &opts, None))
+        .expect("response")
+        .is_ok());
+    server.shutdown();
+    server.wait().unwrap();
+    let (records, report) = tcms::serve::load_journal(&path).expect("journal loads clean");
+    assert!(!report.torn_tail);
+    assert_eq!(
+        records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "sequence continues across the recovered tear"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unknown action comes back as the typed `unknown-action`/404 wire
+/// error — never a dropped connection — and the daemon keeps serving.
+#[test]
+fn unknown_action_gets_typed_404_and_daemon_survives() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let resp = client
+        .request(r#"{"id":"f","action":"frobnicate"}"#)
+        .expect("response arrives");
+    let (class, code, message) = resp.error.clone().expect("typed error");
+    assert_eq!((class.as_str(), code), ("unknown-action", 404));
+    assert!(message.contains("frobnicate"), "{message}");
+    assert!(client
+        .request(&control_request_line("alive", "ping"))
+        .expect("ping after rejection")
+        .is_ok());
+    server.shutdown();
+    server.wait().unwrap();
+}
+
+/// `tcms stats` renders the live registry: headline counts, per-shard
+/// cache occupancy and the metric summary lines all appear.
+#[test]
+fn stats_subcommand_renders_live_introspection() {
+    let server = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+    for id in ["s1", "s2"] {
+        assert!(client
+            .request(&schedule_request_line(id, &design, &opts, None))
+            .expect("response")
+            .is_ok());
+    }
+    let rendered = run(&Command::Stats { addr }).expect("stats renders");
+    for needle in [
+        "daemon:",
+        "cache:",
+        "hit rate",
+        "shard",
+        "journal:",
+        "serve.requests.schedule",
+        "serve.cache.hit",
+        "serve.exec_us.miss",
+        "serve.queue_wait_us",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
+    }
+    server.shutdown();
+    server.wait().unwrap();
+}
