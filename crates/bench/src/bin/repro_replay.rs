@@ -9,8 +9,11 @@
 //!
 //! Two modes:
 //!
-//! * `--journal FILE` replays an existing journal (captured by
+//! * `--journal PATH` replays an existing journal (captured by
 //!   `tcms serve --journal-dir` or `repro_serve_load --journal-dir`).
+//!   A directory — or the live `journal.jsonl` inside one — reassembles
+//!   rotated segments into the full history; any other file path
+//!   replays that single file.
 //! * Without it, a **synthetic** workload is generated: a seeded LCG
 //!   draws designs from a Zipf-skewed popularity distribution (one
 //!   sweep per skew in {0.0, 1.2}, so the report shows how cache hit
@@ -35,7 +38,7 @@ use tcms_obs::json::{self, JsonValue};
 use tcms_obs::NoopRecorder;
 use tcms_serve::pipeline::{schedule_request, simulate_request, ExecContext};
 use tcms_serve::protocol::{parse_request, Action};
-use tcms_serve::{load_journal, Client, ScheduleOptions, ServeConfig, Server};
+use tcms_serve::{load_journal, load_journal_dir, Client, ScheduleOptions, ServeConfig, Server};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 const REPLAY_CLIENTS: usize = 4;
@@ -184,6 +187,7 @@ fn one_shot(line: &str) -> Outcome {
         cache: None,
         budget: RunBudget::UNLIMITED,
         rec: &NoopRecorder,
+        fault_marker: false,
     };
     let wire = |e: &tcms_serve::ServeError| Outcome::Err(e.class().to_owned(), e.code());
     match parse_request(line) {
@@ -418,8 +422,19 @@ fn main() {
     let mut expected: BTreeMap<String, Outcome> = BTreeMap::new();
     let mut workloads = BTreeMap::new();
     if let Some(path) = journal {
-        let (records, report) =
-            load_journal(std::path::Path::new(&path)).expect("load provided journal");
+        // A directory, or the live `journal.jsonl` of a rotating
+        // `--journal-dir`, reassembles every sealed segment plus the
+        // live tail; any other file path replays that single file.
+        let p = std::path::Path::new(&path);
+        let (records, report) = if p.is_dir() {
+            load_journal_dir(p).expect("load provided journal dir")
+        } else if p.file_name().and_then(|n| n.to_str()) == Some(tcms_serve::journal::JOURNAL_FILE)
+        {
+            load_journal_dir(p.parent().unwrap_or_else(|| std::path::Path::new(".")))
+                .expect("load provided journal dir")
+        } else {
+            load_journal(p).expect("load provided journal")
+        };
         println!(
             "journal {path}: {} records loaded, {} skipped{}",
             report.loaded,

@@ -243,6 +243,10 @@ pub struct JournalCheck {
     /// and skipped. A torn tail is expected after a crash and is not an
     /// error; torn lines anywhere else are.
     pub torn_tail: bool,
+    /// Whether the final line is a rotation seal trailer
+    /// (`{"sealed":true,...}`) — the file is a sealed journal segment,
+    /// not a live journal.
+    pub sealed: bool,
 }
 
 fn journal_record_error(line_no: usize, rec: &JsonValue) -> Option<String> {
@@ -283,8 +287,9 @@ fn journal_record_error(line_no: usize, rec: &JsonValue) -> Option<String> {
 /// followed by one JSON record per request with strictly increasing
 /// `seq`, non-decreasing `ts_us`/`dropped`, and the capture schema
 /// (action/outcome/timings/raw request). The final line may be torn —
-/// a crash mid-append leaves a partial line, which loaders skip — but a
-/// malformed line anywhere else fails validation.
+/// a crash mid-append leaves a partial line, which loaders skip — or a
+/// rotation seal trailer (`{"sealed":true,...}`, reported as `sealed`);
+/// a malformed line anywhere else fails validation.
 ///
 /// # Errors
 ///
@@ -306,6 +311,7 @@ pub fn validate_journal(input: &str) -> Result<JournalCheck, String> {
     let mut check = JournalCheck {
         records: 0,
         torn_tail: false,
+        sealed: false,
     };
     let mut prev_seq: Option<f64> = None;
     let mut prev_ts = 0.0;
@@ -313,6 +319,14 @@ pub fn validate_journal(input: &str) -> Result<JournalCheck, String> {
     for (i, line) in records.iter().enumerate() {
         let line_no = i + 2;
         let is_last = i + 1 == records.len();
+        if is_last {
+            if let Ok(rec) = json::parse(line) {
+                if rec.get("sealed") == Some(&JsonValue::Bool(true)) {
+                    check.sealed = true;
+                    continue;
+                }
+            }
+        }
         let problem = match json::parse(line) {
             Ok(rec) => match journal_record_error(line_no, &rec) {
                 Some(e) => Some(e),
@@ -685,6 +699,25 @@ mod tests {
         assert!(check.torn_tail);
         // ...but the same garbage mid-file is corruption, not a tear.
         let doc = journal_doc(&["{\"seq\":1,\"ts_us\":20,\"act".into(), journal_line(2, 30)]);
+        assert!(validate_journal(&doc).is_err());
+    }
+
+    #[test]
+    fn journal_validator_accepts_a_rotation_seal_trailer() {
+        // A sealed segment ends with a `{"sealed":true,...}` trailer:
+        // valid, reported as sealed, not counted as a record or a tear.
+        let mut doc = journal_doc(&[journal_line(0, 10), journal_line(1, 20)]);
+        doc.push_str("{\"sealed\":true,\"records\":2,\"check\":\"00000000000000aa\"}\n");
+        let check = validate_journal(&doc).unwrap();
+        assert_eq!(check.records, 2);
+        assert!(check.sealed);
+        assert!(!check.torn_tail);
+        // A seal anywhere but the final line is still corruption.
+        let doc = journal_doc(&[
+            journal_line(0, 10),
+            "{\"sealed\":true,\"records\":1,\"check\":\"00\"}".into(),
+            journal_line(2, 30),
+        ]);
         assert!(validate_journal(&doc).is_err());
     }
 

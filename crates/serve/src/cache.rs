@@ -136,6 +136,50 @@ struct Flight {
     cv: Condvar,
 }
 
+/// Unwind protection for the single-flight leader: resolves the flight
+/// (normally via [`FlightGuard::resolve`], or with a typed
+/// [`ServeError::Internal`] from `Drop` when the compute closure
+/// panics) and removes the in-flight registry entry, exactly once.
+struct FlightGuard<'a> {
+    cache: &'a SchedCache,
+    key: CacheKey,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes `result` to every waiter and clears the in-flight
+    /// entry; disarms the drop path.
+    fn resolve(mut self, result: Result<Arc<CacheableResult>, ServeError>) {
+        self.armed = false;
+        self.publish(result);
+    }
+
+    fn publish(&self, result: Result<Arc<CacheableResult>, ServeError>) {
+        {
+            let mut inflight = self
+                .cache
+                .inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            inflight.remove(&self.key);
+        }
+        let mut state = self.flight.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = FlightState::Done(result);
+        self.flight.cv.notify_all();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.publish(Err(ServeError::Internal(
+                "scheduler panicked while computing this entry".into(),
+            )));
+        }
+    }
+}
+
 /// The sharded LRU schedule cache with single-flight deduplication.
 pub struct SchedCache {
     shards: Vec<Mutex<Shard>>,
@@ -224,6 +268,13 @@ impl SchedCache {
     /// resolved, so a request arriving after resolution hits the cache.
     /// Errors are fanned out to every waiter and **not** cached.
     ///
+    /// # Panics
+    ///
+    /// A panic inside `compute` propagates to the leader's caller, but
+    /// only after the flight has been resolved with
+    /// [`ServeError::Internal`] and the in-flight entry cleared — waiters
+    /// receive the typed error and the key is immediately reusable.
+    ///
     /// # Errors
     ///
     /// Propagates `compute`'s error (to the leader and every coalesced
@@ -256,18 +307,23 @@ impl SchedCache {
             }
         };
         if leader {
+            // If `compute` panics, the guard resolves the flight with a
+            // typed error and clears the in-flight entry *during unwind*,
+            // so coalesced waiters are released (with `Internal`) and a
+            // later identical request starts a fresh flight — a panicking
+            // job can never wedge the single-flight slot. The panic
+            // itself keeps unwinding to the worker's `catch_unwind`.
+            let guard = FlightGuard {
+                cache: self,
+                key,
+                flight: &flight,
+                armed: true,
+            };
             let result = compute().map(Arc::new);
             if let Ok(v) = &result {
                 self.insert(key, Arc::clone(v));
             }
-            {
-                let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
-                inflight.remove(&key);
-            }
-            let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
-            *state = FlightState::Done(result.clone());
-            flight.cv.notify_all();
-            drop(state);
+            guard.resolve(result.clone());
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             (result, Disposition::Miss)
         } else {
@@ -436,6 +492,51 @@ mod tests {
         // Late arrivals may hit the already-resolved entry instead of
         // coalescing; either way no second compute happened.
         assert_eq!(s.coalesced + s.hits, 7);
+    }
+
+    #[test]
+    fn leader_panic_releases_waiters_and_unwedges_the_flight() {
+        let cache = Arc::new(SchedCache::new(8, 2));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Give the leader time to claim the flight.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                cache.get_or_compute(key(7), || Ok(result(5)))
+            })
+        };
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute(key(7), || {
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        panic!("deliberate test panic")
+                    })
+                }))
+            })
+        };
+        assert!(
+            leader.join().unwrap().is_err(),
+            "the panic still propagates to the leader's caller"
+        );
+        // The waiter either coalesced onto the panicked flight (and got
+        // the typed error) or arrived after resolution and recomputed.
+        match waiter.join().unwrap() {
+            (Err(ServeError::Internal(_)), Disposition::Coalesced) => {}
+            (Ok(v), _) => assert_eq!(v.iterations, 5),
+            (other, d) => panic!("unexpected waiter outcome {other:?} / {d:?}"),
+        }
+        // Not wedged: the key is free for a fresh flight, and nothing
+        // from the panicked run was cached.
+        let (v, d) = cache.get_or_compute(key(7), || Ok(result(5)));
+        assert_eq!(d, Disposition::Miss);
+        assert_eq!(v.unwrap().iterations, 5);
     }
 
     #[test]

@@ -3,6 +3,22 @@
 //! Supports pipelining: send any number of requests, then collect
 //! responses and match them by id (the daemon answers in completion
 //! order).
+//!
+//! Two layers:
+//!
+//! - [`Client`] is the bare transport: one connection, no retries.
+//!   `connect` applies a 5-second connect timeout by default so a
+//!   black-holed address can never block a caller indefinitely.
+//! - [`ServeClient`] wraps it with a [`RetryPolicy`]: bounded,
+//!   seed-deterministic jittered-backoff retries of queue-full (429)
+//!   responses and transient transport failures, reconnecting as
+//!   needed. Retrying is **safe** because work requests are idempotent:
+//!   a schedule request is content-addressed by its `SpecHash` +
+//!   config fingerprint, so re-sending it can only re-read (or
+//!   re-create) the same cache entry — never double-apply anything.
+//!   Typed request errors (bad request, malformed design, infeasible,
+//!   …) are real answers and are never retried; neither is a 503
+//!   shutdown notice, since the daemon is going away.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead as _, BufReader, Write as _};
@@ -98,15 +114,64 @@ fn common_fields(
     map
 }
 
+/// Default connect timeout of [`Client::connect`]: long enough for any
+/// sane network, short enough that a black-holed address fails instead
+/// of hanging the CLI forever.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon with the default connect timeout
+    /// ([`DEFAULT_CONNECT_TIMEOUT`]) and no read timeout.
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
+    /// Propagates connection failures, including the timeout.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, Some(DEFAULT_CONNECT_TIMEOUT), None)
+    }
+
+    /// Connects with explicit connect/read timeouts (`None` = block
+    /// forever). Each resolved address is tried in turn under the
+    /// connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; when every resolved address
+    /// fails, the last failure is returned.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Client> {
+        let writer = match connect_timeout {
+            Some(t) => {
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for sa in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sa, t) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        }))
+                    }
+                }
+            }
+            None => TcpStream::connect(addr)?,
+        };
         writer.set_nodelay(true).ok();
+        writer.set_read_timeout(read_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
     }
@@ -167,6 +232,162 @@ impl Client {
     }
 }
 
+/// When and how [`ServeClient`] retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt connect timeout (`None` = OS default, may block).
+    pub connect_timeout: Option<Duration>,
+    /// Receive timeout (`None` = wait as long as the schedule takes).
+    pub read_timeout: Option<Duration>,
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter seed: the same seed yields the same backoff sequence, so
+    /// chaos runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: Some(DEFAULT_CONNECT_TIMEOUT),
+            read_timeout: None,
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): exponential
+    /// from `base_backoff`, capped at `max_backoff`, scaled into
+    /// `[0.5, 1.0)` by `jitter` so synchronized clients desynchronize.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, jitter: f64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        exp.mul_f64(0.5 + jitter.clamp(0.0, 1.0) / 2.0)
+    }
+}
+
+/// Whether a typed wire code is worth retrying: only queue-full (429)
+/// backpressure — the daemon explicitly asked for a later attempt. Real
+/// answers (typed request errors) and shutdown notices (503) are final.
+#[must_use]
+pub fn retryable_code(code: u16) -> bool {
+    code == 429
+}
+
+/// A retrying daemon client: a [`Client`] plus a [`RetryPolicy`].
+///
+/// Transport failures (connect errors, resets, truncation, timeouts)
+/// and 429 backpressure responses are retried with deterministic
+/// jittered backoff, reconnecting as needed; every other response is
+/// returned as-is. See the module docs for why retrying is safe.
+pub struct ServeClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    retries: u64,
+    rng: u64,
+}
+
+impl ServeClient {
+    /// Creates a retrying client for `addr` (connections are opened
+    /// lazily, so this cannot fail).
+    #[must_use]
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> ServeClient {
+        let seed = policy.seed ^ 0x9E37_79B9_7F4A_7C15;
+        ServeClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            retries: 0,
+            rng: seed.max(1), // xorshift must not start at zero
+        }
+    }
+
+    /// Retries performed so far (across all requests).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Deterministic xorshift64 jitter in `[0, 1)`.
+    fn next_jitter(&mut self) -> f64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        #[allow(clippy::cast_precision_loss)]
+        let unit = (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        unit
+    }
+
+    fn connected(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect_with(
+                self.addr.as_str(),
+                self.policy.connect_timeout,
+                self.policy.read_timeout,
+            )?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends `line` and waits for its response, retrying per the
+    /// policy. When retries run out, the last outcome is returned — a
+    /// final 429 response comes back as a normal typed response, not a
+    /// transport error.
+    ///
+    /// # Errors
+    ///
+    /// The last transport failure once retries are exhausted.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = match self.connected() {
+                Ok(conn) => conn.request(line),
+                Err(e) => Err(e),
+            };
+            let retry_this = match &outcome {
+                Ok(resp) => resp
+                    .error
+                    .as_ref()
+                    .is_some_and(|(_, code, _)| retryable_code(*code)),
+                // Any transport failure is worth one more try on a
+                // fresh connection — the old one may be half-dead.
+                Err(_) => true,
+            };
+            if !retry_this || attempt >= self.policy.max_retries {
+                return outcome;
+            }
+            if outcome.is_err() {
+                self.conn = None;
+            }
+            let jitter = self.next_jitter();
+            std::thread::sleep(self.policy.backoff(attempt, jitter));
+            attempt += 1;
+            self.retries += 1;
+        }
+    }
+
+    /// Convenience `ping` round trip.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::request`].
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request(&control_request_line("ping", "ping"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +431,77 @@ mod tests {
             let line = control_request_line("c", action);
             assert!(parse_request(&line).is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn connect_fails_fast_instead_of_blocking() {
+        // A port nothing listens on: with a connect timeout the call
+        // returns an error promptly instead of hanging.
+        let start = std::time::Instant::now();
+        let result = Client::connect_with("127.0.0.1:1", Some(Duration::from_millis(500)), None);
+        assert!(result.is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "bounded by the timeout, not the OS default"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        // Monotone growth up to the cap, at fixed jitter.
+        let b = |a| policy.backoff(a, 1.0);
+        assert_eq!(b(0), Duration::from_millis(10));
+        assert_eq!(b(1), Duration::from_millis(20));
+        assert_eq!(b(4), Duration::from_millis(100), "capped");
+        assert_eq!(b(63), Duration::from_millis(100), "shift overflow capped");
+        // Jitter scales into [0.5, 1.0).
+        assert_eq!(policy.backoff(0, 0.0), Duration::from_millis(5));
+        // The jitter stream is a pure function of the seed.
+        let mut a = ServeClient::new(
+            "unused:0",
+            RetryPolicy {
+                seed: 7,
+                ..RetryPolicy::default()
+            },
+        );
+        let mut b = ServeClient::new(
+            "unused:0",
+            RetryPolicy {
+                seed: 7,
+                ..RetryPolicy::default()
+            },
+        );
+        let sa: Vec<f64> = (0..8).map(|_| a.next_jitter()).collect();
+        let sb: Vec<f64> = (0..8).map(|_| b.next_jitter()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().all(|j| (0.0..1.0).contains(j)));
+    }
+
+    #[test]
+    fn only_backpressure_codes_are_retryable() {
+        assert!(retryable_code(429));
+        for code in [2, 4, 5, 6, 7, 8, 9, 404, 408, 413, 500, 503] {
+            assert!(!retryable_code(code), "{code} is a final answer");
+        }
+    }
+
+    #[test]
+    fn serve_client_round_trips_without_retries_on_a_healthy_daemon() {
+        let server = crate::Server::start(crate::ServeConfig {
+            workers: 1,
+            ..crate::ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = ServeClient::new(server.local_addr().to_string(), RetryPolicy::default());
+        let pong = client.ping().unwrap();
+        assert!(pong.is_ok());
+        assert_eq!(client.retries(), 0, "no faults, no retries");
+        server.shutdown();
+        server.wait().unwrap();
     }
 }

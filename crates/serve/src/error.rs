@@ -40,6 +40,16 @@ pub enum ServeError {
         /// How long the job waited in the queue, in milliseconds.
         waited_ms: u64,
     },
+    /// The request line exceeded the daemon's size cap and was rejected
+    /// before parsing (the read loop must not buffer unboundedly).
+    TooLarge {
+        /// The configured request-line cap, in bytes.
+        limit: usize,
+    },
+    /// The scheduler panicked while executing this job. The worker
+    /// caught the unwind, so the daemon survives; this 500-class error
+    /// is what the one bad request gets back.
+    Internal(String),
     /// The daemon is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -63,6 +73,8 @@ impl ServeError {
             ServeError::Verify(_) => "verify",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::DeadlineExpired { .. } => "deadline",
+            ServeError::TooLarge { .. } => "too-large",
+            ServeError::Internal(_) => "internal",
             ServeError::ShuttingDown => "shutting-down",
         }
     }
@@ -83,8 +95,23 @@ impl ServeError {
             | ServeError::Schedule(ScheduleError::VerificationFailed { .. }) => 9,
             ServeError::Overloaded { .. } => 429,
             ServeError::DeadlineExpired { .. } => 408,
+            ServeError::TooLarge { .. } => 413,
+            ServeError::Internal(_) => 500,
             ServeError::ShuttingDown => 503,
         }
+    }
+
+    /// Extracts a panic payload's message and wraps it as
+    /// [`ServeError::Internal`] — the one conversion every
+    /// `catch_unwind` site in the daemon shares.
+    #[must_use]
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> ServeError {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        ServeError::Internal(msg)
     }
 }
 
@@ -106,6 +133,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::DeadlineExpired { waited_ms } => {
                 write!(f, "deadline expired after {waited_ms} ms in queue")
+            }
+            ServeError::TooLarge { limit } => {
+                write!(f, "request line exceeds the {limit}-byte cap")
+            }
+            ServeError::Internal(msg) => {
+                write!(f, "internal error (worker panic): {msg}")
             }
             ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
         }
@@ -171,6 +204,8 @@ mod tests {
                 "deadline",
                 408,
             ),
+            (ServeError::TooLarge { limit: 4096 }, "too-large", 413),
+            (ServeError::Internal("boom".into()), "internal", 500),
             (ServeError::ShuttingDown, "shutting-down", 503),
         ];
         for (e, class, code) in cases {
@@ -178,5 +213,24 @@ mod tests {
             assert_eq!(e.code(), code, "{e}");
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn from_panic_extracts_str_and_string_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("literal message")).unwrap_err();
+        assert_eq!(
+            ServeError::from_panic(p.as_ref()),
+            ServeError::Internal("literal message".into())
+        );
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(
+            ServeError::from_panic(p.as_ref()),
+            ServeError::Internal("formatted 7".into())
+        );
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(
+            ServeError::from_panic(p.as_ref()),
+            ServeError::Internal("non-string panic payload".into())
+        );
     }
 }

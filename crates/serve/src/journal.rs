@@ -31,9 +31,24 @@
 //! with a count rather than an error, and [`JournalWriter::open`]
 //! truncates a torn tail before appending so recovery never glues new
 //! records onto half-written ones. Sequence numbers continue from the
-//! last valid record. The `trace_check --journal` validator in
-//! `tcms-obs` enforces the same schema strictly (torn tails allowed at
-//! the tail only); a test keeps the two in sync.
+//! last valid record. A live file whose header never made it to disk
+//! (empty, or an unparseable first line) is **quarantined** — renamed to
+//! `journal.jsonl.corrupt` — and a fresh journal is started; a *foreign*
+//! file (valid header, wrong magic) is still refused, never renamed.
+//! The `trace_check --journal` validator in `tcms-obs` enforces the same
+//! schema strictly (torn tails allowed at the tail only); a test keeps
+//! the two in sync.
+//!
+//! # Rotation
+//!
+//! With [`JournalWriter::open_with`] and a nonzero `rotate_bytes`, a
+//! live file that grows past the threshold is **sealed** — a checksum
+//! trailer line covering every preceding byte is appended and fsynced —
+//! then atomically renamed to `journal.<n>.jsonl` (followed by a
+//! directory fsync) and a fresh live file is started. Sequence numbers
+//! run across segments, so [`load_journal_dir`] reassembles the full
+//! history in order. A crash between sealing and renaming leaves a
+//! sealed live file; the next open completes the rotation.
 
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write as _};
@@ -44,10 +59,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use tcms_ir::canon::fnv64;
 use tcms_ir::SpecHash;
 use tcms_obs::json::{self, JsonValue};
 
 use crate::cache::{CacheKey, Disposition};
+use crate::persist::sync_dir;
 
 /// Magic header value of a journal file. Must match
 /// [`tcms_obs::JOURNAL_MAGIC`] — the obs validator lints what this
@@ -57,6 +74,8 @@ pub const JOURNAL_MAGIC: &str = "tcms-serve-journal";
 pub const JOURNAL_VERSION: f64 = 1.0;
 /// File name inside the `--journal-dir` directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// Where a corrupt live journal is moved when the opener quarantines it.
+pub const JOURNAL_CORRUPT: &str = "journal.jsonl.corrupt";
 /// Default bounded-channel capacity between workers and the writer.
 pub const DEFAULT_JOURNAL_BUFFER: usize = 1024;
 
@@ -125,6 +144,8 @@ pub struct JournalStats {
     pub recorded: u64,
     /// Entries dropped because the channel was full.
     pub dropped: u64,
+    /// Completed size-based rotations since open.
+    pub rotated: u64,
 }
 
 /// Outcome of loading a journal file.
@@ -136,6 +157,9 @@ pub struct JournalLoadReport {
     pub skipped: usize,
     /// Whether the final line was torn (partial append before a crash).
     pub torn_tail: bool,
+    /// Whether the file ends with a valid checksum trailer — a rotated
+    /// (or rotation-pending) segment rather than a live journal.
+    pub sealed: bool,
 }
 
 enum Msg {
@@ -148,6 +172,7 @@ pub struct JournalWriter {
     tx: SyncSender<Msg>,
     recorded: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
+    rotated: Arc<AtomicU64>,
     handle: Mutex<Option<JoinHandle<()>>>,
     path: PathBuf,
 }
@@ -180,47 +205,104 @@ impl JournalWriter {
     /// append to a file whose header is not a journal header — the
     /// daemon must not grow records onto a foreign file.
     pub fn open(dir: &Path, buffer: usize) -> io::Result<JournalWriter> {
+        Self::open_with(dir, buffer, 0)
+    }
+
+    /// Like [`JournalWriter::open`], with size-based rotation: once the
+    /// live file reaches `rotate_bytes` (0 disables rotation), it is
+    /// sealed with a checksum trailer, fsynced, atomically renamed to
+    /// `journal.<n>.jsonl`, and a fresh live file is started. Sequence
+    /// numbers continue across segments and restarts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JournalWriter::open`]. A live file that is empty or has
+    /// an unparseable header is quarantined to `journal.jsonl.corrupt`
+    /// (not an error); a foreign header is refused.
+    pub fn open_with(dir: &Path, buffer: usize, rotate_bytes: u64) -> io::Result<JournalWriter> {
         fs::create_dir_all(dir)?;
         let path = journal_path(dir);
         let mut next_seq = 0;
         let mut valid_len = 0u64;
-        let fresh = !path.exists();
+        let mut fresh = !path.exists();
+        if !fresh {
+            // Non-UTF-8 bytes are as much "our own torn creation" as a
+            // garbage first line — read raw and fall through to the
+            // quarantine path instead of erroring.
+            let content = String::from_utf8(fs::read(&path)?).unwrap_or_default();
+            let header_parses = content
+                .lines()
+                .next()
+                .is_some_and(|l| json::parse(l).is_ok());
+            if !header_parses {
+                // An empty file or garbage first line is our own torn
+                // creation: quarantine it (the bytes stay inspectable)
+                // and start fresh. A *foreign* file — a valid JSON
+                // header with the wrong magic — is refused below, never
+                // renamed.
+                fs::rename(&path, dir.join(JOURNAL_CORRUPT))?;
+                sync_dir(dir)?;
+                fresh = true;
+            } else {
+                let scan = scan_journal(&content).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {e}", path.display()),
+                    )
+                })?;
+                // A header-only live file (fresh after a rotation)
+                // carries no seqs of its own — continue from the
+                // newest rotated segment instead of restarting at 0.
+                next_seq = scan
+                    .records
+                    .last()
+                    .map_or_else(|| next_seq_after_rotated(dir), |r| r.seq + 1);
+                if scan.report.sealed {
+                    // A crash between sealing and renaming left a sealed
+                    // live file: complete the rotation now.
+                    fs::rename(&path, rotated_path(dir, next_rotated_index(dir)))?;
+                    sync_dir(dir)?;
+                    fresh = true;
+                } else {
+                    valid_len = scan.valid_len;
+                }
+            }
+        }
         if fresh {
-            let header =
-                format!("{{\"magic\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION}}}\n");
+            if next_seq == 0 {
+                // Continue the sequence across rotation + restart: the
+                // newest rotated segment knows the last assigned seq.
+                next_seq = next_seq_after_rotated(dir);
+            }
+            let header = journal_header();
+            valid_len = header.len() as u64;
             fs::write(&path, header.as_bytes())?;
-        } else {
-            let content = fs::read_to_string(&path)?;
-            let scan = scan_journal(&content).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{}: {e}", path.display()),
-                )
-            })?;
-            next_seq = scan.records.last().map_or(0, |r| r.seq + 1);
-            valid_len = scan.valid_len;
         }
         let file = OpenOptions::new().append(true).open(&path)?;
-        if !fresh {
-            // Drop a torn tail (and any trailing garbage) so recovery
-            // never appends onto a half-written line.
-            file.set_len(valid_len)?;
-        }
+        // Drop a torn tail (and any trailing garbage) so recovery never
+        // appends onto a half-written line.
+        file.set_len(valid_len)?;
 
         let (tx, rx) = sync_channel(buffer.max(1));
         let recorded = Arc::new(AtomicU64::new(0));
         let dropped = Arc::new(AtomicU64::new(0));
-        let handle = {
-            let dropped = Arc::clone(&dropped);
-            std::thread::Builder::new()
-                .name("tcms-serve-journal".into())
-                .spawn(move || writer_loop(&rx, file, next_seq, &dropped))
-                .map_err(|e| io::Error::other(format!("spawn journal writer: {e}")))?
+        let rotated = Arc::new(AtomicU64::new(0));
+        let ctx = WriterCtx {
+            dir: dir.to_path_buf(),
+            path: path.clone(),
+            rotate_bytes,
+            dropped: Arc::clone(&dropped),
+            rotated: Arc::clone(&rotated),
         };
+        let handle = std::thread::Builder::new()
+            .name("tcms-serve-journal".into())
+            .spawn(move || writer_loop(&rx, file, next_seq, valid_len, &ctx))
+            .map_err(|e| io::Error::other(format!("spawn journal writer: {e}")))?;
         Ok(JournalWriter {
             tx,
             recorded,
             dropped,
+            rotated,
             handle: Mutex::new(Some(handle)),
             path,
         })
@@ -263,6 +345,7 @@ impl JournalWriter {
         JournalStats {
             recorded: self.recorded.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            rotated: self.rotated.load(Ordering::Relaxed),
         }
     }
 
@@ -279,20 +362,142 @@ impl Drop for JournalWriter {
     }
 }
 
-fn writer_loop(rx: &Receiver<Msg>, file: fs::File, mut next_seq: u64, dropped: &AtomicU64) {
+struct WriterCtx {
+    dir: PathBuf,
+    path: PathBuf,
+    rotate_bytes: u64,
+    dropped: Arc<AtomicU64>,
+    rotated: Arc<AtomicU64>,
+}
+
+fn journal_header() -> String {
+    format!("{{\"magic\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION}}}\n")
+}
+
+fn writer_loop(
+    rx: &Receiver<Msg>,
+    file: fs::File,
+    mut next_seq: u64,
+    mut bytes: u64,
+    ctx: &WriterCtx,
+) {
     let start = Instant::now();
     let mut out = io::BufWriter::new(file);
     while let Ok(Msg::Record(entry)) = rx.recv() {
         let ts_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let line = record_line(&entry, next_seq, ts_us, dropped.load(Ordering::Relaxed));
+        let line = record_line(&entry, next_seq, ts_us, ctx.dropped.load(Ordering::Relaxed));
         next_seq += 1;
         // Line + newline in one write, then flush: a crash tears at most
         // the final line, which loaders skip.
         let _ = out.write_all(line.as_bytes());
         let _ = out.write_all(b"\n");
         let _ = out.flush();
+        bytes += line.len() as u64 + 1;
+        if ctx.rotate_bytes > 0 && bytes >= ctx.rotate_bytes {
+            // On rotation failure, keep appending to the current file —
+            // losing rotation is better than losing records.
+            if let Ok(fresh_len) = rotate_live(&mut out, ctx) {
+                bytes = fresh_len;
+                ctx.rotated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
     let _ = out.flush();
+}
+
+/// Seals the live file (trailer + fsync), renames it to the next
+/// `journal.<n>.jsonl`, fsyncs the directory and starts a fresh live
+/// file, swapping it into `out`. Returns the fresh file's length.
+fn rotate_live(out: &mut io::BufWriter<fs::File>, ctx: &WriterCtx) -> io::Result<u64> {
+    out.flush()?;
+    out.get_ref().sync_all()?;
+    let content = fs::read_to_string(&ctx.path)?;
+    let trailer = seal_line(&content);
+    out.write_all(trailer.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()?;
+    // The seal must be durable before the rename publishes the segment
+    // under its rotated name.
+    out.get_ref().sync_all()?;
+    fs::rename(
+        &ctx.path,
+        rotated_path(&ctx.dir, next_rotated_index(&ctx.dir)),
+    )?;
+    sync_dir(&ctx.dir)?;
+    let header = journal_header();
+    fs::write(&ctx.path, header.as_bytes())?;
+    *out = io::BufWriter::new(OpenOptions::new().append(true).open(&ctx.path)?);
+    Ok(header.len() as u64)
+}
+
+fn seal_line(content: &str) -> String {
+    let records = content.lines().count().saturating_sub(1);
+    format!(
+        "{{\"sealed\":true,\"records\":{records},\"check\":\"{:016x}\"}}",
+        fnv64(content.as_bytes())
+    )
+}
+
+/// Whether `line` is a valid seal trailer for the `prefix` bytes before
+/// it, covering exactly the `loaded` records scanned so far.
+fn seal_matches(line: &str, prefix: &str, loaded: usize) -> bool {
+    let Ok(v) = json::parse(line) else {
+        return false;
+    };
+    if v.get("sealed") != Some(&JsonValue::Bool(true)) {
+        return false;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let records_ok = v.get("records").and_then(JsonValue::as_f64) == Some(loaded as f64);
+    let check_ok = v
+        .get("check")
+        .and_then(JsonValue::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        == Some(fnv64(prefix.as_bytes()));
+    records_ok && check_ok
+}
+
+/// Path of rotated journal segment `n` (`journal.<n>.jsonl`).
+#[must_use]
+pub fn rotated_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("journal.{n}.jsonl"))
+}
+
+fn rotated_indices(dir: &Path) -> Vec<u64> {
+    let mut out = Vec::new();
+    if let Ok(rd) = fs::read_dir(dir) {
+        for e in rd.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(mid) = name
+                .strip_prefix("journal.")
+                .and_then(|s| s.strip_suffix(".jsonl"))
+            {
+                if let Ok(n) = mid.parse::<u64>() {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn next_rotated_index(dir: &Path) -> u64 {
+    rotated_indices(dir).last().map_or(1, |n| n + 1)
+}
+
+/// The sequence number a fresh live file should start at, continuing
+/// after the newest readable rotated segment (0 when there is none).
+fn next_seq_after_rotated(dir: &Path) -> u64 {
+    for n in rotated_indices(dir).into_iter().rev() {
+        if let Ok((records, _)) = load_journal(&rotated_path(dir, n)) {
+            if let Some(r) = records.last() {
+                return r.seq + 1;
+            }
+        }
+    }
+    0
 }
 
 fn record_line(entry: &JournalEntry, seq: u64, ts_us: u64, dropped: u64) -> String {
@@ -438,7 +643,7 @@ fn scan_journal(content: &str) -> Result<Scan, String> {
         valid_len: header_end as u64,
     };
     let mut prev_seq = None;
-    for (i, &(line, _, end)) in lines.iter().enumerate().skip(1) {
+    for (i, &(line, start, end)) in lines.iter().enumerate().skip(1) {
         let terminated = content.as_bytes().get(end - 1) == Some(&b'\n');
         let parsed = if terminated || !line.is_empty() {
             parse_record(line)
@@ -453,8 +658,16 @@ fn scan_journal(content: &str) -> Result<Scan, String> {
                 scan.valid_len = end as u64;
             }
             // Invalid, unterminated or out-of-order: skip. Only the
-            // final line counts as a torn tail.
+            // final line counts as a torn tail — unless it is a valid
+            // seal trailer, which marks a rotated segment.
             _ => {
+                if terminated && seal_matches(line, &content[..start], scan.report.loaded) {
+                    scan.report.sealed = true;
+                    scan.valid_len = end as u64;
+                    // Nothing after a seal is valid.
+                    scan.report.skipped += lines.len() - i - 1;
+                    break;
+                }
                 scan.report.skipped += 1;
                 if i + 1 == lines.len() {
                     scan.report.torn_tail = true;
@@ -481,6 +694,36 @@ pub fn load_journal(path: &Path) -> io::Result<(Vec<JournalRecord>, JournalLoadR
         )
     })?;
     Ok((scan.records, scan.report))
+}
+
+/// Loads every record across rotated segments and the live journal of a
+/// `--journal-dir`, in segment order — the full workload history.
+/// `loaded`/`skipped` are summed; `torn_tail` and `sealed` reflect the
+/// final file read.
+///
+/// # Errors
+///
+/// Propagates I/O and format errors from any segment.
+pub fn load_journal_dir(dir: &Path) -> io::Result<(Vec<JournalRecord>, JournalLoadReport)> {
+    let mut paths: Vec<PathBuf> = rotated_indices(dir)
+        .into_iter()
+        .map(|n| rotated_path(dir, n))
+        .collect();
+    let live = journal_path(dir);
+    if live.exists() {
+        paths.push(live);
+    }
+    let mut records = Vec::new();
+    let mut report = JournalLoadReport::default();
+    for path in paths {
+        let (mut r, rep) = load_journal(&path)?;
+        records.append(&mut r);
+        report.loaded += rep.loaded;
+        report.skipped += rep.skipped;
+        report.torn_tail = rep.torn_tail;
+        report.sealed = rep.sealed;
+    }
+    Ok((records, report))
 }
 
 #[cfg(test)]
@@ -642,6 +885,110 @@ mod tests {
     }
 
     #[test]
+    fn rotation_seals_segments_and_load_dir_reassembles_history() {
+        let dir = temp_dir("rotate");
+        // Each record line is a few hundred bytes; a 600-byte threshold
+        // forces a rotation every couple of records.
+        let writer = JournalWriter::open_with(&dir, 64, 600).unwrap();
+        for i in 0..12 {
+            let mut e = entry("schedule", "ok");
+            e.request = format!("{{\"id\":{i}}}");
+            writer.record(e);
+        }
+        writer.close();
+        let stats = writer.stats();
+        assert!(stats.rotated >= 2, "rotations happened: {stats:?}");
+
+        let indices = rotated_indices(&dir);
+        assert_eq!(indices.len() as u64, stats.rotated);
+        for &n in &indices {
+            let (_, report) = load_journal(&rotated_path(&dir, n)).unwrap();
+            assert!(report.sealed, "segment {n} carries a valid seal");
+            assert!(!report.torn_tail);
+            assert_eq!(report.skipped, 0);
+        }
+        let (_, live_report) = load_journal(&journal_path(&dir)).unwrap();
+        assert!(!live_report.sealed, "the live file is never sealed");
+
+        let (records, report) = load_journal_dir(&dir).unwrap();
+        assert_eq!(report.loaded, 12);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            (0..12).collect::<Vec<u64>>(),
+            "sequence runs unbroken across segments"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_continues_after_rotation_and_restart() {
+        let dir = temp_dir("rotseq");
+        let writer = JournalWriter::open_with(&dir, 64, 400).unwrap();
+        for _ in 0..4 {
+            writer.record(entry("schedule", "ok"));
+        }
+        writer.close();
+        let first = writer.stats();
+        assert!(first.rotated >= 1);
+
+        let writer = JournalWriter::open_with(&dir, 64, 400).unwrap();
+        writer.record(entry("simulate", "ok"));
+        writer.close();
+        let (records, _) = load_journal_dir(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            (0..5).collect::<Vec<u64>>(),
+            "restart does not reuse or skip sequence numbers"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sealed_live_file_completes_rotation_on_open() {
+        // Simulate a crash between sealing and renaming: the live file
+        // ends in a valid trailer. Opening must finish the rotation.
+        let dir = temp_dir("sealcrash");
+        let writer = JournalWriter::open(&dir, 8).unwrap();
+        writer.record(entry("schedule", "ok"));
+        writer.close();
+        let path = journal_path(&dir);
+        let content = fs::read_to_string(&path).unwrap();
+        fs::write(&path, format!("{content}{}\n", seal_line(&content))).unwrap();
+
+        let writer = JournalWriter::open(&dir, 8).unwrap();
+        writer.record(entry("simulate", "ok"));
+        writer.close();
+        assert!(rotated_path(&dir, 1).exists(), "rotation was completed");
+        let (records, _) = load_journal_dir(&dir).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_garbage_live_journal_is_quarantined_not_fatal() {
+        for (tag, bytes) in [
+            ("empty", "".as_bytes()),
+            ("garbage", b"\x00\xffnot json".as_slice()),
+        ] {
+            let dir = temp_dir(&format!("quar_{tag}"));
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(journal_path(&dir), bytes).unwrap();
+            let writer = JournalWriter::open(&dir, 8).unwrap();
+            writer.record(entry("schedule", "ok"));
+            writer.close();
+            assert!(dir.join(JOURNAL_CORRUPT).exists(), "{tag}: bytes kept");
+            let (records, report) = load_journal(&journal_path(&dir)).unwrap();
+            assert_eq!(records.len(), 1, "{tag}: fresh journal works");
+            assert_eq!(report.skipped, 0, "{tag}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
     fn emitted_journal_passes_the_obs_validator() {
         // The writer and the `trace_check --journal` validator live in
         // different crates; this is the test that keeps them in sync.
@@ -659,6 +1006,12 @@ mod tests {
         let check = tcms_obs::validate_journal(&content).unwrap();
         assert_eq!(check.records, 2);
         assert!(!check.torn_tail);
+        assert!(!check.sealed);
+        // A sealed rotated segment also passes, flagged as sealed.
+        let sealed = format!("{content}{}\n", seal_line(&content));
+        let check = tcms_obs::validate_journal(&sealed).unwrap();
+        assert_eq!(check.records, 2);
+        assert!(check.sealed);
         let _ = fs::remove_dir_all(&dir);
     }
 }

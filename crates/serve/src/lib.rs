@@ -27,7 +27,11 @@
 //! * [`server`] — accept loop, bounded queue, worker pool, deadlines
 //!   and backpressure,
 //! * [`client`] — a blocking, pipelining client (`tcms client`, the
-//!   load generator and the e2e tests),
+//!   load generator and the e2e tests) plus [`ServeClient`], the
+//!   retrying wrapper with deterministic jittered backoff,
+//! * [`chaos`] — a seeded in-process TCP fault proxy (resets, latency
+//!   spikes, truncation, mid-write kills) for exercising the failure
+//!   model end to end,
 //! * [`stats`] — the human-readable rendering of a `stats` response
 //!   (`tcms stats`),
 //! * [`error`] — [`ServeError`] with stable wire classes and codes.
@@ -37,6 +41,7 @@
 //! build constraint.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod journal;
@@ -47,14 +52,16 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, Disposition, SchedCache, ShardStats};
-pub use client::Client;
+pub use chaos::{ChaosProxy, ChaosStats};
+pub use client::{retryable_code, Client, RetryPolicy, ServeClient, DEFAULT_CONNECT_TIMEOUT};
 pub use error::ServeError;
 pub use journal::{
-    load_journal, JournalEntry, JournalLoadReport, JournalRecord, JournalStats, JournalWriter,
+    load_journal, load_journal_dir, JournalEntry, JournalLoadReport, JournalRecord, JournalStats,
+    JournalWriter,
 };
 pub use pipeline::{
     schedule_request, simulate_request, ExecContext, ScheduleArtifacts, ScheduleOptions,
-    SimulateArtifacts, SimulateOptions,
+    SimulateArtifacts, SimulateOptions, PANIC_MARKER,
 };
 pub use protocol::{Action, Request, Response};
 pub use server::{ServeConfig, Server};

@@ -119,6 +119,24 @@ pub struct ExecContext<'a> {
     pub budget: RunBudget,
     /// Observability recorder threaded through the scheduler.
     pub rec: &'a dyn Recorder,
+    /// Chaos/test hook, off by default: when set, a design containing
+    /// the literal token [`PANIC_MARKER`] panics at pipeline entry —
+    /// before the cache, because the marker lives in a comment that
+    /// canonicalization strips, so a marked design would otherwise ride
+    /// a cache hit from its unmarked twin. This is how the
+    /// fault-injection harness exercises worker supervision without a
+    /// real scheduler bug; production servers leave it disabled.
+    pub fault_marker: bool,
+}
+
+/// The design token that [`ExecContext::fault_marker`] turns into a
+/// deliberate panic (it lives in a `#` comment, so the design parses).
+pub const PANIC_MARKER: &str = "#chaos:panic";
+
+fn chaos_panic_check(fault_marker: bool, source: &str) {
+    if fault_marker && source.contains(PANIC_MARKER) {
+        panic!("chaos: deliberate panic marker in design");
+    }
 }
 
 impl Default for ExecContext<'_> {
@@ -127,6 +145,7 @@ impl Default for ExecContext<'_> {
             cache: None,
             budget: RunBudget::UNLIMITED,
             rec: &NoopRecorder,
+            fault_marker: false,
         }
     }
 }
@@ -164,6 +183,11 @@ pub fn schedule_request(
     opts: &ScheduleOptions,
     ctx: &ExecContext<'_>,
 ) -> Result<ScheduleArtifacts, ServeError> {
+    // The marker lives in a comment, which canonicalization strips — a
+    // marked design content-addresses to the same cache key as its
+    // unmarked twin. Check *before* the cache so an armed marked
+    // request panics deterministically instead of riding a cache hit.
+    chaos_panic_check(ctx.fault_marker, source);
     let system = load_system(source)?;
     let spec = build_spec(&system, opts.all_global, &opts.globals)?;
     let config = FdsConfig {
@@ -609,6 +633,23 @@ edge m0 a0
         let a = schedule_request(SAMPLE, &opts, &ctx).unwrap();
         assert!(cache.is_empty(), "degrade results are never cached");
         assert!(a.fresh_iterations > 0);
+    }
+
+    #[test]
+    fn fault_marker_panics_only_when_armed() {
+        let marked = format!("{SAMPLE}{PANIC_MARKER}\n");
+        let armed = ExecContext {
+            fault_marker: true,
+            ..ExecContext::default()
+        };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            schedule_request(&marked, &opts_global(4), &armed)
+        }));
+        assert!(panicked.is_err(), "marker + armed context panics");
+        // Disarmed, the marker is an ordinary `#` comment: the design
+        // schedules normally and renders the usual report.
+        let ok = schedule_request(&marked, &opts_global(4), &ExecContext::default()).unwrap();
+        assert!(ok.text.contains("total area"));
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub struct ServeConfig {
     /// Bounded worker→journal channel capacity; when full, entries are
     /// dropped (and counted), never queued.
     pub journal_buffer: usize,
+    /// Live-journal rotation threshold in bytes (0 disables rotation).
+    pub journal_rotate_bytes: u64,
+    /// Request-line size cap in bytes: a longer line is answered with a
+    /// typed `too-large` (413) error and the connection is closed, so a
+    /// misbehaving client can never grow a read buffer unboundedly.
+    pub max_request_bytes: usize,
+    /// Honour the chaos panic marker
+    /// ([`PANIC_MARKER`](crate::pipeline::PANIC_MARKER)) in design text —
+    /// test/bench harness support, never enabled in production serving.
+    pub fault_marker: bool,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +93,9 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             journal_dir: None,
             journal_buffer: DEFAULT_JOURNAL_BUFFER,
+            journal_rotate_bytes: 0,
+            max_request_bytes: 1 << 20,
+            fault_marker: false,
         }
     }
 }
@@ -238,6 +251,7 @@ impl Shared {
             cache,
             budget,
             rec: &NoopRecorder,
+            fault_marker: self.config.fault_marker,
         };
         // Control actions never reach the queue.
         if matches!(job.action, Action::Stats | Action::Ping | Action::Shutdown) {
@@ -248,13 +262,23 @@ impl Shared {
         self.lock_metrics()
             .gauge_set("serve.inflight", inflight as f64);
         let exec_start = Instant::now();
-        let outcome = match &job.action {
-            Action::Schedule { design, opts } => schedule_request(design, opts, &ctx)
-                .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
-            Action::Simulate { design, opts } => simulate_request(design, opts, &ctx)
-                .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
-            Action::Stats | Action::Ping | Action::Shutdown => unreachable!(),
-        };
+        // Supervision: a panicking scheduler job becomes a typed 500 for
+        // the one request that caused it — the worker, the daemon and the
+        // connection all survive. (The cache's own drop guard has already
+        // resolved any in-flight slot during the unwind, so waiters are
+        // never wedged.) This is the single place a panic is counted.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.action {
+                Action::Schedule { design, opts } => schedule_request(design, opts, &ctx)
+                    .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
+                Action::Simulate { design, opts } => simulate_request(design, opts, &ctx)
+                    .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
+                Action::Stats | Action::Ping | Action::Shutdown => unreachable!(),
+            }))
+            .unwrap_or_else(|payload| {
+                self.lock_metrics().counter_add("serve.worker.panics", 1);
+                Err(ServeError::from_panic(payload.as_ref()))
+            });
         let exec_us = dur_us(exec_start.elapsed());
         let inflight = self.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
         let total_us = dur_us(job.enqueued.elapsed());
@@ -345,6 +369,14 @@ impl Shared {
         );
         body.insert("errors".into(), num(metrics.counter("serve.errors")));
         body.insert(
+            "worker_panics".into(),
+            num(metrics.counter("serve.worker.panics")),
+        );
+        body.insert(
+            "worker_restarts".into(),
+            num(metrics.counter("serve.worker.restarts")),
+        );
+        body.insert(
             "queue_depth".into(),
             JsonValue::Number(metrics.gauge("serve.queue.depth").unwrap_or(0.0)),
         );
@@ -381,6 +413,7 @@ impl Shared {
                 journal.insert("enabled".into(), JsonValue::Bool(true));
                 journal.insert("recorded".into(), num(stats.recorded));
                 journal.insert("dropped".into(), num(stats.dropped));
+                journal.insert("rotated".into(), num(stats.rotated));
                 journal.insert(
                     "path".into(),
                     JsonValue::String(w.path().display().to_string()),
@@ -464,12 +497,17 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         }),
     });
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Byte-level line assembly instead of `read_line`: the accumulator
+    // is capped at `max_request_bytes` (a longer line is a typed 413 and
+    // the connection closes), partial reads across timeout polls are
+    // never lost, and invalid UTF-8 is a typed error, not a dead
+    // connection.
+    let cap = shared.config.max_request_bytes.max(1);
+    let mut line: Vec<u8> = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
+        let buf = match reader.fill_buf() {
+            Ok([]) => return, // client closed
+            Ok(buf) => buf,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -480,12 +518,43 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 continue;
             }
             Err(_) => return,
+        };
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let chunk = &buf[..newline.unwrap_or(buf.len())];
+        if line.len() + chunk.len() > cap {
+            // Reject and close: after an oversized line there is no
+            // trustworthy record boundary to resynchronise on, and
+            // discarding until the next newline would itself be
+            // unbounded work on attacker-controlled input.
+            shared.lock_metrics().counter_add("serve.requests", 1);
+            shared.lock_metrics().counter_add("serve.errors", 1);
+            writer.send(&error_line(
+                &JsonValue::Null,
+                &ServeError::TooLarge { limit: cap },
+            ));
+            return;
         }
-        if line.trim().is_empty() {
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(newline.is_some());
+        reader.consume(consumed);
+        if newline.is_none() {
+            continue; // line still incomplete; keep accumulating
+        }
+        let taken = std::mem::take(&mut line);
+        let Ok(text) = String::from_utf8(taken) else {
+            shared.lock_metrics().counter_add("serve.requests", 1);
+            shared.lock_metrics().counter_add("serve.errors", 1);
+            writer.send(&error_line(
+                &JsonValue::Null,
+                &ServeError::BadRequest("request line is not valid UTF-8".into()),
+            ));
+            continue;
+        };
+        if text.trim().is_empty() {
             continue;
         }
         shared.lock_metrics().counter_add("serve.requests", 1);
-        let request = match parse_request(line.trim_end()) {
+        let request = match parse_request(text.trim_end()) {
             Ok(r) => r,
             Err((id, e)) => {
                 shared.lock_metrics().counter_add("serve.errors", 1);
@@ -521,7 +590,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     .map(Duration::from_millis);
                 // Keep the raw bytes only when journaling: the journal
                 // replays the request verbatim, not a re-serialisation.
-                let raw = shared.journal.as_ref().map(|_| line.trim_end().to_owned());
+                let raw = shared.journal.as_ref().map(|_| text.trim_end().to_owned());
                 let action_name = action_label(&work);
                 let job = Job {
                     id: id.clone(),
@@ -592,9 +661,14 @@ impl Server {
             let report = persist::load_snapshot(dir, &cache)?;
             metrics.counter_add("serve.snapshot.loaded", report.loaded as u64);
             metrics.counter_add("serve.snapshot.skipped", report.skipped as u64);
+            metrics.counter_add("serve.snapshot.quarantined", u64::from(report.quarantined));
         }
         let journal = match &config.journal_dir {
-            Some(dir) => Some(JournalWriter::open(dir, config.journal_buffer)?),
+            Some(dir) => Some(JournalWriter::open_with(
+                dir,
+                config.journal_buffer,
+                config.journal_rotate_bytes,
+            )?),
             None => None,
         };
         let shared = Arc::new(Shared {
@@ -612,9 +686,26 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("tcms-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(job) = shared.dequeue() {
-                            shared.execute(job);
+                    .spawn(move || loop {
+                        // Outer supervision ring: `execute` already
+                        // converts job panics into typed 500s, so this
+                        // only trips on a panic outside the job path
+                        // (queue accounting, journaling). The loop *is*
+                        // the restart — same thread, fresh iteration —
+                        // so a worker slot is never permanently lost.
+                        let drained =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                while let Some(job) = shared.dequeue() {
+                                    shared.execute(job);
+                                }
+                            }));
+                        match drained {
+                            Ok(()) => return,
+                            Err(_) => {
+                                shared
+                                    .lock_metrics()
+                                    .counter_add("serve.worker.restarts", 1);
+                            }
                         }
                     })
                     .expect("spawn worker thread")
@@ -815,6 +906,99 @@ mod tests {
         let (server, addr) = start();
         let resp = roundtrip(addr, r#"{"id":"bye","action":"shutdown"}"#);
         assert!(resp.is_ok());
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_typed_413_then_close() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            max_request_bytes: 256,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let huge = format!(
+            r#"{{"id":"big","action":"schedule","design":"{}"}}"#,
+            "x".repeat(4096)
+        );
+        stream.write_all(huge.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = parse_response(line.trim_end()).unwrap();
+        let (class, code, _) = resp.error.unwrap();
+        assert_eq!((class.as_str(), code), ("too-large", 413));
+        // The connection is closed after the rejection: there is no
+        // trustworthy record boundary to resynchronise on.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        // The daemon itself is fine.
+        let pong = roundtrip(addr, r#"{"id":"p","action":"ping"}"#);
+        assert!(pong.is_ok());
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_gets_typed_error_and_the_connection_survives() {
+        let (server, addr) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"\xff\xfe{\"id\":1}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = parse_response(line.trim_end()).unwrap();
+        let (class, code, msg) = resp.error.unwrap();
+        assert_eq!((class.as_str(), code), ("bad-request", 2));
+        assert!(msg.contains("UTF-8"), "{msg}");
+        // Same connection keeps working.
+        stream
+            .write_all(b"{\"id\":\"p\",\"action\":\"ping\"}\n")
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(parse_response(line.trim_end()).unwrap().is_ok());
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_500_and_daemon_survives() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            fault_marker: true,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let marked = format!("{SAMPLE}{}\n", crate::pipeline::PANIC_MARKER).replace('\n', "\\n");
+        let req =
+            format!(r#"{{"id":"boom","action":"schedule","design":"{marked}","all_global":4}}"#);
+        let resp = roundtrip(addr, &req);
+        let (class, code, _) = resp
+            .error
+            .clone()
+            .unwrap_or_else(|| panic!("expected a typed error, got body {:?}", resp.body));
+        assert_eq!((class.as_str(), code), ("internal", 500));
+        assert_eq!(server.counter("serve.worker.panics"), 1);
+        // The panic neither killed the daemon nor wedged the
+        // single-flight slot: an unmarked request schedules fine.
+        let ok = roundtrip(addr, &schedule_req("after"));
+        assert!(ok.is_ok(), "{:?}", ok.error);
+        // A retry of the marked design panics again (the failure was
+        // not cached) and is again survivable.
+        let again = roundtrip(addr, &req);
+        assert_eq!(again.error.unwrap().1, 500);
+        assert_eq!(server.counter("serve.worker.panics"), 2);
+        let stats = roundtrip(addr, r#"{"id":"st","action":"stats"}"#);
+        assert_eq!(
+            stats.body.get("worker_panics").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        server.shutdown();
         server.wait().unwrap();
     }
 

@@ -8,7 +8,8 @@
 //! by a headline section (requests, errors, queue/inflight), the cache
 //! section (hit rate plus **per-shard** occupancy and evictions — shard
 //! imbalance shows up here long before the global hit rate moves) and
-//! the journal section (enabled, recorded, dropped). Older daemons
+//! the journal section (enabled, recorded, dropped, rotated). Older
+//! daemons
 //! whose bodies predate a field render what they have; nothing here is
 //! load-bearing for scripts, which should parse the JSON body instead.
 
@@ -48,6 +49,13 @@ pub fn render_stats(body: &BTreeMap<String, JsonValue>) -> String {
     let _ = writeln!(out, "  {:<22} {:>12}", "queue depth", n("queue_depth"));
     let _ = writeln!(out, "  {:<22} {:>12}", "inflight", n("inflight"));
     let _ = writeln!(out, "  {:<22} {:>12}", "workers", n("workers"));
+    let _ = writeln!(out, "  {:<22} {:>12}", "worker panics", n("worker_panics"));
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12}",
+        "worker restarts",
+        n("worker_restarts")
+    );
 
     out.push_str("cache:\n");
     let _ = writeln!(out, "  {:<22} {:>12}", "entries", n("cache_entries"));
@@ -92,6 +100,7 @@ pub fn render_stats(body: &BTreeMap<String, JsonValue>) -> String {
             let g = |key: &str| journal.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
             let _ = writeln!(out, "  {:<22} {:>12}", "recorded", g("recorded"));
             let _ = writeln!(out, "  {:<22} {:>12}", "dropped", g("dropped"));
+            let _ = writeln!(out, "  {:<22} {:>12}", "rotated", g("rotated"));
             if let Some(path) = journal.get("path").and_then(JsonValue::as_str) {
                 let _ = writeln!(out, "  {:<22} {path}", "path");
             }
@@ -143,6 +152,8 @@ mod tests {
         let body = body_with(&[
             ("requests", JsonValue::Number(7.0)),
             ("errors", JsonValue::Number(1.0)),
+            ("worker_panics", JsonValue::Number(3.0)),
+            ("worker_restarts", JsonValue::Number(1.0)),
             ("cache_entries", JsonValue::Number(3.0)),
             ("cache_hit_rate", JsonValue::Number(0.5)),
             ("cache_shards", JsonValue::Array(vec![shard])),
@@ -152,6 +163,9 @@ mod tests {
         let text = render_stats(&body);
         for needle in [
             "daemon:",
+            "worker panics",
+            "worker restarts",
+            "rotated",
             "cache:",
             "hit rate",
             "50.0%",

@@ -76,6 +76,7 @@ impl CliError {
     /// | 9 | schedule verification failure |
     /// | 10 | backend (binding/RTL) failure |
     /// | 11 | remote service failure (unless the daemon's code is 2–10) |
+    /// | 12 | daemon-internal failure (worker panic, wire code 500) |
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -89,7 +90,11 @@ impl CliError {
             CliError::Verify(_) | CliError::Schedule(ScheduleError::VerificationFailed { .. }) => 9,
             CliError::Backend(_) => 10,
             // A remote scheduling failure keeps its one-shot exit code;
-            // the service-only classes (429/408/503) fold to 11.
+            // a daemon-internal failure (500) gets its own code so
+            // operators can tell "the daemon crashed on this job" from
+            // ordinary service pushback; the remaining service-only
+            // classes (429/408/413/503) fold to 11.
+            CliError::Service { code: 500, .. } => 12,
             CliError::Service { code, .. } => u8::try_from(*code)
                 .ok()
                 .filter(|c| (2..=10).contains(c))
@@ -130,7 +135,9 @@ fn serve_to_cli(e: ServeError) -> CliError {
         other @ (ServeError::UnknownAction(_)
         | ServeError::Overloaded { .. }
         | ServeError::DeadlineExpired { .. }
-        | ServeError::ShuttingDown) => CliError::Service {
+        | ServeError::ShuttingDown
+        | ServeError::TooLarge { .. }
+        | ServeError::Internal(_)) => CliError::Service {
             class: other.class().to_owned(),
             code: other.code(),
             message: other.to_string(),
@@ -144,6 +151,20 @@ impl std::error::Error for CliError {
             CliError::Schedule(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+/// Connects to a daemon honouring `--timeout-ms`: when given, the value
+/// bounds both the connect and every read; when absent, connects under
+/// the default 5 s timeout and reads without one (scheduling jobs may
+/// legitimately take a while).
+fn connect_client(addr: &str, timeout_ms: Option<u64>) -> std::io::Result<Client> {
+    match timeout_ms {
+        Some(ms) => {
+            let t = std::time::Duration::from_millis(ms.max(1));
+            Client::connect_with(addr, Some(t), Some(t))
+        }
+        None => Client::connect(addr),
     }
 }
 
@@ -261,6 +282,9 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Workload-journal directory (from `--journal-dir`).
         journal_dir: Option<String>,
+        /// Journal rotation threshold in bytes
+        /// (from `--journal-rotate-bytes`; 0 = never rotate).
+        journal_rotate_bytes: Option<u64>,
         /// Worker-thread count for the scheduler itself
         /// (from `--threads`; 0 = auto).
         threads: Option<usize>,
@@ -271,12 +295,18 @@ pub enum Command {
         addr: String,
         /// The request to send.
         action: ClientCommand,
+        /// Connect *and* read timeout in ms (from `--timeout-ms`;
+        /// absent = 5 s connect timeout, unlimited read).
+        timeout_ms: Option<u64>,
     },
     /// Fetch a daemon's statistics and render them human-readably
     /// (`tcms client <addr> stats` prints the raw JSON instead).
     Stats {
         /// Daemon address, e.g. `127.0.0.1:7733`.
         addr: String,
+        /// Connect *and* read timeout in ms (from `--timeout-ms`;
+        /// absent = 5 s connect timeout, unlimited read).
+        timeout_ms: Option<u64>,
     },
     /// Print the Graphviz rendering of a design.
     Dot {
@@ -386,6 +416,9 @@ SERVE OPTIONS:
   --journal-dir <DIR>     capture an append-only workload journal
                           (JSONL; replayable with the repro_replay bench,
                           checkable with trace_check --journal)
+  --journal-rotate-bytes <N>
+                          seal and rotate the journal when the live file
+                          exceeds N bytes (default 0 = never rotate)
   --threads <N>           scheduler worker threads, as for schedule
 
 CLIENT REQUESTS:
@@ -394,6 +427,9 @@ CLIENT REQUESTS:
   tcms client <addr> ping | stats | shutdown
   (`--stats` is accepted as an alias for `stats`; `tcms stats <addr>`
   renders the same data as a summary instead of raw JSON)
+  [--timeout-ms N]        bound the connect and each read; without it
+                          connects time out after 5 s and reads block
+                          (also accepted by `tcms stats`)
 ";
 
 /// Parses a command line (without the program name).
@@ -580,6 +616,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cache_dir = None;
             let mut deadline_ms = None;
             let mut journal_dir = None;
+            let mut journal_rotate_bytes = None;
             let mut threads = None;
             fn num<T: std::str::FromStr>(
                 it: &mut std::slice::Iter<'_, String>,
@@ -603,6 +640,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--journal-dir" => {
                         journal_dir = Some(it.next().ok_or("--journal-dir needs a path")?.clone());
                     }
+                    "--journal-rotate-bytes" => {
+                        journal_rotate_bytes = Some(num(&mut it, "--journal-rotate-bytes")?);
+                    }
                     "--threads" => threads = Some(num(&mut it, "--threads")?),
                     other => return Err(format!("unknown option `{other}`")),
                 }
@@ -618,16 +658,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cache_dir,
                 deadline_ms,
                 journal_dir,
+                journal_rotate_bytes,
                 threads,
             })
         }
         "stats" => {
             let addr = it.next().ok_or("stats needs a daemon address")?.clone();
-            Ok(Command::Stats { addr })
+            let mut timeout_ms = None;
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--timeout-ms" => {
+                        let v = it.next().ok_or("--timeout-ms needs a value")?;
+                        timeout_ms = Some(
+                            v.parse()
+                                .map_err(|_| format!("bad value `{v}` for --timeout-ms"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Stats { addr, timeout_ms })
         }
         "client" => {
             let addr = it.next().ok_or("client needs a daemon address")?.clone();
-            let request = it.next().ok_or("client needs a request")?.clone();
+            let mut timeout_ms = None;
             fn num<T: std::str::FromStr>(
                 it: &mut std::slice::Iter<'_, String>,
                 flag: &str,
@@ -635,6 +689,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
             }
+            // `--timeout-ms` may come before the request verb…
+            let request = loop {
+                let word = it.next().ok_or("client needs a request")?.clone();
+                if word == "--timeout-ms" {
+                    timeout_ms = Some(num(&mut it, "--timeout-ms")?);
+                } else {
+                    break word;
+                }
+            };
             let action = match request.as_str() {
                 "ping" => ClientCommand::Ping,
                 "stats" | "--stats" => ClientCommand::Stats,
@@ -652,6 +715,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "--degrade" => opts.degrade = true,
                             "--verify" => opts.verify = num(&mut it, "--verify")?,
                             "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                            "--timeout-ms" => timeout_ms = Some(num(&mut it, "--timeout-ms")?),
                             other => parse_spec_option(
                                 other,
                                 &mut it,
@@ -679,6 +743,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             "--seed" => opts.seed = num(&mut it, "--seed")?,
                             "--mean-gap" => opts.mean_gap = num(&mut it, "--mean-gap")?,
                             "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                            "--timeout-ms" => timeout_ms = Some(num(&mut it, "--timeout-ms")?),
                             other => parse_spec_option(
                                 other,
                                 &mut it,
@@ -705,7 +770,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     ));
                 }
             };
-            Ok(Command::Client { addr, action })
+            // …or after a control verb (schedule/simulate consume their
+            // own options above, so anything left here is trailing).
+            while let Some(opt) = it.next() {
+                match opt.as_str() {
+                    "--timeout-ms" => timeout_ms = Some(num(&mut it, "--timeout-ms")?),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Client {
+                addr,
+                action,
+                timeout_ms,
+            })
         }
         other => Err(format!("unknown command `{other}` (try `tcms help`)")),
     }
@@ -1038,6 +1115,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             cache_dir,
             deadline_ms,
             journal_dir,
+            journal_rotate_bytes,
             threads,
         } => {
             if let Some(n) = threads {
@@ -1052,6 +1130,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 cache_dir: cache_dir.as_deref().map(std::path::PathBuf::from),
                 default_deadline_ms: *deadline_ms,
                 journal_dir: journal_dir.as_deref().map(std::path::PathBuf::from),
+                journal_rotate_bytes: journal_rotate_bytes.unwrap_or(0),
                 ..ServeConfig::default()
             };
             let server = Server::start(config).map_err(|e| CliError::Io {
@@ -1070,9 +1149,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             })?;
             Ok("tcms-serve shut down\n".to_owned())
         }
-        Command::Client { addr, action } => {
+        Command::Client {
+            addr,
+            action,
+            timeout_ms,
+        } => {
             let connect = |addr: &str| {
-                Client::connect(addr).map_err(|e| CliError::Io {
+                connect_client(addr, *timeout_ms).map_err(|e| CliError::Io {
                     path: addr.to_owned(),
                     message: e.to_string(),
                 })
@@ -1124,8 +1207,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 None => Ok(format!("{}\n", crate::obs::json::to_string(&response.body))),
             }
         }
-        Command::Stats { addr } => {
-            let mut client = Client::connect(addr).map_err(|e| CliError::Io {
+        Command::Stats { addr, timeout_ms } => {
+            let mut client = connect_client(addr, *timeout_ms).map_err(|e| CliError::Io {
                 path: addr.clone(),
                 message: e.to_string(),
             })?;
@@ -1639,12 +1722,21 @@ process b time=8 { z := p * q; }
                 cache_dir: Some("/tmp/c".into()),
                 deadline_ms: Some(500),
                 journal_dir: Some("/tmp/j".into()),
+                journal_rotate_bytes: None,
                 threads: None,
             }
         );
         assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
         assert!(parse_args(&args(&["serve", "--bogus"])).is_err());
         assert!(parse_args(&args(&["serve", "--journal-dir"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&["serve", "--journal-rotate-bytes", "65536"])).unwrap(),
+            Command::Serve {
+                journal_rotate_bytes: Some(65536),
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["serve", "--journal-rotate-bytes", "x"])).is_err());
     }
 
     #[test]
@@ -1652,10 +1744,20 @@ process b time=8 { z := p * q; }
         assert_eq!(
             parse_args(&args(&["stats", "127.0.0.1:7733"])).unwrap(),
             Command::Stats {
-                addr: "127.0.0.1:7733".into()
+                addr: "127.0.0.1:7733".into(),
+                timeout_ms: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["stats", "a:1", "--timeout-ms", "750"])).unwrap(),
+            Command::Stats {
+                addr: "a:1".into(),
+                timeout_ms: Some(750),
             }
         );
         assert!(parse_args(&args(&["stats"])).is_err());
+        assert!(parse_args(&args(&["stats", "a:1", "--timeout-ms"])).is_err());
+        assert!(parse_args(&args(&["stats", "a:1", "--bogus"])).is_err());
     }
 
     #[test]
@@ -1674,7 +1776,7 @@ process b time=8 { z := p * q; }
         ]))
         .unwrap();
         match cmd {
-            Command::Client { addr, action } => {
+            Command::Client { addr, action, .. } => {
                 assert_eq!(addr, "127.0.0.1:7733");
                 match action {
                     ClientCommand::Schedule {
@@ -1709,6 +1811,32 @@ process b time=8 { z := p * q; }
         assert!(parse_args(&args(&["client", "a:1", "frob"])).is_err());
         assert!(parse_args(&args(&["client", "a:1"])).is_err());
         assert!(parse_args(&args(&["client", "a:1", "simulate", "x", "--horizon", "0"])).is_err());
+        // `--timeout-ms` is accepted before the request verb, after a
+        // control verb, and among schedule/simulate options.
+        for argv in [
+            vec!["client", "a:1", "--timeout-ms", "250", "ping"],
+            vec!["client", "a:1", "ping", "--timeout-ms", "250"],
+            vec![
+                "client",
+                "a:1",
+                "schedule",
+                "x.dfg",
+                "--all-global",
+                "4",
+                "--timeout-ms",
+                "250",
+            ],
+        ] {
+            assert!(matches!(
+                parse_args(&args(&argv)).unwrap(),
+                Command::Client {
+                    timeout_ms: Some(250),
+                    ..
+                }
+            ));
+        }
+        assert!(parse_args(&args(&["client", "a:1", "ping", "--timeout-ms"])).is_err());
+        assert!(parse_args(&args(&["client", "a:1", "ping", "--bogus"])).is_err());
     }
 
     #[test]
@@ -1721,7 +1849,7 @@ process b time=8 { z := p * q; }
         };
         assert_eq!(remote.exit_code(), 6);
         // Service-only classes fold to the dedicated code 11.
-        for code in [429u16, 408, 503] {
+        for code in [429u16, 408, 413, 503] {
             let e = CliError::Service {
                 class: "overloaded".into(),
                 code,
@@ -1730,6 +1858,15 @@ process b time=8 { z := p * q; }
             assert_eq!(e.exit_code(), 11);
             assert!(e.to_string().contains("service error"));
         }
+        // A daemon-internal failure (worker panic, wire 500) gets its
+        // own exit code so operators can distinguish "the daemon
+        // crashed on this job" from ordinary service pushback.
+        let internal = serve_to_cli(ServeError::Internal("scheduler panicked".into()));
+        assert_eq!(internal.exit_code(), 12);
+        assert!(internal.to_string().contains("internal/500"));
+        let too_large = serve_to_cli(ServeError::TooLarge { limit: 1024 });
+        assert_eq!(too_large.exit_code(), 11);
+        assert!(too_large.to_string().contains("too-large/413"));
         // An unknown-action rejection (wire code 404) is pinned to the
         // same fold: a version-skewed daemon exits 11, never something
         // that collides with a scheduling failure.

@@ -472,9 +472,17 @@ fn stats_subcommand_renders_live_introspection() {
             .expect("response")
             .is_ok());
     }
-    let rendered = run(&Command::Stats { addr }).expect("stats renders");
+    // `--timeout-ms` bounds the stats round-trip; against a healthy
+    // daemon it must not change the outcome.
+    let rendered = run(&Command::Stats {
+        addr,
+        timeout_ms: Some(2_000),
+    })
+    .expect("stats renders");
     for needle in [
         "daemon:",
+        "worker panics",
+        "worker restarts",
         "cache:",
         "hit rate",
         "shard",
@@ -491,4 +499,205 @@ fn stats_subcommand_renders_live_introspection() {
     }
     server.shutdown();
     server.wait().unwrap();
+}
+
+/// Every way a cache snapshot can rot on disk — a flipped bit, a
+/// truncated tail, a zero-length file — must be detected by the
+/// checksum trailer, quarantined to `cache.jsonl.corrupt`, and survived
+/// with a cold start: the restarted daemon recomputes (miss), re-saves,
+/// and serves hits again.
+#[test]
+fn corrupt_snapshots_quarantine_and_daemon_starts_cold() {
+    use tcms::serve::persist::{quarantine_path, snapshot_path};
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+    type Corruptor = fn(&std::path::Path);
+    let corruptions: [(&str, Corruptor); 3] = [
+        ("bit-flip", |p| {
+            let mut bytes = std::fs::read(p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(p, bytes).unwrap();
+        }),
+        ("truncate", |p| {
+            let bytes = std::fs::read(p).unwrap();
+            std::fs::write(p, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        }),
+        ("zero-length", |p| {
+            std::fs::write(p, b"").unwrap();
+        }),
+    ];
+    for (tag, corrupt) in corruptions {
+        let dir =
+            std::env::temp_dir().join(format!("tcms_e2e_snapcorrupt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let boot = |workers| {
+            Server::start(ServeConfig {
+                listen: "127.0.0.1:0".into(),
+                workers,
+                cache_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            })
+            .expect("daemon starts")
+        };
+        // Warm a snapshot.
+        let server = boot(2);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let resp = client
+            .request(&schedule_request_line("warmup", &design, &opts, None))
+            .expect("response");
+        assert_eq!(resp.cache(), Some("miss"), "{tag}");
+        server.shutdown();
+        server.wait().unwrap();
+        assert!(snapshot_path(&dir).exists(), "{tag}: snapshot saved");
+
+        corrupt(&snapshot_path(&dir));
+
+        // Restart: the rot is caught, moved aside, and the daemon is
+        // cold but alive.
+        let server = boot(2);
+        assert!(
+            quarantine_path(&dir).exists(),
+            "{tag}: corrupt snapshot quarantined, not deleted"
+        );
+        assert_eq!(server.counter("serve.snapshot.quarantined"), 1, "{tag}");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for (id, expected) in [("cold", "miss"), ("rewarmed", "hit")] {
+            let resp = client
+                .request(&schedule_request_line(id, &design, &opts, None))
+                .expect("response");
+            assert!(resp.is_ok(), "{tag}/{id}: {resp:?}");
+            assert_eq!(resp.cache(), Some(expected), "{tag}/{id}");
+        }
+        server.shutdown();
+        server.wait().unwrap();
+
+        // The re-saved snapshot is intact: one more boot loads it warm.
+        let server = boot(1);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let resp = client
+            .request(&schedule_request_line("reloaded", &design, &opts, None))
+            .expect("response");
+        assert_eq!(resp.cache(), Some("hit"), "{tag}: snapshot round-trips");
+        server.shutdown();
+        server.wait().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// With `--journal-rotate-bytes`, a busy daemon seals and rotates its
+/// journal mid-run; every sealed segment passes the strict validator,
+/// and the directory loader reassembles the full uninterrupted history.
+#[test]
+fn journal_rotation_seals_segments_under_live_load() {
+    let dir = std::env::temp_dir().join(format!("tcms_e2e_rotate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        journal_rotate_bytes: 2_048,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    let opts = ScheduleOptions {
+        all_global: Some(5),
+        ..ScheduleOptions::default()
+    };
+    let rounds = 12;
+    for i in 0..rounds {
+        assert!(client
+            .request(&schedule_request_line(
+                &format!("r{i}"),
+                &design,
+                &opts,
+                None
+            ))
+            .expect("response")
+            .is_ok());
+    }
+    let rotated = server.journal_stats().expect("journal enabled").rotated;
+    assert!(rotated >= 1, "the workload crossed the rotation threshold");
+    server.shutdown();
+    server.wait().unwrap();
+
+    for n in 1..=rotated {
+        let content = std::fs::read_to_string(tcms::serve::journal::rotated_path(&dir, n)).unwrap();
+        let check = tcms::obs::validate_journal(&content)
+            .unwrap_or_else(|e| panic!("segment {n} fails validation: {e}"));
+        assert!(check.sealed, "segment {n} carries its seal trailer");
+        assert!(!check.torn_tail);
+    }
+    let (records, report) = tcms::serve::load_journal_dir(&dir).expect("directory loads");
+    assert_eq!(report.loaded, rounds, "no record lost to rotation");
+    assert_eq!(
+        records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        (0..rounds as u64).collect::<Vec<_>>(),
+        "one gapless sequence across all segments"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A zero-length live journal — the classic crash-at-create artifact —
+/// is quarantined on boot; the daemon starts with a fresh journal and
+/// keeps recording.
+#[test]
+fn zero_length_journal_quarantines_and_daemon_boots() {
+    let dir = std::env::temp_dir().join(format!("tcms_e2e_jnlzero_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(tcms::serve::journal::journal_path(&dir), b"").unwrap();
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 1,
+        journal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots over the empty journal");
+    assert!(
+        dir.join(tcms::serve::journal::JOURNAL_CORRUPT).exists(),
+        "empty journal moved aside, not deleted"
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let design = std::fs::read_to_string(design_path("paper_table1.dfg")).unwrap();
+    assert!(client
+        .request(&schedule_request_line(
+            "j0",
+            &design,
+            &ScheduleOptions {
+                all_global: Some(5),
+                ..ScheduleOptions::default()
+            },
+            None,
+        ))
+        .expect("response")
+        .is_ok());
+    server.shutdown();
+    server.wait().unwrap();
+    let (records, _) = tcms::serve::load_journal(&tcms::serve::journal::journal_path(&dir))
+        .expect("fresh journal loads");
+    assert_eq!(records.len(), 1, "recording resumed after quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `--timeout-ms` client flag fails fast against a black-hole
+/// address instead of hanging the CLI (the original `connect` blocked
+/// indefinitely on unroutable addresses).
+#[test]
+fn client_timeout_flag_fails_fast_on_dead_addresses() {
+    let started = std::time::Instant::now();
+    // Port 1 on loopback: nothing listens; connect errors immediately
+    // or times out — either way the bound is the flag, not TCP defaults.
+    let err = run(&Command::Stats {
+        addr: "127.0.0.1:1".into(),
+        timeout_ms: Some(300),
+    })
+    .expect_err("no daemon there");
+    assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    assert_eq!(err.exit_code(), 3, "transport failures are I/O errors");
 }
