@@ -33,12 +33,13 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use tcms_bench::workload::{percentile, synthetic_requests};
 use tcms_fds::RunBudget;
 use tcms_obs::json::{self, JsonValue};
 use tcms_obs::NoopRecorder;
 use tcms_serve::pipeline::{schedule_request, simulate_request, ExecContext};
 use tcms_serve::protocol::{parse_request, Action};
-use tcms_serve::{load_journal, load_journal_dir, Client, ScheduleOptions, ServeConfig, Server};
+use tcms_serve::{load_journal, load_journal_dir, Client, ServeConfig, Server};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 const REPLAY_CLIENTS: usize = 4;
@@ -47,94 +48,6 @@ const REPLAY_CLIENTS: usize = 4;
 /// a replay under different concurrency may legitimately differ.
 fn load_dependent(class: &str) -> bool {
     matches!(class, "overloaded" | "deadline" | "shutting-down")
-}
-
-/// A small synthetic design; `stages` controls its size and `broken`
-/// makes it fail to parse (journals must capture error outcomes too).
-fn make_design(stages: usize, broken: bool) -> String {
-    if broken {
-        return format!("resource add delay=oops stages={stages}");
-    }
-    let time = 6 + 3 * stages;
-    let mut lines = vec![
-        "resource add delay=1 area=1".to_owned(),
-        "resource mul delay=2 area=4 pipelined".to_owned(),
-    ];
-    for pname in ["P", "Q"] {
-        lines.push(format!("process {pname}"));
-        lines.push(format!("block body time={time}"));
-        for s in 0..stages {
-            lines.push(format!("op m{s} mul"));
-            lines.push(format!("op a{s} add"));
-        }
-        for s in 0..stages {
-            lines.push(format!("edge m{s} a{s}"));
-            if s > 0 {
-                lines.push(format!("edge a{} m{s}", s - 1));
-            }
-        }
-    }
-    lines.push(String::new());
-    lines.join("\n")
-}
-
-fn lcg_next(state: &mut u64) -> u64 {
-    *state = state
-        .wrapping_mul(6_364_136_223_846_793_005)
-        .wrapping_add(1_442_695_040_888_963_407);
-    *state
-}
-
-#[allow(clippy::cast_precision_loss)]
-fn uniform01(state: &mut u64) -> f64 {
-    (lcg_next(state) >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// Cumulative Zipf(α) distribution over `n` ranks.
-#[allow(clippy::cast_precision_loss)]
-fn zipf_cdf(n: usize, alpha: f64) -> Vec<f64> {
-    let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut acc = 0.0;
-    weights
-        .iter()
-        .map(|w| {
-            acc += w / total;
-            acc
-        })
-        .collect()
-}
-
-fn draw(cdf: &[f64], state: &mut u64) -> usize {
-    let u = uniform01(state);
-    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
-}
-
-/// Generates the synthetic request stream for one skew setting.
-fn synthetic_requests(requests: usize, designs: usize, alpha: f64, seed: u64) -> Vec<String> {
-    let pool: Vec<String> = (0..designs)
-        // The two least-popular ranks are broken designs: the journal
-        // and the replay must carry error outcomes too, and placing
-        // them in the Zipf tail keeps the hot set all-valid so the
-        // hit-rate-vs-skew comparison stays clean.
-        .map(|d| make_design(2 + d % 4, d + 2 >= designs))
-        .collect();
-    let cdf = zipf_cdf(designs, alpha);
-    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
-    (0..requests)
-        .map(|r| {
-            let design = &pool[draw(&cdf, &mut state)];
-            tcms_serve::client::schedule_request_line(
-                &format!("r{r}"),
-                design,
-                &ScheduleOptions {
-                    all_global: Some(4),
-                    ..ScheduleOptions::default()
-                },
-                None,
-            )
-        })
-        .collect()
 }
 
 /// Runs the workload through a capture daemon and returns the journaled
@@ -188,6 +101,9 @@ fn one_shot(line: &str) -> Outcome {
         budget: RunBudget::UNLIMITED,
         rec: &NoopRecorder,
         fault_marker: false,
+        // Match the replay daemons' ServeConfig default so auto-routing
+        // decisions (and thus response bytes) line up.
+        auto_partition_ops: tcms_serve::DEFAULT_AUTO_PARTITION_OPS,
     };
     let wire = |e: &tcms_serve::ServeError| Outcome::Err(e.class().to_owned(), e.code());
     match parse_request(line) {
@@ -215,19 +131,6 @@ struct RunResult {
     hit_rate: f64,
     compared: usize,
     skipped_load_dependent: usize,
-}
-
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    #[allow(
-        clippy::cast_possible_truncation,
-        clippy::cast_sign_loss,
-        clippy::cast_precision_loss
-    )]
-    let idx = (((sorted.len() - 1) as f64) * q).round() as usize;
-    sorted[idx]
 }
 
 /// Replays `lines` against a fresh daemon with `workers` workers and

@@ -3,7 +3,9 @@
 //!
 //! * [`experiments`] — reusable runners for Table 1, Figure 1 and Figure 2
 //!   plus the render functions the `repro_*` binaries print,
-//! * [`table`] — fixed-width text tables.
+//! * [`table`] — fixed-width text tables,
+//! * [`workload`] — seeded synthetic request streams (LCG + Zipf) shared
+//!   by the serve-facing benchmarks.
 //!
 //! Binaries (run with `cargo run -p tcms-bench --bin <name>`):
 //!
@@ -14,6 +16,7 @@
 //! | `repro_figure2` | Figure 2: unmodified vs. modified force ratings |
 //! | `repro_period_sweep` | §3.2 period trade-off curve |
 //! | `repro_scope_ablation` | per-type local/global ablation of step (S1) |
+//! | `repro_partition_scaling` | partitioned vs monolithic scheduling (DESIGN §13) |
 //!
 //! Criterion benches (`cargo bench -p tcms-bench`) measure the scheduling
 //! runtimes the paper reports alongside Table 1, the FDS-vs-IFDS baseline
@@ -22,6 +25,7 @@
 pub mod experiments;
 pub mod obs;
 pub mod table;
+pub mod workload;
 
 pub use experiments::{
     paper_spec, render_stats, render_table1, run_figure1, run_figure1_recorded, run_figure2,
@@ -30,3 +34,4 @@ pub use experiments::{
 };
 pub use obs::ObsSession;
 pub use table::{float_profile, profile, TextTable};
+pub use workload::{make_design, percentile, scaling_config, synthetic_requests, zipf_cdf};

@@ -1,0 +1,397 @@
+//! Deterministic partitioning of a multi-process [`System`] into subgraphs.
+//!
+//! Because dependencies never cross block (hence process) boundaries —
+//! [`crate::IrError::CrossBlockEdge`] is rejected at build time — partitioning
+//! the dependency graph reduces to partitioning the *process set*. Processes
+//! couple only through shared global resource types, so the partitioner
+//! treats "both processes use resource type `k`" as an affinity edge weighted
+//! by the type's area cost: co-locating the users of an expensive type keeps
+//! its sharing decisions inside one partition, while every type whose users
+//! end up spread across partitions contributes *cut edges* that the feedback
+//! iteration in `tcms-core` must reconcile.
+//!
+//! The algorithm is seeded greedy community growth:
+//!
+//! 1. order processes by descending op count (seed-perturbed tie-break),
+//! 2. seed each of the `k` partitions with one process from the head of the
+//!    order (guaranteeing non-empty partitions),
+//! 3. grow communities by assigning each remaining process to the partition
+//!    with the highest affinity, subject to a balance cap, breaking ties by
+//!    lowest load then lowest partition index.
+//!
+//! Every step is a deterministic function of `(system, k, seed)` — no
+//! iteration over hash maps, no thread-count dependence — so partitionings
+//! are bit-stable across runs and machines.
+
+use crate::process::ProcessId;
+use crate::resource::ResourceTypeId;
+use crate::system::{System, SystemBuilder};
+use crate::IrError;
+use crate::{BlockId, OpId};
+
+/// A partitioning of the process set into disjoint, non-empty parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Disjoint process sets, each sorted by process index. Union = all
+    /// processes. Parts are ordered by the index of their smallest member.
+    pub parts: Vec<Vec<ProcessId>>,
+    /// Cut cost: for every resource type shared by ≥ 2 processes, the number
+    /// of partitions containing at least one user minus one. Zero means the
+    /// partitions share no resource type and scheduling decomposes exactly.
+    pub cut_edges: usize,
+}
+
+impl Partitioning {
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `true` if the partitioning has no parts (empty system).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// Default partition size target used by [`auto_partition_count`]: one
+/// partition per this many operations.
+pub const AUTO_OPS_PER_PARTITION: usize = 250;
+
+/// Picks a partition count for `system` as a pure function of the spec:
+/// one partition per started [`AUTO_OPS_PER_PARTITION`] operations —
+/// keeping every subproblem *at most* the target size, which is what
+/// matters given the engine's superlinear cost in ops — clamped to
+/// `[1, num_processes]`.
+///
+/// Deliberately independent of thread count or environment so that `auto`
+/// partitioning stays bit-identical across machines.
+pub fn auto_partition_count(system: &System) -> usize {
+    system
+        .num_ops()
+        .div_ceil(AUTO_OPS_PER_PARTITION)
+        .max(1)
+        .min(system.num_processes().max(1))
+}
+
+/// Splitmix-style hash for seed-stable tie-breaking.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Affinity between a process and a partition: sum over resource types used
+/// by both of `max(area, 1)`.
+fn affinity(proc_types: &[Vec<ResourceTypeId>], system: &System, p: usize, part: &[usize]) -> u64 {
+    let mut total = 0u64;
+    for &t in &proc_types[p] {
+        let weight = system.library().get(t).area().max(1);
+        if part
+            .iter()
+            .any(|&q| proc_types[q].binary_search(&t).is_ok())
+        {
+            total += weight;
+        }
+    }
+    total
+}
+
+/// Partitions the process set of `system` into at most `k` parts.
+///
+/// `k` is clamped to `[1, num_processes]`. The result is a deterministic
+/// function of `(system, k, seed)`; the same inputs always produce the same
+/// partitioning, regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if the system has no processes.
+pub fn partition_processes(system: &System, k: usize, seed: u64) -> Partitioning {
+    let n = system.num_processes();
+    assert!(n > 0, "cannot partition an empty system");
+    let k = k.clamp(1, n);
+
+    // Per-process sorted type lists (types_used_by_process returns sorted).
+    let proc_types: Vec<Vec<ResourceTypeId>> = (0..n)
+        .map(|p| system.types_used_by_process(ProcessId::from_index(p)))
+        .collect();
+    let weight: Vec<u64> = (0..n)
+        .map(|p| {
+            system
+                .process(ProcessId::from_index(p))
+                .blocks()
+                .iter()
+                .map(|&b| system.block(b).len() as u64)
+                .sum()
+        })
+        .collect();
+    let total_weight: u64 = weight.iter().sum();
+    // Balance cap: 15% headroom over the ideal share, but never below the
+    // heaviest single process (a part must be able to hold any process).
+    let cap =
+        (total_weight * 115 / 100 / k as u64 + 1).max(weight.iter().copied().max().unwrap_or(1));
+
+    // Deterministic, seed-perturbed order: heavy processes first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&p| (std::cmp::Reverse(weight[p]), mix(seed, p as u64), p));
+
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut load = vec![0u64; k];
+    for (i, &p) in order.iter().take(k).enumerate() {
+        parts[i].push(p);
+        load[i] = weight[p];
+    }
+    for &p in order.iter().skip(k) {
+        let mut best = 0usize;
+        let mut best_key = (0u64, u64::MAX); // (affinity desc, load asc)
+        let mut found = false;
+        for i in 0..k {
+            if load[i] + weight[p] > cap {
+                continue;
+            }
+            let a = affinity(&proc_types, system, p, &parts[i]);
+            if !found || a > best_key.0 || (a == best_key.0 && load[i] < best_key.1) {
+                best = i;
+                best_key = (a, load[i]);
+                found = true;
+            }
+        }
+        if !found {
+            // Every part is at capacity; fall back to the least loaded.
+            best = (0..k).min_by_key(|&i| (load[i], i)).unwrap();
+        }
+        parts[best].push(p);
+        load[best] += weight[p];
+    }
+
+    let mut parts: Vec<Vec<ProcessId>> = parts
+        .into_iter()
+        .map(|mut part| {
+            part.sort_unstable();
+            part.into_iter().map(ProcessId::from_index).collect()
+        })
+        .collect();
+    parts.sort_by_key(|part| part.first().map_or(u32::MAX, |p| p.index() as u32));
+
+    let cut_edges = cut_cost(system, &parts);
+    Partitioning { parts, cut_edges }
+}
+
+/// Cut cost of a partitioning: Σ over shared resource types of
+/// (#partitions containing a user − 1).
+pub fn cut_cost(system: &System, parts: &[Vec<ProcessId>]) -> usize {
+    let mut part_of = vec![usize::MAX; system.num_processes()];
+    for (i, part) in parts.iter().enumerate() {
+        for &p in part {
+            part_of[p.index()] = i;
+        }
+    }
+    let mut cut = 0usize;
+    for (t, _) in system.library().iter() {
+        let users = system.users_of_type(t);
+        if users.len() < 2 {
+            continue;
+        }
+        let mut seen = vec![false; parts.len()];
+        let mut spread = 0usize;
+        for &p in &users {
+            let i = part_of[p.index()];
+            if i != usize::MAX && !seen[i] {
+                seen[i] = true;
+                spread += 1;
+            }
+        }
+        cut += spread.saturating_sub(1);
+    }
+    cut
+}
+
+/// Id maps from a subsystem extracted by [`extract_subsystem`] back to the
+/// full system. Indexed by the *subsystem* id's dense index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsystemMap {
+    /// `ops[sub_op.index()]` is the full-system op id.
+    pub ops: Vec<OpId>,
+    /// `blocks[sub_block.index()]` is the full-system block id.
+    pub blocks: Vec<BlockId>,
+    /// `processes[sub_process.index()]` is the full-system process id.
+    pub processes: Vec<ProcessId>,
+}
+
+/// Extracts the subsystem induced by `processes` (with the full resource
+/// library, so [`ResourceTypeId`]s stay aligned with the parent system).
+///
+/// Processes are emitted in the order given; blocks and operations keep
+/// their insertion order within each process, and all intra-block edges are
+/// preserved. Returns the subsystem plus id maps back to the full system.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from the builder; a subsystem of a valid system is
+/// itself valid, so errors indicate ids foreign to `system`.
+pub fn extract_subsystem(
+    system: &System,
+    processes: &[ProcessId],
+) -> Result<(System, SubsystemMap), IrError> {
+    let mut builder = SystemBuilder::new(system.library().clone());
+    let mut map = SubsystemMap {
+        ops: Vec::new(),
+        blocks: Vec::new(),
+        processes: Vec::new(),
+    };
+    let mut op_to_sub = vec![None; system.num_ops()];
+    for &p in processes {
+        let sub_p = builder.add_process(system.process(p).name());
+        map.processes.push(p);
+        debug_assert_eq!(sub_p.index(), map.processes.len() - 1);
+        for &b in system.process(p).blocks() {
+            let block = system.block(b);
+            let sub_b = builder.add_block(sub_p, block.name(), block.time_range())?;
+            map.blocks.push(b);
+            debug_assert_eq!(sub_b.index(), map.blocks.len() - 1);
+            for &o in block.ops() {
+                let op = system.op(o);
+                let sub_o = builder.add_op(sub_b, op.name(), op.resource_type())?;
+                map.ops.push(o);
+                op_to_sub[o.index()] = Some(sub_o);
+            }
+        }
+    }
+    // Edges second: all ops of a block exist before its edges are added.
+    for (i, &full_op) in map.ops.iter().enumerate() {
+        let sub_from = OpId::from_index(i);
+        for &succ in system.succs(full_op) {
+            let sub_to = op_to_sub[succ.index()]
+                .expect("successor is in the same block, hence the same subsystem");
+            builder.add_dep(sub_from, sub_to)?;
+        }
+    }
+    Ok((builder.build()?, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::{random_system, RandomSystemConfig};
+    use crate::resource::{ResourceLibrary, ResourceType};
+
+    fn sample_system(processes: usize, seed: u64) -> System {
+        let config = RandomSystemConfig {
+            processes,
+            ..RandomSystemConfig::default()
+        };
+        random_system(&config, seed).unwrap().0
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let sys = sample_system(6, 1);
+        for k in 1..=7 {
+            let part = partition_processes(&sys, k, 42);
+            assert_eq!(part.len(), k.min(6));
+            let mut seen = vec![false; sys.num_processes()];
+            for part in &part.parts {
+                assert!(!part.is_empty(), "no part may be empty");
+                for &p in part {
+                    assert!(!seen[p.index()], "process assigned twice");
+                    seen[p.index()] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every process assigned");
+        }
+    }
+
+    #[test]
+    fn partitioning_is_seed_stable() {
+        let sys = sample_system(8, 3);
+        let a = partition_processes(&sys, 3, 7);
+        let b = partition_processes(&sys, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_part_contains_everything_in_order() {
+        let sys = sample_system(4, 9);
+        let part = partition_processes(&sys, 1, 0);
+        assert_eq!(part.len(), 1);
+        let expected: Vec<ProcessId> = sys.process_ids().collect();
+        assert_eq!(part.parts[0], expected);
+        assert_eq!(part.cut_edges, 0);
+    }
+
+    #[test]
+    fn auto_count_scales_with_ops() {
+        let sys = sample_system(2, 5);
+        assert_eq!(auto_partition_count(&sys), 1);
+        let big = sample_system(12, 5);
+        let k = auto_partition_count(&big);
+        assert!(k >= 1 && k <= big.num_processes());
+    }
+
+    #[test]
+    fn extract_subsystem_preserves_structure() {
+        let sys = sample_system(5, 11);
+        let part = partition_processes(&sys, 2, 0);
+        let mut total_ops = 0;
+        for processes in &part.parts {
+            let (sub, map) = extract_subsystem(&sys, processes).unwrap();
+            total_ops += sub.num_ops();
+            assert_eq!(sub.num_processes(), processes.len());
+            assert_eq!(map.ops.len(), sub.num_ops());
+            // Names, types and block ranges survive extraction.
+            for (sub_o, op) in sub.ops() {
+                let full = sys.op(map.ops[sub_o.index()]);
+                assert_eq!(op.name(), full.name());
+                assert_eq!(op.resource_type(), full.resource_type());
+            }
+            for (sub_b, block) in sub.blocks() {
+                let full = sys.block(map.blocks[sub_b.index()]);
+                assert_eq!(block.time_range(), full.time_range());
+                assert_eq!(block.len(), full.len());
+            }
+            // Edge structure survives modulo the id maps.
+            for (sub_o, _) in sub.ops() {
+                let full_o = map.ops[sub_o.index()];
+                let mut sub_succs: Vec<OpId> = sub
+                    .succs(sub_o)
+                    .iter()
+                    .map(|&s| map.ops[s.index()])
+                    .collect();
+                sub_succs.sort_unstable();
+                let mut full_succs: Vec<OpId> = sys.succs(full_o).to_vec();
+                full_succs.sort_unstable();
+                assert_eq!(sub_succs, full_succs);
+            }
+        }
+        assert_eq!(total_ops, sys.num_ops());
+    }
+
+    #[test]
+    fn extracting_all_processes_in_order_keeps_op_count_and_names() {
+        let sys = sample_system(3, 2);
+        let all: Vec<ProcessId> = sys.process_ids().collect();
+        let (sub, map) = extract_subsystem(&sys, &all).unwrap();
+        assert_eq!(sub.num_ops(), sys.num_ops());
+        assert_eq!(sub.num_blocks(), sys.num_blocks());
+        assert_eq!(map.processes, all);
+    }
+
+    #[test]
+    fn cut_cost_counts_spread_types() {
+        // Two processes sharing one type, split across two parts => 1 cut.
+        let mut lib = ResourceLibrary::new();
+        let add = lib.add(ResourceType::new("add", 1)).unwrap();
+        let mut b = SystemBuilder::new(lib);
+        let p0 = b.add_process("p0");
+        let p1 = b.add_process("p1");
+        let b0 = b.add_block(p0, "b", 4).unwrap();
+        let b1 = b.add_block(p1, "b", 4).unwrap();
+        b.add_op(b0, "x", add).unwrap();
+        b.add_op(b1, "y", add).unwrap();
+        let sys = b.build().unwrap();
+        let split = vec![vec![p0], vec![p1]];
+        assert_eq!(cut_cost(&sys, &split), 1);
+        let together = vec![vec![p0, p1]];
+        assert_eq!(cut_cost(&sys, &together), 0);
+    }
+}

@@ -61,7 +61,7 @@ pub use journal::{
 };
 pub use pipeline::{
     schedule_request, simulate_request, ExecContext, ScheduleArtifacts, ScheduleOptions,
-    SimulateArtifacts, SimulateOptions, PANIC_MARKER,
+    SimulateArtifacts, SimulateOptions, DEFAULT_AUTO_PARTITION_OPS, PANIC_MARKER,
 };
 pub use protocol::{Action, Request, Response};
 pub use server::{ServeConfig, Server};

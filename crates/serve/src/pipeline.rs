@@ -30,8 +30,8 @@ use std::fmt::Write as _;
 
 use tcms_core::degrade::schedule_with_degradation_recorded;
 use tcms_core::{
-    check_execution, config_fingerprint, random_activations, CacheableResult, LadderConfig,
-    ModuloScheduler, SharingSpec,
+    check_execution, config_fingerprint, random_activations, schedule_partitioned_recorded,
+    CacheableResult, LadderConfig, ModuloScheduler, PartitionConfig, PartitionCount, SharingSpec,
 };
 use tcms_fds::{gantt, FdsConfig, RunBudget, Schedule};
 use tcms_ir::canon::Canonicalization;
@@ -109,6 +109,11 @@ pub struct ScheduleOptions {
     /// Retry failures through the degradation ladder (`--degrade`);
     /// bypasses the cache.
     pub degrade: bool,
+    /// Feedback-guided subgraph decomposition (`--partition <K|auto>`);
+    /// like `degrade`, partitioned runs bypass the cache. `None` follows
+    /// the context's size threshold
+    /// ([`ExecContext::auto_partition_ops`]).
+    pub partition: Option<PartitionCount>,
 }
 
 /// Execution context of one pipeline run.
@@ -127,7 +132,17 @@ pub struct ExecContext<'a> {
     /// fault-injection harness exercises worker supervision without a
     /// real scheduler bug; production servers leave it disabled.
     pub fault_marker: bool,
+    /// Specs with at least this many operations are routed through the
+    /// feedback-guided partitioner even when the request does not ask
+    /// for it (`0` disables the automatic routing). Requests that set
+    /// [`ScheduleOptions::partition`] explicitly always win.
+    pub auto_partition_ops: usize,
 }
+
+/// Default [`ExecContext::auto_partition_ops`]: specs of this size and
+/// above decompose into parallel partitions (a pure function of the
+/// design, so one-shot CLI runs and daemon responses stay identical).
+pub const DEFAULT_AUTO_PARTITION_OPS: usize = 500;
 
 /// The design token that [`ExecContext::fault_marker`] turns into a
 /// deliberate panic (it lives in a `#` comment, so the design parses).
@@ -146,6 +161,7 @@ impl Default for ExecContext<'_> {
             budget: RunBudget::UNLIMITED,
             rec: &NoopRecorder,
             fault_marker: false,
+            auto_partition_ops: DEFAULT_AUTO_PARTITION_OPS,
         }
     }
 }
@@ -195,6 +211,13 @@ pub fn schedule_request(
         ..FdsConfig::default()
     };
 
+    // Explicit `--partition` always wins; otherwise over-threshold specs
+    // are routed through the partitioner automatically.
+    let partition = opts.partition.or_else(|| {
+        (ctx.auto_partition_ops > 0 && system.num_ops() >= ctx.auto_partition_ops)
+            .then_some(PartitionCount::Auto)
+    });
+
     let mut cache_key = None;
     let (system, spec, schedule, iterations, fresh_iterations, disposition, note) = if opts.degrade
     {
@@ -208,13 +231,44 @@ pub fn schedule_request(
             &LadderConfig::default(),
             ctx.rec,
         )?;
-        let note = outcome.summary();
+        let note = format!("degradation: {}", outcome.summary());
         let final_system = outcome.system.unwrap_or(system);
         let iterations = outcome.iterations;
         (
             final_system,
             outcome.spec,
             outcome.schedule,
+            iterations,
+            iterations,
+            Disposition::Miss,
+            Some(note),
+        )
+    } else if let Some(count) = partition {
+        // Partitioned runs merge independently scheduled subgraphs, so
+        // like `degrade` they are not content-addressed — bypass the
+        // cache. The driver re-verifies the merged schedule against the
+        // full specification before returning.
+        let (schedule, iterations, note) = {
+            let pcfg = PartitionConfig {
+                count,
+                ..PartitionConfig::default()
+            };
+            let out = schedule_partitioned_recorded(&system, spec.clone(), &config, &pcfg, ctx.rec)
+                .map_err(ServeError::from)?;
+            let note = format!(
+                "partitioned: {} subgraphs, {} feedback rounds, {} cut edges",
+                out.partitions, out.rounds, out.cut_edges
+            );
+            let iterations = out.iterations();
+            (out.schedule, iterations, note)
+        };
+        schedule
+            .verify(&system)
+            .map_err(|e| ServeError::Verify(e.to_string()))?;
+        (
+            system,
+            spec,
+            schedule,
             iterations,
             iterations,
             Disposition::Miss,
@@ -311,6 +365,8 @@ pub fn schedule_request(
 }
 
 /// Renders the schedule report exactly as `tcms schedule` prints it.
+/// `note` is an optional self-describing provenance line (degradation
+/// summary, partition telemetry) printed verbatim below the summary.
 ///
 /// # Errors
 ///
@@ -321,15 +377,15 @@ pub fn render_schedule_report(
     spec: &SharingSpec,
     schedule: &Schedule,
     iterations: u64,
-    degradation_note: Option<&str>,
+    note: Option<&str>,
     want_gantt: bool,
     verify: usize,
 ) -> Result<String, ServeError> {
     let report = tcms_core::compute_report(system, spec, schedule);
     let mut out = String::new();
     let _ = writeln!(out, "{}", display::summary(system));
-    if let Some(note) = degradation_note {
-        let _ = writeln!(out, "degradation: {note}");
+    if let Some(note) = note {
+        let _ = writeln!(out, "{note}");
     }
     let _ = writeln!(out, "iterations: {iterations}");
     for (k, rt) in system.library().iter() {
@@ -633,6 +689,66 @@ edge m0 a0
         let a = schedule_request(SAMPLE, &opts, &ctx).unwrap();
         assert!(cache.is_empty(), "degrade results are never cached");
         assert!(a.fresh_iterations > 0);
+    }
+
+    #[test]
+    fn partition_requests_bypass_the_cache_and_note_the_split() {
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let opts = ScheduleOptions {
+            partition: Some(PartitionCount::Fixed(2)),
+            ..opts_global(4)
+        };
+        let a = schedule_request(SAMPLE, &opts, &ctx).unwrap();
+        assert!(cache.is_empty(), "partitioned results are never cached");
+        assert_eq!(a.disposition, Disposition::Miss);
+        assert!(a.fresh_iterations > 0);
+        assert!(
+            a.text.contains("partitioned: 2 subgraphs"),
+            "report names the split: {}",
+            a.text
+        );
+    }
+
+    #[test]
+    fn single_partition_renders_identical_bytes_to_monolithic() {
+        let plain = schedule_request(SAMPLE, &opts_global(4), &ExecContext::default()).unwrap();
+        let opts = ScheduleOptions {
+            partition: Some(PartitionCount::Fixed(1)),
+            ..opts_global(4)
+        };
+        let one = schedule_request(SAMPLE, &opts, &ExecContext::default()).unwrap();
+        // K=1 delegates to the monolithic scheduler; only the note line
+        // differs from a plain run.
+        let strip = |t: &str| {
+            t.lines()
+                .filter(|l| !l.starts_with("partitioned:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one.text), strip(&plain.text));
+        assert!(one.text.contains("partitioned: 1 subgraphs"));
+    }
+
+    #[test]
+    fn auto_partition_threshold_routes_large_specs() {
+        // Threshold at/below the op count → auto-partitioned note; the
+        // explicit field still wins over the context default.
+        let ctx = ExecContext {
+            auto_partition_ops: 4,
+            ..ExecContext::default()
+        };
+        let auto = schedule_request(SAMPLE, &opts_global(4), &ctx).unwrap();
+        assert!(auto.text.contains("partitioned:"), "{}", auto.text);
+        let off = ExecContext {
+            auto_partition_ops: 0,
+            ..ExecContext::default()
+        };
+        let plain = schedule_request(SAMPLE, &opts_global(4), &off).unwrap();
+        assert!(!plain.text.contains("partitioned:"));
     }
 
     #[test]

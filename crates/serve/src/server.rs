@@ -79,6 +79,12 @@ pub struct ServeConfig {
     /// ([`PANIC_MARKER`](crate::pipeline::PANIC_MARKER)) in design text —
     /// test/bench harness support, never enabled in production serving.
     pub fault_marker: bool,
+    /// Route designs with at least this many operations through the
+    /// feedback-guided partitioner (0 disables automatic routing; an
+    /// explicit `partition` request field always wins). Defaults to
+    /// [`crate::pipeline::DEFAULT_AUTO_PARTITION_OPS`], matching the
+    /// one-shot CLI so responses stay bit-identical.
+    pub auto_partition_ops: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +102,7 @@ impl Default for ServeConfig {
             journal_rotate_bytes: 0,
             max_request_bytes: 1 << 20,
             fault_marker: false,
+            auto_partition_ops: crate::pipeline::DEFAULT_AUTO_PARTITION_OPS,
         }
     }
 }
@@ -252,6 +259,7 @@ impl Shared {
             budget,
             rec: &NoopRecorder,
             fault_marker: self.config.fault_marker,
+            auto_partition_ops: self.config.auto_partition_ops,
         };
         // Control actions never reach the queue.
         if matches!(job.action, Action::Stats | Action::Ping | Action::Shutdown) {

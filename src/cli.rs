@@ -209,6 +209,10 @@ pub enum Command {
         /// Retry infeasible or budget-tripped specifications through the
         /// graceful-degradation ladder (from `--degrade`).
         degrade: bool,
+        /// Feedback-guided subgraph decomposition (from
+        /// `--partition <K|auto>`); `None` keeps the pipeline's
+        /// size-threshold routing.
+        partition: Option<crate::modulo::PartitionCount>,
         /// Worker-thread count override (from `--threads`; 0 = auto).
         threads: Option<usize>,
         /// Persistent content-addressed result cache directory
@@ -280,6 +284,9 @@ pub enum Command {
         cache_dir: Option<String>,
         /// Default per-job deadline in ms (from `--deadline-ms`).
         deadline_ms: Option<u64>,
+        /// Automatic partition-routing threshold in operations
+        /// (from `--auto-partition-ops`; 0 disables).
+        auto_partition_ops: Option<usize>,
         /// Workload-journal directory (from `--journal-dir`).
         journal_dir: Option<String>,
         /// Journal rotation threshold in bytes
@@ -379,6 +386,12 @@ SCHEDULE OPTIONS:
   --save <file.sched>     write the schedule to disk
   --degrade               on failure, retry through the degradation ladder
                           (relax periods, demote groups, widen time, rc fallback)
+  --partition <K|auto>    decompose into K subgraphs (or one per ~250 ops with
+                          `auto`) scheduled in parallel with feedback-frozen
+                          cross-partition profiles; `--partition 1` is
+                          bit-identical to a monolithic run. Designs with 500+
+                          operations partition automatically; results are
+                          re-verified against the full spec and bypass the cache
   --threads <N>           worker threads for candidate-force evaluation
                           (0 = auto; also via the TCMS_THREADS env var);
                           results are bit-identical at every thread count
@@ -413,6 +426,9 @@ SERVE OPTIONS:
   --cache-capacity <N>    result-cache entries (default 1024; 0 disables)
   --cache-dir <DIR>       load/save the cache snapshot across restarts
   --deadline-ms <N>       default per-job deadline
+  --auto-partition-ops <N>
+                          route designs with N+ operations through the
+                          parallel partitioner (default 500; 0 disables)
   --journal-dir <DIR>     capture an append-only workload journal
                           (JSONL; replayable with the repro_replay bench,
                           checkable with trace_check --journal)
@@ -464,12 +480,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut metrics = false;
             let mut timeline = None;
             let mut degrade = false;
+            let mut partition = None;
             let mut threads = None;
             let mut cache_dir = None;
             while let Some(opt) = it.next() {
                 match opt.as_str() {
                     "--gantt" => gantt = true,
                     "--degrade" => degrade = true,
+                    "--partition" => {
+                        let v = it.next().ok_or("--partition needs a count or `auto`")?;
+                        partition = Some(parse_partition(v)?);
+                    }
                     "--cache-dir" => {
                         cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
                     }
@@ -505,6 +526,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics,
                 timeline,
                 degrade,
+                partition,
                 threads,
                 cache_dir,
             })
@@ -615,6 +637,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cache_capacity = 1024usize;
             let mut cache_dir = None;
             let mut deadline_ms = None;
+            let mut auto_partition_ops = None;
             let mut journal_dir = None;
             let mut journal_rotate_bytes = None;
             let mut threads = None;
@@ -637,6 +660,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
                     }
                     "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+                    "--auto-partition-ops" => {
+                        auto_partition_ops = Some(num(&mut it, "--auto-partition-ops")?);
+                    }
                     "--journal-dir" => {
                         journal_dir = Some(it.next().ok_or("--journal-dir needs a path")?.clone());
                     }
@@ -657,6 +683,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cache_capacity,
                 cache_dir,
                 deadline_ms,
+                auto_partition_ops,
                 journal_dir,
                 journal_rotate_bytes,
                 threads,
@@ -713,6 +740,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         match opt.as_str() {
                             "--gantt" => opts.gantt = true,
                             "--degrade" => opts.degrade = true,
+                            "--partition" => {
+                                let v = it.next().ok_or("--partition needs a count or `auto`")?;
+                                opts.partition = Some(parse_partition(v)?);
+                            }
                             "--verify" => opts.verify = num(&mut it, "--verify")?,
                             "--deadline-ms" => deadline_ms = Some(num(&mut it, "--deadline-ms")?),
                             "--timeout-ms" => timeout_ms = Some(num(&mut it, "--timeout-ms")?),
@@ -788,6 +819,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Parses the `--partition` value: `auto` or a positive subgraph count.
+fn parse_partition(v: &str) -> Result<crate::modulo::PartitionCount, String> {
+    if v == "auto" {
+        return Ok(crate::modulo::PartitionCount::Auto);
+    }
+    match v.parse::<usize>() {
+        Ok(k) if k > 0 => Ok(crate::modulo::PartitionCount::Fixed(k)),
+        _ => Err(format!(
+            "bad partition count `{v}` (positive number or `auto`)"
+        )),
+    }
+}
+
 /// Parses one `--all-global`/`--global` option shared by several commands.
 fn parse_spec_option(
     opt: &str,
@@ -850,6 +894,7 @@ pub fn schedule_source(
             gantt: want_gantt,
             verify,
             degrade: false,
+            partition: None,
         },
         &NoopRecorder,
         None,
@@ -911,6 +956,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             metrics,
             timeline,
             degrade,
+            partition,
             threads,
             cache_dir,
         } => {
@@ -946,6 +992,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 gantt: *gantt,
                 verify: *verify,
                 degrade: *degrade,
+                partition: *partition,
             };
             let (mut out, system, schedule) =
                 schedule_source_full(&read(input)?, &opts, rec, cache.as_ref())?;
@@ -1114,6 +1161,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             cache_capacity,
             cache_dir,
             deadline_ms,
+            auto_partition_ops,
             journal_dir,
             journal_rotate_bytes,
             threads,
@@ -1129,6 +1177,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 cache_shards: 8,
                 cache_dir: cache_dir.as_deref().map(std::path::PathBuf::from),
                 default_deadline_ms: *deadline_ms,
+                auto_partition_ops: auto_partition_ops
+                    .unwrap_or(crate::serve::DEFAULT_AUTO_PARTITION_OPS),
                 journal_dir: journal_dir.as_deref().map(std::path::PathBuf::from),
                 journal_rotate_bytes: journal_rotate_bytes.unwrap_or(0),
                 ..ServeConfig::default()
@@ -1291,6 +1341,7 @@ edge m0 a0
                 metrics: false,
                 timeline: None,
                 degrade: false,
+                partition: None,
                 threads: None,
                 cache_dir: None,
             }
@@ -1311,6 +1362,45 @@ edge m0 a0
         }
         assert!(parse_args(&args(&["schedule", "x.dfg", "--threads"])).is_err());
         assert!(parse_args(&args(&["schedule", "x.dfg", "--threads", "many"])).is_err());
+    }
+
+    #[test]
+    fn parse_partition_option() {
+        use crate::modulo::PartitionCount;
+        let cmd = parse_args(&args(&["schedule", "x.dfg", "--partition", "auto"])).unwrap();
+        match cmd {
+            Command::Schedule { partition, .. } => {
+                assert_eq!(partition, Some(PartitionCount::Auto));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&["schedule", "x.dfg", "--partition", "4"])).unwrap();
+        match cmd {
+            Command::Schedule { partition, .. } => {
+                assert_eq!(partition, Some(PartitionCount::Fixed(4)));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // The client subcommand accepts the same flag.
+        let cmd = parse_args(&args(&[
+            "client",
+            "127.0.0.1:1",
+            "schedule",
+            "x.dfg",
+            "--partition",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client {
+                action: ClientCommand::Schedule { opts, .. },
+                ..
+            } => assert_eq!(opts.partition, Some(PartitionCount::Fixed(2))),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse_args(&args(&["schedule", "x.dfg", "--partition"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x.dfg", "--partition", "0"])).is_err());
+        assert!(parse_args(&args(&["schedule", "x.dfg", "--partition", "soon"])).is_err());
     }
 
     #[test]
@@ -1613,6 +1703,7 @@ process b time=8 { z := p * q; }
             metrics: false,
             timeline: None,
             degrade: false,
+            partition: None,
             threads: None,
             cache_dir: None,
         })
@@ -1647,6 +1738,7 @@ process b time=8 { z := p * q; }
             metrics: true,
             timeline: Some(timeline.to_string_lossy().into_owned()),
             degrade: false,
+            partition: None,
             threads: None,
             cache_dir: None,
         })
@@ -1721,6 +1813,7 @@ process b time=8 { z := p * q; }
                 cache_capacity: 64,
                 cache_dir: Some("/tmp/c".into()),
                 deadline_ms: Some(500),
+                auto_partition_ops: None,
                 journal_dir: Some("/tmp/j".into()),
                 journal_rotate_bytes: None,
                 threads: None,
@@ -1729,6 +1822,14 @@ process b time=8 { z := p * q; }
         assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
         assert!(parse_args(&args(&["serve", "--bogus"])).is_err());
         assert!(parse_args(&args(&["serve", "--journal-dir"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&["serve", "--auto-partition-ops", "0"])).unwrap(),
+            Command::Serve {
+                auto_partition_ops: Some(0),
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["serve", "--auto-partition-ops", "x"])).is_err());
         assert!(matches!(
             parse_args(&args(&["serve", "--journal-rotate-bytes", "65536"])).unwrap(),
             Command::Serve {
@@ -1893,6 +1994,7 @@ process b time=8 { z := p * q; }
             metrics: false,
             timeline: None,
             degrade: false,
+            partition: None,
             threads: None,
             cache_dir: cache.then(|| dir.join("cache").to_string_lossy().into_owned()),
         };

@@ -110,6 +110,7 @@ fn cli_without_degrade_exits_infeasible_and_with_degrade_recovers() {
         metrics: false,
         timeline: None,
         degrade,
+        partition: None,
         threads: None,
         cache_dir: None,
     };

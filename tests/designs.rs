@@ -35,6 +35,7 @@ fn cli_schedules_checked_in_dfg() {
         metrics: false,
         timeline: None,
         degrade: false,
+        partition: None,
         threads: None,
         cache_dir: None,
     })
@@ -56,6 +57,7 @@ fn cli_schedules_checked_in_behavioral() {
         metrics: false,
         timeline: None,
         degrade: false,
+        partition: None,
         threads: None,
         cache_dir: None,
     })

@@ -53,6 +53,7 @@ fn every_corpus_file_yields_a_typed_malformed_error() {
             metrics: false,
             timeline: None,
             degrade: false,
+            partition: None,
             threads: None,
             cache_dir: None,
         })

@@ -1,0 +1,147 @@
+//! Property tests of the feedback-guided partitioned driver: whatever
+//! feasible system we decompose, the merged schedule must satisfy every
+//! structural and execution invariant of a monolithic run, a single
+//! partition must *be* the monolithic run bit for bit, and neither
+//! promise may bend when the worker-thread count changes.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+
+use tcms::fds::{threads, FdsConfig};
+use tcms::ir::generators::{random_system, RandomSystemConfig};
+use tcms::modulo::{
+    check_execution, compute_report, random_activations, schedule_partitioned, ModuloScheduler,
+    PartitionConfig, PartitionCount, SharingSpec,
+};
+
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn threads_lock() -> MutexGuard<'static, ()> {
+    THREADS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn fixed(k: usize) -> PartitionConfig {
+    PartitionConfig {
+        count: PartitionCount::Fixed(k),
+        ..PartitionConfig::default()
+    }
+}
+
+fn partition_config() -> impl Strategy<Value = (RandomSystemConfig, u64, u32, usize)> {
+    (
+        2usize..6, // processes
+        2usize..5, // layers
+        1usize..4, // max ops per layer
+        0u64..500, // system seed
+        3u32..7,   // period
+        1usize..4, // partitions
+    )
+        .prop_map(|(procs, layers, maxops, seed, period, parts)| {
+            (
+                RandomSystemConfig {
+                    processes: procs,
+                    blocks_per_process: 1,
+                    layers,
+                    ops_per_layer: (1, maxops),
+                    edge_prob: 0.4,
+                    slack: 2.0,
+                    type_weights: [3, 1, 2],
+                },
+                seed,
+                period,
+                parts,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The merged schedule of any partition count passes the same
+    /// verification a monolithic schedule must: structural validity plus
+    /// simulated executions against the full-spec authorization pools.
+    #[test]
+    fn merged_partitioned_schedules_verify((cfg, seed, period, parts) in partition_config()) {
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+        prop_assume!(ModuloScheduler::new(&system, spec.clone()).unwrap().run().is_ok());
+        let out = schedule_partitioned(&system, spec.clone(), &FdsConfig::default(), &fixed(parts))
+            .unwrap();
+        prop_assert_eq!(out.schedule.assigned(), system.num_ops());
+        out.schedule.verify(&system).unwrap();
+        let report = compute_report(&system, &spec, &out.schedule);
+        for act_seed in 0..3 {
+            let acts = random_activations(&system, &spec, &out.schedule, 3, act_seed);
+            check_execution(&system, &spec, &out.schedule, &report, &acts).unwrap();
+        }
+    }
+
+    /// `--partition 1` is not "almost" the monolithic scheduler — it is
+    /// the monolithic scheduler: identical start times, identical
+    /// iteration count.
+    #[test]
+    fn single_partition_equals_monolithic((cfg, seed, period, _parts) in partition_config()) {
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, period);
+        prop_assume!(tcms::modulo::period::spacing_feasible(&system, &spec));
+        let Ok(mono) = ModuloScheduler::new(&system, spec.clone()).unwrap().run() else {
+            return Ok(());
+        };
+        let part = schedule_partitioned(&system, spec, &FdsConfig::default(), &fixed(1)).unwrap();
+        prop_assert_eq!(part.partitions, 1);
+        prop_assert_eq!(mono.schedule.starts(), part.schedule.starts());
+        prop_assert_eq!(mono.iterations, part.iterations());
+    }
+}
+
+/// Both the partitioned merge and its single-partition degeneration are
+/// pinned across worker-thread counts: the decomposition parallelism
+/// must never leak the machine into the result.
+#[test]
+fn partitioned_results_are_bit_identical_across_thread_counts() {
+    let _guard = threads_lock();
+    let cfg = RandomSystemConfig {
+        processes: 5,
+        blocks_per_process: 1,
+        layers: 4,
+        ops_per_layer: (1, 3),
+        edge_prob: 0.4,
+        slack: 2.5,
+        type_weights: [2, 1, 2],
+    };
+    for seed in 0..4u64 {
+        let (system, _) = random_system(&cfg, seed).unwrap();
+        let spec = SharingSpec::all_global(&system, 4);
+        threads::set(1);
+        let mono_ref = ModuloScheduler::new(&system, spec.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let part_ref =
+            schedule_partitioned(&system, spec.clone(), &FdsConfig::default(), &fixed(2)).unwrap();
+        for n in [1usize, 2, 4] {
+            threads::set(n);
+            let part =
+                schedule_partitioned(&system, spec.clone(), &FdsConfig::default(), &fixed(2))
+                    .unwrap();
+            assert_eq!(
+                part.schedule.starts(),
+                part_ref.schedule.starts(),
+                "seed {seed}: {n} threads changed the merged schedule"
+            );
+            let one = schedule_partitioned(&system, spec.clone(), &FdsConfig::default(), &fixed(1))
+                .unwrap();
+            assert_eq!(
+                one.schedule.starts(),
+                mono_ref.schedule.starts(),
+                "seed {seed}: --partition 1 at {n} threads diverged from monolithic"
+            );
+            assert_eq!(one.iterations(), mono_ref.iterations);
+        }
+        threads::set(0);
+    }
+}

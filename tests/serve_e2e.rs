@@ -105,6 +105,7 @@ fn daemon_output_is_bit_identical_to_one_shot_cli() {
         metrics: false,
         timeline: None,
         degrade: false,
+        partition: None,
         threads: None,
         cache_dir: None,
     })
