@@ -32,16 +32,43 @@ use tcms_ir::canon::{Canonicalization, Fnv64};
 use tcms_ir::System;
 
 use crate::assign::{Scope, SharingSpec};
+use crate::partition::{PartitionConfig, PartitionCount};
 
 /// Stable 64-bit fingerprint of everything the schedule depends on
 /// besides the design itself: the sharing specification (in canonical
 /// type/process coordinates) and the deterministic [`FdsConfig`] knobs.
+///
+/// Equivalent to [`config_fingerprint_with`] with no partitioning —
+/// the two produce identical fingerprints for monolithic runs, so
+/// snapshots written before partitioned results became cacheable stay
+/// warm.
 #[must_use]
 pub fn config_fingerprint(
     system: &System,
     canon: &Canonicalization,
     spec: &SharingSpec,
     config: &FdsConfig,
+) -> u64 {
+    config_fingerprint_with(system, canon, spec, config, None)
+}
+
+/// [`config_fingerprint`] extended with the partition configuration.
+///
+/// Feedback-guided partitioned runs ([`crate::schedule_partitioned`])
+/// are deterministic functions of the design *and* the partition knobs
+/// (subgraph count policy, partitioner seed, feedback-round cap, verify
+/// seeds, polish passes), so those knobs must separate cache entries:
+/// the same design scheduled monolithically, partitioned into K=2 and
+/// partitioned into K=4 are three distinct content addresses. `None`
+/// serializes exactly like the original v1 text, keeping pre-existing
+/// monolithic fingerprints (and on-disk snapshots) valid.
+#[must_use]
+pub fn config_fingerprint_with(
+    system: &System,
+    canon: &Canonicalization,
+    spec: &SharingSpec,
+    config: &FdsConfig,
+    partition: Option<&PartitionConfig>,
 ) -> u64 {
     let mut text = String::from("tcms-config v1\n");
     // Scopes in canonical type order, groups in canonical process order:
@@ -73,6 +100,19 @@ pub fn config_fingerprint(
         "max_iterations={:?} max_evals={:?}\n",
         config.budget.max_iterations, config.budget.max_evals
     ));
+    // Partition knobs, only when partitioning is requested: the `None`
+    // text stays byte-identical to the pre-partition v1 format so
+    // monolithic fingerprints (and persisted snapshots) are unchanged.
+    if let Some(p) = partition {
+        let count = match p.count {
+            PartitionCount::Auto => "auto".to_owned(),
+            PartitionCount::Fixed(k) => k.to_string(),
+        };
+        text.push_str(&format!(
+            "partition count={count} seed={} max_rounds={} verify_seeds={} polish_passes={}\n",
+            p.seed, p.max_rounds, p.verify_seeds, p.polish_passes
+        ));
+    }
     let _ = system;
     let mut h = Fnv64::new();
     h.update(text.as_bytes());
@@ -88,6 +128,10 @@ pub struct CacheableResult {
     /// Frame-reduction iterations of the original run (reported verbatim
     /// on replay so cached and fresh responses render identically).
     pub iterations: u64,
+    /// Optional provenance line of the original run (the partition
+    /// telemetry note), re-rendered verbatim on every hit so cached and
+    /// fresh partitioned responses stay byte-identical.
+    pub note: Option<String>,
 }
 
 impl CacheableResult {
@@ -103,7 +147,18 @@ impl CacheableResult {
             .iter()
             .map(|&o| schedule.expect_start(o))
             .collect();
-        CacheableResult { starts, iterations }
+        CacheableResult {
+            starts,
+            iterations,
+            note: None,
+        }
+    }
+
+    /// Attaches a provenance note (builder style, for capture sites).
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
     }
 
     /// Replays the cached starts onto a system with the same canonical
@@ -141,17 +196,27 @@ impl CacheableResult {
             out.push_str(&s.to_string());
         }
         out.push(']');
+        if let Some(note) = &self.note {
+            out.push_str(",\"note\":");
+            tcms_obs::json::write_escaped(&mut out, note);
+        }
         out
     }
 
     /// A stable digest of the payload, stored alongside each snapshot
-    /// line and re-checked on load.
+    /// line and re-checked on load. Note-less results hash exactly as
+    /// they did before the note field existed, so pre-existing snapshot
+    /// entries stay valid.
     #[must_use]
     pub fn integrity(&self) -> u64 {
         let mut h = Fnv64::new();
         h.update(&self.iterations.to_le_bytes());
         for s in &self.starts {
             h.update(&s.to_le_bytes());
+        }
+        if let Some(note) = &self.note {
+            h.update(b"|note|");
+            h.update(note.as_bytes());
         }
         h.finish()
     }
@@ -265,6 +330,7 @@ edge m0 a0
         let bad = CacheableResult {
             starts: vec![0; 3],
             iterations: 1,
+            note: None,
         };
         assert!(bad.replay(&canon).is_err());
     }
@@ -274,10 +340,69 @@ edge m0 a0
         let a = CacheableResult {
             starts: vec![1, 2, 3],
             iterations: 7,
+            note: None,
         };
         let mut b = a.clone();
         assert_eq!(a.integrity(), b.integrity());
         b.starts[1] = 9;
         assert_ne!(a.integrity(), b.integrity());
+        // A note changes the digest, and different notes differ.
+        let noted = a.clone().with_note("partitioned: 2 subgraphs");
+        assert_ne!(a.integrity(), noted.integrity());
+        assert_ne!(
+            noted.integrity(),
+            a.clone().with_note("partitioned: 3 subgraphs").integrity()
+        );
+    }
+
+    #[test]
+    fn note_rides_the_json_fields() {
+        let a = CacheableResult {
+            starts: vec![4, 5],
+            iterations: 2,
+            note: Some("partitioned: 2 subgraphs, 1 feedback rounds, 0 cut edges".into()),
+        };
+        let fields = a.to_json_fields();
+        assert!(fields.contains("\"note\":\"partitioned: 2 subgraphs"));
+        let bare = CacheableResult {
+            note: None,
+            ..a.clone()
+        };
+        assert!(!bare.to_json_fields().contains("note"));
+    }
+
+    #[test]
+    fn partition_config_separates_fingerprints() {
+        let sys = parse_system(A).unwrap();
+        let canon = Canonicalization::of(&sys);
+        let cfg = FdsConfig::default();
+        let spec = SharingSpec::all_global(&sys, 4);
+        let mono = config_fingerprint(&sys, &canon, &spec, &cfg);
+        // `None` is byte-compatible with the original fingerprint text.
+        assert_eq!(
+            mono,
+            config_fingerprint_with(&sys, &canon, &spec, &cfg, None)
+        );
+        let p2 = PartitionConfig {
+            count: PartitionCount::Fixed(2),
+            ..PartitionConfig::default()
+        };
+        let p4 = PartitionConfig {
+            count: PartitionCount::Fixed(4),
+            ..PartitionConfig::default()
+        };
+        let auto = PartitionConfig::default();
+        let f2 = config_fingerprint_with(&sys, &canon, &spec, &cfg, Some(&p2));
+        let f4 = config_fingerprint_with(&sys, &canon, &spec, &cfg, Some(&p4));
+        let fa = config_fingerprint_with(&sys, &canon, &spec, &cfg, Some(&auto));
+        assert_ne!(mono, f2, "partitioned separates from monolithic");
+        assert_ne!(f2, f4, "K separates entries");
+        assert_ne!(fa, f2, "auto is its own policy");
+        let reseeded = PartitionConfig { seed: 99, ..p2 };
+        assert_ne!(
+            f2,
+            config_fingerprint_with(&sys, &canon, &spec, &cfg, Some(&reseeded)),
+            "partitioner seed separates entries"
+        );
     }
 }

@@ -76,7 +76,7 @@ pub use error::{CoreError, ScheduleError};
 pub use evaluator::ModuloEvaluator;
 pub use field::ExternalOccupancy;
 pub use field::ModuloField;
-pub use fingerprint::{config_fingerprint, CacheableResult};
+pub use fingerprint::{config_fingerprint, config_fingerprint_with, CacheableResult};
 pub use latency::{latency_bounds, LatencyBound};
 pub use partition::{
     schedule_partitioned, schedule_partitioned_recorded, PartitionConfig, PartitionCount,

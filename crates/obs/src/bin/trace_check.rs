@@ -2,23 +2,29 @@
 //!
 //! ```text
 //! trace_check [--jsonl FILE]... [--chrome FILE]... [--journal FILE]...
+//!             [--stats FILE]...
 //! ```
 //!
 //! Parses each `--jsonl` file as a JSON Lines event stream (checking span
 //! nesting), each `--chrome` file against the Chrome `trace_event`
-//! object format (checking `B`/`E` balance), and each `--journal` file as
+//! object format (checking `B`/`E` balance), each `--journal` file as
 //! a `tcms-serve` workload journal (schema, strictly monotone sequence
 //! numbers, torn-tail detection — a torn final line is reported but not
 //! fatal, so a journal captured from a crashed daemon still lints before
-//! replay). Exits non-zero on the first rejected file, so a CI step can
-//! gate on emitted traces staying loadable.
+//! replay), and each `--stats` file as a daemon `stats` response body
+//! (daemon counters plus, on fleet members, the full `fleet` block:
+//! routing counters, anti-entropy sync metrics, per-peer health). Exits
+//! non-zero on the first rejected file, so a CI step can gate on
+//! emitted traces staying loadable.
 
 use std::process::ExitCode;
 
 use tcms_obs::sink;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: trace_check [--jsonl FILE]... [--chrome FILE]... [--journal FILE]...");
+    eprintln!(
+        "usage: trace_check [--jsonl FILE]... [--chrome FILE]... [--journal FILE]... [--stats FILE]..."
+    );
     ExitCode::from(2)
 }
 
@@ -31,7 +37,9 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         let (flag, path) = match (args.get(i).map(String::as_str), args.get(i + 1)) {
-            (Some(flag @ ("--jsonl" | "--chrome" | "--journal")), Some(path)) => (flag, path),
+            (Some(flag @ ("--jsonl" | "--chrome" | "--journal" | "--stats")), Some(path)) => {
+                (flag, path)
+            }
             _ => return usage(),
         };
         i += 2;
@@ -50,6 +58,7 @@ fn main() -> ExitCode {
                 }
                 check.records
             }),
+            "--stats" => sink::validate_stats(&content),
             _ => sink::validate_chrome_trace(&content),
         };
         match result {

@@ -361,6 +361,120 @@ pub fn validate_journal(input: &str) -> Result<JournalCheck, String> {
     Ok(check)
 }
 
+/// Validates a `tcms-serve` `stats` response body (the JSON document
+/// `tcms client <addr> stats` prints): the daemon-level numeric fields
+/// must be present, and when the `fleet` block reports `enabled: true`
+/// its full schema is enforced — identity (`self`/`route`/`replicas`),
+/// the routing and replication counters, the anti-entropy `sync` block
+/// (`lag_ms` may be null before the first full round), and one
+/// well-typed health entry per peer. Returns the number of fields
+/// checked, so a caller can tell a fleet document from a standalone one.
+///
+/// # Errors
+///
+/// Describes the first missing or ill-typed field by its JSON path.
+pub fn validate_stats(input: &str) -> Result<usize, String> {
+    let doc = json::parse(input.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
+    doc.as_object().ok_or("stats document is not an object")?;
+    let mut checked = 0usize;
+    fn num_field(v: &JsonValue, key: &str, path: &str) -> Result<(), String> {
+        match v.get(key).and_then(JsonValue::as_f64) {
+            Some(n) if n >= 0.0 => Ok(()),
+            Some(_) => Err(format!("`{path}` is negative")),
+            None => Err(format!("missing numeric `{path}`")),
+        }
+    }
+    for key in [
+        "requests",
+        "errors",
+        "cache_entries",
+        "cache_hits",
+        "cache_misses",
+        "cache_hit_rate",
+        "workers",
+    ] {
+        num_field(&doc, key, key)?;
+        checked += 1;
+    }
+    let fleet = doc
+        .get("fleet")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing object `fleet`")?;
+    checked += 1;
+    match fleet.get("enabled") {
+        Some(JsonValue::Bool(false)) => return Ok(checked),
+        Some(JsonValue::Bool(true)) => {}
+        _ => return Err("`fleet.enabled` must be a bool".into()),
+    }
+    let fleet = doc.get("fleet").unwrap();
+    match fleet.get("self").and_then(JsonValue::as_str) {
+        Some(s) if !s.is_empty() => checked += 1,
+        _ => return Err("missing string `fleet.self`".into()),
+    }
+    match fleet.get("route").and_then(JsonValue::as_str) {
+        Some("proxy" | "local") => checked += 1,
+        Some(other) => return Err(format!("`fleet.route` is `{other}`, not proxy|local")),
+        None => return Err("missing string `fleet.route`".into()),
+    }
+    for key in [
+        "replicas",
+        "proxied",
+        "proxy_failures",
+        "local_fallback",
+        "pushed",
+        "push_failures",
+    ] {
+        num_field(fleet, key, &format!("fleet.{key}"))?;
+        checked += 1;
+    }
+    let sync = fleet
+        .get("sync")
+        .filter(|s| s.as_object().is_some())
+        .ok_or("missing object `fleet.sync`")?;
+    for key in [
+        "rounds",
+        "shards_pulled",
+        "entries_applied",
+        "failures",
+        "push_applied",
+        "push_rejected",
+    ] {
+        num_field(sync, key, &format!("fleet.sync.{key}"))?;
+        checked += 1;
+    }
+    match sync.get("lag_ms") {
+        Some(JsonValue::Null | JsonValue::Number(_)) => checked += 1,
+        _ => return Err("`fleet.sync.lag_ms` must be a number or null".into()),
+    }
+    let peers = fleet
+        .get("peers")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array `fleet.peers`")?;
+    for (i, peer) in peers.iter().enumerate() {
+        match peer.get("addr").and_then(JsonValue::as_str) {
+            Some(a) if !a.is_empty() => {}
+            _ => return Err(format!("missing string `fleet.peers[{i}].addr`")),
+        }
+        match peer.get("alive") {
+            Some(JsonValue::Bool(_)) => {}
+            _ => return Err(format!("`fleet.peers[{i}].alive` must be a bool")),
+        }
+        for key in ["ok", "failures", "consecutive_failures"] {
+            num_field(peer, key, &format!("fleet.peers[{i}].{key}"))?;
+        }
+        match peer.get("last_rtt_us") {
+            Some(JsonValue::Null | JsonValue::Number(_)) => {}
+            _ => {
+                return Err(format!(
+                    "`fleet.peers[{i}].last_rtt_us` must be a number or null"
+                ))
+            }
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 fn chrome_args(out: &mut String, fields: &[(&'static str, Value)]) {
     out.push_str(",\"args\":");
     write_fields(out, fields);
@@ -779,5 +893,71 @@ mod tests {
         assert!(check_span_nesting(&bad).is_err());
         let dangling = vec![ev(K::SpanExit { id: SpanId(3) })];
         assert!(check_span_nesting(&dangling).is_err());
+    }
+
+    /// A minimal standalone-daemon stats document: the daemon fields
+    /// plus a disabled fleet block.
+    fn standalone_stats() -> String {
+        concat!(
+            r#"{"requests":10,"errors":0,"cache_entries":3,"cache_hits":7,"#,
+            r#""cache_misses":3,"cache_hit_rate":0.7,"workers":2,"#,
+            r#""fleet":{"enabled":false}}"#
+        )
+        .to_owned()
+    }
+
+    fn fleet_stats() -> String {
+        concat!(
+            r#"{"requests":10,"errors":0,"cache_entries":3,"cache_hits":7,"#,
+            r#""cache_misses":3,"cache_hit_rate":0.7,"workers":2,"#,
+            r#""fleet":{"enabled":true,"self":"a:1","route":"proxy","replicas":2,"#,
+            r#""proxied":4,"proxy_failures":0,"local_fallback":0,"pushed":2,"push_failures":0,"#,
+            r#""sync":{"rounds":3,"shards_pulled":1,"entries_applied":1,"failures":0,"#,
+            r#""push_applied":0,"push_rejected":0,"lag_ms":null},"#,
+            r#""peers":[{"addr":"b:1","alive":true,"ok":5,"failures":1,"#,
+            r#""consecutive_failures":0,"last_rtt_us":120}]}}"#
+        )
+        .to_owned()
+    }
+
+    #[test]
+    fn stats_validator_accepts_standalone_and_fleet_documents() {
+        let standalone = validate_stats(&standalone_stats()).unwrap();
+        let fleet = validate_stats(&fleet_stats()).unwrap();
+        // The fleet document checks strictly more fields.
+        assert!(fleet > standalone, "{fleet} vs {standalone}");
+    }
+
+    #[test]
+    fn stats_validator_rejects_broken_fleet_blocks() {
+        assert!(validate_stats("not json").is_err());
+        assert!(validate_stats("[1,2]").is_err());
+        // A daemon field gone missing.
+        let err = validate_stats(&standalone_stats().replace(r#""workers":2,"#, "")).unwrap_err();
+        assert!(err.contains("workers"), "{err}");
+        // Each fleet-schema mutation must name the offending path.
+        for (broken, needle) in [
+            (
+                fleet_stats().replace(r#""route":"proxy""#, r#""route":"magic""#),
+                "route",
+            ),
+            (fleet_stats().replace(r#""proxied":4,"#, ""), "proxied"),
+            (fleet_stats().replace(r#""rounds":3,"#, ""), "sync.rounds"),
+            (
+                fleet_stats().replace(r#""lag_ms":null"#, r#""lag_ms":"soon""#),
+                "lag_ms",
+            ),
+            (
+                fleet_stats().replace(r#""alive":true,"#, r#""alive":"yes","#),
+                "alive",
+            ),
+            (
+                fleet_stats().replace(r#""last_rtt_us":120"#, r#""last_rtt_us":"fast""#),
+                "last_rtt_us",
+            ),
+        ] {
+            let err = validate_stats(&broken).unwrap_err();
+            assert!(err.contains(needle), "{needle}: {err}");
+        }
     }
 }

@@ -261,6 +261,22 @@ impl SchedCache {
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Inserts `value` only when `key` is absent, returning whether an
+    /// insert happened. This is the anti-entropy apply primitive:
+    /// values are bit-identical by construction (content addressing),
+    /// so first-writer-stays equals last-writer-wins, re-applying a
+    /// batch is a no-op, and apply order across nodes cannot matter.
+    pub fn insert_if_absent(&self, key: CacheKey, value: Arc<CacheableResult>) -> bool {
+        {
+            let shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+            if shard.map.contains_key(&key) {
+                return false;
+            }
+        }
+        self.insert(key, value);
+        true
+    }
+
     /// The single-flight lookup: returns the cached value, or runs
     /// `compute` exactly once per key across all concurrent callers.
     ///
@@ -415,6 +431,7 @@ mod tests {
         CacheableResult {
             starts: vec![n],
             iterations: u64::from(n),
+            note: None,
         }
     }
 

@@ -11,14 +11,23 @@
 //!   black-holed address can never block a caller indefinitely.
 //! - [`ServeClient`] wraps it with a [`RetryPolicy`]: bounded,
 //!   seed-deterministic jittered-backoff retries of queue-full (429)
-//!   responses and transient transport failures, reconnecting as
-//!   needed. Retrying is **safe** because work requests are idempotent:
-//!   a schedule request is content-addressed by its `SpecHash` +
-//!   config fingerprint, so re-sending it can only re-read (or
-//!   re-create) the same cache entry — never double-apply anything.
-//!   Typed request errors (bad request, malformed design, infeasible,
-//!   …) are real answers and are never retried; neither is a 503
-//!   shutdown notice, since the daemon is going away.
+//!   responses, `peer-unavailable` (503) fleet errors and transient
+//!   transport failures, reconnecting as needed. Retrying is **safe**
+//!   because work requests are idempotent: a schedule request is
+//!   content-addressed by its `SpecHash` + config fingerprint, so
+//!   re-sending it can only re-read (or re-create) the same cache
+//!   entry — never double-apply anything. Typed request errors (bad
+//!   request, malformed design, infeasible, …) are real answers and are
+//!   never retried; neither is a `shutting-down` 503, since that daemon
+//!   is going away. The two 503s share a code and are told apart by
+//!   their wire *class*.
+//!
+//! [`ServeClient`] accepts several addresses ([`ServeClient::with_addrs`])
+//! and rotates to the next one on a connect failure, transport error or
+//! `peer-unavailable` answer — against a fleet, any healthy node can
+//! serve any request (bit-identically), so failover is free. Queue-full
+//! backpressure stays on the same node: every fleet member shares one
+//! logical cache, so a full queue is load, not damage.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead as _, BufReader, Write as _};
@@ -288,39 +297,84 @@ impl RetryPolicy {
     }
 }
 
-/// Whether a typed wire code is worth retrying: only queue-full (429)
-/// backpressure — the daemon explicitly asked for a later attempt. Real
-/// answers (typed request errors) and shutdown notices (503) are final.
+/// Whether a typed wire code is worth retrying *on the same node*: only
+/// queue-full (429) backpressure — the daemon explicitly asked for a
+/// later attempt. Real answers (typed request errors) are final. 503 is
+/// ambiguous by code alone (see [`retryable_error`]), so it is not
+/// retryable from just the number.
 #[must_use]
 pub fn retryable_code(code: u16) -> bool {
     code == 429
 }
 
-/// A retrying daemon client: a [`Client`] plus a [`RetryPolicy`].
+/// Whether a typed wire error is worth retrying, by class and code:
 ///
-/// Transport failures (connect errors, resets, truncation, timeouts)
-/// and 429 backpressure responses are retried with deterministic
-/// jittered backoff, reconnecting as needed; every other response is
-/// returned as-is. See the module docs for why retrying is safe.
+/// * `429` queue-full — retry the same node after backoff;
+/// * `peer-unavailable` (503) — a fleet node failed to reach the key's
+///   owner; retrying (ideally on the next address) can succeed because
+///   any node answers any request;
+/// * `shutting-down` (503) — final: that daemon is going away.
+///
+/// Both 503s share a code, so the *class* string is what distinguishes
+/// a retryable fleet hiccup from a final shutdown notice.
+#[must_use]
+pub fn retryable_error(class: &str, code: u16) -> bool {
+    retryable_code(code) || class == "peer-unavailable"
+}
+
+/// Whether a typed wire error should also rotate [`ServeClient`] to its
+/// next address: fleet-reachability errors are per-node, backpressure
+/// is fleet-wide load (every node shares one logical cache and queue
+/// pressure follows the workload, not the node).
+fn rotates(class: &str) -> bool {
+    class == "peer-unavailable"
+}
+
+/// A retrying daemon client: a [`Client`] plus a [`RetryPolicy`] over
+/// one or more addresses.
+///
+/// Transport failures (connect errors, resets, truncation, timeouts),
+/// 429 backpressure and `peer-unavailable` fleet errors are retried
+/// with deterministic jittered backoff, reconnecting — and rotating to
+/// the next address — as needed; every other response is returned
+/// as-is. See the module docs for why retrying is safe.
 pub struct ServeClient {
-    addr: String,
+    addrs: Vec<String>,
+    current: usize,
     policy: RetryPolicy,
     conn: Option<Client>,
     retries: u64,
+    failovers: u64,
     rng: u64,
 }
 
 impl ServeClient {
-    /// Creates a retrying client for `addr` (connections are opened
+    /// Creates a retrying client for one `addr` (connections are opened
     /// lazily, so this cannot fail).
     #[must_use]
     pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> ServeClient {
+        Self::with_addrs(vec![addr.into()], policy)
+    }
+
+    /// Creates a retrying client over an address list — typically a
+    /// fleet's `--peers`. The first address is tried first; transport
+    /// failures and `peer-unavailable` answers rotate to the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list: a client with nowhere to connect is a
+    /// caller bug, not a runtime condition.
+    #[must_use]
+    pub fn with_addrs(addrs: Vec<String>, policy: RetryPolicy) -> ServeClient {
+        assert!(!addrs.is_empty(), "ServeClient needs at least one address");
         let seed = policy.seed ^ 0x9E37_79B9_7F4A_7C15;
         ServeClient {
-            addr: addr.into(),
+            addrs,
+            current: 0,
             policy,
             conn: None,
             retries: 0,
+            failovers: 0,
             rng: seed.max(1), // xorshift must not start at zero
         }
     }
@@ -329,6 +383,27 @@ impl ServeClient {
     #[must_use]
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Address rotations performed so far (across all requests).
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The address the next request will be sent to.
+    #[must_use]
+    pub fn current_addr(&self) -> &str {
+        &self.addrs[self.current]
+    }
+
+    /// Drops the current connection and advances to the next address
+    /// (a no-op rotation with a single address, but the reconnect still
+    /// buys a fresh socket).
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.current = (self.current + 1) % self.addrs.len();
+        self.failovers += 1;
     }
 
     /// Deterministic xorshift64 jitter in `[0, 1)`.
@@ -344,7 +419,7 @@ impl ServeClient {
     fn connected(&mut self) -> std::io::Result<&mut Client> {
         if self.conn.is_none() {
             self.conn = Some(Client::connect_with(
-                self.addr.as_str(),
+                self.addrs[self.current].as_str(),
                 self.policy.connect_timeout,
                 self.policy.read_timeout,
             )?);
@@ -353,9 +428,10 @@ impl ServeClient {
     }
 
     /// Sends `line` and waits for its response, retrying per the
-    /// policy. When retries run out, the last outcome is returned — a
-    /// final 429 response comes back as a normal typed response, not a
-    /// transport error.
+    /// policy — rotating to the next address on transport failures and
+    /// `peer-unavailable` answers. When retries run out, the last
+    /// outcome is returned — a final 429 response comes back as a
+    /// normal typed response, not a transport error.
     ///
     /// # Errors
     ///
@@ -367,20 +443,22 @@ impl ServeClient {
                 Ok(conn) => conn.request(line),
                 Err(e) => Err(e),
             };
-            let retry_this = match &outcome {
-                Ok(resp) => resp
-                    .error
-                    .as_ref()
-                    .is_some_and(|(_, code, _)| retryable_code(*code)),
-                // Any transport failure is worth one more try on a
-                // fresh connection — the old one may be half-dead.
-                Err(_) => true,
+            let (retry_this, rotate_this) = match &outcome {
+                Ok(resp) => match &resp.error {
+                    Some((class, code, _)) => {
+                        (retryable_error(class, *code), rotates(class.as_str()))
+                    }
+                    None => (false, false),
+                },
+                // Any transport failure is worth one more try — on the
+                // next address; the current node may be half-dead.
+                Err(_) => (true, true),
             };
             if !retry_this || attempt >= self.policy.max_retries {
                 return outcome;
             }
-            if outcome.is_err() {
-                self.conn = None;
+            if rotate_this {
+                self.rotate();
             }
             let jitter = self.next_jitter();
             std::thread::sleep(self.policy.backoff(attempt, jitter));
@@ -498,8 +576,64 @@ mod tests {
     fn only_backpressure_codes_are_retryable() {
         assert!(retryable_code(429));
         for code in [2, 4, 5, 6, 7, 8, 9, 404, 408, 413, 500, 503] {
-            assert!(!retryable_code(code), "{code} is a final answer");
+            assert!(!retryable_code(code), "{code} alone is a final answer");
         }
+    }
+
+    #[test]
+    fn retryability_distinguishes_the_two_503_classes() {
+        // Same code, opposite fates: the class decides.
+        assert!(retryable_error("peer-unavailable", 503), "fleet hiccup");
+        assert!(!retryable_error("shutting-down", 503), "daemon is leaving");
+        assert!(retryable_error("overloaded", 429));
+        for (class, code) in [
+            ("bad-request", 2),
+            ("malformed", 4),
+            ("infeasible", 6),
+            ("deadline", 408),
+            ("internal", 500),
+        ] {
+            assert!(!retryable_error(class, code), "{class} is a real answer");
+        }
+        // Only reachability errors rotate; backpressure stays put.
+        assert!(rotates("peer-unavailable"));
+        assert!(!rotates("overloaded"));
+        assert!(!rotates("shutting-down"));
+    }
+
+    #[test]
+    fn failover_rotates_from_a_dead_address_to_a_live_one() {
+        let server = crate::Server::start(crate::ServeConfig {
+            workers: 1,
+            ..crate::ServeConfig::default()
+        })
+        .unwrap();
+        // First address is dead (reserved then dropped), second is live.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap();
+            drop(l);
+            addr.to_string()
+        };
+        let mut client = ServeClient::with_addrs(
+            vec![dead.clone(), server.local_addr().to_string()],
+            RetryPolicy {
+                connect_timeout: Some(Duration::from_millis(500)),
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            },
+        );
+        assert_eq!(client.current_addr(), dead);
+        let pong = client.ping().unwrap();
+        assert!(pong.is_ok());
+        assert_eq!(client.failovers(), 1, "one rotation to the live node");
+        assert_eq!(client.current_addr(), server.local_addr().to_string());
+        // Later requests stay on the healthy node.
+        assert!(client.ping().unwrap().is_ok());
+        assert_eq!(client.failovers(), 1);
+        server.shutdown();
+        server.wait().unwrap();
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub enum ServeError {
     Internal(String),
     /// The daemon is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The fleet peer owning this request's content address did not
+    /// answer (dead, partitioned away, or mid-restart). Retryable: a
+    /// later attempt — or another node — may reach the owner or serve
+    /// the entry after anti-entropy replicates it.
+    PeerUnavailable {
+        /// The advertised address of the unreachable owner.
+        peer: String,
+    },
 }
 
 impl ServeError {
@@ -76,6 +84,7 @@ impl ServeError {
             ServeError::TooLarge { .. } => "too-large",
             ServeError::Internal(_) => "internal",
             ServeError::ShuttingDown => "shutting-down",
+            ServeError::PeerUnavailable { .. } => "peer-unavailable",
         }
     }
 
@@ -97,7 +106,10 @@ impl ServeError {
             ServeError::DeadlineExpired { .. } => 408,
             ServeError::TooLarge { .. } => 413,
             ServeError::Internal(_) => 500,
-            ServeError::ShuttingDown => 503,
+            // Both 503s are "not now, try again" — the *class* string
+            // distinguishes a draining daemon from an unreachable fleet
+            // owner, and clients base retry decisions on the class.
+            ServeError::ShuttingDown | ServeError::PeerUnavailable { .. } => 503,
         }
     }
 
@@ -122,7 +134,8 @@ impl fmt::Display for ServeError {
             ServeError::UnknownAction(name) => write!(
                 f,
                 "unknown action `{name}`; this daemon serves schedule, \
-                 simulate, stats, ping, shutdown"
+                 simulate, stats, ping, shutdown, sync_digest, sync_pull, \
+                 sync_push"
             ),
             ServeError::Malformed(msg) => write!(f, "malformed input: {msg}"),
             ServeError::Spec(msg) => write!(f, "invalid sharing spec: {msg}"),
@@ -141,6 +154,9 @@ impl fmt::Display for ServeError {
                 write!(f, "internal error (worker panic): {msg}")
             }
             ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ServeError::PeerUnavailable { peer } => {
+                write!(f, "fleet peer `{peer}` is unavailable; retry another node")
+            }
         }
     }
 }
@@ -207,6 +223,13 @@ mod tests {
             (ServeError::TooLarge { limit: 4096 }, "too-large", 413),
             (ServeError::Internal("boom".into()), "internal", 500),
             (ServeError::ShuttingDown, "shutting-down", 503),
+            (
+                ServeError::PeerUnavailable {
+                    peer: "127.0.0.1:9999".into(),
+                },
+                "peer-unavailable",
+                503,
+            ),
         ];
         for (e, class, code) in cases {
             assert_eq!(e.class(), class, "{e}");

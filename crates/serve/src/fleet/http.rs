@@ -1,0 +1,242 @@
+//! A minimal hand-rolled HTTP/1.1 layer over the daemon's objects.
+//!
+//! No dependency ships an HTTP server in this workspace, and the
+//! daemon needs only three routes — `POST /schedule`, `GET /stats`,
+//! `GET /healthz` — so this module implements exactly the slice of
+//! RFC 9112 those need: a request line, headers, and an optional
+//! `Content-Length` body. Chunked transfer encoding, continuations,
+//! and multipart are rejected rather than half-supported.
+//!
+//! The functions here are pure (bytes in, bytes out); the socket loop
+//! lives in [`crate::server`] next to the NDJSON one. The response
+//! body of a work request is **exactly the NDJSON response line** the
+//! TCP protocol would have produced, so the fleet's bit-identicality
+//! guarantee extends to HTTP byte-for-byte at the object level.
+
+use crate::error::ServeError;
+
+/// Parsed head of an HTTP request (request line + headers, no body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Uppercased method, e.g. `GET`.
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Parses the head of an HTTP request: the request line plus header
+/// lines, as received up to (not including) the blank line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for anything outside the supported
+/// slice: bad request line, non-HTTP/1.x version, unparseable
+/// `Content-Length`, or a `Transfer-Encoding` header (chunked bodies
+/// are deliberately unsupported).
+pub fn parse_request_head(head: &str) -> Result<RequestHead, String> {
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if parts.next().is_some() {
+        return Err("malformed request line".into());
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version `{version}`"));
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line `{line}`"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad Content-Length `{value}`"))?;
+            }
+            "transfer-encoding" => {
+                return Err("Transfer-Encoding is not supported; send Content-Length".into());
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(RequestHead {
+        method,
+        path,
+        content_length,
+        keep_alive,
+    })
+}
+
+/// The standard reason phrase for the status codes this daemon emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Maps a typed [`ServeError`] onto an HTTP status. The service-only
+/// classes already carry HTTP-flavoured codes and pass through; the
+/// CLI-exit-code classes fold into 400 (caller's input is wrong) or
+/// 422 (input understood, scheduling cannot satisfy it).
+#[must_use]
+pub fn status_of(error: &ServeError) -> u16 {
+    status_of_code(error.code())
+}
+
+/// [`status_of`] over a bare wire code — for responses already rendered
+/// to NDJSON, where only the numeric code survives.
+#[must_use]
+pub fn status_of_code(code: u16) -> u16 {
+    match code {
+        // Request-shaped failures: bad JSON, bad design, bad spec.
+        2 | 4 | 5 => 400,
+        // Understood but unsatisfiable: infeasible, budget, period
+        // grid, verification.
+        6..=9 => 422,
+        // Service codes are already HTTP codes.
+        code @ (404 | 408 | 413 | 429 | 500 | 503) => code,
+        // Future classes default to 500: fail loudly, not misleadingly.
+        _ => 500,
+    }
+}
+
+/// Renders a full HTTP/1.1 response. The body is sent verbatim with an
+/// exact `Content-Length`, so NDJSON response lines pass through
+/// byte-identical.
+#[must_use]
+pub fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body_headers() {
+        let head = "POST /schedule?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 42\r\n"
+            .replace("\r\n", "\n");
+        let h = parse_request_head(&head).unwrap();
+        assert_eq!(h.method, "POST");
+        assert_eq!(h.path, "/schedule", "query string stripped");
+        assert_eq!(h.content_length, 42);
+        assert!(h.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_and_version_drive_keep_alive() {
+        let close = parse_request_head("GET /healthz HTTP/1.1\nConnection: close\n").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse_request_head("GET /healthz HTTP/1.0\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let revived =
+            parse_request_head("GET /healthz HTTP/1.0\nConnection: keep-alive\n").unwrap();
+        assert!(revived.keep_alive);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected_with_reasons() {
+        for (head, needle) in [
+            ("", "empty"),
+            ("GET\n", "missing request target"),
+            ("GET /x\n", "missing HTTP version"),
+            ("GET /x HTTP/2\n", "unsupported version"),
+            ("GET /x HTTP/1.1 extra\n", "malformed request line"),
+            ("GET /x HTTP/1.1\nbroken header\n", "malformed header"),
+            ("POST /x HTTP/1.1\nContent-Length: many\n", "Content-Length"),
+            (
+                "POST /x HTTP/1.1\nTransfer-Encoding: chunked\n",
+                "Transfer-Encoding",
+            ),
+        ] {
+            let err = parse_request_head(head).unwrap_err();
+            assert!(err.contains(needle), "`{head}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn serve_errors_map_onto_http_statuses() {
+        use tcms_core::ScheduleError;
+        let cases: Vec<(ServeError, u16)> = vec![
+            (ServeError::BadRequest("x".into()), 400),
+            (ServeError::Malformed("x".into()), 400),
+            (ServeError::Spec("x".into()), 400),
+            (
+                ServeError::Schedule(ScheduleError::Infeasible {
+                    block: "P::b".into(),
+                    slack: -1,
+                    binding_resource: "mul".into(),
+                }),
+                422,
+            ),
+            (ServeError::Verify("x".into()), 422),
+            (ServeError::UnknownAction("x".into()), 404),
+            (ServeError::Overloaded { capacity: 1 }, 429),
+            (ServeError::DeadlineExpired { waited_ms: 1 }, 408),
+            (ServeError::TooLarge { limit: 1 }, 413),
+            (ServeError::Internal("x".into()), 500),
+            (ServeError::ShuttingDown, 503),
+            (ServeError::PeerUnavailable { peer: "p".into() }, 503),
+        ];
+        for (e, status) in cases {
+            assert_eq!(status_of(&e), status, "{e}");
+            assert_ne!(reason(status), "Unknown");
+        }
+    }
+
+    #[test]
+    fn response_bytes_carry_the_body_verbatim() {
+        let body = "{\"id\":\"1\",\"ok\":true}\n";
+        let bytes = response_bytes(200, body, true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains(&format!("content-length: {}\r\n", body.len())));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with(body), "body must be byte-identical");
+        let closed = String::from_utf8(response_bytes(503, "x", false)).unwrap();
+        assert!(closed.contains("connection: close\r\n"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Local peer-health bookkeeping for the fleet.
+//!
+//! Membership is intentionally *not* a consensus protocol: the peer
+//! list is static (the ring never changes), and each node keeps only a
+//! local opinion of which peers currently answer. That opinion gates
+//! expensive choices — whether to proxy to an owner or fall back to
+//! computing locally — but never placement, so two nodes with different
+//! failure observations still agree on who owns a key.
+//!
+//! A peer is declared dead after [`DEATH_THRESHOLD`] consecutive
+//! failures and resurrects on the first success (the anti-entropy loop
+//! doubles as the failure detector: every sync round probes every
+//! peer). Counters saturate rather than wrap so a week-long soak can't
+//! corrupt the stats.
+
+use std::sync::Mutex;
+
+/// Consecutive failures after which a peer is considered dead and
+/// routing stops waiting on it.
+pub const DEATH_THRESHOLD: u32 = 3;
+
+/// Health counters for one peer, as locally observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerHealth {
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Total successful exchanges.
+    pub ok_count: u64,
+    /// Total failed exchanges.
+    pub failure_count: u64,
+    /// Round-trip time of the most recent successful exchange, in
+    /// microseconds.
+    pub last_rtt_us: Option<u64>,
+}
+
+impl PeerHealth {
+    /// Whether this peer is currently considered alive.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.consecutive_failures < DEATH_THRESHOLD
+    }
+}
+
+struct PeerSlot {
+    addr: String,
+    health: Mutex<PeerHealth>,
+}
+
+/// Health table over the static peer list (self excluded).
+pub struct Membership {
+    peers: Vec<PeerSlot>,
+}
+
+impl Membership {
+    /// Builds the table. `peers` should be the ring's peer list minus
+    /// the node's own advertised address.
+    #[must_use]
+    pub fn new(peers: Vec<String>) -> Membership {
+        Membership {
+            peers: peers
+                .into_iter()
+                .map(|addr| PeerSlot {
+                    addr,
+                    health: Mutex::new(PeerHealth::default()),
+                })
+                .collect(),
+        }
+    }
+
+    /// The tracked peer addresses, in ring order.
+    pub fn addrs(&self) -> impl Iterator<Item = &str> {
+        self.peers.iter().map(|p| p.addr.as_str())
+    }
+
+    fn slot(&self, addr: &str) -> Option<&PeerSlot> {
+        self.peers.iter().find(|p| p.addr == addr)
+    }
+
+    /// Records a successful exchange with `addr`: resets the failure
+    /// streak (resurrecting a dead peer) and stores the observed RTT.
+    pub fn record_ok(&self, addr: &str, rtt_us: u64) {
+        if let Some(slot) = self.slot(addr) {
+            let mut h = slot.health.lock().unwrap_or_else(|e| e.into_inner());
+            h.consecutive_failures = 0;
+            h.ok_count = h.ok_count.saturating_add(1);
+            h.last_rtt_us = Some(rtt_us);
+        }
+    }
+
+    /// Records a failed exchange with `addr`.
+    pub fn record_failure(&self, addr: &str) {
+        if let Some(slot) = self.slot(addr) {
+            let mut h = slot.health.lock().unwrap_or_else(|e| e.into_inner());
+            h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+            h.failure_count = h.failure_count.saturating_add(1);
+        }
+    }
+
+    /// Whether `addr` is currently considered alive. Untracked
+    /// addresses (including self) are alive by definition — a node
+    /// never declares itself dead.
+    #[must_use]
+    pub fn is_alive(&self, addr: &str) -> bool {
+        self.slot(addr).is_none_or(|slot| {
+            slot.health
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_alive()
+        })
+    }
+
+    /// A snapshot of every tracked peer's health, in ring order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, PeerHealth)> {
+        self.peers
+            .iter()
+            .map(|slot| {
+                (
+                    slot.addr.clone(),
+                    slot.health
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peers_die_after_the_threshold_and_resurrect_on_success() {
+        let m = Membership::new(vec!["a:1".into(), "b:2".into()]);
+        assert!(m.is_alive("a:1"));
+        for _ in 0..DEATH_THRESHOLD - 1 {
+            m.record_failure("a:1");
+            assert!(m.is_alive("a:1"), "below threshold stays alive");
+        }
+        m.record_failure("a:1");
+        assert!(!m.is_alive("a:1"), "threshold reached: dead");
+        assert!(m.is_alive("b:2"), "other peers unaffected");
+
+        m.record_ok("a:1", 420);
+        assert!(m.is_alive("a:1"), "one success resurrects");
+        let snap = m.snapshot();
+        let a = &snap.iter().find(|(addr, _)| addr == "a:1").unwrap().1;
+        assert_eq!(a.last_rtt_us, Some(420));
+        assert_eq!(a.failure_count, u64::from(DEATH_THRESHOLD));
+        assert_eq!(a.ok_count, 1);
+    }
+
+    #[test]
+    fn unknown_addresses_are_alive_and_ignored() {
+        let m = Membership::new(vec!["a:1".into()]);
+        assert!(m.is_alive("self:0"), "self / unknown is never dead");
+        m.record_failure("self:0"); // no-op, must not panic
+        m.record_ok("self:0", 1);
+        assert_eq!(m.snapshot().len(), 1);
+    }
+}

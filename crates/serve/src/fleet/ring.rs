@@ -1,0 +1,240 @@
+//! Deterministic consistent-hash placement of content addresses.
+//!
+//! Every node builds the ring from the same static `--peers` list, so
+//! every node computes the same owner for the same [`CacheKey`] with no
+//! coordination: the peer list is sorted and deduplicated first
+//! (declaration order cannot matter), each peer contributes a fixed
+//! number of virtual points (`mix(fnv64("{addr}#{v}"))`), and a key
+//! maps to
+//! the first `replicas` **distinct** peers clockwise from its own hash
+//! point. Virtual points smooth the load split; the walk skipping
+//! duplicate peers makes the replica set well-defined even when two
+//! peers' points interleave arbitrarily.
+//!
+//! The ring is static by design — membership health (who is *alive*)
+//! is a separate, local judgement ([`super::membership`]); placement
+//! must never depend on it, or two nodes with different failure
+//! observations would route the same key to different owners.
+
+use tcms_ir::canon::fnv64;
+
+use crate::cache::CacheKey;
+
+/// Virtual points per peer: enough that a 3-node fleet splits within a
+/// few percent of evenly, cheap enough that ring construction is
+/// microseconds.
+const VNODES_PER_PEER: usize = 128;
+
+/// A splitmix64-style finaliser applied over `fnv64`: FNV of short,
+/// near-identical strings (`addr#0`, `addr#1`, …) clusters in the low
+/// bits, which skews the ring's arc lengths; the multiply-xorshift
+/// rounds disperse points uniformly while staying fully deterministic.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Default replica-set size (R): the owner plus one backup.
+pub const DEFAULT_REPLICAS: usize = 2;
+
+/// The consistent-hash ring over a static peer list.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, peer index)` sorted by point.
+    points: Vec<(u64, u32)>,
+    /// Sorted, deduplicated advertised addresses.
+    peers: Vec<String>,
+    /// Replica-set size, clamped to the peer count.
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Builds the ring. The peer list is sorted and deduplicated, so
+    /// every node passing the same *set* of addresses (in any order)
+    /// builds the identical ring. `replicas` is clamped to
+    /// `1..=peers.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty peer list — a fleet of zero nodes cannot own
+    /// anything; callers gate fleet construction on a non-empty
+    /// `--peers`.
+    #[must_use]
+    pub fn new(peers: &[String], replicas: usize) -> HashRing {
+        let mut peers: Vec<String> = peers.to_vec();
+        peers.sort();
+        peers.dedup();
+        assert!(!peers.is_empty(), "consistent-hash ring needs >= 1 peer");
+        let replicas = replicas.clamp(1, peers.len());
+        let mut points = Vec::with_capacity(peers.len() * VNODES_PER_PEER);
+        for (i, peer) in peers.iter().enumerate() {
+            let i = u32::try_from(i).expect("peer count fits u32");
+            for v in 0..VNODES_PER_PEER {
+                points.push((mix(fnv64(format!("{peer}#{v}").as_bytes())), i));
+            }
+        }
+        // Sorting the (point, index) pair makes even a point collision
+        // between two peers deterministic.
+        points.sort_unstable();
+        HashRing {
+            points,
+            peers,
+            replicas,
+        }
+    }
+
+    /// The hash point of a content address on the ring. Derived from
+    /// the canonical spec hash and config fingerprint only — every node
+    /// computes the same point for the same key.
+    #[must_use]
+    pub fn key_point(key: &CacheKey) -> u64 {
+        mix(fnv64(
+            format!("{}|{:016x}", key.spec, key.config).as_bytes(),
+        ))
+    }
+
+    /// The sorted, deduplicated peer list the ring was built from.
+    #[must_use]
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// The effective replica-set size.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The owner of `key`: the first distinct peer clockwise from the
+    /// key's point.
+    #[must_use]
+    pub fn owner(&self, key: &CacheKey) -> &str {
+        self.replica_set(key)[0]
+    }
+
+    /// The replica set of `key`: the first `replicas` **distinct**
+    /// peers clockwise from the key's point, owner first.
+    #[must_use]
+    pub fn replica_set(&self, key: &CacheKey) -> Vec<&str> {
+        let point = Self::key_point(key);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let mut seen = vec![false; self.peers.len()];
+        let mut set = Vec::with_capacity(self.replicas);
+        for step in 0..self.points.len() {
+            let (_, idx) = self.points[(start + step) % self.points.len()];
+            let idx = idx as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                set.push(self.peers[idx].as_str());
+                if set.len() == self.replicas {
+                    break;
+                }
+            }
+        }
+        set
+    }
+
+    /// Whether `addr` is in `key`'s replica set.
+    #[must_use]
+    pub fn is_replica(&self, key: &CacheKey, addr: &str) -> bool {
+        self.replica_set(key).contains(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcms_ir::SpecHash;
+
+    fn peers(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7733")).collect()
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            spec: SpecHash::of_text(&format!("design {n}")),
+            config: n.wrapping_mul(0x9e37_79b9),
+        }
+    }
+
+    #[test]
+    fn placement_is_order_independent_and_deterministic() {
+        let a = HashRing::new(&peers(5), 2);
+        let mut shuffled = peers(5);
+        shuffled.reverse();
+        shuffled.push(shuffled[0].clone()); // duplicate entry
+        let b = HashRing::new(&shuffled, 2);
+        for n in 0..500 {
+            let k = key(n);
+            assert_eq!(a.owner(&k), b.owner(&k));
+            assert_eq!(a.replica_set(&k), b.replica_set(&k));
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_and_owner_first() {
+        let ring = HashRing::new(&peers(4), 3);
+        for n in 0..200 {
+            let k = key(n);
+            let set = ring.replica_set(&k);
+            assert_eq!(set.len(), 3);
+            assert_eq!(set[0], ring.owner(&k));
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replica set has no duplicates");
+            for peer in &set {
+                assert!(ring.is_replica(&k, peer));
+            }
+        }
+    }
+
+    #[test]
+    fn load_splits_roughly_evenly() {
+        let ring = HashRing::new(&peers(3), 2);
+        let mut owned = [0u64; 3];
+        let total = 3_000;
+        for n in 0..total {
+            let owner = ring.owner(&key(n));
+            let idx = ring.peers().iter().position(|p| p == owner).unwrap();
+            owned[idx] += 1;
+        }
+        for (i, count) in owned.iter().enumerate() {
+            assert!(
+                (total / 6..=total / 2).contains(count),
+                "peer {i} owns {count}/{total}: virtual points failed to spread"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything_and_replicas_clamp() {
+        let one = HashRing::new(&peers(1), 2);
+        assert_eq!(one.replicas(), 1);
+        for n in 0..50 {
+            assert_eq!(one.owner(&key(n)), one.peers()[0]);
+        }
+        let zero_r = HashRing::new(&peers(3), 0);
+        assert_eq!(zero_r.replicas(), 1, "replicas clamp up to 1");
+    }
+
+    #[test]
+    fn adding_a_peer_moves_only_a_fraction_of_keys() {
+        let small = HashRing::new(&peers(3), 1);
+        let big = HashRing::new(&peers(4), 1);
+        let total = 2_000;
+        let moved = (0..total)
+            .filter(|&n| small.owner(&key(n)) != big.owner(&key(n)))
+            .count() as u64;
+        // Consistent hashing moves ~1/4 of keys when going 3 → 4 nodes;
+        // modulo hashing would move ~3/4. Allow generous slack.
+        assert!(
+            moved < total / 2,
+            "{moved}/{total} keys moved — not consistent hashing"
+        );
+        assert!(moved > 0, "a new peer must take over some keys");
+    }
+}

@@ -32,6 +32,9 @@
 //! * [`chaos`] — a seeded in-process TCP fault proxy (resets, latency
 //!   spikes, truncation, mid-write kills) for exercising the failure
 //!   model end to end,
+//! * [`fleet`] — the distributed fleet: consistent-hash routing over a
+//!   static peer list, digest-based snapshot anti-entropy, and the
+//!   hand-rolled HTTP/1.1 front-end,
 //! * [`stats`] — the human-readable rendering of a `stats` response
 //!   (`tcms stats`),
 //! * [`error`] — [`ServeError`] with stable wire classes and codes.
@@ -44,6 +47,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod error;
+pub mod fleet;
 pub mod journal;
 pub mod persist;
 pub mod pipeline;
@@ -53,15 +57,18 @@ pub mod stats;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, Disposition, SchedCache, ShardStats};
 pub use chaos::{ChaosProxy, ChaosStats};
-pub use client::{retryable_code, Client, RetryPolicy, ServeClient, DEFAULT_CONNECT_TIMEOUT};
+pub use client::{
+    retryable_code, retryable_error, Client, RetryPolicy, ServeClient, DEFAULT_CONNECT_TIMEOUT,
+};
 pub use error::ServeError;
+pub use fleet::{Fleet, FleetConfig, HashRing, Membership, RouteMode, SYNC_SHARDS};
 pub use journal::{
     load_journal, load_journal_dir, JournalEntry, JournalLoadReport, JournalRecord, JournalStats,
     JournalWriter,
 };
 pub use pipeline::{
-    schedule_request, simulate_request, ExecContext, ScheduleArtifacts, ScheduleOptions,
-    SimulateArtifacts, SimulateOptions, DEFAULT_AUTO_PARTITION_OPS, PANIC_MARKER,
+    request_cache_key, schedule_request, simulate_request, ExecContext, ScheduleArtifacts,
+    ScheduleOptions, SimulateArtifacts, SimulateOptions, DEFAULT_AUTO_PARTITION_OPS, PANIC_MARKER,
 };
 pub use protocol::{Action, Request, Response};
 pub use server::{ServeConfig, Server};

@@ -53,12 +53,17 @@ pub fn quarantine_path(cache_dir: &Path) -> PathBuf {
     cache_dir.join("cache.jsonl.corrupt")
 }
 
-fn entry_check(key: &CacheKey, value: &CacheableResult) -> u64 {
+/// Per-entry integrity digest over key and payload; shared by the
+/// snapshot and the fleet's anti-entropy op-batches (which reuse the
+/// snapshot's node-independent entry encoding on the wire).
+pub(crate) fn entry_check(key: &CacheKey, value: &CacheableResult) -> u64 {
     let keyed = format!("{}|{:016x}|", key.spec, key.config);
     fnv64(keyed.as_bytes()) ^ value.integrity()
 }
 
-fn entry_line(key: &CacheKey, value: &CacheableResult) -> String {
+/// One snapshot entry as a self-checking JSON object (also the op-batch
+/// element of the fleet sync protocol).
+pub(crate) fn entry_line(key: &CacheKey, value: &CacheableResult) -> String {
     format!(
         "{{\"spec\":\"{}\",\"config\":\"{:016x}\",{},\"check\":\"{:016x}\"}}",
         key.spec,
@@ -138,8 +143,15 @@ pub struct LoadReport {
     pub quarantined: bool,
 }
 
-fn parse_entry(line: &str) -> Option<(CacheKey, CacheableResult)> {
-    let v = json::parse(line).ok()?;
+/// Parses one self-checking entry line (or op-batch element). Returns
+/// `None` on malformed JSON or a failed integrity check.
+pub(crate) fn parse_entry(line: &str) -> Option<(CacheKey, CacheableResult)> {
+    parse_entry_value(&json::parse(line).ok()?)
+}
+
+/// [`parse_entry`] over an already-parsed JSON value (the fleet sync
+/// protocol embeds entries as array elements of a larger request).
+pub(crate) fn parse_entry_value(v: &JsonValue) -> Option<(CacheKey, CacheableResult)> {
     let spec = SpecHash::parse(v.get("spec")?.as_str()?).ok()?;
     let config = u64::from_str_radix(v.get("config")?.as_str()?, 16).ok()?;
     let check = u64::from_str_radix(v.get("check")?.as_str()?, 16).ok()?;
@@ -150,8 +162,16 @@ fn parse_entry(line: &str) -> Option<(CacheKey, CacheableResult)> {
         .iter()
         .map(|s| to_u64(s).and_then(|n| u32::try_from(n).ok()))
         .collect::<Option<Vec<u32>>>()?;
+    let note = match v.get("note") {
+        Some(n) => Some(n.as_str()?.to_owned()),
+        None => None,
+    };
     let key = CacheKey { spec, config };
-    let value = CacheableResult { starts, iterations };
+    let value = CacheableResult {
+        starts,
+        iterations,
+        note,
+    };
     if entry_check(&key, &value) != check {
         return None;
     }
@@ -280,6 +300,9 @@ mod tests {
                     Arc::new(CacheableResult {
                         starts: vec![n, n + 1, n + 2],
                         iterations: u64::from(n) + 10,
+                        // Exercise both shapes: entry 0 carries a
+                        // provenance note, the rest are bare.
+                        note: (n == 0).then(|| format!("partitioned: {n} subgraphs")),
                     }),
                 )
             })

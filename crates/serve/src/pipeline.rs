@@ -23,14 +23,16 @@
 //! responses byte for byte. On a hit the replayed schedule is the one
 //! the original miss produced (same canonical form ⇒ same translation),
 //! so hits render the same bytes too — with **zero** IFDS iterations of
-//! new work. The degradation ladder rewrites the system itself, so
-//! `degrade` requests bypass the cache.
+//! new work. Partitioned runs are content-addressed like monolithic
+//! ones: the partition knobs are part of the fingerprint and the
+//! telemetry note is stored in the entry. The degradation ladder
+//! rewrites the system itself, so `degrade` requests bypass the cache.
 
 use std::fmt::Write as _;
 
 use tcms_core::degrade::schedule_with_degradation_recorded;
 use tcms_core::{
-    check_execution, config_fingerprint, random_activations, schedule_partitioned_recorded,
+    check_execution, config_fingerprint_with, random_activations, schedule_partitioned_recorded,
     CacheableResult, LadderConfig, ModuloScheduler, PartitionConfig, PartitionCount, SharingSpec,
 };
 use tcms_fds::{gantt, FdsConfig, RunBudget, Schedule};
@@ -109,9 +111,12 @@ pub struct ScheduleOptions {
     /// Retry failures through the degradation ladder (`--degrade`);
     /// bypasses the cache.
     pub degrade: bool,
-    /// Feedback-guided subgraph decomposition (`--partition <K|auto>`);
-    /// like `degrade`, partitioned runs bypass the cache. `None` follows
-    /// the context's size threshold
+    /// Feedback-guided subgraph decomposition (`--partition <K|auto>`).
+    /// Partitioned runs are content-addressed like monolithic ones —
+    /// the partition knobs are folded into the config fingerprint
+    /// ([`tcms_core::config_fingerprint_with`]) and the telemetry note
+    /// rides in the cache entry, so hits replay byte-identically.
+    /// `None` follows the context's size threshold
     /// ([`ExecContext::auto_partition_ops`]).
     pub partition: Option<PartitionCount>,
 }
@@ -166,6 +171,50 @@ impl Default for ExecContext<'_> {
     }
 }
 
+/// Computes the content address a schedule request *would* use, without
+/// scheduling anything: parse, build the spec, canonicalize,
+/// fingerprint. This is what fleet routing keys on — every node derives
+/// the same address from the same request bytes, so every node agrees
+/// on the owner.
+///
+/// Returns `None` for requests that bypass the cache (`degrade`): those
+/// are never routed, always computed where they land. The budget axes
+/// that enter the fingerprint (`max_iterations`, `max_evals`) are
+/// always unlimited in the daemon — a deadline only sets the wall
+/// clock, which the fingerprint excludes — so the key computed here
+/// matches the one [`schedule_request`] computes while executing.
+///
+/// # Errors
+///
+/// The same parse/spec classes as [`schedule_request`] — a malformed
+/// design fails here exactly as it would fail executing, so callers can
+/// simply handle such requests locally.
+pub fn request_cache_key(
+    source: &str,
+    opts: &ScheduleOptions,
+    auto_partition_ops: usize,
+) -> Result<Option<CacheKey>, ServeError> {
+    if opts.degrade {
+        return Ok(None);
+    }
+    let system = load_system(source)?;
+    let spec = build_spec(&system, opts.all_global, &opts.globals)?;
+    let partition = opts.partition.or_else(|| {
+        (auto_partition_ops > 0 && system.num_ops() >= auto_partition_ops)
+            .then_some(PartitionCount::Auto)
+    });
+    let pcfg = partition.map(|count| PartitionConfig {
+        count,
+        ..PartitionConfig::default()
+    });
+    let config = FdsConfig::default();
+    let canon = Canonicalization::of(&system);
+    Ok(Some(CacheKey {
+        spec: canon.hash(),
+        config: config_fingerprint_with(&system, &canon, &spec, &config, pcfg.as_ref()),
+    }))
+}
+
 /// Everything a schedule request produced.
 #[derive(Debug)]
 pub struct ScheduleArtifacts {
@@ -217,6 +266,10 @@ pub fn schedule_request(
         (ctx.auto_partition_ops > 0 && system.num_ops() >= ctx.auto_partition_ops)
             .then_some(PartitionCount::Auto)
     });
+    let pcfg = partition.map(|count| PartitionConfig {
+        count,
+        ..PartitionConfig::default()
+    });
 
     let mut cache_key = None;
     let (system, spec, schedule, iterations, fresh_iterations, disposition, note) = if opts.degrade
@@ -243,17 +296,79 @@ pub fn schedule_request(
             Disposition::Miss,
             Some(note),
         )
-    } else if let Some(count) = partition {
-        // Partitioned runs merge independently scheduled subgraphs, so
-        // like `degrade` they are not content-addressed — bypass the
-        // cache. The driver re-verifies the merged schedule against the
-        // full specification before returning.
+    } else if let Some(cache) = ctx.cache {
+        // Monolithic and partitioned runs are both content-addressed:
+        // the partition knobs separate the fingerprint, and the
+        // partition telemetry note rides inside the cache entry so a
+        // hit replays the original run byte for byte.
+        let canon = Canonicalization::of(&system);
+        let key = CacheKey {
+            spec: canon.hash(),
+            config: config_fingerprint_with(&system, &canon, &spec, &config, pcfg.as_ref()),
+        };
+        cache_key = Some(key);
+        let (result, disposition) = cache.get_or_compute(key, || match &pcfg {
+            Some(pcfg) => {
+                let out =
+                    schedule_partitioned_recorded(&system, spec.clone(), &config, pcfg, ctx.rec)
+                        .map_err(ServeError::from)?;
+                out.schedule
+                    .verify(&system)
+                    .map_err(|e| ServeError::Verify(e.to_string()))?;
+                let note = format!(
+                    "partitioned: {} subgraphs, {} feedback rounds, {} cut edges",
+                    out.partitions, out.rounds, out.cut_edges
+                );
+                let iterations = out.iterations();
+                Ok(CacheableResult::capture(&canon, &out.schedule, iterations).with_note(note))
+            }
+            None => {
+                let outcome = ModuloScheduler::new(&system, spec.clone())
+                    .map_err(ServeError::from)?
+                    .with_config(config.clone())
+                    .run_recorded(ctx.rec)
+                    .map_err(ServeError::from)?;
+                outcome
+                    .schedule
+                    .verify(&system)
+                    .map_err(|e| ServeError::Verify(e.to_string()))?;
+                Ok(CacheableResult::capture(
+                    &canon,
+                    &outcome.schedule,
+                    outcome.iterations,
+                ))
+            }
+        });
+        let cached = result?;
+        let schedule = cached
+            .replay(&canon)
+            .map_err(|e| ServeError::Verify(format!("cache replay failed: {e}")))?;
+        // Replay is re-verified even on hits: a hash collision or
+        // corrupt snapshot entry surfaces as a typed error, never as a
+        // silently wrong response.
+        schedule
+            .verify(&system)
+            .map_err(|e| ServeError::Verify(format!("cached schedule invalid: {e}")))?;
+        let fresh = if disposition == Disposition::Miss {
+            cached.iterations
+        } else {
+            0
+        };
+        let note = cached.note.clone();
+        (
+            system,
+            spec,
+            schedule,
+            cached.iterations,
+            fresh,
+            disposition,
+            note,
+        )
+    } else if let Some(pcfg) = &pcfg {
+        // Cache-less partitioned run: same driver invocation the cached
+        // miss makes, so the two render identical bytes.
         let (schedule, iterations, note) = {
-            let pcfg = PartitionConfig {
-                count,
-                ..PartitionConfig::default()
-            };
-            let out = schedule_partitioned_recorded(&system, spec.clone(), &config, &pcfg, ctx.rec)
+            let out = schedule_partitioned_recorded(&system, spec.clone(), &config, pcfg, ctx.rec)
                 .map_err(ServeError::from)?;
             let note = format!(
                 "partitioned: {} subgraphs, {} feedback rounds, {} cut edges",
@@ -273,53 +388,6 @@ pub fn schedule_request(
             iterations,
             Disposition::Miss,
             Some(note),
-        )
-    } else if let Some(cache) = ctx.cache {
-        let canon = Canonicalization::of(&system);
-        let key = CacheKey {
-            spec: canon.hash(),
-            config: config_fingerprint(&system, &canon, &spec, &config),
-        };
-        cache_key = Some(key);
-        let (result, disposition) = cache.get_or_compute(key, || {
-            let outcome = ModuloScheduler::new(&system, spec.clone())
-                .map_err(ServeError::from)?
-                .with_config(config.clone())
-                .run_recorded(ctx.rec)
-                .map_err(ServeError::from)?;
-            outcome
-                .schedule
-                .verify(&system)
-                .map_err(|e| ServeError::Verify(e.to_string()))?;
-            Ok(CacheableResult::capture(
-                &canon,
-                &outcome.schedule,
-                outcome.iterations,
-            ))
-        });
-        let cached = result?;
-        let schedule = cached
-            .replay(&canon)
-            .map_err(|e| ServeError::Verify(format!("cache replay failed: {e}")))?;
-        // Replay is re-verified even on hits: a hash collision or
-        // corrupt snapshot entry surfaces as a typed error, never as a
-        // silently wrong response.
-        schedule
-            .verify(&system)
-            .map_err(|e| ServeError::Verify(format!("cached schedule invalid: {e}")))?;
-        let fresh = if disposition == Disposition::Miss {
-            cached.iterations
-        } else {
-            0
-        };
-        (
-            system,
-            spec,
-            schedule,
-            cached.iterations,
-            fresh,
-            disposition,
-            None,
         )
     } else {
         let (schedule, iterations) = {
@@ -692,7 +760,7 @@ edge m0 a0
     }
 
     #[test]
-    fn partition_requests_bypass_the_cache_and_note_the_split() {
+    fn partition_requests_are_cached_with_their_note() {
         let cache = SchedCache::new(16, 2);
         let ctx = ExecContext {
             cache: Some(&cache),
@@ -703,7 +771,7 @@ edge m0 a0
             ..opts_global(4)
         };
         let a = schedule_request(SAMPLE, &opts, &ctx).unwrap();
-        assert!(cache.is_empty(), "partitioned results are never cached");
+        assert_eq!(cache.len(), 1, "partitioned results are content-addressed");
         assert_eq!(a.disposition, Disposition::Miss);
         assert!(a.fresh_iterations > 0);
         assert!(
@@ -711,6 +779,41 @@ edge m0 a0
             "report names the split: {}",
             a.text
         );
+        // The hit replays the stored note: identical bytes, zero work.
+        let b = schedule_request(SAMPLE, &opts, &ctx).unwrap();
+        assert_eq!(b.disposition, Disposition::Hit);
+        assert_eq!(b.fresh_iterations, 0);
+        assert_eq!(b.text, a.text, "partitioned hits are byte-identical");
+        // A different K is a different content address, and the plain
+        // (monolithic) run is a third one.
+        let opts4 = ScheduleOptions {
+            partition: Some(PartitionCount::Fixed(4)),
+            ..opts_global(4)
+        };
+        let c = schedule_request(SAMPLE, &opts4, &ctx).unwrap();
+        assert_eq!(c.disposition, Disposition::Miss);
+        let plain = schedule_request(SAMPLE, &opts_global(4), &ctx).unwrap();
+        assert_eq!(plain.disposition, Disposition::Miss);
+        assert!(!plain.text.contains("partitioned:"));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cacheless_and_cached_partition_runs_render_identical_bytes() {
+        let opts = ScheduleOptions {
+            partition: Some(PartitionCount::Fixed(2)),
+            ..opts_global(4)
+        };
+        let plain = schedule_request(SAMPLE, &opts, &ExecContext::default()).unwrap();
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        let miss = schedule_request(SAMPLE, &opts, &ctx).unwrap();
+        let hit = schedule_request(SAMPLE, &opts, &ctx).unwrap();
+        assert_eq!(miss.text, plain.text);
+        assert_eq!(hit.text, plain.text);
     }
 
     #[test]
@@ -749,6 +852,42 @@ edge m0 a0
         };
         let plain = schedule_request(SAMPLE, &opts_global(4), &off).unwrap();
         assert!(!plain.text.contains("partitioned:"));
+    }
+
+    #[test]
+    fn request_cache_key_matches_the_executed_key() {
+        let cache = SchedCache::new(16, 2);
+        let ctx = ExecContext {
+            cache: Some(&cache),
+            ..ExecContext::default()
+        };
+        for opts in [
+            opts_global(4),
+            opts_global(2),
+            ScheduleOptions {
+                partition: Some(PartitionCount::Fixed(2)),
+                ..opts_global(4)
+            },
+        ] {
+            let routed = request_cache_key(SAMPLE, &opts, ctx.auto_partition_ops).unwrap();
+            let executed = schedule_request(SAMPLE, &opts, &ctx).unwrap().cache_key;
+            assert_eq!(routed, executed, "{opts:?}");
+            assert!(routed.is_some());
+        }
+        // Isomorphic designs route to the same address.
+        let a = request_cache_key(SAMPLE, &opts_global(4), 0).unwrap();
+        let b = request_cache_key(SAMPLE_SHUFFLED, &opts_global(4), 0).unwrap();
+        assert_eq!(a, b);
+        // Degrade requests are never routed.
+        let degrade = ScheduleOptions {
+            degrade: true,
+            ..opts_global(4)
+        };
+        assert_eq!(request_cache_key(SAMPLE, &degrade, 0).unwrap(), None);
+        // The auto-partition threshold changes the address exactly as it
+        // changes execution.
+        let auto = request_cache_key(SAMPLE, &opts_global(4), 4).unwrap();
+        assert_ne!(auto, a, "auto-partitioned specs address differently");
     }
 
     #[test]

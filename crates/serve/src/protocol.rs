@@ -28,10 +28,11 @@
 
 use std::collections::BTreeMap;
 
-use tcms_core::PartitionCount;
+use tcms_core::{CacheableResult, PartitionCount};
+use tcms_ir::SpecHash;
 use tcms_obs::json::{self, JsonValue};
 
-use crate::cache::Disposition;
+use crate::cache::{CacheKey, Disposition};
 use crate::error::ServeError;
 use crate::pipeline::{ScheduleOptions, SimulateOptions};
 
@@ -61,6 +62,29 @@ pub enum Action {
     Ping,
     /// Ask the daemon to shut down gracefully.
     Shutdown,
+    /// Fleet anti-entropy: report the per-sync-shard cache digests
+    /// (entry count + fnv64 checksum; see [`crate::fleet::sync`]).
+    SyncDigest,
+    /// Fleet anti-entropy: return cache entries — one whole sync shard
+    /// (`{"shard":3}`) or one exact content address
+    /// (`{"spec":"…","config":"…"}`); exactly one selector is required.
+    SyncPull {
+        /// Sync-shard index to dump, when pulling a shard.
+        shard: Option<usize>,
+        /// Exact content address, when fetching a single entry.
+        key: Option<CacheKey>,
+    },
+    /// Fleet anti-entropy: apply an op-batch of self-checking entries
+    /// (the snapshot's node-independent JSONL encoding, embedded as a
+    /// JSON array). Entries failing their integrity check are dropped,
+    /// not applied — corruption never replicates.
+    SyncPush {
+        /// Entries that passed their per-entry integrity check.
+        entries: Vec<(CacheKey, CacheableResult)>,
+        /// How many entries of the batch failed their check and were
+        /// dropped (echoed in the response for observability).
+        rejected: usize,
+    },
 }
 
 /// A parsed request: id, action, and optional per-job deadline.
@@ -243,11 +267,61 @@ fn parse_body(v: &JsonValue) -> Result<(Action, Option<u64>), ServeError> {
         "stats" => Action::Stats,
         "ping" => Action::Ping,
         "shutdown" => Action::Shutdown,
+        "sync_digest" => Action::SyncDigest,
+        "sync_pull" => {
+            let shard = match field_u64(v, "shard")? {
+                None => None,
+                Some(n) => Some(
+                    usize::try_from(n)
+                        .map_err(|_| ServeError::BadRequest("`shard` out of range".into()))?,
+                ),
+            };
+            let key = parse_key_fields(v)?;
+            if shard.is_some() == key.is_some() {
+                return Err(ServeError::BadRequest(
+                    "`sync_pull` needs exactly one of `shard` or `spec`+`config`".into(),
+                ));
+            }
+            Action::SyncPull { shard, key }
+        }
+        "sync_push" => {
+            let items = v
+                .get("entries")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| {
+                    ServeError::BadRequest("`entries` must be an array of cache entries".into())
+                })?;
+            let mut entries = Vec::with_capacity(items.len());
+            let mut rejected = 0usize;
+            for item in items {
+                match crate::persist::parse_entry_value(item) {
+                    Some(entry) => entries.push(entry),
+                    None => rejected += 1,
+                }
+            }
+            Action::SyncPush { entries, rejected }
+        }
         other => {
             return Err(ServeError::UnknownAction(other.to_owned()));
         }
     };
     Ok((action, deadline_ms))
+}
+
+/// Parses the optional exact-key selector of `sync_pull`: both `spec`
+/// and `config` must be present (hex strings) or both absent.
+fn parse_key_fields(v: &JsonValue) -> Result<Option<CacheKey>, ServeError> {
+    let bad = || ServeError::BadRequest("`spec` and `config` must be hex strings".into());
+    match (v.get("spec"), v.get("config")) {
+        (None, None) => Ok(None),
+        (Some(spec), Some(config)) => {
+            let spec = SpecHash::parse(spec.as_str().ok_or_else(bad)?).map_err(|_| bad())?;
+            let config =
+                u64::from_str_radix(config.as_str().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+            Ok(Some(CacheKey { spec, config }))
+        }
+        _ => Err(bad()),
+    }
 }
 
 /// One response line (without the trailing newline).

@@ -23,13 +23,25 @@
 //! is safe to enter from several worker threads at once (a contended
 //! parallel region degrades to inline sequential execution with
 //! bit-identical results).
+//!
+//! # Fleet mode
+//!
+//! With a [`FleetConfig`], this daemon becomes one node of a
+//! distributed fleet (see [`crate::fleet`]): work requests are routed
+//! by consistent hash of their content address (non-owners proxy the
+//! raw line to the owner and relay the response verbatim, so any node
+//! answers byte-identically), fresh results are pushed to the key's
+//! replica set, and a background anti-entropy loop keeps peer caches
+//! convergent. An optional HTTP/1.1 listener (`http_listen`) serves
+//! the same objects over `POST /schedule`, `GET /stats` and
+//! `GET /healthz`.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{BufRead as _, BufReader, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs as _};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,13 +49,17 @@ use tcms_fds::RunBudget;
 use tcms_obs::json::JsonValue;
 use tcms_obs::{MetricsRegistry, NoopRecorder};
 
-use crate::cache::{Disposition, SchedCache};
+use crate::cache::{CacheKey, Disposition, SchedCache};
 use crate::error::ServeError;
+use crate::fleet::{http, sync, Fleet, FleetConfig, RouteMode};
 use crate::journal::{JournalEntry, JournalStats, JournalWriter, DEFAULT_JOURNAL_BUFFER};
 use crate::persist;
-use crate::pipeline::{schedule_request, simulate_request, ExecContext};
+use crate::pipeline::{
+    request_cache_key, schedule_request, simulate_request, ExecContext, ScheduleOptions,
+};
 use crate::protocol::{
-    error_line, output_body, parse_request, success_line, Action, Request, RequestId,
+    error_line, output_body, parse_request, parse_response, success_line, Action, Request,
+    RequestId,
 };
 
 /// Daemon configuration.
@@ -85,6 +101,11 @@ pub struct ServeConfig {
     /// [`crate::pipeline::DEFAULT_AUTO_PARTITION_OPS`], matching the
     /// one-shot CLI so responses stay bit-identical.
     pub auto_partition_ops: usize,
+    /// Fleet membership (`--peers`); `None` runs a standalone daemon.
+    pub fleet: Option<FleetConfig>,
+    /// HTTP/1.1 listen address (`--http`); `None` disables the HTTP
+    /// front-end.
+    pub http_listen: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +124,8 @@ impl Default for ServeConfig {
             max_request_bytes: 1 << 20,
             fault_marker: false,
             auto_partition_ops: crate::pipeline::DEFAULT_AUTO_PARTITION_OPS,
+            fleet: None,
+            http_listen: None,
         }
     }
 }
@@ -113,10 +136,34 @@ struct Job {
     action: Action,
     enqueued: Instant,
     deadline: Option<Duration>,
-    conn: Arc<ConnWriter>,
-    /// The raw request line, kept only when journaling is on — the
-    /// journal replays verbatim bytes, not a re-serialisation.
+    conn: Responder,
+    /// The raw request line, kept when journaling is on (the journal
+    /// replays verbatim bytes, not a re-serialisation) or when fleet
+    /// proxying may forward it verbatim to the owner.
     raw: Option<String>,
+}
+
+/// Where a finished job's response line goes: straight onto an NDJSON
+/// connection, or through a channel to a caller waiting synchronously
+/// (the HTTP front-end).
+enum Responder {
+    /// The NDJSON connection the request arrived on.
+    Conn(Arc<ConnWriter>),
+    /// A rendezvous channel whose receiver blocks for the line.
+    Channel(mpsc::SyncSender<String>),
+}
+
+impl Responder {
+    /// Delivers one response line. Errors are swallowed in both arms: a
+    /// vanished client must not take a worker down.
+    fn send(&self, line: &str) {
+        match self {
+            Responder::Conn(conn) => conn.send(line),
+            Responder::Channel(tx) => {
+                let _ = tx.try_send(line.to_owned());
+            }
+        }
+    }
 }
 
 /// The write half of a connection; workers share it via `Arc`.
@@ -144,6 +191,11 @@ struct Shared {
     shutdown: AtomicBool,
     journal: Option<JournalWriter>,
     inflight: AtomicU64,
+    /// Fleet routing/sync state, when this daemon is a fleet node.
+    fleet: Option<Fleet>,
+    /// When the last fully successful anti-entropy exchange finished
+    /// (drives the `sync.lag_ms` stats field).
+    last_sync: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -261,8 +313,18 @@ impl Shared {
             fault_marker: self.config.fault_marker,
             auto_partition_ops: self.config.auto_partition_ops,
         };
-        // Control actions never reach the queue.
-        if matches!(job.action, Action::Stats | Action::Ping | Action::Shutdown) {
+        // Only work actions reach the queue; everything else is inline.
+        if !matches!(
+            job.action,
+            Action::Schedule { .. } | Action::Simulate { .. }
+        ) {
+            return;
+        }
+        // Fleet routing: a non-owner in proxy mode forwards the raw line
+        // to the key's owner and relays the answer verbatim, so the whole
+        // fleet shares one logical cache with byte-identical responses.
+        if let Some(line) = self.route_remote(&job, action, queue_us, budget.wall_deadline) {
+            job.conn.send(&line);
             return;
         }
         let inflight = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
@@ -281,7 +343,7 @@ impl Shared {
                     .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
                 Action::Simulate { design, opts } => simulate_request(design, opts, &ctx)
                     .map(|a| (a.text, a.disposition, a.fresh_iterations, a.cache_key)),
-                Action::Stats | Action::Ping | Action::Shutdown => unreachable!(),
+                _ => unreachable!("non-work actions never reach the queue"),
             }))
             .unwrap_or_else(|payload| {
                 self.lock_metrics().counter_add("serve.worker.panics", 1);
@@ -332,6 +394,13 @@ impl Shared {
                     &job.id,
                     output_body(&output, disposition, fresh_iterations),
                 ));
+                // Replicate a freshly computed entry to the key's other
+                // replicas — after the response, never on the hot path.
+                if disposition == Disposition::Miss {
+                    if let Some(key) = key {
+                        self.replicate_fresh(key);
+                    }
+                }
             }
             Err(e) => {
                 self.lock_metrics().counter_add("serve.errors", 1);
@@ -348,6 +417,203 @@ impl Shared {
                 });
                 job.conn.send(&error_line(&job.id, &e));
             }
+        }
+    }
+
+    /// The content address a work request would execute under, when the
+    /// request is routable: cache enabled, not degrade-laddered, and the
+    /// design parses. Mirrors the executed key exactly (see
+    /// [`request_cache_key`]), which is what makes routing safe — a
+    /// mismatch would only cost a proxy hop, never a wrong answer.
+    fn work_cache_key(&self, action: &Action) -> Option<CacheKey> {
+        if self.config.cache_capacity == 0 {
+            return None;
+        }
+        let (design, opts) = match action {
+            Action::Schedule { design, opts } => (design, opts.clone()),
+            // Simulation caches only its embedded *schedule*; the key is
+            // built from the schedule-shaped slice of the options.
+            Action::Simulate { design, opts } => (
+                design,
+                ScheduleOptions {
+                    all_global: opts.all_global,
+                    globals: opts.globals.clone(),
+                    ..ScheduleOptions::default()
+                },
+            ),
+            _ => return None,
+        };
+        request_cache_key(design, &opts, self.config.auto_partition_ops)
+            .ok()
+            .flatten()
+    }
+
+    /// Proxies a job to its owner when this node is not in the key's
+    /// replica set. Returns the response line to relay (verbatim owner
+    /// bytes, or a typed `peer-unavailable` error); `None` means
+    /// "execute locally" — standalone daemon, local route mode, owned
+    /// key, unroutable request, or a dead owner (health gates effort,
+    /// never placement).
+    fn route_remote(
+        &self,
+        job: &Job,
+        action: &'static str,
+        queue_us: u64,
+        remaining: Option<Duration>,
+    ) -> Option<String> {
+        let fleet = self.fleet.as_ref()?;
+        if fleet.config.route != RouteMode::Proxy {
+            return None;
+        }
+        let raw = job.raw.as_deref()?;
+        let key = self.work_cache_key(&job.action)?;
+        if fleet.is_local(&key) {
+            return None;
+        }
+        let owner = fleet.owner(&key).to_owned();
+        if !fleet.membership.is_alive(&owner) {
+            // Dead owner: compute locally rather than fail the client —
+            // bit-identical by construction, just duplicated work that
+            // anti-entropy will reconcile.
+            self.lock_metrics()
+                .counter_add("serve.fleet.local_fallback", 1);
+            return None;
+        }
+        let read_timeout = remaining.map_or(PROXY_READ_TIMEOUT, |r| r.min(PROXY_READ_TIMEOUT));
+        let start = Instant::now();
+        match peer_request(&owner, raw, read_timeout) {
+            Ok(line) => {
+                let rtt = dur_us(start.elapsed());
+                fleet.membership.record_ok(&owner, rtt);
+                {
+                    let mut m = self.lock_metrics();
+                    m.counter_add("serve.fleet.proxied", 1);
+                    #[allow(clippy::cast_precision_loss)]
+                    m.histogram_record("serve.fleet.peer.rtt_us", rtt as f64);
+                }
+                self.journal_record(job.raw.clone(), |request| JournalEntry {
+                    action,
+                    key: Some(key),
+                    disposition: None,
+                    outcome: "proxied",
+                    code: 0,
+                    queue_us,
+                    exec_us: rtt,
+                    total_us: dur_us(job.enqueued.elapsed()),
+                    request,
+                });
+                Some(line)
+            }
+            Err(_) => {
+                fleet.membership.record_failure(&owner);
+                let err = ServeError::PeerUnavailable { peer: owner };
+                {
+                    let mut m = self.lock_metrics();
+                    m.counter_add("serve.errors", 1);
+                    m.counter_add("serve.fleet.proxy_failures", 1);
+                }
+                self.journal_record(job.raw.clone(), |request| JournalEntry {
+                    action,
+                    key: Some(key),
+                    disposition: None,
+                    outcome: err.class(),
+                    code: err.code(),
+                    queue_us,
+                    exec_us: dur_us(start.elapsed()),
+                    total_us: dur_us(job.enqueued.elapsed()),
+                    request,
+                });
+                Some(error_line(&job.id, &err))
+            }
+        }
+    }
+
+    /// Pushes one freshly computed entry to the key's other replicas.
+    /// Best effort: a failed push is counted and left to anti-entropy.
+    fn replicate_fresh(&self, key: CacheKey) {
+        let Some(fleet) = &self.fleet else { return };
+        let Some(value) = self.cache.peek(&key) else {
+            return;
+        };
+        let entry = [(key, value)];
+        let line = sync::push_request_line("repl", &entry);
+        for peer in fleet.replica_peers(&key) {
+            if !fleet.membership.is_alive(peer) {
+                continue; // sync catches the peer up when it rejoins
+            }
+            let start = Instant::now();
+            match peer_request(peer, &line, SYNC_READ_TIMEOUT) {
+                Ok(_) => {
+                    fleet.membership.record_ok(peer, dur_us(start.elapsed()));
+                    self.lock_metrics().counter_add("serve.fleet.pushed", 1);
+                }
+                Err(_) => {
+                    fleet.membership.record_failure(peer);
+                    self.lock_metrics()
+                        .counter_add("serve.fleet.push_failures", 1);
+                }
+            }
+        }
+    }
+
+    /// One anti-entropy exchange with one peer: digest comparison, then
+    /// a pull of every diverging shard over the same connection.
+    fn sync_with_peer(&self, peer: &str) -> std::io::Result<sync::SyncOutcome> {
+        let mut conn = PeerConn::connect(peer, PEER_CONNECT_TIMEOUT, SYNC_READ_TIMEOUT)?;
+        let line = conn.request(&sync::digest_request_line("sync-digest"))?;
+        let theirs = sync::parse_digests(&peer_body(&line)?)
+            .ok_or_else(|| invalid_peer("malformed digest response"))?;
+        sync::pull_round(&self.cache, &theirs, |shard| {
+            let line = conn.request(&sync::pull_shard_request_line("sync-pull", shard))?;
+            let (entries, rejected) = sync::parse_entries(&peer_body(&line)?)
+                .ok_or_else(|| invalid_peer("malformed entries response"))?;
+            if rejected > 0 {
+                self.lock_metrics()
+                    .counter_add("serve.fleet.sync.rejected", rejected as u64);
+            }
+            Ok(entries)
+        })
+    }
+
+    /// One full anti-entropy round against every peer. Doubles as the
+    /// failure detector: successful exchanges resurrect dead peers,
+    /// failed ones advance their death counters.
+    fn sync_all_peers(&self) {
+        let Some(fleet) = &self.fleet else { return };
+        let peers: Vec<String> = fleet.membership.addrs().map(str::to_owned).collect();
+        let mut all_ok = !peers.is_empty();
+        for peer in &peers {
+            if self.shutting_down() {
+                return;
+            }
+            let start = Instant::now();
+            match self.sync_with_peer(peer) {
+                Ok(outcome) => {
+                    let rtt = dur_us(start.elapsed());
+                    fleet.membership.record_ok(peer, rtt);
+                    let mut m = self.lock_metrics();
+                    m.counter_add("serve.fleet.sync.rounds", 1);
+                    m.counter_add(
+                        "serve.fleet.sync.shards_pulled",
+                        outcome.shards_pulled as u64,
+                    );
+                    m.counter_add("serve.fleet.sync.entries_applied", outcome.applied as u64);
+                    #[allow(clippy::cast_precision_loss)]
+                    m.histogram_record("serve.fleet.peer.rtt_us", rtt as f64);
+                }
+                Err(_) => {
+                    all_ok = false;
+                    fleet.membership.record_failure(peer);
+                    self.lock_metrics()
+                        .counter_add("serve.fleet.sync.failures", 1);
+                }
+            }
+        }
+        if all_ok {
+            *self
+                .last_sync
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
         }
     }
 
@@ -432,12 +698,163 @@ impl Shared {
             }
         }
         body.insert("journal".into(), JsonValue::Object(journal));
+        let mut fleet = BTreeMap::new();
+        match &self.fleet {
+            Some(f) => {
+                fleet.insert("enabled".into(), JsonValue::Bool(true));
+                fleet.insert("self".into(), JsonValue::String(f.config.self_addr.clone()));
+                fleet.insert(
+                    "route".into(),
+                    JsonValue::String(f.config.route.as_str().into()),
+                );
+                fleet.insert("replicas".into(), num(f.ring.replicas() as u64));
+                for (field, counter) in [
+                    ("proxied", "serve.fleet.proxied"),
+                    ("proxy_failures", "serve.fleet.proxy_failures"),
+                    ("local_fallback", "serve.fleet.local_fallback"),
+                    ("pushed", "serve.fleet.pushed"),
+                    ("push_failures", "serve.fleet.push_failures"),
+                ] {
+                    fleet.insert(field.into(), num(metrics.counter(counter)));
+                }
+                let mut sync = BTreeMap::new();
+                for (field, counter) in [
+                    ("rounds", "serve.fleet.sync.rounds"),
+                    ("shards_pulled", "serve.fleet.sync.shards_pulled"),
+                    ("entries_applied", "serve.fleet.sync.entries_applied"),
+                    ("failures", "serve.fleet.sync.failures"),
+                    ("push_applied", "serve.fleet.sync.push_applied"),
+                    ("push_rejected", "serve.fleet.sync.push_rejected"),
+                ] {
+                    sync.insert(field.into(), num(metrics.counter(counter)));
+                }
+                let lag = self
+                    .last_sync
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .map(|at| {
+                        #[allow(clippy::cast_precision_loss)]
+                        let ms = at.elapsed().as_millis() as f64;
+                        JsonValue::Number(ms)
+                    });
+                sync.insert("lag_ms".into(), lag.unwrap_or(JsonValue::Null));
+                fleet.insert("sync".into(), JsonValue::Object(sync));
+                fleet.insert(
+                    "peers".into(),
+                    JsonValue::Array(
+                        f.membership
+                            .snapshot()
+                            .into_iter()
+                            .map(|(addr, health)| {
+                                let mut p = BTreeMap::new();
+                                p.insert("addr".into(), JsonValue::String(addr));
+                                p.insert("alive".into(), JsonValue::Bool(health.is_alive()));
+                                p.insert("ok".into(), num(health.ok_count));
+                                p.insert("failures".into(), num(health.failure_count));
+                                p.insert(
+                                    "consecutive_failures".into(),
+                                    num(u64::from(health.consecutive_failures)),
+                                );
+                                p.insert(
+                                    "last_rtt_us".into(),
+                                    health.last_rtt_us.map_or(JsonValue::Null, num),
+                                );
+                                JsonValue::Object(p)
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            None => {
+                fleet.insert("enabled".into(), JsonValue::Bool(false));
+            }
+        }
+        body.insert("fleet".into(), JsonValue::Object(fleet));
         body
     }
 }
 
 fn dur_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Connect timeout for any peer dial.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Read timeout for sync/push exchanges (bounded, off the hot path).
+const SYNC_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Read-timeout ceiling for proxied work (the request's own deadline
+/// tightens it further).
+const PROXY_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A short-lived NDJSON connection to a fleet peer.
+struct PeerConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl PeerConn {
+    fn connect(addr: &str, connect: Duration, read: Duration) -> std::io::Result<PeerConn> {
+        let mut last = None;
+        let mut stream = None;
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, connect) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            last.unwrap_or_else(|| invalid_peer("peer address resolved to nothing"))
+        })?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(read))?;
+        stream.set_write_timeout(Some(read))?;
+        Ok(PeerConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One request/response exchange. Peers answer in order on a
+    /// connection, so a plain `read_line` pairs correctly.
+    fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut out = String::new();
+        if self.reader.read_line(&mut out)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed the connection",
+            ));
+        }
+        while out.ends_with('\n') || out.ends_with('\r') {
+            out.pop();
+        }
+        Ok(out)
+    }
+}
+
+/// One-shot request to a peer on a fresh connection.
+fn peer_request(addr: &str, line: &str, read: Duration) -> std::io::Result<String> {
+    PeerConn::connect(addr, PEER_CONNECT_TIMEOUT, read)?.request(line)
+}
+
+fn invalid_peer(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Parses a peer's response line and extracts its body, converting
+/// protocol-level failures into I/O errors (the sync loop treats every
+/// failure mode uniformly: count it, mark the peer, move on).
+fn peer_body(line: &str) -> std::io::Result<JsonValue> {
+    let resp = parse_response(line).map_err(|e| invalid_peer(&e))?;
+    if let Some((class, code, msg)) = resp.error {
+        return Err(invalid_peer(&format!("peer error {class} ({code}): {msg}")));
+    }
+    Ok(resp.body)
 }
 
 fn action_label(action: &Action) -> &'static str {
@@ -447,6 +864,9 @@ fn action_label(action: &Action) -> &'static str {
         Action::Stats => "stats",
         Action::Ping => "ping",
         Action::Shutdown => "shutdown",
+        Action::SyncDigest => "sync_digest",
+        Action::SyncPull { .. } => "sync_pull",
+        Action::SyncPush { .. } => "sync_push",
     }
 }
 
@@ -457,6 +877,9 @@ fn request_metric(action: &Action) -> &'static str {
         Action::Stats => "serve.requests.stats",
         Action::Ping => "serve.requests.ping",
         Action::Shutdown => "serve.requests.shutdown",
+        Action::SyncDigest => "serve.requests.sync_digest",
+        Action::SyncPull { .. } => "serve.requests.sync_pull",
+        Action::SyncPush { .. } => "serve.requests.sync_push",
     }
 }
 
@@ -487,6 +910,67 @@ fn total_metric(d: Option<Disposition>) -> &'static str {
         Some(Disposition::Miss) => "serve.total_us.miss",
         Some(Disposition::Coalesced) => "serve.total_us.coalesced",
         None => "serve.total_us.error",
+    }
+}
+
+/// Answers every non-work action inline (control and sync actions never
+/// touch the job queue — a full queue must not stall health checks or
+/// anti-entropy). Returns `Err(action)` to hand work actions back to the
+/// caller for queueing.
+fn inline_response(shared: &Shared, id: &RequestId, action: Action) -> Result<String, Action> {
+    match action {
+        Action::Ping => {
+            let mut body = BTreeMap::new();
+            body.insert("pong".into(), JsonValue::Bool(true));
+            Ok(success_line(id, body))
+        }
+        Action::Stats => Ok(success_line(id, shared.stats_body())),
+        Action::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            Ok(success_line(id, BTreeMap::new()))
+        }
+        Action::SyncDigest => Ok(success_line(
+            id,
+            sync::digest_body(&sync::digests(&shared.cache)),
+        )),
+        Action::SyncPull { shard, key } => {
+            let entries = match (shard, key) {
+                (Some(s), _) => {
+                    if s >= sync::SYNC_SHARDS {
+                        let err = ServeError::BadRequest(format!(
+                            "`shard` must be below {}",
+                            sync::SYNC_SHARDS
+                        ));
+                        return Ok(error_line(id, &err));
+                    }
+                    sync::shard_entries(&shared.cache, s)
+                }
+                (None, Some(k)) => shared
+                    .cache
+                    .peek(&k)
+                    .map(|v| vec![(k, v)])
+                    .unwrap_or_default(),
+                // The parser enforces exactly one selector.
+                (None, None) => Vec::new(),
+            };
+            Ok(success_line(id, sync::entries_body(&entries)))
+        }
+        Action::SyncPush { entries, rejected } => {
+            let applied = sync::apply_entries(&shared.cache, entries);
+            {
+                let mut m = shared.lock_metrics();
+                m.counter_add("serve.fleet.sync.push_applied", applied as u64);
+                m.counter_add("serve.fleet.sync.push_rejected", rejected as u64);
+            }
+            let mut body = BTreeMap::new();
+            #[allow(clippy::cast_precision_loss)]
+            body.insert("applied".into(), JsonValue::Number(applied as f64));
+            #[allow(clippy::cast_precision_loss)]
+            body.insert("rejected".into(), JsonValue::Number(rejected as f64));
+            Ok(success_line(id, body))
+        }
+        work @ (Action::Schedule { .. } | Action::Simulate { .. }) => Err(work),
     }
 }
 
@@ -578,34 +1062,24 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         shared
             .lock_metrics()
             .counter_add(request_metric(&action), 1);
-        match action {
-            Action::Ping => {
-                let mut body = BTreeMap::new();
-                body.insert("pong".into(), JsonValue::Bool(true));
-                writer.send(&success_line(&id, body));
-            }
-            Action::Stats => {
-                writer.send(&success_line(&id, shared.stats_body()));
-            }
-            Action::Shutdown => {
-                writer.send(&success_line(&id, BTreeMap::new()));
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.queue_cv.notify_all();
-            }
-            work @ (Action::Schedule { .. } | Action::Simulate { .. }) => {
+        match inline_response(shared, &id, action) {
+            Ok(line) => writer.send(&line),
+            Err(work) => {
                 let deadline = deadline_ms
                     .or(shared.config.default_deadline_ms)
                     .map(Duration::from_millis);
-                // Keep the raw bytes only when journaling: the journal
-                // replays the request verbatim, not a re-serialisation.
-                let raw = shared.journal.as_ref().map(|_| text.trim_end().to_owned());
+                // Keep the raw bytes when journaling (the journal replays
+                // the request verbatim, not a re-serialisation) or in a
+                // fleet (proxying forwards the owner the same bytes).
+                let raw = (shared.journal.is_some() || shared.fleet.is_some())
+                    .then(|| text.trim_end().to_owned());
                 let action_name = action_label(&work);
                 let job = Job {
                     id: id.clone(),
                     action: work,
                     enqueued: Instant::now(),
                     deadline,
-                    conn: Arc::clone(&writer),
+                    conn: Responder::Conn(Arc::clone(&writer)),
                     raw: raw.clone(),
                 };
                 if let Err(e) = shared.enqueue(job) {
@@ -634,6 +1108,277 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Outcome of reading one HTTP request head off a connection.
+enum HeadRead {
+    /// The head text, up to and including the blank line.
+    Head(String),
+    /// Client went away (EOF, I/O error, or shutdown) — just close.
+    Closed,
+    /// The head outgrew `max_request_bytes`.
+    Oversized,
+}
+
+/// Reads bytes until the header-terminating blank line, leaving any
+/// body bytes unconsumed in the reader.
+fn read_http_head(shared: &Shared, reader: &mut BufReader<TcpStream>, cap: usize) -> HeadRead {
+    let mut head: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok([]) => return HeadRead::Closed,
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return HeadRead::Closed;
+                }
+                continue;
+            }
+            Err(_) => return HeadRead::Closed,
+        };
+        // Byte-wise scan so the terminator is found even when it
+        // straddles a read boundary, and body bytes are never consumed.
+        let mut consumed = 0;
+        let mut done = false;
+        for &b in buf {
+            consumed += 1;
+            head.push(b);
+            if head.len() > cap {
+                reader.consume(consumed);
+                return HeadRead::Oversized;
+            }
+            if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                done = true;
+                break;
+            }
+        }
+        reader.consume(consumed);
+        if done {
+            match String::from_utf8(head) {
+                Ok(text) => return HeadRead::Head(text),
+                // Non-UTF-8 heads parse as malformed downstream.
+                Err(_) => return HeadRead::Head(String::new()),
+            }
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes, tolerating timeout polls.
+fn read_http_body(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+) -> Option<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match reader.read(&mut body[got..]) {
+            Ok(0) => return None,
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    Some(body)
+}
+
+/// The `/schedule` route implies `"action":"schedule"` when the body
+/// omits it; anything else (including an unparseable body) passes
+/// through untouched and produces its typed error downstream.
+fn inject_default_action(line: &str) -> String {
+    let Ok(JsonValue::Object(mut map)) = tcms_obs::json::parse(line) else {
+        return line.to_owned();
+    };
+    map.entry("action".to_owned())
+        .or_insert_with(|| JsonValue::String("schedule".into()));
+    tcms_obs::json::to_string(&JsonValue::Object(map))
+}
+
+/// Runs one HTTP work request end to end: parse, answer inline or queue
+/// behind the same bounded queue as NDJSON work, and map the NDJSON
+/// response line onto an HTTP status. The body IS the NDJSON line — the
+/// fleet's bit-identicality guarantee carries over to HTTP verbatim.
+fn http_work(shared: &Arc<Shared>, body: &[u8]) -> (u16, String) {
+    let null = JsonValue::Null;
+    let Ok(text) = std::str::from_utf8(body) else {
+        let err = ServeError::BadRequest("request body is not valid UTF-8".into());
+        shared.lock_metrics().counter_add("serve.errors", 1);
+        return (http::status_of(&err), error_line(&null, &err) + "\n");
+    };
+    // NDJSON wants one line; JSON newlines only ever separate tokens,
+    // where a space is equivalent.
+    let line = inject_default_action(text.replace(['\r', '\n'], " ").trim());
+    let request = match parse_request(&line) {
+        Ok(r) => r,
+        Err((id, e)) => {
+            shared.lock_metrics().counter_add("serve.errors", 1);
+            return (http::status_of(&e), error_line(&id, &e) + "\n");
+        }
+    };
+    let Request {
+        id,
+        action,
+        deadline_ms,
+    } = request;
+    shared
+        .lock_metrics()
+        .counter_add(request_metric(&action), 1);
+    match inline_response(shared, &id, action) {
+        Ok(resp) => (http_status_of_line(&resp), resp + "\n"),
+        Err(work) => {
+            let deadline = deadline_ms
+                .or(shared.config.default_deadline_ms)
+                .map(Duration::from_millis);
+            let action_name = action_label(&work);
+            let raw = Some(line.clone());
+            // Rendezvous channel: the worker's `send` hands the line
+            // straight to this thread, which blocks like an NDJSON
+            // client would. Every queued job sends exactly one line
+            // (shutdown drains the queue through `execute`), so `recv`
+            // cannot wedge.
+            let (tx, rx) = mpsc::sync_channel(1);
+            let job = Job {
+                id: id.clone(),
+                action: work,
+                enqueued: Instant::now(),
+                deadline,
+                conn: Responder::Channel(tx),
+                raw: raw.clone(),
+            };
+            if let Err(e) = shared.enqueue(job) {
+                shared.lock_metrics().counter_add("serve.errors", 1);
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    shared.lock_metrics().counter_add("serve.shed", 1);
+                }
+                shared.journal_record(raw, |request| JournalEntry {
+                    action: action_name,
+                    key: None,
+                    disposition: None,
+                    outcome: e.class(),
+                    code: e.code(),
+                    queue_us: 0,
+                    exec_us: 0,
+                    total_us: 0,
+                    request,
+                });
+                return (http::status_of(&e), error_line(&id, &e) + "\n");
+            }
+            match rx.recv() {
+                Ok(resp) => (http_status_of_line(&resp), resp + "\n"),
+                Err(_) => {
+                    let err = ServeError::Internal("worker dropped the response".into());
+                    (http::status_of(&err), error_line(&id, &err) + "\n")
+                }
+            }
+        }
+    }
+}
+
+/// The HTTP status an NDJSON response line maps onto: 200 for `ok`,
+/// otherwise the error's own HTTP-shaped code (see
+/// [`http::status_of`]).
+fn http_status_of_line(line: &str) -> u16 {
+    match parse_response(line) {
+        Ok(resp) => resp
+            .error
+            .map_or(200, |(_, code, _)| http::status_of_code(code)),
+        Err(_) => 200,
+    }
+}
+
+/// Routes one parsed HTTP request.
+fn http_dispatch(shared: &Arc<Shared>, head: &http::RequestHead, body: &[u8]) -> (u16, String) {
+    let null = JsonValue::Null;
+    {
+        let mut m = shared.lock_metrics();
+        m.counter_add("serve.requests", 1);
+        m.counter_add("serve.fleet.http.requests", 1);
+    }
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => {
+            if shared.shutting_down() {
+                (503, error_line(&null, &ServeError::ShuttingDown) + "\n")
+            } else {
+                (200, success_line(&null, BTreeMap::new()) + "\n")
+            }
+        }
+        ("GET", "/stats") => {
+            shared.lock_metrics().counter_add("serve.requests.stats", 1);
+            (200, success_line(&null, shared.stats_body()) + "\n")
+        }
+        ("POST", "/schedule") => http_work(shared, body),
+        (_, "/healthz" | "/stats" | "/schedule") => {
+            let err = ServeError::BadRequest(format!(
+                "method {} not allowed on {}",
+                head.method, head.path
+            ));
+            (405, error_line(&null, &err) + "\n")
+        }
+        (_, path) => (
+            404,
+            error_line(&null, &ServeError::UnknownAction(path.to_owned())) + "\n",
+        ),
+    }
+}
+
+/// Serves one HTTP connection: a loop of head → body → dispatch →
+/// response, honouring keep-alive. Pure parsing/rendering lives in
+/// [`crate::fleet::http`]; this is just the socket plumbing.
+fn serve_http_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut write = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let cap = shared.config.max_request_bytes.max(1);
+    loop {
+        let head_text = match read_http_head(shared, &mut reader, cap) {
+            HeadRead::Head(h) => h,
+            HeadRead::Closed => return,
+            HeadRead::Oversized => {
+                let err = ServeError::TooLarge { limit: cap };
+                let body = error_line(&JsonValue::Null, &err) + "\n";
+                let _ = write.write_all(&http::response_bytes(413, &body, false));
+                return;
+            }
+        };
+        let head = match http::parse_request_head(&head_text) {
+            Ok(h) => h,
+            Err(msg) => {
+                let err = ServeError::BadRequest(format!("malformed HTTP request: {msg}"));
+                let body = error_line(&JsonValue::Null, &err) + "\n";
+                let _ = write.write_all(&http::response_bytes(400, &body, false));
+                return;
+            }
+        };
+        if head.content_length > cap {
+            let err = ServeError::TooLarge { limit: cap };
+            let body = error_line(&JsonValue::Null, &err) + "\n";
+            let _ = write.write_all(&http::response_bytes(413, &body, false));
+            return;
+        }
+        let Some(body) = read_http_body(shared, &mut reader, head.content_length) else {
+            return;
+        };
+        let (status, line) = http_dispatch(shared, &head, &body);
+        let _ = write.write_all(&http::response_bytes(status, &line, head.keep_alive));
+        let _ = write.flush();
+        if !head.keep_alive {
+            return;
+        }
+    }
+}
+
 /// A running daemon. Dropping it without [`Server::wait`] leaves threads
 /// running; call [`Server::shutdown`] then [`Server::wait`] (or let a
 /// client's `shutdown` request trigger it) for a clean exit that also
@@ -641,8 +1386,49 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     accept: Option<JoinHandle<()>>,
+    http_accept: Option<JoinHandle<()>>,
+    sync_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// Spawns a nonblocking accept loop that hands each connection to
+/// `handler` on a detached thread (connection threads exit on client
+/// EOF or the shutdown flag via their read timeout).
+fn spawn_accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    name: &str,
+    handler: fn(&Arc<Shared>, TcpStream),
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let conn_name = format!("{name}-conn");
+    std::thread::Builder::new()
+        .name(format!("{name}-accept"))
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name(conn_name.clone())
+                        .spawn(move || handler(&shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        })
+        .expect("spawn accept thread")
 }
 
 impl Server {
@@ -657,6 +1443,18 @@ impl Server {
         let listener = TcpListener::bind(&config.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let http_listener = match &config.http_listen {
+            Some(http) => {
+                let l = TcpListener::bind(http)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let http_addr = match &http_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         if config.workers == 0 {
             config.workers = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -679,6 +1477,7 @@ impl Server {
             )?),
             None => None,
         };
+        let fleet = config.fleet.clone().map(Fleet::new);
         let shared = Arc::new(Shared {
             config,
             cache,
@@ -688,6 +1487,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             journal,
             inflight: AtomicU64::new(0),
+            fleet,
+            last_sync: Mutex::new(None),
         });
         let workers = (0..shared.config.workers)
             .map(|i| {
@@ -719,40 +1520,40 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("tcms-serve-accept".into())
-                .spawn(move || loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let shared = Arc::clone(&shared);
-                            // Connection threads are detached; they exit on
-                            // client EOF or the shutdown flag (read timeout).
-                            let _ = std::thread::Builder::new()
-                                .name("tcms-serve-conn".into())
-                                .spawn(move || serve_connection(&shared, stream));
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+        let accept = spawn_accept_loop(&shared, listener, "tcms-serve", serve_connection);
+        let http_accept = http_listener
+            .map(|l| spawn_accept_loop(&shared, l, "tcms-serve-http", serve_http_connection));
+        // The anti-entropy loop: sleep in short shutdown-checked steps,
+        // then exchange digests with every peer.
+        let sync_loop = shared
+            .fleet
+            .as_ref()
+            .and_then(|f| f.config.sync_interval)
+            .map(|interval| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("tcms-serve-sync".into())
+                    .spawn(move || loop {
+                        let mut slept = Duration::ZERO;
+                        while slept < interval {
                             if shared.shutting_down() {
                                 return;
                             }
-                            std::thread::sleep(Duration::from_millis(10));
+                            let step = Duration::from_millis(50).min(interval - slept);
+                            std::thread::sleep(step);
+                            slept += step;
                         }
-                        Err(_) => {
-                            if shared.shutting_down() {
-                                return;
-                            }
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                    }
-                })
-                .expect("spawn accept thread")
-        };
+                        shared.sync_all_peers();
+                    })
+                    .expect("spawn sync thread")
+            });
         Ok(Server {
             shared,
             addr,
+            http_addr,
             accept: Some(accept),
+            http_accept,
+            sync_loop,
             workers,
         })
     }
@@ -761,6 +1562,19 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP address, when the HTTP front-end is enabled.
+    #[must_use]
+    pub fn local_http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// Runs one synchronous anti-entropy round against every peer.
+    /// Tests and the bench harness drive convergence deterministically
+    /// with this instead of waiting out the background interval.
+    pub fn sync_now(&self) {
+        self.shared.sync_all_peers();
     }
 
     /// Signals shutdown: stop accepting, drain the queue, then exit.
@@ -784,6 +1598,12 @@ impl Server {
     /// Propagates snapshot write failures.
     pub fn wait(mut self) -> std::io::Result<()> {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http_accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sync_loop.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -822,7 +1642,7 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::parse_response;
+    use crate::fleet::HashRing;
 
     const SAMPLE: &str = "resource add delay=1 area=1\nresource mul delay=2 area=4 pipelined\n\
         process A\nblock body time=8\nop m0 mul\nop a0 add\nedge m0 a0\n\
@@ -1084,6 +1904,259 @@ mod tests {
         assert_eq!(journal.get("enabled"), Some(&JsonValue::Bool(false)));
         server.shutdown();
         server.wait().unwrap();
+    }
+
+    /// Reserves `n` distinct loopback ports by bind-and-drop: fleet
+    /// members must know every peer's address before any of them start.
+    fn reserve_ports(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| {
+                let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                let addr = listener.local_addr().unwrap();
+                drop(listener);
+                format!("127.0.0.1:{}", addr.port())
+            })
+            .collect()
+    }
+
+    fn start_fleet(n: usize, replicas: usize) -> (Vec<Server>, Vec<String>) {
+        let peers = reserve_ports(n);
+        let servers = peers
+            .iter()
+            .map(|addr| {
+                Server::start(ServeConfig {
+                    listen: addr.clone(),
+                    workers: 2,
+                    fleet: Some(FleetConfig {
+                        replicas,
+                        sync_interval: None, // tests drive sync_now()
+                        ..FleetConfig::new(addr.clone(), peers.clone())
+                    }),
+                    ..ServeConfig::default()
+                })
+                .unwrap()
+            })
+            .collect();
+        (servers, peers)
+    }
+
+    fn sample_key() -> CacheKey {
+        request_cache_key(
+            SAMPLE,
+            &ScheduleOptions {
+                all_global: Some(4),
+                ..ScheduleOptions::default()
+            },
+            crate::pipeline::DEFAULT_AUTO_PARTITION_OPS,
+        )
+        .unwrap()
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_proxies_to_the_owner_and_every_node_answers_identically() {
+        let (servers, peers) = start_fleet(3, 2);
+        let key = sample_key();
+        let ring = HashRing::new(&peers, 2);
+        let owner_idx = peers.iter().position(|p| p == ring.owner(&key)).unwrap();
+        let non_owner_idx = (0..3)
+            .find(|i| !ring.is_replica(&key, &peers[*i]))
+            .expect("3 nodes, R=2: exactly one non-replica");
+        // A request to a NON-owner is proxied: the owner computes and
+        // caches, the non-owner relays verbatim.
+        let first = roundtrip(servers[non_owner_idx].local_addr(), &schedule_req("f"));
+        assert!(first.is_ok(), "{:?}", first.error);
+        assert_eq!(first.cache(), Some("miss"));
+        assert_eq!(servers[non_owner_idx].counter("serve.fleet.proxied"), 1);
+        assert_eq!(servers[non_owner_idx].counter("serve.scheduler.runs"), 0);
+        assert_eq!(servers[owner_idx].counter("serve.scheduler.runs"), 1);
+        assert_eq!(servers[owner_idx].cache().len(), 1);
+        assert_eq!(servers[non_owner_idx].cache().len(), 0);
+        // Replication runs after the response; wait for the fresh entry
+        // to land on the backup replica before asserting fleet-wide hits.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            let replicated = servers
+                .iter()
+                .filter(|s| s.cache().peek(&key).is_some())
+                .count();
+            if replicated == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Every node now answers the same request with identical bytes,
+        // and nothing schedules again anywhere.
+        for server in &servers {
+            let resp = roundtrip(server.local_addr(), &schedule_req("f"));
+            assert_eq!(resp.cache(), Some("hit"), "{:?}", resp.error);
+            assert_eq!(resp.output(), first.output());
+        }
+        let runs: u64 = servers
+            .iter()
+            .map(|s| s.counter("serve.scheduler.runs"))
+            .sum();
+        assert_eq!(runs, 1, "one IFDS run serves the whole fleet");
+        // The fresh miss was pushed to the other replica (R=2).
+        let replicated = servers
+            .iter()
+            .filter(|s| s.cache().peek(&key).is_some())
+            .count();
+        assert_eq!(replicated, 2, "owner + one backup hold the entry");
+        for server in servers {
+            server.shutdown();
+            server.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn sync_now_converges_peers_without_proxying() {
+        // R=1: the entry lives only on its owner until anti-entropy runs.
+        let (servers, peers) = start_fleet(3, 1);
+        let key = sample_key();
+        let ring = HashRing::new(&peers, 1);
+        let owner_idx = peers.iter().position(|p| p == ring.owner(&key)).unwrap();
+        let resp = roundtrip(servers[owner_idx].local_addr(), &schedule_req("s"));
+        assert_eq!(resp.cache(), Some("miss"), "{:?}", resp.error);
+        let other = (owner_idx + 1) % 3;
+        assert_eq!(servers[other].cache().len(), 0);
+        servers[other].sync_now();
+        assert_eq!(servers[other].cache().len(), 1, "digest pull shipped it");
+        assert!(servers[other].counter("serve.fleet.sync.entries_applied") >= 1);
+        assert_eq!(servers[other].counter("serve.fleet.sync.rounds"), 2);
+        // A second round pulls nothing: digests already agree.
+        servers[other].sync_now();
+        assert_eq!(
+            servers[other].counter("serve.fleet.sync.entries_applied"),
+            1
+        );
+        // And the synced copy answers bit-identically.
+        let hit = roundtrip(servers[other].local_addr(), &schedule_req("s2"));
+        assert_eq!(hit.cache(), Some("hit"));
+        assert_eq!(hit.output(), resp.output());
+        for server in servers {
+            server.shutdown();
+            server.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_owner_falls_back_to_local_compute_after_detection() {
+        let (mut servers, peers) = start_fleet(2, 1);
+        let key = sample_key();
+        let ring = HashRing::new(&peers, 1);
+        let owner_idx = peers.iter().position(|p| p == ring.owner(&key)).unwrap();
+        let other = 1 - owner_idx;
+        // Kill the owner.
+        let owner = servers.remove(owner_idx);
+        owner.shutdown();
+        owner.wait().unwrap();
+        let survivor = servers.pop().unwrap();
+        assert_eq!(survivor.local_addr().to_string(), peers[other].clone());
+        // Until the death threshold trips, proxy attempts fail typed.
+        for _ in 0..crate::fleet::DEATH_THRESHOLD {
+            let resp = roundtrip(survivor.local_addr(), &schedule_req("x"));
+            let (class, code, _) = resp.error.expect("owner is down");
+            assert_eq!((class.as_str(), code), ("peer-unavailable", 503));
+        }
+        // Now the owner is considered dead: compute locally instead.
+        let resp = roundtrip(survivor.local_addr(), &schedule_req("y"));
+        assert!(resp.is_ok(), "{:?}", resp.error);
+        assert_eq!(resp.cache(), Some("miss"));
+        assert_eq!(survivor.counter("serve.fleet.local_fallback"), 1);
+        assert_eq!(
+            survivor.counter("serve.fleet.proxy_failures"),
+            u64::from(crate::fleet::DEATH_THRESHOLD)
+        );
+        survivor.shutdown();
+        survivor.wait().unwrap();
+    }
+
+    /// Minimal HTTP/1.1 client: one request, returns (status, body).
+    fn http_roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        let (head, payload) = text.split_once("\r\n\r\n").unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        (status, payload.to_owned())
+    }
+
+    #[test]
+    fn http_front_end_serves_schedule_stats_and_healthz() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            http_listen: Some("127.0.0.1:0".into()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let http = server.local_http_addr().unwrap();
+        let (status, body) = http_roundtrip(http, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(parse_response(body.trim_end()).unwrap().is_ok());
+        // POST /schedule implies the action; the body is the NDJSON line.
+        let design = SAMPLE.replace('\n', "\\n");
+        let req = format!(r#"{{"id":"h","design":"{design}","all_global":4}}"#);
+        let (status, body) = http_roundtrip(http, "POST", "/schedule", &req);
+        assert_eq!(status, 200, "{body}");
+        let resp = parse_response(body.trim_end()).unwrap();
+        assert_eq!(resp.cache(), Some("miss"));
+        // The same request over NDJSON is a cache hit with identical
+        // output: one protocol, two framings.
+        let tcp = roundtrip(server.local_addr(), &schedule_req("h"));
+        assert_eq!(tcp.cache(), Some("hit"));
+        assert_eq!(tcp.output(), resp.output());
+        // Typed errors map onto HTTP statuses.
+        let (status, body) = http_roundtrip(
+            http,
+            "POST",
+            "/schedule",
+            r#"{"id":"b","design":"resource add delay=zero"}"#,
+        );
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = http_roundtrip(http, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = http_roundtrip(http, "DELETE", "/stats", "");
+        assert_eq!(status, 405);
+        let (status, body) = http_roundtrip(http, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let stats = parse_response(body.trim_end()).unwrap();
+        assert!(stats.body.get("fleet").is_some());
+        assert_eq!(
+            stats.body.get("fleet").unwrap().get("enabled"),
+            Some(&JsonValue::Bool(false))
+        );
+        server.shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn stats_expose_the_fleet_block() {
+        let (servers, _) = start_fleet(2, 2);
+        let stats = roundtrip(servers[0].local_addr(), r#"{"id":"st","action":"stats"}"#);
+        let fleet = stats.body.get("fleet").unwrap();
+        assert_eq!(fleet.get("enabled"), Some(&JsonValue::Bool(true)));
+        assert_eq!(fleet.get("route"), Some(&JsonValue::String("proxy".into())));
+        assert_eq!(fleet.get("replicas").and_then(JsonValue::as_f64), Some(2.0));
+        let peers_arr = fleet.get("peers").unwrap().as_array().unwrap();
+        assert_eq!(peers_arr.len(), 1, "membership excludes self");
+        assert_eq!(peers_arr[0].get("alive"), Some(&JsonValue::Bool(true)));
+        let sync = fleet.get("sync").unwrap();
+        assert_eq!(sync.get("lag_ms"), Some(&JsonValue::Null), "never synced");
+        // The wire document must satisfy the CI validator
+        // (`trace_check --stats`) — this pins the two schemas together.
+        let rendered = tcms_obs::json::to_string(&stats.body);
+        tcms_obs::sink::validate_stats(&rendered).expect("fleet stats schema");
+        for server in servers {
+            server.shutdown();
+            server.wait().unwrap();
+        }
     }
 
     #[test]

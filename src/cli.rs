@@ -136,6 +136,7 @@ fn serve_to_cli(e: ServeError) -> CliError {
         | ServeError::Overloaded { .. }
         | ServeError::DeadlineExpired { .. }
         | ServeError::ShuttingDown
+        | ServeError::PeerUnavailable { .. }
         | ServeError::TooLarge { .. }
         | ServeError::Internal(_)) => CliError::Service {
             class: other.class().to_owned(),
@@ -165,6 +166,41 @@ fn connect_client(addr: &str, timeout_ms: Option<u64>) -> std::io::Result<Client
             Client::connect_with(addr, Some(t), Some(t))
         }
         None => Client::connect(addr),
+    }
+}
+
+/// Sends one request line to a daemon address that may be a
+/// comma-separated failover list. A single address keeps the plain
+/// pipelining client (and its historical timeout semantics); a list is
+/// wrapped in [`crate::serve::ServeClient`] so transport failures and
+/// typed `peer-unavailable` answers rotate to the next fleet member.
+fn daemon_request(
+    addr: &str,
+    line: &str,
+    timeout_ms: Option<u64>,
+) -> Result<crate::serve::Response, CliError> {
+    let io = |e: std::io::Error| CliError::Io {
+        path: addr.to_owned(),
+        message: e.to_string(),
+    };
+    let addrs: Vec<String> = addr
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if addrs.len() <= 1 {
+        let mut client = connect_client(addr, timeout_ms).map_err(io)?;
+        client.request(line).map_err(io)
+    } else {
+        let t = timeout_ms.map(|ms| std::time::Duration::from_millis(ms.max(1)));
+        let policy = crate::serve::RetryPolicy {
+            connect_timeout: t.or(Some(crate::serve::DEFAULT_CONNECT_TIMEOUT)),
+            read_timeout: t,
+            ..crate::serve::RetryPolicy::default()
+        };
+        let mut client = crate::serve::ServeClient::with_addrs(addrs, policy);
+        client.request(line).map_err(io)
     }
 }
 
@@ -295,10 +331,27 @@ pub enum Command {
         /// Worker-thread count for the scheduler itself
         /// (from `--threads`; 0 = auto).
         threads: Option<usize>,
+        /// Fleet member addresses (from `--peers`, comma-separated);
+        /// empty runs a standalone daemon.
+        peers: Vec<String>,
+        /// This node's advertised address (from `--advertise`; defaults
+        /// to the listen address). Must match how the peers list it.
+        advertise: Option<String>,
+        /// HTTP/1.1 front-end listen address (from `--http`).
+        http: Option<String>,
+        /// Non-owner routing mode (from `--route proxy|local`).
+        route: crate::serve::RouteMode,
+        /// Anti-entropy period in ms (from `--sync-interval-ms`;
+        /// 0 disables the background loop).
+        sync_interval_ms: Option<u64>,
+        /// Replica-set size (from `--replicas`; owner + backups).
+        replicas: Option<usize>,
     },
     /// Send one request to a running daemon and print the response.
     Client {
-        /// Daemon address, e.g. `127.0.0.1:7733`.
+        /// Daemon address, e.g. `127.0.0.1:7733`. A comma-separated
+        /// list enables fleet failover: transport errors and typed
+        /// `peer-unavailable` answers rotate to the next address.
         addr: String,
         /// The request to send.
         action: ClientCommand,
@@ -309,7 +362,8 @@ pub enum Command {
     /// Fetch a daemon's statistics and render them human-readably
     /// (`tcms client <addr> stats` prints the raw JSON instead).
     Stats {
-        /// Daemon address, e.g. `127.0.0.1:7733`.
+        /// Daemon address, e.g. `127.0.0.1:7733` (comma-separated for
+        /// fleet failover, as for `tcms client`).
         addr: String,
         /// Connect *and* read timeout in ms (from `--timeout-ms`;
         /// absent = 5 s connect timeout, unlimited read).
@@ -436,6 +490,19 @@ SERVE OPTIONS:
                           seal and rotate the journal when the live file
                           exceeds N bytes (default 0 = never rotate)
   --threads <N>           scheduler worker threads, as for schedule
+  --http <addr>           also serve HTTP/1.1 (POST /schedule, GET /stats,
+                          GET /healthz); responses carry the NDJSON line
+
+FLEET OPTIONS (serve; all but --http require --peers):
+  --peers <a,b,c>         the fleet's advertised addresses, incl. this node;
+                          a consistent-hash ring routes each request to its
+                          owner and anti-entropy converges the caches
+  --advertise <addr>      this node's address as the peers list it
+                          (default: the --listen address)
+  --replicas <N>          replica-set size, owner + backups (default 2)
+  --route <proxy|local>   non-owner behaviour: forward to the owner (proxy,
+                          default) or compute locally and push (local)
+  --sync-interval-ms <N>  anti-entropy period (default 2000; 0 disables)
 
 CLIENT REQUESTS:
   tcms client <addr> schedule <design> [schedule opts] [--deadline-ms N]
@@ -446,6 +513,9 @@ CLIENT REQUESTS:
   [--timeout-ms N]        bound the connect and each read; without it
                           connects time out after 5 s and reads block
                           (also accepted by `tcms stats`)
+  <addr> may be a comma-separated list (typically a fleet's --peers):
+  transport failures and `peer-unavailable` answers fail over to the
+  next address automatically
 ";
 
 /// Parses a command line (without the program name).
@@ -641,6 +711,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut journal_dir = None;
             let mut journal_rotate_bytes = None;
             let mut threads = None;
+            let mut peers: Vec<String> = Vec::new();
+            let mut advertise = None;
+            let mut http = None;
+            let mut route = None;
+            let mut sync_interval_ms = None;
+            let mut replicas = None;
             fn num<T: std::str::FromStr>(
                 it: &mut std::slice::Iter<'_, String>,
                 flag: &str,
@@ -670,11 +746,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         journal_rotate_bytes = Some(num(&mut it, "--journal-rotate-bytes")?);
                     }
                     "--threads" => threads = Some(num(&mut it, "--threads")?),
+                    "--peers" => {
+                        let v = it.next().ok_or("--peers needs a comma-separated list")?;
+                        peers = v
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_owned)
+                            .collect();
+                        if peers.is_empty() {
+                            return Err("--peers needs at least one address".to_owned());
+                        }
+                    }
+                    "--advertise" => {
+                        advertise = Some(it.next().ok_or("--advertise needs an address")?.clone());
+                    }
+                    "--http" => {
+                        http = Some(it.next().ok_or("--http needs an address")?.clone());
+                    }
+                    "--route" => {
+                        let v = it.next().ok_or("--route needs proxy|local")?;
+                        route = Some(crate::serve::RouteMode::parse(v)?);
+                    }
+                    "--sync-interval-ms" => {
+                        sync_interval_ms = Some(num(&mut it, "--sync-interval-ms")?);
+                    }
+                    "--replicas" => replicas = Some(num(&mut it, "--replicas")?),
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
             if queue == 0 {
                 return Err("--queue must be positive".to_owned());
+            }
+            if peers.is_empty() {
+                for (flag, set) in [
+                    ("--advertise", advertise.is_some()),
+                    ("--route", route.is_some()),
+                    ("--sync-interval-ms", sync_interval_ms.is_some()),
+                    ("--replicas", replicas.is_some()),
+                ] {
+                    if set {
+                        return Err(format!("{flag} requires --peers"));
+                    }
+                }
             }
             Ok(Command::Serve {
                 listen,
@@ -687,6 +801,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 journal_dir,
                 journal_rotate_bytes,
                 threads,
+                peers,
+                advertise,
+                http,
+                route: route.unwrap_or_default(),
+                sync_interval_ms,
+                replicas,
             })
         }
         "stats" => {
@@ -1165,10 +1285,28 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             journal_dir,
             journal_rotate_bytes,
             threads,
+            peers,
+            advertise,
+            http,
+            route,
+            sync_interval_ms,
+            replicas,
         } => {
             if let Some(n) = threads {
                 crate::fds::threads::set(*n);
             }
+            let fleet = (!peers.is_empty()).then(|| {
+                let self_addr = advertise.clone().unwrap_or_else(|| listen.clone());
+                let mut fleet = crate::serve::FleetConfig::new(self_addr, peers.clone());
+                fleet.route = *route;
+                if let Some(n) = replicas {
+                    fleet.replicas = *n;
+                }
+                if let Some(ms) = sync_interval_ms {
+                    fleet.sync_interval = (*ms > 0).then(|| std::time::Duration::from_millis(*ms));
+                }
+                fleet
+            });
             let config = ServeConfig {
                 listen: listen.clone(),
                 workers: *workers,
@@ -1181,6 +1319,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     .unwrap_or(crate::serve::DEFAULT_AUTO_PARTITION_OPS),
                 journal_dir: journal_dir.as_deref().map(std::path::PathBuf::from),
                 journal_rotate_bytes: journal_rotate_bytes.unwrap_or(0),
+                fleet,
+                http_listen: http.clone(),
                 ..ServeConfig::default()
             };
             let server = Server::start(config).map_err(|e| CliError::Io {
@@ -1191,6 +1331,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             // real port) so harnesses can connect, then block until a
             // client's shutdown request drains the daemon.
             println!("tcms-serve listening on {}", server.local_addr());
+            if let Some(http_addr) = server.local_http_addr() {
+                println!("tcms-serve http on {http_addr}");
+            }
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
             server.wait().map_err(|e| CliError::Io {
@@ -1204,16 +1347,6 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             action,
             timeout_ms,
         } => {
-            let connect = |addr: &str| {
-                connect_client(addr, *timeout_ms).map_err(|e| CliError::Io {
-                    path: addr.to_owned(),
-                    message: e.to_string(),
-                })
-            };
-            let transport = |e: std::io::Error| CliError::Io {
-                path: addr.clone(),
-                message: e.to_string(),
-            };
             let line = match action {
                 ClientCommand::Schedule {
                     input,
@@ -1241,8 +1374,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     crate::serve::client::control_request_line("cli", "shutdown")
                 }
             };
-            let mut client = connect(addr)?;
-            let response = client.request(&line).map_err(transport)?;
+            let response = daemon_request(addr, &line, *timeout_ms)?;
             if let Some((class, code, message)) = response.error {
                 return Err(CliError::Service {
                     class,
@@ -1258,15 +1390,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
         }
         Command::Stats { addr, timeout_ms } => {
-            let mut client = connect_client(addr, *timeout_ms).map_err(|e| CliError::Io {
-                path: addr.clone(),
-                message: e.to_string(),
-            })?;
             let line = crate::serve::client::control_request_line("cli", "stats");
-            let response = client.request(&line).map_err(|e| CliError::Io {
-                path: addr.clone(),
-                message: e.to_string(),
-            })?;
+            let response = daemon_request(addr, &line, *timeout_ms)?;
             if let Some((class, code, message)) = response.error {
                 return Err(CliError::Service {
                     class,
@@ -1817,6 +1942,12 @@ process b time=8 { z := p * q; }
                 journal_dir: Some("/tmp/j".into()),
                 journal_rotate_bytes: None,
                 threads: None,
+                peers: Vec::new(),
+                advertise: None,
+                http: None,
+                route: crate::serve::RouteMode::Proxy,
+                sync_interval_ms: None,
+                replicas: None,
             }
         );
         assert!(parse_args(&args(&["serve", "--queue", "0"])).is_err());
@@ -1838,6 +1969,63 @@ process b time=8 { z := p * q; }
             }
         ));
         assert!(parse_args(&args(&["serve", "--journal-rotate-bytes", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_fleet_options() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--listen",
+            "10.0.0.1:7733",
+            "--peers",
+            "10.0.0.1:7733, 10.0.0.2:7733,10.0.0.3:7733",
+            "--advertise",
+            "10.0.0.1:7733",
+            "--http",
+            "0.0.0.0:8080",
+            "--route",
+            "local",
+            "--sync-interval-ms",
+            "500",
+            "--replicas",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                peers,
+                advertise,
+                http,
+                route,
+                sync_interval_ms,
+                replicas,
+                ..
+            } => {
+                // Whitespace around the commas is forgiven.
+                assert_eq!(
+                    peers,
+                    vec!["10.0.0.1:7733", "10.0.0.2:7733", "10.0.0.3:7733"]
+                );
+                assert_eq!(advertise.as_deref(), Some("10.0.0.1:7733"));
+                assert_eq!(http.as_deref(), Some("0.0.0.0:8080"));
+                assert_eq!(route, crate::serve::RouteMode::Local);
+                assert_eq!(sync_interval_ms, Some(500));
+                assert_eq!(replicas, Some(3));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // `--http` stands alone; every other fleet flag needs `--peers`.
+        assert!(parse_args(&args(&["serve", "--http", "0.0.0.0:8080"])).is_ok());
+        for flags in [
+            &["serve", "--advertise", "a:1"][..],
+            &["serve", "--route", "proxy"],
+            &["serve", "--sync-interval-ms", "100"],
+            &["serve", "--replicas", "2"],
+        ] {
+            assert!(parse_args(&args(flags)).is_err(), "{flags:?}");
+        }
+        assert!(parse_args(&args(&["serve", "--peers", " , "])).is_err());
+        assert!(parse_args(&args(&["serve", "--peers", "a:1", "--route", "x"])).is_err());
     }
 
     #[test]
